@@ -1,0 +1,79 @@
+// bench_ablation_max_approx — ablation A4: the cost of the max-statistics
+// shortcut. Theorem 1 approximates E[max of N] by the N/(N+1) quantile
+// (eq. 12) and E[max of K exponentials] by ln(K+1)/μ (eq. 21). For iid
+// Exponential(rate) the exact value is H_N/rate = (ln N + γ + o(1))/rate,
+// so the shortcut undershoots by ≈ γ/rate. This bench measures the error
+// directly against Monte-Carlo maxima for both stages.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/db_stage.h"
+#include "core/theorem1.h"
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include "stats/welford.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Ablation A4", "quantile approximation of E[max]",
+                "eq. (12)/(21) vs exact harmonic vs Monte-Carlo");
+
+  // --- pure exponential maxima --------------------------------------------
+  std::printf("\nE[max of N iid Exp(1)] — quantile ln(N+1) vs exact H_N vs MC\n");
+  std::printf("%8s | %10s | %10s | %10s | %s\n", "N", "ln(N+1)", "H_N", "MC",
+              "undershoot");
+  std::printf("---------+------------+------------+------------+-----------\n");
+  dist::Rng rng(4);
+  const dist::Exponential unit(1.0);
+  for (const std::uint64_t n : {2ull, 10ull, 100ull, 1000ull}) {
+    stats::Welford w;
+    const int reps = n > 100 ? 20'000 : 100'000;
+    for (int i = 0; i < reps; ++i) {
+      double mx = 0.0;
+      for (std::uint64_t j = 0; j < n; ++j) {
+        mx = std::max(mx, unit.sample(rng));
+      }
+      w.add(mx);
+    }
+    double harmonic = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) harmonic += 1.0 / static_cast<double>(k);
+    const double quantile = std::log(static_cast<double>(n) + 1.0);
+    std::printf("%8llu | %10.4f | %10.4f | %10.4f | %9.4f\n",
+                static_cast<unsigned long long>(n), quantile, harmonic,
+                w.mean(), w.mean() - quantile);
+  }
+  std::printf("(undershoot converges to Euler-Mascheroni gamma = 0.5772)\n");
+
+  // --- the database stage -------------------------------------------------
+  std::printf("\nE[T_D(N)] at r=1%%, muD=1Kps — eq.(23) vs binomial-harmonic\n");
+  std::printf("%8s | %12s | %12s | %10s\n", "N", "eq.(23) us", "harmonic us",
+              "gap us");
+  std::printf("---------+--------------+--------------+----------\n");
+  const core::DatabaseStage db(0.01, 1000.0);
+  for (const std::uint64_t n : {10ull, 150ull, 1000ull, 10'000ull}) {
+    const double a = db.expected_max(n) * 1e6;
+    const double h = db.expected_max_harmonic(n) * 1e6;
+    std::printf("%8llu | %12.1f | %12.1f | %9.1f\n",
+                static_cast<unsigned long long>(n), a, h, h - a);
+  }
+
+  // --- the server stage ---------------------------------------------------
+  std::printf("\nE[T_S(N)] Facebook workload — eq.(14) band vs band + gamma/eta\n");
+  const core::LatencyModel m(core::SystemConfig::facebook());
+  const double eta = m.server_stage().server(0).eta();
+  for (const std::uint64_t n : {10ull, 150ull, 1000ull}) {
+    const core::Bounds b = m.server_mean_bounds(n);
+    std::printf("N=%6llu: %s us, + gamma/eta -> upper %.1f us\n",
+                static_cast<unsigned long long>(n),
+                bench::us_bounds(b).c_str(),
+                (b.upper + 0.5772 / eta) * 1e6);
+  }
+  std::printf("\nReading: simulations sit ~gamma/rate above the paper's "
+              "formulas everywhere a maximum is approximated by a quantile "
+              "— a systematic, predictable offset, not noise. The shapes "
+              "(log-laws, cliffs, orderings) are unaffected.\n");
+  return 0;
+}

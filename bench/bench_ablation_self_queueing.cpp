@@ -1,0 +1,79 @@
+// bench_ablation_self_queueing — ablation A5: where does the paper's
+// independence assumption stop holding?
+//
+// The model treats a request's N keys as independent samples of the
+// stationary per-key latency (§3: the keys of one request are "quite
+// limited relative to the number of simultaneous end-user requests"). In a
+// real fork-join cluster that is only true while N ≪ M × (requests in
+// flight): as N/M grows, a request's own Binomial(N, 1/M) keys land on one
+// server *simultaneously* and queue behind each other, adding a ~linear
+// (N/M)/μ_S self-queueing term the model does not see.
+//
+// We sweep N at a fixed offered key rate and compare the Mode-B cluster
+// (real fork-join, self-queueing included) with the Mode-A testbed
+// (independent resampling, the paper's methodology) and Theorem 1.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/end_to_end.h"
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Ablation A5", "independence assumption vs self-queueing",
+                "4 servers, 32 Kps each offered, xi->Poisson fanout, r=0; "
+                "N swept at constant aggregate key rate");
+
+  core::SystemConfig sys = core::SystemConfig::facebook();
+  sys.total_key_rate = 4.0 * 32'000.0;
+  sys.miss_ratio = 0.0;
+
+  // Mode-A pools once (per-key latency is N-independent there).
+  cluster::WorkloadDrivenConfig wd;
+  wd.system = sys;
+  wd.system.burst_xi = 0.0;      // match Mode B's Poisson request stream
+  wd.system.concurrency_q = 0.0;
+  wd.warmup_time = 1.0 * bench::time_scale();
+  wd.measure_time = 10.0 * bench::time_scale();
+  wd.seed = 77;
+  const auto pools = cluster::WorkloadDrivenSim(wd).run();
+  dist::Rng rng(770);
+
+  core::SystemConfig model_cfg = wd.system;
+  const core::LatencyModel model(model_cfg);
+
+  std::printf("\n%6s | %6s | %12s | %12s | %12s | %s\n", "N", "N/M",
+              "Theorem1 up", "Mode A (us)", "Mode B (us)", "B/A ratio");
+  std::printf("-------+--------+--------------+--------------+--------------+----------\n");
+  for (const std::uint32_t n : {1u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const auto a =
+        cluster::assemble_requests(pools, wd.system, 10'000, n, rng);
+
+    cluster::EndToEndConfig e2e;
+    e2e.system = sys;
+    e2e.system.keys_per_request = n;
+    e2e.warmup_time = 0.5 * bench::time_scale();
+    e2e.measure_time = 4.0 * bench::time_scale();
+    e2e.seed = 4200 + n;
+    const auto b = cluster::EndToEndSim(e2e).run();
+
+    std::printf("%6u | %6.1f | %12.1f | %12.1f | %12.1f | %8.2fx\n", n,
+                n / 4.0, model.server_mean_bounds(n).upper * 1e6,
+                a.server_ci().mean * 1e6, b.server.mean * 1e6,
+                b.server.mean / a.server_ci().mean);
+  }
+
+  std::printf(
+      "\nReading: Mode A (the paper's methodology) tracks Theorem 1 at "
+      "every N. The real fork-join cluster agrees while N/M <~ 2-4 but "
+      "grows ~linearly once a request floods its own servers — at N=256 "
+      "(64 keys/server/request) the model underestimates several-fold. "
+      "The paper's testbed had N=150 over mutilate-driven servers where "
+      "request keys were interleaved with heavy background traffic, which "
+      "is exactly the regime where the independence assumption holds; "
+      "pure fork-join deployments with thick fan-out per server are "
+      "outside the model's domain.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// bench_ext_db_load — extension experiment: when is the paper's eq.-19
+// "database is greatly offloaded" assumption safe?
+//
+// We sweep the database utilisation ρ_D = r·Λ/μ_D by varying μ_D, and
+// compare three T_D(N) estimates against a *real single-server M/M/1*
+// simulation of the miss stream:
+//   * the paper's eq. (23) (ρ ignored),
+//   * our load-aware stage (μ_D → (1-ρ_D)μ_D),
+//   * simulation ground truth.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/db_stage.h"
+#include "core/mmc.h"
+#include "dist/empirical.h"
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "stats/welford.h"
+
+namespace {
+
+// Simulates the single-server database under Poisson miss arrivals and
+// returns per-fetch sojourns.
+mclat::dist::Empirical simulate_db(double miss_rate, double mu_d,
+                                   double horizon, std::uint64_t seed) {
+  using namespace mclat;
+  sim::Simulator s;
+  std::vector<double> sojourns;
+  sim::ServiceStation db(s, std::make_unique<dist::Exponential>(mu_d),
+                         dist::Rng(seed), [&](const sim::Departure& d) {
+                           if (d.arrival > horizon * 0.1) {
+                             sojourns.push_back(d.sojourn_time());
+                           }
+                         });
+  dist::Rng arr(seed ^ 0xdbull);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    db.arrive(id++);
+    s.schedule_in(arr.exponential(miss_rate), arrive);
+  };
+  s.schedule_in(arr.exponential(miss_rate), arrive);
+  s.run_until(horizon);
+  return dist::Empirical(std::move(sojourns));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Extension: database load",
+                "(eq. 19's rho << 1 assumption, stress-tested)",
+                "T_D(N) at N=150, r=1%, Lambda=250Kps -> miss rate 2.5Kps; "
+                "muD swept so rho_D covers [0.1, 0.9]");
+
+  const double miss_rate = 2'500.0;  // r·Λ of the §5.1 testbed
+  const std::uint64_t n = 150;
+  std::printf("\n%7s | %8s | %12s | %12s | %-24s\n", "rho_D", "muD(/s)",
+              "eq.23 (us)", "load-aware", "simulated E[T_D(N)] (us)");
+  std::printf("--------+----------+--------------+--------------+--------------------------\n");
+  std::uint64_t seed = 1;
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9}) {
+    const double mu_d = miss_rate / rho;
+    const core::DatabaseStage naive(0.01, mu_d);
+    const core::DatabaseStage aware(0.01, mu_d, rho);
+    // Ground truth: per-request max over K ~ Binom(150, 0.01) simulated
+    // M/M/1 sojourns.
+    const double horizon = 40.0 * bench::time_scale() / (1.0 - rho);
+    const dist::Empirical pool =
+        simulate_db(miss_rate, mu_d, horizon, seed++);
+    dist::Rng rng(seed ^ 0x5eedull);
+    stats::Welford w;
+    for (int i = 0; i < 20'000; ++i) {
+      double mx = 0.0;
+      for (std::uint64_t k = 0; k < n; ++k) {
+        if (rng.bernoulli(0.01)) {
+          mx = std::max(mx, pool.sorted()[rng.uniform_index(pool.size())]);
+        }
+      }
+      w.add(mx);
+    }
+    std::printf("%7.2f | %8.0f | %12.1f | %12.1f | %-24s\n", rho, mu_d,
+                naive.expected_max(n) * 1e6, aware.expected_max(n) * 1e6,
+                bench::us_ci(stats::mean_ci(w)).c_str());
+  }
+  // ---- the provisioning answer: how many shards make eq. (19) true? -----
+  std::printf("\nSharding the backend (M/M/c pool at the same total miss "
+              "stream, muD = 1 Kps per shard):\n");
+  std::printf("%7s | %8s | %10s | %14s\n", "shards", "rho_D", "P{wait}",
+              "E[sojourn] us");
+  for (unsigned c = 3; c <= 8; ++c) {
+    const core::MmcQueue pool(c, miss_rate, 1'000.0);
+    std::printf("%7u | %7.1f%% | %9.1f%% | %14.1f\n", c,
+                100.0 * pool.utilization(), 100.0 * pool.p_wait(),
+                pool.mean_sojourn() * 1e6);
+  }
+  std::printf("shards_for_offloaded_db(2.5Kps, 1Kps, 10%%) = %u\n",
+              core::shards_for_offloaded_db(miss_rate, 1'000.0, 0.10));
+
+  std::printf("\nReading: eq. (23) is fine below rho_D ~ 0.3 (its error "
+              "hides inside the max-statistics offset) but underestimates "
+              "by 2-10x as the database saturates; the (1-rho)muD "
+              "substitution tracks the simulation across the whole sweep "
+              "(same gamma-offset as every mean in this repo). Note the "
+              "paper's own 5.1 parameters imply rho_D = 2.5 on a single "
+              "database server — eq. 19 implicitly assumes a sharded/"
+              "replicated backend.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// bench_ext_zipf_imbalance — extension experiment: §2.1's claim, made
+// quantitative. The paper observes that "Memcached servers caching the
+// popular items have to handle a heavy load"; here we measure the load
+// distribution {p_j} that Zipf popularity + consistent hashing actually
+// induces, and feed the measured shares back into the latency model to
+// price the imbalance.
+//
+// Method: for each Zipf exponent s, compute each server's exact expected
+// key share Σ_{ranks hashed to j} pmf(rank) over a 100k-key space and a
+// 16-server ring, then evaluate E[T_S(N)] under (a) the measured {p_j} and
+// (b) perfect balance, at 65 % mean utilisation.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/theorem1.h"
+#include "dist/zipf.h"
+#include "hashing/consistent_hash.h"
+#include "workload/keyspace.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Extension: Zipf-induced imbalance",
+                "(2.1's observation, quantified; no paper figure)",
+                "100k keys, 16-server ring, mean rho=65%, N=150");
+
+  const std::uint64_t keys = 100'000;
+  const std::size_t servers = 16;
+  const hashing::ConsistentHashRing ring(servers, 160);
+  const workload::KeySpace key_strings(keys, 1.0);  // strings only
+
+  // Precompute each rank's server once (the hash does not depend on s).
+  std::vector<std::size_t> rank_server(keys);
+  for (std::uint64_t rank = 0; rank < keys; ++rank) {
+    rank_server[rank] = ring.server_for(key_strings.key_for_rank(rank));
+  }
+
+  std::printf("\n%6s | %8s | %8s | %-20s | %-20s | %7s\n", "zipf s", "p1",
+              "p1*M", "balanced E[T_S] us", "measured {p_j} us", "tax");
+  std::printf("-------+----------+----------+----------------------+----------------------+--------\n");
+  for (const double s : {0.5, 0.8, 0.99, 1.1, 1.3, 1.5}) {
+    const dist::Zipf zipf(keys, s);
+    std::vector<double> share(servers, 0.0);
+    for (std::uint64_t rank = 0; rank < keys; ++rank) {
+      share[rank_server[rank]] += zipf.pmf(rank);
+    }
+    const double p1 = *std::max_element(share.begin(), share.end());
+
+    core::SystemConfig balanced = core::SystemConfig::facebook();
+    balanced.servers = servers;
+    balanced.total_key_rate =
+        0.65 * balanced.service_rate * static_cast<double>(servers);
+    balanced.miss_ratio = 0.0;
+    core::SystemConfig skewed = balanced;
+    skewed.load_shares = share;
+
+    const core::Bounds b_bal =
+        core::LatencyModel(balanced).server_mean_bounds(150);
+    const core::LatencyModel skewed_model(skewed);
+    if (!skewed_model.stable()) {
+      std::printf("%6.2f | %7.2f%% | %8.2f | %20s | %-20s |   inf\n", s,
+                  100.0 * p1, p1 * servers, bench::us_bounds(b_bal).c_str(),
+                  "(hot server unstable)");
+      continue;
+    }
+    const core::Bounds b_skew = skewed_model.server_mean_bounds(150);
+    std::printf("%6.2f | %7.2f%% | %8.2f | %20s | %20s | %6.2fx\n", s,
+                100.0 * p1, p1 * servers, bench::us_bounds(b_bal).c_str(),
+                bench::us_bounds(b_skew).c_str(),
+                b_skew.upper / b_bal.upper);
+  }
+
+  // ---- the fix the related work implements: replicate the hottest keys.
+  // Spreading the top-h ranks' mass evenly over all servers (client picks a
+  // random replica per access) removes exactly the head concentration.
+  std::printf("\nHot-key replication at s = 0.99 (top-h keys replicated "
+              "everywhere):\n");
+  std::printf("%8s | %8s | %-22s\n", "h", "p1", "E[T_S(150)] us");
+  {
+    const dist::Zipf zipf(keys, 0.99);
+    for (const std::uint64_t h : {0ull, 1ull, 4ull, 16ull, 64ull}) {
+      std::vector<double> share(servers, zipf.head_mass(h) /
+                                             static_cast<double>(servers));
+      for (std::uint64_t rank = h; rank < keys; ++rank) {
+        share[rank_server[rank]] += zipf.pmf(rank);
+      }
+      const double p1 = *std::max_element(share.begin(), share.end());
+      core::SystemConfig cfg = core::SystemConfig::facebook();
+      cfg.servers = servers;
+      cfg.total_key_rate =
+          0.65 * cfg.service_rate * static_cast<double>(servers);
+      cfg.miss_ratio = 0.0;
+      cfg.load_shares = share;
+      const core::LatencyModel m(cfg);
+      if (!m.stable()) {
+        std::printf("%8llu | %7.2f%% | (hot server unstable)\n",
+                    static_cast<unsigned long long>(h), 100.0 * p1);
+        continue;
+      }
+      std::printf("%8llu | %7.2f%% | %s\n",
+                  static_cast<unsigned long long>(h), 100.0 * p1,
+                  bench::us_bounds(m.server_mean_bounds(150)).c_str());
+    }
+  }
+
+  const dist::Zipf head_probe(keys, 0.99);
+  std::printf(
+      "\nReading: the imbalance is driven almost entirely by the SINGLE\n"
+      "hottest key — at s=0.99 over 100k keys, rank 0 alone carries %.1f%%\n"
+      "of all accesses, so whichever server owns it inherits that load on\n"
+      "top of its 1/M baseline. Hashing cannot fix this (it averages many\n"
+      "small keys, not one huge one): already at s=0.99 the hot server is\n"
+      "driven past saturation at a 65%% cluster average. This is exactly\n"
+      "the unbalanced-{p_j} regime the paper formulates, it is why Fig. 10\n"
+      "sweeps p1 so far (0.3-0.9), and why production systems replicate\n"
+      "hot keys instead of re-hashing. (Bigger keyspaces dilute the head:\n"
+      "p(rank 0) = 1/H_{n,s} shrinks as n grows.)\n",
+      100.0 * head_probe.pmf(0));
+  return 0;
+}

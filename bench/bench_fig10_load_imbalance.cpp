@@ -1,0 +1,29 @@
+// bench_fig10_load_imbalance — reproduces Fig. 10: E[T_S(N)] vs the largest
+// load ratio p1 ∈ [0.3, 0.9] with aggregate rate Λ = 80 Kps over 4 servers
+// (ξ = 0.15, μ_S = 80 Kps). The paper: a cliff when p1·Λ/μ_S crosses 75 %,
+// i.e. p1 ≈ 0.75.
+#include "bench_sweep.h"
+#include "dist/discrete.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Figure 10", "ICDCS'17 Fig. 10 (load imbalance)",
+                "p1 in [0.3, 0.9]; Lambda=80Kps aggregate, 4 servers, "
+                "muS=80Kps, xi=0.15, q=0.1, N=150");
+  bench::print_server_header("p1");
+  std::uint64_t seed = 100;
+  for (double p1 = 0.30; p1 <= 0.901; p1 += 0.05) {
+    core::SystemConfig sys = core::SystemConfig::facebook();
+    sys.total_key_rate = 80'000.0;
+    sys.load_shares = dist::skewed_load(4, p1);
+    // Past the cliff the heavy server needs long runs to reach steady state.
+    const auto pt = bench::run_server_point(sys, seed++, 20.0);
+    bench::print_server_row(p1, "%8.2f", pt);
+  }
+  std::printf("\nShape check: flat while p1*Lambda < 60 Kps, cliff at "
+              "p1 ~ 0.75 where the heaviest server crosses 75%% "
+              "utilisation — the Fig. 10 story and the load-balancing "
+              "guideline of 5.2.2.\n");
+  return 0;
+}

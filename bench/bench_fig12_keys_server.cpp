@@ -1,0 +1,52 @@
+// bench_fig12_keys_server — reproduces Fig. 12: E[T_S(N)] as the number of
+// keys per request sweeps 1 → 10⁴ (log-spaced), Facebook workload. The
+// paper: logarithmic growth, ~100 µs at N=1 to ~650 µs at N=10⁴.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+
+int main() {
+  using namespace mclat;
+
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  bench::banner("Figure 12", "ICDCS'17 Fig. 12 (keys per request, servers)",
+                "E[T_S(N)], N in [1, 1e4]; Facebook workload");
+
+  const core::LatencyModel model(sys);
+  cluster::WorkloadDrivenConfig cfg;
+  cfg.system = sys;
+  cfg.warmup_time = 2.0 * bench::time_scale();
+  cfg.measure_time = 25.0 * bench::time_scale();
+  cfg.seed = 12;
+  const cluster::MeasurementPools pools =
+      cluster::WorkloadDrivenSim(cfg).run();
+  dist::Rng rng(121);
+
+  std::printf("\n%8s | %-18s | %-26s | %s\n", "N", "eq.(14) lo~hi (us)",
+              "experiment (us)", "band");
+  std::printf("---------+--------------------+----------------------------+------\n");
+  for (const std::uint64_t n :
+       {1ull, 2ull, 5ull, 10ull, 30ull, 100ull, 300ull, 1000ull, 3000ull,
+        10'000ull}) {
+    const core::Bounds b = model.server_mean_bounds(n);
+    const std::uint64_t reqs = n >= 3000 ? 2'000 : 10'000;
+    const auto assembled = cluster::assemble_requests(pools, sys, reqs, n, rng);
+    const auto ci = assembled.server_ci();
+    std::printf("%8llu | %18s | %-26s | %s\n",
+                static_cast<unsigned long long>(n),
+                bench::us_bounds(b).c_str(), bench::us_ci(ci).c_str(),
+                bench::verdict(ci.mean, b, 1.35));
+  }
+  std::printf("\nShape check: E[T_S(N)] = Theta(log N) — each decade of N "
+              "adds a constant ~ln(10)/eta ~ %.0f us.\n",
+              std::log(10.0) / model.server_stage().server(0).eta() * 1e6);
+  std::printf("Note: the N<=2 rows sit above the eq.(14) band by design — "
+              "eq. (12) approximates E[max of N] by the N/(N+1) quantile, "
+              "which at N=1 is the *median* of an exponential (ln 2/eta) "
+              "while the measured mean is 1/eta. Ablation A4 quantifies "
+              "this vanishing-in-log-N offset.\n");
+  return 0;
+}

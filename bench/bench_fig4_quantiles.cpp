@@ -1,0 +1,50 @@
+// bench_fig4_quantiles — reproduces Fig. 4: the kth quantile of the
+// per-key processing latency T_S at a Memcached server versus the eq. (9)
+// bounds, under the Facebook workload.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+
+int main() {
+  using namespace mclat;
+
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  bench::banner("Figure 4", "ICDCS'17 Fig. 4 (per-key T_S quantiles)",
+                "Facebook workload; eq. (9) band vs measured ECDF");
+
+  const core::LatencyModel model(sys);
+  const core::GixM1Queue& q = model.server_stage().server(0);
+
+  cluster::WorkloadDrivenConfig cfg;
+  cfg.system = sys;
+  cfg.warmup_time = 2.0 * bench::time_scale();
+  cfg.measure_time = 30.0 * bench::time_scale();
+  cfg.seed = 4;
+  const cluster::MeasurementPools pools =
+      cluster::WorkloadDrivenSim(cfg).run();
+  dist::Rng rng(99);
+  const dist::Empirical ecdf =
+      cluster::per_key_sojourn_distribution(pools, sys, 400'000, rng);
+
+  std::printf("\n%6s | %-18s | %10s | %s\n", "k", "eq.(9) lo~hi (us)",
+              "measured", "inside");
+  std::printf("-------+--------------------+------------+-------\n");
+  for (double k = 0.05; k < 0.999; k += 0.05) {
+    const core::Bounds b = q.sojourn_quantile_bounds(k);
+    const double measured = ecdf.quantile(k);
+    std::printf("%6.2f | %18s | %10.1f | %s\n", k,
+                bench::us_bounds(b).c_str(), measured * 1e6,
+                bench::verdict(measured, b));
+  }
+  // The tail points the paper's plot emphasises.
+  for (const double k : {0.99, 0.995, 0.999}) {
+    const core::Bounds b = q.sojourn_quantile_bounds(k);
+    const double measured = ecdf.quantile(k);
+    std::printf("%6.3f | %18s | %10.1f | %s\n", k,
+                bench::us_bounds(b).c_str(), measured * 1e6,
+                bench::verdict(measured, b));
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// bench_fig5_concurrency — reproduces Fig. 5: E[T_S(N)] as the concurrency
+// probability q sweeps 0 → 0.5 (Facebook workload otherwise). The paper
+// reports linear growth in 1/(1-q), from ~350 µs to ~650 µs.
+#include "bench_sweep.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Figure 5", "ICDCS'17 Fig. 5 (concurrency probability)",
+                "q in [0, 0.5]; lambda=62.5Kps/server, xi=0.15, N=150");
+  bench::print_server_header("q");
+  std::uint64_t seed = 50;
+  for (double q = 0.0; q <= 0.501; q += 0.05) {
+    core::SystemConfig sys = core::SystemConfig::facebook();
+    sys.concurrency_q = q;
+    const auto pt = bench::run_server_point(sys, seed++);
+    bench::print_server_row(q, "%8.2f", pt);
+  }
+  std::printf("\nShape check: E[T_S(N)] = Theta(1/(1-q)) — the q=0.5 row "
+              "should be ~1.8x the q=0 row.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// bench_fig8_rate_burst_theory — reproduces Fig. 8 (pure theory):
+// E[T_S(N)] for ξ ∈ {0, 0.6, 0.8} as λ sweeps 10 → 78 Kps at μ_S = 80 Kps.
+// The paper's reading: burstier keys hit the latency cliff at lower λ
+// (80 % / 55 % / 40 % utilisation respectively).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/theorem1.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Figure 8", "ICDCS'17 Fig. 8 (theory: rate x burst)",
+                "E[T_S(N)] midpoint estimate; muS=80Kps, q=0.1, N=150");
+
+  const double xis[] = {0.0, 0.6, 0.8};
+  std::printf("\n%8s", "l(Kps)");
+  for (const double xi : xis) std::printf(" | xi=%.1f lo~hi (us)   ", xi);
+  std::printf("\n---------+----------------------+----------------------+----------------------\n");
+  for (double l = 10'000.0; l <= 78'000.1; l += 4'000.0) {
+    std::printf("%8.0f", l / 1000.0);
+    for (const double xi : xis) {
+      core::SystemConfig sys = core::SystemConfig::facebook();
+      sys.total_key_rate = 4.0 * l;
+      sys.burst_xi = xi;
+      const core::LatencyModel m(sys);
+      if (!m.stable()) {
+        std::printf(" | %20s", "(unstable)");
+        continue;
+      }
+      std::printf(" | %20s",
+                  bench::us_bounds(m.server_mean_bounds(150)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: the xi=0.8 column blows up near 30 Kps "
+              "(rho=40%%), xi=0.6 near 45 Kps (55%%), xi=0 only near "
+              "65 Kps (80%%) — Fig. 8's ordering.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// bench_fig9_service_rate — reproduces Fig. 9 (pure theory): E[T_S(N)] for
+// ξ ∈ {0, 0.6, 0.8} as μ_S sweeps 65 → 200 Kps at λ = 62.5 Kps. The paper:
+// the cliff is delayed to μ_S ≈ 85 / 110 / 160 Kps as burstiness grows —
+// the same utilisations as Fig. 8, seen from the service-rate side.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/theorem1.h"
+
+int main() {
+  using namespace mclat;
+
+  bench::banner("Figure 9", "ICDCS'17 Fig. 9 (theory: service rate x burst)",
+                "E[T_S(N)]; lambda=62.5Kps/server, q=0.1, N=150");
+
+  const double xis[] = {0.0, 0.6, 0.8};
+  std::printf("\n%9s", "muS(Kps)");
+  for (const double xi : xis) std::printf(" | xi=%.1f lo~hi (us)   ", xi);
+  std::printf("\n----------+----------------------+----------------------+----------------------\n");
+  for (double mu = 65'000.0; mu <= 200'000.1; mu += 7'500.0) {
+    std::printf("%9.1f", mu / 1000.0);
+    for (const double xi : xis) {
+      core::SystemConfig sys = core::SystemConfig::facebook();
+      sys.service_rate = mu;
+      sys.burst_xi = xi;
+      const core::LatencyModel m(sys);
+      if (!m.stable()) {
+        std::printf(" | %20s", "(unstable)");
+        continue;
+      }
+      std::printf(" | %20s",
+                  bench::us_bounds(m.server_mean_bounds(150)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: xi=0 flattens out past ~85-90 Kps while "
+              "xi=0.6 / 0.8 keep improving until ~110 / ~160 Kps — "
+              "over-provisioning pays off only for bursty traffic.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// bench_micro_cache — microbenchmarks of the systems substrates: slab
+// allocation, LRU store set/get under a Zipf workload, hashing and the
+// key→server mappers.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/lru_store.h"
+#include "dist/rng.h"
+#include "dist/zipf.h"
+#include "hashing/consistent_hash.h"
+#include "hashing/hashes.h"
+#include "hashing/weighted_mapper.h"
+
+namespace {
+
+using namespace mclat;
+
+void BM_SlabAllocateDeallocate(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 16u << 20;
+  cache::SlabAllocator slabs(cfg);
+  for (auto _ : state) {
+    void* p = slabs.allocate(200);
+    benchmark::DoNotOptimize(p);
+    slabs.deallocate(p);
+  }
+}
+BENCHMARK(BM_SlabAllocateDeallocate);
+
+void BM_LruStoreSet(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  cache::LruStore store(cfg);
+  const std::string value(200, 'v');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.set("key:" + std::to_string(i++ % 50'000), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruStoreSet);
+
+void BM_LruStoreGetZipf(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  cache::LruStore store(cfg);
+  const std::string value(200, 'v');
+  std::vector<std::string> keys;
+  for (int i = 0; i < 50'000; ++i) {
+    keys.push_back("key:" + std::to_string(i));
+    (void)store.set(keys.back(), value);
+  }
+  const dist::Zipf zipf(50'000, 1.0);
+  dist::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get(keys[zipf.sample(rng)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruStoreGetZipf);
+
+void BM_Fnv1a64(benchmark::State& state) {
+  const std::string key = "user:profile:1234567890";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hashing::fnv1a64(key));
+  }
+}
+BENCHMARK(BM_Fnv1a64);
+
+void BM_ConsistentHashLookup(benchmark::State& state) {
+  const hashing::ConsistentHashRing ring(16, 160);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.server_for("object:" + std::to_string(i++ % 100'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsistentHashLookup);
+
+void BM_WeightedMapperLookup(benchmark::State& state) {
+  const hashing::WeightedMapper mapper({0.6, 0.2, 0.1, 0.1});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.server_for("object:" + std::to_string(i++ % 100'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeightedMapperLookup);
+
+void BM_ZipfSampleLargeKeyspace(benchmark::State& state) {
+  const dist::Zipf zipf(100'000'000ull, 0.99);
+  dist::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSampleLargeKeyspace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

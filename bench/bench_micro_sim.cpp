@@ -1,0 +1,101 @@
+// bench_micro_sim — microbenchmarks of the discrete-event kernel: raw event
+// throughput, M/M/1 station cycles, batch-source emission, end-to-end
+// events/sec. These determine how much simulated time the figure harnesses
+// can afford.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "sim/simulator.h"
+#include "sim/source.h"
+#include "sim/station.h"
+
+namespace {
+
+using namespace mclat;
+
+void BM_ScheduleAndRunEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1024; ++i) {
+      s.schedule_at(static_cast<double>(i % 37), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ScheduleAndRunEvents);
+
+void BM_SelfReschedulingClock(benchmark::State& state) {
+  // The arrival-process pattern: one event that reschedules itself.
+  for (auto _ : state) {
+    sim::Simulator s;
+    int remaining = 1024;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) s.schedule_in(1.0, tick);
+    };
+    s.schedule_in(1.0, tick);
+    s.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SelfReschedulingClock);
+
+void BM_MM1StationKeysPerSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::ServiceStation st(s, std::make_unique<dist::Exponential>(80'000.0),
+                           dist::Rng(1), [](const sim::Departure&) {});
+    dist::Rng arr(2);
+    std::uint64_t id = 0;
+    std::function<void()> arrive = [&] {
+      st.arrive(id++);
+      s.schedule_in(arr.exponential(62'500.0), arrive);
+    };
+    s.schedule_in(0.0, arrive);
+    s.run_until(1.0);  // one simulated second ≈ 62.5k keys
+    benchmark::DoNotOptimize(st.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 62'500);
+}
+BENCHMARK(BM_MM1StationKeysPerSecond);
+
+void BM_GixM1FacebookServerSecond(benchmark::State& state) {
+  // One simulated second of the exact Table-3 per-server workload.
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::ServiceStation st(s, std::make_unique<dist::Exponential>(80'000.0),
+                           dist::Rng(3), [](const sim::Departure&) {});
+    const auto gap = dist::GeneralizedPareto::with_mean(
+        0.15, 1.0 / (0.9 * 62'500.0));
+    std::uint64_t id = 0;
+    sim::BatchSource src(s, gap.clone(), dist::GeometricBatch(0.1),
+                         dist::Rng(4), [&](std::uint64_t n) {
+                           for (std::uint64_t i = 0; i < n; ++i)
+                             st.arrive(id++);
+                         });
+    src.start();
+    s.run_until(1.0);
+    benchmark::DoNotOptimize(st.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 62'500);
+}
+BENCHMARK(BM_GixM1FacebookServerSecond);
+
+void BM_GeneralizedParetoSampling(benchmark::State& state) {
+  const auto gp = dist::GeneralizedPareto::with_mean(0.15, 1.0);
+  dist::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.sample(rng));
+  }
+}
+BENCHMARK(BM_GeneralizedParetoSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

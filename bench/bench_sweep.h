@@ -1,0 +1,73 @@
+// bench_sweep.h — the shared engine of the Fig. 5/6/7/10/12 sweeps: for one
+// SystemConfig, run the Mode-A testbed, assemble requests and report the
+// server-stage E[T_S(N)] (theory bounds + measured CI).
+#pragma once
+
+#include "bench_util.h"
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+
+namespace mclat::bench {
+
+struct ServerStagePoint {
+  core::Bounds theory;       ///< eq. (14) bounds on E[T_S(N)]
+  stats::MeanCI measured;    ///< assembled-request mean with CI
+  double utilization = 0.0;  ///< measured at the heaviest server
+  bool stable = true;
+};
+
+/// Runs one sweep point. `sim_seconds` is pre-scaling; requests defaults to
+/// enough for tight CIs at N=150.
+inline ServerStagePoint run_server_point(const core::SystemConfig& sys,
+                                         std::uint64_t seed,
+                                         double sim_seconds = 12.0,
+                                         std::uint64_t requests = 20'000) {
+  ServerStagePoint pt;
+  const core::LatencyModel model(sys);
+  pt.stable = model.stable();
+  if (pt.stable) {
+    pt.theory = model.server_mean_bounds(sys.keys_per_request);
+  }
+
+  cluster::WorkloadDrivenConfig cfg;
+  cfg.system = sys;
+  cfg.warmup_time = 1.5 * time_scale();
+  cfg.measure_time = sim_seconds * time_scale();
+  cfg.seed = seed;
+  const cluster::MeasurementPools pools =
+      cluster::WorkloadDrivenSim(cfg).run();
+  dist::Rng rng(seed ^ 0xfeedull);
+  const cluster::AssembledRequests reqs = cluster::assemble_requests(
+      pools, sys, requests, sys.keys_per_request, rng);
+  pt.measured = reqs.server_ci();
+  const auto shares = sys.shares();
+  std::size_t heavy = 0;
+  for (std::size_t j = 1; j < shares.size(); ++j) {
+    if (shares[j] > shares[heavy]) heavy = j;
+  }
+  pt.utilization = pools.server_utilization[heavy];
+  return pt;
+}
+
+/// Prints the standard sweep row.
+inline void print_server_row(double x, const char* x_fmt,
+                             const ServerStagePoint& pt) {
+  std::printf(x_fmt, x);
+  if (pt.stable) {
+    std::printf(" | %18s | %-26s | %5.1f%% | %s\n",
+                us_bounds(pt.theory).c_str(), us_ci(pt.measured).c_str(),
+                100.0 * pt.utilization,
+                verdict(pt.measured.mean, pt.theory, 1.35));
+  } else {
+    std::printf(" | %18s | %-26s | %5.1f%% | unstable\n", "(unstable)",
+                us_ci(pt.measured).c_str(), 100.0 * pt.utilization);
+  }
+}
+
+inline void print_server_header(const char* x_name) {
+  std::printf("\n%8s | %-18s | %-26s | %6s | %s\n", x_name,
+              "eq.(14) lo~hi (us)", "experiment (us)", "rho", "band");
+  std::printf("---------+--------------------+----------------------------+--------+------\n");
+}
+
+}  // namespace mclat::bench

@@ -1,0 +1,64 @@
+// bench_table3_validation — reproduces Table 3: basic validation of
+// Theorem 1 under the Facebook workload (§5.1).
+//
+// Paper setup: 2 clients + 4 memcached servers, mutilate replaying the
+// Facebook statistics (q=0.1, ξ=0.15, λ=62.5 Kps/server), μ_S=80 Kps,
+// N=150 keys/request, r=1 %, μ_D⁻¹=1 ms, 10-minute run (~10⁶ requests).
+// Ours: the Mode-A simulated testbed (DESIGN.md §2) at the same parameters.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+
+int main() {
+  using namespace mclat;
+
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  bench::banner("Table 3", "ICDCS'17 Table 3 (basic validation)",
+                "4 balanced servers, lambda=62.5Kps each, q=0.1, xi=0.15, "
+                "muS=80Kps, N=150, r=1%, muD=1Kps, net=20us");
+
+  // Theory.
+  const core::LatencyModel model(sys);
+  const core::LatencyEstimate est = model.estimate();
+  const auto& s1 = model.server_stage().server(0);
+  std::printf("delta = %.4f   rho = %.3f   eta = %.0f/s\n", s1.delta(),
+              s1.utilization(), s1.eta());
+
+  // Experiment: long Mode-A run (scaled down from the paper's 10 min).
+  cluster::WorkloadDrivenConfig cfg;
+  cfg.system = sys;
+  cfg.warmup_time = 2.0 * bench::time_scale();
+  cfg.measure_time = 30.0 * bench::time_scale();
+  cfg.seed = 1;
+  const auto requests = cluster::run_workload_experiment(
+      cfg, static_cast<std::uint64_t>(100'000 * bench::time_scale()));
+
+  std::printf("\n%-8s | %-24s | %-28s | paper (theory / experiment)\n",
+              "Latency", "Theorem 1 (us)", "Experiment (us)");
+  std::printf("---------+--------------------------+------------------------------+----------------------------\n");
+  std::printf("%-8s | %24s | %-28s | 20 / 20 [18.12, 21.68]\n", "T_N(N)",
+              bench::us(est.network).c_str(),
+              bench::us_ci(requests.network_ci()).c_str());
+  std::printf("%-8s | %24s | %-28s | 351~366 / 368 [362, 373]\n", "T_S(N)",
+              bench::us_bounds(est.server).c_str(),
+              bench::us_ci(requests.server_ci()).c_str());
+  std::printf("%-8s | %24s | %-28s | 836 / 867 [855, 879]\n", "T_D(N)",
+              bench::us(est.database).c_str(),
+              bench::us_ci(requests.database_ci()).c_str());
+  std::printf("%-8s | %24s | %-28s | 836~1222 / 1144 [1128, 1160]\n", "T(N)",
+              bench::us_bounds(est.total).c_str(),
+              bench::us_ci(requests.total_ci()).c_str());
+
+  // The systematic offset the max-statistics shortcut introduces
+  // (EXPERIMENTS.md): eq. 21/12 approximate E[max] by a quantile, which
+  // undershoots by ~gamma/rate; report the corrected expectations too.
+  const core::DatabaseStage db(sys.miss_ratio, sys.db_service_rate);
+  std::printf("\nExact-harmonic T_D(N) (gamma-corrected): %s us\n",
+              bench::us(db.expected_max_harmonic(150)).c_str());
+  std::printf("Verdicts: T_S %s, T(N) %s (within stretched Theorem-1 band)\n",
+              bench::verdict(requests.server_ci().mean, est.server, 1.25),
+              bench::verdict(requests.total_ci().mean, est.total, 1.25));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// bench_util.h — shared plumbing for the figure/table reproduction
+// harnesses: environment-controlled scaling, paper-style table printing and
+// the theory-vs-experiment row format used across every experiment binary.
+//
+// Every harness honours MCLAT_BENCH_FAST=1 (quarter-length simulations, for
+// smoke runs) and prints absolute numbers so EXPERIMENTS.md can quote them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/gixm1.h"
+#include "stats/summary.h"
+
+namespace mclat::bench {
+
+/// Simulation-length multiplier: 1.0 normally, 0.25 under MCLAT_BENCH_FAST.
+inline double time_scale() {
+  const char* fast = std::getenv("MCLAT_BENCH_FAST");
+  return (fast != nullptr && fast[0] == '1') ? 0.25 : 1.0;
+}
+
+/// Prints the experiment banner: id, paper anchor, parameter summary.
+inline void banner(const std::string& id, const std::string& paper_ref,
+                   const std::string& params) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s  —  reproducing %s\n", id.c_str(), paper_ref.c_str());
+  std::printf("%s\n", params.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Microseconds with two significant digits of sub-µs precision.
+inline std::string us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%8.1f", seconds * 1e6);
+  return buf;
+}
+
+/// A theory interval rendered as "lo ~ hi".
+inline std::string us_bounds(const core::Bounds& b) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%7.1f ~%7.1f", b.lower * 1e6,
+                b.upper * 1e6);
+  return buf;
+}
+
+/// "mean [lo, hi]" experiment cell in µs.
+inline std::string us_ci(const stats::MeanCI& ci) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%7.1f [%7.1f,%7.1f]", ci.mean * 1e6,
+                ci.lower() * 1e6, ci.upper() * 1e6);
+  return buf;
+}
+
+/// One-line verdict helper: did the measured mean land inside (a stretched
+/// copy of) the theory band?
+inline const char* verdict(double measured, const core::Bounds& theory,
+                           double stretch = 1.15) {
+  const bool ok = measured >= theory.lower / stretch &&
+                  measured <= theory.upper * stretch;
+  return ok ? "ok" : "OUT";
+}
+
+}  // namespace mclat::bench

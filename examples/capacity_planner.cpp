@@ -1,0 +1,88 @@
+// capacity_planner.cpp — using the model the way an SRE would: given a
+// measured workload (rate, burstiness, concurrency) and a latency budget,
+// answer the provisioning questions the paper's §5.3 raises:
+//
+//   * where is the latency cliff for THIS workload's burst degree?
+//   * how many servers keep every server below the cliff?
+//   * what latency does Theorem 1 predict at that size, and at ±1 server?
+//   * which factor is the best lever if the budget is still missed?
+//
+//   $ ./capacity_planner [aggregate_kps] [burst_xi] [latency_budget_us]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cliff.h"
+#include "core/sensitivity.h"
+#include "core/theorem1.h"
+
+int main(int argc, char** argv) {
+  using namespace mclat;
+
+  const double aggregate_kps = argc > 1 ? std::atof(argv[1]) : 400.0;
+  const double xi = argc > 2 ? std::atof(argv[2]) : 0.15;
+  const double budget_us = argc > 3 ? std::atof(argv[3]) : 1500.0;
+
+  std::printf("Workload: %.0f Kkeys/s aggregate, burst degree xi = %.2f, "
+              "q = 0.1\n", aggregate_kps, xi);
+  std::printf("Servers:  muS = 80 Kkeys/s each; N = 150 keys/request; "
+              "r = 1%%, muD = 1 Kps\n");
+  std::printf("Budget:   end-user mean latency <= %.0f us\n\n", budget_us);
+
+  // 1. The cliff for this burst degree (Table 4 / Proposition 2).
+  const core::CliffAnalyzer cliff;
+  const double rho_star = cliff.cliff_utilization(xi);
+  std::printf("Latency cliff for xi=%.2f: %.1f%% utilisation "
+              "(Table 4's guideline)\n", xi, 100.0 * rho_star);
+
+  // 2. Smallest cluster that keeps every server below the cliff.
+  const double total_rate = aggregate_kps * 1000.0;
+  const double per_server_cap = rho_star * 80'000.0;
+  const auto servers_needed =
+      static_cast<std::size_t>(total_rate / per_server_cap) + 1;
+  std::printf("Minimum servers to stay below the cliff: %zu "
+              "(%.1f Kps each)\n\n", servers_needed,
+              total_rate / 1000.0 / static_cast<double>(servers_needed));
+
+  // 3. Theorem-1 latency at that size and its neighbours.
+  std::printf("%8s | %6s | %-22s | within budget?\n", "servers", "rho",
+              "E[T(N)] lo~hi (us)");
+  std::printf("---------+--------+------------------------+---------------\n");
+  for (std::size_t m = servers_needed > 1 ? servers_needed - 1 : 1;
+       m <= servers_needed + 2; ++m) {
+    core::SystemConfig cfg = core::SystemConfig::facebook();
+    cfg.servers = m;
+    cfg.load_shares.clear();
+    cfg.total_key_rate = total_rate;
+    cfg.burst_xi = xi;
+    const core::LatencyModel model(cfg);
+    if (!model.stable()) {
+      std::printf("%8zu | %5.1f%% | %-22s | unstable\n", m,
+                  100.0 * cfg.server_utilization(1.0 / m), "(overloaded)");
+      continue;
+    }
+    const core::LatencyEstimate est = model.estimate();
+    const bool ok = est.total.midpoint() * 1e6 <= budget_us;
+    std::printf("%8zu | %5.1f%% | %9.1f ~%9.1f | %s\n", m,
+                100.0 * cfg.server_utilization(1.0 / m),
+                est.total.lower * 1e6, est.total.upper * 1e6,
+                ok ? "yes" : "NO");
+  }
+
+  // 4. If the budget is still missed, rank the levers of §5.3.
+  core::SystemConfig chosen = core::SystemConfig::facebook();
+  chosen.servers = servers_needed;
+  chosen.load_shares.clear();
+  chosen.total_key_rate = total_rate;
+  chosen.burst_xi = xi;
+  const core::WhatIfAnalyzer whatif(chosen);
+  std::printf("\nFactor ranking at %zu servers (Theorem-1 midpoint "
+              "improvement):\n", servers_needed);
+  for (const auto& f : whatif.all()) {
+    std::printf("  %-22s %-18s -> %5.1f%%\n", f.factor.c_str(),
+                f.change.c_str(), 100.0 * f.improvement());
+  }
+  std::printf("\nBest single lever: %s (%.1f%%)\n",
+              whatif.best().factor.c_str(),
+              100.0 * whatif.best().improvement());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// cluster_whatif.cpp — end-to-end simulation as a design tool: run the full
+// fork-join cluster (Mode B) under three candidate configurations and see
+// what an end user would actually experience, including the pieces the
+// analytical model abstracts away (real LRU caches, a real single-server
+// database).
+//
+// Scenarios:
+//   baseline  — Bernoulli misses + infinite-server DB: the model's world.
+//   realcache — per-server slab/LRU caches, misses emerge from Zipf skew.
+//   frail-db  — the database is a single M/M/1 server: the eq.-19
+//               approximation's failure mode, visible as a blown-up T_D.
+//
+//   $ ./cluster_whatif
+#include <cstdio>
+
+#include "cluster/end_to_end.h"
+
+namespace {
+
+void report(const char* label, const mclat::cluster::EndToEndResult& r) {
+  std::printf("%-10s | %8.1f | %8.1f | %8.1f | %8.1f | %7.4f | %8llu\n",
+              label, r.network.mean * 1e6, r.server.mean * 1e6,
+              r.database.mean * 1e6, r.total.mean * 1e6,
+              r.measured_miss_ratio,
+              static_cast<unsigned long long>(r.requests_completed));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mclat;
+
+  cluster::EndToEndConfig base;
+  base.system = core::SystemConfig::facebook();
+  base.system.total_key_rate = 4.0 * 48'000.0;  // 60 % utilisation
+  base.system.keys_per_request = 100;
+  base.system.miss_ratio = 0.01;
+  base.warmup_time = 1.0;
+  base.measure_time = 6.0;
+  base.seed = 99;
+
+  std::printf("End-to-end cluster: 4 servers x 80 Kps, 48 Kps offered each, "
+              "N=100 keys/request\n\n");
+  std::printf("%-10s | %8s | %8s | %8s | %8s | %7s | %8s\n", "scenario",
+              "T_N us", "T_S us", "T_D us", "T us", "miss", "requests");
+  std::printf("-----------+----------+----------+----------+----------+---------+---------\n");
+
+  // 1. The model's world.
+  report("baseline", cluster::EndToEndSim(base).run());
+
+  // 2. Real caches: 4 MiB per server over a 100k-key Zipf keyspace.
+  cluster::EndToEndConfig realcache = base;
+  realcache.miss_mode = cluster::MissMode::kRealCache;
+  realcache.mapper = cluster::MapperKind::kRing;
+  realcache.keyspace_size = 100'000;
+  realcache.zipf_exponent = 1.0;
+  realcache.cache_bytes_per_server = 4u << 20;
+  report("realcache", cluster::EndToEndSim(realcache).run());
+
+  // 3. A database that can actually queue. Miss traffic is
+  //    0.01 * 192 Kps = 1.92 Kps against muD = 2.5 Kps: ~77 % utilisation,
+  //    so M/M/1 queueing inflates T_D well beyond the 400 us service time.
+  cluster::EndToEndConfig frail = base;
+  frail.db_mode = cluster::DbMode::kSingleServer;
+  frail.system.db_service_rate = 2'500.0;
+  report("frail-db", cluster::EndToEndSim(frail).run());
+
+  std::printf(
+      "\nReading:\n"
+      "  * realcache lands near baseline once its emergent miss ratio is\n"
+      "    close to 1%% — the paper's Bernoulli abstraction is benign.\n"
+      "  * frail-db shows what eq. (19) hides: when the backend is NOT\n"
+      "    'greatly offloaded', database queueing dominates end-user\n"
+      "    latency and the model's T_D estimate becomes a lower bound.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// quickstart.cpp — the 60-second tour of the mclat public API.
+//
+// Builds the paper's §5.1 Facebook-workload configuration, asks the
+// analytical model (Theorem 1) for the latency breakdown, runs the
+// simulated testbed for a quick cross-check, and prints both side by side —
+// a miniature Table 3.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace mclat;
+
+  // 1. Describe the deployment (defaults are the paper's §5.1 testbed:
+  //    4 balanced servers, λ=62.5 Kps each, q=0.1, ξ=0.15, μ_S=80 Kps,
+  //    N=150 keys/request, r=1 % misses, μ_D=1 Kps, 20 µs network).
+  const core::SystemConfig cfg = core::SystemConfig::facebook();
+
+  // 2. Theory: Theorem 1's latency breakdown.
+  const core::LatencyModel model(cfg);
+  const core::LatencyEstimate est = model.estimate();
+  const auto& s1 = model.server_stage().server(0);
+  std::printf("Server utilization rho = %.1f%%, GI^X/M/1 root delta = %.4f\n",
+              100.0 * s1.utilization(), s1.delta());
+
+  // 3. Experiment: simulate the same system and assemble 20k requests.
+  cluster::WorkloadDrivenConfig sim_cfg;
+  sim_cfg.system = cfg;
+  sim_cfg.warmup_time = 1.0;
+  sim_cfg.measure_time = 8.0;
+  const cluster::AssembledRequests sim =
+      cluster::run_workload_experiment(sim_cfg, 20'000);
+
+  // 4. Compare.
+  std::printf("\n%-8s | %-22s | %s\n", "Latency", "Theorem 1", "Experiment");
+  std::printf("---------+------------------------+---------------------\n");
+  std::printf("%-8s | %-22s | %s\n", "T_N(N)",
+              stats::format_time_us(est.network).c_str(),
+              stats::format_us(sim.network_ci()).c_str());
+  std::printf("%-8s | %s ~ %-12s | %s\n", "T_S(N)",
+              stats::format_time_us(est.server.lower).c_str(),
+              stats::format_time_us(est.server.upper).c_str(),
+              stats::format_us(sim.server_ci()).c_str());
+  std::printf("%-8s | %-22s | %s\n", "T_D(N)",
+              stats::format_time_us(est.database).c_str(),
+              stats::format_us(sim.database_ci()).c_str());
+  std::printf("%-8s | %s ~ %-12s | %s\n", "T(N)",
+              stats::format_time_us(est.total.lower).c_str(),
+              stats::format_time_us(est.total.upper).c_str(),
+              stats::format_us(sim.total_ci()).c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "cache/lru_store.h"
+
+#include <cstring>
+
+#include "math/numerics.h"
+
+namespace mclat::cache {
+
+LruStore::LruStore(const SlabAllocator::Config& cfg)
+    : slabs_(cfg), lru_(slabs_.num_classes()) {}
+
+LruStore::~LruStore() { flush(); }
+
+void LruStore::lru_unlink(ItemHeader* it, std::size_t cls) noexcept {
+  LruList& l = lru_[cls];
+  if (it->lru_prev) it->lru_prev->lru_next = it->lru_next;
+  if (it->lru_next) it->lru_next->lru_prev = it->lru_prev;
+  if (l.head == it) l.head = it->lru_next;
+  if (l.tail == it) l.tail = it->lru_prev;
+  it->lru_prev = nullptr;
+  it->lru_next = nullptr;
+}
+
+void LruStore::lru_push_front(ItemHeader* it, std::size_t cls) noexcept {
+  LruList& l = lru_[cls];
+  it->lru_prev = nullptr;
+  it->lru_next = l.head;
+  if (l.head) l.head->lru_prev = it;
+  l.head = it;
+  if (!l.tail) l.tail = it;
+}
+
+void LruStore::destroy(ItemHeader* it) {
+  const std::size_t cls = SlabAllocator::class_of(it);
+  lru_unlink(it, cls);
+  index_.erase(it->key());
+  slabs_.deallocate(it);
+}
+
+bool LruStore::evict_one(std::size_t cls) {
+  ItemHeader* victim = lru_[cls].tail;
+  if (victim == nullptr) return false;
+  destroy(victim);
+  ++stats_.evictions;
+  return true;
+}
+
+bool LruStore::set(std::string_view key, std::string_view value, double now,
+                   double ttl) {
+  ++stats_.sets;
+  const std::size_t need = sizeof(ItemHeader) + key.size() + value.size();
+  if (need > slabs_.max_item_size()) {
+    ++stats_.set_failures;
+    return false;
+  }
+  // Replace semantics: drop any existing item first (memcached allocates the
+  // new item before unlinking, but the visible behaviour is the same and
+  // this frees the chunk for immediate reuse when sizes match).
+  if (auto it = index_.find(key); it != index_.end()) destroy(it->second);
+
+  const std::size_t cls = slabs_.class_for(need);
+  void* mem = slabs_.allocate(need);
+  while (mem == nullptr) {
+    if (!evict_one(cls)) {
+      ++stats_.set_failures;
+      return false;
+    }
+    mem = slabs_.allocate(need);
+  }
+  auto* item = static_cast<ItemHeader*>(mem);
+  item->lru_prev = nullptr;
+  item->lru_next = nullptr;
+  item->expiry = ttl > 0.0 ? now + ttl : 0.0;
+  item->key_len = static_cast<std::uint32_t>(key.size());
+  item->value_len = static_cast<std::uint32_t>(value.size());
+  std::memcpy(item->key_data(), key.data(), key.size());
+  std::memcpy(item->value_data(), value.data(), value.size());
+  index_.emplace(item->key(), item);
+  lru_push_front(item, cls);
+  return true;
+}
+
+std::optional<std::string_view> LruStore::get(std::string_view key,
+                                              double now) {
+  ++stats_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ItemHeader* item = it->second;
+  if (item->expired(now)) {
+    destroy(item);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const std::size_t cls = SlabAllocator::class_of(item);
+  lru_unlink(item, cls);
+  lru_push_front(item, cls);
+  ++stats_.hits;
+  return item->value();
+}
+
+bool LruStore::contains(std::string_view key, double now) const {
+  const auto it = index_.find(key);
+  return it != index_.end() && !it->second->expired(now);
+}
+
+bool LruStore::remove(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  destroy(it->second);
+  ++stats_.deletes;
+  return true;
+}
+
+void LruStore::flush() {
+  for (std::size_t cls = 0; cls < lru_.size(); ++cls) {
+    while (lru_[cls].tail != nullptr) destroy(lru_[cls].tail);
+  }
+  index_.clear();
+}
+
+}  // namespace mclat::cache

@@ -1,0 +1,129 @@
+// lru_store.h — a memcached-like key-value store: hash table + per-class LRU
+// eviction over slab-allocated items.
+//
+// Faithful to the aspects of memcached that matter to the paper:
+//   * items live in slab chunks (slab_allocator.h), one item per chunk;
+//   * each slab class maintains its own LRU list, and an insertion that
+//     cannot get a chunk evicts from the *same class's* tail (this is what
+//     produces the hit-rate-vs-memory curve, and its pathologies, that the
+//     related work — Cliffhanger, Dynacache — optimises);
+//   * items carry an optional TTL, checked lazily on access;
+//   * get/set/delete plus hit/miss/eviction/expiry counters.
+//
+// The cluster simulator's "real cache" mode runs one LruStore per simulated
+// Memcached server so the miss ratio r *emerges* from key popularity and
+// capacity instead of being a model input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cache/slab_allocator.h"
+
+namespace mclat::cache {
+
+struct StoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t set_failures = 0;  ///< item too large or class fully starved
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t deletes = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return gets == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+  [[nodiscard]] double miss_ratio() const noexcept {
+    return gets == 0 ? 0.0 : 1.0 - hit_ratio();
+  }
+};
+
+class LruStore {
+ public:
+  explicit LruStore(const SlabAllocator::Config& cfg = {});
+
+  LruStore(const LruStore&) = delete;
+  LruStore& operator=(const LruStore&) = delete;
+  ~LruStore();
+
+  /// Inserts or replaces. `ttl` in seconds of cache-local time (`now`);
+  /// ttl <= 0 means no expiry. Returns false when the item can never fit or
+  /// eviction could not free a chunk.
+  bool set(std::string_view key, std::string_view value, double now = 0.0,
+           double ttl = 0.0);
+
+  /// Looks the key up, honouring expiry, and promotes it to MRU.
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view key,
+                                                    double now = 0.0);
+
+  /// True if present (and not expired) without promoting.
+  [[nodiscard]] bool contains(std::string_view key, double now = 0.0) const;
+
+  /// Removes the key; returns true if it existed.
+  bool remove(std::string_view key);
+
+  /// Drops every item.
+  void flush();
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SlabAllocator& allocator() const noexcept {
+    return slabs_;
+  }
+  void reset_stats() noexcept { stats_ = StoreStats{}; }
+
+ private:
+  // Item layout inside a slab chunk: [ItemHeader][key bytes][value bytes].
+  struct ItemHeader {
+    ItemHeader* lru_prev;
+    ItemHeader* lru_next;
+    double expiry;  // absolute time; 0 = never
+    std::uint32_t key_len;
+    std::uint32_t value_len;
+
+    [[nodiscard]] char* key_data() noexcept {
+      return reinterpret_cast<char*>(this + 1);
+    }
+    [[nodiscard]] const char* key_data() const noexcept {
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    [[nodiscard]] char* value_data() noexcept { return key_data() + key_len; }
+    [[nodiscard]] const char* value_data() const noexcept {
+      return key_data() + key_len;
+    }
+    [[nodiscard]] std::string_view key() const noexcept {
+      return {key_data(), key_len};
+    }
+    [[nodiscard]] std::string_view value() const noexcept {
+      return {value_data(), value_len};
+    }
+    [[nodiscard]] bool expired(double now) const noexcept {
+      return expiry > 0.0 && now >= expiry;
+    }
+  };
+
+  struct LruList {
+    ItemHeader* head = nullptr;  // MRU
+    ItemHeader* tail = nullptr;  // LRU
+  };
+
+  void lru_unlink(ItemHeader* it, std::size_t cls) noexcept;
+  void lru_push_front(ItemHeader* it, std::size_t cls) noexcept;
+  void destroy(ItemHeader* it);
+  /// Evicts the LRU tail of class `cls`; returns false if the list is empty.
+  bool evict_one(std::size_t cls);
+
+  SlabAllocator slabs_;
+  // Keys in the index view into chunk memory, which is stable for the item's
+  // lifetime; entries are erased before their chunk is recycled.
+  std::unordered_map<std::string_view, ItemHeader*> index_;
+  std::vector<LruList> lru_;  // one list per slab class
+  StoreStats stats_;
+};
+
+}  // namespace mclat::cache

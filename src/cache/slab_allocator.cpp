@@ -1,0 +1,115 @@
+#include "cache/slab_allocator.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "math/numerics.h"
+
+namespace mclat::cache {
+
+SlabAllocator::SlabAllocator(const Config& cfg) : cfg_(cfg) {
+  math::require(cfg.min_chunk >= 16, "SlabAllocator: min_chunk too small");
+  math::require(cfg.growth_factor > 1.0, "SlabAllocator: growth must exceed 1");
+  math::require(cfg.page_size >= cfg.min_chunk + kHeaderSize,
+                "SlabAllocator: page smaller than one chunk");
+  // Build the size-class ladder exactly as memcached's slabs_init: each
+  // class is growth_factor times the previous, rounded up to 8 bytes, until
+  // a chunk no longer fits in a page.
+  double size = static_cast<double>(cfg.min_chunk + kHeaderSize);
+  while (true) {
+    std::size_t chunk = (static_cast<std::size_t>(size) + 7) / 8 * 8;
+    if (chunk > cfg.page_size) break;
+    if (classes_.empty() || chunk > classes_.back().chunk_size) {
+      SlabClass c;
+      c.chunk_size = chunk;
+      classes_.push_back(std::move(c));
+    }
+    size *= cfg.growth_factor;
+  }
+  // Final class: one whole page (memcached's "item_size_max" class).
+  if (classes_.back().chunk_size < cfg.page_size) {
+    SlabClass c;
+    c.chunk_size = cfg.page_size;
+    classes_.push_back(std::move(c));
+  }
+}
+
+std::size_t SlabAllocator::class_for(std::size_t size) const {
+  const std::size_t need = size + kHeaderSize;
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), need,
+      [](const SlabClass& c, std::size_t n) { return c.chunk_size < n; });
+  if (it == classes_.end()) {
+    throw std::length_error("SlabAllocator: item exceeds the largest class");
+  }
+  return static_cast<std::size_t>(it - classes_.begin());
+}
+
+std::size_t SlabAllocator::chunk_size(std::size_t cls) const {
+  math::require(cls < classes_.size(), "SlabAllocator: class out of range");
+  return classes_[cls].chunk_size - kHeaderSize;
+}
+
+std::size_t SlabAllocator::max_item_size() const {
+  return classes_.back().chunk_size - kHeaderSize;
+}
+
+bool SlabAllocator::grow(std::size_t cls) {
+  if (used_bytes_ + cfg_.page_size > cfg_.memory_limit) return false;
+  auto page = std::make_unique<char[]>(cfg_.page_size);
+  char* base = page.get();
+  SlabClass& c = classes_[cls];
+  const std::size_t per_page = cfg_.page_size / c.chunk_size;
+  for (std::size_t i = 0; i < per_page; ++i) {
+    char* chunk = base + i * c.chunk_size;
+    auto* hdr = reinterpret_cast<ChunkHeader*>(chunk);
+    hdr->class_id = static_cast<std::uint32_t>(cls);
+    hdr->magic = kMagicFree;
+    c.free_list.push_back(chunk);
+  }
+  c.pages += 1;
+  c.total_chunks += per_page;
+  pages_.push_back(std::move(page));
+  used_bytes_ += cfg_.page_size;
+  return true;
+}
+
+void* SlabAllocator::allocate(std::size_t size) {
+  const std::size_t cls = class_for(size);
+  SlabClass& c = classes_[cls];
+  if (c.free_list.empty() && !grow(cls)) return nullptr;
+  char* chunk = static_cast<char*>(c.free_list.back());
+  c.free_list.pop_back();
+  auto* hdr = reinterpret_cast<ChunkHeader*>(chunk);
+  hdr->magic = kMagicLive;
+  c.used_chunks += 1;
+  return chunk + kHeaderSize;
+}
+
+void SlabAllocator::deallocate(void* p) {
+  math::require(p != nullptr, "SlabAllocator::deallocate: null pointer");
+  char* chunk = static_cast<char*>(p) - kHeaderSize;
+  auto* hdr = reinterpret_cast<ChunkHeader*>(chunk);
+  math::require(hdr->magic == kMagicLive,
+                "SlabAllocator::deallocate: not a live chunk");
+  hdr->magic = kMagicFree;
+  SlabClass& c = classes_[hdr->class_id];
+  c.free_list.push_back(chunk);
+  c.used_chunks -= 1;
+}
+
+std::size_t SlabAllocator::class_of(const void* p) {
+  const char* chunk = static_cast<const char*>(p) - kHeaderSize;
+  const auto* hdr = reinterpret_cast<const ChunkHeader*>(chunk);
+  return hdr->class_id;
+}
+
+SlabAllocator::ClassStats SlabAllocator::stats(std::size_t cls) const {
+  math::require(cls < classes_.size(), "SlabAllocator: class out of range");
+  const SlabClass& c = classes_[cls];
+  return ClassStats{c.chunk_size - kHeaderSize, c.pages, c.total_chunks,
+                    c.used_chunks};
+}
+
+}  // namespace mclat::cache

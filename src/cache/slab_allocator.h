@@ -1,0 +1,100 @@
+// slab_allocator.h — memcached-style slab memory allocator.
+//
+// Memcached never malloc/frees per item: memory is reserved in fixed-size
+// pages (1 MiB), each page is assigned to a *slab class* and carved into
+// equal chunks; an item occupies one chunk of the smallest class that fits
+// it. This allocator reproduces that design — growth-factor-spaced chunk
+// sizes, page carving, per-class free lists and a global memory limit — so
+// the LruStore on top of it exhibits memcached's real eviction behaviour
+// (per-class LRU, allocation failure when a class is starved even though
+// other classes have free memory: "slab calcification").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mclat::cache {
+
+class SlabAllocator {
+ public:
+  struct Config {
+    std::size_t min_chunk = 96;        ///< smallest chunk (memcached default ~96 B)
+    double growth_factor = 1.25;       ///< chunk-size ratio between classes
+    std::size_t page_size = 1 << 20;   ///< 1 MiB pages, as in memcached
+    std::size_t memory_limit = 64 << 20;  ///< total bytes of page memory
+  };
+
+  struct ClassStats {
+    std::size_t chunk_size = 0;
+    std::size_t pages = 0;
+    std::size_t total_chunks = 0;
+    std::size_t used_chunks = 0;
+  };
+
+  explicit SlabAllocator(const Config& cfg);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  /// Allocates a chunk able to hold `size` bytes. Returns nullptr when the
+  /// right class has no free chunk and the memory limit forbids another
+  /// page — the caller (LruStore) must then evict and retry.
+  [[nodiscard]] void* allocate(std::size_t size);
+
+  /// Returns a chunk obtained from allocate() to its class's free list.
+  void deallocate(void* p);
+
+  /// Index of the slab class serving `size` bytes; throws if size exceeds
+  /// the largest class (memcached rejects such items).
+  [[nodiscard]] std::size_t class_for(std::size_t size) const;
+
+  /// Usable bytes of a chunk in class `cls`.
+  [[nodiscard]] std::size_t chunk_size(std::size_t cls) const;
+
+  /// The slab class a live chunk belongs to.
+  [[nodiscard]] static std::size_t class_of(const void* p);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t memory_used() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::size_t memory_limit() const noexcept {
+    return cfg_.memory_limit;
+  }
+  [[nodiscard]] ClassStats stats(std::size_t cls) const;
+
+  /// Largest item payload this allocator can store.
+  [[nodiscard]] std::size_t max_item_size() const;
+
+ private:
+  // Each chunk is prefixed by a hidden header carrying its class id so that
+  // deallocate() does not need the size back.
+  struct ChunkHeader {
+    std::uint32_t class_id;
+    std::uint32_t magic;  // guards against double free / foreign pointers
+  };
+  static constexpr std::uint32_t kMagicLive = 0x51ab51abu;
+  static constexpr std::uint32_t kMagicFree = 0xdeadbeefu;
+  static constexpr std::size_t kHeaderSize =
+      (sizeof(ChunkHeader) + 7) / 8 * 8;  // keep chunks 8-byte aligned
+
+  struct SlabClass {
+    std::size_t chunk_size = 0;  // includes the hidden header
+    std::vector<void*> free_list;
+    std::size_t pages = 0;
+    std::size_t total_chunks = 0;
+    std::size_t used_chunks = 0;
+  };
+
+  /// Carves one new page for class `cls`; returns false on memory limit.
+  bool grow(std::size_t cls);
+
+  Config cfg_;
+  std::vector<SlabClass> classes_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::size_t used_bytes_ = 0;
+};
+
+}  // namespace mclat::cache

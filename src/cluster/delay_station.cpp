@@ -1,0 +1,35 @@
+#include "cluster/delay_station.h"
+
+#include <utility>
+
+#include "math/numerics.h"
+
+namespace mclat::cluster {
+
+DelayStation::DelayStation(sim::Simulator& sim, dist::DistributionPtr service,
+                           dist::Rng rng, DepartureHandler on_departure)
+    : sim_(sim), service_(std::move(service)), rng_(rng),
+      on_departure_(std::move(on_departure)) {
+  math::require(service_ != nullptr, "DelayStation: null service dist");
+  math::require(static_cast<bool>(on_departure_),
+                "DelayStation: null departure handler");
+}
+
+void DelayStation::submit(std::uint64_t job_id) {
+  const sim::Time arrival = sim_.now();
+  const double duration = service_->sample(rng_);
+  ++in_flight_;
+  sim_.schedule_in(duration, [this, job_id, arrival] {
+    --in_flight_;
+    ++completed_;
+    sim::Departure d;
+    d.job_id = job_id;
+    d.arrival = arrival;
+    d.service_start = arrival;  // no queueing by construction
+    d.departure = sim_.now();
+    sojourn_.add(d.sojourn_time());
+    on_departure_(d);
+  });
+}
+
+}  // namespace mclat::cluster

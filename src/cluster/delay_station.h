@@ -1,0 +1,52 @@
+// delay_station.h — an infinite-server (M/G/∞) stage: every job starts
+// service immediately; latency is a pure iid service draw.
+//
+// This is the simulation counterpart of the paper's eq. (19), which models
+// the backend database as M/M/1 with utilisation ρ ≪ 1 and then *drops the
+// queueing term*: T_D(t) ≈ 1 - e^{-μ_D t}. An infinite-server station
+// realises exactly that law. (cluster::EndToEndSim can also run the
+// database as a real single-server queue to show where the approximation
+// breaks — ablation/extension territory.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dist/distribution.h"
+#include "dist/rng.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "stats/welford.h"
+
+namespace mclat::cluster {
+
+class DelayStation {
+ public:
+  using DepartureHandler = std::function<void(const sim::Departure&)>;
+
+  DelayStation(sim::Simulator& sim, dist::DistributionPtr service,
+               dist::Rng rng, DepartureHandler on_departure);
+
+  DelayStation(const DelayStation&) = delete;
+  DelayStation& operator=(const DelayStation&) = delete;
+
+  /// Admits a job; it completes after one independent service draw.
+  void submit(std::uint64_t job_id);
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] const stats::Welford& sojourn_stats() const noexcept {
+    return sojourn_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  dist::DistributionPtr service_;
+  dist::Rng rng_;
+  DepartureHandler on_departure_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t in_flight_ = 0;
+  stats::Welford sojourn_;
+};
+
+}  // namespace mclat::cluster

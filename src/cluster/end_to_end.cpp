@@ -1,0 +1,287 @@
+#include "cluster/end_to_end.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/lru_store.h"
+#include "cluster/delay_station.h"
+#include "dist/discrete.h"
+#include "dist/exponential.h"
+#include "hashing/consistent_hash.h"
+#include "hashing/hashes.h"
+#include "hashing/key_mapper.h"
+#include "hashing/weighted_mapper.h"
+#include "math/numerics.h"
+#include "sim/simulator.h"
+#include "sim/multi_station.h"
+#include "sim/station.h"
+#include "stats/welford.h"
+#include "workload/keyspace.h"
+#include "workload/size_model.h"
+
+namespace mclat::cluster {
+
+namespace {
+
+struct RequestState {
+  double start = 0.0;
+  std::uint32_t remaining = 0;
+  double max_server = 0.0;
+  double max_db = 0.0;
+  double max_total = 0.0;
+  bool measured = false;
+};
+
+struct KeyContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t key_rank = 0;
+  std::size_t server = 0;
+  double server_sojourn = 0.0;
+  double db_sojourn = 0.0;  // 0 for cache hits
+};
+
+std::unique_ptr<hashing::KeyMapper> make_mapper(const EndToEndConfig& cfg) {
+  const auto shares = cfg.system.shares();
+  switch (cfg.mapper) {
+    case MapperKind::kWeighted:
+      return std::make_unique<hashing::WeightedMapper>(shares);
+    case MapperKind::kRing:
+      return std::make_unique<hashing::ConsistentHashRing>(shares.size());
+    case MapperKind::kModulo:
+      return std::make_unique<hashing::ModuloMapper>(shares.size());
+  }
+  throw std::logic_error("make_mapper: unhandled mapper kind");
+}
+
+}  // namespace
+
+EndToEndSim::EndToEndSim(EndToEndConfig cfg) : cfg_(std::move(cfg)) {
+  math::require(cfg_.warmup_time >= 0.0 && cfg_.measure_time > 0.0,
+                "EndToEndSim: bad time horizon");
+  math::require(cfg_.system.keys_per_request >= 1,
+                "EndToEndSim: keys_per_request must be >= 1");
+}
+
+EndToEndResult EndToEndSim::run() {
+  const core::SystemConfig& sys = cfg_.system;
+  const std::vector<double> shares = sys.shares();
+  const std::size_t M = shares.size();
+  const double net_half = sys.network_latency / 2.0;
+  const double horizon = cfg_.warmup_time + cfg_.measure_time;
+  const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
+
+  sim::Simulator s;
+  dist::Rng master(cfg_.seed);
+  dist::Rng req_rng = master.split();
+  dist::Rng miss_rng = master.split();
+  dist::Rng key_rng = master.split();
+  dist::Rng value_rng = master.split();
+
+  const std::unique_ptr<hashing::KeyMapper> mapper = make_mapper(cfg_);
+  const dist::Discrete server_pick(shares);
+
+  // --- request/key bookkeeping -------------------------------------------
+  std::unordered_map<std::uint64_t, RequestState> requests;
+  std::unordered_map<std::uint64_t, KeyContext> keys;
+  std::uint64_t next_request = 0;
+  std::uint64_t next_key_job = 0;
+
+  // --- measurement accumulators ------------------------------------------
+  stats::Welford w_network;
+  stats::Welford w_server;
+  stats::Welford w_db;
+  stats::Welford w_total;
+  std::vector<double> total_samples;
+  std::uint64_t measured_keys = 0;
+  std::uint64_t measured_misses = 0;
+  std::uint64_t keys_completed = 0;
+
+  // --- real-cache machinery ------------------------------------------------
+  std::unique_ptr<workload::KeySpace> keyspace;
+  std::vector<std::unique_ptr<cache::LruStore>> stores;
+  workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
+                                       cfg_.max_value_bytes);
+  if (real_cache) {
+    keyspace = std::make_unique<workload::KeySpace>(cfg_.keyspace_size,
+                                                    cfg_.zipf_exponent);
+    cache::SlabAllocator::Config scfg;
+    scfg.memory_limit = cfg_.cache_bytes_per_server;
+    // Simulated caches are far smaller than a production 64 GB memcached;
+    // scale the page size down accordingly so every slab class can actually
+    // obtain pages (memcached's 1 MiB pages would starve most classes of a
+    // few-MiB cache — an artefact, not the phenomenon under study).
+    scfg.page_size = std::min<std::size_t>(
+        64 * 1024, std::max<std::size_t>(cfg_.cache_bytes_per_server / 32,
+                                         8 * 1024));
+    scfg.growth_factor = 2.0;
+    stores.reserve(M);
+    for (std::size_t j = 0; j < M; ++j) {
+      stores.push_back(std::make_unique<cache::LruStore>(scfg));
+    }
+  }
+
+  // --- forward declarations of the pipeline hops ---------------------------
+  std::function<void(std::uint64_t)> complete_key;
+
+  // Value arrives back at the client: fold this key into its request.
+  complete_key = [&](std::uint64_t job) {
+    const auto kit = keys.find(job);
+    const KeyContext ctx = kit->second;
+    keys.erase(kit);
+    ++keys_completed;
+    auto& req = requests.at(ctx.request_id);
+    const double total = s.now() - req.start;
+    req.max_server = std::max(req.max_server, ctx.server_sojourn);
+    req.max_db = std::max(req.max_db, ctx.db_sojourn);
+    req.max_total = std::max(req.max_total, total);
+    if (--req.remaining == 0) {
+      if (req.measured) {
+        w_network.add(sys.network_latency);
+        w_server.add(req.max_server);
+        w_db.add(req.max_db);
+        w_total.add(req.max_total);
+        total_samples.push_back(req.max_total);
+      }
+      requests.erase(ctx.request_id);
+    }
+  };
+
+  // --- database stage -------------------------------------------------------
+  std::unique_ptr<DelayStation> db_inf;
+  std::unique_ptr<sim::ServiceStation> db_q;
+  std::unique_ptr<sim::MultiServerStation> db_pool;
+  const auto on_db_departure = [&](const sim::Departure& d) {
+    const auto kit = keys.find(d.job_id);
+    if (kit != keys.end()) {
+      KeyContext& ctx = kit->second;
+      ctx.db_sojourn = d.sojourn_time();
+      if (real_cache) {
+        // Refill the server's cache with the fetched value.
+        const std::string key = keyspace->key_for_rank(ctx.key_rank);
+        dist::Rng vr(hashing::mix64(ctx.key_rank ^ 0x5eedull));
+        const std::string value(value_sizes.sample(vr), 'v');
+        stores[ctx.server]->set(key, value, s.now());
+      }
+    }
+    s.schedule_in(net_half, [&, job = d.job_id] { complete_key(job); });
+  };
+  switch (cfg_.db_mode) {
+    case DbMode::kInfiniteServer:
+      db_inf = std::make_unique<DelayStation>(
+          s, std::make_unique<dist::Exponential>(sys.db_service_rate),
+          master.split(), on_db_departure);
+      break;
+    case DbMode::kSingleServer:
+      db_q = std::make_unique<sim::ServiceStation>(
+          s, std::make_unique<dist::Exponential>(sys.db_service_rate),
+          master.split(), on_db_departure);
+      break;
+    case DbMode::kPooled:
+      db_pool = std::make_unique<sim::MultiServerStation>(
+          s, cfg_.db_servers,
+          std::make_unique<dist::Exponential>(sys.db_service_rate),
+          master.split(), on_db_departure);
+      break;
+  }
+  const auto submit_db = [&](std::uint64_t job) {
+    if (db_inf) {
+      db_inf->submit(job);
+    } else if (db_pool) {
+      db_pool->arrive(job);
+    } else {
+      db_q->arrive(job);
+    }
+  };
+
+  // --- memcached servers ----------------------------------------------------
+  std::vector<std::unique_ptr<sim::ServiceStation>> servers;
+  servers.reserve(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    servers.push_back(std::make_unique<sim::ServiceStation>(
+        s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
+        master.split(), [&, j](const sim::Departure& d) {
+          auto& ctx = keys.at(d.job_id);
+          ctx.server_sojourn = d.sojourn_time();
+          bool miss;
+          if (real_cache) {
+            const std::string key = keyspace->key_for_rank(ctx.key_rank);
+            miss = !stores[j]->get(key, s.now()).has_value();
+          } else {
+            miss = sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
+          }
+          const auto& req = requests.at(ctx.request_id);
+          if (req.measured) {
+            ++measured_keys;
+            if (miss) ++measured_misses;
+          }
+          if (miss) {
+            submit_db(d.job_id);
+          } else {
+            s.schedule_in(net_half,
+                          [&, job = d.job_id] { complete_key(job); });
+          }
+        }));
+  }
+
+  // --- request generator ------------------------------------------------------
+  const double rate = cfg_.effective_request_rate();
+  bool generating = true;
+  std::function<void()> arrival = [&] {
+    if (!generating) return;
+    const std::uint64_t rid = next_request++;
+    RequestState st;
+    st.start = s.now();
+    st.remaining = sys.keys_per_request;
+    st.measured = s.now() >= cfg_.warmup_time;
+    requests.emplace(rid, st);
+    for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
+      const std::uint64_t job = next_key_job++;
+      KeyContext ctx;
+      ctx.request_id = rid;
+      std::size_t server_idx;
+      if (real_cache) {
+        ctx.key_rank = keyspace->sample_rank(key_rng);
+        server_idx = mapper->server_for(keyspace->key_for_rank(ctx.key_rank));
+      } else {
+        // Respect the target {p_j} exactly.
+        server_idx = server_pick.sample(key_rng);
+      }
+      ctx.server = server_idx;
+      keys.emplace(job, ctx);
+      s.schedule_in(net_half,
+                    [&, job, server_idx] { servers[server_idx]->arrive(job); });
+    }
+    s.schedule_in(req_rng.exponential(rate), arrival);
+  };
+  s.schedule_in(req_rng.exponential(rate), arrival);
+
+  // --- run: generate until the horizon, then drain ---------------------------
+  s.run_until(horizon);
+  generating = false;
+  s.run();  // drain in-flight requests (no new arrivals are scheduled)
+
+  EndToEndResult res;
+  res.network = stats::mean_ci(w_network);
+  res.server = stats::mean_ci(w_server);
+  res.database = stats::mean_ci(w_db);
+  res.total = stats::mean_ci(w_total);
+  res.total_samples = std::move(total_samples);
+  res.measured_miss_ratio =
+      measured_keys == 0
+          ? 0.0
+          : static_cast<double>(measured_misses) /
+                static_cast<double>(measured_keys);
+  res.server_utilization.reserve(M);
+  for (const auto& srv : servers) {
+    res.server_utilization.push_back(srv->utilization(horizon));
+  }
+  res.requests_completed = w_total.count();
+  res.keys_completed = keys_completed;
+  res.events_executed = s.events_executed();
+  return res;
+}
+
+}  // namespace mclat::cluster

@@ -1,0 +1,94 @@
+// end_to_end.h — the full fork-join Memcached cluster simulation (Mode B).
+//
+// Unlike the workload-driven testbed (workload_driven.h), which mirrors the
+// paper's measurement methodology, this simulator runs the *entire* request
+// path explicitly:
+//
+//   end-user request (Poisson) → N keys → key→server mapping → half-RTT
+//   network delay → per-server FIFO exp(μ_S) queue → hit? value returns :
+//   miss relayed to database → half-RTT back → request completes when its
+//   last key's value arrives (fork-join).
+//
+// Misses can be decided two ways:
+//   * kBernoulli — iid coin with probability r (the model's assumption);
+//   * kRealCache — each server runs a real LruStore (slab allocator +
+//     per-class LRU); the miss ratio *emerges* from Zipf popularity and
+//     cache capacity, and DB fetches refill the cache. This is ablation A2:
+//     does the Bernoulli abstraction distort T_D(N)?
+//
+// The database is an infinite-server exp(μ_D) stage by default (the paper's
+// eq.-19 approximation), a real single-server M/M/1 queue (kSingleServer)
+// to expose where that approximation breaks, or an M/M/c pool of
+// `db_servers` shards (kPooled) — the provisioning that actually makes
+// eq. (19) true (see core::shards_for_offloaded_db).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "stats/summary.h"
+
+namespace mclat::cluster {
+
+enum class MissMode { kBernoulli, kRealCache };
+enum class DbMode { kInfiniteServer, kSingleServer, kPooled };
+enum class MapperKind { kWeighted, kRing, kModulo };
+
+struct EndToEndConfig {
+  core::SystemConfig system;
+  /// End-user request arrival rate; 0 derives Λ/N so the offered key rate
+  /// matches the system config.
+  double request_rate = 0.0;
+  MissMode miss_mode = MissMode::kBernoulli;
+  DbMode db_mode = DbMode::kInfiniteServer;
+  /// Shards/threads of the kPooled database (one shared M/M/c queue).
+  unsigned db_servers = 4;
+  MapperKind mapper = MapperKind::kWeighted;
+
+  // --- real-cache mode parameters ---------------------------------------
+  std::uint64_t keyspace_size = 200'000;
+  double zipf_exponent = 0.99;
+  std::size_t cache_bytes_per_server = 8u << 20;
+  std::uint32_t max_value_bytes = 4096;
+
+  double warmup_time = 1.0;
+  double measure_time = 10.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] double effective_request_rate() const {
+    return request_rate > 0.0
+               ? request_rate
+               : system.total_key_rate /
+                     static_cast<double>(system.keys_per_request);
+  }
+};
+
+struct EndToEndResult {
+  stats::MeanCI network;   ///< E[T_N(N)] with CI
+  stats::MeanCI server;    ///< E[T_S(N)]
+  stats::MeanCI database;  ///< E[T_D(N)]
+  stats::MeanCI total;     ///< E[T(N)]
+  std::vector<double> total_samples;  ///< per-request T(N) (measured window)
+  double measured_miss_ratio = 0.0;
+  std::vector<double> server_utilization;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t keys_completed = 0;
+  std::uint64_t events_executed = 0;
+};
+
+class EndToEndSim {
+ public:
+  explicit EndToEndSim(EndToEndConfig cfg);
+
+  /// Runs warm-up + measurement, drains in-flight requests, and reports
+  /// statistics over requests that *started* inside the measurement window.
+  [[nodiscard]] EndToEndResult run();
+
+  [[nodiscard]] const EndToEndConfig& config() const noexcept { return cfg_; }
+
+ private:
+  EndToEndConfig cfg_;
+};
+
+}  // namespace mclat::cluster

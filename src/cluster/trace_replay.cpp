@@ -1,0 +1,162 @@
+#include "cluster/trace_replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/delay_station.h"
+#include "dist/exponential.h"
+#include "hashing/consistent_hash.h"
+#include "hashing/key_mapper.h"
+#include "hashing/weighted_mapper.h"
+#include "math/numerics.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "stats/welford.h"
+
+namespace mclat::cluster {
+
+namespace {
+
+struct RequestState {
+  double start = 0.0;
+  std::uint32_t remaining = 0;
+  double max_server = 0.0;
+  double max_db = 0.0;
+  double max_total = 0.0;
+};
+
+struct KeyState {
+  std::uint64_t request_id = 0;
+  double server_sojourn = 0.0;
+  double db_sojourn = 0.0;
+};
+
+std::unique_ptr<hashing::KeyMapper> make_mapper(const TraceReplayConfig& cfg) {
+  const auto shares = cfg.system.shares();
+  switch (cfg.mapper) {
+    case MapperKind::kWeighted:
+      return std::make_unique<hashing::WeightedMapper>(shares);
+    case MapperKind::kRing:
+      return std::make_unique<hashing::ConsistentHashRing>(shares.size());
+    case MapperKind::kModulo:
+      return std::make_unique<hashing::ModuloMapper>(shares.size());
+  }
+  throw std::logic_error("TraceReplaySim: unhandled mapper kind");
+}
+
+}  // namespace
+
+TraceReplaySim::TraceReplaySim(TraceReplayConfig cfg) : cfg_(std::move(cfg)) {}
+
+TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
+                                      const workload::KeySpace& keys) {
+  math::require(!trace.empty(), "TraceReplaySim: empty trace");
+  const core::SystemConfig& sys = cfg_.system;
+  const std::size_t M = sys.shares().size();
+  const double net_half = sys.network_latency / 2.0;
+
+  // Pre-scan: per-request key counts and start times (a general trace may
+  // not emit a request's keys at one instant).
+  std::unordered_map<std::uint64_t, RequestState> requests;
+  for (const auto& rec : trace.records()) {
+    auto [it, fresh] = requests.try_emplace(rec.request_id);
+    it->second.remaining += 1;
+    it->second.start =
+        fresh ? rec.time : std::min(it->second.start, rec.time);
+  }
+
+  sim::Simulator s;
+  dist::Rng master(cfg_.seed);
+  dist::Rng miss_rng = master.split();
+  const auto mapper = make_mapper(cfg_);
+
+  std::unordered_map<std::uint64_t, KeyState> in_flight;
+  std::uint64_t next_job = 0;
+
+  stats::Welford w_net;
+  stats::Welford w_server;
+  stats::Welford w_db;
+  stats::Welford w_total;
+  std::uint64_t keys_completed = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t requests_completed = 0;
+
+  const auto complete_key = [&](std::uint64_t job) {
+    const KeyState ks = in_flight.at(job);
+    in_flight.erase(job);
+    ++keys_completed;
+    RequestState& req = requests.at(ks.request_id);
+    req.max_server = std::max(req.max_server, ks.server_sojourn);
+    req.max_db = std::max(req.max_db, ks.db_sojourn);
+    req.max_total = std::max(req.max_total, s.now() - req.start);
+    if (--req.remaining == 0) {
+      ++requests_completed;
+      w_net.add(sys.network_latency);
+      w_server.add(req.max_server);
+      w_db.add(req.max_db);
+      w_total.add(req.max_total);
+    }
+  };
+
+  DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
+                  master.split(), [&](const sim::Departure& d) {
+                    in_flight.at(d.job_id).db_sojourn = d.sojourn_time();
+                    s.schedule_in(net_half,
+                                  [&, job = d.job_id] { complete_key(job); });
+                  });
+
+  std::vector<std::unique_ptr<sim::ServiceStation>> servers;
+  servers.reserve(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    servers.push_back(std::make_unique<sim::ServiceStation>(
+        s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
+        master.split(), [&](const sim::Departure& d) {
+          in_flight.at(d.job_id).server_sojourn = d.sojourn_time();
+          const bool miss =
+              sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
+          if (miss) {
+            ++misses;
+            db.submit(d.job_id);
+          } else {
+            s.schedule_in(net_half,
+                          [&, job = d.job_id] { complete_key(job); });
+          }
+        }));
+  }
+
+  // Inject the trace. Records must be time-sorted (sort_by_time()).
+  double prev_time = 0.0;
+  for (const auto& rec : trace.records()) {
+    math::require(rec.time >= prev_time,
+                  "TraceReplaySim: trace must be sorted by time");
+    prev_time = rec.time;
+    const std::uint64_t job = next_job++;
+    in_flight.emplace(job, KeyState{rec.request_id, 0.0, 0.0});
+    const std::size_t server = mapper->server_for(keys.key_for_rank(
+        rec.key_rank % keys.size()));
+    s.schedule_at(rec.time + net_half,
+                  [&, job, server] { servers[server]->arrive(job); });
+  }
+  s.run();
+
+  TraceReplayResult res;
+  res.network = stats::mean_ci(w_net);
+  res.server = stats::mean_ci(w_server);
+  res.database = stats::mean_ci(w_db);
+  res.total = stats::mean_ci(w_total);
+  res.requests_completed = requests_completed;
+  res.keys_completed = keys_completed;
+  res.measured_miss_ratio =
+      keys_completed == 0
+          ? 0.0
+          : static_cast<double>(misses) / static_cast<double>(keys_completed);
+  res.horizon = s.now();
+  res.server_utilization.reserve(M);
+  for (const auto& srv : servers) {
+    res.server_utilization.push_back(srv->utilization(s.now()));
+  }
+  return res;
+}
+
+}  // namespace mclat::cluster

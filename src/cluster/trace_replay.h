@@ -1,0 +1,59 @@
+// trace_replay.h — trace-driven cluster simulation (Mode C).
+//
+// Replays a workload::Trace — recorded or synthetic — through the same
+// fork-join pipeline as the end-to-end simulator: each trace record is one
+// key of one end-user request; keys route by hashing their key string,
+// queue at their server, optionally miss to the database, and the request
+// completes when its last key's value returns. This is the entry point for
+// driving the cluster with *real* captured traces instead of the
+// generative models (the paper's §5 workload is itself a statistical model
+// of such a trace).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/end_to_end.h"
+#include "core/config.h"
+#include "stats/summary.h"
+#include "workload/keyspace.h"
+#include "workload/trace.h"
+
+namespace mclat::cluster {
+
+struct TraceReplayConfig {
+  core::SystemConfig system;  ///< rates, miss ratio, database, network
+  MapperKind mapper = MapperKind::kRing;
+  std::uint64_t seed = 1;
+};
+
+struct TraceReplayResult {
+  stats::MeanCI network;
+  stats::MeanCI server;
+  stats::MeanCI database;
+  stats::MeanCI total;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t keys_completed = 0;
+  double measured_miss_ratio = 0.0;
+  std::vector<double> server_utilization;
+  double horizon = 0.0;  ///< virtual time when the last key completed
+};
+
+class TraceReplaySim {
+ public:
+  explicit TraceReplaySim(TraceReplayConfig cfg);
+
+  /// Replays the (time-sorted) trace to completion. `keys` renders ranks
+  /// into key strings for hashing. Every request in the trace is measured.
+  [[nodiscard]] TraceReplayResult run(const workload::Trace& trace,
+                                      const workload::KeySpace& keys);
+
+  [[nodiscard]] const TraceReplayConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  TraceReplayConfig cfg_;
+};
+
+}  // namespace mclat::cluster

@@ -1,0 +1,229 @@
+#include "cluster/workload_driven.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/delay_station.h"
+#include "dist/discrete.h"
+#include "dist/exponential.h"
+#include "math/numerics.h"
+#include "sim/source.h"
+#include "sim/station.h"
+#include "stats/reservoir.h"
+
+namespace mclat::cluster {
+
+namespace {
+
+stats::MeanCI ci_of(const std::vector<double>& xs) {
+  stats::Welford w;
+  for (const double x : xs) w.add(x);
+  return stats::mean_ci(w);
+}
+
+}  // namespace
+
+stats::MeanCI AssembledRequests::network_ci() const { return ci_of(network); }
+stats::MeanCI AssembledRequests::server_ci() const { return ci_of(server); }
+stats::MeanCI AssembledRequests::database_ci() const { return ci_of(database); }
+stats::MeanCI AssembledRequests::total_ci() const { return ci_of(total); }
+
+WorkloadDrivenSim::WorkloadDrivenSim(WorkloadDrivenConfig cfg)
+    : cfg_(std::move(cfg)) {
+  math::require(cfg_.warmup_time >= 0.0 && cfg_.measure_time > 0.0,
+                "WorkloadDrivenSim: bad time horizon");
+  math::require(cfg_.pool_cap > 0, "WorkloadDrivenSim: pool_cap must be > 0");
+}
+
+MeasurementPools WorkloadDrivenSim::run() {
+  const core::SystemConfig& sys = cfg_.system;
+  const std::vector<double> shares = sys.shares();
+  MeasurementPools pools;
+  pools.server_sojourns.resize(shares.size());
+  pools.server_utilization.resize(shares.size(), 0.0);
+
+  dist::Rng master(cfg_.seed);
+
+  // ---- per-server GI^X/M/1 simulations (independent, run sequentially) --
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    if (shares[j] <= 0.0) continue;
+    const workload::ArrivalSpec spec = sys.arrival_for_share(shares[j]);
+    sim::Simulator s;
+    dist::Rng station_rng = master.split();
+    dist::Rng source_rng = master.split();
+    dist::Rng pool_rng = master.split();
+    stats::Reservoir pool(cfg_.pool_cap);
+    const double measure_from = cfg_.warmup_time;
+    std::uint64_t next_job = 0;
+
+    sim::ServiceStation station(
+        s,
+        std::make_unique<dist::Exponential>(sys.rate_of(j)),
+        station_rng,
+        [&](const sim::Departure& d) {
+          if (d.arrival >= measure_from) {
+            pool.add(d.sojourn_time(), pool_rng);
+          }
+        });
+    sim::BatchSource source(
+        s, spec.make_gap(), spec.make_batch(), source_rng,
+        [&](std::uint64_t batch) {
+          for (std::uint64_t k = 0; k < batch; ++k) station.arrive(next_job++);
+        });
+    source.start();
+    s.run_until(cfg_.warmup_time + cfg_.measure_time);
+    source.stop();
+
+    pools.server_sojourns[j] = pool.take();
+    pools.server_utilization[j] = station.utilization(s.now());
+    pools.total_keys += station.completed();
+  }
+
+  // ---- database simulation: Poisson misses into an M/G/∞ stage ----------
+  if (sys.miss_ratio > 0.0) {
+    const double miss_rate = sys.miss_ratio * sys.total_key_rate;
+    pools.measured_miss_rate_hz = miss_rate;
+    sim::Simulator s;
+    dist::Rng db_rng = master.split();
+    dist::Rng arr_rng = master.split();
+    dist::Rng pool_rng = master.split();
+    stats::Reservoir pool(cfg_.pool_cap);
+    DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
+                    db_rng, [&](const sim::Departure& d) {
+                      if (d.arrival >= cfg_.warmup_time) {
+                        pool.add(d.sojourn_time(), pool_rng);
+                      }
+                    });
+    // Poisson miss arrivals.
+    std::uint64_t job = 0;
+    std::function<void()> arrival = [&] {
+      db.submit(job++);
+      s.schedule_in(arr_rng.exponential(miss_rate), arrival);
+    };
+    s.schedule_in(arr_rng.exponential(miss_rate), arrival);
+    s.run_until(cfg_.warmup_time + cfg_.measure_time);
+    pools.db_sojourns = pool.take();
+  }
+  return pools;
+}
+
+AssembledRequests assemble_requests(const MeasurementPools& pools,
+                                    const core::SystemConfig& system,
+                                    std::uint64_t requests,
+                                    std::uint64_t n_keys, dist::Rng& rng) {
+  math::require(requests > 0 && n_keys > 0,
+                "assemble_requests: need requests, n_keys > 0");
+  const std::vector<double> shares = system.shares();
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    math::require(shares[j] <= 0.0 || !pools.server_sojourns[j].empty(),
+                  "assemble_requests: empty pool for a loaded server");
+  }
+  math::require(system.miss_ratio == 0.0 || !pools.db_sojourns.empty(),
+                "assemble_requests: miss_ratio > 0 but DB pool is empty");
+
+  const dist::Discrete server_pick(shares);
+  AssembledRequests out;
+  out.network.reserve(requests);
+  out.server.reserve(requests);
+  out.database.reserve(requests);
+  out.total.reserve(requests);
+
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    double max_server = 0.0;
+    double max_db = 0.0;
+    double max_total = 0.0;
+    for (std::uint64_t k = 0; k < n_keys; ++k) {
+      const std::size_t j = server_pick.sample(rng);
+      const auto& pool = pools.server_sojourns[j];
+      const double s = pool[rng.uniform_index(pool.size())];
+      double d = 0.0;
+      if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
+        d = pools.db_sojourns[rng.uniform_index(pools.db_sojourns.size())];
+      }
+      max_server = std::max(max_server, s);
+      max_db = std::max(max_db, d);
+      max_total = std::max(max_total, system.network_latency + s + d);
+    }
+    out.network.push_back(system.network_latency);
+    out.server.push_back(max_server);
+    out.database.push_back(max_db);
+    out.total.push_back(max_total);
+  }
+  return out;
+}
+
+AssembledRequests assemble_requests_redundant(
+    const MeasurementPools& pools, const core::SystemConfig& system,
+    std::uint64_t requests, std::uint64_t n_keys, unsigned redundancy,
+    dist::Rng& rng) {
+  math::require(redundancy >= 1,
+                "assemble_requests_redundant: redundancy must be >= 1");
+  math::require(requests > 0 && n_keys > 0,
+                "assemble_requests_redundant: need requests, n_keys > 0");
+  const std::vector<double> shares = system.shares();
+  const dist::Discrete server_pick(shares);
+  math::require(system.miss_ratio == 0.0 || !pools.db_sojourns.empty(),
+                "assemble_requests_redundant: missing DB pool");
+  AssembledRequests out;
+  out.network.reserve(requests);
+  out.server.reserve(requests);
+  out.database.reserve(requests);
+  out.total.reserve(requests);
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    double max_server = 0.0;
+    double max_db = 0.0;
+    double max_total = 0.0;
+    for (std::uint64_t kk = 0; kk < n_keys; ++kk) {
+      double s = std::numeric_limits<double>::infinity();
+      for (unsigned rdx = 0; rdx < redundancy; ++rdx) {
+        const std::size_t j = server_pick.sample(rng);
+        const auto& pool = pools.server_sojourns[j];
+        math::require(!pool.empty(),
+                      "assemble_requests_redundant: empty server pool");
+        s = std::min(s, pool[rng.uniform_index(pool.size())]);
+      }
+      double dd = 0.0;
+      if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
+        dd = pools.db_sojourns[rng.uniform_index(pools.db_sojourns.size())];
+      }
+      max_server = std::max(max_server, s);
+      max_db = std::max(max_db, dd);
+      max_total = std::max(max_total, system.network_latency + s + dd);
+    }
+    out.network.push_back(system.network_latency);
+    out.server.push_back(max_server);
+    out.database.push_back(max_db);
+    out.total.push_back(max_total);
+  }
+  return out;
+}
+
+AssembledRequests run_workload_experiment(const WorkloadDrivenConfig& cfg,
+                                          std::uint64_t requests) {
+  WorkloadDrivenSim sim(cfg);
+  const MeasurementPools pools = sim.run();
+  dist::Rng rng(cfg.seed ^ 0xa55a5aa5ull);
+  return assemble_requests(pools, cfg.system, requests,
+                           cfg.system.keys_per_request, rng);
+}
+
+dist::Empirical per_key_sojourn_distribution(const MeasurementPools& pools,
+                                             const core::SystemConfig& system,
+                                             std::uint64_t samples,
+                                             dist::Rng& rng) {
+  math::require(samples > 0, "per_key_sojourn_distribution: samples > 0");
+  const dist::Discrete server_pick(system.shares());
+  std::vector<double> xs;
+  xs.reserve(samples);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const std::size_t j = server_pick.sample(rng);
+    const auto& pool = pools.server_sojourns[j];
+    math::require(!pool.empty(),
+                  "per_key_sojourn_distribution: empty server pool");
+    xs.push_back(pool[rng.uniform_index(pool.size())]);
+  }
+  return dist::Empirical(std::move(xs));
+}
+
+}  // namespace mclat::cluster

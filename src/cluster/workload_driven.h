@@ -1,0 +1,111 @@
+// workload_driven.h — the "mutilate testbed" simulation (Mode A).
+//
+// The paper validates Theorem 1 by driving real Memcached servers with
+// mutilate configured to replay the Facebook arrival statistics, then
+// grouping measured per-key latencies into logical N-key requests. This
+// module reproduces that methodology in simulation:
+//
+//  1. Each of the M servers runs an independent GI^X/M/1 simulation —
+//     a BatchSource emitting the configured arrival pattern (λ_j = p_j·Λ,
+//     ξ, q) into a FIFO exponential server — collecting a pool of per-key
+//     sojourn times after warm-up.
+//  2. The database runs as an infinite-server exp(μ_D) stage fed by a
+//     Poisson stream at the aggregate miss rate r·Λ (the paper's eq.-19
+//     approximation; misses thinned from exponential departures are
+//     asymptotically Poisson).
+//  3. RequestAssembler then composes end-user requests exactly as the
+//     model's independence assumptions state: each of N keys picks a
+//     server ~ {p_j}, draws a sojourn from that server's measured pool,
+//     misses with probability r drawing a database latency, and adds the
+//     constant network latency; T(N) is the max of the per-key sums.
+//
+// Step 3's independent resampling is precisely the approximation the
+// paper's math makes (§3, "the assumption of independent key arrivals is
+// acceptable"); the queueing dynamics themselves are simulated, not drawn
+// from the formulas — so Theory-vs-Experiment comparisons are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "dist/empirical.h"
+#include "dist/rng.h"
+#include "stats/summary.h"
+
+namespace mclat::cluster {
+
+struct WorkloadDrivenConfig {
+  core::SystemConfig system;
+  double warmup_time = 2.0;    ///< simulated seconds discarded
+  double measure_time = 20.0;  ///< simulated seconds measured
+  std::size_t pool_cap = 200'000;  ///< max sojourn samples kept per server
+  std::uint64_t seed = 1;
+};
+
+/// Raw measurement pools from the per-server and database simulations.
+struct MeasurementPools {
+  std::vector<std::vector<double>> server_sojourns;  ///< per server
+  std::vector<double> db_sojourns;
+  std::vector<double> server_utilization;  ///< measured busy fraction
+  std::uint64_t total_keys = 0;
+  double measured_miss_rate_hz = 0.0;  ///< miss arrivals/s offered to the DB
+};
+
+/// Per-request component maxima, one entry per assembled request.
+struct AssembledRequests {
+  std::vector<double> network;   ///< T_N(N) samples (constant here)
+  std::vector<double> server;    ///< T_S(N) samples
+  std::vector<double> database;  ///< T_D(N) samples
+  std::vector<double> total;     ///< T(N) samples
+
+  [[nodiscard]] stats::MeanCI network_ci() const;
+  [[nodiscard]] stats::MeanCI server_ci() const;
+  [[nodiscard]] stats::MeanCI database_ci() const;
+  [[nodiscard]] stats::MeanCI total_ci() const;
+};
+
+class WorkloadDrivenSim {
+ public:
+  explicit WorkloadDrivenSim(WorkloadDrivenConfig cfg);
+
+  /// Runs the per-server and database simulations and collects pools.
+  [[nodiscard]] MeasurementPools run();
+
+  [[nodiscard]] const WorkloadDrivenConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  WorkloadDrivenConfig cfg_;
+};
+
+/// Step 3: builds `requests` end-user requests of `n_keys` keys each from
+/// measured pools. Uses sampling with replacement; pools must be nonempty
+/// for every server with positive share (and for the DB when r > 0).
+[[nodiscard]] AssembledRequests assemble_requests(
+    const MeasurementPools& pools, const core::SystemConfig& system,
+    std::uint64_t requests, std::uint64_t n_keys, dist::Rng& rng);
+
+/// Redundant-assembly variant (core/redundancy.h): each key draws `d`
+/// independent sojourns (server picked per draw ~ {p_j}) and keeps the
+/// minimum — the fastest replica wins. The pools must come from a
+/// simulation whose per-server key rate was already inflated by d. Misses
+/// stay per-key (replicas cache the same keys, so a missing key misses
+/// everywhere and is fetched once).
+[[nodiscard]] AssembledRequests assemble_requests_redundant(
+    const MeasurementPools& pools, const core::SystemConfig& system,
+    std::uint64_t requests, std::uint64_t n_keys, unsigned redundancy,
+    dist::Rng& rng);
+
+/// Convenience: simulate + assemble with the config's N.
+[[nodiscard]] AssembledRequests run_workload_experiment(
+    const WorkloadDrivenConfig& cfg, std::uint64_t requests);
+
+/// Pools flattened into a single per-key sojourn sample (for Fig. 4's
+/// per-key quantile comparison). Weights servers by their share.
+[[nodiscard]] dist::Empirical per_key_sojourn_distribution(
+    const MeasurementPools& pools, const core::SystemConfig& system,
+    std::uint64_t samples, dist::Rng& rng);
+
+}  // namespace mclat::cluster

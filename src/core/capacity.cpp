@@ -1,0 +1,112 @@
+#include "core/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/theorem1.h"
+#include "math/numerics.h"
+#include "math/roots.h"
+
+namespace mclat::core {
+
+namespace {
+
+double midpoint_latency(const SystemConfig& cfg) {
+  const LatencyModel model(cfg);
+  if (!model.stable()) return std::numeric_limits<double>::infinity();
+  return model.estimate().total_estimate();
+}
+
+/// The zero-load floor: network + database stages do not relax with Λ → 0
+/// (the DB stage depends on r and N only — unless db_queueing couples it).
+double latency_floor(const SystemConfig& base) {
+  SystemConfig idle = base;
+  idle.total_key_rate = 1e-6 * base.service_rate;
+  return midpoint_latency(idle);
+}
+
+}  // namespace
+
+std::optional<double> max_rate_for_budget(const SystemConfig& base,
+                                          double budget_seconds) {
+  math::require(budget_seconds > 0.0,
+                "max_rate_for_budget: budget must be > 0");
+  if (latency_floor(base) > budget_seconds) return std::nullopt;
+  // Stability ceiling: the heaviest server must stay below μ_S (and the DB
+  // below μ_D when queueing is modelled).
+  const auto shares = base.shares();
+  double p1 = 0.0;
+  for (const double p : shares) p1 = std::max(p1, p);
+  double ceiling = base.service_rate / p1;
+  if (base.db_queueing && base.miss_ratio > 0.0) {
+    ceiling = std::min(ceiling, base.db_service_rate / base.miss_ratio);
+  }
+  const auto latency_at = [&](double rate) {
+    SystemConfig cfg = base;
+    cfg.total_key_rate = rate;
+    return midpoint_latency(cfg) - budget_seconds;
+  };
+  const double hi = ceiling * (1.0 - 1e-6);
+  if (latency_at(hi) <= 0.0) return hi;  // budget holds all the way up
+  const auto r = math::brent(latency_at, 1e-6 * ceiling, hi,
+                             {.x_tol = 1e-3, .f_tol = 1e-9});
+  return r.x;
+}
+
+std::optional<double> service_rate_for_budget(const SystemConfig& base,
+                                              double budget_seconds) {
+  math::require(budget_seconds > 0.0,
+                "service_rate_for_budget: budget must be > 0");
+  // Even infinitely fast servers cannot beat the network + DB floor.
+  SystemConfig fast = base;
+  fast.service_rate = base.service_rate * 1e6;
+  fast.service_rates.clear();
+  if (midpoint_latency(fast) > budget_seconds) return std::nullopt;
+  const auto shares = base.shares();
+  double p1 = 0.0;
+  for (const double p : shares) p1 = std::max(p1, p);
+  const double lo = base.total_key_rate * p1 * (1.0 + 1e-6);  // stability
+  const auto latency_at = [&](double mu) {
+    SystemConfig cfg = base;
+    cfg.service_rate = mu;
+    cfg.service_rates.clear();
+    return midpoint_latency(cfg) - budget_seconds;
+  };
+  double hi = lo * 2.0;
+  while (latency_at(hi) > 0.0 && hi < lo * 1e7) hi *= 2.0;
+  if (latency_at(lo) <= 0.0) return lo;
+  const auto r = math::brent(latency_at, lo, hi,
+                             {.x_tol = 1e-3, .f_tol = 1e-9});
+  return r.x;
+}
+
+std::optional<std::size_t> servers_for_budget(const SystemConfig& base,
+                                              double budget_seconds,
+                                              std::size_t max_servers) {
+  math::require(budget_seconds > 0.0,
+                "servers_for_budget: budget must be > 0");
+  // Latency is monotone decreasing in M (balanced): binary search the
+  // smallest feasible count.
+  const auto feasible = [&](std::size_t m) {
+    SystemConfig cfg = base;
+    cfg.servers = m;
+    cfg.load_shares.clear();
+    cfg.service_rates.clear();
+    return midpoint_latency(cfg) <= budget_seconds;
+  };
+  if (!feasible(max_servers)) return std::nullopt;
+  std::size_t lo = 1;
+  std::size_t hi = max_servers;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace mclat::core

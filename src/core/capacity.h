@@ -1,0 +1,34 @@
+// capacity.h — the model, inverted (extension): instead of "what latency at
+// this load?", answer the SRE's questions "how much load fits under this
+// latency budget?" and "how much capacity does this load need?". All three
+// solvers exploit the monotonicity of Theorem 1's estimate in the knob they
+// turn and bracket the answer with Brent's method over LatencyModel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+
+namespace mclat::core {
+
+/// Largest aggregate key rate Λ (keys/s) such that the Theorem-1 midpoint
+/// estimate of E[T(N)] stays within `budget_seconds`. Returns nullopt when
+/// even a vanishing load misses the budget (the network + database floor
+/// exceeds it). The rest of `base` (servers, pattern, N, r, …) is held
+/// fixed.
+[[nodiscard]] std::optional<double> max_rate_for_budget(
+    const SystemConfig& base, double budget_seconds);
+
+/// Smallest per-server service rate μ_S meeting the budget at the base
+/// config's load; nullopt when no finite μ_S can (floor exceeds budget).
+[[nodiscard]] std::optional<double> service_rate_for_budget(
+    const SystemConfig& base, double budget_seconds);
+
+/// Smallest balanced server count meeting the budget at the base config's
+/// aggregate rate; nullopt if `max_servers` is not enough.
+[[nodiscard]] std::optional<std::size_t> servers_for_budget(
+    const SystemConfig& base, double budget_seconds,
+    std::size_t max_servers = 4096);
+
+}  // namespace mclat::core

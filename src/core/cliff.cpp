@@ -1,0 +1,75 @@
+#include "core/cliff.h"
+
+#include <cmath>
+
+#include "core/delta.h"
+#include "math/numerics.h"
+#include "math/roots.h"
+
+namespace mclat::core {
+
+CliffAnalyzer::CliffAnalyzer(const Options& opt)
+    : opt_(opt), threshold_(1.0 / (1.0 - opt.poisson_cliff)) {
+  math::require(opt.poisson_cliff > 0.0 && opt.poisson_cliff < 1.0,
+                "CliffAnalyzer: poisson_cliff must be in (0,1)");
+}
+
+double CliffAnalyzer::delta_at(double xi, double rho) const {
+  math::require(rho > 0.0 && rho < 1.0,
+                "CliffAnalyzer: utilisation must be in (0,1)");
+  // Normalise μ_S to 1: the key rate is then ρ, and Prop. 2 guarantees the
+  // answer matches any other (λ, μ_S) pair at the same ρ.
+  workload::ArrivalSpec spec;
+  spec.key_rate = rho;
+  spec.concurrency_q = opt_.concurrency_q;
+  spec.burst_xi = xi;
+  spec.pattern = opt_.pattern;
+  // For non-GP families the burstiness knob is interpreted as the SCV
+  // target instead of the GP shape (ablation A3 sweeps SCV).
+  spec.pattern_scv = xi;
+  const dist::DistributionPtr gap = spec.make_gap();
+  return solve_delta(*gap, opt_.concurrency_q, 1.0).delta;
+}
+
+double CliffAnalyzer::normalized_latency(double xi, double rho) const {
+  return 1.0 / (1.0 - delta_at(xi, rho));
+}
+
+double CliffAnalyzer::relative_slope(double xi, double rho) const {
+  const double h = opt_.fd_step;
+  const double lo = math::clamp(rho - h, 1e-6, 1.0 - 1e-9);
+  const double hi = math::clamp(rho + h, 1e-6, 1.0 - 1e-9);
+  const double f_lo = std::log(normalized_latency(xi, lo));
+  const double f_hi = std::log(normalized_latency(xi, hi));
+  return (f_hi - f_lo) / (hi - lo);
+}
+
+double CliffAnalyzer::cliff_utilization(double xi) const {
+  // Closed form: δ(ρ*) = δ* ⇔ g(y*) = δ* for the unit-mean gap transform g,
+  // then ρ* = (1-δ*)/y* (derivation in the header comment). g is strictly
+  // decreasing from g(0)=1 to 0, so the root is unique.
+  const double delta_star = opt_.poisson_cliff;
+  workload::ArrivalSpec spec;
+  spec.concurrency_q = opt_.concurrency_q;
+  spec.key_rate = 1.0 / (1.0 - opt_.concurrency_q);  // unit mean batch gap
+  spec.burst_xi = xi;
+  spec.pattern = opt_.pattern;
+  spec.pattern_scv = xi;  // non-GP families read the knob as SCV
+  const dist::DistributionPtr gap = spec.make_gap();
+  const auto g = [&](double y) { return gap->laplace(y) - delta_star; };
+  double hi = 1.0;
+  while (g(hi) > 0.0 && hi < 1e9) hi *= 2.0;
+  const auto r = math::brent(g, 1e-12, hi, {.x_tol = 1e-10, .f_tol = 1e-12});
+  return math::clamp((1.0 - delta_star) / r.x, 0.0, 1.0);
+}
+
+std::vector<std::pair<double, double>> CliffAnalyzer::table4() const {
+  std::vector<std::pair<double, double>> rows;
+  for (int i = 0; i <= 19; ++i) {
+    const double xi = 0.05 * static_cast<double>(i);
+    rows.emplace_back(xi, cliff_utilization(xi));
+  }
+  return rows;
+}
+
+}  // namespace mclat::core

@@ -1,0 +1,75 @@
+// cliff.h — Proposition 2 and Table 4: the latency cliff.
+//
+// The paper observes that E[T_S(N)] as a function of server utilisation ρ
+// has a "cliff point" whose position depends only on the burst degree ξ
+// (Proposition 2: δ — and hence the normalised latency curve — is invariant
+// under joint scaling of arrival and service rates). Table 4 tabulates the
+// cliff utilisation ρ_S(ξ) from 77 % at ξ=0 down to 9 % at ξ=0.95.
+//
+// The paper never states a formula for "the cliff", so we adopt an explicit
+// operational definition (DESIGN.md §2): the cliff is where the *latency
+// inflation factor*
+//
+//     W(ρ) = 1 / (1 - δ(ρ))        (mean completion time over its ρ→0 value)
+//
+// reaches a threshold W*. W* is calibrated once against Table 4's first
+// row: for ξ = 0 (Poisson) δ = ρ exactly, so W = 1/(1-ρ) and ρ*(0) = 0.77
+// forces W* = 1/0.23 ≈ 4.35. The same W* is then used for every ξ, i.e. the
+// cliff is equivalently "where δ(ρ) reaches δ* = 0.77". Because δ depends on
+// (ξ, ρ) only — Prop. 2's joint-scaling invariance — the cliff is scale-free
+// by construction, and it admits a closed-form evaluation: with g the
+// Laplace transform of the *unit-mean* gap distribution and y* the root of
+// g(y*) = δ*,   ρ*(ξ) = (1 - δ*) / y*.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "workload/arrival_spec.h"
+
+namespace mclat::core {
+
+class CliffAnalyzer {
+ public:
+  struct Options {
+    /// Arrival pattern family (burstiness knob: ξ for GP, SCV otherwise).
+    workload::GapPattern pattern = workload::GapPattern::kGeneralizedPareto;
+    /// Concurrency probability of the workload.
+    double concurrency_q = 0.1;
+    /// Table-4 anchor: cliff utilisation at ξ = 0.
+    double poisson_cliff = 0.77;
+    /// Finite-difference step for d ln W / dρ.
+    double fd_step = 1e-3;
+  };
+
+  CliffAnalyzer() : CliffAnalyzer(Options{}) {}
+  explicit CliffAnalyzer(const Options& opt);
+
+  /// δ as a function of utilisation, for burst degree ξ (service rate is
+  /// normalised to 1; Proposition 2 makes the answer scale-free).
+  [[nodiscard]] double delta_at(double xi, double rho) const;
+
+  /// Normalised mean latency W(ρ) = 1/(1-δ(ρ)) in units of the mean batch
+  /// service time.
+  [[nodiscard]] double normalized_latency(double xi, double rho) const;
+
+  /// Relative slope d ln W / dρ (central finite difference) — exposed for
+  /// curve diagnostics; the cliff itself uses the W* threshold.
+  [[nodiscard]] double relative_slope(double xi, double rho) const;
+
+  /// The calibrated inflation threshold W* = 1/(1 - poisson_cliff).
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+  /// Cliff utilisation ρ*(ξ): the ρ where W(ρ) reaches W*, i.e. where
+  /// δ(ρ) = poisson_cliff. Evaluated via the closed form above.
+  [[nodiscard]] double cliff_utilization(double xi) const;
+
+  /// Regenerates Table 4: (ξ, ρ_S(ξ)) for ξ = 0, 0.05, …, 0.95.
+  [[nodiscard]] std::vector<std::pair<double, double>> table4() const;
+
+ private:
+  Options opt_;
+  double threshold_;
+};
+
+}  // namespace mclat::core

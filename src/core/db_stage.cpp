@@ -1,0 +1,127 @@
+#include "core/db_stage.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::core {
+
+DatabaseStage::DatabaseStage(double miss_ratio, double mu_d, double rho_d)
+    : r_(miss_ratio), mu_d_(mu_d), rho_d_(rho_d),
+      mu_eff_((1.0 - rho_d) * mu_d) {
+  math::require(miss_ratio >= 0.0 && miss_ratio <= 1.0,
+                "DatabaseStage: miss ratio must be in [0,1]");
+  math::require(mu_d > 0.0, "DatabaseStage: mu_d must be > 0");
+  math::require(rho_d >= 0.0 && rho_d < 1.0,
+                "DatabaseStage: rho_d must be in [0,1)");
+}
+
+double DatabaseStage::p_no_miss(std::uint64_t n_keys) const {
+  // (1-r)^N via exp/log1p for accuracy at tiny r and huge N.
+  return std::exp(static_cast<double>(n_keys) * math::log1p_safe(-r_));
+}
+
+double DatabaseStage::expected_misses_given_any(std::uint64_t n_keys) const {
+  const double p_any = 1.0 - p_no_miss(n_keys);
+  if (p_any <= 0.0) return 0.0;
+  return static_cast<double>(n_keys) * r_ / p_any;
+}
+
+double DatabaseStage::latency_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return -math::expm1_safe(-mu_eff_ * t);
+}
+
+double DatabaseStage::expected_max(std::uint64_t n_keys) const {
+  if (r_ == 0.0 || n_keys == 0) return 0.0;
+  const double p_any = 1.0 - p_no_miss(n_keys);
+  if (p_any <= 0.0) return 0.0;
+  const double mean_k = static_cast<double>(n_keys) * r_ / p_any;
+  return p_any / mu_eff_ * std::log(mean_k + 1.0);
+}
+
+double DatabaseStage::expected_max_exact_k(std::uint64_t n_keys) const {
+  if (r_ == 0.0 || n_keys == 0) return 0.0;
+  const double n = static_cast<double>(n_keys);
+  const double mean = n * r_;
+  const double var = n * r_ * (1.0 - r_);
+  if (mean <= 50.0 || n_keys <= 4096) {
+    // Exact binomial sum with a recursive pmf (stable in log space).
+    double acc = 0.0;
+    double log_pmf = n * math::log1p_safe(-r_);  // P{K=0}
+    for (std::uint64_t k = 0; k <= n_keys; ++k) {
+      const double pmf = std::exp(log_pmf);
+      if (k > 0 || true) acc += pmf * std::log(static_cast<double>(k) + 1.0);
+      if (k == n_keys) break;
+      // pmf(k+1) = pmf(k) * (n-k)/(k+1) * r/(1-r)
+      log_pmf += std::log((n - static_cast<double>(k)) /
+                          (static_cast<double>(k) + 1.0)) +
+                 std::log(r_) - math::log1p_safe(-r_);
+      if (pmf < 1e-18 && static_cast<double>(k) > mean + 12.0 * std::sqrt(var + 1.0)) {
+        break;  // tail contribution is negligible
+      }
+    }
+    return acc / mu_eff_;
+  }
+  // Normal-limit average of ln(K+1) via second-order Taylor around the mean:
+  // E[ln(K+1)] ≈ ln(mean+1) - var / (2(mean+1)²).
+  return (std::log(mean + 1.0) - var / (2.0 * (mean + 1.0) * (mean + 1.0))) /
+         mu_eff_;
+}
+
+double DatabaseStage::large_n_limit(std::uint64_t n_keys) const {
+  return std::log(static_cast<double>(n_keys) * r_ + 1.0) / mu_eff_;
+}
+
+double DatabaseStage::max_cdf(std::uint64_t n_keys, double t) const {
+  if (t < 0.0) return 0.0;
+  if (r_ == 0.0 || n_keys == 0) return 1.0;
+  // E[F(t)^K] with K ~ Binom(N, r) and F the exp(μ_D) CDF:
+  // ((1-r) + r·F(t))^N = (1 - r·e^{-μ_D t})^N.
+  return std::exp(static_cast<double>(n_keys) *
+                  math::log1p_safe(-r_ * std::exp(-mu_eff_ * t)));
+}
+
+double DatabaseStage::max_quantile(std::uint64_t n_keys, double k) const {
+  math::require(k >= 0.0 && k < 1.0, "DatabaseStage::max_quantile: k in [0,1)");
+  if (r_ == 0.0 || n_keys == 0) return 0.0;
+  // Invert (1 - r e^{-μt})^N = k:  e^{-μt} = (1 - k^{1/N})/r.
+  const double root = -math::expm1_safe(math::log1p_safe(-(1.0 - k)) /
+                                        static_cast<double>(n_keys));
+  // root = 1 - k^{1/N}, computed stably for huge N.
+  if (root >= r_) return 0.0;  // quantile falls inside the no-miss atom
+  return -std::log(root / r_) / mu_eff_;
+}
+
+double DatabaseStage::expected_max_harmonic(std::uint64_t n_keys) const {
+  if (r_ == 0.0 || n_keys == 0) return 0.0;
+  const double n = static_cast<double>(n_keys);
+  const double mean = n * r_;
+  const double sd = std::sqrt(n * r_ * (1.0 - r_));
+  // Walk the binomial pmf recursively; harmonic numbers accumulate along.
+  double acc = 0.0;
+  double log_pmf = n * math::log1p_safe(-r_);  // P{K=0}
+  double harmonic = 0.0;                       // H_0
+  const double euler_gamma = 0.57721566490153286;
+  for (std::uint64_t k = 0; k <= n_keys; ++k) {
+    if (k > 0) {
+      if (k <= 1'000'000) {
+        harmonic += 1.0 / static_cast<double>(k);
+      } else {
+        harmonic = std::log(static_cast<double>(k)) + euler_gamma;
+      }
+    }
+    acc += std::exp(log_pmf) * harmonic;
+    if (k == n_keys) break;
+    log_pmf += std::log((n - static_cast<double>(k)) /
+                        (static_cast<double>(k) + 1.0)) +
+               std::log(r_) - math::log1p_safe(-r_);
+    if (std::exp(log_pmf) < 1e-18 &&
+        static_cast<double>(k) > mean + 12.0 * (sd + 1.0)) {
+      break;
+    }
+  }
+  return acc / mu_eff_;
+}
+
+}  // namespace mclat::core

@@ -1,0 +1,67 @@
+#include "core/delta.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+#include "math/roots.h"
+
+namespace mclat::core {
+
+DeltaResult solve_delta(const dist::ContinuousDistribution& gap, double q,
+                        double mu_s, const DeltaOptions& opt) {
+  math::require(q >= 0.0 && q < 1.0, "solve_delta: q must be in [0,1)");
+  math::require(mu_s > 0.0, "solve_delta: mu_s must be > 0");
+
+  DeltaResult res;
+  // Key rate λ = E[X]/E[T_X] = 1/((1-q)·E[T_X]).
+  const double mean_gap = gap.mean();
+  math::require(mean_gap > 0.0, "solve_delta: gap mean must be > 0");
+  res.utilization = 1.0 / ((1.0 - q) * mean_gap * mu_s);
+  if (res.utilization >= 1.0) {
+    // Unstable queue: waiting time diverges; δ → 1 by convention.
+    res.delta = 1.0;
+    res.stable = false;
+    return res;
+  }
+
+  const double mu_eff = opt.batch_corrected ? (1.0 - q) * mu_s : mu_s;
+  int evals = 0;
+  const auto g = [&](double d) {
+    ++evals;
+    return gap.laplace((1.0 - d) * mu_eff);
+  };
+
+  // A couple of fixed-point steps from 0 cheaply tighten the bracket (the
+  // iteration climbs monotonically toward the root from below)...
+  double lo = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double next = g(lo);
+    if (std::abs(next - lo) <= opt.tol) {
+      res.delta = next;
+      res.stable = next < 1.0 - 1e-9;
+      res.iterations = evals;
+      return res;
+    }
+    lo = next;
+  }
+  // ...then Brent finishes superlinearly. The residual g(δ)-δ is >= 0 at
+  // `lo` (still below the root) and < 0 just under 1 for any stable queue
+  // (g'(1) = 1/ρ > 1 pulls the curve below the diagonal).
+  const auto residual = [&](double d) { return g(d) - d; };
+  double hi = 1.0 - 1e-9;
+  if (residual(hi) > 0.0) {
+    // Numerically critical load: no interior crossing.
+    res.delta = 1.0;
+    res.stable = false;
+    res.iterations = evals;
+    return res;
+  }
+  const auto r = math::brent(residual, lo, hi,
+                             {.x_tol = opt.tol, .f_tol = opt.tol});
+  res.iterations = evals;
+  res.delta = r.x;
+  res.stable = r.converged && r.x < 1.0 - 1e-9;
+  return res;
+}
+
+}  // namespace mclat::core

@@ -1,0 +1,49 @@
+// delta.h — the GI/M/1 root δ, the single number through which the arrival
+// pattern enters every latency formula in the paper.
+//
+// After the batch-service transformation (a Geometric(q) sum of
+// Exponential(μ_S) service times is Exponential((1-q)μ_S)), the GI^X/M/1
+// queue at a Memcached server becomes a GI/M/1 queue whose waiting-time
+// distribution is geometric-exponential with parameter δ — the unique root
+// in (0,1) of
+//
+//     δ = L_TX((1 - δ)(1 - q)·μ_S)                    (paper Table 1 / eq. 6)
+//
+// where L_TX is the Laplace–Stieltjes transform of the inter-batch gap.
+// (The paper's eq. (6) body omits the (1-q) factor; Table 1 carries it, and
+// only the Table 1 form reproduces the validation numbers — see DESIGN.md
+// and the ablation bench `bench_ablation_delta_eq`.)
+//
+// Existence: for utilisation ρ = λ/μ_S < 1 the map g(δ) = L_TX((1-δ)(1-q)μ_S)
+// has g(0) > 0, g(1) = 1 and slope at 1 equal to 1/ρ > 1, so g crosses the
+// diagonal exactly once in (0,1). The solver tries cheap fixed-point
+// iteration first and falls back to Brent on the bracketed residual.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::core {
+
+struct DeltaResult {
+  double delta = 1.0;      ///< root in (0,1); 1.0 when the queue is unstable
+  double utilization = 0;  ///< ρ = key rate / μ_S
+  bool stable = false;     ///< ρ < 1 and a root was found
+  int iterations = 0;      ///< total solver iterations
+};
+
+struct DeltaOptions {
+  double tol = 1e-12;
+  int max_fixed_point = 200;
+  /// Which root equation to use. `true` (default) = Table 1 form with the
+  /// (1-q) batch-service correction; `false` = the paper body's eq. (6)
+  /// without it, kept selectable for the A1 ablation.
+  bool batch_corrected = true;
+};
+
+/// Solves for δ given the inter-batch gap distribution, the concurrency
+/// probability q ∈ [0,1) and the per-key service rate mu_s > 0.
+[[nodiscard]] DeltaResult solve_delta(const dist::ContinuousDistribution& gap,
+                                      double q, double mu_s,
+                                      const DeltaOptions& opt = {});
+
+}  // namespace mclat::core

@@ -1,0 +1,73 @@
+#include "core/gixm1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/numerics.h"
+
+namespace mclat::core {
+
+GixM1Queue::GixM1Queue(const dist::ContinuousDistribution& gap, double q,
+                       double mu_s, const DeltaOptions& opt)
+    : q_(q), mu_s_(mu_s), delta_(solve_delta(gap, q, mu_s, opt)) {}
+
+double GixM1Queue::eta() const noexcept {
+  return (1.0 - delta_.delta) * (1.0 - q_) * mu_s_;
+}
+
+double GixM1Queue::queueing_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return 1.0 - delta_.delta * std::exp(-eta() * t);
+}
+
+double GixM1Queue::completion_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return -math::expm1_safe(-eta() * t);
+}
+
+double GixM1Queue::queueing_quantile(double k) const {
+  math::require(k >= 0.0 && k < 1.0, "queueing_quantile: k in [0,1)");
+  if (!stable()) return std::numeric_limits<double>::infinity();
+  // (T_Q)_k = max{ (ln δ - ln(1-k)) / η, 0 }   (eq. 7)
+  const double v = (std::log(delta_.delta) - math::log1p_safe(-k)) / eta();
+  return std::max(v, 0.0);
+}
+
+double GixM1Queue::completion_quantile(double k) const {
+  math::require(k >= 0.0 && k < 1.0, "completion_quantile: k in [0,1)");
+  if (!stable()) return std::numeric_limits<double>::infinity();
+  // (T_C)_k = -ln(1-k) / η   (eq. 8)
+  return -math::log1p_safe(-k) / eta();
+}
+
+Bounds GixM1Queue::sojourn_quantile_bounds(double k) const {
+  return Bounds{queueing_quantile(k), completion_quantile(k)};
+}
+
+Bounds GixM1Queue::mean_sojourn_bounds() const {
+  return Bounds{mean_queueing(), mean_completion()};
+}
+
+double GixM1Queue::mean_queueing() const {
+  if (!stable()) return std::numeric_limits<double>::infinity();
+  return delta_.delta / eta();
+}
+
+double GixM1Queue::mean_completion() const {
+  if (!stable()) return std::numeric_limits<double>::infinity();
+  return 1.0 / eta();
+}
+
+double GixM1Queue::queue_length_pmf(std::uint64_t n) const {
+  const double d = delta_.delta;
+  return (1.0 - d) * std::pow(d, static_cast<double>(n));
+}
+
+double GixM1Queue::mean_queue_length() const {
+  if (!stable()) return std::numeric_limits<double>::infinity();
+  return delta_.delta / (1.0 - delta_.delta);
+}
+
+}  // namespace mclat::core

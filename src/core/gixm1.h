@@ -1,0 +1,93 @@
+// gixm1.h — the GI^X/M/1 queue model of one Memcached server (paper §4.3.1).
+//
+// Once δ is known (delta.h), the transformed GI/M/1 queue gives closed forms
+// for a batch's queueing time T_Q and completion time T_C with tail rate
+//
+//     η = (1 - δ)(1 - q)·μ_S:
+//
+//     T_Q(t) = 1 - δ·e^{-ηt}                                   (eq. 4)
+//     T_C(t) = 1 - e^{-ηt}                                     (eq. 5)
+//
+// and the per-key sojourn time T_S is sandwiched T_Q < T_S <= T_C (eq. 3),
+// hence its kth quantile obeys eq. (9). This class evaluates all of those
+// plus the means, and is the building block for the server stage of
+// Theorem 1.
+#pragma once
+
+#include "core/delta.h"
+#include "dist/distribution.h"
+
+namespace mclat::core {
+
+/// A [lower, upper] interval produced by the model's bounding arguments.
+struct Bounds {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  [[nodiscard]] double midpoint() const noexcept {
+    return 0.5 * (lower + upper);
+  }
+  [[nodiscard]] double width() const noexcept { return upper - lower; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lower && x <= upper;
+  }
+};
+
+class GixM1Queue {
+ public:
+  /// Takes ownership of a clone of the gap distribution. q ∈ [0,1),
+  /// mu_s > 0. The δ-root is solved once at construction.
+  GixM1Queue(const dist::ContinuousDistribution& gap, double q, double mu_s,
+             const DeltaOptions& opt = {});
+
+  [[nodiscard]] double delta() const noexcept { return delta_.delta; }
+  [[nodiscard]] double utilization() const noexcept {
+    return delta_.utilization;
+  }
+  [[nodiscard]] bool stable() const noexcept { return delta_.stable; }
+  [[nodiscard]] double q() const noexcept { return q_; }
+  [[nodiscard]] double mu_s() const noexcept { return mu_s_; }
+
+  /// Exponential tail rate η = (1-δ)(1-q)μ_S.
+  [[nodiscard]] double eta() const noexcept;
+
+  /// CDF of a batch's queueing time (eq. 4).
+  [[nodiscard]] double queueing_cdf(double t) const;
+
+  /// CDF of a batch's completion time (eq. 5).
+  [[nodiscard]] double completion_cdf(double t) const;
+
+  /// kth quantile of the queueing time (eq. 7).
+  [[nodiscard]] double queueing_quantile(double k) const;
+
+  /// kth quantile of the completion time (eq. 8).
+  [[nodiscard]] double completion_quantile(double k) const;
+
+  /// Bounds on the kth quantile of the per-key sojourn time T_S (eq. 9).
+  [[nodiscard]] Bounds sojourn_quantile_bounds(double k) const;
+
+  /// Bounds on E[T_S]: E[T_Q] = δ/η  <  E[T_S]  <=  E[T_C] = 1/η.
+  [[nodiscard]] Bounds mean_sojourn_bounds() const;
+
+  /// Mean waiting (queueing) time of a batch, δ/η.
+  [[nodiscard]] double mean_queueing() const;
+
+  /// Mean completion time of a batch, 1/η.
+  [[nodiscard]] double mean_completion() const;
+
+  /// Distribution of the number of batches an arriving batch finds in the
+  /// system: geometric, P{N = n} = (1-δ)δⁿ (classic GI/M/1 embedded-chain
+  /// result — δ is precisely this geometric's parameter, which is what the
+  /// simulated queue-length test pins down independently of any latency).
+  [[nodiscard]] double queue_length_pmf(std::uint64_t n) const;
+
+  /// Mean number of batches found at arrival: δ/(1-δ).
+  [[nodiscard]] double mean_queue_length() const;
+
+ private:
+  double q_;
+  double mu_s_;
+  DeltaResult delta_;
+};
+
+}  // namespace mclat::core

@@ -1,0 +1,70 @@
+#include "core/mmc.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+#include "math/special.h"
+
+namespace mclat::core {
+
+MmcQueue::MmcQueue(unsigned c, double lambda, double mu)
+    : c_(c), lambda_(lambda), mu_(mu) {
+  math::require(c >= 1, "MmcQueue: need at least one server");
+  math::require(lambda > 0.0 && mu > 0.0, "MmcQueue: rates must be > 0");
+  math::require(lambda < c * mu, "MmcQueue: unstable (lambda >= c*mu)");
+  erlang_c_ = math::erlang_c(c, lambda / mu);
+  theta_ = static_cast<double>(c) * mu - lambda;
+}
+
+double MmcQueue::utilization() const noexcept {
+  return lambda_ / (static_cast<double>(c_) * mu_);
+}
+
+double MmcQueue::mean_wait() const { return erlang_c_ / theta_; }
+
+double MmcQueue::mean_sojourn() const { return mean_wait() + 1.0 / mu_; }
+
+double MmcQueue::wait_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return 1.0 - erlang_c_ * std::exp(-theta_ * t);
+}
+
+double MmcQueue::wait_quantile(double k) const {
+  math::require(k >= 0.0 && k < 1.0, "MmcQueue::wait_quantile: k in [0,1)");
+  if (k <= 1.0 - erlang_c_) return 0.0;  // inside the no-wait atom
+  return std::log(erlang_c_ / (1.0 - k)) / theta_;
+}
+
+double MmcQueue::sojourn_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  // T = W + S with W = 0 w.p. (1-C), W|wait ~ Exp(θ), S ~ Exp(μ) indep.
+  const double no_wait = (1.0 - erlang_c_) * (-math::expm1_safe(-mu_ * t));
+  double waited;
+  if (std::abs(theta_ - mu_) < 1e-9 * mu_) {
+    // Degenerate θ = μ: W+S ~ Gamma(2, μ).
+    waited = erlang_c_ *
+             (1.0 - std::exp(-mu_ * t) * (1.0 + mu_ * t));
+  } else {
+    // P{W+S <= t | wait} = 1 - (θe^{-μt} - μe^{-θt})/(θ - μ).
+    waited = erlang_c_ *
+             (1.0 - (theta_ * std::exp(-mu_ * t) - mu_ * std::exp(-theta_ * t)) /
+                        (theta_ - mu_));
+  }
+  return no_wait + waited;
+}
+
+unsigned shards_for_offloaded_db(double lambda, double mu, double tolerance,
+                                 unsigned c_max) {
+  math::require(lambda > 0.0 && mu > 0.0,
+                "shards_for_offloaded_db: rates must be > 0");
+  math::require(tolerance > 0.0, "shards_for_offloaded_db: tolerance > 0");
+  const double ideal = 1.0 / mu;
+  for (unsigned c = 1; c <= c_max; ++c) {
+    if (lambda >= c * mu) continue;  // still unstable at this c
+    const MmcQueue q(c, lambda, mu);
+    if (q.mean_sojourn() <= ideal * (1.0 + tolerance)) return c;
+  }
+  return c_max;
+}
+
+}  // namespace mclat::core

@@ -1,0 +1,67 @@
+// mmc.h — the M/M/c queue in closed form (extension substrate).
+//
+// Motivated by the database-load extension (db_stage.h): the paper's
+// eq. (19) silently assumes the backend absorbs the miss stream, and a
+// single M/M/1 server cannot at the §5.1 parameters (ρ_D = 2.5). A sharded
+// or pooled backend is an M/M/c system; this class provides its exact laws
+// so provisioning questions ("how many database shards keep T_D near the
+// no-queueing ideal?") have closed-form answers, validated against
+// sim::MultiServerStation.
+//
+//   P{wait > 0}  = ErlangC(c, λ/μ)
+//   W | W>0      ~ Exp(cμ - λ)          (waiting time of delayed jobs)
+//   E[W]         = C/(cμ - λ)
+//   P{T <= t}    by convolution of W with the Exp(μ) service time.
+#pragma once
+
+#include <cstdint>
+
+namespace mclat::core {
+
+class MmcQueue {
+ public:
+  /// c >= 1 servers, arrival rate lambda > 0, per-server service rate
+  /// mu > 0; requires λ < cμ (stability).
+  MmcQueue(unsigned c, double lambda, double mu);
+
+  [[nodiscard]] unsigned servers() const noexcept { return c_; }
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+
+  /// ρ = λ/(cμ).
+  [[nodiscard]] double utilization() const noexcept;
+
+  /// Erlang-C: probability an arrival waits.
+  [[nodiscard]] double p_wait() const noexcept { return erlang_c_; }
+
+  /// E[W]: mean waiting time (including the non-waiters' zeros).
+  [[nodiscard]] double mean_wait() const;
+
+  /// E[T] = E[W] + 1/μ.
+  [[nodiscard]] double mean_sojourn() const;
+
+  /// P{W <= t} = 1 - C·e^{-(cμ-λ)t}.
+  [[nodiscard]] double wait_cdf(double t) const;
+
+  /// kth quantile of W (0 while the atom covers k).
+  [[nodiscard]] double wait_quantile(double k) const;
+
+  /// P{T <= t}: exact sojourn CDF (closed-form convolution).
+  [[nodiscard]] double sojourn_cdf(double t) const;
+
+ private:
+  unsigned c_;
+  double lambda_;
+  double mu_;
+  double erlang_c_;
+  double theta_;  // cμ - λ: the conditional-wait rate
+};
+
+/// Smallest c with utilisation below `max_util` and mean sojourn within
+/// `tolerance` (relative) of the no-queueing ideal 1/μ. The provisioning
+/// question behind "the database is greatly offloaded".
+[[nodiscard]] unsigned shards_for_offloaded_db(double lambda, double mu,
+                                               double tolerance = 0.10,
+                                               unsigned c_max = 1024);
+
+}  // namespace mclat::core

@@ -1,0 +1,61 @@
+#include "core/redundancy.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::core {
+
+namespace {
+
+GixM1Queue build_inflated_queue(const SystemConfig& base, unsigned d) {
+  math::require(d >= 1, "RedundancyModel: d must be >= 1");
+  math::require(base.load_shares.empty(),
+                "RedundancyModel: base config must be balanced");
+  const double share = 1.0 / static_cast<double>(base.servers);
+  workload::ArrivalSpec spec = base.arrival_for_share(share);
+  spec.key_rate *= static_cast<double>(d);  // every key arrives d times
+  const dist::DistributionPtr gap = spec.make_gap();
+  return GixM1Queue(*gap, base.concurrency_q, base.rate_of(0));
+}
+
+}  // namespace
+
+RedundancyModel::RedundancyModel(const SystemConfig& base, unsigned d)
+    : d_(d), queue_(build_inflated_queue(base, d)) {}
+
+Bounds RedundancyModel::per_key_quantile_bounds(double k) const {
+  math::require(k >= 0.0 && k < 1.0,
+                "RedundancyModel::per_key_quantile_bounds: k in [0,1)");
+  // (min of d)_k = F^{-1}(1 - (1-k)^{1/d}); with F sandwiched by the
+  // queueing/completion CDFs the bound transfers to the quantiles.
+  const double u =
+      -math::expm1_safe(math::log1p_safe(-k) / static_cast<double>(d_));
+  return Bounds{queue_.queueing_quantile(u), queue_.completion_quantile(u)};
+}
+
+Bounds RedundancyModel::expected_max_bounds(std::uint64_t n_keys) const {
+  math::require(n_keys >= 1, "RedundancyModel: need N >= 1");
+  // E[max over N] ≈ quantile of one key's (min-of-d) law at N/(N+1).
+  const double k = static_cast<double>(n_keys) /
+                   (static_cast<double>(n_keys) + 1.0);
+  return per_key_quantile_bounds(k);
+}
+
+std::optional<unsigned> RedundancyModel::best_redundancy(
+    const SystemConfig& base, std::uint64_t n_keys, unsigned d_max) {
+  std::optional<unsigned> best;
+  double best_upper = 0.0;
+  for (unsigned d = 1; d <= d_max; ++d) {
+    const RedundancyModel m(base, d);
+    if (!m.stable()) continue;
+    const double upper = m.expected_max_bounds(n_keys).upper;
+    if (!best || upper < best_upper) {
+      best = d;
+      best_upper = upper;
+    }
+  }
+  return best;
+}
+
+}  // namespace mclat::core

@@ -1,0 +1,68 @@
+// redundancy.h — request replication analysed inside the paper's model
+// (extension; the paper cites Vulimiri et al.'s "Low latency via
+// redundancy" [12] and C3 [13] as latency optimisations but does not model
+// them).
+//
+// With redundancy d, every key is sent to d servers and the fastest reply
+// wins. Two opposing forces, both expressible in the GI^X/M/1 framework:
+//
+//   * the per-key latency becomes the MIN of d iid sojourns — its CDF is
+//     1-(1-F(t))^d, so the kth quantile of the min is F's quantile at
+//     u' = 1-(1-k)^{1/d} (a pure tail win);
+//   * every server's offered key rate inflates to d·p_j·Λ — δ grows, and
+//     past some utilisation the inflation costs more than the min saves.
+//
+// RedundancyModel builds the inflated queue and exposes the same bound
+// machinery as ServerStage, so the d > 1 curves are directly comparable to
+// Theorem 1's d = 1. The crossover utilisation — where redundancy stops
+// helping — is the quantity bench_ext_redundancy sweeps.
+//
+// Database path: a missed key misses on every replica (replicas cache the
+// same population), so the miss stage is unchanged: probability r, one
+// back-end fetch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+#include "core/gixm1.h"
+
+namespace mclat::core {
+
+class RedundancyModel {
+ public:
+  /// `base` must be balanced (redundancy analysis assumes symmetric
+  /// replicas); d >= 1 copies per key. d = 1 reproduces the plain model.
+  RedundancyModel(const SystemConfig& base, unsigned d);
+
+  [[nodiscard]] unsigned d() const noexcept { return d_; }
+
+  /// Utilisation after inflation: d·λ/μ_S per server.
+  [[nodiscard]] double utilization() const noexcept {
+    return queue_.utilization();
+  }
+  [[nodiscard]] double delta() const noexcept { return queue_.delta(); }
+  [[nodiscard]] bool stable() const noexcept { return queue_.stable(); }
+
+  /// Bounds on the kth quantile of the per-key latency min_{i<=d} T_S,i.
+  [[nodiscard]] Bounds per_key_quantile_bounds(double k) const;
+
+  /// Bounds on E[T_S(N)]: the fork-join max over N keys, each the min of
+  /// d replicated fetches (eq. 12's quantile approximation on the min law).
+  [[nodiscard]] Bounds expected_max_bounds(std::uint64_t n_keys) const;
+
+  /// The underlying (inflated) queue, for diagnostics.
+  [[nodiscard]] const GixM1Queue& queue() const noexcept { return queue_; }
+
+  /// Smallest d in [1, d_max] minimising the E[T_S(N)] upper bound, or
+  /// nullopt if even d = 1 is unstable.
+  [[nodiscard]] static std::optional<unsigned> best_redundancy(
+      const SystemConfig& base, std::uint64_t n_keys, unsigned d_max = 4);
+
+ private:
+  unsigned d_;
+  GixM1Queue queue_;
+};
+
+}  // namespace mclat::core

@@ -1,0 +1,111 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "math/numerics.h"
+
+namespace mclat::core {
+
+namespace {
+
+std::string fmt(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", x);
+  return buf;
+}
+
+}  // namespace
+
+DbRegime db_regime(std::uint64_t n_keys, double miss_ratio, double threshold) {
+  const double p_any_miss =
+      1.0 - std::exp(static_cast<double>(n_keys) *
+                     math::log1p_safe(-miss_ratio));
+  return p_any_miss < threshold ? DbRegime::kLinearInR : DbRegime::kLogInR;
+}
+
+WhatIfAnalyzer::WhatIfAnalyzer(SystemConfig base)
+    : base_(std::move(base)),
+      baseline_(LatencyModel(base_).estimate().total_estimate()) {}
+
+FactorImpact WhatIfAnalyzer::impact(std::string factor, std::string change,
+                                    const SystemConfig& changed) const {
+  FactorImpact fi;
+  fi.factor = std::move(factor);
+  fi.change = std::move(change);
+  fi.baseline = baseline_;
+  fi.optimized = LatencyModel(changed).estimate().total_estimate();
+  return fi;
+}
+
+FactorImpact WhatIfAnalyzer::halve_concurrency() const {
+  SystemConfig c = base_;
+  c.concurrency_q = base_.concurrency_q / 2.0;
+  return impact("concurrency q",
+                fmt(base_.concurrency_q) + " -> " + fmt(c.concurrency_q), c);
+}
+
+FactorImpact WhatIfAnalyzer::remove_burst() const {
+  SystemConfig c = base_;
+  c.burst_xi = 0.0;
+  return impact("burst degree xi", fmt(base_.burst_xi) + " -> 0", c);
+}
+
+FactorImpact WhatIfAnalyzer::speed_up_servers(double factor) const {
+  math::require(factor > 0.0, "speed_up_servers: factor must be > 0");
+  SystemConfig c = base_;
+  c.service_rate = base_.service_rate * factor;
+  return impact("service rate muS",
+                fmt(base_.service_rate) + " -> " + fmt(c.service_rate), c);
+}
+
+FactorImpact WhatIfAnalyzer::balance_load() const {
+  SystemConfig c = base_;
+  c.load_shares.clear();  // empty = balanced
+  const auto p = base_.shares();
+  const double p1 = *std::max_element(p.begin(), p.end());
+  return impact("load balance p1",
+                fmt(p1) + " -> " + fmt(1.0 / static_cast<double>(base_.servers)),
+                c);
+}
+
+FactorImpact WhatIfAnalyzer::reduce_miss_ratio(double factor) const {
+  math::require(factor >= 1.0, "reduce_miss_ratio: factor must be >= 1");
+  SystemConfig c = base_;
+  c.miss_ratio = base_.miss_ratio / factor;
+  return impact("miss ratio r",
+                fmt(base_.miss_ratio) + " -> " + fmt(c.miss_ratio), c);
+}
+
+FactorImpact WhatIfAnalyzer::reduce_keys_per_request(double factor) const {
+  math::require(factor >= 1.0,
+                "reduce_keys_per_request: factor must be >= 1");
+  SystemConfig c = base_;
+  c.keys_per_request = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::lround(static_cast<double>(base_.keys_per_request) / factor)));
+  // Fewer keys per request at the same request rate also reduces the key
+  // rate proportionally — that is the whole point of the recommendation.
+  c.total_key_rate =
+      base_.total_key_rate * static_cast<double>(c.keys_per_request) /
+      static_cast<double>(base_.keys_per_request);
+  return impact("keys per request N",
+                fmt(base_.keys_per_request) + " -> " + fmt(c.keys_per_request),
+                c);
+}
+
+std::vector<FactorImpact> WhatIfAnalyzer::all() const {
+  return {halve_concurrency(), remove_burst(),    speed_up_servers(),
+          balance_load(),      reduce_miss_ratio(), reduce_keys_per_request()};
+}
+
+FactorImpact WhatIfAnalyzer::best() const {
+  const auto impacts = all();
+  return *std::max_element(impacts.begin(), impacts.end(),
+                           [](const FactorImpact& a, const FactorImpact& b) {
+                             return a.improvement() < b.improvement();
+                           });
+}
+
+}  // namespace mclat::core

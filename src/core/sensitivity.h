@@ -1,0 +1,82 @@
+// sensitivity.h — §5.3 quantified: how much does optimising each factor
+// actually buy?
+//
+// The paper's closing recommendations rest on scaling laws extracted from
+// Theorem 1:
+//   * E[T_S(N)] = Θ(1/(1-q))  in the concurrency probability,
+//   * E[T_S(N)] = Θ(log N)    in the keys-per-request,
+//   * E[T_D(N)] = Θ(r) for small N but only Θ(log r) for large N (eq. 25),
+//   * latency vs utilisation has a cliff at ρ_S(ξ) (cliff.h).
+//
+// WhatIfAnalyzer perturbs one factor of a SystemConfig at a time and
+// reports the end-to-end improvement, reproducing the reasoning behind
+// "minimise N rather than chase the tiny miss ratio".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/theorem1.h"
+
+namespace mclat::core {
+
+/// Result of changing one factor.
+struct FactorImpact {
+  std::string factor;       ///< e.g. "concurrency q"
+  std::string change;       ///< e.g. "0.10 -> 0.05"
+  double baseline = 0.0;    ///< total latency estimate before (s)
+  double optimized = 0.0;   ///< total latency estimate after (s)
+
+  [[nodiscard]] double improvement() const noexcept {
+    return baseline <= 0.0 ? 0.0 : 1.0 - optimized / baseline;
+  }
+};
+
+/// Which asymptotic regime eq. (25) puts a (N, r) point in.
+enum class DbRegime {
+  kLinearInR,  ///< small N: E[T_D(N)] = Θ(r)
+  kLogInR,     ///< large N: E[T_D(N)] = Θ(log r)
+};
+
+/// Classifies via the probability that a request misses at all: when
+/// 1-(1-r)^N is small the stage is miss-dominated (linear), when it is
+/// close to 1 the stage is count-dominated (logarithmic).
+[[nodiscard]] DbRegime db_regime(std::uint64_t n_keys, double miss_ratio,
+                                 double threshold = 0.5);
+
+class WhatIfAnalyzer {
+ public:
+  explicit WhatIfAnalyzer(SystemConfig base);
+
+  /// Halve the concurrency probability q.
+  [[nodiscard]] FactorImpact halve_concurrency() const;
+  /// Remove burstiness entirely (ξ → 0, i.e. Poisson batches).
+  [[nodiscard]] FactorImpact remove_burst() const;
+  /// Increase every server's service rate by `factor` (default 25 %).
+  [[nodiscard]] FactorImpact speed_up_servers(double factor = 1.25) const;
+  /// Perfectly balance the load (p_j → 1/M).
+  [[nodiscard]] FactorImpact balance_load() const;
+  /// Divide the miss ratio by `factor` (default 2).
+  [[nodiscard]] FactorImpact reduce_miss_ratio(double factor = 2.0) const;
+  /// Divide the keys-per-request by `factor` (default 2).
+  [[nodiscard]] FactorImpact reduce_keys_per_request(double factor = 2.0) const;
+
+  /// All six §5.3 levers, in the paper's discussion order.
+  [[nodiscard]] std::vector<FactorImpact> all() const;
+
+  /// The factor with the largest improvement.
+  [[nodiscard]] FactorImpact best() const;
+
+  [[nodiscard]] const SystemConfig& base() const noexcept { return base_; }
+  [[nodiscard]] double baseline_latency() const noexcept { return baseline_; }
+
+ private:
+  [[nodiscard]] FactorImpact impact(std::string factor, std::string change,
+                                    const SystemConfig& changed) const;
+
+  SystemConfig base_;
+  double baseline_;
+};
+
+}  // namespace mclat::core

@@ -1,0 +1,113 @@
+#include "core/server_stage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::core {
+
+ServerStage::ServerStage(std::vector<GixM1Queue> servers,
+                         std::vector<double> shares)
+    : servers_(std::move(servers)), shares_(std::move(shares)) {
+  math::require(!servers_.empty(), "ServerStage: need at least one server");
+  math::require(servers_.size() == shares_.size(),
+                "ServerStage: servers/shares size mismatch");
+  double sum = 0.0;
+  for (const double p : shares_) {
+    math::require(p >= 0.0, "ServerStage: negative share");
+    sum += p;
+  }
+  math::require(std::abs(sum - 1.0) < 1e-6,
+                "ServerStage: shares must sum to 1");
+  heaviest_ = static_cast<std::size_t>(
+      std::max_element(shares_.begin(), shares_.end()) - shares_.begin());
+}
+
+ServerStage ServerStage::balanced(
+    const dist::ContinuousDistribution& per_server_gap, double q, double mu_s,
+    std::size_t servers) {
+  math::require(servers >= 1, "ServerStage::balanced: need servers >= 1");
+  std::vector<GixM1Queue> qs;
+  qs.reserve(servers);
+  for (std::size_t j = 0; j < servers; ++j) {
+    qs.emplace_back(per_server_gap, q, mu_s);
+  }
+  return ServerStage(std::move(qs),
+                     std::vector<double>(servers, 1.0 / static_cast<double>(
+                                                      servers)));
+}
+
+const GixM1Queue& ServerStage::server(std::size_t j) const {
+  math::require(j < servers_.size(), "ServerStage: server index out of range");
+  return servers_[j];
+}
+
+bool ServerStage::stable() const {
+  for (const auto& s : servers_) {
+    if (!s.stable()) return false;
+  }
+  return true;
+}
+
+Bounds ServerStage::ts1_cdf_bounds(double t) const {
+  // T_S(1)(t) = Π_j [T_Sj(t)]^{p_j}; each factor is sandwiched between the
+  // completion CDF (stochastically larger latency ⇒ smaller CDF) and the
+  // queueing CDF.
+  double log_lo = 0.0;
+  double log_hi = 0.0;
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    if (shares_[j] == 0.0) continue;
+    const double lo = servers_[j].completion_cdf(t);
+    const double hi = servers_[j].queueing_cdf(t);
+    if (lo <= 0.0) return Bounds{0.0, std::pow(hi, shares_[j])};
+    log_lo += shares_[j] * std::log(lo);
+    log_hi += shares_[j] * std::log(hi);
+  }
+  return Bounds{std::exp(log_lo), std::exp(log_hi)};
+}
+
+Bounds ServerStage::ts1_quantile_bounds(double k) const {
+  math::require(k >= 0.0 && k < 1.0, "ts1_quantile_bounds: k in [0,1)");
+  // Proposition 1, generalised to heterogeneous servers. The paper's proof
+  // works for ANY server j, not just the heaviest: part (i) gives
+  // (T_S(1))_k >= (T_Sj)_{k^{1/p_j}} since Π_i [T_Si(t)]^{p_i} <=
+  // [T_Sj(t)]^{p_j}; part (ii) gives (T_S(1))_k <= max_j (T_Sj)_k. Taking
+  // the best bound over j tightens both sides; with identical servers this
+  // reduces exactly to the paper's heaviest-server statement, and eq. (9)
+  // sandwiches each per-server quantile.
+  Bounds b;
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    if (shares_[j] <= 0.0) continue;
+    const double k_inner = std::pow(k, 1.0 / shares_[j]);
+    b.lower = std::max(b.lower, servers_[j].queueing_quantile(k_inner));
+    b.upper = std::max(b.upper, servers_[j].completion_quantile(k));
+  }
+  return b;
+}
+
+Bounds ServerStage::max_cdf_bounds(std::uint64_t n_keys, double t) const {
+  math::require(n_keys >= 1, "max_cdf_bounds: need N >= 1");
+  const Bounds b1 = ts1_cdf_bounds(t);
+  const double n = static_cast<double>(n_keys);
+  return Bounds{std::pow(b1.lower, n), std::pow(b1.upper, n)};
+}
+
+Bounds ServerStage::max_quantile_bounds(std::uint64_t n_keys,
+                                        double k) const {
+  math::require(n_keys >= 1, "max_quantile_bounds: need N >= 1");
+  math::require(k > 0.0 && k < 1.0, "max_quantile_bounds: k in (0,1)");
+  // (T_S(N))_k = (T_S(1))_{k^{1/N}}; computed in log space for huge N.
+  const double k_inner = std::exp(std::log(k) / static_cast<double>(n_keys));
+  return ts1_quantile_bounds(k_inner);
+}
+
+Bounds ServerStage::expected_max_bounds(std::uint64_t n_keys) const {
+  math::require(n_keys >= 1, "expected_max_bounds: need N >= 1");
+  // E[T_S(N)] ≈ (T_S(1))_{N/(N+1)}  (eq. 12), bounded via Prop. 1 + eq. 9.
+  const double k = static_cast<double>(n_keys) /
+                   (static_cast<double>(n_keys) + 1.0);
+  return ts1_quantile_bounds(k);
+}
+
+}  // namespace mclat::core

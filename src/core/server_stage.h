@@ -1,0 +1,96 @@
+// server_stage.h — the Memcached-server stage of Theorem 1 (paper §4.3.2).
+//
+// M servers, server j receiving share p_j of the aggregate key stream. For
+// an end-user request of N keys,
+//
+//     T_S(N) = max over the N keys' per-key sojourn times,
+//     E[T_S(N)] ≈ (T_S(1))_{N/(N+1)}                       (eq. 12)
+//
+// where T_S(1) has CDF Π_j [T_Sj(t)]^{p_j} (eq. 11). Proposition 1 bounds
+// the mixed quantile by the heaviest server's:
+//
+//     (T_S1)_{k^{1/p1}} ≤ (T_S(1))_k ≤ (T_S1)_k,           (eq. 13)
+//
+// and combining with the per-server quantile bounds (eq. 9) yields the
+// E[T_S(N)] interval of eq. (14). We implement the exact eq.-14 form
+//
+//     lower = max{ (ln δ1 - ln(1 - (N/(N+1))^{1/p1})) / η1, 0 }
+//     upper = ln(N+1) / η1
+//
+// (the Theorem-1 display's "(1/p1)·ln(N+1)" is the large-N expansion of the
+// same expression; see DESIGN.md). For balanced load p1 = 1/M.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/gixm1.h"
+#include "dist/distribution.h"
+
+namespace mclat::core {
+
+class ServerStage {
+ public:
+  /// Heterogeneous construction: `gap_for_share(p_j)` must yield the
+  /// inter-batch gap distribution of server j given its key share. The
+  /// common case is handled by the named constructors below.
+  ServerStage(std::vector<GixM1Queue> servers, std::vector<double> shares);
+
+  /// M identical servers splitting `total_key_rate` evenly. The gap
+  /// distribution is the per-server pattern at rate total/M.
+  [[nodiscard]] static ServerStage balanced(
+      const dist::ContinuousDistribution& per_server_gap, double q,
+      double mu_s, std::size_t servers);
+
+  /// Number of servers M.
+  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
+
+  /// Load shares {p_j}.
+  [[nodiscard]] const std::vector<double>& shares() const noexcept {
+    return shares_;
+  }
+
+  /// Index and share of the heaviest-loaded server (the paper's S1/p1).
+  [[nodiscard]] std::size_t heaviest() const noexcept { return heaviest_; }
+  [[nodiscard]] double p1() const noexcept { return shares_[heaviest_]; }
+
+  [[nodiscard]] const GixM1Queue& server(std::size_t j) const;
+
+  /// True when every server is stable.
+  [[nodiscard]] bool stable() const;
+
+  /// Bounds on the CDF of T_S(1) at t (eq. 11 with each T_Sj sandwiched by
+  /// eqs. 4–5): lower uses completion CDFs, upper uses queueing CDFs.
+  [[nodiscard]] Bounds ts1_cdf_bounds(double t) const;
+
+  /// Bounds on the kth quantile of T_S(1) via Proposition 1 + eq. 9.
+  [[nodiscard]] Bounds ts1_quantile_bounds(double k) const;
+
+  /// Bounds on E[T_S(N)] (eq. 14). N >= 1.
+  [[nodiscard]] Bounds expected_max_bounds(std::uint64_t n_keys) const;
+
+  /// Point estimate used when a single "Theorem 1" number is wanted:
+  /// the midpoint of expected_max_bounds (documented in EXPERIMENTS.md).
+  [[nodiscard]] double expected_max_estimate(std::uint64_t n_keys) const {
+    return expected_max_bounds(n_keys).midpoint();
+  }
+
+  /// Bounds on the CDF of T_S(N) at t: [T_S(1)(t)]^N with the eq.-11 CDF
+  /// sandwich. (Tail-latency extension: the paper derives only E[T_S(N)].)
+  [[nodiscard]] Bounds max_cdf_bounds(std::uint64_t n_keys, double t) const;
+
+  /// Bounds on the kth quantile of T_S(N): since T_S(N) has CDF
+  /// [T_S(1)]^N, its kth quantile is T_S(1)'s k^{1/N} quantile — so p99 of
+  /// a 150-key request is the per-key 0.99^{1/150} ≈ 0.99993 quantile,
+  /// which is why request tails are so much worse than key tails.
+  [[nodiscard]] Bounds max_quantile_bounds(std::uint64_t n_keys,
+                                           double k) const;
+
+ private:
+  std::vector<GixM1Queue> servers_;
+  std::vector<double> shares_;
+  std::size_t heaviest_ = 0;
+};
+
+}  // namespace mclat::core

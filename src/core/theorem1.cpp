@@ -1,0 +1,90 @@
+#include "core/theorem1.h"
+
+#include <algorithm>
+
+#include "math/numerics.h"
+
+namespace mclat::core {
+
+namespace {
+
+ServerStage build_server_stage(const SystemConfig& cfg) {
+  const std::vector<double> shares = cfg.shares();
+  math::require(cfg.service_rates.empty() ||
+                    cfg.service_rates.size() == shares.size(),
+                "LatencyModel: service_rates must match the server count");
+  std::vector<GixM1Queue> queues;
+  queues.reserve(shares.size());
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    math::require(shares[j] > 0.0,
+                  "LatencyModel: every server must carry positive load");
+    // Identical (share, rate) servers have identical δ — reuse the solved
+    // queue instead of re-running the numeric transform (a 4x saving for
+    // the common balanced cluster).
+    bool reused = false;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (shares[i] == shares[j] && cfg.rate_of(i) == cfg.rate_of(j)) {
+        queues.push_back(queues[i]);
+        reused = true;
+        break;
+      }
+    }
+    if (reused) continue;
+    const workload::ArrivalSpec spec = cfg.arrival_for_share(shares[j]);
+    const dist::DistributionPtr gap = spec.make_gap();
+    queues.emplace_back(*gap, cfg.concurrency_q, cfg.rate_of(j));
+  }
+  return ServerStage(std::move(queues), shares);
+}
+
+}  // namespace
+
+namespace {
+
+DatabaseStage build_db_stage(const SystemConfig& cfg) {
+  if (!cfg.db_queueing) {
+    return DatabaseStage(cfg.miss_ratio, cfg.db_service_rate);
+  }
+  const double rho_d = cfg.db_utilization();
+  math::require(rho_d < 1.0,
+                "LatencyModel: db_queueing enabled but the miss stream "
+                "saturates the database (r*Lambda >= mu_D)");
+  return DatabaseStage(cfg.miss_ratio, cfg.db_service_rate, rho_d);
+}
+
+}  // namespace
+
+LatencyModel::LatencyModel(const SystemConfig& cfg)
+    : cfg_(cfg), server_(build_server_stage(cfg)), db_(build_db_stage(cfg)) {}
+
+TailEstimate LatencyModel::tail(std::uint64_t n_keys, double k) const {
+  math::require(k > 0.0 && k < 1.0, "LatencyModel::tail: k in (0,1)");
+  TailEstimate t;
+  t.n_keys = n_keys;
+  t.k = k;
+  t.network = cfg_.network_latency;
+  t.server = server_.max_quantile_bounds(n_keys, k);
+  t.database = db_.max_quantile(n_keys, k);
+  t.total.lower = std::max({t.network, t.server.lower, t.database});
+  const double k_split = 1.0 - (1.0 - k) / 2.0;
+  t.total.upper = t.network +
+                  server_.max_quantile_bounds(n_keys, k_split).upper +
+                  db_.max_quantile(n_keys, k_split);
+  return t;
+}
+
+LatencyEstimate LatencyModel::estimate(std::uint64_t n_keys) const {
+  LatencyEstimate e;
+  e.n_keys = n_keys;
+  e.network = cfg_.network_latency;  // constant per eq. (2)
+  e.server = server_.expected_max_bounds(n_keys);
+  e.database = db_.expected_max(n_keys);
+  // Theorem 1: max of the parts below, sum of the parts above. For the
+  // lower envelope each part enters at its own lower end (the only bound
+  // we have for the server part).
+  e.total.lower = std::max({e.network, e.server.lower, e.database});
+  e.total.upper = e.network + e.server.upper + e.database;
+  return e;
+}
+
+}  // namespace mclat::core

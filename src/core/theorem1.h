@@ -1,0 +1,95 @@
+// theorem1.h — the paper's headline result, assembled.
+//
+// Theorem 1 bounds the latency T(N) of an end-user request generating N
+// Memcached keys by its three components:
+//
+//   max{T_N(N), T_S(N), T_D(N)}  ≤  T(N)  ≤  T_N(N) + T_S(N) + T_D(N)   (eq. 1)
+//
+// with T_N constant (§4.2), E[T_S(N)] bounded by eq. (14) (server_stage.h)
+// and E[T_D(N)] estimated by eq. (23) (db_stage.h). LatencyModel wires the
+// three stages up from one SystemConfig and reports the full breakdown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+#include "core/db_stage.h"
+#include "core/server_stage.h"
+
+namespace mclat::core {
+
+/// The model's answer for one (config, N) pair — everything Table 3 prints.
+struct LatencyEstimate {
+  std::uint64_t n_keys = 0;
+  double network = 0.0;    ///< T_N(N): constant
+  Bounds server;           ///< E[T_S(N)] interval (eq. 14)
+  double database = 0.0;   ///< E[T_D(N)] (eq. 23)
+  Bounds total;            ///< Theorem 1 envelope (eq. 1)
+
+  /// Point estimates (documented convention: midpoint of the server
+  /// interval; EXPERIMENTS.md reports bounds alongside).
+  [[nodiscard]] double server_estimate() const noexcept {
+    return server.midpoint();
+  }
+  [[nodiscard]] double total_estimate() const noexcept {
+    return total.midpoint();
+  }
+};
+
+/// Tail-latency extension (beyond the paper, which reports only means):
+/// the kth quantile of each component of T(N).
+struct TailEstimate {
+  std::uint64_t n_keys = 0;
+  double k = 0.0;
+  double network = 0.0;  ///< (T_N(N))_k: the constant
+  Bounds server;         ///< (T_S(N))_k bounds (Prop. 1 + eq. 9)
+  double database = 0.0; ///< (T_D(N))_k, exact closed form
+  /// Envelope for (T(N))_k: the lower edge is the max of the component
+  /// quantiles (valid since T(N) dominates each component pointwise); the
+  /// upper edge splits the tail mass across the two random components by a
+  /// union bound, T_N + (T_S(N))_{1-(1-k)/2} + (T_D(N))_{1-(1-k)/2}.
+  Bounds total;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const SystemConfig& cfg);
+
+  /// Full Theorem-1 breakdown for the config's N.
+  [[nodiscard]] LatencyEstimate estimate() const {
+    return estimate(cfg_.keys_per_request);
+  }
+
+  /// Same for an arbitrary N.
+  [[nodiscard]] LatencyEstimate estimate(std::uint64_t n_keys) const;
+
+  /// kth-quantile breakdown (tail-latency extension).
+  [[nodiscard]] TailEstimate tail(std::uint64_t n_keys, double k) const;
+
+  /// E[T_S(N)] bounds only (the Fig. 5–10/12 series).
+  [[nodiscard]] Bounds server_mean_bounds(std::uint64_t n_keys) const {
+    return server_.expected_max_bounds(n_keys);
+  }
+
+  /// E[T_D(N)] only (the Fig. 11/13 series).
+  [[nodiscard]] double db_mean(std::uint64_t n_keys) const {
+    return db_.expected_max(n_keys);
+  }
+
+  [[nodiscard]] const ServerStage& server_stage() const noexcept {
+    return server_;
+  }
+  [[nodiscard]] const DatabaseStage& db_stage() const noexcept { return db_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+
+  /// True when every Memcached server queue is stable (ρ_j < 1 ∀j).
+  [[nodiscard]] bool stable() const { return server_.stable(); }
+
+ private:
+  SystemConfig cfg_;
+  ServerStage server_;
+  DatabaseStage db_;
+};
+
+}  // namespace mclat::core

@@ -1,0 +1,38 @@
+#include "dist/deterministic.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+Deterministic::Deterministic(double value) : value_(value) {
+  math::require(value >= 0.0, "Deterministic: value must be >= 0");
+}
+
+double Deterministic::pdf(double) const { return 0.0; }
+
+double Deterministic::cdf(double t) const { return t >= value_ ? 1.0 : 0.0; }
+
+double Deterministic::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "Deterministic::quantile: p in [0,1)");
+  return value_;
+}
+
+double Deterministic::mean() const { return value_; }
+
+double Deterministic::variance() const { return 0.0; }
+
+double Deterministic::laplace(double s) const { return std::exp(-s * value_); }
+
+double Deterministic::sample(Rng&) const { return value_; }
+
+std::string Deterministic::name() const {
+  return "Deterministic(" + std::to_string(value_) + ")";
+}
+
+DistributionPtr Deterministic::clone() const {
+  return std::make_unique<Deterministic>(*this);
+}
+
+}  // namespace mclat::dist

@@ -1,0 +1,33 @@
+// deterministic.h — a point mass at a fixed value.
+//
+// Models the constant network latency of Theorem 1 part (1) and serves as
+// the zero-variance endpoint in arrival/service pattern sweeps. Note the CDF
+// is a step, so pdf() returns 0 everywhere except an (unrepresentable)
+// impulse; the Laplace transform e^{-sv} is exact and overridden.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class Deterministic final : public ContinuousDistribution {
+ public:
+  explicit Deterministic(double value);
+
+  [[nodiscard]] double pdf(double t) const override;  // 0 a.e. (step CDF)
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double laplace(double s) const override;  // e^{-s·value}
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+}  // namespace mclat::dist

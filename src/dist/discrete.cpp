@@ -1,0 +1,90 @@
+#include "dist/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+Discrete::Discrete(std::vector<double> weights) {
+  math::require(!weights.empty(), "Discrete: weights must be nonempty");
+  double sum = 0.0;
+  for (double w : weights) {
+    math::require(w >= 0.0 && std::isfinite(w),
+                  "Discrete: weights must be finite and nonnegative");
+    sum += w;
+  }
+  math::require(sum > 0.0, "Discrete: weights must have a positive sum");
+  const std::size_t n = weights.size();
+  prob_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) prob_[i] = weights[i] / sum;
+
+  // Vose's alias method: split scaled probabilities into "small" (< 1) and
+  // "large" (>= 1) worklists, pair each small cell with a large donor.
+  accept_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = prob_[i] * static_cast<double>(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 within rounding.
+  for (std::uint32_t i : large) accept_[i] = 1.0;
+  for (std::uint32_t i : small) accept_[i] = 1.0;
+}
+
+Discrete Discrete::uniform(std::size_t n) {
+  return Discrete(std::vector<double>(n, 1.0));
+}
+
+double Discrete::pmf(std::size_t j) const {
+  math::require(j < prob_.size(), "Discrete::pmf: index out of range");
+  return prob_[j];
+}
+
+std::size_t Discrete::argmax() const {
+  return static_cast<std::size_t>(
+      std::max_element(prob_.begin(), prob_.end()) - prob_.begin());
+}
+
+std::size_t Discrete::sample(Rng& rng) const {
+  const std::size_t n = prob_.size();
+  const double u = rng.uniform() * static_cast<double>(n);
+  std::size_t i = static_cast<std::size_t>(u);
+  if (i >= n) i = n - 1;  // guard the u == n edge from rounding
+  const double frac = u - static_cast<double>(i);
+  return frac < accept_[i] ? i : alias_[i];
+}
+
+std::string Discrete::name() const {
+  return "Discrete(k=" + std::to_string(prob_.size()) + ")";
+}
+
+std::vector<double> skewed_load(std::size_t m, double p1) {
+  math::require(m >= 1, "skewed_load: need at least one server");
+  math::require(p1 >= 1.0 / static_cast<double>(m) && p1 < 1.0,
+                "skewed_load: p1 must be in [1/m, 1)");
+  std::vector<double> p(m, m > 1 ? (1.0 - p1) / static_cast<double>(m - 1) : 0.0);
+  p[0] = p1;
+  return p;
+}
+
+}  // namespace mclat::dist

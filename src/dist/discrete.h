@@ -1,0 +1,58 @@
+// discrete.h — categorical distribution with O(1) sampling (Walker/Vose
+// alias method).
+//
+// This is the {p_j} of the paper: the probability that a key lands on
+// Memcached server S_j. The weighted key→server mapper in mclat::hashing and
+// the Fig. 10 load-imbalance experiments both sample from it millions of
+// times, so construction is O(n) and each draw costs one uniform + one
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/rng.h"
+
+namespace mclat::dist {
+
+class Discrete {
+ public:
+  /// Weights must be nonnegative with a positive sum; they are normalised
+  /// internally.
+  explicit Discrete(std::vector<double> weights);
+
+  /// Uniform distribution over n categories.
+  [[nodiscard]] static Discrete uniform(std::size_t n);
+
+  /// P{J = j}.
+  [[nodiscard]] double pmf(std::size_t j) const;
+
+  /// Number of categories.
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Index of the largest-probability category (the paper's p1 server).
+  [[nodiscard]] std::size_t argmax() const;
+
+  /// Draws a category in O(1).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// The normalised probability vector.
+  [[nodiscard]] const std::vector<double>& probabilities() const noexcept {
+    return prob_;
+  }
+
+  [[nodiscard]] std::string name() const;
+
+ private:
+  std::vector<double> prob_;    // normalised weights
+  std::vector<double> accept_;  // alias-table acceptance thresholds
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Builds the paper's Fig.-10 style skewed load vector: server 0 receives
+/// fraction `p1` of the keys and the remaining (m-1) servers split the rest
+/// evenly. Requires p1 ∈ [1/m, 1).
+[[nodiscard]] std::vector<double> skewed_load(std::size_t m, double p1);
+
+}  // namespace mclat::dist

@@ -1,0 +1,73 @@
+// distribution.h — the continuous distribution interface used throughout
+// mclat, both analytically (CDF, quantile, Laplace transform for the
+// GI^X/M/1 derivations) and generatively (sampling for the discrete-event
+// simulator). One interface serves both sides so a single object
+// parameterises theory and experiment identically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dist/rng.h"
+
+namespace mclat::dist {
+
+/// A continuous distribution with support on [0, ∞) (inter-arrival gaps and
+/// service times are nonnegative by nature).
+///
+/// Concrete distributions override the closed forms they have; the base
+/// class supplies robust numeric fallbacks for `quantile` (bracketed
+/// inversion of the CDF), `laplace` (semi-infinite quadrature of
+/// e^{-st}·pdf(t)) and `sample` (inverse-CDF). Every override must satisfy
+/// the usual consistency laws — the property tests in
+/// tests/dist/test_distribution_properties.cpp enforce them for each
+/// registered distribution.
+class ContinuousDistribution {
+ public:
+  virtual ~ContinuousDistribution() = default;
+
+  /// Probability density at t (0 for t < 0).
+  [[nodiscard]] virtual double pdf(double t) const = 0;
+
+  /// P{T <= t}; must be nondecreasing with cdf(0⁻) = 0 and cdf(∞) = 1.
+  [[nodiscard]] virtual double cdf(double t) const = 0;
+
+  /// Inverse CDF. p ∈ [0, 1); default inverts cdf() numerically.
+  [[nodiscard]] virtual double quantile(double p) const;
+
+  /// E[T]. Must be finite for every distribution used as an inter-arrival or
+  /// service time (the model requires finite rates).
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Var[T]; may be +∞ (e.g. Generalized Pareto with shape ξ >= 0.5).
+  [[nodiscard]] virtual double variance() const = 0;
+
+  /// Laplace–Stieltjes transform L(s) = E[e^{-sT}] for s >= 0.
+  /// Default integrates numerically; closed forms should override.
+  [[nodiscard]] virtual double laplace(double s) const;
+
+  /// Draws one variate. Default uses inverse-CDF sampling.
+  [[nodiscard]] virtual double sample(Rng& rng) const;
+
+  /// Human-readable identification, e.g. "Exponential(rate=80000)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (distributions are small value-like objects; cloning lets
+  /// configs own their distribution polymorphically).
+  [[nodiscard]] virtual std::unique_ptr<ContinuousDistribution> clone()
+      const = 0;
+
+  /// Squared coefficient of variation Var/Mean² — the standard burstiness
+  /// summary for renewal processes.
+  [[nodiscard]] double scv() const;
+
+ protected:
+  ContinuousDistribution() = default;
+  ContinuousDistribution(const ContinuousDistribution&) = default;
+  ContinuousDistribution& operator=(const ContinuousDistribution&) = default;
+};
+
+using DistributionPtr = std::unique_ptr<ContinuousDistribution>;
+
+}  // namespace mclat::dist

@@ -1,0 +1,46 @@
+#include "dist/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/numerics.h"
+#include "math/special.h"
+
+namespace mclat::dist {
+
+Empirical::Empirical(std::vector<double> sample) : sorted_(std::move(sample)) {
+  math::require(!sorted_.empty(), "Empirical: sample must be nonempty");
+  std::sort(sorted_.begin(), sorted_.end());
+  double acc = 0.0;
+  for (double x : sorted_) acc += x;
+  mean_ = acc / static_cast<double>(sorted_.size());
+  double sq = 0.0;
+  for (double x : sorted_) sq += (x - mean_) * (x - mean_);
+  var_ = sorted_.size() > 1 ? sq / static_cast<double>(sorted_.size() - 1) : 0.0;
+}
+
+double Empirical::cdf(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::quantile(double p) const {
+  math::require(p >= 0.0 && p <= 1.0, "Empirical::quantile: p in [0,1]");
+  const std::size_t n = sorted_.size();
+  if (n == 1) return sorted_[0];
+  const double h = p * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted_[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return math::lerp(sorted_[lo], sorted_[lo + 1], frac);
+}
+
+double Empirical::mean_ci_halfwidth(double confidence) const {
+  if (sorted_.size() < 2) return 0.0;
+  const double n = static_cast<double>(sorted_.size());
+  const double t = math::student_t_critical(n - 1.0, confidence);
+  return t * std::sqrt(var_ / n);
+}
+
+}  // namespace mclat::dist

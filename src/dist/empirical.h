@@ -1,0 +1,47 @@
+// empirical.h — the empirical distribution of a sample.
+//
+// Every "Experiment" column in the reproduced tables/figures is an ECDF of
+// simulated latencies; this class owns the sorted sample and answers CDF,
+// quantile and moment queries, mirroring the paper's use of measured
+// quantiles (Fig. 4) and means with confidence intervals (Table 3).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mclat::dist {
+
+class Empirical {
+ public:
+  /// Takes ownership of the sample; sorts it once. Throws on empty input.
+  explicit Empirical(std::vector<double> sample);
+
+  /// ECDF: fraction of samples <= t.
+  [[nodiscard]] double cdf(double t) const;
+
+  /// kth quantile using linear interpolation between order statistics
+  /// (type-7, the numpy/R default). p ∈ [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept { return var_; }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// Half-width of the (normal-approximation) confidence interval for the
+  /// mean at the given confidence level, e.g. 0.95.
+  [[nodiscard]] double mean_ci_halfwidth(double confidence = 0.95) const;
+
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+};
+
+}  // namespace mclat::dist

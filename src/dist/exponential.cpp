@@ -1,0 +1,42 @@
+#include "dist/exponential.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  math::require(rate > 0.0, "Exponential: rate must be > 0");
+}
+
+double Exponential::pdf(double t) const {
+  return t < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * t);
+}
+
+double Exponential::cdf(double t) const {
+  return t < 0.0 ? 0.0 : -math::expm1_safe(-rate_ * t);
+}
+
+double Exponential::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "Exponential::quantile: p in [0,1)");
+  return -math::log1p_safe(-p) / rate_;
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+double Exponential::variance() const { return 1.0 / (rate_ * rate_); }
+
+double Exponential::laplace(double s) const { return rate_ / (rate_ + s); }
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+std::string Exponential::name() const {
+  return "Exponential(rate=" + std::to_string(rate_) + ")";
+}
+
+DistributionPtr Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+}  // namespace mclat::dist

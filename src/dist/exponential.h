@@ -1,0 +1,37 @@
+// exponential.h — the memoryless distribution. Service times at Memcached
+// servers and at the backend database are exponential in the paper's model
+// (M in GI^X/M/1 and M/M/1); exponential inter-arrivals make the arrival
+// side Poisson (the paper's ξ = 0 case).
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class Exponential final : public ContinuousDistribution {
+ public:
+  /// rate > 0; mean is 1/rate.
+  explicit Exponential(double rate);
+
+  /// Convenience factory from a mean.
+  [[nodiscard]] static Exponential with_mean(double mean) {
+    return Exponential(1.0 / mean);
+  }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double laplace(double s) const override;  // rate/(rate+s)
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace mclat::dist

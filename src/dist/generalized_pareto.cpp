@@ -1,0 +1,68 @@
+#include "dist/generalized_pareto.h"
+
+#include <cmath>
+#include <limits>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+GeneralizedPareto::GeneralizedPareto(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  math::require(shape >= 0.0 && shape < 1.0,
+                "GeneralizedPareto: shape must be in [0,1)");
+  math::require(scale > 0.0, "GeneralizedPareto: scale must be > 0");
+}
+
+GeneralizedPareto GeneralizedPareto::with_rate(double shape, double rate) {
+  math::require(rate > 0.0, "GeneralizedPareto::with_rate: rate must be > 0");
+  return GeneralizedPareto(shape, (1.0 - shape) / rate);
+}
+
+GeneralizedPareto GeneralizedPareto::with_mean(double shape, double mean) {
+  math::require(mean > 0.0, "GeneralizedPareto::with_mean: mean must be > 0");
+  return GeneralizedPareto(shape, (1.0 - shape) * mean);
+}
+
+double GeneralizedPareto::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (shape_ == 0.0) return std::exp(-t / scale_) / scale_;
+  // f(t) = (1/σ)(1 + ξt/σ)^{-(1/ξ + 1)}
+  return math::pow1p(shape_ * t / scale_, -(1.0 / shape_ + 1.0)) / scale_;
+}
+
+double GeneralizedPareto::cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (shape_ == 0.0) return -math::expm1_safe(-t / scale_);
+  return 1.0 - math::pow1p(shape_ * t / scale_, -1.0 / shape_);
+}
+
+double GeneralizedPareto::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "GeneralizedPareto::quantile: p in [0,1)");
+  if (shape_ == 0.0) return -scale_ * math::log1p_safe(-p);
+  // t = (σ/ξ)((1-p)^{-ξ} - 1)
+  return scale_ / shape_ * math::expm1_safe(-shape_ * math::log1p_safe(-p));
+}
+
+double GeneralizedPareto::mean() const { return scale_ / (1.0 - shape_); }
+
+double GeneralizedPareto::variance() const {
+  if (shape_ >= 0.5) return std::numeric_limits<double>::infinity();
+  const double d = 1.0 - shape_;
+  return scale_ * scale_ / (d * d * (1.0 - 2.0 * shape_));
+}
+
+double GeneralizedPareto::sample(Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+std::string GeneralizedPareto::name() const {
+  return "GeneralizedPareto(shape=" + std::to_string(shape_) +
+         ", scale=" + std::to_string(scale_) + ")";
+}
+
+DistributionPtr GeneralizedPareto::clone() const {
+  return std::make_unique<GeneralizedPareto>(*this);
+}
+
+}  // namespace mclat::dist

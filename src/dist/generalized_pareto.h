@@ -1,0 +1,51 @@
+// generalized_pareto.h — the paper's inter-arrival model (eq. 24).
+//
+// Atikoglu et al. (SIGMETRICS'12) found that key inter-arrival gaps at a
+// Facebook Memcached server follow a Generalized Pareto distribution; the
+// ICDCS'17 paper parameterises it by a burst degree ξ and an arrival rate λ:
+//
+//     T_X(t) = 1 - (1 + ξ λ' t / (1-ξ))^{-1/ξ},   mean = 1/λ'.
+//
+// This is a GP with location 0, shape ξ ∈ [0, 1) and scale σ = (1-ξ)/λ'.
+// ξ = 0 degenerates to Exponential(λ') (the Poisson case); larger ξ gives a
+// heavier tail, i.e. burstier arrivals. Moments: the mean is finite for
+// ξ < 1 and the variance for ξ < 1/2 — the model only needs the mean, so the
+// full ξ range the paper sweeps (up to 0.95) is supported.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class GeneralizedPareto final : public ContinuousDistribution {
+ public:
+  /// shape ξ ∈ [0, 1), scale σ > 0 (location fixed at 0).
+  GeneralizedPareto(double shape, double scale);
+
+  /// Paper parameterisation: burst degree ξ and mean gap 1/rate, i.e.
+  /// σ = (1-ξ)/rate so that E[T_X] = 1/rate. This is eq. (24) with λ' = rate.
+  [[nodiscard]] static GeneralizedPareto with_rate(double shape, double rate);
+
+  /// Same, from the mean gap directly.
+  [[nodiscard]] static GeneralizedPareto with_mean(double shape, double mean);
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;  // +inf for ξ >= 1/2
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+  // laplace(): no closed form for ξ > 0 — inherits the numeric base
+  // implementation (that is the whole reason mclat::math exists).
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace mclat::dist

@@ -1,0 +1,39 @@
+#include "dist/geometric.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+GeometricBatch::GeometricBatch(double q) : q_(q) {
+  math::require(q >= 0.0 && q < 1.0, "GeometricBatch: q must be in [0,1)");
+}
+
+double GeometricBatch::pmf(std::uint64_t n) const {
+  if (n == 0) return 0.0;
+  return std::pow(q_, static_cast<double>(n - 1)) * (1.0 - q_);
+}
+
+double GeometricBatch::cdf(std::uint64_t n) const {
+  if (n == 0) return 0.0;
+  return 1.0 - std::pow(q_, static_cast<double>(n));
+}
+
+double GeometricBatch::pgf(double z) const {
+  math::require(std::abs(z) <= 1.0, "GeometricBatch::pgf: need |z| <= 1");
+  return (1.0 - q_) * z / (1.0 - q_ * z);
+}
+
+std::uint64_t GeometricBatch::sample(Rng& rng) const {
+  if (q_ == 0.0) return 1;
+  // Inversion: X = 1 + floor(ln U / ln q).
+  const double u = rng.uniform_pos();
+  return 1 + static_cast<std::uint64_t>(std::floor(std::log(u) / std::log(q_)));
+}
+
+std::string GeometricBatch::name() const {
+  return "GeometricBatch(q=" + std::to_string(q_) + ")";
+}
+
+}  // namespace mclat::dist

@@ -1,0 +1,52 @@
+// geometric.h — the batch-size distribution X of the paper's GI^X/M/1 model.
+//
+// Concurrent key arrivals at a Memcached server are modelled as batches:
+// with concurrency probability q, another key belongs to the same batch, so
+//
+//     P{X = n} = q^{n-1}(1 - q),  n = 1, 2, …   E[X] = 1/(1-q).
+//
+// The geometric batch size is what makes the batch-service transformation
+// work: a geometric sum of iid Exponential(μ_S) service times is again
+// exponential with rate (1-q)·μ_S, collapsing GI^X/M/1 to GI/M/1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/rng.h"
+
+namespace mclat::dist {
+
+class GeometricBatch {
+ public:
+  /// q ∈ [0, 1): the probability that one more key arrives in the same batch.
+  explicit GeometricBatch(double q);
+
+  /// P{X = n} for n >= 1.
+  [[nodiscard]] double pmf(std::uint64_t n) const;
+
+  /// P{X <= n}.
+  [[nodiscard]] double cdf(std::uint64_t n) const;
+
+  /// E[X] = 1/(1-q).
+  [[nodiscard]] double mean() const noexcept { return 1.0 / (1.0 - q_); }
+
+  /// Var[X] = q/(1-q)².
+  [[nodiscard]] double variance() const noexcept {
+    return q_ / ((1.0 - q_) * (1.0 - q_));
+  }
+
+  /// Probability generating function E[z^X] = (1-q)z / (1 - qz) for |z| <= 1.
+  [[nodiscard]] double pgf(double z) const;
+
+  /// Draws a batch size (>= 1) by inversion.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] double q() const noexcept { return q_; }
+  [[nodiscard]] std::string name() const;
+
+ private:
+  double q_;
+};
+
+}  // namespace mclat::dist

@@ -1,0 +1,98 @@
+#include "dist/hyperexponential.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+HyperExponential::HyperExponential(std::vector<double> probs,
+                                   std::vector<double> rates)
+    : probs_(std::move(probs)), rates_(std::move(rates)) {
+  math::require(!probs_.empty() && probs_.size() == rates_.size(),
+                "HyperExponential: probs/rates size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    math::require(probs_[i] >= 0.0, "HyperExponential: negative probability");
+    math::require(rates_[i] > 0.0, "HyperExponential: rate must be > 0");
+    sum += probs_[i];
+  }
+  math::require(std::abs(sum - 1.0) < 1e-9,
+                "HyperExponential: probabilities must sum to 1");
+}
+
+HyperExponential HyperExponential::fit_mean_scv(double mean, double scv) {
+  math::require(mean > 0.0, "HyperExponential::fit_mean_scv: mean > 0");
+  math::require(scv >= 1.0, "HyperExponential::fit_mean_scv: scv >= 1");
+  if (scv == 1.0) {
+    return HyperExponential({1.0}, {1.0 / mean});
+  }
+  // Balanced-means H₂: p1 = (1 + sqrt((scv-1)/(scv+1)))/2,
+  // r1 = 2 p1 / mean, r2 = 2 (1-p1) / mean.
+  const double w = std::sqrt((scv - 1.0) / (scv + 1.0));
+  const double p1 = 0.5 * (1.0 + w);
+  const double p2 = 1.0 - p1;
+  return HyperExponential({p1, p2}, {2.0 * p1 / mean, 2.0 * p2 / mean});
+}
+
+double HyperExponential::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i] * rates_[i] * std::exp(-rates_[i] * t);
+  }
+  return acc;
+}
+
+double HyperExponential::cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i] * -math::expm1_safe(-rates_[i] * t);
+  }
+  return acc;
+}
+
+double HyperExponential::mean() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) acc += probs_[i] / rates_[i];
+  return acc;
+}
+
+double HyperExponential::variance() const {
+  // E[T²] = Σ pᵢ · 2/rᵢ²
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    m2 += probs_[i] * 2.0 / (rates_[i] * rates_[i]);
+  }
+  const double m = mean();
+  return m2 - m * m;
+}
+
+double HyperExponential::laplace(double s) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i] * rates_[i] / (rates_[i] + s);
+  }
+  return acc;
+}
+
+double HyperExponential::sample(Rng& rng) const {
+  double u = rng.uniform();
+  for (std::size_t i = 0; i + 1 < probs_.size(); ++i) {
+    if (u < probs_[i]) return rng.exponential(rates_[i]);
+    u -= probs_[i];
+  }
+  return rng.exponential(rates_.back());
+}
+
+std::string HyperExponential::name() const {
+  return "HyperExponential(k=" + std::to_string(probs_.size()) + ")";
+}
+
+DistributionPtr HyperExponential::clone() const {
+  return std::make_unique<HyperExponential>(*this);
+}
+
+}  // namespace mclat::dist

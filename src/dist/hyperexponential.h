@@ -1,0 +1,46 @@
+// hyperexponential.h — probabilistic mixture of exponentials (H_k).
+//
+// The bursty-but-light-tailed counterpart to the Generalized Pareto: SCV > 1
+// with a closed-form Laplace transform, which makes it (a) an independent
+// cross-check for the numeric transform machinery and (b) the second arrival
+// pattern in the burstiness ablation (A3 in DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class HyperExponential final : public ContinuousDistribution {
+ public:
+  /// Mixture with P{phase i} = probs[i] and Exponential(rates[i]) in phase i.
+  /// probs must sum to 1 (±1e-9) and match rates in length.
+  HyperExponential(std::vector<double> probs, std::vector<double> rates);
+
+  /// Two-phase H₂ with prescribed mean and SCV >= 1, using balanced means
+  /// (p₁/r₁ = p₂/r₂) — the standard moment-matching construction.
+  [[nodiscard]] static HyperExponential fit_mean_scv(double mean, double scv);
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double laplace(double s) const override;  // Σ pᵢ rᵢ/(rᵢ+s)
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] const std::vector<double>& probs() const noexcept {
+    return probs_;
+  }
+  [[nodiscard]] const std::vector<double>& rates() const noexcept {
+    return rates_;
+  }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> rates_;
+};
+
+}  // namespace mclat::dist

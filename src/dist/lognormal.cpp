@@ -1,0 +1,61 @@
+#include "dist/lognormal.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+#include "math/special.h"
+
+namespace mclat::dist {
+
+LogNormal::LogNormal(double mu_log, double sigma_log)
+    : mu_(mu_log), sigma_(sigma_log) {
+  math::require(sigma_log > 0.0, "LogNormal: sigma_log must be > 0");
+}
+
+LogNormal LogNormal::fit_mean_scv(double mean, double scv) {
+  math::require(mean > 0.0 && scv > 0.0,
+                "LogNormal::fit_mean_scv: mean, scv must be > 0");
+  const double sigma2 = std::log1p(scv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormal(mu, std::sqrt(sigma2));
+}
+
+double LogNormal::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (t * sigma_ * std::sqrt(2.0 * 3.14159265358979323846));
+}
+
+double LogNormal::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return math::normal_cdf((std::log(t) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "LogNormal::quantile: p in [0,1)");
+  if (p == 0.0) return 0.0;
+  return std::exp(mu_ + sigma_ * math::normal_quantile(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return math::expm1_safe(s2) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+std::string LogNormal::name() const {
+  return "LogNormal(mu=" + std::to_string(mu_) +
+         ", sigma=" + std::to_string(sigma_) + ")";
+}
+
+DistributionPtr LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+}  // namespace mclat::dist

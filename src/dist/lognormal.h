@@ -1,0 +1,35 @@
+// lognormal.h — LogNormal(μ, σ) on the log scale. A realistic model of
+// value-size-dependent service times in key-value stores; used as a service
+// pattern in extended experiments and as a numeric-Laplace stress case.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class LogNormal final : public ContinuousDistribution {
+ public:
+  /// mu_log / sigma_log are the mean/stddev of ln T; sigma_log > 0.
+  LogNormal(double mu_log, double sigma_log);
+
+  /// Moment-matched construction from the linear-scale mean and SCV > 0.
+  [[nodiscard]] static LogNormal fit_mean_scv(double mean, double scv);
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] double mu_log() const noexcept { return mu_; }
+  [[nodiscard]] double sigma_log() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace mclat::dist

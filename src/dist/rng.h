@@ -1,0 +1,66 @@
+// rng.h — the random number generator handed to every sampling routine.
+//
+// A thin, explicitly-seeded wrapper over std::mt19937_64. Experiments in
+// this repository must be reproducible run-to-run, so nothing in mclat ever
+// touches std::random_device implicitly: you construct an Rng from a seed
+// and pass it (by reference) to whatever needs randomness.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace mclat::dist {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::generate_canonical<double, 53>(engine_);
+  }
+
+  /// Uniform double in (0, 1] — safe to feed into log().
+  [[nodiscard]] double uniform_pos() { return 1.0 - uniform(); }
+
+  /// Uniform double in [a, b).
+  [[nodiscard]] double uniform(double a, double b) {
+    return a + (b - a) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate) {
+    return -std::log(uniform_pos()) / rate;
+  }
+
+  /// Standard normal variate (Marsaglia polar via std::normal_distribution).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// simulated component its own stream without correlated draws.
+  [[nodiscard]] Rng split() {
+    const std::uint64_t s = engine_() ^ 0xD1B54A32D192ED03ull;
+    return Rng(s);
+  }
+
+  /// Access for std distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mclat::dist

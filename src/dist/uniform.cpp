@@ -1,0 +1,47 @@
+#include "dist/uniform.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+Uniform::Uniform(double a, double b) : a_(a), b_(b) {
+  math::require(a >= 0.0 && a < b, "Uniform: need 0 <= a < b");
+}
+
+double Uniform::pdf(double t) const {
+  return (t >= a_ && t <= b_) ? 1.0 / (b_ - a_) : 0.0;
+}
+
+double Uniform::cdf(double t) const {
+  if (t < a_) return 0.0;
+  if (t >= b_) return 1.0;
+  return (t - a_) / (b_ - a_);
+}
+
+double Uniform::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "Uniform::quantile: p in [0,1)");
+  return a_ + p * (b_ - a_);
+}
+
+double Uniform::mean() const { return 0.5 * (a_ + b_); }
+
+double Uniform::variance() const { return math::sq(b_ - a_) / 12.0; }
+
+double Uniform::laplace(double s) const {
+  if (s == 0.0) return 1.0;
+  return (std::exp(-s * a_) - std::exp(-s * b_)) / (s * (b_ - a_));
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(a_, b_); }
+
+std::string Uniform::name() const {
+  return "Uniform(" + std::to_string(a_) + "," + std::to_string(b_) + ")";
+}
+
+DistributionPtr Uniform::clone() const {
+  return std::make_unique<Uniform>(*this);
+}
+
+}  // namespace mclat::dist

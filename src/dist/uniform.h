@@ -1,0 +1,32 @@
+// uniform.h — Uniform(a, b) on 0 <= a < b. A convenient low-variance,
+// bounded arrival/service pattern for tests and pattern ablations; its
+// Laplace transform (e^{-sa} - e^{-sb})/(s(b-a)) is closed-form.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class Uniform final : public ContinuousDistribution {
+ public:
+  Uniform(double a, double b);
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] double lower() const noexcept { return a_; }
+  [[nodiscard]] double upper() const noexcept { return b_; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace mclat::dist

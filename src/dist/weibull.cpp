@@ -1,0 +1,59 @@
+#include "dist/weibull.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  math::require(shape > 0.0, "Weibull: shape must be > 0");
+  math::require(scale > 0.0, "Weibull: scale must be > 0");
+}
+
+Weibull Weibull::with_mean(double shape, double mean) {
+  math::require(mean > 0.0, "Weibull::with_mean: mean must be > 0");
+  const double g = std::tgamma(1.0 + 1.0 / shape);
+  return Weibull(shape, mean / g);
+}
+
+double Weibull::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) return shape_ == 1.0 ? 1.0 / scale_ : (shape_ > 1.0 ? 0.0 : 0.0);
+  const double z = t / scale_;
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -math::expm1_safe(-std::pow(t / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "Weibull::quantile: p in [0,1)");
+  return scale_ * std::pow(-math::log1p_safe(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+std::string Weibull::name() const {
+  return "Weibull(shape=" + std::to_string(shape_) +
+         ", scale=" + std::to_string(scale_) + ")";
+}
+
+DistributionPtr Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+}  // namespace mclat::dist

@@ -1,0 +1,36 @@
+// weibull.h — Weibull(k, σ). Covers both smoother-than-exponential (k > 1)
+// and heavier-tailed (k < 1) regimes with closed-form CDF and quantile but a
+// numeric Laplace transform — a good stress test for the δ-solver and a
+// third pattern in the arrival ablation.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace mclat::dist {
+
+class Weibull final : public ContinuousDistribution {
+ public:
+  /// shape k > 0, scale σ > 0; cdf(t) = 1 - exp(-(t/σ)^k).
+  Weibull(double shape, double scale);
+
+  /// Weibull with prescribed shape and mean (scale solved from Γ(1+1/k)).
+  [[nodiscard]] static Weibull with_mean(double shape, double mean);
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace mclat::dist

@@ -1,0 +1,86 @@
+#include "dist/zipf.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::dist {
+
+Zipf::Zipf(std::uint64_t n, double s) : n_(n), s_(s) {
+  math::require(n >= 1, "Zipf: n must be >= 1");
+  math::require(s > 0.0, "Zipf: exponent must be > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  s_over_points_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double Zipf::h_integral(double x) const {
+  // ∫ t^{-s} dt = log(t) for s = 1, t^{1-s}/(1-s) otherwise; written via
+  // expm1/log1p to stay accurate as s → 1.
+  const double log_x = std::log(x);
+  // helper: (e^{a·log_x} - 1)/a with a = 1 - s, continuous at a = 0.
+  const double a = 1.0 - s_;
+  const double t = a * log_x;
+  if (std::abs(t) > 1e-8) return std::expm1(t) / a * 1.0;
+  // series fallback (also covers a == 0 exactly): log_x·(1 + t/2 + t²/6)
+  return log_x * (1.0 + 0.5 * t + t * t / 6.0);
+}
+
+double Zipf::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double Zipf::h_integral_inverse(double x) const {
+  const double a = 1.0 - s_;
+  double t = x * a;
+  if (t < -1.0) t = -1.0;  // clamp against rounding below the pole
+  double log_res;
+  if (std::abs(t) > 1e-8) {
+    log_res = std::log1p(t) / a;
+  } else {
+    log_res = x * (1.0 - 0.5 * x * a + x * x * a * a / 3.0);
+  }
+  return std::exp(log_res);
+}
+
+double Zipf::harmonic(std::uint64_t n) const {
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += std::exp(-s_ * std::log(static_cast<double>(k)));
+  }
+  return acc;
+}
+
+double Zipf::pmf(std::uint64_t k) const {
+  math::require(k < n_, "Zipf::pmf: rank out of range");
+  if (harmonic_cache_ < 0.0) harmonic_cache_ = harmonic(n_);
+  return std::exp(-s_ * std::log(static_cast<double>(k + 1))) /
+         harmonic_cache_;
+}
+
+double Zipf::head_mass(std::uint64_t m) const {
+  math::require(m <= n_, "Zipf::head_mass: m out of range");
+  if (harmonic_cache_ < 0.0) harmonic_cache_ = harmonic(n_);
+  return harmonic(m) / harmonic_cache_;
+}
+
+std::uint64_t Zipf::sample(Rng& rng) const {
+  // Hörmann & Derflinger (1996) rejection-inversion.
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_over_points_ ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // external ranks are 0-based
+    }
+  }
+}
+
+std::string Zipf::name() const {
+  return "Zipf(n=" + std::to_string(n_) + ", s=" + std::to_string(s_) + ")";
+}
+
+}  // namespace mclat::dist

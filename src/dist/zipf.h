@@ -1,0 +1,54 @@
+// zipf.h — Zipf(s) key-popularity distribution over {0, …, n-1}.
+//
+// Key accesses in the Facebook trace are heavily skewed ("a small percentage
+// of values are accessed quite frequently"); Zipf is the standard model for
+// that skew and is what creates both the cache hit-rate curve (real-cache
+// mode) and, combined with hashing, the unbalanced load {p_j}.
+//
+// Sampling uses Hörmann & Derflinger's rejection-inversion method, which is
+// O(1) per draw with no per-key tables, so key spaces of 10⁸+ keys cost no
+// memory. pmf/cdf use a lazily computed generalized harmonic number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/rng.h"
+
+namespace mclat::dist {
+
+class Zipf {
+ public:
+  /// n >= 1 items, exponent s > 0 (s = 1 is the classic Zipf law).
+  Zipf(std::uint64_t n, double s);
+
+  /// P{K = k} for rank k ∈ [0, n) (rank 0 is the most popular key).
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+
+  /// Expected fraction of accesses hitting the `m` most popular keys.
+  [[nodiscard]] double head_mass(std::uint64_t m) const;
+
+  /// Draws a rank in [0, n) by rejection-inversion (O(1) expected).
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+  [[nodiscard]] std::string name() const;
+
+ private:
+  // H(x) = ∫ x^{-s} dx antiderivative used by rejection-inversion.
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+  /// Generalized harmonic number H_{n,s} = Σ_{k=1..n} k^{-s}.
+  [[nodiscard]] double harmonic(std::uint64_t n) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_over_points_;  // threshold used by the acceptance test
+  mutable double harmonic_cache_ = -1.0;
+};
+
+}  // namespace mclat::dist

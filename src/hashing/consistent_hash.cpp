@@ -1,0 +1,87 @@
+#include "hashing/consistent_hash.h"
+
+#include <algorithm>
+#include <string>
+
+#include "hashing/hashes.h"
+#include "math/numerics.h"
+
+namespace mclat::hashing {
+
+ConsistentHashRing::ConsistentHashRing(std::size_t servers, std::size_t vnodes)
+    : vnodes_(vnodes) {
+  math::require(servers >= 1, "ConsistentHashRing: need at least one server");
+  math::require(vnodes >= 1, "ConsistentHashRing: need at least one vnode");
+  ring_.reserve(servers * vnodes);
+  for (std::size_t s = 0; s < servers; ++s) add_server();
+}
+
+void ConsistentHashRing::insert_vnodes(std::size_t server) {
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // Deterministic vnode position: hash of "server-<s>-vnode-<v>".
+    const std::string label =
+        "server-" + std::to_string(server) + "-vnode-" + std::to_string(v);
+    // FNV alone clusters on such similar strings; the splitmix finaliser
+    // spreads the ring points uniformly (lookup mixes identically).
+    ring_.push_back(
+        Point{mix64(fnv1a64(label)), static_cast<std::uint32_t>(server)});
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+void ConsistentHashRing::add_server() {
+  const std::size_t s = next_server_++;
+  alive_.push_back(true);
+  insert_vnodes(s);
+}
+
+void ConsistentHashRing::remove_server(std::size_t server) {
+  math::require(server < alive_.size() && alive_[server],
+                "ConsistentHashRing: no such live server");
+  alive_[server] = false;
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [server](const Point& p) {
+                               return p.server == server;
+                             }),
+              ring_.end());
+  math::require(!ring_.empty(),
+                "ConsistentHashRing: cannot remove the last server");
+}
+
+std::size_t ConsistentHashRing::server_for(std::string_view key) const {
+  const std::uint64_t h = mix64(fnv1a64(key));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t hh) { return p.hash < hh; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->server;
+}
+
+std::size_t ConsistentHashRing::server_count() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+std::string ConsistentHashRing::name() const {
+  return "ConsistentHashRing(servers=" + std::to_string(server_count()) +
+         ", vnodes=" + std::to_string(vnodes_) + ")";
+}
+
+std::vector<double> ConsistentHashRing::arc_shares() const {
+  std::vector<double> share(alive_.size(), 0.0);
+  if (ring_.empty()) return share;
+  const double full = 18446744073709551616.0;  // 2^64
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    // Arc (previous point, this point] belongs to this point's server.
+    const std::uint64_t curr = ring_[i].hash;
+    const std::uint64_t prev = i == 0 ? ring_.back().hash : ring_[i - 1].hash;
+    const double arc = i == 0
+        ? static_cast<double>(curr) + (full - static_cast<double>(prev))
+        : static_cast<double>(curr - prev);
+    share[ring_[i].server] += arc / full;
+  }
+  return share;
+}
+
+}  // namespace mclat::hashing

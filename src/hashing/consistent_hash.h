@@ -1,0 +1,52 @@
+// consistent_hash.h — ketama-style consistent hashing ring.
+//
+// Each server owns `vnodes` points on a 64-bit ring; a key routes to the
+// first point clockwise from its hash. Adding/removing a server moves only
+// ~1/M of the keys — the property that makes consistent hashing the default
+// in production Memcached clients. The ring also exposes the *realised*
+// load shares so experiments can measure how far a finite-vnode ring is
+// from the ideal uniform {p_j}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hashing/key_mapper.h"
+
+namespace mclat::hashing {
+
+class ConsistentHashRing final : public KeyMapper {
+ public:
+  /// `servers` initial servers, `vnodes` ring points per server.
+  ConsistentHashRing(std::size_t servers, std::size_t vnodes = 160);
+
+  [[nodiscard]] std::size_t server_for(std::string_view key) const override;
+  [[nodiscard]] std::size_t server_count() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Adds one server (index = previous server_count()).
+  void add_server();
+
+  /// Removes the given server's vnodes; keys re-route to ring successors.
+  /// Server indices of the remaining servers are unchanged.
+  void remove_server(std::size_t server);
+
+  /// Fraction of ring arc owned by each server — the {p_j} this ring
+  /// realises under uniformly-hashed keys.
+  [[nodiscard]] std::vector<double> arc_shares() const;
+
+ private:
+  void insert_vnodes(std::size_t server);
+
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t server;
+  };
+
+  std::size_t vnodes_;
+  std::size_t next_server_ = 0;
+  std::vector<Point> ring_;       // sorted by hash
+  std::vector<bool> alive_;       // per server index
+};
+
+}  // namespace mclat::hashing

@@ -1,0 +1,46 @@
+// hashes.h — deterministic string/integer hash functions.
+//
+// Implemented from scratch (no std::hash, whose value is unspecified across
+// implementations — experiment results must be bit-reproducible):
+//   * fnv1a64    — the hash memcached's clients traditionally use for
+//                  key→server selection;
+//   * mix64      — splitmix64 finaliser, used to derive independent uniform
+//                  streams from a single key hash;
+//   * hash_combine — order-sensitive combination for composite keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mclat::hashing {
+
+/// FNV-1a, 64-bit.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finaliser: a fast, well-mixed bijection on 64-bit words.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines a running hash with another value (boost-style, 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Maps a 64-bit hash to a uniform double in [0, 1).
+[[nodiscard]] constexpr double to_unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace mclat::hashing

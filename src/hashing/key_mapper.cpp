@@ -1,0 +1,20 @@
+#include "hashing/key_mapper.h"
+
+#include "hashing/hashes.h"
+#include "math/numerics.h"
+
+namespace mclat::hashing {
+
+ModuloMapper::ModuloMapper(std::size_t servers) : servers_(servers) {
+  math::require(servers >= 1, "ModuloMapper: need at least one server");
+}
+
+std::size_t ModuloMapper::server_for(std::string_view key) const {
+  return fnv1a64(key) % servers_;
+}
+
+std::string ModuloMapper::name() const {
+  return "ModuloMapper(M=" + std::to_string(servers_) + ")";
+}
+
+}  // namespace mclat::hashing

@@ -1,0 +1,47 @@
+// key_mapper.h — the key→server mapping abstraction.
+//
+// In Memcached, each key is routed to one server by a client-side hash; the
+// paper abstracts whatever algorithm is in use into the load-distribution
+// probabilities {p_j}. This interface lets experiments choose:
+//   * ModuloMapper     — hash % M, the naive scheme (near-uniform p_j);
+//   * ConsistentHashRing (consistent_hash.h) — ketama-style ring (balanced
+//     in expectation, with vnode-count-controlled variance);
+//   * WeightedMapper (weighted_mapper.h) — engineers an arbitrary target
+//     {p_j}, which is how the Fig. 10 imbalance sweep sets p1 exactly.
+//
+// A mapper must be *deterministic*: the same key always routes to the same
+// server (Memcached's correctness depends on that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace mclat::hashing {
+
+class KeyMapper {
+ public:
+  virtual ~KeyMapper() = default;
+
+  /// Server index in [0, server_count()) for this key.
+  [[nodiscard]] virtual std::size_t server_for(std::string_view key) const = 0;
+
+  [[nodiscard]] virtual std::size_t server_count() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// hash(key) mod M.
+class ModuloMapper final : public KeyMapper {
+ public:
+  explicit ModuloMapper(std::size_t servers);
+
+  [[nodiscard]] std::size_t server_for(std::string_view key) const override;
+  [[nodiscard]] std::size_t server_count() const override { return servers_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t servers_;
+};
+
+}  // namespace mclat::hashing

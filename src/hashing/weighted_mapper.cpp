@@ -1,0 +1,50 @@
+#include "hashing/weighted_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/hashes.h"
+#include "math/numerics.h"
+
+namespace mclat::hashing {
+
+WeightedMapper::WeightedMapper(std::vector<double> weights) {
+  math::require(!weights.empty(), "WeightedMapper: weights must be nonempty");
+  double sum = 0.0;
+  for (const double w : weights) {
+    math::require(w >= 0.0 && std::isfinite(w),
+                  "WeightedMapper: weights must be finite and nonnegative");
+    sum += w;
+  }
+  math::require(sum > 0.0, "WeightedMapper: weights must have a positive sum");
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / sum;
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // close rounding gaps so every key maps somewhere
+}
+
+std::size_t WeightedMapper::server_for(std::string_view key) const {
+  const double u = to_unit_interval(mix64(fnv1a64(key)));
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::string WeightedMapper::name() const {
+  return "WeightedMapper(M=" + std::to_string(cdf_.size()) + ")";
+}
+
+std::vector<double> WeightedMapper::target_shares() const {
+  std::vector<double> p(cdf_.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    p[i] = cdf_[i] - prev;
+    prev = cdf_[i];
+  }
+  return p;
+}
+
+}  // namespace mclat::hashing

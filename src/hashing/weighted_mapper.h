@@ -1,0 +1,34 @@
+// weighted_mapper.h — key→server mapping with an exact target distribution.
+//
+// The Fig. 10 experiment needs the largest load ratio p1 dialled precisely
+// from 0.3 to 0.9. A hash ring cannot do that; this mapper treats the key's
+// hash as a uniform variate and inverts the target CDF, so keys are
+// deterministically assigned and the realised shares converge to {p_j} at
+// rate O(1/√#keys) over any key population that hashes uniformly.
+#pragma once
+
+#include <vector>
+
+#include "hashing/key_mapper.h"
+
+namespace mclat::hashing {
+
+class WeightedMapper final : public KeyMapper {
+ public:
+  /// `weights` is the target {p_j}; normalised internally.
+  explicit WeightedMapper(std::vector<double> weights);
+
+  [[nodiscard]] std::size_t server_for(std::string_view key) const override;
+  [[nodiscard]] std::size_t server_count() const override {
+    return cdf_.size();
+  }
+  [[nodiscard]] std::string name() const override;
+
+  /// The normalised target shares.
+  [[nodiscard]] std::vector<double> target_shares() const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums of normalised weights
+};
+
+}  // namespace mclat::hashing

@@ -1,0 +1,152 @@
+#include "math/integration.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/numerics.h"
+
+namespace mclat::math {
+namespace {
+
+// One Simpson estimate over [a, b] given precomputed endpoint/midpoint values.
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+// Recursive half of adaptive Simpson with Richardson acceleration. `whole`
+// is the single-panel estimate over [a, b]; the panel splits until the
+// two-half estimate agrees with it to tolerance.
+double adaptive_step(const std::function<double(double)>& f, double a,
+                     double b, double fa, double fm, double fb, double whole,
+                     double abs_tol, double rel_tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  const double scale = std::abs(left + right);
+  if (depth <= 0 || std::abs(delta) <= 15.0 * (abs_tol + rel_tol * scale)) {
+    // Richardson extrapolation: Simpson error shrinks 16x per halving.
+    return left + right + delta / 15.0;
+  }
+  return adaptive_step(f, a, m, fa, flm, fm, left, 0.5 * abs_tol, rel_tol,
+                       depth - 1) +
+         adaptive_step(f, m, b, fm, frm, fb, right, 0.5 * abs_tol, rel_tol,
+                       depth - 1);
+}
+
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, const QuadratureOptions& opt) {
+  if (!(a <= b)) throw std::invalid_argument("adaptive_simpson: a > b");
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double whole = simpson(fa, fm, fb, a, b);
+  return adaptive_step(f, a, b, fa, fm, fb, whole, opt.abs_tol, opt.rel_tol,
+                       opt.max_depth);
+}
+
+double integrate_semi_infinite(const std::function<double(double)>& f,
+                               double a, const QuadratureOptions& opt) {
+  // Sum geometrically widening panels [t, 2t+1) so an exponential-decay tail
+  // converges in O(log) panels regardless of the decay rate's scale.
+  double total = 0.0;
+  double left = a;
+  double width = 1.0;
+  // First pick a width that resolves the integrand near `a`: shrink while the
+  // first panel dominates to avoid stepping over a narrow pdf spike.
+  for (int i = 0; i < 60; ++i) {
+    double panel = adaptive_simpson(f, left, left + width, opt);
+    double half = adaptive_simpson(f, left, left + 0.5 * width, opt) +
+                  adaptive_simpson(f, left + 0.5 * width, left + width, opt);
+    if (std::abs(panel - half) <=
+        opt.abs_tol + opt.rel_tol * std::abs(half) * 10.0) {
+      break;
+    }
+    width *= 0.5;
+  }
+  int quiet_panels = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double panel = adaptive_simpson(f, left, left + width, opt);
+    total += panel;
+    left += width;
+    width *= 2.0;
+    if (std::abs(panel) <= opt.abs_tol + opt.rel_tol * std::abs(total)) {
+      if (++quiet_panels >= 3) break;  // genuinely converged, not a zero dip
+    } else {
+      quiet_panels = 0;
+    }
+  }
+  return total;
+}
+
+GaussLaguerre::GaussLaguerre(int n) {
+  require(n >= 2, "GaussLaguerre: order must be >= 2");
+  nodes_.resize(static_cast<std::size_t>(n));
+  weights_.resize(static_cast<std::size_t>(n));
+  // Newton iteration on L_n(x) using the three-term recurrence; initial
+  // guesses follow Stroud & Secrest as popularised by Numerical Recipes.
+  double z = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (i == 0) {
+      z = 3.0 / (1.0 + 2.4 * n);
+    } else if (i == 1) {
+      z += 15.0 / (1.0 + 2.5 * n);
+    } else {
+      const double ai = i - 1;
+      z += (1.0 + 2.55 * ai) / (1.9 * ai) * (z - nodes_[static_cast<std::size_t>(i - 2)]);
+    }
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate L_n(z) and its derivative via recurrence.
+      double p1 = 1.0;
+      double p2 = 0.0;
+      for (int j = 1; j <= n; ++j) {
+        const double p3 = p2;
+        p2 = p1;
+        p1 = ((2.0 * j - 1.0 - z) * p2 - (j - 1.0) * p3) / j;
+      }
+      pp = n * (p1 - p2) / z;
+      const double z1 = z;
+      z = z1 - p1 / pp;
+      if (std::abs(z - z1) <= 1e-15 * std::max(1.0, std::abs(z))) break;
+    }
+    nodes_[static_cast<std::size_t>(i)] = z;
+    // w_i = -1 / (n * L_{n-1}(x_i) * L_n'(x_i)); the recurrence form below is
+    // the numerically stable equivalent.
+    double p2 = 0.0;
+    {
+      double p1 = 1.0;
+      for (int j = 1; j <= n; ++j) {
+        const double p3 = p2;
+        p2 = p1;
+        p1 = ((2.0 * j - 1.0 - z) * p2 - (j - 1.0) * p3) / j;
+      }
+    }
+    weights_[static_cast<std::size_t>(i)] = -1.0 / (pp * n * p2);
+  }
+}
+
+double GaussLaguerre::integrate(const std::function<double(double)>& f) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    acc += weights_[i] * f(nodes_[i]);
+  }
+  return acc;
+}
+
+double GaussLaguerre::laplace(const std::function<double(double)>& g,
+                              double s) const {
+  require(s > 0.0, "GaussLaguerre::laplace: s must be > 0");
+  // ∫₀^∞ e^{-st} g(t) dt = (1/s) ∫₀^∞ e^{-x} g(x/s) dx
+  return integrate([&](double x) { return g(x / s); }) / s;
+}
+
+}  // namespace mclat::math

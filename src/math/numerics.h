@@ -1,0 +1,71 @@
+// numerics.h — small numeric helpers shared across mclat.
+//
+// Everything here is header-only, constexpr where possible, and kept
+// deliberately tiny: tolerance-aware comparisons, safe log/exp helpers and
+// the few mathematical constants the model derivations need.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace mclat::math {
+
+/// Default absolute/relative tolerance used by iterative algorithms when the
+/// caller does not specify one.
+inline constexpr double kDefaultTol = 1e-10;
+
+/// Smallest utilisation / probability gap treated as "strictly inside (0,1)".
+inline constexpr double kProbEps = 1e-12;
+
+/// Returns true when |a - b| <= atol + rtol * max(|a|, |b|).
+[[nodiscard]] constexpr bool almost_equal(double a, double b,
+                                          double rtol = 1e-9,
+                                          double atol = 1e-12) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  const double aa = a < 0 ? -a : a;
+  const double ab = b < 0 ? -b : b;
+  const double scale = aa > ab ? aa : ab;
+  return diff <= atol + rtol * scale;
+}
+
+/// Clamps x into [lo, hi].
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// log(1 + x) that stays accurate for tiny |x| (thin wrapper so call sites
+/// read mathematically).
+[[nodiscard]] inline double log1p_safe(double x) { return std::log1p(x); }
+
+/// exp(x) - 1 accurate for tiny |x|.
+[[nodiscard]] inline double expm1_safe(double x) { return std::expm1(x); }
+
+/// (1 + x)^p computed in log space; requires 1 + x > 0.
+[[nodiscard]] inline double pow1p(double x, double p) {
+  return std::exp(p * std::log1p(x));
+}
+
+/// True when x is a finite, representable double.
+[[nodiscard]] inline bool is_finite(double x) noexcept {
+  return std::isfinite(x);
+}
+
+/// Throws std::invalid_argument with `what` unless `cond` holds. Used to
+/// enforce constructor preconditions (I.5 / E.25: establish invariants at the
+/// boundary rather than littering checks through the code).
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+/// Linear interpolation between a and b with weight t in [0,1].
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+  return a + t * (b - a);
+}
+
+/// Square helper, avoids std::pow for the hot paths.
+[[nodiscard]] constexpr double sq(double x) noexcept { return x * x; }
+
+}  // namespace mclat::math

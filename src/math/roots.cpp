@@ -1,0 +1,162 @@
+#include "math/roots.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "math/numerics.h"
+
+namespace mclat::math {
+
+RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                  const RootOptions& opt) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (fa * fb > 0.0) {
+    throw std::invalid_argument("bisect: f(a) and f(b) must differ in sign");
+  }
+  RootResult r;
+  for (r.iterations = 0; r.iterations < opt.max_iter; ++r.iterations) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    if (std::abs(fm) <= opt.f_tol || 0.5 * (b - a) <= opt.x_tol) {
+      r.x = m;
+      r.fx = fm;
+      r.converged = true;
+      return r;
+    }
+    if (fa * fm <= 0.0) {
+      b = m;
+      fb = fm;
+    } else {
+      a = m;
+      fa = fm;
+    }
+  }
+  r.x = 0.5 * (a + b);
+  r.fx = f(r.x);
+  r.converged = std::abs(r.fx) <= opt.f_tol;
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 const RootOptions& opt) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (fa * fb > 0.0) {
+    throw std::invalid_argument("brent: f(a) and f(b) must differ in sign");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;  // step from previous iteration
+  double e = d;      // step before that
+  RootResult r;
+  for (r.iterations = 0; r.iterations < opt.max_iter; ++r.iterations) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() *
+                           std::abs(b) + 0.5 * opt.x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0 || std::abs(fb) <= opt.f_tol) {
+      r.x = b;
+      r.fx = fb;
+      r.converged = true;
+      return r;
+    }
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation (secant when a == c).
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double rr = fb / fc;
+        p = s * (2.0 * m * qq * (qq - rr) - (b - a) * (rr - 1.0));
+        q = (qq - 1.0) * (rr - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q; else p = -p;
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  r.x = b;
+  r.fx = fb;
+  r.converged = std::abs(fb) <= opt.f_tol;
+  return r;
+}
+
+RootResult fixed_point(const std::function<double(double)>& g, double x0,
+                       double damping, const RootOptions& opt) {
+  require(damping > 0.0 && damping <= 1.0,
+          "fixed_point: damping must lie in (0,1]");
+  RootResult r;
+  double x = x0;
+  for (r.iterations = 0; r.iterations < opt.max_iter; ++r.iterations) {
+    const double gx = g(x);
+    const double next = (1.0 - damping) * x + damping * gx;
+    if (!std::isfinite(next)) break;
+    if (std::abs(next - x) <= opt.x_tol * std::max(1.0, std::abs(next))) {
+      r.x = next;
+      r.fx = g(next) - next;
+      r.converged = true;
+      return r;
+    }
+    x = next;
+  }
+  r.x = x;
+  r.fx = g(x) - x;
+  r.converged = false;
+  return r;
+}
+
+std::optional<std::pair<double, double>> bracket_sign_change(
+    const std::function<double(double)>& f, double a, double b, int steps) {
+  require(steps >= 1, "bracket_sign_change: steps must be >= 1");
+  require(a < b, "bracket_sign_change: need a < b");
+  double prev_x = a;
+  double prev_f = f(a);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = a + (b - a) * static_cast<double>(i) / steps;
+    const double fx = f(x);
+    if (prev_f == 0.0) return std::make_pair(prev_x, prev_x);
+    if (prev_f * fx <= 0.0) return std::make_pair(prev_x, x);
+    prev_x = x;
+    prev_f = fx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mclat::math

@@ -1,0 +1,57 @@
+// roots.h — scalar root finding and fixed-point iteration.
+//
+// The latency model needs exactly one nontrivial root: the GI/M/1 constant
+// δ ∈ (0,1) solving δ = L_TX((1-δ)(1-q)μ_S). We expose general-purpose
+// bisection, Brent's method and damped fixed-point iteration so the solver
+// can (a) iterate the contraction mapping when it converges and (b) fall
+// back to a bracketing method near the critical load where the mapping's
+// slope approaches 1.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace mclat::math {
+
+/// Result of an iterative root search.
+struct RootResult {
+  double x = 0.0;          ///< final abscissa
+  double fx = 0.0;         ///< residual f(x) at the final abscissa
+  int iterations = 0;      ///< iterations consumed
+  bool converged = false;  ///< true when the tolerance was met
+};
+
+/// Options shared by the root finders.
+struct RootOptions {
+  double x_tol = 1e-13;   ///< abscissa tolerance
+  double f_tol = 1e-13;   ///< residual tolerance
+  int max_iter = 200;     ///< iteration cap
+};
+
+/// Plain bisection on [a, b]; requires f(a) and f(b) of opposite sign.
+/// Robust, linear convergence. Throws std::invalid_argument if the bracket
+/// is invalid.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double a, double b,
+                                const RootOptions& opt = {});
+
+/// Brent's method on [a, b]: inverse-quadratic/secant steps guarded by
+/// bisection. Superlinear for smooth f, never worse than bisection.
+/// Requires f(a)·f(b) <= 0.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f,
+                               double a, double b,
+                               const RootOptions& opt = {});
+
+/// Damped fixed-point iteration x ← (1-ω)x + ω g(x). Converges when the
+/// damped map is a contraction; returns converged=false otherwise so callers
+/// can fall back to a bracketing method.
+[[nodiscard]] RootResult fixed_point(const std::function<double(double)>& g,
+                                     double x0, double damping = 1.0,
+                                     const RootOptions& opt = {});
+
+/// Scans [a, b] in `steps` uniform increments and returns the first
+/// sub-interval where f changes sign (useful for bracketing before brent()).
+[[nodiscard]] std::optional<std::pair<double, double>> bracket_sign_change(
+    const std::function<double(double)>& f, double a, double b, int steps);
+
+}  // namespace mclat::math

@@ -1,0 +1,152 @@
+#include "math/special.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mclat::math {
+
+double normal_cdf(double x) {
+  // Φ(x) = erfc(-x/√2)/2 — std::erfc is accurate in both tails.
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  }
+  // Wichura (1988), algorithm AS 241, PPND16.
+  const double q = p - 0.5;
+  if (std::abs(q) <= 0.425) {
+    const double r = 0.180625 - q * q;
+    return q *
+           (((((((2.5090809287301226727e3 * r + 3.3430575583588128105e4) * r +
+                 6.7265770927008700853e4) * r + 4.5921953931549871457e4) * r +
+               1.3731693765509461125e4) * r + 1.9715909503065514427e3) * r +
+             1.3314166789178437745e2) * r + 3.3871328727963666080e0) /
+           (((((((5.2264952788528545610e3 * r + 2.8729085735721942674e4) * r +
+                 3.9307895800092710610e4) * r + 2.1213794301586595867e4) * r +
+               5.3941960214247511077e3) * r + 6.8718700749205790830e2) * r +
+             4.2313330701600911252e1) * r + 1.0);
+  }
+  double r = (q < 0.0) ? p : 1.0 - p;
+  r = std::sqrt(-std::log(r));
+  double val;
+  if (r <= 5.0) {
+    r -= 1.6;
+    val = (((((((7.74545014278341407640e-4 * r + 2.27238449892691845833e-2) * r +
+                2.41780725177450611770e-1) * r + 1.27045825245236838258e0) * r +
+              3.64784832476320460504e0) * r + 5.76949722146069140550e0) * r +
+            4.63033784615654529590e0) * r + 1.42343711074968357734e0) /
+          (((((((1.05075007164441684324e-9 * r + 5.47593808499534494600e-4) * r +
+                1.51986665636164571966e-2) * r + 1.48103976427480074590e-1) * r +
+              6.89767334985100004550e-1) * r + 1.67638483018380384940e0) * r +
+            2.05319162663775882187e0) * r + 1.0);
+  } else {
+    r -= 5.0;
+    val = (((((((2.01033439929228813265e-7 * r + 2.71155556874348757815e-5) * r +
+                1.24266094738807843860e-3) * r + 2.65321895265761230930e-2) * r +
+              2.96560571828504891230e-1) * r + 1.78482653991729133580e0) * r +
+            5.46378491116411436990e0) * r + 6.65790464350110377720e0) /
+          (((((((2.04426310338993978564e-15 * r + 1.42151175831644588870e-7) * r +
+                1.84631831751005468180e-5) * r + 7.86869131145613259100e-4) * r +
+              1.48753612908506148525e-2) * r + 1.36929880922735805310e-1) * r +
+            5.99832206555887937690e-1) * r + 1.0);
+  }
+  return (q < 0.0) ? -val : val;
+}
+
+namespace {
+
+// Series representation of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a, x) (Lentz); for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument("gamma_p: need a > 0, x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  return (x < a + 1.0) ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument("gamma_q: need a > 0, x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  return (x < a + 1.0) ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double student_t_critical(double df, double confidence) {
+  if (!(df > 0.0)) throw std::invalid_argument("student_t_critical: df <= 0");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("student_t_critical: confidence in (0,1)");
+  }
+  const double z = normal_quantile(0.5 + 0.5 * confidence);
+  // Cornish–Fisher expansion of the t quantile in powers of 1/df.
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double g1 = (z3 + z) / 4.0;
+  const double g2 = (5.0 * z5 + 16.0 * z3 + 3.0 * z) / 96.0;
+  const double g3 = (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / 384.0;
+  return z + g1 / df + g2 / (df * df) + g3 / (df * df * df);
+}
+
+double erlang_b(unsigned c, double offered_load) {
+  if (!(offered_load > 0.0)) {
+    throw std::invalid_argument("erlang_b: offered load must be > 0");
+  }
+  if (c == 0) return 1.0;
+  double b = 1.0;
+  for (unsigned k = 1; k <= c; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(unsigned c, double offered_load) {
+  if (c == 0 || !(offered_load < static_cast<double>(c))) {
+    throw std::invalid_argument("erlang_c: need offered load < c servers");
+  }
+  // C = B / (1 - ρ(1 - B)) with ρ = a/c and B the Erlang-B value.
+  const double b = erlang_b(c, offered_load);
+  const double rho = offered_load / static_cast<double>(c);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+}  // namespace mclat::math

@@ -1,0 +1,69 @@
+#include "sim/multi_station.h"
+
+#include <utility>
+
+#include "math/numerics.h"
+
+namespace mclat::sim {
+
+MultiServerStation::MultiServerStation(Simulator& sim, unsigned servers,
+                                       dist::DistributionPtr service,
+                                       dist::Rng rng,
+                                       DepartureHandler on_departure)
+    : sim_(sim), servers_n_(servers), service_(std::move(service)), rng_(rng),
+      on_departure_(std::move(on_departure)), created_at_(sim.now()),
+      last_change_(sim.now()) {
+  math::require(servers >= 1, "MultiServerStation: need >= 1 server");
+  math::require(service_ != nullptr, "MultiServerStation: null service");
+  math::require(static_cast<bool>(on_departure_),
+                "MultiServerStation: null departure handler");
+}
+
+void MultiServerStation::account_busy(Time now) noexcept {
+  busy_integral_ += static_cast<double>(busy_) * (now - last_change_);
+  last_change_ = now;
+}
+
+void MultiServerStation::arrive(std::uint64_t job_id) {
+  queue_.push_back(Pending{job_id, sim_.now()});
+  if (busy_ < servers_n_) begin_service();
+}
+
+void MultiServerStation::begin_service() {
+  const Pending job = queue_.front();
+  queue_.pop_front();
+  account_busy(sim_.now());
+  ++busy_;
+  const Time start = sim_.now();
+  const double duration = service_->sample(rng_);
+  sim_.schedule_in(duration, [this, job, start] {
+    account_busy(sim_.now());
+    --busy_;
+    ++completed_;
+    Departure d;
+    d.job_id = job.job_id;
+    d.arrival = job.arrival;
+    d.service_start = start;
+    d.departure = sim_.now();
+    if (d.waiting_time() > 1e-12) ++waited_;
+    waiting_.add(d.waiting_time());
+    sojourn_.add(d.sojourn_time());
+    if (!queue_.empty() && busy_ < servers_n_) begin_service();
+    on_departure_(d);
+  });
+}
+
+double MultiServerStation::utilization(Time now) const {
+  const Time elapsed = now - created_at_;
+  if (elapsed <= 0.0) return 0.0;
+  const double pending = static_cast<double>(busy_) * (now - last_change_);
+  return (busy_integral_ + pending) /
+         (elapsed * static_cast<double>(servers_n_));
+}
+
+double MultiServerStation::waited_fraction() const {
+  if (completed_ == 0) return 0.0;
+  return static_cast<double>(waited_) / static_cast<double>(completed_);
+}
+
+}  // namespace mclat::sim

@@ -1,0 +1,77 @@
+// multi_station.h — a c-server FIFO queueing station (the M/M/c substrate,
+// and with other service laws M/G/c): one shared unbounded queue drained by
+// `c` identical servers. Used for the sharded/pooled database extension and
+// validated against core::MmcQueue's closed forms.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "dist/distribution.h"
+#include "dist/rng.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "stats/welford.h"
+
+namespace mclat::sim {
+
+class MultiServerStation {
+ public:
+  using DepartureHandler = std::function<void(const Departure&)>;
+
+  MultiServerStation(Simulator& sim, unsigned servers,
+                     dist::DistributionPtr service, dist::Rng rng,
+                     DepartureHandler on_departure);
+
+  MultiServerStation(const MultiServerStation&) = delete;
+  MultiServerStation& operator=(const MultiServerStation&) = delete;
+
+  /// Enqueues a job at the current simulation time.
+  void arrive(std::uint64_t job_id);
+
+  [[nodiscard]] unsigned servers() const noexcept { return servers_n_; }
+  [[nodiscard]] unsigned busy_servers() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Mean fraction of busy servers over [creation, now].
+  [[nodiscard]] double utilization(Time now) const;
+
+  [[nodiscard]] const stats::Welford& waiting_stats() const noexcept {
+    return waiting_;
+  }
+  [[nodiscard]] const stats::Welford& sojourn_stats() const noexcept {
+    return sojourn_;
+  }
+  /// Fraction of completed jobs that waited at all (Erlang-C's quantity).
+  [[nodiscard]] double waited_fraction() const;
+
+ private:
+  struct Pending {
+    std::uint64_t job_id;
+    Time arrival;
+  };
+
+  void begin_service();
+  void account_busy(Time now) noexcept;
+
+  Simulator& sim_;
+  unsigned servers_n_;
+  dist::DistributionPtr service_;
+  dist::Rng rng_;
+  DepartureHandler on_departure_;
+  std::deque<Pending> queue_;
+  unsigned busy_ = 0;
+  Time created_at_ = 0.0;
+  Time last_change_ = 0.0;
+  double busy_integral_ = 0.0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t waited_ = 0;
+  stats::Welford waiting_;
+  stats::Welford sojourn_;
+};
+
+}  // namespace mclat::sim

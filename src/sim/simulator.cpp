@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mclat::sim {
+
+EventId Simulator::schedule_at(Time t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    const auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    const auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // defensive: cancelled without tombstone
+    now_ = e.at;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without disturbing live ones.
+    const Entry e = heap_.top();
+    if (cancelled_.contains(e.id)) {
+      heap_.pop();
+      cancelled_.erase(e.id);
+      continue;
+    }
+    if (e.at > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::clear() {
+  heap_ = {};
+  callbacks_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace mclat::sim

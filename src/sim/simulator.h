@@ -1,0 +1,90 @@
+// simulator.h — the discrete-event simulation kernel.
+//
+// A single-threaded event calendar: callbacks scheduled at virtual times,
+// executed in (time, insertion-order) order so that simultaneous events are
+// deterministic. This kernel plus the queueing stations in station.h is the
+// substrate on which the whole "experiment" side of the reproduction runs —
+// it plays the role of the paper's physical testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mclat::sim {
+
+/// Virtual simulation time, in seconds.
+using Time = double;
+
+/// Token returned by schedule_*; can be passed to cancel().
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellation
+  /// token. Throws std::invalid_argument for t < now.
+  EventId schedule_at(Time t, Callback fn);
+
+  /// Schedules `fn` after a delay `dt` >= 0.
+  EventId schedule_in(Time dt, Callback fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs until the calendar is empty.
+  void run();
+
+  /// Runs until virtual time `t` (events at exactly `t` are executed);
+  /// afterwards now() == t if the calendar outlived the horizon.
+  void run_until(Time t);
+
+  /// Executes at most one event. Returns false when the calendar is empty.
+  bool step();
+
+  /// Drops every pending event (used between experiment repetitions).
+  void clear();
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace mclat::sim

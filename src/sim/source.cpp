@@ -1,0 +1,47 @@
+#include "sim/source.h"
+
+#include <utility>
+
+#include "math/numerics.h"
+
+namespace mclat::sim {
+
+BatchSource::BatchSource(Simulator& sim, dist::DistributionPtr gap,
+                         dist::GeometricBatch batch, dist::Rng rng, Sink sink)
+    : BatchSource(sim, std::move(gap),
+                  BatchSampler([batch](dist::Rng& r) { return batch.sample(r); }),
+                  rng, std::move(sink)) {}
+
+BatchSource::BatchSource(Simulator& sim, dist::DistributionPtr gap,
+                         BatchSampler batch, dist::Rng rng, Sink sink)
+    : sim_(sim), gap_(std::move(gap)), batch_(std::move(batch)), rng_(rng),
+      sink_(std::move(sink)) {
+  math::require(gap_ != nullptr, "BatchSource: null gap distribution");
+  math::require(static_cast<bool>(batch_), "BatchSource: null batch sampler");
+  math::require(static_cast<bool>(sink_), "BatchSource: null sink");
+}
+
+void BatchSource::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void BatchSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+void BatchSource::schedule_next() {
+  const double gap = gap_->sample(rng_);
+  pending_ = sim_.schedule_in(gap, [this] {
+    const std::uint64_t size = batch_(rng_);
+    ++batches_;
+    keys_ += size;
+    if (running_) schedule_next();
+    sink_(size);
+  });
+}
+
+}  // namespace mclat::sim

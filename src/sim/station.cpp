@@ -1,0 +1,73 @@
+#include "sim/station.h"
+
+#include <utility>
+
+#include "math/numerics.h"
+
+namespace mclat::sim {
+
+ServiceStation::ServiceStation(Simulator& sim, dist::DistributionPtr service,
+                               dist::Rng rng, DepartureHandler on_departure)
+    : sim_(sim), service_(std::move(service)), rng_(rng),
+      on_departure_(std::move(on_departure)), created_at_(sim.now()) {
+  math::require(service_ != nullptr, "ServiceStation: null service dist");
+  math::require(static_cast<bool>(on_departure_),
+                "ServiceStation: null departure handler");
+}
+
+void ServiceStation::account_population(Time now) noexcept {
+  population_integral_ +=
+      static_cast<double>(in_system_) * (now - last_change_);
+  last_change_ = now;
+}
+
+void ServiceStation::arrive(std::uint64_t job_id) {
+  found_.add(static_cast<double>(in_system_));
+  account_population(sim_.now());
+  ++in_system_;
+  queue_.push_back(Pending{job_id, sim_.now()});
+  if (!busy_) begin_service();
+}
+
+void ServiceStation::begin_service() {
+  const Pending job = queue_.front();
+  queue_.pop_front();
+  busy_ = true;
+  busy_since_ = sim_.now();
+  const Time start = sim_.now();
+  const double duration = service_->sample(rng_);
+  sim_.schedule_in(duration, [this, job, start] {
+    busy_ = false;
+    busy_accum_ += sim_.now() - busy_since_;
+    account_population(sim_.now());
+    --in_system_;
+    ++completed_;
+    Departure d;
+    d.job_id = job.job_id;
+    d.arrival = job.arrival;
+    d.service_start = start;
+    d.departure = sim_.now();
+    waiting_.add(d.waiting_time());
+    sojourn_.add(d.sojourn_time());
+    if (!queue_.empty()) begin_service();
+    on_departure_(d);
+  });
+}
+
+double ServiceStation::time_average_number_in_system(Time now) const {
+  const Time elapsed = now - created_at_;
+  if (elapsed <= 0.0) return 0.0;
+  const double pending_area =
+      static_cast<double>(in_system_) * (now - last_change_);
+  return (population_integral_ + pending_area) / elapsed;
+}
+
+double ServiceStation::utilization(Time now) const {
+  const Time elapsed = now - created_at_;
+  if (elapsed <= 0.0) return 0.0;
+  Time busy_total = busy_accum_;
+  if (busy_) busy_total += now - busy_since_;
+  return busy_total / elapsed;
+}
+
+}  // namespace mclat::sim

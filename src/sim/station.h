@@ -1,0 +1,113 @@
+// station.h — a single-server FIFO queueing station.
+//
+// This is the simulated Memcached server (and, with a different service
+// distribution, the backend database): jobs join an unbounded FIFO queue,
+// one server drains it with iid service times drawn from a pluggable
+// distribution. The station reports, per departing job, the three timestamps
+// the latency model reasons about — arrival, service start, departure — so
+// queueing time T_Q and completion time T_C (eqs. 4–5) are directly
+// observable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "dist/distribution.h"
+#include "dist/rng.h"
+#include "sim/simulator.h"
+#include "stats/welford.h"
+
+namespace mclat::sim {
+
+/// Timestamps of one completed job.
+struct Departure {
+  std::uint64_t job_id = 0;
+  Time arrival = 0.0;        ///< joined the queue
+  Time service_start = 0.0;  ///< reached the server
+  Time departure = 0.0;      ///< finished service
+
+  [[nodiscard]] double waiting_time() const noexcept {
+    return service_start - arrival;
+  }
+  [[nodiscard]] double sojourn_time() const noexcept {
+    return departure - arrival;
+  }
+};
+
+class ServiceStation {
+ public:
+  using DepartureHandler = std::function<void(const Departure&)>;
+
+  /// The station samples service times from `service` using `rng`; every
+  /// completed job is reported through `on_departure`.
+  ServiceStation(Simulator& sim, dist::DistributionPtr service,
+                 dist::Rng rng, DepartureHandler on_departure);
+
+  ServiceStation(const ServiceStation&) = delete;
+  ServiceStation& operator=(const ServiceStation&) = delete;
+
+  /// Enqueues a job at the current simulation time.
+  void arrive(std::uint64_t job_id);
+
+  /// Jobs waiting (excluding the one in service).
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+  /// Total jobs completed so far.
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Fraction of elapsed simulation time the server was busy, measured from
+  /// station construction to `now`.
+  [[nodiscard]] double utilization(Time now) const;
+
+  /// Waiting-time statistics of departed jobs (T_Q samples).
+  [[nodiscard]] const stats::Welford& waiting_stats() const noexcept {
+    return waiting_;
+  }
+  /// Sojourn-time statistics of departed jobs (T_S samples).
+  [[nodiscard]] const stats::Welford& sojourn_stats() const noexcept {
+    return sojourn_;
+  }
+
+  /// Number-in-system each arriving job found (the GI/M/1 embedded chain:
+  /// geometric(δ) in theory — see GixM1Queue::queue_length_pmf).
+  [[nodiscard]] const stats::Welford& found_in_system_stats() const noexcept {
+    return found_;
+  }
+
+  /// Time-average number in system L over [creation, now]; with the
+  /// arrival rate this closes Little's law L = λ·E[T] directly.
+  [[nodiscard]] double time_average_number_in_system(Time now) const;
+
+ private:
+  struct Pending {
+    std::uint64_t job_id;
+    Time arrival;
+  };
+
+  void begin_service();
+
+  Simulator& sim_;
+  dist::DistributionPtr service_;
+  dist::Rng rng_;
+  DepartureHandler on_departure_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  Time created_at_ = 0.0;
+  Time busy_accum_ = 0.0;
+  Time busy_since_ = 0.0;
+  std::uint64_t completed_ = 0;
+  stats::Welford waiting_;
+  stats::Welford sojourn_;
+  stats::Welford found_;
+  // number-in-system integral for the time-average L
+  void account_population(Time now) noexcept;
+  std::size_t in_system_ = 0;
+  Time last_change_ = 0.0;
+  double population_integral_ = 0.0;
+};
+
+}  // namespace mclat::sim

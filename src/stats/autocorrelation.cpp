@@ -1,0 +1,70 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::stats {
+
+namespace {
+
+struct Centered {
+  std::vector<double> x;  // series minus its mean
+  double variance = 0.0;  // biased (divide by n), the convention for ACF
+};
+
+Centered center(const std::vector<double>& series) {
+  Centered c;
+  const std::size_t n = series.size();
+  double mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(n);
+  c.x.reserve(n);
+  for (const double v : series) c.x.push_back(v - mean);
+  for (const double v : c.x) c.variance += v * v;
+  c.variance /= static_cast<double>(n);
+  return c;
+}
+
+double acf_at(const Centered& c, std::size_t lag) {
+  if (c.variance <= 0.0) return lag == 0 ? 1.0 : 0.0;
+  const std::size_t n = c.x.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) acc += c.x[i] * c.x[i + lag];
+  return acc / (static_cast<double>(n) * c.variance);
+}
+
+}  // namespace
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  math::require(series.size() >= 2, "autocorrelation: need >= 2 samples");
+  math::require(lag < series.size(), "autocorrelation: lag out of range");
+  if (lag == 0) return 1.0;
+  return acf_at(center(series), lag);
+}
+
+double integrated_autocorrelation_time(const std::vector<double>& series,
+                                       double window_factor) {
+  math::require(series.size() >= 4,
+                "integrated_autocorrelation_time: need >= 4 samples");
+  math::require(window_factor > 0.0,
+                "integrated_autocorrelation_time: window_factor > 0");
+  const Centered c = center(series);
+  double tau = 1.0;
+  const std::size_t max_lag = series.size() / 2;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    tau += 2.0 * acf_at(c, k);
+    // Sokal's window: once the window k exceeds c·τ(k), the remaining tail
+    // is noise; stop. Also floor τ at 1 (anti-correlated series are at
+    // least as informative as iid for the mean).
+    if (static_cast<double>(k) >= window_factor * tau) break;
+  }
+  return std::max(tau, 1.0);
+}
+
+double effective_sample_size(const std::vector<double>& series) {
+  return static_cast<double>(series.size()) /
+         integrated_autocorrelation_time(series);
+}
+
+}  // namespace mclat::stats

@@ -1,0 +1,36 @@
+// autocorrelation.h — serial-correlation diagnostics for steady-state
+// simulation output.
+//
+// Successive waiting times in a queue are strongly autocorrelated, so a
+// naive iid confidence interval is too narrow by a factor of roughly
+// sqrt(1 + 2Σρ_k). These helpers quantify that: lag-k autocorrelation, the
+// integrated autocorrelation time τ (with the standard adaptive window
+// cutoff), and the effective sample size n/τ. batch_means_ci remains the
+// recommended interval; these functions justify the batch count and let
+// tests assert that the simulator produces the correlation structure
+// queueing theory predicts (e.g. M/M/1 waiting-time autocorrelation decays
+// slower at higher utilisation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mclat::stats {
+
+/// Sample autocorrelation ρ_k of a series at lag k (0 <= k < n).
+/// ρ_0 = 1 by construction; a constant series returns 0 for k > 0.
+[[nodiscard]] double autocorrelation(const std::vector<double>& series,
+                                     std::size_t lag);
+
+/// Integrated autocorrelation time τ = 1 + 2 Σ_{k>=1} ρ_k, with the sum
+/// truncated by Sokal's adaptive window (stop at the first k > c·τ_k,
+/// default c = 5) to keep the estimator's variance bounded. τ = 1 for iid
+/// data; τ ≈ (1+ρ)/(1-ρ) for an AR(1) with coefficient ρ.
+[[nodiscard]] double integrated_autocorrelation_time(
+    const std::vector<double>& series, double window_factor = 5.0);
+
+/// Effective sample size n/τ: how many iid samples the series is worth
+/// when estimating its mean.
+[[nodiscard]] double effective_sample_size(const std::vector<double>& series);
+
+}  // namespace mclat::stats

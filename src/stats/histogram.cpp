@@ -1,0 +1,117 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  math::require(hi > lo, "LinearHistogram: hi must exceed lo");
+  math::require(buckets >= 1, "LinearHistogram: need at least one bucket");
+}
+
+void LinearHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+}
+
+double LinearHistogram::bucket_lower(std::size_t i) const {
+  math::require(i < counts_.size(), "LinearHistogram: bucket out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double LinearHistogram::bucket_upper(std::size_t i) const {
+  return bucket_lower(i) + width_;
+}
+
+double LinearHistogram::quantile(double p) const {
+  math::require(p >= 0.0 && p <= 1.0, "LinearHistogram::quantile: p in [0,1]");
+  math::require(total_ > 0, "LinearHistogram::quantile: empty histogram");
+  const double target = p * static_cast<double>(total_);
+  double cum = static_cast<double>(under_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lower(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           double precision)
+    : min_(min_value), log_min_(std::log(min_value)),
+      log_growth_(std::log1p(precision)) {
+  math::require(min_value > 0.0, "LogHistogram: min_value must be > 0");
+  math::require(max_value > min_value, "LogHistogram: max must exceed min");
+  math::require(precision > 0.0 && precision < 1.0,
+                "LogHistogram: precision in (0,1)");
+  const auto n = static_cast<std::size_t>(
+      std::ceil((std::log(max_value) - log_min_) / log_growth_)) + 2;
+  counts_.assign(n, 0);
+}
+
+std::size_t LogHistogram::index_of(double x) const noexcept {
+  const double idx = (std::log(x) - log_min_) / log_growth_;
+  if (idx < 0.0) return 0;
+  auto i = static_cast<std::size_t>(idx);
+  return i >= counts_.size() ? counts_.size() - 1 : i;
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < min_) {
+    ++under_;
+    return;
+  }
+  ++counts_[index_of(x)];
+}
+
+double LogHistogram::quantile(double p) const {
+  math::require(p >= 0.0 && p <= 1.0, "LogHistogram::quantile: p in [0,1]");
+  math::require(total_ > 0, "LogHistogram::quantile: empty histogram");
+  const double target = p * static_cast<double>(total_);
+  double cum = static_cast<double>(under_);
+  if (target <= cum) return min_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      const double lo = log_min_ + log_growth_ * static_cast<double>(i);
+      return std::exp(lo + frac * log_growth_);
+    }
+    cum = next;
+  }
+  return std::exp(log_min_ +
+                  log_growth_ * static_cast<double>(counts_.size()));
+}
+
+double LogHistogram::mean_estimate() const {
+  math::require(total_ > 0, "LogHistogram::mean_estimate: empty histogram");
+  double acc = static_cast<double>(under_) * min_ * 0.5;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo = log_min_ + log_growth_ * static_cast<double>(i);
+    const double mid = std::exp(lo + 0.5 * log_growth_);
+    acc += static_cast<double>(counts_[i]) * mid;
+  }
+  return acc / static_cast<double>(total_);
+}
+
+}  // namespace mclat::stats

@@ -1,0 +1,70 @@
+// histogram.h — fixed-width and logarithmic histograms.
+//
+// The log histogram covers latencies spanning µs to tens of ms (the database
+// stage is ~50× slower than the cache stage) with bounded relative error per
+// bucket; quantiles are answered by interpolating within the bucket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mclat::stats {
+
+/// Fixed-width histogram over [lo, hi) with under/overflow buckets.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+  /// Quantile by linear interpolation inside the containing bucket.
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log-spaced histogram: bucket i covers [min·g^i, min·g^{i+1}). The growth
+/// factor g is derived from the requested per-bucket relative precision.
+class LogHistogram {
+ public:
+  /// Tracks values in [min_value, max_value] with `precision` relative
+  /// bucket width (e.g. 0.01 → 1 % buckets).
+  LogHistogram(double min_value, double max_value, double precision = 0.01);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean_estimate() const;
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(double x) const noexcept;
+
+  double min_;
+  double log_min_;
+  double log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mclat::stats

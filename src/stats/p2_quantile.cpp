@@ -1,0 +1,91 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::stats {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  math::require(p > 0.0 && p < 1.0, "P2Quantile: p must be in (0,1)");
+  dn_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    q_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+      np_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+  ++n_;
+  // Locate the cell containing x and bump extreme markers.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x < q_[1]) {
+    k = 0;
+  } else if (x < q_[2]) {
+    k = 1;
+  } else if (x < q_[3]) {
+    k = 2;
+  } else if (x <= q_[4]) {
+    k = 3;
+  } else {
+    q_[4] = x;
+    k = 3;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      parabolic_or_linear(i, d >= 1.0 ? 1.0 : -1.0);
+    }
+  }
+}
+
+void P2Quantile::parabolic_or_linear(int i, double d) {
+  const double qp = q_[i + 1];
+  const double qm = q_[i - 1];
+  const double pp = pos_[i + 1];
+  const double pm = pos_[i - 1];
+  const double pi = pos_[i];
+  // Piecewise-parabolic prediction (the namesake P²).
+  const double candidate =
+      q_[i] + d / (pp - pm) *
+                  ((pi - pm + d) * (qp - q_[i]) / (pp - pi) +
+                   (pp - pi - d) * (q_[i] - qm) / (pi - pm));
+  if (qm < candidate && candidate < qp) {
+    q_[i] = candidate;
+  } else {
+    // Linear fallback keeps markers monotone.
+    const int j = d > 0 ? i + 1 : i - 1;
+    q_[i] += d * (q_[j] - q_[i]) / (pos_[j] - pi);
+  }
+  pos_[i] += d;
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> tmp = q_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<long>(n_));
+    const double h = p_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    const auto hi = std::min<std::size_t>(lo + 1, n_ - 1);
+    return math::lerp(tmp[lo], tmp[hi], h - static_cast<double>(lo));
+  }
+  return q_[2];
+}
+
+}  // namespace mclat::stats

@@ -1,0 +1,38 @@
+// p2_quantile.h — the P² (Jain & Chlamtac 1985) streaming quantile
+// estimator: tracks one quantile with five markers and O(1) memory/update.
+//
+// Used for long simulations where retaining every latency sample (Fig. 12
+// sweeps into 10⁴ keys/request × 10⁵ requests) would be wasteful. For exact
+// quantiles on bounded samples use dist::Empirical instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mclat::stats {
+
+class P2Quantile {
+ public:
+  /// p ∈ (0, 1): the quantile to track (e.g. 0.99).
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  /// Current estimate; exact until 5 samples have arrived.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+ private:
+  void parabolic_or_linear(int i, double d);
+
+  double p_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> q_{};   // marker heights
+  std::array<double, 5> np_{};  // desired marker positions
+  std::array<double, 5> pos_{}; // actual marker positions (1-based)
+  std::array<double, 5> dn_{};  // desired position increments
+};
+
+}  // namespace mclat::stats

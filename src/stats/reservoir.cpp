@@ -1,0 +1,22 @@
+#include "stats/reservoir.h"
+
+#include "math/numerics.h"
+
+namespace mclat::stats {
+
+Reservoir::Reservoir(std::size_t capacity) : capacity_(capacity) {
+  math::require(capacity > 0, "Reservoir: capacity must be > 0");
+  sample_.reserve(capacity);
+}
+
+void Reservoir::add(double x, mclat::dist::Rng& rng) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = rng.uniform_index(seen_);
+  if (j < capacity_) sample_[static_cast<std::size_t>(j)] = x;
+}
+
+}  // namespace mclat::stats

@@ -1,0 +1,37 @@
+// reservoir.h — Vitter's algorithm R: a uniform sample of a stream with
+// fixed memory. Lets a long simulation keep an unbiased subsample of
+// per-key latencies for ECDF plots (Fig. 4) without storing every value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/rng.h"
+
+namespace mclat::stats {
+
+class Reservoir {
+ public:
+  /// capacity > 0: maximum retained sample size.
+  explicit Reservoir(std::size_t capacity);
+
+  void add(double x, mclat::dist::Rng& rng);
+
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] const std::vector<double>& sample() const noexcept {
+    return sample_;
+  }
+
+  /// Moves the retained sample out (reservoir becomes empty).
+  [[nodiscard]] std::vector<double> take() {
+    seen_ = 0;
+    return std::move(sample_);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+}  // namespace mclat::stats

@@ -1,0 +1,57 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "math/numerics.h"
+#include "math/special.h"
+
+namespace mclat::stats {
+
+MeanCI mean_ci(const Welford& w, double confidence) {
+  MeanCI ci;
+  ci.mean = w.mean();
+  ci.count = w.count();
+  if (w.count() >= 2) {
+    const double n = static_cast<double>(w.count());
+    const double t = math::student_t_critical(n - 1.0, confidence);
+    ci.halfwidth = t * std::sqrt(w.variance() / n);
+  }
+  return ci;
+}
+
+MeanCI batch_means_ci(const std::vector<double>& series, std::size_t batches,
+                      double confidence) {
+  math::require(batches >= 2, "batch_means_ci: need at least 2 batches");
+  math::require(series.size() >= 2 * batches,
+                "batch_means_ci: series too short for the batch count");
+  const std::size_t per = series.size() / batches;
+  Welford of_batches;
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < per; ++i) acc += series[idx++];
+    of_batches.add(acc / static_cast<double>(per));
+  }
+  MeanCI ci = mean_ci(of_batches, confidence);
+  ci.count = series.size();
+  return ci;
+}
+
+std::string format_time_us(double seconds) {
+  char buf[64];
+  const double us = seconds * 1e6;
+  if (us >= 10000.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", us / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fus", us);
+  }
+  return buf;
+}
+
+std::string format_us(const MeanCI& ci) {
+  return format_time_us(ci.mean) + " [" + format_time_us(ci.lower()) + ", " +
+         format_time_us(ci.upper()) + "]";
+}
+
+}  // namespace mclat::stats

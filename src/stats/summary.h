@@ -1,0 +1,48 @@
+// summary.h — measurement summaries for experiment reporting.
+//
+// Wraps a Welford accumulator plus optional quantile trackers into the
+// object every bench harness prints: mean, CI half-width, selected
+// quantiles. Also provides batch-means confidence intervals, the standard
+// way to get honest CIs from *correlated* steady-state simulation output
+// (successive waiting times in a queue are strongly autocorrelated, so the
+// naive iid CI would be far too narrow).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/welford.h"
+
+namespace mclat::stats {
+
+/// Mean with a symmetric confidence interval.
+struct MeanCI {
+  double mean = 0.0;
+  double halfwidth = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - halfwidth; }
+  [[nodiscard]] double upper() const noexcept { return mean + halfwidth; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lower() && x <= upper();
+  }
+};
+
+/// iid-assumption CI from a Welford accumulator (Student-t critical value).
+[[nodiscard]] MeanCI mean_ci(const Welford& w, double confidence = 0.95);
+
+/// Batch-means CI: splits an ordered series into `batches` contiguous
+/// batches, treats batch averages as approximately iid, and builds a
+/// Student-t interval over them. The series length must be >= 2 * batches.
+[[nodiscard]] MeanCI batch_means_ci(const std::vector<double>& series,
+                                    std::size_t batches = 30,
+                                    double confidence = 0.95);
+
+/// Formats a MeanCI like the paper's Table 3: "368µs [362µs, 373µs]".
+[[nodiscard]] std::string format_us(const MeanCI& ci);
+
+/// Formats seconds as a human-readable µs/ms string.
+[[nodiscard]] std::string format_time_us(double seconds);
+
+}  // namespace mclat::stats

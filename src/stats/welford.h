@@ -1,0 +1,65 @@
+// welford.h — numerically stable streaming mean/variance.
+//
+// Every latency recorder in the simulator pushes one observation per key or
+// request; Welford's update keeps the running mean and M2 without
+// catastrophic cancellation regardless of sample count.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mclat::stats {
+
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel streams, batch merging).
+  void merge(const Welford& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double d = o.mean_ - mean_;
+    const double n1 = static_cast<double>(n_);
+    const double n2 = static_cast<double>(o.n_);
+    const double nt = n1 + n2;
+    mean_ += d * n2 / nt;
+    m2_ += o.m2_ + d * d * n1 * n2 / nt;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance (0 for fewer than 2 observations).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset() noexcept { *this = Welford{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mclat::stats

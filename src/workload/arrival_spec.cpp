@@ -1,0 +1,87 @@
+#include "workload/arrival_spec.h"
+
+#include <cmath>
+
+#include "dist/deterministic.h"
+#include "dist/erlang.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "dist/hyperexponential.h"
+#include "dist/uniform.h"
+#include "dist/weibull.h"
+#include "math/numerics.h"
+
+namespace mclat::workload {
+
+std::string to_string(GapPattern p) {
+  switch (p) {
+    case GapPattern::kGeneralizedPareto: return "GeneralizedPareto";
+    case GapPattern::kExponential: return "Exponential";
+    case GapPattern::kErlang: return "Erlang";
+    case GapPattern::kHyperExponential: return "HyperExponential";
+    case GapPattern::kUniform: return "Uniform";
+    case GapPattern::kDeterministic: return "Deterministic";
+    case GapPattern::kWeibull: return "Weibull";
+  }
+  return "Unknown";
+}
+
+dist::DistributionPtr ArrivalSpec::make_gap() const {
+  math::require(key_rate > 0.0, "ArrivalSpec: key_rate must be > 0");
+  math::require(concurrency_q >= 0.0 && concurrency_q < 1.0,
+                "ArrivalSpec: q must be in [0,1)");
+  const double mean = mean_gap();
+  switch (pattern) {
+    case GapPattern::kGeneralizedPareto:
+      return std::make_unique<dist::GeneralizedPareto>(
+          dist::GeneralizedPareto::with_mean(burst_xi, mean));
+    case GapPattern::kExponential:
+      return std::make_unique<dist::Exponential>(
+          dist::Exponential::with_mean(mean));
+    case GapPattern::kErlang: {
+      // SCV of Erlang-k is 1/k.
+      const int k = std::max(1, static_cast<int>(std::lround(
+                                    1.0 / std::max(pattern_scv, 1e-3))));
+      return std::make_unique<dist::Erlang>(dist::Erlang::with_mean(k, mean));
+    }
+    case GapPattern::kHyperExponential:
+      return std::make_unique<dist::HyperExponential>(
+          dist::HyperExponential::fit_mean_scv(mean,
+                                               std::max(1.0, pattern_scv)));
+    case GapPattern::kUniform:
+      return std::make_unique<dist::Uniform>(0.0, 2.0 * mean);
+    case GapPattern::kDeterministic:
+      return std::make_unique<dist::Deterministic>(mean);
+    case GapPattern::kWeibull: {
+      // Choose the shape so the SCV matches pattern_scv: for Weibull,
+      // SCV = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1, solved numerically.
+      const double target = std::max(pattern_scv, 1e-3);
+      const auto scv_of = [](double shape) {
+        const double g1 = std::tgamma(1.0 + 1.0 / shape);
+        const double g2 = std::tgamma(1.0 + 2.0 / shape);
+        return g2 / (g1 * g1) - 1.0;
+      };
+      // SCV is decreasing in shape; bracket and bisect.
+      double lo = 0.2;
+      double hi = 10.0;
+      for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (scv_of(mid) > target ? lo : hi) = mid;
+      }
+      return std::make_unique<dist::Weibull>(
+          dist::Weibull::with_mean(0.5 * (lo + hi), mean));
+    }
+  }
+  throw std::logic_error("ArrivalSpec::make_gap: unhandled pattern");
+}
+
+ArrivalSpec facebook_arrivals() {
+  ArrivalSpec s;
+  s.key_rate = 62'500.0;
+  s.concurrency_q = 0.1;
+  s.burst_xi = 0.15;
+  s.pattern = GapPattern::kGeneralizedPareto;
+  return s;
+}
+
+}  // namespace mclat::workload

@@ -1,0 +1,90 @@
+// arrival_spec.h — the per-server key arrival pattern.
+//
+// The paper characterises the stream of keys reaching one Memcached server
+// by three numbers (Table 1 / §5.1):
+//   λ — average *key* rate (keys/s),
+//   q — concurrency probability: a batch has Geometric(q) keys, E[X]=1/(1-q),
+//   ξ — burst degree of the Generalized-Pareto inter-batch gap (ξ=0 ⇒ Poisson).
+//
+// Because λ counts keys and batches carry 1/(1-q) keys on average, the batch
+// rate is (1-q)·λ and the gap distribution has mean 1/((1-q)λ). (The paper's
+// eq. 24 leaves this correction implicit; Table 1's λ = E[X]/E[T_X] forces
+// it — see DESIGN.md.)
+//
+// The same spec drives both sides of the reproduction: the analytical model
+// reads the Laplace transform of the gap; the simulator samples from it.
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.h"
+#include "dist/geometric.h"
+
+namespace mclat::workload {
+
+/// Inter-batch gap pattern families for ablation A3.
+enum class GapPattern {
+  kGeneralizedPareto,  ///< the paper's model; burstiness via ξ
+  kExponential,        ///< Poisson batches (equivalent to ξ = 0)
+  kErlang,             ///< smoother than Poisson (SCV < 1)
+  kHyperExponential,   ///< bursty but light-tailed (SCV > 1)
+  kUniform,            ///< bounded, low variance
+  kDeterministic,      ///< clockwork arrivals
+  kWeibull,            ///< sub-exponential tail; shape from pattern_scv-ish knob
+};
+
+[[nodiscard]] std::string to_string(GapPattern p);
+
+struct ArrivalSpec {
+  double key_rate = 62'500.0;  ///< λ: keys/s at this server (Facebook: 62.5 Kps)
+  double concurrency_q = 0.1;  ///< q ∈ [0,1)
+  double burst_xi = 0.15;      ///< ξ ∈ [0,1); used by the GP pattern
+  GapPattern pattern = GapPattern::kGeneralizedPareto;
+  /// SCV target for Erlang/HyperExponential patterns (rounded to the nearest
+  /// feasible phase count for Erlang). Ignored by the other patterns.
+  double pattern_scv = 1.0;
+
+  /// Batch (block) arrival rate: (1-q)·λ.
+  [[nodiscard]] double batch_rate() const noexcept {
+    return (1.0 - concurrency_q) * key_rate;
+  }
+
+  /// Mean inter-batch gap E[T_X] = 1/((1-q)λ).
+  [[nodiscard]] double mean_gap() const noexcept { return 1.0 / batch_rate(); }
+
+  /// Builds the inter-batch gap distribution T_X.
+  [[nodiscard]] dist::DistributionPtr make_gap() const;
+
+  /// The batch-size law X ~ Geometric(q).
+  [[nodiscard]] dist::GeometricBatch make_batch() const {
+    return dist::GeometricBatch(concurrency_q);
+  }
+
+  /// Utilisation this stream imposes on a server with service rate mu:
+  /// ρ = λ/μ (keys per second over keys served per second).
+  [[nodiscard]] double utilization(double mu) const noexcept {
+    return key_rate / mu;
+  }
+
+  /// Copy with a different key rate (sweeps reuse one base spec).
+  [[nodiscard]] ArrivalSpec with_rate(double lambda) const {
+    ArrivalSpec s = *this;
+    s.key_rate = lambda;
+    return s;
+  }
+  [[nodiscard]] ArrivalSpec with_burst(double xi) const {
+    ArrivalSpec s = *this;
+    s.burst_xi = xi;
+    return s;
+  }
+  [[nodiscard]] ArrivalSpec with_concurrency(double q) const {
+    ArrivalSpec s = *this;
+    s.concurrency_q = q;
+    return s;
+  }
+};
+
+/// The §5.1 baseline: q=0.1, ξ=0.15, λ=62.5 Kps, Generalized Pareto gaps.
+[[nodiscard]] ArrivalSpec facebook_arrivals();
+
+}  // namespace mclat::workload

@@ -1,0 +1,34 @@
+#include "workload/keyspace.h"
+
+#include <charconv>
+
+#include "hashing/hashes.h"
+#include "math/numerics.h"
+
+namespace mclat::workload {
+
+KeySpace::KeySpace(std::uint64_t keys, double zipf_s, KeySizeModel sizes)
+    : zipf_(keys, zipf_s), sizes_(sizes) {}
+
+std::string KeySpace::key_for_rank(std::uint64_t rank) const {
+  math::require(rank < zipf_.n(), "KeySpace: rank out of range");
+  std::string key = "k" + std::to_string(rank);
+  // Deterministic per-rank size: seed a tiny RNG from the rank so the same
+  // rank always produces the same string (the cache must see stable keys).
+  dist::Rng rng(hashing::mix64(rank ^ 0xfacef00dull));
+  const std::uint32_t target = sizes_.sample(rng);
+  if (key.size() < target) key.resize(target, '#');
+  return key;
+}
+
+std::uint64_t KeySpace::rank_of(const std::string& key) {
+  math::require(!key.empty() && key[0] == 'k', "KeySpace::rank_of: bad key");
+  std::uint64_t rank = 0;
+  const char* begin = key.data() + 1;
+  const char* end = key.data() + key.size();
+  const auto res = std::from_chars(begin, end, rank);
+  math::require(res.ec == std::errc(), "KeySpace::rank_of: bad key");
+  return rank;
+}
+
+}  // namespace mclat::workload

@@ -1,0 +1,50 @@
+// keyspace.h — the population of Memcached keys.
+//
+// Maps popularity ranks to deterministic key strings and samples accesses
+// with Zipf skew — the statistical reason a handful of Memcached servers end
+// up "hot" (§2.1 point 2). The generated key string embeds its rank so
+// tests can invert the mapping, and is padded to a sampled key size so the
+// real-cache mode sees realistic item footprints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/rng.h"
+#include "dist/zipf.h"
+#include "workload/size_model.h"
+
+namespace mclat::workload {
+
+class KeySpace {
+ public:
+  /// `keys` distinct keys with Zipf(`zipf_s`) popularity.
+  KeySpace(std::uint64_t keys, double zipf_s,
+           KeySizeModel sizes = KeySizeModel::facebook());
+
+  /// Draws a popularity rank (0 = hottest).
+  [[nodiscard]] std::uint64_t sample_rank(dist::Rng& rng) const {
+    return zipf_.sample(rng);
+  }
+
+  /// The canonical key string for a rank: "k<rank>" padded with '#' to the
+  /// rank's deterministic size (so one rank always has one string).
+  [[nodiscard]] std::string key_for_rank(std::uint64_t rank) const;
+
+  /// Convenience: sample a rank and render its key.
+  [[nodiscard]] std::string sample_key(dist::Rng& rng) const {
+    return key_for_rank(sample_rank(rng));
+  }
+
+  /// Parses the rank back out of a key string produced by key_for_rank.
+  [[nodiscard]] static std::uint64_t rank_of(const std::string& key);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return zipf_.n(); }
+  [[nodiscard]] const dist::Zipf& popularity() const noexcept { return zipf_; }
+
+ private:
+  dist::Zipf zipf_;
+  KeySizeModel sizes_;
+};
+
+}  // namespace mclat::workload

@@ -1,0 +1,38 @@
+#include "workload/request_stream.h"
+
+#include "math/numerics.h"
+
+namespace mclat::workload {
+
+RequestStream::RequestStream(const RequestStreamConfig& cfg, dist::Rng rng)
+    : cfg_(cfg), rng_(rng), keys_(cfg.keyspace_size, cfg.zipf_exponent) {
+  math::require(cfg.request_rate > 0.0,
+                "RequestStream: request_rate must be > 0");
+  math::require(cfg.keys_per_request >= 1,
+                "RequestStream: keys_per_request must be >= 1");
+}
+
+GeneratedRequest RequestStream::next() {
+  now_ += rng_.exponential(cfg_.request_rate);
+  GeneratedRequest req;
+  req.time = now_;
+  req.request_id = next_id_++;
+  req.key_ranks.reserve(cfg_.keys_per_request);
+  for (std::uint32_t i = 0; i < cfg_.keys_per_request; ++i) {
+    req.key_ranks.push_back(keys_.sample_rank(rng_));
+  }
+  return req;
+}
+
+Trace RequestStream::generate_trace(std::uint64_t count) {
+  Trace trace;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const GeneratedRequest req = next();
+    for (const std::uint64_t rank : req.key_ranks) {
+      trace.append(TraceRecord{req.time, rank, req.request_id});
+    }
+  }
+  return trace;
+}
+
+}  // namespace mclat::workload

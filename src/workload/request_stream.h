@@ -1,0 +1,57 @@
+// request_stream.h — end-user request generation (the Fork side of the
+// model).
+//
+// An end-user request arrives (Poisson at the front end, as aggregated web
+// traffic is), is transformed by the Memcached client into N keys sampled
+// from the keyspace, and fans out. This generator produces either an
+// in-memory Trace (offline replay) or streams requests one at a time
+// (online driving of the end-to-end simulator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/rng.h"
+#include "workload/keyspace.h"
+#include "workload/trace.h"
+
+namespace mclat::workload {
+
+struct RequestStreamConfig {
+  double request_rate = 100.0;  ///< end-user requests per second
+  std::uint32_t keys_per_request = 150;  ///< the paper's N
+  std::uint64_t keyspace_size = 1'000'000;
+  double zipf_exponent = 0.99;  ///< YCSB-style default skew
+};
+
+/// One generated end-user request.
+struct GeneratedRequest {
+  double time = 0.0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint64_t> key_ranks;  ///< N sampled keys
+};
+
+class RequestStream {
+ public:
+  RequestStream(const RequestStreamConfig& cfg, dist::Rng rng);
+
+  /// Generates the next request (times are strictly increasing).
+  [[nodiscard]] GeneratedRequest next();
+
+  /// Generates `count` requests into a flat key-level Trace.
+  [[nodiscard]] Trace generate_trace(std::uint64_t count);
+
+  [[nodiscard]] const KeySpace& keyspace() const noexcept { return keys_; }
+  [[nodiscard]] const RequestStreamConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  RequestStreamConfig cfg_;
+  dist::Rng rng_;
+  KeySpace keys_;
+  double now_ = 0.0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace mclat::workload

@@ -1,0 +1,67 @@
+#include "workload/size_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/numerics.h"
+
+namespace mclat::workload {
+
+KeySizeModel::KeySizeModel(double mu, double sigma, double k,
+                           std::uint32_t min_bytes, std::uint32_t max_bytes)
+    : mu_(mu), sigma_(sigma), k_(k), min_bytes_(min_bytes),
+      max_bytes_(max_bytes) {
+  math::require(sigma > 0.0, "KeySizeModel: sigma must be > 0");
+  math::require(min_bytes >= 1 && min_bytes <= max_bytes,
+                "KeySizeModel: invalid byte bounds");
+}
+
+KeySizeModel KeySizeModel::facebook() {
+  return KeySizeModel(30.7634, 8.20449, 0.078688);
+}
+
+double KeySizeModel::quantile(double p) const {
+  math::require(p > 0.0 && p < 1.0, "KeySizeModel::quantile: p in (0,1)");
+  // GEV quantile: μ + σ/k ((-ln p)^{-k} - 1), continuous k→0 (Gumbel).
+  const double ln = -std::log(p);
+  if (std::abs(k_) < 1e-12) return mu_ - sigma_ * std::log(ln);
+  return mu_ + sigma_ / k_ * (std::pow(ln, -k_) - 1.0);
+}
+
+std::uint32_t KeySizeModel::sample(dist::Rng& rng) const {
+  const double x = quantile(std::min(std::max(rng.uniform(), 1e-12), 1.0 - 1e-12));
+  const double clamped = math::clamp(x, static_cast<double>(min_bytes_),
+                                     static_cast<double>(max_bytes_));
+  return static_cast<std::uint32_t>(std::lround(clamped));
+}
+
+ValueSizeModel::ValueSizeModel(double sigma, double k,
+                               std::uint32_t min_bytes,
+                               std::uint32_t max_bytes)
+    : sigma_(sigma), k_(k), min_bytes_(min_bytes), max_bytes_(max_bytes) {
+  math::require(sigma > 0.0, "ValueSizeModel: sigma must be > 0");
+  math::require(k >= 0.0 && k < 1.0, "ValueSizeModel: k must be in [0,1)");
+  math::require(min_bytes >= 1 && min_bytes <= max_bytes,
+                "ValueSizeModel: invalid byte bounds");
+}
+
+ValueSizeModel ValueSizeModel::facebook() {
+  return ValueSizeModel(214.476, 0.348238);
+}
+
+double ValueSizeModel::quantile(double p) const {
+  math::require(p >= 0.0 && p < 1.0, "ValueSizeModel::quantile: p in [0,1)");
+  if (k_ == 0.0) return -sigma_ * math::log1p_safe(-p);
+  return sigma_ / k_ * math::expm1_safe(-k_ * math::log1p_safe(-p));
+}
+
+double ValueSizeModel::mean() const { return sigma_ / (1.0 - k_); }
+
+std::uint32_t ValueSizeModel::sample(dist::Rng& rng) const {
+  const double x = quantile(rng.uniform());
+  const double clamped = math::clamp(x, static_cast<double>(min_bytes_),
+                                     static_cast<double>(max_bytes_));
+  return static_cast<std::uint32_t>(std::lround(clamped));
+}
+
+}  // namespace mclat::workload

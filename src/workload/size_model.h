@@ -1,0 +1,60 @@
+// size_model.h — key/value size models from the Facebook trace.
+//
+// Atikoglu et al. (SIGMETRICS'12, §5) fit the ETC pool's sizes to:
+//   key sizes   ~ Generalized Extreme Value (μ=30.7634, σ=8.20449, k=0.078688),
+//   value sizes ~ Generalized Pareto       (μ=0, σ=214.476, k=0.348238),
+// both in bytes. These feed the real-cache mode (item footprints → slab class
+// occupancy → emergent miss ratio) and the examples that explore cache
+// sizing. Samples are clamped to sane byte ranges since the fitted laws have
+// unbounded (and for GEV slightly negative) support.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/rng.h"
+
+namespace mclat::workload {
+
+/// GEV-distributed key sizes (bytes).
+class KeySizeModel {
+ public:
+  KeySizeModel(double mu, double sigma, double k, std::uint32_t min_bytes = 1,
+               std::uint32_t max_bytes = 250);  // memcached caps keys at 250 B
+
+  /// The Facebook ETC fit.
+  [[nodiscard]] static KeySizeModel facebook();
+
+  [[nodiscard]] std::uint32_t sample(dist::Rng& rng) const;
+
+  /// GEV quantile (unclamped, in bytes).
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double mu_;
+  double sigma_;
+  double k_;
+  std::uint32_t min_bytes_;
+  std::uint32_t max_bytes_;
+};
+
+/// Generalized-Pareto value sizes (bytes).
+class ValueSizeModel {
+ public:
+  ValueSizeModel(double sigma, double k, std::uint32_t min_bytes = 1,
+                 std::uint32_t max_bytes = 1 << 20);
+
+  /// The Facebook ETC fit.
+  [[nodiscard]] static ValueSizeModel facebook();
+
+  [[nodiscard]] std::uint32_t sample(dist::Rng& rng) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  double sigma_;
+  double k_;
+  std::uint32_t min_bytes_;
+  std::uint32_t max_bytes_;
+};
+
+}  // namespace mclat::workload

@@ -1,0 +1,75 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mclat::workload {
+
+Trace::Trace(std::vector<TraceRecord> records) : records_(std::move(records)) {}
+
+void Trace::append(TraceRecord r) { records_.push_back(r); }
+
+double Trace::duration() const {
+  if (records_.size() < 2) return 0.0;
+  return records_.back().time - records_.front().time;
+}
+
+std::uint64_t Trace::request_count() const {
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(records_.size());
+  for (const auto& r : records_) ids.insert(r.request_id);
+  return ids.size();
+}
+
+void Trace::save_csv(std::ostream& out) const {
+  // Full round-trip precision: a replay of the loaded trace must be
+  // bit-identical to a replay of the original.
+  const auto old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  out << "time,key_rank,request_id\n";
+  for (const auto& r : records_) {
+    out << r.time << ',' << r.key_rank << ',' << r.request_id << '\n';
+  }
+  out.precision(old_precision);
+}
+
+Trace Trace::load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("Trace::load_csv: empty input");
+  }
+  if (line != "time,key_rank,request_id") {
+    throw std::runtime_error("Trace::load_csv: bad header: " + line);
+  }
+  std::vector<TraceRecord> records;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    TraceRecord r;
+    char c1 = 0;
+    char c2 = 0;
+    if (!(ss >> r.time >> c1 >> r.key_rank >> c2 >> r.request_id) ||
+        c1 != ',' || c2 != ',') {
+      throw std::runtime_error("Trace::load_csv: malformed line " +
+                               std::to_string(lineno));
+    }
+    records.push_back(r);
+  }
+  return Trace(std::move(records));
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.time < b.time;
+                   });
+}
+
+}  // namespace mclat::workload

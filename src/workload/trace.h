@@ -1,0 +1,56 @@
+// trace.h — record/replay of timed key accesses.
+//
+// A trace is the bridge between workload generation and consumption: the
+// generator writes (time, rank, request-id) tuples; the cluster simulator or
+// the real-cache warmer replays them. CSV import/export lets externally
+// captured traces (or hand-written fixtures in tests) drive the same code
+// paths as synthetic workloads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mclat::workload {
+
+struct TraceRecord {
+  double time = 0.0;          ///< seconds since trace start
+  std::uint64_t key_rank = 0; ///< popularity rank (see KeySpace)
+  std::uint64_t request_id = 0;  ///< end-user request this key belongs to
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceRecord> records);
+
+  void append(TraceRecord r);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Duration from the first to the last record (0 for < 2 records).
+  [[nodiscard]] double duration() const;
+
+  /// Number of distinct request ids.
+  [[nodiscard]] std::uint64_t request_count() const;
+
+  /// Writes "time,key_rank,request_id" lines with a header row.
+  void save_csv(std::ostream& out) const;
+
+  /// Parses the format written by save_csv. Throws std::runtime_error on
+  /// malformed input.
+  [[nodiscard]] static Trace load_csv(std::istream& in);
+
+  /// Sorts records by time (stable), as replay requires.
+  void sort_by_time();
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mclat::workload

@@ -1,0 +1,144 @@
+#include "cache/lru_store.h"
+
+#include <string>
+
+#include "dist/rng.h"
+#include "dist/zipf.h"
+#include <gtest/gtest.h>
+
+namespace mclat::cache {
+namespace {
+
+SlabAllocator::Config tiny_config() {
+  SlabAllocator::Config c;
+  c.min_chunk = 96;
+  c.growth_factor = 2.0;
+  c.page_size = 4096;
+  c.memory_limit = 8 * 4096;
+  return c;
+}
+
+TEST(LruStore, SetGetRoundTrip) {
+  LruStore s(tiny_config());
+  EXPECT_TRUE(s.set("hello", "world"));
+  const auto v = s.get("hello");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "world");
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.stats().hits, 1u);
+  EXPECT_EQ(s.stats().misses, 0u);
+}
+
+TEST(LruStore, MissOnAbsentKey) {
+  LruStore s(tiny_config());
+  EXPECT_FALSE(s.get("nope").has_value());
+  EXPECT_EQ(s.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(s.stats().miss_ratio(), 1.0);
+}
+
+TEST(LruStore, ReplaceUpdatesValue) {
+  LruStore s(tiny_config());
+  EXPECT_TRUE(s.set("k", "v1"));
+  EXPECT_TRUE(s.set("k", "a-considerably-longer-second-value"));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(*s.get("k"), "a-considerably-longer-second-value");
+}
+
+TEST(LruStore, RemoveDeletes) {
+  LruStore s(tiny_config());
+  (void)s.set("k", "v");
+  EXPECT_TRUE(s.remove("k"));
+  EXPECT_FALSE(s.remove("k"));
+  EXPECT_FALSE(s.get("k").has_value());
+  EXPECT_EQ(s.stats().deletes, 1u);
+}
+
+TEST(LruStore, TtlExpiryIsLazy) {
+  LruStore s(tiny_config());
+  (void)s.set("k", "v", /*now=*/0.0, /*ttl=*/10.0);
+  EXPECT_TRUE(s.get("k", 5.0).has_value());
+  EXPECT_FALSE(s.get("k", 10.0).has_value());
+  EXPECT_EQ(s.stats().expirations, 1u);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(LruStore, ContainsDoesNotPromoteOrCount) {
+  LruStore s(tiny_config());
+  (void)s.set("k", "v");
+  const auto gets_before = s.stats().gets;
+  EXPECT_TRUE(s.contains("k"));
+  EXPECT_FALSE(s.contains("absent"));
+  EXPECT_EQ(s.stats().gets, gets_before);
+}
+
+TEST(LruStore, EvictsLeastRecentlyUsedInClass) {
+  LruStore s(tiny_config());
+  // Fill one class until eviction, touching "key0" to keep it hot.
+  const std::string value(32, 'x');
+  (void)s.set("key0", value);
+  int i = 1;
+  while (s.stats().evictions == 0 && i < 10'000) {
+    (void)s.get("key0");  // promote to MRU
+    (void)s.set("key" + std::to_string(i++), value);
+  }
+  ASSERT_GT(s.stats().evictions, 0u);
+  EXPECT_TRUE(s.contains("key0")) << "hot key must not be evicted";
+  EXPECT_FALSE(s.contains("key1")) << "cold key should be the victim";
+}
+
+TEST(LruStore, RejectsOversizeItem) {
+  LruStore s(tiny_config());
+  const std::string huge(100'000, 'x');
+  EXPECT_FALSE(s.set("k", huge));
+  EXPECT_EQ(s.stats().set_failures, 1u);
+}
+
+TEST(LruStore, FlushEmptiesEverything) {
+  LruStore s(tiny_config());
+  for (int i = 0; i < 20; ++i) {
+    (void)s.set("k" + std::to_string(i), "v");
+  }
+  s.flush();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.get("k0").has_value());
+  // Chunks were returned: we can fill again.
+  EXPECT_TRUE(s.set("fresh", "v"));
+}
+
+TEST(LruStore, HitRatioGrowsWithCacheSizeUnderZipf) {
+  // The fundamental cache property the paper's related work optimises:
+  // more memory ⇒ higher hit ratio on a skewed workload.
+  const auto run = [](std::size_t pages) {
+    SlabAllocator::Config c = tiny_config();
+    c.memory_limit = pages * c.page_size;
+    LruStore s(c);
+    dist::Zipf zipf(5'000, 1.0);
+    dist::Rng rng(4);
+    const std::string value(20, 'v');
+    for (int i = 0; i < 60'000; ++i) {
+      const std::string key = "key" + std::to_string(zipf.sample(rng));
+      if (!s.get(key).has_value()) {
+        (void)s.set(key, value);
+      }
+    }
+    return s.stats().hit_ratio();
+  };
+  const double small = run(4);
+  const double large = run(64);
+  EXPECT_GT(large, small + 0.05);
+  EXPECT_GT(small, 0.1);  // even a tiny cache catches the hot head
+}
+
+TEST(LruStore, StatsCountersAreCoherent) {
+  LruStore s(tiny_config());
+  (void)s.set("a", "1");
+  (void)s.get("a");
+  (void)s.get("b");
+  const StoreStats& st = s.stats();
+  EXPECT_EQ(st.gets, 2u);
+  EXPECT_EQ(st.hits + st.misses, st.gets);
+  EXPECT_NEAR(st.hit_ratio() + st.miss_ratio(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mclat::cache

@@ -1,0 +1,128 @@
+#include "cache/slab_allocator.h"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::cache {
+namespace {
+
+SlabAllocator::Config small_config() {
+  SlabAllocator::Config c;
+  c.min_chunk = 64;
+  c.growth_factor = 2.0;
+  c.page_size = 4096;
+  c.memory_limit = 64 * 1024;
+  return c;
+}
+
+TEST(SlabAllocator, ClassLadderGrowsGeometrically) {
+  const SlabAllocator a(small_config());
+  ASSERT_GE(a.num_classes(), 4u);
+  for (std::size_t c = 1; c < a.num_classes() - 1; ++c) {
+    EXPECT_GT(a.chunk_size(c), a.chunk_size(c - 1));
+  }
+  // Final class is one whole page (minus the hidden header).
+  EXPECT_GE(a.chunk_size(a.num_classes() - 1), 4096u - 64u);
+}
+
+TEST(SlabAllocator, ClassForPicksSmallestFit) {
+  const SlabAllocator a(small_config());
+  const std::size_t c0 = a.class_for(1);
+  const std::size_t c_same = a.class_for(a.chunk_size(c0));
+  EXPECT_EQ(c0, c_same);
+  const std::size_t c_next = a.class_for(a.chunk_size(c0) + 1);
+  EXPECT_EQ(c_next, c0 + 1);
+}
+
+TEST(SlabAllocator, AllocateWritesDoNotCollide) {
+  SlabAllocator a(small_config());
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 50; ++i) {
+    void* p = a.allocate(100);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  // All distinct and usable for their advertised size.
+  const std::set<void*> unique(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(unique.size(), ptrs.size());
+  const std::size_t cls = a.class_for(100);
+  const std::size_t usable = a.chunk_size(cls);
+  for (void* p : ptrs) {
+    std::memset(p, 0xAB, usable);
+  }
+}
+
+TEST(SlabAllocator, DeallocateRecyclesChunks) {
+  SlabAllocator a(small_config());
+  void* p = a.allocate(100);
+  ASSERT_NE(p, nullptr);
+  const auto used_before = a.stats(a.class_for(100)).used_chunks;
+  a.deallocate(p);
+  EXPECT_EQ(a.stats(a.class_for(100)).used_chunks, used_before - 1);
+  void* p2 = a.allocate(100);
+  EXPECT_EQ(p2, p);  // LIFO free list hands the same chunk back
+}
+
+TEST(SlabAllocator, MemoryLimitStopsGrowth) {
+  SlabAllocator::Config c = small_config();
+  c.memory_limit = 2 * c.page_size;
+  SlabAllocator a(c);
+  std::size_t got = 0;
+  while (a.allocate(64) != nullptr) ++got;
+  EXPECT_GT(got, 0u);
+  EXPECT_LE(a.memory_used(), c.memory_limit);
+  // Freeing one chunk makes exactly one allocation possible again.
+  // (Grab a fresh pointer to free.)
+  SlabAllocator b(c);
+  void* p = b.allocate(64);
+  while (void* q = b.allocate(64)) (void)q;
+  b.deallocate(p);
+  EXPECT_NE(b.allocate(64), nullptr);
+  EXPECT_EQ(b.allocate(64), nullptr);
+}
+
+TEST(SlabAllocator, ClassOfRoundTrips) {
+  SlabAllocator a(small_config());
+  void* small = a.allocate(10);
+  void* big = a.allocate(1000);
+  EXPECT_EQ(SlabAllocator::class_of(small), a.class_for(10));
+  EXPECT_EQ(SlabAllocator::class_of(big), a.class_for(1000));
+}
+
+TEST(SlabAllocator, OversizeItemThrows) {
+  SlabAllocator a(small_config());
+  EXPECT_THROW((void)a.class_for(a.max_item_size() + 1), std::length_error);
+}
+
+TEST(SlabAllocator, DoubleFreeIsCaught) {
+  SlabAllocator a(small_config());
+  void* p = a.allocate(64);
+  a.deallocate(p);
+  EXPECT_THROW(a.deallocate(p), std::invalid_argument);
+  EXPECT_THROW(a.deallocate(nullptr), std::invalid_argument);
+}
+
+TEST(SlabAllocator, StatsAreConsistent) {
+  SlabAllocator a(small_config());
+  (void)a.allocate(64);
+  (void)a.allocate(64);
+  const auto st = a.stats(a.class_for(64));
+  EXPECT_EQ(st.used_chunks, 2u);
+  EXPECT_GE(st.total_chunks, st.used_chunks);
+  EXPECT_GE(st.pages, 1u);
+}
+
+TEST(SlabAllocator, ValidatesConfig) {
+  SlabAllocator::Config c = small_config();
+  c.growth_factor = 1.0;
+  EXPECT_THROW(SlabAllocator a(c), std::invalid_argument);
+  c = small_config();
+  c.min_chunk = 4;
+  EXPECT_THROW(SlabAllocator a(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cache

@@ -1,0 +1,75 @@
+#include "cluster/delay_station.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/deterministic.h"
+#include "dist/exponential.h"
+#include <gtest/gtest.h>
+
+namespace mclat::cluster {
+namespace {
+
+TEST(DelayStation, NoQueueingEver) {
+  sim::Simulator s;
+  std::vector<sim::Departure> done;
+  DelayStation d(s, std::make_unique<dist::Deterministic>(1.0), dist::Rng(1),
+                 [&](const sim::Departure& dep) { done.push_back(dep); });
+  // Ten simultaneous jobs all finish exactly one service later.
+  s.schedule_at(0.0, [&] {
+    for (int i = 0; i < 10; ++i) d.submit(i);
+  });
+  s.run();
+  ASSERT_EQ(done.size(), 10u);
+  for (const auto& dep : done) {
+    EXPECT_DOUBLE_EQ(dep.waiting_time(), 0.0);
+    EXPECT_DOUBLE_EQ(dep.sojourn_time(), 1.0);
+  }
+}
+
+TEST(DelayStation, SojournIsPureServiceDraw) {
+  // Exponential service at μ = 1000: mean sojourn 1 ms regardless of load —
+  // this is exactly the paper's eq.-19 "ρ → 0" database.
+  sim::Simulator s;
+  DelayStation d(s, std::make_unique<dist::Exponential>(1000.0), dist::Rng(2),
+                 [](const sim::Departure&) {});
+  dist::Rng arr(3);
+  std::function<void()> submit = [&] {
+    static std::uint64_t id = 0;
+    d.submit(id++);
+    s.schedule_in(arr.exponential(5000.0), submit);  // heavy offered load
+  };
+  s.schedule_in(0.0, submit);
+  s.run_until(20.0);
+  s.clear();
+  EXPECT_NEAR(d.sojourn_stats().mean(), 1e-3, 5e-5);
+  EXPECT_GT(d.completed(), 50'000u);
+}
+
+TEST(DelayStation, TracksInFlight) {
+  sim::Simulator s;
+  DelayStation d(s, std::make_unique<dist::Deterministic>(2.0), dist::Rng(1),
+                 [](const sim::Departure&) {});
+  s.schedule_at(0.0, [&] {
+    d.submit(1);
+    d.submit(2);
+  });
+  s.schedule_at(1.0, [&] { EXPECT_EQ(d.in_flight(), 2u); });
+  s.schedule_at(3.0, [&] { EXPECT_EQ(d.in_flight(), 0u); });
+  s.run();
+  EXPECT_EQ(d.completed(), 2u);
+}
+
+TEST(DelayStation, RejectsNullArguments) {
+  sim::Simulator s;
+  EXPECT_THROW(DelayStation(s, nullptr, dist::Rng(1),
+                            [](const sim::Departure&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(DelayStation(s, std::make_unique<dist::Deterministic>(1.0),
+                            dist::Rng(1), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

@@ -1,0 +1,160 @@
+// Mode B: the explicit fork-join cluster. Scaled-down horizons; the focus
+// is wiring correctness (components add up, misses route through the DB,
+// the real cache produces an emergent miss ratio).
+#include "cluster/end_to_end.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace mclat::cluster {
+namespace {
+
+EndToEndConfig quick_config() {
+  EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  // Lighten: fewer keys per request and a lazier horizon keep the test fast.
+  cfg.system.total_key_rate = 4.0 * 40'000.0;
+  cfg.system.keys_per_request = 50;
+  cfg.warmup_time = 0.2;
+  cfg.measure_time = 1.0;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(EndToEnd, CompletesRequestsAndAccountsComponents) {
+  EndToEndSim sim(quick_config());
+  const EndToEndResult r = sim.run();
+  EXPECT_GT(r.requests_completed, 1000u);
+  EXPECT_EQ(r.total_samples.size(), r.requests_completed);
+  // Component means obey Theorem 1's envelope (eq. 1) on averages.
+  const double lo =
+      std::max({r.network.mean, r.server.mean, r.database.mean});
+  EXPECT_GE(r.total.mean, lo - 1e-9);
+  EXPECT_LE(r.total.mean,
+            r.network.mean + r.server.mean + r.database.mean + 1e-9);
+  EXPECT_DOUBLE_EQ(r.network.mean, quick_config().system.network_latency);
+}
+
+TEST(EndToEnd, MeasuredMissRatioMatchesBernoulliParameter) {
+  EndToEndConfig cfg = quick_config();
+  cfg.system.miss_ratio = 0.05;
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  EXPECT_NEAR(r.measured_miss_ratio, 0.05, 0.01);
+  EXPECT_GT(r.database.mean, 0.0);
+}
+
+TEST(EndToEnd, ZeroMissRatioNeverTouchesDatabase) {
+  EndToEndConfig cfg = quick_config();
+  cfg.system.miss_ratio = 0.0;
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  EXPECT_EQ(r.measured_miss_ratio, 0.0);
+  EXPECT_EQ(r.database.mean, 0.0);
+}
+
+TEST(EndToEnd, UtilizationTracksOfferedLoad) {
+  const EndToEndConfig cfg = quick_config();
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  ASSERT_EQ(r.server_utilization.size(), 4u);
+  for (const double u : r.server_utilization) {
+    EXPECT_NEAR(u, 0.5, 0.06);  // 40 Kps offered / 80 Kps capacity
+  }
+}
+
+TEST(EndToEnd, SkewedSharesShowUpInUtilization) {
+  EndToEndConfig cfg = quick_config();
+  cfg.system.total_key_rate = 4.0 * 30'000.0;
+  cfg.system.load_shares = {0.55, 0.15, 0.15, 0.15};
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  EXPECT_GT(r.server_utilization[0], 2.5 * r.server_utilization[1]);
+}
+
+TEST(EndToEnd, RealCacheProducesEmergentMissRatio) {
+  EndToEndConfig cfg = quick_config();
+  cfg.miss_mode = MissMode::kRealCache;
+  cfg.mapper = MapperKind::kRing;
+  cfg.keyspace_size = 20'000;
+  cfg.zipf_exponent = 1.0;
+  cfg.cache_bytes_per_server = 2u << 20;
+  cfg.system.total_key_rate = 4.0 * 20'000.0;
+  cfg.warmup_time = 0.5;  // cache needs filling
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  // Somewhere strictly between never-miss and always-miss, and the refill
+  // path keeps the hot head cached, so the ratio must be well below 50 %.
+  EXPECT_GT(r.measured_miss_ratio, 0.001);
+  EXPECT_LT(r.measured_miss_ratio, 0.5);
+  EXPECT_GT(r.database.mean, 0.0);
+}
+
+TEST(EndToEnd, BiggerCacheMissesLess) {
+  EndToEndConfig cfg = quick_config();
+  cfg.miss_mode = MissMode::kRealCache;
+  cfg.mapper = MapperKind::kRing;
+  cfg.keyspace_size = 50'000;
+  cfg.system.total_key_rate = 4.0 * 20'000.0;
+  cfg.warmup_time = 0.5;
+  cfg.cache_bytes_per_server = 1u << 20;
+  const double small = EndToEndSim(cfg).run().measured_miss_ratio;
+  cfg.cache_bytes_per_server = 16u << 20;
+  const double large = EndToEndSim(cfg).run().measured_miss_ratio;
+  EXPECT_LT(large, small);
+}
+
+TEST(EndToEnd, SingleServerDbQueuesUnderLoad) {
+  // With μ_D = 1000/s and miss rate r·Λ = 0.05·160 Kps = 8 Kps, a real
+  // M/M/1 database saturates — sojourns must blow far past the 1 ms mean
+  // service time that the infinite-server mode reports.
+  EndToEndConfig cfg = quick_config();
+  cfg.system.miss_ratio = 0.05;
+  cfg.measure_time = 0.5;
+  cfg.db_mode = DbMode::kInfiniteServer;
+  const EndToEndResult inf = EndToEndSim(cfg).run();
+  cfg.db_mode = DbMode::kSingleServer;
+  const EndToEndResult mm1 = EndToEndSim(cfg).run();
+  EXPECT_GT(mm1.database.mean, 3.0 * inf.database.mean);
+}
+
+TEST(EndToEnd, PooledDbAbsorbsTheMissStream) {
+  // kSingleServer saturates at this miss rate; a 4-shard M/M/c pool sized
+  // by core::shards_for_offloaded_db keeps T_D near the 1 ms ideal.
+  EndToEndConfig cfg = quick_config();
+  cfg.system.miss_ratio = 0.02;  // 3.2 Kps misses vs muD = 1 Kps
+  cfg.measure_time = 0.5;
+  cfg.db_mode = DbMode::kPooled;
+  cfg.db_servers = 6;  // rho_D = 0.53
+  const EndToEndResult pooled = EndToEndSim(cfg).run();
+  EXPECT_LT(pooled.database.mean, 3.0e-3);
+  cfg.db_mode = DbMode::kSingleServer;
+  const EndToEndResult single = EndToEndSim(cfg).run();
+  EXPECT_GT(single.database.mean, 2.0 * pooled.database.mean);
+}
+
+TEST(EndToEnd, SeedReproducibility) {
+  const EndToEndConfig cfg = quick_config();
+  const EndToEndResult a = EndToEndSim(cfg).run();
+  const EndToEndResult b = EndToEndSim(cfg).run();
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_DOUBLE_EQ(a.total.mean, b.total.mean);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(EndToEnd, EffectiveRequestRateDerivation) {
+  EndToEndConfig cfg = quick_config();
+  cfg.request_rate = 0.0;
+  EXPECT_NEAR(cfg.effective_request_rate(),
+              cfg.system.total_key_rate / cfg.system.keys_per_request, 1e-9);
+  cfg.request_rate = 123.0;
+  EXPECT_EQ(cfg.effective_request_rate(), 123.0);
+}
+
+TEST(EndToEnd, ValidatesConfig) {
+  EndToEndConfig cfg = quick_config();
+  cfg.measure_time = 0.0;
+  EXPECT_THROW(EndToEndSim s(cfg), std::invalid_argument);
+  cfg = quick_config();
+  cfg.system.keys_per_request = 0;
+  EXPECT_THROW(EndToEndSim s(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

@@ -1,0 +1,104 @@
+// Redundant request assembly (the Mode-A side of the redundancy extension).
+#include "cluster/workload_driven.h"
+
+#include "core/redundancy.h"
+#include <gtest/gtest.h>
+
+namespace mclat::cluster {
+namespace {
+
+class RedundantAssembly : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::SystemConfig sys = core::SystemConfig::facebook();
+    sys.total_key_rate = 4.0 * 2.0 * 16'000.0;  // inflated for d = 2
+    WorkloadDrivenConfig cfg;
+    cfg.system = sys;
+    cfg.warmup_time = 0.2;
+    cfg.measure_time = 2.0;
+    cfg.seed = 5;
+    pools_ = new MeasurementPools(WorkloadDrivenSim(cfg).run());
+    base_ = new core::SystemConfig(sys);
+    base_->total_key_rate = 4.0 * 16'000.0;  // the pre-inflation base
+  }
+  static void TearDownTestSuite() {
+    delete pools_;
+    delete base_;
+    pools_ = nullptr;
+    base_ = nullptr;
+  }
+
+  static MeasurementPools* pools_;
+  static core::SystemConfig* base_;
+};
+
+MeasurementPools* RedundantAssembly::pools_ = nullptr;
+core::SystemConfig* RedundantAssembly::base_ = nullptr;
+
+TEST_F(RedundantAssembly, DOneMatchesPlainAssembly) {
+  dist::Rng rng_a(1);
+  dist::Rng rng_b(1);
+  const AssembledRequests plain =
+      assemble_requests(*pools_, *base_, 4000, 100, rng_a);
+  const AssembledRequests red =
+      assemble_requests_redundant(*pools_, *base_, 4000, 100, 1, rng_b);
+  // Same RNG stream and semantics at d = 1: identical results.
+  ASSERT_EQ(plain.total.size(), red.total.size());
+  for (std::size_t i = 0; i < plain.total.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.server[i], red.server[i]);
+    EXPECT_DOUBLE_EQ(plain.total[i], red.total[i]);
+  }
+}
+
+TEST_F(RedundantAssembly, MinOfTwoShrinksTheServerComponent) {
+  dist::Rng rng(2);
+  const double d1 =
+      assemble_requests_redundant(*pools_, *base_, 6000, 100, 1, rng)
+          .server_ci()
+          .mean;
+  const double d2 =
+      assemble_requests_redundant(*pools_, *base_, 6000, 100, 2, rng)
+          .server_ci()
+          .mean;
+  EXPECT_LT(d2, d1);
+}
+
+TEST_F(RedundantAssembly, MatchesRedundancyModelBand) {
+  // The pools were generated at the d=2-inflated load; theory at d=2 of
+  // the base config must bracket the measurement (with the usual gamma
+  // slack on the upper edge).
+  const core::RedundancyModel model(*base_, 2);
+  ASSERT_TRUE(model.stable());
+  dist::Rng rng(3);
+  const double measured =
+      assemble_requests_redundant(*pools_, *base_, 10'000, 150, 2, rng)
+          .server_ci()
+          .mean;
+  const core::Bounds b = model.expected_max_bounds(150);
+  EXPECT_GE(measured, b.lower * 0.85);
+  EXPECT_LE(measured, b.upper * 1.45);
+}
+
+TEST_F(RedundantAssembly, EnvelopeHoldsPerRequest) {
+  dist::Rng rng(4);
+  const AssembledRequests reqs =
+      assemble_requests_redundant(*pools_, *base_, 2000, 50, 3, rng);
+  for (std::size_t i = 0; i < reqs.total.size(); ++i) {
+    EXPECT_LE(reqs.server[i], reqs.total[i]);
+    EXPECT_LE(reqs.total[i],
+              reqs.network[i] + reqs.server[i] + reqs.database[i] + 1e-12);
+  }
+}
+
+TEST_F(RedundantAssembly, ValidatesArguments) {
+  dist::Rng rng(5);
+  EXPECT_THROW((void)assemble_requests_redundant(*pools_, *base_, 10, 10, 0,
+                                                 rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)assemble_requests_redundant(*pools_, *base_, 0, 10, 2,
+                                                 rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

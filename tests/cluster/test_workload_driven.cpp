@@ -1,0 +1,134 @@
+// The Mode-A testbed: pools, assembly, and statistical sanity. Horizons are
+// kept short — full-scale validation lives in tests/integration and bench/.
+#include "cluster/workload_driven.h"
+
+#include <gtest/gtest.h>
+
+namespace mclat::cluster {
+namespace {
+
+WorkloadDrivenConfig quick_config() {
+  WorkloadDrivenConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.warmup_time = 0.2;
+  cfg.measure_time = 1.0;
+  cfg.pool_cap = 50'000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(WorkloadDriven, PoolsAreFilledForEveryServer) {
+  WorkloadDrivenSim sim(quick_config());
+  const MeasurementPools pools = sim.run();
+  ASSERT_EQ(pools.server_sojourns.size(), 4u);
+  for (const auto& pool : pools.server_sojourns) {
+    EXPECT_GT(pool.size(), 10'000u);
+    for (const double x : pool) ASSERT_GT(x, 0.0);
+  }
+  EXPECT_FALSE(pools.db_sojourns.empty());
+  EXPECT_GT(pools.total_keys, 200'000u);
+}
+
+TEST(WorkloadDriven, MeasuredUtilizationMatchesConfig) {
+  WorkloadDrivenSim sim(quick_config());
+  const MeasurementPools pools = sim.run();
+  for (const double u : pools.server_utilization) {
+    EXPECT_NEAR(u, 0.781, 0.05);
+  }
+}
+
+TEST(WorkloadDriven, ZeroMissSkipsDatabase) {
+  WorkloadDrivenConfig cfg = quick_config();
+  cfg.system.miss_ratio = 0.0;
+  const MeasurementPools pools = WorkloadDrivenSim(cfg).run();
+  EXPECT_TRUE(pools.db_sojourns.empty());
+  dist::Rng rng(1);
+  const AssembledRequests reqs =
+      assemble_requests(pools, cfg.system, 1000, 150, rng);
+  for (const double d : reqs.database) EXPECT_EQ(d, 0.0);
+}
+
+TEST(WorkloadDriven, AssembledComponentsAreConsistent) {
+  const WorkloadDrivenConfig cfg = quick_config();
+  const MeasurementPools pools = WorkloadDrivenSim(cfg).run();
+  dist::Rng rng(2);
+  const AssembledRequests reqs =
+      assemble_requests(pools, cfg.system, 5000, 150, rng);
+  ASSERT_EQ(reqs.total.size(), 5000u);
+  for (std::size_t i = 0; i < reqs.total.size(); ++i) {
+    // Each component max is a lower bound on the total max...
+    EXPECT_LE(reqs.server[i], reqs.total[i]);
+    EXPECT_LE(reqs.database[i], reqs.total[i]);
+    // ...and the total never exceeds the sum of component maxima (eq. 1).
+    EXPECT_LE(reqs.total[i],
+              reqs.network[i] + reqs.server[i] + reqs.database[i] + 1e-12);
+    EXPECT_DOUBLE_EQ(reqs.network[i], cfg.system.network_latency);
+  }
+}
+
+TEST(WorkloadDriven, MoreKeysMeansLargerMax) {
+  const WorkloadDrivenConfig cfg = quick_config();
+  const MeasurementPools pools = WorkloadDrivenSim(cfg).run();
+  dist::Rng rng(3);
+  const double m10 =
+      assemble_requests(pools, cfg.system, 3000, 10, rng).server_ci().mean;
+  const double m1000 =
+      assemble_requests(pools, cfg.system, 3000, 1000, rng).server_ci().mean;
+  EXPECT_GT(m1000, 1.5 * m10);
+}
+
+TEST(WorkloadDriven, SeedReproducibility) {
+  const WorkloadDrivenConfig cfg = quick_config();
+  const MeasurementPools a = WorkloadDrivenSim(cfg).run();
+  const MeasurementPools b = WorkloadDrivenSim(cfg).run();
+  ASSERT_EQ(a.server_sojourns[0].size(), b.server_sojourns[0].size());
+  EXPECT_EQ(a.server_sojourns[0], b.server_sojourns[0]);
+  EXPECT_EQ(a.total_keys, b.total_keys);
+}
+
+TEST(WorkloadDriven, PerKeyDistributionReflectsPools) {
+  const WorkloadDrivenConfig cfg = quick_config();
+  const MeasurementPools pools = WorkloadDrivenSim(cfg).run();
+  dist::Rng rng(4);
+  const dist::Empirical e =
+      per_key_sojourn_distribution(pools, cfg.system, 50'000, rng);
+  EXPECT_EQ(e.size(), 50'000u);
+  EXPECT_GT(e.mean(), 0.0);
+  // Per-key mean sits inside the per-server pool means' hull.
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& pool : pools.server_sojourns) {
+    double m = 0.0;
+    for (const double x : pool) m += x;
+    m /= static_cast<double>(pool.size());
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GE(e.mean(), lo * 0.9);
+  EXPECT_LE(e.mean(), hi * 1.1);
+}
+
+TEST(WorkloadDriven, RunExperimentConvenience) {
+  const AssembledRequests reqs = run_workload_experiment(quick_config(), 2000);
+  EXPECT_EQ(reqs.total.size(), 2000u);
+  EXPECT_GT(reqs.total_ci().mean, 0.0);
+}
+
+TEST(WorkloadDriven, ValidatesConfigAndInputs) {
+  WorkloadDrivenConfig bad = quick_config();
+  bad.measure_time = 0.0;
+  EXPECT_THROW(WorkloadDrivenSim s(bad), std::invalid_argument);
+  bad = quick_config();
+  bad.pool_cap = 0;
+  EXPECT_THROW(WorkloadDrivenSim s(bad), std::invalid_argument);
+
+  MeasurementPools empty;
+  empty.server_sojourns.resize(4);
+  dist::Rng rng(5);
+  EXPECT_THROW((void)assemble_requests(empty, quick_config().system, 10, 10,
+                                       rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

@@ -1,0 +1,105 @@
+// Capacity solvers: the model inverted against latency budgets.
+#include "core/capacity.h"
+
+#include "core/theorem1.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+SystemConfig base() { return SystemConfig::facebook(); }
+
+TEST(MaxRate, SolutionMeetsBudgetTightly) {
+  const double budget = 1.2e-3;
+  const auto rate = max_rate_for_budget(base(), budget);
+  ASSERT_TRUE(rate.has_value());
+  SystemConfig cfg = base();
+  cfg.total_key_rate = *rate;
+  const double at = LatencyModel(cfg).estimate().total_estimate();
+  EXPECT_NEAR(at, budget, 0.01 * budget);
+  // A 5 % higher rate must exceed the budget.
+  cfg.total_key_rate = *rate * 1.05;
+  EXPECT_GT(LatencyModel(cfg).estimate().total_estimate(), budget);
+}
+
+TEST(MaxRate, MonotoneInBudget) {
+  const auto tight = max_rate_for_budget(base(), 1.05e-3);
+  const auto loose = max_rate_for_budget(base(), 2.0e-3);
+  ASSERT_TRUE(tight && loose);
+  EXPECT_LT(*tight, *loose);
+}
+
+TEST(MaxRate, InfeasibleBudgetReturnsNullopt) {
+  // The database stage alone costs ~836 µs at N=150, r=1 %.
+  EXPECT_FALSE(max_rate_for_budget(base(), 500e-6).has_value());
+}
+
+TEST(MaxRate, GenerousBudgetReturnsStabilityEdge) {
+  const auto rate = max_rate_for_budget(base(), 1.0);  // a full second
+  ASSERT_TRUE(rate.has_value());
+  // Near (but below) the 4 × 80 Kps stability ceiling.
+  EXPECT_GT(*rate, 0.98 * 4.0 * 80'000.0);
+  EXPECT_LT(*rate, 4.0 * 80'000.0);
+}
+
+TEST(ServiceRate, SolutionMeetsBudget) {
+  const double budget = 1.0e-3;
+  const auto mu = service_rate_for_budget(base(), budget);
+  ASSERT_TRUE(mu.has_value());
+  SystemConfig cfg = base();
+  cfg.service_rate = *mu;
+  EXPECT_NEAR(LatencyModel(cfg).estimate().total_estimate(), budget,
+              0.01 * budget);
+  EXPECT_GT(*mu, 62'500.0);  // must at least cover the offered load
+}
+
+TEST(ServiceRate, InfeasibleWhenFloorExceedsBudget) {
+  EXPECT_FALSE(service_rate_for_budget(base(), 500e-6).has_value());
+}
+
+TEST(Servers, SmallestFeasibleCount) {
+  SystemConfig cfg = base();
+  cfg.total_key_rate = 400'000.0;
+  const auto m = servers_for_budget(cfg, 1.2e-3);
+  ASSERT_TRUE(m.has_value());
+  // Contract: m feasible, m-1 not.
+  SystemConfig check = cfg;
+  check.servers = *m;
+  check.load_shares.clear();
+  EXPECT_LE(LatencyModel(check).estimate().total_estimate(), 1.2e-3);
+  if (*m > 1) {
+    check.servers = *m - 1;
+    const LatencyModel tighter(check);
+    const double worse = tighter.stable()
+                             ? tighter.estimate().total_estimate()
+                             : 1e9;
+    EXPECT_GT(worse, 1.2e-3);
+  }
+}
+
+TEST(Servers, InfeasibleBudget) {
+  EXPECT_FALSE(servers_for_budget(base(), 500e-6, 64).has_value());
+}
+
+TEST(Servers, MoreLoadNeedsMoreServers) {
+  SystemConfig light = base();
+  light.total_key_rate = 200'000.0;
+  SystemConfig heavy = base();
+  heavy.total_key_rate = 900'000.0;
+  const auto m_light = servers_for_budget(light, 1.2e-3);
+  const auto m_heavy = servers_for_budget(heavy, 1.2e-3);
+  ASSERT_TRUE(m_light && m_heavy);
+  EXPECT_LT(*m_light, *m_heavy);
+}
+
+TEST(Capacity, ValidatesBudget) {
+  EXPECT_THROW((void)max_rate_for_budget(base(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)service_rate_for_budget(base(), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)servers_for_budget(base(), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

@@ -1,0 +1,128 @@
+// Database stage: eqs. (15)–(23) plus the exact estimators.
+#include "core/db_stage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+TEST(DatabaseStage, PaperRunningExampleMatches) {
+  // §5.1: r = 0.01, μ_D = 1000/s, N = 150 → E[T_D(N)] ≈ 836 µs.
+  const DatabaseStage db(0.01, 1000.0);
+  EXPECT_NEAR(db.expected_max(150), 836e-6, 2e-6);
+}
+
+TEST(DatabaseStage, Section22WorkedExample) {
+  // §2.2: cache 200 µs, DB 10 ms, per-key average latency at r:
+  // 0.98·200µs + 0.02·10ms = 396 µs vs 300 µs claimed for r = 1 % — the
+  // paper's arithmetic is per-key mixture; check our primitives reproduce
+  // the per-key expectation with N = 1.
+  const DatabaseStage db(0.02, 100.0);  // 10 ms mean
+  // With N = 1: E[T_D(1)] = r·ln(2)/μ_D... the max-approximation; the raw
+  // miss cost is r/μ_D. Check the exact harmonic form: E = r·H_1/μ_D.
+  EXPECT_NEAR(db.expected_max_harmonic(1), 0.02 * 0.01, 1e-9);
+}
+
+TEST(DatabaseStage, NoMissProbability) {
+  const DatabaseStage db(0.01, 1000.0);
+  EXPECT_NEAR(db.p_no_miss(150), std::pow(0.99, 150.0), 1e-12);
+  EXPECT_EQ(db.p_no_miss(0), 1.0);
+  const DatabaseStage never(0.0, 1000.0);
+  EXPECT_EQ(never.p_no_miss(1000), 1.0);
+}
+
+TEST(DatabaseStage, ConditionalMissCountEquation18) {
+  const DatabaseStage db(0.01, 1000.0);
+  const double p_any = 1.0 - std::pow(0.99, 150.0);
+  EXPECT_NEAR(db.expected_misses_given_any(150), 1.5 / p_any, 1e-9);
+  // Always at least 1 given K > 0.
+  EXPECT_GE(db.expected_misses_given_any(1), 1.0 - 1e-12);
+}
+
+TEST(DatabaseStage, LatencyCdfIsExponential) {
+  const DatabaseStage db(0.01, 500.0);
+  for (const double t : {1e-4, 1e-3, 1e-2}) {
+    EXPECT_NEAR(db.latency_cdf(t), 1.0 - std::exp(-500.0 * t), 1e-12);
+  }
+  EXPECT_EQ(db.latency_cdf(-1.0), 0.0);
+}
+
+TEST(DatabaseStage, ZeroMissMeansZeroLatency) {
+  const DatabaseStage db(0.0, 1000.0);
+  EXPECT_EQ(db.expected_max(150), 0.0);
+  EXPECT_EQ(db.expected_max_exact_k(150), 0.0);
+  EXPECT_EQ(db.expected_max_harmonic(150), 0.0);
+}
+
+TEST(DatabaseStage, EstimatorOrderingJensen) {
+  // Jensen: E[ln(K+1)] <= ln(E[K]+1)-ish ⇒ exact_k <= eq23 form; and the
+  // harmonic form dominates both (H_k >= ln(k+1)).
+  const DatabaseStage db(0.01, 1000.0);
+  for (const std::uint64_t n : {10ull, 150ull, 1000ull, 10'000ull}) {
+    const double approx = db.expected_max(n);
+    const double exact_k = db.expected_max_exact_k(n);
+    const double harmonic = db.expected_max_harmonic(n);
+    EXPECT_LE(exact_k, approx * 1.001) << "n=" << n;
+    EXPECT_GE(harmonic, exact_k) << "n=" << n;
+  }
+}
+
+TEST(DatabaseStage, HarmonicFormMatchesHandComputation) {
+  // N = 2, r = 0.5, μ_D = 1: P(K=0)=.25, P(1)=.5, P(2)=.25;
+  // E[max] = .5·1 + .25·1.5 = 0.875.
+  const DatabaseStage db(0.5, 1.0);
+  EXPECT_NEAR(db.expected_max_harmonic(2), 0.875, 1e-12);
+}
+
+TEST(DatabaseStage, SmallNRegimeIsLinearInR) {
+  // §5.2.3 i: for small N, halving r halves the latency.
+  const double mu_d = 1000.0;
+  const DatabaseStage a(0.001, mu_d);
+  const DatabaseStage b(0.002, mu_d);
+  EXPECT_NEAR(b.expected_max(4) / a.expected_max(4), 2.0, 0.02);
+}
+
+TEST(DatabaseStage, LargeNRegimeIsLogarithmicInR) {
+  // §5.2.3 ii: for large N, halving r buys only a logarithmic sliver.
+  const double mu_d = 1000.0;
+  const DatabaseStage a(0.05, mu_d);
+  const DatabaseStage b(0.1, mu_d);
+  const double ratio = b.expected_max(10'000) / a.expected_max(10'000);
+  EXPECT_LT(ratio, 1.2);
+  EXPECT_GT(ratio, 1.0);
+}
+
+TEST(DatabaseStage, LargeNLimitIsApproachedFromBelow) {
+  const DatabaseStage db(0.01, 1000.0);
+  const double limit = db.large_n_limit(100'000);
+  const double exact = db.expected_max(100'000);
+  EXPECT_NEAR(exact, limit, 0.01 * limit);
+}
+
+TEST(DatabaseStage, GrowsLogarithmicallyInN) {
+  const DatabaseStage db(0.01, 1000.0);
+  const double at_1e3 = db.expected_max(1000);
+  const double at_1e6 = db.expected_max(1'000'000);
+  // ln(10^6·r)/ln(10^3·r) = ln(10⁴)/ln(10) ≈ 4 → ratio ≈ 3.85 with +1 terms.
+  EXPECT_NEAR(at_1e6 / at_1e3, std::log(10'000.0 + 1.0) / std::log(11.0),
+              0.15);
+}
+
+TEST(DatabaseStage, ExactKHandlesHugeN) {
+  // Must not blow up: switches to the normal-limit expansion.
+  const DatabaseStage db(0.01, 1000.0);
+  const double v = db.expected_max_exact_k(10'000'000);
+  EXPECT_GT(v, 0.0);
+  EXPECT_NEAR(v, std::log(100'001.0) / 1000.0, 0.01 * v);
+}
+
+TEST(DatabaseStage, ValidatesParameters) {
+  EXPECT_THROW(DatabaseStage(-0.1, 1000.0), std::invalid_argument);
+  EXPECT_THROW(DatabaseStage(1.1, 1000.0), std::invalid_argument);
+  EXPECT_THROW(DatabaseStage(0.01, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

@@ -1,0 +1,151 @@
+// The δ-solver against closed forms and structural properties.
+#include "core/delta.h"
+
+#include <cmath>
+
+#include "dist/deterministic.h"
+#include "dist/erlang.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "dist/hyperexponential.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+TEST(Delta, PoissonArrivalsGiveDeltaEqualRho) {
+  // With exponential gaps the GI/M/1 root is δ = ρ exactly — and the
+  // batch-service transformation preserves this for any q: batch rate
+  // (1-q)λ against batch service (1-q)μ_S.
+  for (const double q : {0.0, 0.1, 0.4}) {
+    for (const double rho : {0.2, 0.5, 0.78, 0.95}) {
+      const double mu_s = 80'000.0;
+      const double key_rate = rho * mu_s;
+      const dist::Exponential gap((1.0 - q) * key_rate);
+      const DeltaResult r = solve_delta(gap, q, mu_s);
+      EXPECT_TRUE(r.stable);
+      EXPECT_NEAR(r.utilization, rho, 1e-12);
+      EXPECT_NEAR(r.delta, rho, 1e-9) << "q=" << q << " rho=" << rho;
+    }
+  }
+}
+
+TEST(Delta, ErlangArrivalsSatisfyPolynomialRoot) {
+  // Erlang-2 gaps, q = 0: δ = (β/(β + μ(1-δ)))² — verify the residual and
+  // the classic property δ < ρ (smoother arrivals wait less).
+  const double mu = 1.0;
+  const double rho = 0.7;
+  const dist::Erlang gap = dist::Erlang::with_mean(2, 1.0 / rho);
+  const DeltaResult r = solve_delta(gap, 0.0, mu);
+  ASSERT_TRUE(r.stable);
+  const double beta = 2.0 * rho;  // phase rate
+  const double residual =
+      std::pow(beta / (beta + mu * (1.0 - r.delta)), 2.0) - r.delta;
+  EXPECT_NEAR(residual, 0.0, 1e-10);
+  EXPECT_LT(r.delta, rho);
+}
+
+TEST(Delta, HyperExponentialWaitsMoreThanPoisson) {
+  // SCV > 1 arrivals ⇒ δ > ρ at equal utilisation.
+  const double mu = 1.0;
+  const double rho = 0.7;
+  const dist::HyperExponential gap =
+      dist::HyperExponential::fit_mean_scv(1.0 / rho, 4.0);
+  const DeltaResult r = solve_delta(gap, 0.0, mu);
+  ASSERT_TRUE(r.stable);
+  EXPECT_GT(r.delta, rho + 0.01);
+  // And the defining equation holds with the closed-form transform.
+  EXPECT_NEAR(gap.laplace((1.0 - r.delta) * mu), r.delta, 1e-9);
+}
+
+TEST(Delta, DeterministicArrivalsSatisfyLambertForm) {
+  // D/M/1: δ = e^{-(1-δ)μ/λ}.
+  const double mu = 1.0;
+  const double rho = 0.8;
+  const dist::Deterministic gap(1.0 / rho);
+  const DeltaResult r = solve_delta(gap, 0.0, mu);
+  ASSERT_TRUE(r.stable);
+  EXPECT_NEAR(std::exp(-(1.0 - r.delta) / rho), r.delta, 1e-9);
+  EXPECT_LT(r.delta, rho);  // clockwork arrivals wait least
+}
+
+TEST(Delta, GeneralizedParetoResidualIsZero) {
+  const dist::GeneralizedPareto gap =
+      dist::GeneralizedPareto::with_mean(0.15, 1.0 / (0.9 * 62'500.0));
+  const DeltaResult r = solve_delta(gap, 0.1, 80'000.0);
+  ASSERT_TRUE(r.stable);
+  EXPECT_GT(r.delta, 0.0);
+  EXPECT_LT(r.delta, 1.0);
+  const double s = (1.0 - r.delta) * 0.9 * 80'000.0;
+  EXPECT_NEAR(gap.laplace(s), r.delta, 1e-7);
+}
+
+TEST(Delta, IncreasesWithUtilization) {
+  double prev = 0.0;
+  for (const double rho : {0.2, 0.4, 0.6, 0.8, 0.9, 0.97}) {
+    const dist::GeneralizedPareto gap =
+        dist::GeneralizedPareto::with_mean(0.15, 1.0 / rho);
+    const DeltaResult r = solve_delta(gap, 0.0, 1.0);
+    EXPECT_GT(r.delta, prev) << "rho=" << rho;
+    prev = r.delta;
+  }
+}
+
+TEST(Delta, IncreasesWithBurstDegree) {
+  double prev = 0.0;
+  for (const double xi : {0.0, 0.15, 0.3, 0.5, 0.7, 0.9}) {
+    const dist::GeneralizedPareto gap =
+        dist::GeneralizedPareto::with_mean(xi, 1.0 / 0.6);
+    const DeltaResult r = solve_delta(gap, 0.0, 1.0);
+    EXPECT_GT(r.delta, prev - 1e-12) << "xi=" << xi;
+    prev = r.delta;
+  }
+}
+
+TEST(Delta, UnstableQueueReportsDeltaOne) {
+  const dist::Exponential gap(0.9);  // key rate 0.9 vs mu 0.5: rho = 1.8
+  const DeltaResult r = solve_delta(gap, 0.0, 0.5);
+  EXPECT_FALSE(r.stable);
+  EXPECT_EQ(r.delta, 1.0);
+  EXPECT_NEAR(r.utilization, 1.8, 1e-12);
+}
+
+TEST(Delta, CriticalLoadIsUnstable) {
+  const dist::Exponential gap(1.0);  // rho exactly 1
+  const DeltaResult r = solve_delta(gap, 0.0, 1.0);
+  EXPECT_FALSE(r.stable);
+}
+
+TEST(Delta, ScaleInvariance) {
+  // Proposition 2's engine: scaling (λ, μ_S) jointly leaves δ unchanged.
+  const double rho = 0.75;
+  const dist::GeneralizedPareto g1 =
+      dist::GeneralizedPareto::with_mean(0.3, 1.0 / rho);
+  const dist::GeneralizedPareto g2 =
+      dist::GeneralizedPareto::with_mean(0.3, 1.0 / (1000.0 * rho));
+  const double d1 = solve_delta(g1, 0.0, 1.0).delta;
+  const double d2 = solve_delta(g2, 0.0, 1000.0).delta;
+  EXPECT_NEAR(d1, d2, 1e-7);
+}
+
+TEST(Delta, UncorrectedEquationGivesDifferentRoot) {
+  // Ablation A1: dropping the (1-q) factor (paper eq. 6 as printed) changes
+  // δ whenever q > 0.
+  const dist::Exponential gap(0.9 * 0.78);
+  DeltaOptions corrected;
+  DeltaOptions uncorrected;
+  uncorrected.batch_corrected = false;
+  const double d_c = solve_delta(gap, 0.1, 1.0, corrected).delta;
+  const double d_u = solve_delta(gap, 0.1, 1.0, uncorrected).delta;
+  EXPECT_GT(std::abs(d_c - d_u), 0.01);
+}
+
+TEST(Delta, RejectsBadParameters) {
+  const dist::Exponential gap(1.0);
+  EXPECT_THROW((void)solve_delta(gap, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)solve_delta(gap, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)solve_delta(gap, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

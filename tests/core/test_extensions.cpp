@@ -1,0 +1,195 @@
+// Extensions beyond the paper: heterogeneous service rates, database
+// queueing (ρ_D > 0), and request redundancy.
+#include <cmath>
+
+#include "core/redundancy.h"
+#include "core/theorem1.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+// ------------------------- heterogeneous servers -------------------------
+
+TEST(Heterogeneous, DefaultsReproduceHomogeneous) {
+  SystemConfig uniform = SystemConfig::facebook();
+  SystemConfig explicit_rates = uniform;
+  explicit_rates.service_rates =
+      std::vector<double>(uniform.servers, uniform.service_rate);
+  const Bounds a = LatencyModel(uniform).server_mean_bounds(150);
+  const Bounds b = LatencyModel(explicit_rates).server_mean_bounds(150);
+  EXPECT_NEAR(a.lower, b.lower, 1e-12);
+  EXPECT_NEAR(a.upper, b.upper, 1e-12);
+}
+
+TEST(Heterogeneous, OneSlowServerDominatesTheMax) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.total_key_rate = 4.0 * 50'000.0;  // 62.5 % at nominal speed
+  SystemConfig slow = cfg;
+  slow.service_rates = {60'000.0, 80'000.0, 80'000.0, 80'000.0};
+  const double uniform_upper = LatencyModel(cfg).server_mean_bounds(150).upper;
+  const double slow_upper = LatencyModel(slow).server_mean_bounds(150).upper;
+  // The slow server runs at 83 % — the whole request pays for it.
+  EXPECT_GT(slow_upper, 1.5 * uniform_upper);
+}
+
+TEST(Heterogeneous, PerServerUtilizationAccessor) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.service_rates = {100'000.0, 80'000.0, 80'000.0, 50'000.0};
+  EXPECT_NEAR(cfg.server_utilization(0, 0.25), 62'500.0 / 100'000.0, 1e-12);
+  EXPECT_NEAR(cfg.server_utilization(3, 0.25), 62'500.0 / 50'000.0, 1e-12);
+  EXPECT_EQ(cfg.rates().size(), 4u);
+}
+
+TEST(Heterogeneous, InstabilityOfOneServerIsDetected) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.service_rates = {80'000.0, 80'000.0, 80'000.0, 60'000.0};
+  // Server 3 sees 62.5 Kps against 60 Kps capacity.
+  EXPECT_FALSE(LatencyModel(cfg).stable());
+}
+
+TEST(Heterogeneous, MismatchedRateVectorRejected) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.service_rates = {80'000.0, 80'000.0};  // but servers = 4
+  EXPECT_THROW(LatencyModel m(cfg), std::invalid_argument);
+}
+
+TEST(Heterogeneous, GeneralizedProp1BoundsStayOrdered) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.total_key_rate = 4.0 * 40'000.0;
+  cfg.service_rates = {50'000.0, 80'000.0, 120'000.0, 200'000.0};
+  const LatencyModel m(cfg);
+  for (double k = 0.3; k < 0.999; k += 0.1) {
+    const Bounds b = m.server_stage().ts1_quantile_bounds(k);
+    EXPECT_LE(b.lower, b.upper) << "k=" << k;
+  }
+  for (const std::uint64_t n : {1ull, 150ull, 10'000ull}) {
+    const Bounds b = m.server_mean_bounds(n);
+    EXPECT_LE(b.lower, b.upper) << "N=" << n;
+  }
+}
+
+// ------------------------- database queueing -----------------------------
+
+TEST(DbQueueing, RhoZeroMatchesPaperStage) {
+  const DatabaseStage plain(0.01, 1000.0);
+  const DatabaseStage zero(0.01, 1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(plain.expected_max(150), zero.expected_max(150));
+  EXPECT_DOUBLE_EQ(zero.effective_rate(), 1000.0);
+}
+
+TEST(DbQueueing, LatencyScalesWithOneMinusRho) {
+  // Exact M/M/1: every latency number scales by 1/(1-ρ).
+  const DatabaseStage idle(0.01, 1000.0, 0.0);
+  const DatabaseStage busy(0.01, 1000.0, 0.5);
+  for (const std::uint64_t n : {1ull, 150ull, 10'000ull}) {
+    EXPECT_NEAR(busy.expected_max(n), 2.0 * idle.expected_max(n), 1e-12);
+    EXPECT_NEAR(busy.max_quantile(n, 0.99), 2.0 * idle.max_quantile(n, 0.99),
+                1e-12);
+  }
+}
+
+TEST(DbQueueing, ConfigDerivesUtilization) {
+  SystemConfig cfg = SystemConfig::facebook();
+  // r·Λ = 0.01·250 Kps = 2.5 Kps vs μ_D = 1 Kps → ρ_D = 2.5: the §5.1
+  // parameters actually saturate a single-server database! The paper's
+  // eq.-19 approximation silently ignores this; with db_queueing enabled
+  // the model refuses.
+  EXPECT_NEAR(cfg.db_utilization(), 2.5, 1e-12);
+  cfg.db_queueing = true;
+  EXPECT_THROW(LatencyModel m(cfg), std::invalid_argument);
+  // A database fast enough to absorb the misses works and is slower than
+  // the rho=0 idealisation by exactly 1/(1-ρ).
+  cfg.db_service_rate = 5'000.0;  // ρ_D = 0.5
+  const double with_q = LatencyModel(cfg).db_mean(150);
+  cfg.db_queueing = false;
+  const double without_q = LatencyModel(cfg).db_mean(150);
+  EXPECT_NEAR(with_q, 2.0 * without_q, 1e-12);
+}
+
+TEST(DbQueueing, RejectsInvalidRho) {
+  EXPECT_THROW(DatabaseStage(0.01, 1000.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DatabaseStage(0.01, 1000.0, -0.1), std::invalid_argument);
+}
+
+// ------------------------- redundancy ------------------------------------
+
+SystemConfig light_config(double per_server_kps) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.total_key_rate = 4.0 * per_server_kps;
+  return cfg;
+}
+
+TEST(Redundancy, DOneReproducesPlainModel) {
+  const SystemConfig cfg = light_config(30'000.0);
+  const RedundancyModel r1(cfg, 1);
+  const LatencyModel plain(cfg);
+  const Bounds a = r1.expected_max_bounds(150);
+  const Bounds b = plain.server_mean_bounds(150);
+  EXPECT_NEAR(a.upper, b.upper, 1e-9);
+  // Lower bounds differ: RedundancyModel uses the single-queue form while
+  // ServerStage mixes Prop-1 over shares; both must stay ordered.
+  EXPECT_LE(a.lower, a.upper);
+}
+
+TEST(Redundancy, HelpsAtLowUtilization) {
+  // At 20 % load, duplicating requests (→ 40 %) still wins: the min-of-2
+  // tail gain beats the inflation.
+  const SystemConfig cfg = light_config(16'000.0);
+  const RedundancyModel r1(cfg, 1);
+  const RedundancyModel r2(cfg, 2);
+  ASSERT_TRUE(r2.stable());
+  EXPECT_LT(r2.expected_max_bounds(150).upper,
+            r1.expected_max_bounds(150).upper);
+}
+
+TEST(Redundancy, HurtsNearTheCliff) {
+  // At 45 % load, d=2 pushes utilisation to 90 % — far past the cliff.
+  const SystemConfig cfg = light_config(36'000.0);
+  const RedundancyModel r1(cfg, 1);
+  const RedundancyModel r2(cfg, 2);
+  ASSERT_TRUE(r2.stable());
+  EXPECT_GT(r2.expected_max_bounds(150).upper,
+            r1.expected_max_bounds(150).upper);
+}
+
+TEST(Redundancy, UnstableWhenInflationExceedsCapacity) {
+  const SystemConfig cfg = light_config(45'000.0);
+  EXPECT_FALSE(RedundancyModel(cfg, 2).stable());
+}
+
+TEST(Redundancy, PerKeyQuantileShrinksWithD) {
+  // At fixed (already-inflated) load comparison is unfair; instead verify
+  // the structural effect: at the same base config, the *stable* d=2 model
+  // has a lighter per-key tail than its own d=1 queue at the same inflated
+  // utilisation would suggest. Concretely: quantile(k) of min-of-2 at
+  // inflated load < quantile(k) of single at inflated load.
+  const SystemConfig cfg = light_config(16'000.0);
+  const RedundancyModel r2(cfg, 2);
+  const double single_at_inflated = r2.queue().completion_quantile(0.99);
+  const double min_of_two = r2.per_key_quantile_bounds(0.99).upper;
+  EXPECT_LT(min_of_two, single_at_inflated);
+}
+
+TEST(Redundancy, BestRedundancySelectsSensibly) {
+  // Light load → d > 1 optimal; heavy load → d = 1.
+  const auto best_light = RedundancyModel::best_redundancy(
+      light_config(8'000.0), 150, 4);
+  ASSERT_TRUE(best_light.has_value());
+  EXPECT_GT(*best_light, 1u);
+  const auto best_heavy = RedundancyModel::best_redundancy(
+      light_config(60'000.0), 150, 4);
+  ASSERT_TRUE(best_heavy.has_value());
+  EXPECT_EQ(*best_heavy, 1u);
+}
+
+TEST(Redundancy, RequiresBalancedBase) {
+  SystemConfig cfg = light_config(16'000.0);
+  cfg.load_shares = {0.4, 0.2, 0.2, 0.2};
+  EXPECT_THROW(RedundancyModel m(cfg, 2), std::invalid_argument);
+  EXPECT_THROW(RedundancyModel m2(light_config(16'000.0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

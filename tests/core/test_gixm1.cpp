@@ -1,0 +1,121 @@
+// GI^X/M/1 latency laws (eqs. 4–9) against closed forms and ordering
+// requirements.
+#include "core/gixm1.h"
+
+#include <cmath>
+
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+GixM1Queue facebook_queue() {
+  const auto gap = dist::GeneralizedPareto::with_mean(
+      0.15, 1.0 / (0.9 * 62'500.0));
+  return GixM1Queue(gap, 0.1, 80'000.0);
+}
+
+TEST(GixM1, EtaCombinesDeltaAndBatching) {
+  const GixM1Queue q = facebook_queue();
+  EXPECT_NEAR(q.eta(), (1.0 - q.delta()) * 0.9 * 80'000.0, 1e-6);
+  EXPECT_NEAR(q.utilization(), 62'500.0 / 80'000.0, 1e-9);
+  EXPECT_TRUE(q.stable());
+}
+
+TEST(GixM1, CdfFormsMatchEquations4And5) {
+  const GixM1Queue q = facebook_queue();
+  const double eta = q.eta();
+  const double d = q.delta();
+  for (const double t : {1e-6, 5e-5, 2e-4, 1e-3}) {
+    EXPECT_NEAR(q.queueing_cdf(t), 1.0 - d * std::exp(-eta * t), 1e-12);
+    EXPECT_NEAR(q.completion_cdf(t), 1.0 - std::exp(-eta * t), 1e-12);
+  }
+  EXPECT_EQ(q.queueing_cdf(-1.0), 0.0);
+  EXPECT_EQ(q.completion_cdf(-1.0), 0.0);
+}
+
+TEST(GixM1, QueueingCdfHasAtomAtZero) {
+  // P{T_Q = 0} = 1 - δ: a batch arriving to an idle server starts at once.
+  const GixM1Queue q = facebook_queue();
+  EXPECT_NEAR(q.queueing_cdf(0.0), 1.0 - q.delta(), 1e-12);
+}
+
+TEST(GixM1, QuantilesInvertTheCdfs) {
+  const GixM1Queue q = facebook_queue();
+  for (double k = 0.05; k < 0.999; k += 0.05) {
+    EXPECT_NEAR(q.completion_cdf(q.completion_quantile(k)), k, 1e-10);
+    const double tq = q.queueing_quantile(k);
+    if (tq > 0.0) {
+      EXPECT_NEAR(q.queueing_cdf(tq), k, 1e-10);
+    } else {
+      EXPECT_GE(q.queueing_cdf(0.0), k);  // the zero atom absorbs low k
+    }
+  }
+}
+
+TEST(GixM1, Equation9OrderingHolds) {
+  const GixM1Queue q = facebook_queue();
+  for (double k = 0.01; k < 0.999; k += 0.017) {
+    const Bounds b = q.sojourn_quantile_bounds(k);
+    EXPECT_LE(b.lower, b.upper) << "k=" << k;
+    EXPECT_GE(b.lower, 0.0);
+  }
+}
+
+TEST(GixM1, MeanFormsAndOrdering) {
+  const GixM1Queue q = facebook_queue();
+  EXPECT_NEAR(q.mean_queueing(), q.delta() / q.eta(), 1e-12);
+  EXPECT_NEAR(q.mean_completion(), 1.0 / q.eta(), 1e-12);
+  const Bounds m = q.mean_sojourn_bounds();
+  EXPECT_LT(m.lower, m.upper);
+  EXPECT_NEAR(m.midpoint(), (m.lower + m.upper) / 2.0, 1e-15);
+}
+
+TEST(GixM1, MM1SpecialCaseIsExact) {
+  // Poisson arrivals without batching: the completion CDF *is* the M/M/1
+  // sojourn law Exp(μ-λ) and the queueing CDF is the exact waiting law.
+  const double mu = 1000.0;
+  const double lambda = 700.0;
+  const dist::Exponential gap(lambda);
+  const GixM1Queue q(gap, 0.0, mu);
+  EXPECT_NEAR(q.delta(), 0.7, 1e-9);
+  EXPECT_NEAR(q.eta(), mu - lambda, 1e-5);
+  EXPECT_NEAR(q.mean_completion(), 1.0 / (mu - lambda), 1e-10);
+  // Exact M/M/1 waiting-time CDF: 1 - ρe^{-(μ-λ)t}.
+  for (const double t : {1e-4, 1e-3, 5e-3}) {
+    EXPECT_NEAR(q.queueing_cdf(t), 1.0 - 0.7 * std::exp(-300.0 * t), 1e-7);
+  }
+}
+
+TEST(GixM1, BatchingInflatesLatencyLikeOneOverOneMinusQ) {
+  // E[T_S] = Θ(1/(1-q)) (§5.2.1 i): with Poisson batches, δ = ρ is fixed,
+  // so mean completion scales exactly as 1/(1-q).
+  const double mu = 1.0;
+  const double rho = 0.6;
+  const auto mean_for_q = [&](double q) {
+    const dist::Exponential gap((1.0 - q) * rho * mu);
+    return GixM1Queue(gap, q, mu).mean_completion();
+  };
+  const double at_0 = mean_for_q(0.0);
+  EXPECT_NEAR(mean_for_q(0.5), 2.0 * at_0, 1e-6);
+  EXPECT_NEAR(mean_for_q(0.75), 4.0 * at_0, 1e-6);
+}
+
+TEST(GixM1, UnstableQueueYieldsInfiniteLatency) {
+  const dist::Exponential gap(2.0);
+  const GixM1Queue q(gap, 0.0, 1.0);
+  EXPECT_FALSE(q.stable());
+  EXPECT_TRUE(std::isinf(q.mean_completion()));
+  EXPECT_TRUE(std::isinf(q.completion_quantile(0.5)));
+}
+
+TEST(GixM1, QuantileArgumentsValidated) {
+  const GixM1Queue q = facebook_queue();
+  EXPECT_THROW((void)q.queueing_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)q.completion_quantile(-0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

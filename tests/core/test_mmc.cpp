@@ -1,0 +1,127 @@
+// MmcQueue closed forms and the Erlang B/C special functions.
+#include "core/mmc.h"
+
+#include <cmath>
+
+#include "math/special.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // Classic table entries: B(c=1, a) = a/(1+a); B(5, 3) ≈ 0.1101.
+  EXPECT_NEAR(math::erlang_b(1, 2.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(math::erlang_b(5, 3.0), 0.11005, 5e-5);
+  EXPECT_NEAR(math::erlang_b(10, 5.0), 0.01838, 5e-5);
+}
+
+TEST(ErlangB, DecreasesWithServers) {
+  double prev = 1.0;
+  for (unsigned c = 1; c <= 12; ++c) {
+    const double b = math::erlang_b(c, 4.0);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ErlangC, SingleServerIsRho) {
+  // M/M/1: P{wait} = ρ.
+  for (const double rho : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(math::erlang_c(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangC, KnownValues) {
+  // Standard call-center example: c=10, a=8 → C ≈ 0.4092.
+  EXPECT_NEAR(math::erlang_c(10, 8.0), 0.4092, 5e-4);
+  EXPECT_NEAR(math::erlang_c(2, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ErlangC, RejectsUnstable) {
+  EXPECT_THROW((void)math::erlang_c(2, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)math::erlang_c(0, 0.5), std::invalid_argument);
+}
+
+TEST(MmcQueue, SingleServerReducesToMM1) {
+  const MmcQueue q(1, 700.0, 1000.0);
+  EXPECT_NEAR(q.p_wait(), 0.7, 1e-12);
+  EXPECT_NEAR(q.mean_wait(), 0.7 / 300.0, 1e-12);
+  EXPECT_NEAR(q.mean_sojourn(), 1.0 / 300.0, 1e-12);
+  // M/M/1 sojourn is Exp(μ-λ).
+  for (const double t : {1e-3, 5e-3}) {
+    EXPECT_NEAR(q.sojourn_cdf(t), 1.0 - std::exp(-300.0 * t), 1e-9);
+  }
+}
+
+TEST(MmcQueue, WaitCdfAndQuantileInvert) {
+  const MmcQueue q(4, 3'000.0, 1'000.0);
+  for (const double k : {0.5, 0.9, 0.99}) {
+    const double t = q.wait_quantile(k);
+    if (t > 0.0) {
+      EXPECT_NEAR(q.wait_cdf(t), k, 1e-10);
+    } else {
+      EXPECT_GE(q.wait_cdf(0.0), k);
+    }
+  }
+}
+
+TEST(MmcQueue, SojournCdfIsProperDistribution) {
+  const MmcQueue q(3, 2'000.0, 1'000.0);
+  double prev = 0.0;
+  for (double t = 0.0; t < 0.02; t += 5e-4) {
+    const double f = q.sojourn_cdf(t);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_GT(q.sojourn_cdf(0.05), 0.999);
+}
+
+TEST(MmcQueue, SojournCdfHandlesThetaEqualMu) {
+  // θ = cμ - λ = μ when λ = (c-1)μ: the Gamma(2) degenerate branch.
+  const MmcQueue q(3, 2'000.0, 1'000.0);
+  const double t = 1e-3;
+  EXPECT_NEAR(q.sojourn_cdf(t),
+              (1.0 - q.p_wait()) * (1.0 - std::exp(-1000.0 * t)) +
+                  q.p_wait() * (1.0 - std::exp(-1000.0 * t) * (1.0 + 1000.0 * t)),
+              1e-9);
+}
+
+TEST(MmcQueue, PoolingBeatsSharding) {
+  // Classic result: one M/M/c pool outperforms c independent M/M/1 shards
+  // at the same total capacity and load.
+  const double lambda = 2'500.0;
+  const double mu = 1'000.0;
+  const unsigned c = 4;
+  const MmcQueue pooled(c, lambda, mu);
+  // c shards: each an M/M/1 at λ/c vs μ.
+  const double shard_sojourn = 1.0 / (mu - lambda / c);
+  EXPECT_LT(pooled.mean_sojourn(), shard_sojourn);
+}
+
+TEST(MmcQueue, ValidatesConstruction) {
+  EXPECT_THROW(MmcQueue(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MmcQueue(2, 2'000.0, 1'000.0), std::invalid_argument);
+  EXPECT_THROW(MmcQueue(2, 0.0, 1'000.0), std::invalid_argument);
+}
+
+TEST(ShardsForOffloadedDb, Section51ParametersNeedFourShards) {
+  // The §5.1 miss stream (2.5 Kps) against μ_D = 1 Kps: how many shards
+  // until the mean sojourn is within 10 % of the 1 ms ideal?
+  const unsigned c = shards_for_offloaded_db(2'500.0, 1'000.0, 0.10);
+  EXPECT_GE(c, 4u);   // 3 shards are barely stable (ρ = 0.83): too slow
+  EXPECT_LE(c, 6u);
+  // And the answer actually satisfies the contract.
+  const MmcQueue q(c, 2'500.0, 1'000.0);
+  EXPECT_LE(q.mean_sojourn(), 1.1e-3);
+}
+
+TEST(ShardsForOffloadedDb, TighterToleranceNeedsMoreShards) {
+  const unsigned loose = shards_for_offloaded_db(2'500.0, 1'000.0, 0.20);
+  const unsigned tight = shards_for_offloaded_db(2'500.0, 1'000.0, 0.01);
+  EXPECT_GE(tight, loose);
+}
+
+}  // namespace
+}  // namespace mclat::core

@@ -1,0 +1,107 @@
+// §5.3 factor analysis: WhatIfAnalyzer and the db-regime classifier.
+#include "core/sensitivity.h"
+
+#include "dist/discrete.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+TEST(DbRegime, SmallNIsMissDominated) {
+  EXPECT_EQ(db_regime(1, 0.01), DbRegime::kLinearInR);
+  EXPECT_EQ(db_regime(10, 0.01), DbRegime::kLinearInR);
+}
+
+TEST(DbRegime, LargeNIsCountDominated) {
+  EXPECT_EQ(db_regime(150, 0.01), DbRegime::kLogInR);
+  EXPECT_EQ(db_regime(100'000, 0.0001), DbRegime::kLogInR);
+}
+
+TEST(DbRegime, ThresholdIsTheMissAnywhereProbability) {
+  // (1-r)^N = 0.5 at N ≈ ln2/r: straddle it.
+  const double r = 0.01;
+  EXPECT_EQ(db_regime(60, r), DbRegime::kLinearInR);   // p_any ≈ 0.45
+  EXPECT_EQ(db_regime(80, r), DbRegime::kLogInR);      // p_any ≈ 0.55
+}
+
+TEST(WhatIf, EveryLeverImprovesTheFacebookBaseline) {
+  // At 78 % utilisation with skew-free load, balancing does nothing but all
+  // other §5.3 levers must help.
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  EXPECT_GT(w.halve_concurrency().improvement(), 0.0);
+  EXPECT_GT(w.remove_burst().improvement(), 0.0);
+  EXPECT_GT(w.speed_up_servers().improvement(), 0.0);
+  EXPECT_GT(w.reduce_miss_ratio().improvement(), 0.0);
+  EXPECT_GT(w.reduce_keys_per_request().improvement(), 0.0);
+  EXPECT_NEAR(w.balance_load().improvement(), 0.0, 1e-9);
+}
+
+TEST(WhatIf, MissRatioBarelyMattersAtLargeN) {
+  // The paper's headline recommendation: with N = 150 keys/request, halving
+  // the (already tiny) miss ratio buys far less than halving N.
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  const double by_r = w.reduce_miss_ratio(2.0).improvement();
+  const double by_n = w.reduce_keys_per_request(2.0).improvement();
+  EXPECT_GT(by_n, by_r);
+}
+
+TEST(WhatIf, BalancingHelpsWhenLoadIsSkewed) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.total_key_rate = 4.0 * 50'000.0;
+  cfg.load_shares = dist::skewed_load(4, 0.38);
+  WhatIfAnalyzer w(cfg);
+  EXPECT_GT(w.balance_load().improvement(), 0.02);
+}
+
+TEST(WhatIf, SpeedupNearCliffIsDramatic) {
+  // At ρ = 78 % (past the ξ=0.15 cliff of 75 %), +25 % service rate drops
+  // utilisation to 62.5 % — the server stage should improve superlinearly.
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  const FactorImpact f = w.speed_up_servers(1.25);
+  EXPECT_GT(f.improvement(), 0.08);
+}
+
+TEST(WhatIf, ImpactRecordsChangeDescriptions) {
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  const FactorImpact f = w.halve_concurrency();
+  EXPECT_EQ(f.factor, "concurrency q");
+  EXPECT_NE(f.change.find("0.1"), std::string::npos);
+  EXPECT_GT(f.baseline, 0.0);
+  EXPECT_GT(f.optimized, 0.0);
+}
+
+TEST(WhatIf, AllReturnsSixLeversAndBestIsMax) {
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  const auto all = w.all();
+  ASSERT_EQ(all.size(), 6u);
+  const FactorImpact best = w.best();
+  for (const auto& f : all) {
+    EXPECT_LE(f.improvement(), best.improvement() + 1e-12);
+  }
+}
+
+TEST(WhatIf, ReduceKeysAlsoReducesOfferedLoad) {
+  // Halving N at fixed request rate halves the key rate — the analyzer must
+  // model that, not just the fork-join width.
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  const FactorImpact f = w.reduce_keys_per_request(2.0);
+  // Server stage relaxes from 78 % to 39 % utilisation: big win.
+  EXPECT_GT(f.improvement(), 0.2);
+}
+
+TEST(WhatIf, ValidatesFactors) {
+  WhatIfAnalyzer w(SystemConfig::facebook());
+  EXPECT_THROW((void)w.reduce_miss_ratio(0.5), std::invalid_argument);
+  EXPECT_THROW((void)w.reduce_keys_per_request(0.0), std::invalid_argument);
+  EXPECT_THROW((void)w.speed_up_servers(0.0), std::invalid_argument);
+}
+
+TEST(FactorImpact, ImprovementGuardsZeroBaseline) {
+  FactorImpact f;
+  f.baseline = 0.0;
+  f.optimized = 1.0;
+  EXPECT_EQ(f.improvement(), 0.0);
+}
+
+}  // namespace
+}  // namespace mclat::core

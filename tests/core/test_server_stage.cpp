@@ -1,0 +1,157 @@
+// Server stage: eq. (11)–(14) and Proposition 1.
+#include "core/server_stage.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/config.h"
+#include "dist/discrete.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+ServerStage facebook_balanced() {
+  const auto gap =
+      dist::GeneralizedPareto::with_mean(0.15, 1.0 / (0.9 * 62'500.0));
+  return ServerStage::balanced(gap, 0.1, 80'000.0, 4);
+}
+
+ServerStage skewed_stage(double p1) {
+  // Aggregate Λ = 80 Kps split {p1, rest} over 4 servers (the Fig. 10 rig).
+  SystemConfig cfg;
+  cfg.total_key_rate = 80'000.0;
+  cfg.servers = 4;
+  cfg.load_shares = dist::skewed_load(4, p1);
+  std::vector<GixM1Queue> queues;
+  for (const double p : cfg.load_shares) {
+    const auto spec = cfg.arrival_for_share(p);
+    const auto gap = spec.make_gap();
+    queues.emplace_back(*gap, cfg.concurrency_q, cfg.service_rate);
+  }
+  return ServerStage(std::move(queues), cfg.load_shares);
+}
+
+TEST(ServerStage, BalancedConstruction) {
+  const ServerStage st = facebook_balanced();
+  EXPECT_EQ(st.size(), 4u);
+  EXPECT_NEAR(st.p1(), 0.25, 1e-12);
+  EXPECT_TRUE(st.stable());
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(st.server(j).delta(), st.server(0).delta(), 1e-12);
+  }
+}
+
+TEST(ServerStage, HeaviestServerIdentified) {
+  const ServerStage st = skewed_stage(0.6);
+  EXPECT_EQ(st.heaviest(), 0u);
+  EXPECT_NEAR(st.p1(), 0.6, 1e-12);
+  // The heavy server is strictly more loaded → larger δ.
+  EXPECT_GT(st.server(0).delta(), st.server(1).delta());
+}
+
+TEST(ServerStage, Ts1CdfBoundsAreOrderedAndMonotone) {
+  const ServerStage st = facebook_balanced();
+  double prev_lo = 0.0;
+  double prev_hi = 0.0;
+  for (const double t : {1e-6, 1e-5, 5e-5, 2e-4, 1e-3}) {
+    const Bounds b = st.ts1_cdf_bounds(t);
+    EXPECT_LE(b.lower, b.upper + 1e-12) << "t=" << t;
+    EXPECT_GE(b.lower, prev_lo - 1e-12);
+    EXPECT_GE(b.upper, prev_hi - 1e-12);
+    EXPECT_GE(b.lower, 0.0);
+    EXPECT_LE(b.upper, 1.0);
+    prev_lo = b.lower;
+    prev_hi = b.upper;
+  }
+}
+
+TEST(ServerStage, HomogeneousTs1CdfEqualsSingleServer) {
+  // With identical servers, Π_j [F(t)]^{p_j} = F(t): the mixture collapses.
+  const ServerStage st = facebook_balanced();
+  const GixM1Queue& s0 = st.server(0);
+  for (const double t : {1e-5, 1e-4, 5e-4}) {
+    const Bounds b = st.ts1_cdf_bounds(t);
+    EXPECT_NEAR(b.lower, s0.completion_cdf(t), 1e-9);
+    EXPECT_NEAR(b.upper, s0.queueing_cdf(t), 1e-9);
+  }
+}
+
+TEST(ServerStage, Proposition1QuantileOrdering) {
+  const ServerStage st = skewed_stage(0.6);
+  for (double k = 0.5; k < 0.999; k += 0.05) {
+    const Bounds b = st.ts1_quantile_bounds(k);
+    EXPECT_LE(b.lower, b.upper) << "k=" << k;
+    EXPECT_GE(b.lower, 0.0);
+  }
+}
+
+TEST(ServerStage, Equation14MatchesManualEvaluation) {
+  const ServerStage st = facebook_balanced();
+  const std::uint64_t N = 150;
+  const GixM1Queue& s1 = st.server(st.heaviest());
+  const double k = 150.0 / 151.0;
+  const Bounds b = st.expected_max_bounds(N);
+  // upper = ln(N+1)/η.
+  EXPECT_NEAR(b.upper, std::log(151.0) / s1.eta(), 1e-9);
+  // lower = (ln δ - ln(1 - k^{1/p1}))/η clipped at 0.
+  const double k_inner = std::pow(k, 1.0 / st.p1());
+  const double want_lower = std::max(
+      (std::log(s1.delta()) - std::log1p(-k_inner)) / s1.eta(), 0.0);
+  EXPECT_NEAR(b.lower, want_lower, 1e-9);
+}
+
+TEST(ServerStage, ExpectedMaxGrowsLogarithmicallyInN) {
+  // Θ(log N): upper(N²)/upper(N) → 2 for large N (§5.2.4).
+  const ServerStage st = facebook_balanced();
+  const double u100 = st.expected_max_bounds(100).upper;
+  const double u10000 = st.expected_max_bounds(10'000).upper;
+  EXPECT_NEAR(u10000 / u100, 2.0, 0.01);
+}
+
+TEST(ServerStage, ExpectedMaxMonotoneInN) {
+  const ServerStage st = facebook_balanced();
+  Bounds prev = st.expected_max_bounds(1);
+  for (const std::uint64_t n : {2ull, 10ull, 100ull, 1000ull, 10'000ull}) {
+    const Bounds b = st.expected_max_bounds(n);
+    EXPECT_GE(b.upper, prev.upper);
+    EXPECT_GE(b.lower, prev.lower - 1e-12);
+    prev = b;
+  }
+}
+
+TEST(ServerStage, MoreImbalanceMeansMoreLatency) {
+  double prev = 0.0;
+  for (const double p1 : {0.25, 0.4, 0.6, 0.8}) {
+    const double est = skewed_stage(p1).expected_max_estimate(150);
+    EXPECT_GT(est, prev) << "p1=" << p1;
+    prev = est;
+  }
+}
+
+TEST(ServerStage, EstimateIsMidpoint) {
+  const ServerStage st = facebook_balanced();
+  const Bounds b = st.expected_max_bounds(150);
+  EXPECT_DOUBLE_EQ(st.expected_max_estimate(150), b.midpoint());
+}
+
+TEST(ServerStage, ValidatesConstruction) {
+  const dist::Exponential gap(1.0);
+  std::vector<GixM1Queue> one;
+  one.emplace_back(gap, 0.0, 2.0);
+  EXPECT_THROW(ServerStage(std::move(one), {0.5, 0.5}),
+               std::invalid_argument);
+  std::vector<GixM1Queue> two;
+  two.emplace_back(gap, 0.0, 2.0);
+  two.emplace_back(gap, 0.0, 2.0);
+  EXPECT_THROW(ServerStage(std::move(two), {0.5, 0.4}),
+               std::invalid_argument);  // shares don't sum to 1
+  const ServerStage ok = facebook_balanced();
+  EXPECT_THROW((void)ok.server(4), std::invalid_argument);
+  EXPECT_THROW((void)ok.expected_max_bounds(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

@@ -1,0 +1,159 @@
+// Tail-latency extension: exact T_D(N) distribution and T_S(N)/T(N)
+// quantile machinery (beyond the paper's mean-only results).
+#include <cmath>
+
+#include "core/theorem1.h"
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+// ------------------------------- database --------------------------------
+
+TEST(DbTail, MaxCdfClosedFormMatchesDefinition) {
+  // (1 - r e^{-μt})^N versus direct evaluation at small N.
+  const DatabaseStage db(0.3, 1000.0);
+  for (const double t : {0.0, 5e-4, 2e-3, 1e-2}) {
+    const double f = 1.0 - std::exp(-1000.0 * t);
+    // N = 2 by hand: Σ_k C(2,k) r^k (1-r)^{2-k} f^k = ((1-r) + r f)².
+    const double want = std::pow(0.7 + 0.3 * f, 2.0);
+    EXPECT_NEAR(db.max_cdf(2, t), want, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(DbTail, MaxCdfHasNoMissAtom) {
+  const DatabaseStage db(0.01, 1000.0);
+  EXPECT_NEAR(db.max_cdf(150, 0.0), db.p_no_miss(150), 1e-12);
+  EXPECT_EQ(db.max_cdf(150, -1.0), 0.0);
+}
+
+TEST(DbTail, QuantileInvertsCdf) {
+  const DatabaseStage db(0.01, 1000.0);
+  for (const double k : {0.5, 0.9, 0.99, 0.999}) {
+    const double t = db.max_quantile(150, k);
+    if (t > 0.0) {
+      EXPECT_NEAR(db.max_cdf(150, t), k, 1e-10) << "k=" << k;
+    } else {
+      EXPECT_GE(db.max_cdf(150, 0.0), k);
+    }
+  }
+}
+
+TEST(DbTail, QuantileInsideAtomIsZero) {
+  // P{K=0} = 0.99^10 ≈ 0.904: the 0.5 quantile sits in the atom.
+  const DatabaseStage db(0.01, 1000.0);
+  EXPECT_EQ(db.max_quantile(10, 0.5), 0.0);
+  EXPECT_GT(db.max_quantile(10, 0.95), 0.0);
+}
+
+TEST(DbTail, QuantileMonotoneInKAndN) {
+  const DatabaseStage db(0.01, 1000.0);
+  double prev = 0.0;
+  for (const double k : {0.5, 0.8, 0.95, 0.99, 0.999}) {
+    const double t = db.max_quantile(1000, k);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_LE(db.max_quantile(100, 0.99), db.max_quantile(10'000, 0.99));
+}
+
+TEST(DbTail, MonteCarloAgreesWithClosedForm) {
+  const DatabaseStage db(0.02, 1000.0);
+  dist::Rng rng(77);
+  const std::uint64_t n = 200;
+  const double t_probe = db.max_quantile(n, 0.9);
+  int below = 0;
+  const int reps = 200'000;
+  for (int i = 0; i < reps; ++i) {
+    double mx = 0.0;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.02)) mx = std::max(mx, rng.exponential(1000.0));
+    }
+    if (mx <= t_probe) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / reps, 0.9, 0.01);
+}
+
+TEST(DbTail, ZeroMissDegenerate) {
+  const DatabaseStage db(0.0, 1000.0);
+  EXPECT_EQ(db.max_cdf(100, 1.0), 1.0);
+  EXPECT_EQ(db.max_quantile(100, 0.999), 0.0);
+}
+
+// ------------------------------- server ----------------------------------
+
+TEST(ServerTail, QuantileBoundsOrderedAndMonotone) {
+  const LatencyModel m(SystemConfig::facebook());
+  const ServerStage& st = m.server_stage();
+  double prev_upper = 0.0;
+  for (const double k : {0.5, 0.9, 0.99, 0.999}) {
+    const Bounds b = st.max_quantile_bounds(150, k);
+    EXPECT_LE(b.lower, b.upper) << "k=" << k;
+    EXPECT_GE(b.upper, prev_upper);
+    prev_upper = b.upper;
+  }
+}
+
+TEST(ServerTail, RequestTailIsWorseThanKeyTail) {
+  // p99 of a 150-key request equals the per-key 0.99^{1/150} quantile —
+  // far beyond the per-key p99.
+  const LatencyModel m(SystemConfig::facebook());
+  const ServerStage& st = m.server_stage();
+  const double key_p99 = st.server(0).completion_quantile(0.99);
+  const Bounds req_p99 = st.max_quantile_bounds(150, 0.99);
+  EXPECT_GT(req_p99.lower, key_p99);
+}
+
+TEST(ServerTail, CdfBoundsConsistentWithQuantiles) {
+  const LatencyModel m(SystemConfig::facebook());
+  const ServerStage& st = m.server_stage();
+  const Bounds q = st.max_quantile_bounds(150, 0.9);
+  // At the upper quantile the lower CDF bound recovers k exactly (both are
+  // computed from the completion CDF).
+  const Bounds cdf_at_upper = st.max_cdf_bounds(150, q.upper);
+  EXPECT_NEAR(cdf_at_upper.lower, 0.9, 1e-9);
+  // The lower quantile edge carries Proposition 1's k^{1/p1} exponent, so
+  // the CDF there recovers k^{1/p1} (= 0.9⁴ for 4 balanced servers), not k.
+  const Bounds cdf_at_lower = st.max_cdf_bounds(150, q.lower);
+  EXPECT_NEAR(cdf_at_lower.upper, std::pow(0.9, 1.0 / st.p1()), 1e-9);
+  EXPECT_LE(cdf_at_lower.upper, 0.9);
+}
+
+TEST(ServerTail, HugeNStaysFinite) {
+  const LatencyModel m(SystemConfig::facebook());
+  const Bounds b = m.server_stage().max_quantile_bounds(10'000'000, 0.999);
+  EXPECT_TRUE(std::isfinite(b.upper));
+  EXPECT_GT(b.lower, 0.0);
+}
+
+// ------------------------------- composed --------------------------------
+
+TEST(Tail, EnvelopeOrderedAndAboveMeanEstimate) {
+  const LatencyModel m(SystemConfig::facebook());
+  const TailEstimate p99 = m.tail(150, 0.99);
+  EXPECT_LE(p99.total.lower, p99.total.upper);
+  EXPECT_GE(p99.total.lower,
+            std::max({p99.network, p99.server.lower, p99.database}) - 1e-15);
+  // p99 must dominate the mean envelope midpoint.
+  EXPECT_GT(p99.total.upper, m.estimate(150).total.midpoint());
+}
+
+TEST(Tail, QuantileLadderIsMonotone) {
+  const LatencyModel m(SystemConfig::facebook());
+  double prev = 0.0;
+  for (const double k : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    const TailEstimate t = m.tail(150, k);
+    EXPECT_GE(t.total.upper, prev) << "k=" << k;
+    prev = t.total.upper;
+  }
+}
+
+TEST(Tail, ValidatesK) {
+  const LatencyModel m(SystemConfig::facebook());
+  EXPECT_THROW((void)m.tail(150, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)m.tail(150, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::core

@@ -1,0 +1,111 @@
+// Theorem 1 composition: the LatencyModel facade.
+#include "core/theorem1.h"
+
+#include <cmath>
+
+#include "dist/discrete.h"
+#include <gtest/gtest.h>
+
+namespace mclat::core {
+namespace {
+
+TEST(LatencyModel, FacebookBaselineReproducesTable3Theory) {
+  const LatencyModel m(SystemConfig::facebook());
+  const LatencyEstimate e = m.estimate();
+  EXPECT_EQ(e.n_keys, 150u);
+  // T_N: the configured constant.
+  EXPECT_DOUBLE_EQ(e.network, 20e-6);
+  // T_S bounds: the paper reports 351–366 µs; our δ puts the upper bound at
+  // ≈367 µs. Accept the paper band ±10 %.
+  EXPECT_NEAR(e.server.upper, 366e-6, 37e-6);
+  EXPECT_GT(e.server.lower, 0.0);
+  EXPECT_LT(e.server.lower, e.server.upper);
+  // T_D: 836 µs.
+  EXPECT_NEAR(e.database, 836e-6, 5e-6);
+  // Total envelope: max ≤ sum.
+  EXPECT_NEAR(e.total.lower, 836e-6, 5e-6);  // DB dominates the max
+  EXPECT_NEAR(e.total.upper, e.network + e.server.upper + e.database, 1e-12);
+}
+
+TEST(LatencyModel, EnvelopeIsAlwaysOrdered) {
+  for (const std::uint64_t n : {1ull, 10ull, 150ull, 10'000ull}) {
+    const LatencyModel m(SystemConfig::facebook());
+    const LatencyEstimate e = m.estimate(n);
+    EXPECT_LE(e.total.lower, e.total.upper) << "n=" << n;
+    EXPECT_GE(e.total.lower,
+              std::max({e.network, e.server.lower, e.database}) - 1e-15);
+  }
+}
+
+TEST(LatencyModel, StableFlagTracksUtilization) {
+  SystemConfig cfg = SystemConfig::facebook();
+  EXPECT_TRUE(LatencyModel(cfg).stable());
+  cfg.total_key_rate = 4.0 * 85'000.0;  // per-server 85 Kps > μ_S
+  EXPECT_FALSE(LatencyModel(cfg).stable());
+}
+
+TEST(LatencyModel, UnbalancedLoadRaisesServerLatency) {
+  SystemConfig balanced = SystemConfig::facebook();
+  balanced.total_key_rate = 4.0 * 50'000.0;
+  SystemConfig skewed = balanced;
+  skewed.load_shares = dist::skewed_load(4, 0.35);
+  const double lb = LatencyModel(balanced).estimate().server.upper;
+  const double ls = LatencyModel(skewed).estimate().server.upper;
+  EXPECT_GT(ls, lb);
+}
+
+TEST(LatencyModel, ServerShareValidation) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.load_shares = {0.5, 0.5, 0.0, 0.0};  // zero-load servers disallowed
+  EXPECT_THROW(LatencyModel m(cfg), std::invalid_argument);
+}
+
+TEST(LatencyModel, DbMeanAndServerBoundsDelegates) {
+  const LatencyModel m(SystemConfig::facebook());
+  EXPECT_DOUBLE_EQ(m.db_mean(150), m.db_stage().expected_max(150));
+  const Bounds direct = m.server_stage().expected_max_bounds(150);
+  const Bounds via = m.server_mean_bounds(150);
+  EXPECT_DOUBLE_EQ(direct.lower, via.lower);
+  EXPECT_DOUBLE_EQ(direct.upper, via.upper);
+}
+
+TEST(LatencyModel, NetworkOnlyWhenCacheAlwaysHitsAndNoLoad) {
+  SystemConfig cfg = SystemConfig::facebook();
+  cfg.miss_ratio = 0.0;
+  cfg.total_key_rate = 4.0 * 100.0;  // nearly idle servers
+  const LatencyEstimate e = LatencyModel(cfg).estimate(1);
+  EXPECT_EQ(e.database, 0.0);
+  // Idle server: sojourn ≈ one service time (12.5 µs).
+  EXPECT_LT(e.server.upper, 60e-6);
+  EXPECT_NEAR(e.total.lower, std::max(e.network, e.server.lower), 1e-12);
+}
+
+TEST(LatencyEstimate, PointEstimatesAreMidpoints) {
+  const LatencyModel m(SystemConfig::facebook());
+  const LatencyEstimate e = m.estimate();
+  EXPECT_DOUBLE_EQ(e.server_estimate(), e.server.midpoint());
+  EXPECT_DOUBLE_EQ(e.total_estimate(), e.total.midpoint());
+}
+
+TEST(SystemConfig, SharesResolveBalancedDefault) {
+  SystemConfig cfg;
+  cfg.servers = 5;
+  const auto p = cfg.shares();
+  ASSERT_EQ(p.size(), 5u);
+  for (const double x : p) EXPECT_NEAR(x, 0.2, 1e-15);
+  cfg.load_shares = {0.7, 0.3};
+  EXPECT_EQ(cfg.shares().size(), 2u);
+}
+
+TEST(SystemConfig, DerivedQuantities) {
+  const SystemConfig cfg = SystemConfig::facebook();
+  EXPECT_NEAR(cfg.server_key_rate(0.25), 62'500.0, 1e-9);
+  EXPECT_NEAR(cfg.server_utilization(0.25), 0.78125, 1e-9);
+  const auto spec = cfg.arrival_for_share(0.25);
+  EXPECT_NEAR(spec.key_rate, 62'500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(spec.burst_xi, cfg.burst_xi);
+  EXPECT_DOUBLE_EQ(spec.concurrency_q, cfg.concurrency_q);
+}
+
+}  // namespace
+}  // namespace mclat::core

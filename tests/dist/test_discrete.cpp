@@ -1,0 +1,94 @@
+// Discrete / alias-method categorical distribution and the skewed_load
+// helper behind Fig. 10.
+#include "dist/discrete.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(Discrete, NormalisesWeights) {
+  const Discrete d({2.0, 6.0});
+  EXPECT_NEAR(d.pmf(0), 0.25, 1e-15);
+  EXPECT_NEAR(d.pmf(1), 0.75, 1e-15);
+}
+
+TEST(Discrete, UniformFactory) {
+  const Discrete d = Discrete::uniform(5);
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_NEAR(d.pmf(j), 0.2, 1e-15);
+}
+
+TEST(Discrete, ArgmaxFindsHeaviest) {
+  const Discrete d({0.1, 0.5, 0.4});
+  EXPECT_EQ(d.argmax(), 1u);
+}
+
+TEST(Discrete, SamplingFrequenciesMatchAliasTable) {
+  const std::vector<double> w = {0.05, 0.5, 0.2, 0.25};
+  const Discrete d(w);
+  Rng rng(77);
+  std::vector<int> counts(w.size(), 0);
+  const int n = 1'000'000;
+  for (int i = 0; i < n; ++i) ++counts[d.sample(rng)];
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, w[j], 0.003)
+        << "category " << j;
+  }
+}
+
+TEST(Discrete, HandlesZeroWeightCategories) {
+  const Discrete d({0.0, 1.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(d.sample(rng), 1u);
+  }
+}
+
+TEST(Discrete, SingleCategory) {
+  const Discrete d({42.0});
+  Rng rng(1);
+  EXPECT_EQ(d.sample(rng), 0u);
+  EXPECT_EQ(d.pmf(0), 1.0);
+}
+
+TEST(Discrete, ManyCategoriesStayExact) {
+  std::vector<double> w(1000);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<double>(i + 1);
+  const Discrete d(std::move(w));
+  const double total = 1000.0 * 1001.0 / 2.0;
+  EXPECT_NEAR(d.pmf(999), 1000.0 / total, 1e-15);
+  const double sum = std::accumulate(d.probabilities().begin(),
+                                     d.probabilities().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Discrete, RejectsBadWeights) {
+  EXPECT_THROW(Discrete({}), std::invalid_argument);
+  EXPECT_THROW(Discrete({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Discrete({1.0, -0.1}), std::invalid_argument);
+}
+
+TEST(SkewedLoad, MatchesFig10Construction) {
+  // p1 = 0.6 with 4 servers: {0.6, 0.4/3, 0.4/3, 0.4/3}.
+  const auto p = skewed_load(4, 0.6);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_NEAR(p[0], 0.6, 1e-15);
+  for (std::size_t j = 1; j < 4; ++j) EXPECT_NEAR(p[j], 0.4 / 3.0, 1e-15);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(SkewedLoad, BalancedBoundary) {
+  const auto p = skewed_load(4, 0.25);
+  for (const double x : p) EXPECT_NEAR(x, 0.25, 1e-15);
+}
+
+TEST(SkewedLoad, RejectsInfeasibleP1) {
+  EXPECT_THROW(skewed_load(4, 0.2), std::invalid_argument);   // < 1/M
+  EXPECT_THROW(skewed_load(4, 1.0), std::invalid_argument);   // = 1
+}
+
+}  // namespace
+}  // namespace mclat::dist

@@ -1,0 +1,162 @@
+// Property tests applied uniformly to every continuous distribution: the
+// consistency laws the ContinuousDistribution interface promises. New
+// distributions only need to be added to the instantiation list.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dist/deterministic.h"
+#include "dist/distribution.h"
+#include "dist/erlang.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "dist/hyperexponential.h"
+#include "dist/lognormal.h"
+#include "dist/uniform.h"
+#include "dist/weibull.h"
+#include "math/integration.h"
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+struct DistCase {
+  std::string label;
+  std::function<DistributionPtr()> make;
+  bool continuous_cdf = true;  // Deterministic has a step CDF
+};
+
+class DistributionLaws : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionLaws, CdfIsMonotoneAndBounded) {
+  const auto d = GetParam().make();
+  double prev = 0.0;
+  const double top = d->quantile(0.999) * 1.5 + 1.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double t = top * i / 200.0;
+    const double c = d->cdf(t);
+    EXPECT_GE(c, prev - 1e-12) << "t=" << t;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_EQ(d->cdf(-1.0), 0.0);
+}
+
+TEST_P(DistributionLaws, QuantileInvertsCdf) {
+  if (!GetParam().continuous_cdf) GTEST_SKIP() << "step CDF";
+  const auto d = GetParam().make();
+  for (double p = 0.01; p < 0.995; p += 0.04) {
+    const double t = d->quantile(p);
+    EXPECT_NEAR(d->cdf(t), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST_P(DistributionLaws, QuantileIsMonotone) {
+  const auto d = GetParam().make();
+  double prev = -1.0;
+  for (double p = 0.0; p < 0.999; p += 0.013) {
+    const double t = d->quantile(p);
+    EXPECT_GE(t, prev - 1e-12) << "p=" << p;
+    prev = t;
+  }
+}
+
+TEST_P(DistributionLaws, LaplaceBasicProperties) {
+  const auto d = GetParam().make();
+  EXPECT_NEAR(d->laplace(0.0), 1.0, 1e-9);
+  // L is decreasing in s and bounded in (0, 1].
+  double prev = 1.0;
+  const double s_unit = 1.0 / d->mean();
+  for (int i = 1; i <= 10; ++i) {
+    const double v = d->laplace(s_unit * i);
+    EXPECT_LT(v, prev + 1e-12);
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST_P(DistributionLaws, LaplaceFirstDerivativeGivesMean) {
+  // -L'(0) = E[T]; finite difference at small s.
+  const auto d = GetParam().make();
+  const double h = 1e-6 / d->mean();
+  const double deriv = (1.0 - d->laplace(h)) / h;
+  EXPECT_NEAR(deriv, d->mean(), 0.02 * d->mean());
+}
+
+TEST_P(DistributionLaws, PdfIntegratesToCdf) {
+  if (!GetParam().continuous_cdf) GTEST_SKIP() << "step CDF";
+  const auto d = GetParam().make();
+  const double t = d->quantile(0.7);
+  const double integral = math::adaptive_simpson(
+      [&](double x) { return d->pdf(x); }, 0.0, t,
+      {.abs_tol = 1e-12, .rel_tol = 1e-10});
+  EXPECT_NEAR(integral, d->cdf(t), 2e-6);
+}
+
+TEST_P(DistributionLaws, SampleMeanConverges) {
+  const auto d = GetParam().make();
+  Rng rng(1234);
+  double sum = 0.0;
+  const int n = 150'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d->sample(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  // Heavy-tailed members converge slowly; 5 % tolerance is enough to catch
+  // wiring bugs without flaking.
+  EXPECT_NEAR(sum / n, d->mean(), 0.05 * d->mean() + 1e-9);
+}
+
+TEST_P(DistributionLaws, CloneBehavesIdentically) {
+  const auto d = GetParam().make();
+  const auto c = d->clone();
+  EXPECT_EQ(c->name(), d->name());
+  for (double p = 0.05; p < 1.0; p += 0.11) {
+    EXPECT_DOUBLE_EQ(c->quantile(p), d->quantile(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionLaws,
+    ::testing::Values(
+        DistCase{"Exponential",
+                 [] { return std::make_unique<Exponential>(3.0); }},
+        DistCase{"GP_xi015",
+                 [] {
+                   return std::make_unique<GeneralizedPareto>(
+                       GeneralizedPareto::with_rate(0.15, 62'500.0));
+                 }},
+        DistCase{"GP_xi06",
+                 [] {
+                   return std::make_unique<GeneralizedPareto>(
+                       GeneralizedPareto::with_rate(0.6, 100.0));
+                 }},
+        DistCase{"Erlang4",
+                 [] { return std::make_unique<Erlang>(4, 10.0); }},
+        DistCase{"HyperExp_scv4",
+                 [] {
+                   return std::make_unique<HyperExponential>(
+                       HyperExponential::fit_mean_scv(0.5, 4.0));
+                 }},
+        DistCase{"Uniform", [] { return std::make_unique<Uniform>(0.5, 2.5); }},
+        DistCase{"Weibull07",
+                 [] { return std::make_unique<Weibull>(0.7, 1.0); }},
+        DistCase{"Weibull2",
+                 [] { return std::make_unique<Weibull>(2.0, 3.0); }},
+        DistCase{"LogNormal",
+                 [] {
+                   return std::make_unique<LogNormal>(
+                       LogNormal::fit_mean_scv(1.0, 2.0));
+                 }},
+        DistCase{"Deterministic",
+                 [] { return std::make_unique<Deterministic>(1.5); },
+                 /*continuous_cdf=*/false}),
+    [](const ::testing::TestParamInfo<DistCase>& pinfo) {
+      return pinfo.param.label;
+    });
+
+}  // namespace
+}  // namespace mclat::dist

@@ -1,0 +1,77 @@
+#include "dist/empirical.h"
+
+#include <vector>
+
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(Empirical, SortsAndComputesMoments) {
+  const Empirical e({3.0, 1.0, 2.0});
+  EXPECT_EQ(e.min(), 1.0);
+  EXPECT_EQ(e.max(), 3.0);
+  EXPECT_NEAR(e.mean(), 2.0, 1e-15);
+  EXPECT_NEAR(e.variance(), 1.0, 1e-15);  // unbiased: ((1)+(0)+(1))/2
+}
+
+TEST(Empirical, EcdfSteps) {
+  const Empirical e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(e.cdf(0.5), 0.0);
+  EXPECT_EQ(e.cdf(1.0), 0.25);
+  EXPECT_EQ(e.cdf(2.5), 0.5);
+  EXPECT_EQ(e.cdf(4.0), 1.0);
+  EXPECT_EQ(e.cdf(100.0), 1.0);
+}
+
+TEST(Empirical, QuantileInterpolatesType7) {
+  const Empirical e({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_EQ(e.quantile(0.0), 10.0);
+  EXPECT_EQ(e.quantile(1.0), 50.0);
+  EXPECT_EQ(e.quantile(0.5), 30.0);
+  EXPECT_NEAR(e.quantile(0.125), 15.0, 1e-12);  // halfway between 10 and 20
+}
+
+TEST(Empirical, SingleSample) {
+  const Empirical e({7.0});
+  EXPECT_EQ(e.quantile(0.3), 7.0);
+  EXPECT_EQ(e.mean(), 7.0);
+  EXPECT_EQ(e.variance(), 0.0);
+  EXPECT_EQ(e.mean_ci_halfwidth(), 0.0);
+}
+
+TEST(Empirical, RejectsEmptySample) {
+  EXPECT_THROW(Empirical({}), std::invalid_argument);
+}
+
+TEST(Empirical, CiShrinksWithSampleSize) {
+  Rng rng(31);
+  const Exponential ex(1.0);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 100; ++i) small.push_back(ex.sample(rng));
+  for (int i = 0; i < 10'000; ++i) large.push_back(ex.sample(rng));
+  const Empirical es(std::move(small));
+  const Empirical el(std::move(large));
+  EXPECT_GT(es.mean_ci_halfwidth(), el.mean_ci_halfwidth());
+  // 95 % CI of a 10k exponential sample comfortably contains the truth.
+  EXPECT_NEAR(el.mean(), 1.0, 3.0 * el.mean_ci_halfwidth());
+}
+
+TEST(Empirical, QuantilesConvergeToPopulation) {
+  Rng rng(17);
+  const Exponential ex(2.0);
+  std::vector<double> xs;
+  xs.reserve(200'000);
+  for (int i = 0; i < 200'000; ++i) xs.push_back(ex.sample(rng));
+  const Empirical e(std::move(xs));
+  for (const double p : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(e.quantile(p), ex.quantile(p), 0.03 * ex.quantile(p) + 1e-3)
+        << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace mclat::dist

@@ -1,0 +1,91 @@
+#include "dist/erlang.h"
+
+#include <cmath>
+
+#include "dist/exponential.h"
+#include "math/integration.h"
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(Erlang, K1IsExponential) {
+  const Erlang e1(1, 3.0);
+  const Exponential ex(3.0);
+  for (const double t : {0.05, 0.2, 1.0}) {
+    EXPECT_NEAR(e1.cdf(t), ex.cdf(t), 1e-12);
+    EXPECT_NEAR(e1.pdf(t), ex.pdf(t), 1e-12);
+    EXPECT_NEAR(e1.laplace(t), ex.laplace(t), 1e-12);
+  }
+}
+
+TEST(Erlang, MomentsAndScv) {
+  const Erlang e(4, 8.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(e.variance(), 4.0 / 64.0);
+  EXPECT_DOUBLE_EQ(e.scv(), 0.25);  // SCV = 1/k
+}
+
+TEST(Erlang, LaplaceClosedForm) {
+  const Erlang e(3, 2.0);
+  for (const double s : {0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(e.laplace(s), std::pow(2.0 / (2.0 + s), 3.0), 1e-14);
+  }
+}
+
+TEST(Erlang, NumericLaplaceAgreesWithClosedForm) {
+  // Route around the override to exercise the base-class integrator.
+  const Erlang e(2, 5.0);
+  const auto base_laplace = [&](double s) {
+    const auto integrand = [&](double t) {
+      return std::exp(-s * t) * e.pdf(t);
+    };
+    return math::integrate_semi_infinite(integrand, 0.0);
+  };
+  for (const double s : {1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(base_laplace(s), e.laplace(s), 1e-7);
+  }
+}
+
+TEST(Erlang, CdfViaGammaPMatchesConvolutionSeries) {
+  const Erlang e(5, 2.0);
+  const double t = 1.7;
+  // 1 - e^{-rt} Σ_{i<5} (rt)^i / i!
+  double sum = 0.0;
+  double term = 1.0;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) term *= 2.0 * t / i;
+    sum += term;
+  }
+  EXPECT_NEAR(e.cdf(t), 1.0 - std::exp(-2.0 * t) * sum, 1e-12);
+}
+
+TEST(Erlang, SampleMomentsMatch) {
+  const Erlang e = Erlang::with_mean(3, 0.3);
+  Rng rng(99);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = e.sample(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.3, 0.002);
+  EXPECT_NEAR(sq / n - mean * mean, e.variance(), 0.002);
+}
+
+TEST(Erlang, WithMeanFactory) {
+  const Erlang e = Erlang::with_mean(7, 2.1);
+  EXPECT_EQ(e.phases(), 7);
+  EXPECT_NEAR(e.mean(), 2.1, 1e-12);
+}
+
+TEST(Erlang, RejectsBadParameters) {
+  EXPECT_THROW(Erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Erlang(2, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::dist

@@ -1,0 +1,81 @@
+#include "dist/exponential.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(Exponential, ClosedForms) {
+  const Exponential e(4.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.25);
+  EXPECT_DOUBLE_EQ(e.variance(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(e.scv(), 1.0);
+  EXPECT_NEAR(e.cdf(0.25), 1.0 - std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(e.pdf(0.0), 4.0, 1e-15);
+  EXPECT_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_EQ(e.pdf(-1.0), 0.0);
+}
+
+TEST(Exponential, LaplaceTransform) {
+  const Exponential e(3.0);
+  EXPECT_DOUBLE_EQ(e.laplace(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.laplace(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.laplace(6.0), 1.0 / 3.0);
+}
+
+TEST(Exponential, QuantileInvertsCdf) {
+  const Exponential e(2.5);
+  for (double p = 0.0; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(e.cdf(e.quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Exponential, WithMeanFactory) {
+  const Exponential e = Exponential::with_mean(0.2);
+  EXPECT_DOUBLE_EQ(e.rate(), 5.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.2);
+}
+
+TEST(Exponential, SampleMomentsMatch) {
+  const Exponential e(10.0);
+  Rng rng(42);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = e.sample(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.1, 0.001);
+  EXPECT_NEAR(var, 0.01, 0.0005);
+}
+
+TEST(Exponential, Memorylessness) {
+  // P{T > s+t | T > s} = P{T > t}: check via the CDF identity.
+  const Exponential e(1.7);
+  const double s = 0.4;
+  const double t = 0.9;
+  const double lhs = (1.0 - e.cdf(s + t)) / (1.0 - e.cdf(s));
+  EXPECT_NEAR(lhs, 1.0 - e.cdf(t), 1e-12);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Exponential, CloneIsIndependentCopy) {
+  const Exponential e(2.0);
+  const auto c = e.clone();
+  EXPECT_DOUBLE_EQ(c->mean(), e.mean());
+  EXPECT_EQ(c->name(), e.name());
+}
+
+}  // namespace
+}  // namespace mclat::dist

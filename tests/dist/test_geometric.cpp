@@ -1,0 +1,94 @@
+// GeometricBatch — the batch-size law X of GI^X/M/1.
+#include "dist/geometric.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(GeometricBatch, PmfMatchesPaperDefinition) {
+  // P{X = n} = q^{n-1}(1-q)  (paper §3).
+  const GeometricBatch g(0.1159);  // Facebook's measured concurrency
+  for (std::uint64_t n = 1; n <= 6; ++n) {
+    EXPECT_NEAR(g.pmf(n), std::pow(0.1159, n - 1.0) * (1.0 - 0.1159), 1e-15);
+  }
+  EXPECT_EQ(g.pmf(0), 0.0);
+}
+
+TEST(GeometricBatch, PmfSumsToOne) {
+  const GeometricBatch g(0.4);
+  double sum = 0.0;
+  for (std::uint64_t n = 1; n <= 200; ++n) sum += g.pmf(n);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(GeometricBatch, MeanAndVariance) {
+  const GeometricBatch g(0.25);
+  EXPECT_NEAR(g.mean(), 1.0 / 0.75, 1e-15);
+  EXPECT_NEAR(g.variance(), 0.25 / (0.75 * 0.75), 1e-15);
+}
+
+TEST(GeometricBatch, ZeroQIsAlwaysSingleton) {
+  const GeometricBatch g(0.0);
+  EXPECT_EQ(g.mean(), 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(g.sample(rng), 1u);
+}
+
+TEST(GeometricBatch, CdfComplementIsGeometricTail) {
+  const GeometricBatch g(0.3);
+  for (std::uint64_t n = 1; n <= 10; ++n) {
+    EXPECT_NEAR(1.0 - g.cdf(n), std::pow(0.3, static_cast<double>(n)), 1e-13);
+  }
+}
+
+TEST(GeometricBatch, PgfMatchesClosedForm) {
+  const GeometricBatch g(0.2);
+  for (const double z : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(g.pgf(z), 0.8 * z / (1.0 - 0.2 * z), 1e-14);
+  }
+  EXPECT_NEAR(g.pgf(1.0), 1.0, 1e-14);  // normalisation
+}
+
+TEST(GeometricBatch, SampleMomentsMatch) {
+  const GeometricBatch g(0.5);
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 500'000;
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t x = g.sample(rng);
+    ASSERT_GE(x, 1u);
+    max_seen = std::max<std::uint64_t>(max_seen, x);
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.01);
+  EXPECT_GE(max_seen, 10u);  // the tail is actually exercised
+}
+
+TEST(GeometricBatch, SampleFrequenciesMatchPmf) {
+  const GeometricBatch g(0.35);
+  Rng rng(13);
+  std::vector<int> counts(12, 0);
+  const int n = 1'000'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t x = g.sample(rng);
+    if (x < counts.size()) ++counts[x];
+  }
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, g.pmf(k),
+                0.02 * g.pmf(k) + 1e-4)
+        << "batch size " << k;
+  }
+}
+
+TEST(GeometricBatch, RejectsBadQ) {
+  EXPECT_THROW(GeometricBatch(-0.1), std::invalid_argument);
+  EXPECT_THROW(GeometricBatch(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::dist

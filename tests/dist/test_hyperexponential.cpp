@@ -1,0 +1,76 @@
+#include "dist/hyperexponential.h"
+
+#include <cmath>
+
+#include "dist/exponential.h"
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(HyperExponential, SinglePhaseIsExponential) {
+  const HyperExponential h({1.0}, {2.0});
+  const Exponential e(2.0);
+  for (const double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(h.cdf(t), e.cdf(t), 1e-14);
+    EXPECT_NEAR(h.pdf(t), e.pdf(t), 1e-14);
+    EXPECT_NEAR(h.laplace(t), e.laplace(t), 1e-14);
+  }
+}
+
+TEST(HyperExponential, MixtureMoments) {
+  const HyperExponential h({0.3, 0.7}, {1.0, 5.0});
+  EXPECT_NEAR(h.mean(), 0.3 / 1.0 + 0.7 / 5.0, 1e-14);
+  const double m2 = 0.3 * 2.0 + 0.7 * 2.0 / 25.0;
+  EXPECT_NEAR(h.variance(), m2 - h.mean() * h.mean(), 1e-14);
+}
+
+TEST(HyperExponential, FitMeanScvIsExact) {
+  for (const double scv : {1.0, 2.0, 5.0, 20.0}) {
+    const HyperExponential h = HyperExponential::fit_mean_scv(0.4, scv);
+    EXPECT_NEAR(h.mean(), 0.4, 1e-12) << "scv=" << scv;
+    EXPECT_NEAR(h.scv(), scv, 1e-9) << "scv=" << scv;
+  }
+}
+
+TEST(HyperExponential, FitRejectsScvBelowOne) {
+  EXPECT_THROW(HyperExponential::fit_mean_scv(1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(HyperExponential, LaplaceClosedForm) {
+  const HyperExponential h({0.25, 0.75}, {2.0, 8.0});
+  for (const double s : {0.5, 3.0, 12.0}) {
+    const double want = 0.25 * 2.0 / (2.0 + s) + 0.75 * 8.0 / (8.0 + s);
+    EXPECT_NEAR(h.laplace(s), want, 1e-14);
+  }
+}
+
+TEST(HyperExponential, SampleMomentsMatch) {
+  const HyperExponential h = HyperExponential::fit_mean_scv(1.0, 4.0);
+  Rng rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = h.sample(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.15);
+}
+
+TEST(HyperExponential, ValidatesConstructorInputs) {
+  EXPECT_THROW(HyperExponential({0.5, 0.6}, {1.0, 2.0}),
+               std::invalid_argument);  // probs don't sum to 1
+  EXPECT_THROW(HyperExponential({0.5, 0.5}, {1.0}),
+               std::invalid_argument);  // size mismatch
+  EXPECT_THROW(HyperExponential({0.5, 0.5}, {1.0, 0.0}),
+               std::invalid_argument);  // zero rate
+  EXPECT_THROW(HyperExponential({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::dist

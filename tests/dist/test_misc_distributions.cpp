@@ -1,0 +1,126 @@
+// Deterministic, Uniform, Weibull and LogNormal.
+#include <cmath>
+
+#include "dist/deterministic.h"
+#include "dist/lognormal.h"
+#include "dist/uniform.h"
+#include "dist/weibull.h"
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+// ---------- Deterministic ----------
+
+TEST(Deterministic, PointMassBehaviour) {
+  const Deterministic d(2.5);
+  EXPECT_EQ(d.cdf(2.4999), 0.0);
+  EXPECT_EQ(d.cdf(2.5), 1.0);
+  EXPECT_EQ(d.mean(), 2.5);
+  EXPECT_EQ(d.variance(), 0.0);
+  EXPECT_EQ(d.quantile(0.3), 2.5);
+  Rng rng(1);
+  EXPECT_EQ(d.sample(rng), 2.5);
+}
+
+TEST(Deterministic, LaplaceIsPureExponential) {
+  const Deterministic d(0.4);
+  for (const double s : {0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(d.laplace(s), std::exp(-0.4 * s), 1e-15);
+  }
+}
+
+// ---------- Uniform ----------
+
+TEST(Uniform, BasicLaws) {
+  const Uniform u(1.0, 3.0);
+  EXPECT_EQ(u.mean(), 2.0);
+  EXPECT_NEAR(u.variance(), 4.0 / 12.0, 1e-15);
+  EXPECT_EQ(u.cdf(0.5), 0.0);
+  EXPECT_EQ(u.cdf(2.0), 0.5);
+  EXPECT_EQ(u.cdf(5.0), 1.0);
+  EXPECT_EQ(u.quantile(0.25), 1.5);
+}
+
+TEST(Uniform, LaplaceClosedForm) {
+  const Uniform u(0.0, 2.0);
+  for (const double s : {0.5, 2.0, 7.0}) {
+    EXPECT_NEAR(u.laplace(s), (1.0 - std::exp(-2.0 * s)) / (2.0 * s), 1e-14);
+  }
+  EXPECT_EQ(u.laplace(0.0), 1.0);
+}
+
+TEST(Uniform, RejectsDegenerateInterval) {
+  EXPECT_THROW(Uniform(2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Uniform(-1.0, 1.0), std::invalid_argument);
+}
+
+// ---------- Weibull ----------
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 0.5);
+  for (const double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(w.cdf(t), 1.0 - std::exp(-t / 0.5), 1e-13);
+  }
+  EXPECT_NEAR(w.mean(), 0.5, 1e-13);
+  EXPECT_NEAR(w.scv(), 1.0, 1e-10);
+}
+
+TEST(Weibull, QuantileInvertsCdf) {
+  const Weibull w(2.3, 1.7);
+  for (double p = 0.0; p < 0.999; p += 0.041) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Weibull, WithMeanHitsTarget) {
+  for (const double shape : {0.7, 1.0, 3.0}) {
+    const Weibull w = Weibull::with_mean(shape, 2.0);
+    EXPECT_NEAR(w.mean(), 2.0, 1e-10) << "shape=" << shape;
+  }
+}
+
+TEST(Weibull, ScvRegimes) {
+  // k < 1 ⇒ SCV > 1 (bursty), k > 1 ⇒ SCV < 1 (smooth).
+  EXPECT_GT(Weibull(0.5, 1.0).scv(), 1.0);
+  EXPECT_LT(Weibull(2.0, 1.0).scv(), 1.0);
+}
+
+// ---------- LogNormal ----------
+
+TEST(LogNormal, MomentFormulas) {
+  const LogNormal ln(0.3, 0.8);
+  EXPECT_NEAR(ln.mean(), std::exp(0.3 + 0.5 * 0.64), 1e-12);
+  EXPECT_NEAR(ln.variance(),
+              (std::exp(0.64) - 1.0) * std::exp(2.0 * 0.3 + 0.64), 1e-12);
+}
+
+TEST(LogNormal, FitMeanScvIsExact) {
+  for (const double scv : {0.25, 1.0, 9.0}) {
+    const LogNormal ln = LogNormal::fit_mean_scv(3.0, scv);
+    EXPECT_NEAR(ln.mean(), 3.0, 1e-10) << "scv=" << scv;
+    EXPECT_NEAR(ln.scv(), scv, 1e-9) << "scv=" << scv;
+  }
+}
+
+TEST(LogNormal, MedianIsExpMu) {
+  const LogNormal ln(1.2, 0.5);
+  EXPECT_NEAR(ln.quantile(0.5), std::exp(1.2), 1e-9);
+  EXPECT_NEAR(ln.cdf(std::exp(1.2)), 0.5, 1e-12);
+}
+
+TEST(LogNormal, SampleMeanMatches) {
+  const LogNormal ln = LogNormal::fit_mean_scv(2.0, 1.5);
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 300'000;
+  for (int i = 0; i < n; ++i) sum += ln.sample(rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.02);
+}
+
+TEST(LogNormal, RejectsBadSigma) {
+  EXPECT_THROW(LogNormal(0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::dist

@@ -1,0 +1,95 @@
+#include "dist/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::dist {
+namespace {
+
+TEST(Zipf, PmfNormalises) {
+  const Zipf z(100, 1.0);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfFollowsPowerLaw) {
+  const Zipf z(1000, 1.2);
+  // pmf(k) / pmf(2k-1) = ((2k)/(k))^s = 2^s for ranks k, 2k (1-based).
+  EXPECT_NEAR(z.pmf(0) / z.pmf(1), std::pow(2.0, 1.2), 1e-12);
+  EXPECT_NEAR(z.pmf(4) / z.pmf(9), std::pow(2.0, 1.2), 1e-12);
+}
+
+TEST(Zipf, HeadMassCapturesSkew) {
+  const Zipf z(1'000'000, 1.0);
+  // Classic Zipf: the top 1 % of keys attract a large share of accesses.
+  const double head = z.head_mass(10'000);
+  EXPECT_GT(head, 0.6);
+  EXPECT_LT(head, 1.0);
+  EXPECT_NEAR(z.head_mass(1'000'000), 1.0, 1e-12);
+  EXPECT_EQ(z.head_mass(0), 0.0);
+}
+
+TEST(Zipf, SamplerMatchesPmf) {
+  const Zipf z(50, 0.8);
+  Rng rng(123);
+  std::vector<int> counts(50, 0);
+  const int n = 2'000'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t k = z.sample(rng);
+    ASSERT_LT(k, 50u);
+    ++counts[k];
+  }
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k),
+                0.02 * z.pmf(k) + 5e-5)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SamplerCoversHugeKeySpacesWithoutTables) {
+  // 10^9 keys: rejection-inversion needs O(1) memory; just verify draws are
+  // in range and skewed toward low ranks.
+  const Zipf z(1'000'000'000ull, 1.0);
+  Rng rng(9);
+  std::uint64_t below_1000 = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t k = z.sample(rng);
+    ASSERT_LT(k, 1'000'000'000ull);
+    if (k < 1000) ++below_1000;
+  }
+  // head_mass(1000) ≈ H(1000)/H(1e9) ≈ 7.49/21.3 ≈ 0.35 for s=1.
+  EXPECT_GT(static_cast<double>(below_1000) / n, 0.25);
+  EXPECT_LT(static_cast<double>(below_1000) / n, 0.45);
+}
+
+TEST(Zipf, ExponentGreaterThanOne) {
+  const Zipf z(10'000, 1.5);
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(z.sample(rng), 10'000u);
+  }
+  // s > 1 concentrates even harder on the head.
+  EXPECT_GT(z.head_mass(10), 0.75);
+}
+
+TEST(Zipf, SingleItemDegenerate) {
+  const Zipf z(1, 1.0);
+  Rng rng(2);
+  EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_EQ(z.pmf(0), 1.0);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Zipf(10, 0.0), std::invalid_argument);
+  const Zipf z(10, 1.0);
+  EXPECT_THROW((void)z.pmf(10), std::invalid_argument);
+  EXPECT_THROW((void)z.head_mass(11), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::dist

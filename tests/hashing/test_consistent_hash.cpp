@@ -1,0 +1,117 @@
+#include "hashing/consistent_hash.h"
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::hashing {
+namespace {
+
+std::vector<std::string> test_keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back("object:" + std::to_string(i));
+  return keys;
+}
+
+TEST(ConsistentHashRing, IsDeterministic) {
+  const ConsistentHashRing r1(4);
+  const ConsistentHashRing r2(4);
+  for (const auto& k : test_keys(1000)) {
+    EXPECT_EQ(r1.server_for(k), r2.server_for(k));
+  }
+}
+
+TEST(ConsistentHashRing, CoversAllServers) {
+  const ConsistentHashRing ring(8, 160);
+  std::vector<int> hits(8, 0);
+  for (const auto& k : test_keys(20'000)) ++hits[ring.server_for(k)];
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(ConsistentHashRing, LoadRoughlyBalancedWithManyVnodes) {
+  const ConsistentHashRing ring(4, 500);
+  std::vector<int> hits(4, 0);
+  const int n = 100'000;
+  for (const auto& k : test_keys(n)) ++hits[ring.server_for(k)];
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / n, 0.25, 0.05);
+  }
+}
+
+TEST(ConsistentHashRing, FewVnodesMeansVisibleImbalance) {
+  // This is the imbalance phenomenon §2.1 describes: with few ring points
+  // the realised {p_j} deviates noticeably from uniform.
+  const ConsistentHashRing ring(4, 2);
+  const auto shares = ring.arc_shares();
+  double spread = 0.0;
+  for (const double s : shares) spread = std::max(spread, std::abs(s - 0.25));
+  EXPECT_GT(spread, 0.05);
+}
+
+TEST(ConsistentHashRing, ArcSharesSumToOne) {
+  const ConsistentHashRing ring(5, 64);
+  const auto shares = ring.arc_shares();
+  EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(ConsistentHashRing, ArcSharesPredictKeyShares) {
+  const ConsistentHashRing ring(4, 100);
+  const auto arcs = ring.arc_shares();
+  std::vector<int> hits(4, 0);
+  const int n = 200'000;
+  for (const auto& k : test_keys(n)) ++hits[ring.server_for(k)];
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(static_cast<double>(hits[j]) / n, arcs[j], 0.02)
+        << "server " << j;
+  }
+}
+
+TEST(ConsistentHashRing, RemovalOnlyMovesVictimsKeys) {
+  ConsistentHashRing ring(4, 160);
+  const auto keys = test_keys(20'000);
+  std::map<std::string, std::size_t> before;
+  for (const auto& k : keys) before[k] = ring.server_for(k);
+  ring.remove_server(2);
+  int moved_from_others = 0;
+  for (const auto& k : keys) {
+    const std::size_t now = ring.server_for(k);
+    EXPECT_NE(now, 2u);
+    if (before[k] != 2 && now != before[k]) ++moved_from_others;
+  }
+  EXPECT_EQ(moved_from_others, 0)
+      << "keys not owned by the removed server must stay put";
+}
+
+TEST(ConsistentHashRing, AddServerMovesBoundedFraction) {
+  ConsistentHashRing ring(4, 160);
+  const auto keys = test_keys(30'000);
+  std::map<std::string, std::size_t> before;
+  for (const auto& k : keys) before[k] = ring.server_for(k);
+  ring.add_server();
+  int moved = 0;
+  for (const auto& k : keys) {
+    const std::size_t now = ring.server_for(k);
+    if (now != before[k]) {
+      EXPECT_EQ(now, 4u) << "keys may only move to the new server";
+      ++moved;
+    }
+  }
+  // Ideal movement is 1/5 of keys; allow generous slack for vnode variance.
+  EXPECT_NEAR(static_cast<double>(moved) / keys.size(), 0.2, 0.08);
+}
+
+TEST(ConsistentHashRing, ValidatesArguments) {
+  EXPECT_THROW(ConsistentHashRing(0), std::invalid_argument);
+  EXPECT_THROW(ConsistentHashRing(2, 0), std::invalid_argument);
+  ConsistentHashRing ring(2);
+  EXPECT_THROW(ring.remove_server(7), std::invalid_argument);
+  ring.remove_server(0);
+  EXPECT_THROW(ring.remove_server(0), std::invalid_argument);  // already gone
+}
+
+}  // namespace
+}  // namespace mclat::hashing

@@ -1,0 +1,82 @@
+#include "hashing/hashes.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::hashing {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Canonical FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, IsConstexpr) {
+  static_assert(fnv1a64("abc") != fnv1a64("abd"));
+  SUCCEED();
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("key:1"), fnv1a64("key:2"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+  EXPECT_NE(fnv1a64(std::string("a\0b", 3)), fnv1a64(std::string("a\0c", 3)));
+}
+
+TEST(Mix64, IsBijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 1000;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const std::uint64_t a = mix64(i);
+    const std::uint64_t b = mix64(i ^ 1ull);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(ToUnitInterval, InRangeAndUniformish) {
+  double sum = 0.0;
+  const int n = 100'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double u = to_unit_interval(mix64(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  const std::uint64_t ab = hash_combine(hash_combine(0, 1), 2);
+  const std::uint64_t ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Fnv1a, UniformBucketsOnRealKeys) {
+  // Hashing "key:<i>" into 16 buckets should be near-uniform — the property
+  // the whole key→server mapping relies on.
+  std::vector<int> buckets(16, 0);
+  const int n = 160'000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[fnv1a64("key:" + std::to_string(i)) % 16];
+  }
+  for (const int c : buckets) {
+    EXPECT_NEAR(static_cast<double>(c), n / 16.0, 0.05 * n / 16.0);
+  }
+}
+
+}  // namespace
+}  // namespace mclat::hashing

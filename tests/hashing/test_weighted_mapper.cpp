@@ -1,0 +1,96 @@
+#include "hashing/weighted_mapper.h"
+
+#include <string>
+#include <vector>
+
+#include "dist/discrete.h"
+#include "hashing/key_mapper.h"
+#include <gtest/gtest.h>
+
+namespace mclat::hashing {
+namespace {
+
+std::vector<int> route_keys(const KeyMapper& m, int n) {
+  std::vector<int> hits(m.server_count(), 0);
+  for (int i = 0; i < n; ++i) {
+    ++hits[m.server_for("user:profile:" + std::to_string(i))];
+  }
+  return hits;
+}
+
+TEST(WeightedMapper, RealisesTargetShares) {
+  const WeightedMapper m({0.6, 0.2, 0.1, 0.1});
+  const int n = 300'000;
+  const auto hits = route_keys(m, n);
+  const std::vector<double> want = {0.6, 0.2, 0.1, 0.1};
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(hits[j]) / n, want[j], 0.01)
+        << "server " << j;
+  }
+}
+
+TEST(WeightedMapper, IsDeterministicPerKey) {
+  const WeightedMapper m({0.3, 0.7});
+  for (int i = 0; i < 1000; ++i) {
+    const std::string k = "k" + std::to_string(i);
+    EXPECT_EQ(m.server_for(k), m.server_for(k));
+  }
+}
+
+TEST(WeightedMapper, NormalisesWeights) {
+  const WeightedMapper a({1.0, 3.0});
+  const WeightedMapper b({0.25, 0.75});
+  for (int i = 0; i < 2000; ++i) {
+    const std::string k = "x" + std::to_string(i);
+    EXPECT_EQ(a.server_for(k), b.server_for(k));
+  }
+}
+
+TEST(WeightedMapper, TargetSharesRoundTrip) {
+  const WeightedMapper m({2.0, 3.0, 5.0});
+  const auto p = m.target_shares();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(p[0], 0.2, 1e-12);
+  EXPECT_NEAR(p[1], 0.3, 1e-12);
+  EXPECT_NEAR(p[2], 0.5, 1e-12);
+}
+
+TEST(WeightedMapper, SkewedLoadForFig10) {
+  // The Fig. 10 construction: p1 from 0.3 to 0.9, rest uniform.
+  for (const double p1 : {0.3, 0.5, 0.75, 0.9}) {
+    const WeightedMapper m(dist::skewed_load(4, p1));
+    const int n = 200'000;
+    const auto hits = route_keys(m, n);
+    EXPECT_NEAR(static_cast<double>(hits[0]) / n, p1, 0.012) << "p1=" << p1;
+  }
+}
+
+TEST(WeightedMapper, ZeroWeightServerNeverChosen) {
+  const WeightedMapper m({0.5, 0.0, 0.5});
+  const auto hits = route_keys(m, 50'000);
+  EXPECT_EQ(hits[1], 0);
+}
+
+TEST(WeightedMapper, ValidatesWeights) {
+  EXPECT_THROW(WeightedMapper({}), std::invalid_argument);
+  EXPECT_THROW(WeightedMapper({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedMapper({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ModuloMapper, UniformAndDeterministic) {
+  const ModuloMapper m(8);
+  EXPECT_EQ(m.server_count(), 8u);
+  const int n = 160'000;
+  const auto hits = route_keys(m, n);
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / n, 0.125, 0.01);
+  }
+  EXPECT_EQ(m.server_for("same"), m.server_for("same"));
+}
+
+TEST(ModuloMapper, RejectsZeroServers) {
+  EXPECT_THROW(ModuloMapper(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::hashing

@@ -1,0 +1,109 @@
+// Integration: GI/M/1 (no batching) — simulated waiting/sojourn
+// distributions against the δ-based closed forms, for arrival patterns with
+// closed-form Laplace transforms (Erlang, HyperExponential) and the paper's
+// Generalized Pareto.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gixm1.h"
+#include "dist/empirical.h"
+#include "dist/erlang.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "dist/hyperexponential.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include <gtest/gtest.h>
+
+namespace mclat {
+namespace {
+
+struct GiM1Case {
+  std::string label;
+  std::function<dist::DistributionPtr()> gap;
+};
+
+class GiM1Sweep : public ::testing::TestWithParam<GiM1Case> {};
+
+TEST_P(GiM1Sweep, WaitingAndSojournMatchDeltaForms) {
+  const double mu = 1000.0;
+  const auto gap = GetParam().gap();
+  const core::GixM1Queue model(*gap, 0.0, mu);
+  ASSERT_TRUE(model.stable());
+
+  // Simulate the renewal arrivals into an exponential server.
+  sim::Simulator s;
+  std::vector<double> waits;
+  std::vector<double> sojourns;
+  sim::ServiceStation st(s, std::make_unique<dist::Exponential>(mu),
+                         dist::Rng(7), [&](const sim::Departure& d) {
+                           if (d.arrival > 20.0) {  // warm-up
+                             waits.push_back(d.waiting_time());
+                             sojourns.push_back(d.sojourn_time());
+                           }
+                         });
+  dist::Rng arr(9);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(gap->sample(arr), arrive);
+  };
+  s.schedule_in(gap->sample(arr), arrive);
+  s.run_until(400.0);
+  ASSERT_GT(waits.size(), 100'000u);
+
+  const dist::Empirical wait_dist(std::move(waits));
+  const dist::Empirical sojourn_dist(std::move(sojourns));
+
+  // Mean waiting: δ/η.
+  EXPECT_NEAR(wait_dist.mean(), model.mean_queueing(),
+              0.07 * model.mean_queueing() + 1e-5)
+      << GetParam().label;
+  // GI/M/1 sojourn is *exactly* Exp(η): mean and quantiles must match.
+  EXPECT_NEAR(sojourn_dist.mean(), model.mean_completion(),
+              0.06 * model.mean_completion())
+      << GetParam().label;
+  for (const double k : {0.5, 0.9, 0.99}) {
+    const double want = model.completion_quantile(k);
+    EXPECT_NEAR(sojourn_dist.quantile(k), want, 0.10 * want)
+        << GetParam().label << " k=" << k;
+  }
+  // Waiting-time CDF: P{W <= t} = 1 - δe^{-ηt}; spot-check the atom and a
+  // tail point.
+  EXPECT_NEAR(wait_dist.cdf(1e-9), 1.0 - model.delta(), 0.02)
+      << GetParam().label;
+  const double t90 = model.queueing_quantile(0.9);
+  EXPECT_NEAR(wait_dist.cdf(t90), 0.9, 0.02) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArrivalPatterns, GiM1Sweep,
+    ::testing::Values(
+        GiM1Case{"Erlang3_rho07",
+                 [] {
+                   return std::make_unique<dist::Erlang>(
+                       dist::Erlang::with_mean(3, 1.0 / 700.0));
+                 }},
+        GiM1Case{"HyperExp_scv4_rho06",
+                 [] {
+                   return std::make_unique<dist::HyperExponential>(
+                       dist::HyperExponential::fit_mean_scv(1.0 / 600.0, 4.0));
+                 }},
+        GiM1Case{"GP_xi015_rho078",
+                 [] {
+                   return std::make_unique<dist::GeneralizedPareto>(
+                       dist::GeneralizedPareto::with_mean(0.15, 1.0 / 781.25));
+                 }},
+        GiM1Case{"GP_xi04_rho05",
+                 [] {
+                   return std::make_unique<dist::GeneralizedPareto>(
+                       dist::GeneralizedPareto::with_mean(0.4, 1.0 / 500.0));
+                 }}),
+    [](const ::testing::TestParamInfo<GiM1Case>& pinfo) {
+      return pinfo.param.label;
+    });
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,110 @@
+// Integration: GI^X/M/1 with real geometric batches — the paper's actual
+// server model (§4.3.1) — simulated vs the δ-based bounds of eq. (9).
+#include <memory>
+#include <vector>
+
+#include "core/gixm1.h"
+#include "dist/empirical.h"
+#include "dist/generalized_pareto.h"
+#include "dist/exponential.h"
+#include "sim/simulator.h"
+#include "sim/source.h"
+#include "sim/station.h"
+#include <gtest/gtest.h>
+
+namespace mclat {
+namespace {
+
+dist::Empirical simulate_sojourns(double xi, double q, double key_rate,
+                                  double mu, double horizon,
+                                  std::uint64_t seed) {
+  sim::Simulator s;
+  std::vector<double> sojourns;
+  sim::ServiceStation st(s, std::make_unique<dist::Exponential>(mu),
+                         dist::Rng(seed), [&](const sim::Departure& d) {
+                           if (d.arrival > 5.0) {
+                             sojourns.push_back(d.sojourn_time());
+                           }
+                         });
+  const double batch_rate = (1.0 - q) * key_rate;
+  const auto gap = dist::GeneralizedPareto::with_mean(xi, 1.0 / batch_rate);
+  std::uint64_t id = 0;
+  sim::BatchSource src(s, gap.clone(), dist::GeometricBatch(q),
+                       dist::Rng(seed ^ 0xabcd),
+                       [&](std::uint64_t n) {
+                         for (std::uint64_t i = 0; i < n; ++i)
+                           st.arrive(id++);
+                       });
+  src.start();
+  s.run_until(horizon);
+  return dist::Empirical(std::move(sojourns));
+}
+
+TEST(GixM1Integration, FacebookWorkloadQuantilesRespectEq9) {
+  // The Fig. 4 check at test scale: simulated per-key sojourn quantiles sit
+  // inside (and near) the eq. (9) band.
+  const double xi = 0.15;
+  const double q = 0.1;
+  const double key_rate = 62'500.0;
+  const double mu = 80'000.0;
+  const auto gap =
+      dist::GeneralizedPareto::with_mean(xi, 1.0 / ((1.0 - q) * key_rate));
+  const core::GixM1Queue model(gap, q, mu);
+  const dist::Empirical sim =
+      simulate_sojourns(xi, q, key_rate, mu, 60.0, 3);
+  ASSERT_GT(sim.size(), 1'000'000u);
+
+  for (const double k : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const core::Bounds b = model.sojourn_quantile_bounds(k);
+    const double measured = sim.quantile(k);
+    // Allow a small statistical margin around the theoretical band.
+    EXPECT_GE(measured, b.lower * 0.9 - 2e-6) << "k=" << k;
+    EXPECT_LE(measured, b.upper * 1.1 + 2e-6) << "k=" << k;
+  }
+  // Mean within the [δ/η, 1/η] band.
+  const core::Bounds mean_b = model.mean_sojourn_bounds();
+  EXPECT_GE(sim.mean(), mean_b.lower * 0.93);
+  EXPECT_LE(sim.mean(), mean_b.upper * 1.07);
+}
+
+TEST(GixM1Integration, ConcurrencyDrivesLatencyTheta1Over1MinusQ) {
+  // §5.2.1 i at fixed key rate: measured mean sojourn grows like 1/(1-q).
+  const double key_rate = 40'000.0;
+  const double mu = 80'000.0;
+  const double m_q0 =
+      simulate_sojourns(0.0, 0.0, key_rate, mu, 30.0, 5).mean();
+  const double m_q05 =
+      simulate_sojourns(0.0, 0.5, key_rate, mu, 30.0, 6).mean();
+  EXPECT_NEAR(m_q05 / m_q0, 2.0, 0.35);
+}
+
+TEST(GixM1Integration, BurstDegreeInflatesTail) {
+  const double key_rate = 48'000.0;
+  const double mu = 80'000.0;
+  const dist::Empirical calm =
+      simulate_sojourns(0.0, 0.1, key_rate, mu, 30.0, 7);
+  const dist::Empirical bursty =
+      simulate_sojourns(0.6, 0.1, key_rate, mu, 30.0, 8);
+  EXPECT_GT(bursty.quantile(0.99), 1.5 * calm.quantile(0.99));
+  EXPECT_GT(bursty.mean(), calm.mean());
+}
+
+TEST(GixM1Integration, ModelTracksSimAcrossUtilizations) {
+  // Fig. 7's engine at test scale: mean sojourn vs λ stays inside the
+  // eq.-9 mean band across the sweep.
+  const double mu = 80'000.0;
+  for (const double key_rate : {20'000.0, 40'000.0, 60'000.0}) {
+    const double q = 0.1;
+    const auto gap = dist::GeneralizedPareto::with_mean(
+        0.15, 1.0 / ((1.0 - q) * key_rate));
+    const core::GixM1Queue model(gap, q, mu);
+    const double measured =
+        simulate_sojourns(0.15, q, key_rate, mu, 40.0, 11).mean();
+    const core::Bounds b = model.mean_sojourn_bounds();
+    EXPECT_GE(measured, b.lower * 0.9) << "rate=" << key_rate;
+    EXPECT_LE(measured, b.upper * 1.1) << "rate=" << key_rate;
+  }
+}
+
+}  // namespace
+}  // namespace mclat

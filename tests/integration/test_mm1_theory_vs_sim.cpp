@@ -1,0 +1,75 @@
+// Integration: the simulated M/M/1 queue against the textbook closed forms
+// across a utilisation sweep. This is the ground-truth anchor for the whole
+// testbed — if this drifts, nothing downstream can be trusted.
+#include <functional>
+#include <memory>
+
+#include "dist/exponential.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include <gtest/gtest.h>
+
+namespace mclat {
+namespace {
+
+struct MM1Result {
+  double mean_sojourn;
+  double mean_waiting;
+  double p_wait;  // fraction of jobs that waited at all
+  double utilization;
+};
+
+MM1Result run_mm1(double lambda, double mu, double horizon,
+                  std::uint64_t seed) {
+  sim::Simulator s;
+  std::uint64_t waited = 0;
+  std::uint64_t total = 0;
+  sim::ServiceStation st(s, std::make_unique<dist::Exponential>(mu),
+                         dist::Rng(seed), [&](const sim::Departure& d) {
+                           ++total;
+                           if (d.waiting_time() > 1e-12) ++waited;
+                         });
+  dist::Rng arr(seed ^ 0x1234u);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(arr.exponential(lambda), arrive);
+  };
+  s.schedule_in(arr.exponential(lambda), arrive);
+  s.run_until(horizon);
+  return MM1Result{st.sojourn_stats().mean(), st.waiting_stats().mean(),
+                   static_cast<double>(waited) / static_cast<double>(total),
+                   st.utilization(s.now())};
+}
+
+class MM1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MM1Sweep, MatchesClosedFormsAtUtilization) {
+  const double rho = GetParam();
+  const double mu = 1000.0;
+  const double lambda = rho * mu;
+  // Longer horizons at higher load: relaxation time scales like 1/(1-ρ)².
+  const double horizon = 200.0 / ((1.0 - rho) * (1.0 - rho));
+  const MM1Result r = run_mm1(lambda, mu, horizon, 42);
+
+  const double want_sojourn = 1.0 / (mu - lambda);
+  const double want_waiting = rho / (mu - lambda);
+  EXPECT_NEAR(r.mean_sojourn, want_sojourn, 0.05 * want_sojourn)
+      << "rho=" << rho;
+  EXPECT_NEAR(r.mean_waiting, want_waiting, 0.07 * want_waiting)
+      << "rho=" << rho;
+  // PASTA: P{wait > 0} = ρ.
+  EXPECT_NEAR(r.p_wait, rho, 0.03) << "rho=" << rho;
+  EXPECT_NEAR(r.utilization, rho, 0.03) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilizationGrid, MM1Sweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.8, 0.9),
+                         [](const ::testing::TestParamInfo<double>& pinfo) {
+                           return "rho" +
+                                  std::to_string(static_cast<int>(
+                                      pinfo.param * 100.0));
+                         });
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,112 @@
+// Integration: the multi-server station against M/M/c closed forms, plus
+// the queue-length laws the new station accounting enables (geometric(δ)
+// number-found-at-arrival, Little's law from the time-average L).
+#include <functional>
+#include <memory>
+
+#include "core/gixm1.h"
+#include "core/mmc.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "sim/multi_station.h"
+#include "sim/simulator.h"
+#include "sim/source.h"
+#include "sim/station.h"
+#include <gtest/gtest.h>
+
+namespace mclat {
+namespace {
+
+struct MmcParams {
+  unsigned c;
+  double lambda;
+  double mu;
+};
+
+class MmcSweep : public ::testing::TestWithParam<MmcParams> {};
+
+TEST_P(MmcSweep, SimMatchesErlangC) {
+  const auto [c, lambda, mu] = GetParam();
+  const core::MmcQueue model(c, lambda, mu);
+
+  sim::Simulator s;
+  sim::MultiServerStation st(s, c, std::make_unique<dist::Exponential>(mu),
+                             dist::Rng(31), [](const sim::Departure&) {});
+  dist::Rng arr(32);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(arr.exponential(lambda), arrive);
+  };
+  s.schedule_in(arr.exponential(lambda), arrive);
+  const double horizon = 400'000.0 / lambda;  // ~400k arrivals
+  s.run_until(horizon);
+
+  EXPECT_NEAR(st.waited_fraction(), model.p_wait(), 0.02)
+      << "Erlang-C mismatch";
+  EXPECT_NEAR(st.waiting_stats().mean(), model.mean_wait(),
+              0.08 * model.mean_wait() + 1e-6);
+  EXPECT_NEAR(st.sojourn_stats().mean(), model.mean_sojourn(),
+              0.05 * model.mean_sojourn());
+  EXPECT_NEAR(st.utilization(s.now()), model.utilization(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MmcSweep,
+    ::testing::Values(MmcParams{1, 700.0, 1000.0},
+                      MmcParams{2, 1'500.0, 1000.0},
+                      MmcParams{4, 3'200.0, 1000.0},
+                      MmcParams{8, 7'000.0, 1000.0}),
+    [](const ::testing::TestParamInfo<MmcParams>& pinfo) {
+      return "c" + std::to_string(pinfo.param.c) + "_lam" +
+             std::to_string(static_cast<int>(pinfo.param.lambda));
+    });
+
+TEST(QueueLengthLaw, FoundInSystemIsGeometricDelta) {
+  // GI/M/1 embedded chain: an arriving batch finds Geometric(δ) batches in
+  // the system. Facebook workload, no batching for clean counting.
+  const double key_rate = 60'000.0;
+  const double mu = 80'000.0;
+  const auto gap = dist::GeneralizedPareto::with_mean(0.15, 1.0 / key_rate);
+  const core::GixM1Queue model(gap, 0.0, mu);
+
+  sim::Simulator s;
+  sim::ServiceStation st(s, std::make_unique<dist::Exponential>(mu),
+                         dist::Rng(41), [](const sim::Departure&) {});
+  dist::Rng arr(42);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(gap.sample(arr), arrive);
+  };
+  s.schedule_in(gap.sample(arr), arrive);
+  s.run_until(60.0);
+
+  // Mean found-in-system = δ/(1-δ).
+  EXPECT_NEAR(st.found_in_system_stats().mean(), model.mean_queue_length(),
+              0.08 * model.mean_queue_length());
+}
+
+TEST(QueueLengthLaw, LittleHoldsFromTimeAverageL) {
+  const double lambda = 650.0;
+  const double mu = 1000.0;
+  sim::Simulator s;
+  sim::ServiceStation st(s, std::make_unique<dist::Exponential>(mu),
+                         dist::Rng(43), [](const sim::Departure&) {});
+  dist::Rng arr(44);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(arr.exponential(lambda), arrive);
+  };
+  s.schedule_in(arr.exponential(lambda), arrive);
+  s.run_until(600.0);
+  const double L = st.time_average_number_in_system(s.now());
+  const double W = st.sojourn_stats().mean();
+  EXPECT_NEAR(L, lambda * W, 0.05 * L);
+  // And both match the M/M/1 value ρ/(1-ρ).
+  EXPECT_NEAR(L, 0.65 / 0.35, 0.1);
+}
+
+}  // namespace
+}  // namespace mclat

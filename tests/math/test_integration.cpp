@@ -1,0 +1,137 @@
+// Tests for adaptive Simpson, semi-infinite integration and Gauss–Laguerre
+// against integrals with known closed forms.
+#include "math/integration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mclat::math {
+namespace {
+
+TEST(AdaptiveSimpson, IntegratesPolynomialExactly) {
+  // Simpson is exact on cubics.
+  const auto f = [](double x) { return 3.0 * x * x * x - x + 2.0; };
+  const double got = adaptive_simpson(f, 0.0, 2.0);
+  const double want = 3.0 / 4.0 * 16.0 - 2.0 + 4.0;  // 12 - 2 + 4 = 14
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+TEST(AdaptiveSimpson, IntegratesSine) {
+  const double got = adaptive_simpson([](double x) { return std::sin(x); },
+                                      0.0, M_PI);
+  EXPECT_NEAR(got, 2.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, HandlesEmptyInterval) {
+  EXPECT_EQ(adaptive_simpson([](double) { return 1.0; }, 1.0, 1.0), 0.0);
+}
+
+TEST(AdaptiveSimpson, RejectsReversedInterval) {
+  EXPECT_THROW((void)adaptive_simpson([](double) { return 1.0; }, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveSimpson, ResolvesNarrowSpike) {
+  // Gaussian spike of width 1e-3 centred at 0.5; integral over [0,1] ≈ 1.
+  const double s = 1e-3;
+  const auto f = [s](double x) {
+    const double z = (x - 0.5) / s;
+    return std::exp(-0.5 * z * z) / (s * std::sqrt(2.0 * M_PI));
+  };
+  EXPECT_NEAR(adaptive_simpson(f, 0.0, 1.0), 1.0, 1e-6);
+}
+
+TEST(SemiInfinite, ExponentialIntegral) {
+  // ∫₀^∞ e^{-3t} dt = 1/3.
+  const double got = integrate_semi_infinite(
+      [](double t) { return std::exp(-3.0 * t); }, 0.0);
+  EXPECT_NEAR(got, 1.0 / 3.0, 1e-9);
+}
+
+TEST(SemiInfinite, GammaIntegral) {
+  // ∫₀^∞ t² e^{-t} dt = Γ(3) = 2.
+  const double got = integrate_semi_infinite(
+      [](double t) { return t * t * std::exp(-t); }, 0.0);
+  EXPECT_NEAR(got, 2.0, 1e-8);
+}
+
+TEST(SemiInfinite, ShiftedLowerLimit) {
+  // ∫₁^∞ e^{-t} dt = e^{-1}.
+  const double got = integrate_semi_infinite(
+      [](double t) { return std::exp(-t); }, 1.0);
+  EXPECT_NEAR(got, std::exp(-1.0), 1e-9);
+}
+
+TEST(SemiInfinite, VeryFastDecay) {
+  // ∫₀^∞ e^{-10⁶ t} dt = 1e-6 — probes the width-shrinking first phase.
+  const double got = integrate_semi_infinite(
+      [](double t) { return std::exp(-1e6 * t); }, 0.0);
+  EXPECT_NEAR(got, 1e-6, 1e-12);
+}
+
+TEST(SemiInfinite, HeavyTailTimesExponential) {
+  // ∫₀^∞ e^{-t} (1+t)^{-2} dt — the Laplace-transform-of-Pareto shape; the
+  // reference value comes from the exponential-integral identity
+  // ∫₀^∞ e^{-t}/(1+t)² dt = 1 - e·E₁(1) with E₁(1) ≈ 0.21938393439552026.
+  const double got = integrate_semi_infinite(
+      [](double t) { return std::exp(-t) / ((1.0 + t) * (1.0 + t)); }, 0.0);
+  const double want = 1.0 - std::exp(1.0) * 0.21938393439552026;
+  EXPECT_NEAR(got, want, 1e-8);
+}
+
+TEST(GaussLaguerre, IntegratesPolynomialsExactly) {
+  // An n-point rule is exact for polynomials up to degree 2n-1.
+  const GaussLaguerre rule(8);
+  // ∫₀^∞ e^{-x} x³ dx = 3! = 6.
+  EXPECT_NEAR(rule.integrate([](double x) { return x * x * x; }), 6.0, 1e-9);
+  // ∫₀^∞ e^{-x} dx = 1.
+  EXPECT_NEAR(rule.integrate([](double) { return 1.0; }), 1.0, 1e-12);
+}
+
+TEST(GaussLaguerre, WeightsSumToOne) {
+  const GaussLaguerre rule(32);
+  double sum = 0.0;
+  for (const double w : rule.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(GaussLaguerre, NodesAreSortedAndPositive) {
+  const GaussLaguerre rule(16);
+  double prev = 0.0;
+  for (const double x : rule.nodes()) {
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(GaussLaguerre, LaplaceOfExponentialPdf) {
+  // L{2e^{-2t}}(s) = 2/(2+s).
+  const GaussLaguerre rule(48);
+  const auto pdf = [](double t) { return 2.0 * std::exp(-2.0 * t); };
+  for (const double s : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(rule.laplace(pdf, s), 2.0 / (2.0 + s), 1e-6) << "s=" << s;
+  }
+}
+
+TEST(GaussLaguerre, RejectsTinyOrder) {
+  EXPECT_THROW(GaussLaguerre(1), std::invalid_argument);
+}
+
+TEST(GaussLaguerre, AgreesWithPanelIntegratorOnGpTransform) {
+  // Cross-check the two independent integrators on a Generalized-Pareto
+  // Laplace transform (the δ-solver's actual workload).
+  const double xi = 0.3;
+  const double sigma = (1.0 - xi) / 50.0;
+  const auto pdf = [xi, sigma](double t) {
+    return std::pow(1.0 + xi * t / sigma, -(1.0 / xi + 1.0)) / sigma;
+  };
+  const double s = 40.0;
+  const double panel = integrate_semi_infinite(
+      [&](double t) { return std::exp(-s * t) * pdf(t); }, 0.0);
+  const double gl = GaussLaguerre(64).laplace(pdf, s);
+  EXPECT_NEAR(panel, gl, 5e-5);
+}
+
+}  // namespace
+}  // namespace mclat::math

@@ -1,0 +1,115 @@
+// Tests for bisection, Brent and fixed-point iteration.
+#include "math/roots.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mclat::math {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.x, 0.0);
+}
+
+TEST(Bisect, RejectsBadBracket) {
+  EXPECT_THROW((void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, FindsSimpleRoot) {
+  const auto r = brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-12);
+}
+
+TEST(Brent, ConvergesFasterThanBisection) {
+  int calls_brent = 0;
+  int calls_bisect = 0;
+  const auto fb = [&](double x) {
+    ++calls_brent;
+    return std::exp(x) - 5.0;
+  };
+  const auto fs = [&](double x) {
+    ++calls_bisect;
+    return std::exp(x) - 5.0;
+  };
+  (void)brent(fb, 0.0, 3.0);
+  (void)bisect(fs, 0.0, 3.0);
+  EXPECT_LT(calls_brent, calls_bisect);
+}
+
+TEST(Brent, HandlesNearlyFlatFunction) {
+  // f(x) = (x-1)³ is flat at the root; Brent must still land on it.
+  const auto r = brent([](double x) { return std::pow(x - 1.0, 3.0); },
+                       0.0, 3.0, {.x_tol = 1e-12, .f_tol = 1e-30});
+  EXPECT_NEAR(r.x, 1.0, 1e-4);
+}
+
+TEST(Brent, RootOfGim1StyleEquation) {
+  // δ = L(μ(1-δ)) with Poisson arrivals, rate 0.8, μ = 1 ⇒ δ = 0.8.
+  const double lambda = 0.8;
+  const auto f = [lambda](double d) {
+    return lambda / (lambda + (1.0 - d)) - d;
+  };
+  const auto r = brent(f, 1e-9, 1.0 - 1e-9);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.8, 1e-9);
+}
+
+TEST(FixedPoint, ConvergesOnContraction) {
+  // x = cos(x) is a contraction near the Dottie number.
+  const auto r = fixed_point([](double x) { return std::cos(x); }, 0.5);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-9);
+}
+
+TEST(FixedPoint, DampingRescuesOscillation) {
+  // x = -2x + 3 has fixed point 1 but |g'| = 2: undamped diverges, damped
+  // with ω = 0.25 gives map slope 1-0.25*3 = 0.25 — converges.
+  const auto g = [](double x) { return -2.0 * x + 3.0; };
+  const auto undamped = fixed_point(g, 0.9, 1.0, {.max_iter = 50});
+  EXPECT_FALSE(undamped.converged);
+  const auto damped = fixed_point(g, 0.9, 0.25);
+  EXPECT_TRUE(damped.converged);
+  EXPECT_NEAR(damped.x, 1.0, 1e-9);
+}
+
+TEST(FixedPoint, RejectsBadDamping) {
+  EXPECT_THROW((void)fixed_point([](double x) { return x; }, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)fixed_point([](double x) { return x; }, 0.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(BracketSignChange, FindsBracket) {
+  const auto b = bracket_sign_change(
+      [](double x) { return x * x - 2.0; }, 0.0, 2.0, 16);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LE(b->first, std::sqrt(2.0));
+  EXPECT_GE(b->second, std::sqrt(2.0));
+}
+
+TEST(BracketSignChange, ReturnsNulloptWithoutCrossing) {
+  const auto b = bracket_sign_change(
+      [](double x) { return x * x + 1.0; }, -1.0, 1.0, 16);
+  EXPECT_FALSE(b.has_value());
+}
+
+TEST(BracketSignChange, ValidatesArguments) {
+  EXPECT_THROW((void)bracket_sign_change([](double) { return 0.0; }, 1.0, 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)bracket_sign_change([](double) { return 0.0; }, 0.0, 1.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::math

@@ -1,0 +1,101 @@
+// Tests for the special functions: normal CDF/quantile, incomplete gamma,
+// Student-t critical values.
+#include "math/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mclat::math {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-10);
+  EXPECT_NEAR(normal_quantile(1e-10), -6.361340902404056, 1e-6);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p = 0.01; p < 1.0; p += 0.007) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(GammaP, IntegerShapeMatchesErlangSeries) {
+  // P(k, x) = 1 - e^{-x} Σ_{i<k} x^i/i! for integer k.
+  const auto erlang_cdf = [](int k, double x) {
+    double term = 1.0;
+    double sum = 1.0;
+    for (int i = 1; i < k; ++i) {
+      term *= x / i;
+      sum += term;
+    }
+    return 1.0 - std::exp(-x) * sum;
+  };
+  for (const int k : {1, 2, 5, 10}) {
+    for (const double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(gamma_p(k, x), erlang_cdf(k, x), 1e-12)
+          << "k=" << k << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, HalfShapeIsErf) {
+  // P(1/2, x) = erf(√x).
+  for (const double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(GammaP, BoundaryAndComplement) {
+  EXPECT_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_EQ(gamma_q(3.0, 0.0), 1.0);
+  for (const double a : {0.5, 2.0, 7.5}) {
+    for (const double x : {0.3, 2.0, 9.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(GammaP, RejectsBadArguments) {
+  EXPECT_THROW((void)gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  EXPECT_NEAR(student_t_critical(1e6, 0.95), 1.959963984540054, 1e-4);
+}
+
+TEST(StudentT, TabulatedValues) {
+  // Standard table values for two-sided 95 %.
+  EXPECT_NEAR(student_t_critical(10.0, 0.95), 2.228, 0.012);
+  EXPECT_NEAR(student_t_critical(30.0, 0.95), 2.042, 0.005);
+  EXPECT_NEAR(student_t_critical(100.0, 0.95), 1.984, 0.002);
+}
+
+TEST(StudentT, WiderForSmallSamples) {
+  EXPECT_GT(student_t_critical(5.0, 0.95), student_t_critical(50.0, 0.95));
+  EXPECT_GT(student_t_critical(50.0, 0.99), student_t_critical(50.0, 0.95));
+}
+
+TEST(StudentT, RejectsBadArguments) {
+  EXPECT_THROW((void)student_t_critical(0.0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)student_t_critical(10.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::math

@@ -1,0 +1,140 @@
+// Model-based fuzzing of LruStore: a long random op-sequence is applied
+// simultaneously to the slab/LRU store and to a trivially-correct reference
+// model (std::map + explicit recency list). Any divergence in visible
+// behaviour — presence, values, sizes — is a bug in the store.
+//
+// The reference deliberately does NOT model eviction (that depends on slab
+// geometry), so checks are one-sided where eviction can interfere: a key
+// the store returns must match the reference value; a key the reference
+// lacks must miss in the store too (the store never resurrects deleted
+// data).
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cache/lru_store.h"
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::cache {
+namespace {
+
+struct Reference {
+  std::map<std::string, std::pair<std::string, double>> items;  // value, expiry
+
+  void set(const std::string& k, const std::string& v, double now,
+           double ttl) {
+    items[k] = {v, ttl > 0.0 ? now + ttl : 0.0};
+  }
+  std::optional<std::string> get(const std::string& k, double now) {
+    const auto it = items.find(k);
+    if (it == items.end()) return std::nullopt;
+    if (it->second.second > 0.0 && now >= it->second.second) {
+      items.erase(it);
+      return std::nullopt;
+    }
+    return it->second.first;
+  }
+  void remove(const std::string& k) { items.erase(k); }
+};
+
+class LruStoreFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LruStoreFuzz, AgreesWithReferenceModel) {
+  SlabAllocator::Config cfg;
+  cfg.min_chunk = 96;
+  cfg.growth_factor = 1.5;
+  cfg.page_size = 16 * 1024;
+  cfg.memory_limit = 96 * 1024;  // small enough to force real evictions
+  LruStore store(cfg);
+  Reference ref;
+  dist::Rng rng(GetParam());
+
+  double now = 0.0;
+  std::uint64_t evictions_seen = 0;
+  for (int op = 0; op < 60'000; ++op) {
+    now += rng.uniform() * 0.01;
+    const std::string key = "k" + std::to_string(rng.uniform_index(400));
+    const double roll = rng.uniform();
+    if (roll < 0.45) {
+      // set with random value size (sometimes crossing slab classes) and
+      // occasional TTLs.
+      const std::size_t len = 1 + rng.uniform_index(600);
+      const std::string value(len, static_cast<char>('a' + key.size() % 26));
+      const double ttl = rng.bernoulli(0.2) ? rng.uniform() * 0.5 : 0.0;
+      const bool ok = store.set(key, value, now, ttl);
+      if (ok) {
+        ref.set(key, value, now, ttl);
+      } else {
+        // A failed set (class fully starved at this memory limit) removes
+        // any previous value of the key — memcached semantics: the old
+        // item is unlinked before the new allocation is attempted.
+        ref.remove(key);
+        ASSERT_FALSE(store.get(key, now).has_value())
+            << "failed set must not leave a stale value behind";
+      }
+    } else if (roll < 0.85) {
+      const auto got = store.get(key, now);
+      const auto want = ref.get(key, now);
+      if (got.has_value()) {
+        // Anything the store has must match the reference exactly.
+        ASSERT_TRUE(want.has_value())
+            << "store returned a key the reference deleted/expired: " << key;
+        ASSERT_EQ(*got, *want) << "value mismatch for " << key;
+      }
+      // The converse may fail only through eviction.
+      if (want.has_value() && !got.has_value()) ++evictions_seen;
+    } else if (roll < 0.95) {
+      store.remove(key);
+      ref.remove(key);
+    } else {
+      // Consistency probes.
+      ASSERT_LE(store.size(), 400u);
+      ASSERT_LE(store.allocator().memory_used(), cfg.memory_limit);
+    }
+  }
+  // The store must actually have been under memory pressure for this fuzz
+  // to mean anything.
+  EXPECT_GT(store.stats().evictions + evictions_seen, 0u);
+  const StoreStats& st = store.stats();
+  EXPECT_EQ(st.hits + st.misses, st.gets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruStoreFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
+
+TEST(LruStoreFuzz, SurvivesAdversarialSizes) {
+  // Items straddling every slab-class boundary, interleaved with deletes.
+  SlabAllocator::Config cfg;
+  cfg.min_chunk = 96;
+  cfg.growth_factor = 2.0;
+  cfg.page_size = 8 * 1024;
+  cfg.memory_limit = 64 * 1024;
+  LruStore store(cfg);
+  const SlabAllocator& slabs = store.allocator();
+  for (std::size_t cls = 0; cls < slabs.num_classes(); ++cls) {
+    const std::size_t sz = slabs.chunk_size(cls);
+    for (const long delta : {-1L, 0L}) {
+      const long payload = static_cast<long>(sz) + delta -
+                           static_cast<long>(sizeof(void*) * 4);
+      if (payload <= 1) continue;
+      const std::string key = "c" + std::to_string(cls) + "_" +
+                              std::to_string(delta);
+      const std::string value(static_cast<std::size_t>(payload), 'x');
+      if (store.set(key, value)) {
+        const auto got = store.get(key);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->size(), value.size());
+      }
+    }
+  }
+  store.flush();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mclat::cache

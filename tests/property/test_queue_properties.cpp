@@ -1,0 +1,126 @@
+// Property sweeps over the simulation substrate: conservation and sanity
+// laws that must hold for any workload the kernel is driven with.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/deterministic.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include "sim/simulator.h"
+#include "sim/source.h"
+#include "sim/station.h"
+#include <gtest/gtest.h>
+
+namespace mclat::sim {
+namespace {
+
+struct QueueCase {
+  std::string label;
+  double xi;        // burst degree of the GP gaps
+  double q;         // batch concurrency
+  double key_rate;  // keys/s
+  double mu;        // service rate
+};
+
+class QueueLaws : public ::testing::TestWithParam<QueueCase> {
+ protected:
+  struct RunResult {
+    std::vector<Departure> departures;
+    double utilization;
+    std::uint64_t arrivals;
+  };
+
+  RunResult run(double horizon, std::uint64_t seed) const {
+    const QueueCase& c = GetParam();
+    Simulator s;
+    RunResult out;
+    ServiceStation st(s, std::make_unique<dist::Exponential>(c.mu),
+                      dist::Rng(seed), [&](const Departure& d) {
+                        out.departures.push_back(d);
+                      });
+    const double batch_rate = (1.0 - c.q) * c.key_rate;
+    const auto gap =
+        dist::GeneralizedPareto::with_mean(c.xi, 1.0 / batch_rate);
+    std::uint64_t id = 0;
+    BatchSource src(s, gap.clone(), dist::GeometricBatch(c.q),
+                    dist::Rng(seed ^ 0x77), [&](std::uint64_t n) {
+                      for (std::uint64_t i = 0; i < n; ++i) st.arrive(id++);
+                    });
+    src.start();
+    s.run_until(horizon);
+    out.utilization = st.utilization(s.now());
+    out.arrivals = id;
+    return out;
+  }
+};
+
+TEST_P(QueueLaws, TimestampsAreCausal) {
+  const RunResult r = run(5.0, 3);
+  for (const Departure& d : r.departures) {
+    EXPECT_LE(d.arrival, d.service_start);
+    EXPECT_LT(d.service_start, d.departure);
+  }
+}
+
+TEST_P(QueueLaws, FifoDepartureOrderPreservesJobIds) {
+  const RunResult r = run(5.0, 4);
+  for (std::size_t i = 1; i < r.departures.size(); ++i) {
+    EXPECT_EQ(r.departures[i].job_id, r.departures[i - 1].job_id + 1)
+        << "single FIFO queue must depart in arrival order";
+  }
+}
+
+TEST_P(QueueLaws, WorkConservation) {
+  // Completed + in-system = arrivals; no job is created or lost.
+  const RunResult r = run(5.0, 5);
+  EXPECT_LE(r.departures.size(), r.arrivals);
+  EXPECT_GE(r.departures.size() + 200, r.arrivals)
+      << "backlog at horizon should be bounded for a stable queue";
+}
+
+TEST_P(QueueLaws, UtilizationMatchesRho) {
+  const QueueCase& c = GetParam();
+  const RunResult r = run(20.0, 6);
+  EXPECT_NEAR(r.utilization, c.key_rate / c.mu, 0.05);
+}
+
+TEST_P(QueueLaws, LittlesLawOnWaitingArea) {
+  // L = λW: average number in system inferred from sojourns equals key rate
+  // times mean sojourn (sampled at departures; tolerance generous).
+  const QueueCase& c = GetParam();
+  const RunResult r = run(20.0, 7);
+  double mean_sojourn = 0.0;
+  for (const Departure& d : r.departures) mean_sojourn += d.sojourn_time();
+  mean_sojourn /= static_cast<double>(r.departures.size());
+  // Time-average L via integral of (sojourn contributions)/horizon.
+  double area = 0.0;
+  for (const Departure& d : r.departures) area += d.sojourn_time();
+  const double L = area / 20.0;
+  EXPECT_NEAR(L, c.key_rate * mean_sojourn, 0.15 * L + 0.1);
+}
+
+TEST_P(QueueLaws, DeterministicReplay) {
+  const RunResult a = run(3.0, 11);
+  const RunResult b = run(3.0, 11);
+  ASSERT_EQ(a.departures.size(), b.departures.size());
+  for (std::size_t i = 0; i < a.departures.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.departures[i].departure, b.departures[i].departure);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadGrid, QueueLaws,
+    ::testing::Values(
+        QueueCase{"poisson_light", 0.0, 0.0, 20'000.0, 80'000.0},
+        QueueCase{"poisson_heavy", 0.0, 0.0, 70'000.0, 80'000.0},
+        QueueCase{"facebook", 0.15, 0.1, 62'500.0, 80'000.0},
+        QueueCase{"bursty", 0.5, 0.2, 40'000.0, 80'000.0},
+        QueueCase{"very_bursty_batchy", 0.7, 0.4, 24'000.0, 80'000.0}),
+    [](const ::testing::TestParamInfo<QueueCase>& pinfo) {
+      return pinfo.param.label;
+    });
+
+}  // namespace
+}  // namespace mclat::sim

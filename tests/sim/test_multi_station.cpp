@@ -1,0 +1,122 @@
+// MultiServerStation unit behaviour (closed-form M/M/c checks live in
+// tests/integration/test_mmc_theory_vs_sim.cpp).
+#include "sim/multi_station.h"
+
+#include <memory>
+#include <vector>
+
+#include "dist/deterministic.h"
+#include <gtest/gtest.h>
+
+namespace mclat::sim {
+namespace {
+
+TEST(MultiServerStation, ServesInParallelUpToC) {
+  Simulator s;
+  std::vector<Departure> done;
+  MultiServerStation st(s, 3, std::make_unique<dist::Deterministic>(1.0),
+                        dist::Rng(1),
+                        [&](const Departure& d) { done.push_back(d); });
+  s.schedule_at(0.0, [&] {
+    for (int i = 0; i < 3; ++i) st.arrive(i);
+  });
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  for (const Departure& d : done) {
+    EXPECT_DOUBLE_EQ(d.waiting_time(), 0.0);  // all three start at once
+    EXPECT_DOUBLE_EQ(d.departure, 1.0);
+  }
+}
+
+TEST(MultiServerStation, FourthJobWaitsForAFreeServer) {
+  Simulator s;
+  std::vector<Departure> done;
+  MultiServerStation st(s, 3, std::make_unique<dist::Deterministic>(1.0),
+                        dist::Rng(1),
+                        [&](const Departure& d) { done.push_back(d); });
+  s.schedule_at(0.0, [&] {
+    for (int i = 0; i < 4; ++i) st.arrive(i);
+  });
+  s.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_DOUBLE_EQ(done[3].waiting_time(), 1.0);
+  EXPECT_DOUBLE_EQ(done[3].departure, 2.0);
+  EXPECT_EQ(done[3].job_id, 3u);  // FIFO
+}
+
+TEST(MultiServerStation, BusyCountAndQueueLength) {
+  Simulator s;
+  MultiServerStation st(s, 2, std::make_unique<dist::Deterministic>(2.0),
+                        dist::Rng(1), [](const Departure&) {});
+  s.schedule_at(0.0, [&] {
+    for (int i = 0; i < 5; ++i) st.arrive(i);
+  });
+  s.schedule_at(1.0, [&] {
+    EXPECT_EQ(st.busy_servers(), 2u);
+    EXPECT_EQ(st.queue_length(), 3u);
+  });
+  s.schedule_at(3.0, [&] {
+    EXPECT_EQ(st.busy_servers(), 2u);
+    EXPECT_EQ(st.queue_length(), 1u);
+  });
+  s.run();
+  EXPECT_EQ(st.completed(), 5u);
+  EXPECT_EQ(st.busy_servers(), 0u);
+}
+
+TEST(MultiServerStation, UtilizationIsPerServerFraction) {
+  // One job of length 1 on a 4-server station over [0, 2]: busy-server
+  // integral is 1, so utilisation = 1/(2·4).
+  Simulator s;
+  MultiServerStation st(s, 4, std::make_unique<dist::Deterministic>(1.0),
+                        dist::Rng(1), [](const Departure&) {});
+  s.schedule_at(0.0, [&] { st.arrive(0); });
+  s.run();
+  EXPECT_NEAR(st.utilization(2.0), 1.0 / 8.0, 1e-12);
+}
+
+TEST(MultiServerStation, WaitedFractionCountsOnlyDelayedJobs) {
+  Simulator s;
+  MultiServerStation st(s, 2, std::make_unique<dist::Deterministic>(1.0),
+                        dist::Rng(1), [](const Departure&) {});
+  s.schedule_at(0.0, [&] {
+    st.arrive(0);
+    st.arrive(1);
+    st.arrive(2);  // the only one that waits
+  });
+  s.run();
+  EXPECT_NEAR(st.waited_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MultiServerStation, SingleServerDegeneratesToServiceStation) {
+  Simulator s;
+  std::vector<Departure> done;
+  MultiServerStation st(s, 1, std::make_unique<dist::Deterministic>(1.0),
+                        dist::Rng(1),
+                        [&](const Departure& d) { done.push_back(d); });
+  s.schedule_at(0.0, [&] {
+    st.arrive(0);
+    st.arrive(1);
+  });
+  s.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[1].waiting_time(), 1.0);
+}
+
+TEST(MultiServerStation, ValidatesConstruction) {
+  Simulator s;
+  EXPECT_THROW(MultiServerStation(s, 0,
+                                  std::make_unique<dist::Deterministic>(1.0),
+                                  dist::Rng(1), [](const Departure&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(MultiServerStation(s, 2, nullptr, dist::Rng(1),
+                                  [](const Departure&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(MultiServerStation(s, 2,
+                                  std::make_unique<dist::Deterministic>(1.0),
+                                  dist::Rng(1), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::sim

@@ -1,0 +1,133 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Simulator, SimultaneousEventsAreFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(2.0, [&] {
+    s.schedule_in(0.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule_at(1.0, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterRun) {
+  Simulator s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  s.run();
+  s.cancel(id);  // already executed: no-op
+  s.cancel(id);  // repeated: no-op
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    s.schedule_in(1.0, tick);
+  };
+  s.schedule_in(1.0, tick);
+  s.run_until(5.5);
+  EXPECT_EQ(count, 5);  // t = 1..5
+  EXPECT_DOUBLE_EQ(s.now(), 5.5);
+  s.run_until(7.0);
+  EXPECT_EQ(count, 7);  // continues from where it stopped
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtExactHorizon) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(2.0, [&] { ran = true; });
+  s.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  Simulator s;
+  int depth = 0;
+  std::function<void(int)> nest = [&](int d) {
+    depth = d;
+    if (d < 5) s.schedule_in(0.1, [&, d] { nest(d + 1); });
+  };
+  s.schedule_at(0.0, [&] { nest(1); });
+  s.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, ClearDropsPendingEvents) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(1.0, [&] { ran = true; });
+  s.clear();
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(1.0, [&] { ++count; });
+  s.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator s;
+  const EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace mclat::sim

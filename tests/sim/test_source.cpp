@@ -1,0 +1,113 @@
+#include "sim/source.h"
+
+#include <vector>
+
+#include "dist/deterministic.h"
+#include "dist/exponential.h"
+#include "dist/generalized_pareto.h"
+#include <gtest/gtest.h>
+
+namespace mclat::sim {
+namespace {
+
+TEST(BatchSource, DeterministicGapsTickLikeClockwork) {
+  Simulator s;
+  std::vector<double> times;
+  BatchSource src(s, std::make_unique<dist::Deterministic>(1.0),
+                  dist::GeometricBatch(0.0), dist::Rng(1),
+                  [&](std::uint64_t n) {
+                    EXPECT_EQ(n, 1u);
+                    times.push_back(s.now());
+                  });
+  src.start();
+  s.run_until(5.5);
+  src.stop();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], static_cast<double>(i + 1));
+  }
+}
+
+TEST(BatchSource, KeyRateMatchesSpec) {
+  // q = 0.3, batch rate chosen so the key rate is 10'000/s.
+  Simulator s;
+  const double q = 0.3;
+  const double key_rate = 10'000.0;
+  const double batch_rate = (1.0 - q) * key_rate;
+  std::uint64_t keys = 0;
+  BatchSource src(s,
+                  std::make_unique<dist::Exponential>(batch_rate),
+                  dist::GeometricBatch(q), dist::Rng(7),
+                  [&](std::uint64_t n) { keys += n; });
+  src.start();
+  s.run_until(50.0);
+  src.stop();
+  EXPECT_NEAR(static_cast<double>(keys) / 50.0, key_rate, 0.02 * key_rate);
+  EXPECT_EQ(keys, src.keys_emitted());
+}
+
+TEST(BatchSource, GeneralizedParetoGapsHitTargetRate) {
+  Simulator s;
+  const auto gap = dist::GeneralizedPareto::with_mean(0.15, 1e-3);
+  std::uint64_t batches = 0;
+  BatchSource src(s, gap.clone(), dist::GeometricBatch(0.0), dist::Rng(9),
+                  [&](std::uint64_t) { ++batches; });
+  src.start();
+  s.run_until(100.0);
+  src.stop();
+  EXPECT_NEAR(static_cast<double>(batches) / 100.0, 1000.0, 30.0);
+}
+
+TEST(BatchSource, StopPreventsFurtherBatches) {
+  Simulator s;
+  std::uint64_t batches = 0;
+  BatchSource src(s, std::make_unique<dist::Deterministic>(1.0),
+                  dist::GeometricBatch(0.0), dist::Rng(1),
+                  [&](std::uint64_t) { ++batches; });
+  src.start();
+  s.run_until(3.5);
+  src.stop();
+  s.run();  // drain whatever remains
+  EXPECT_EQ(batches, 3u);
+}
+
+TEST(BatchSource, StartIsIdempotent) {
+  Simulator s;
+  std::uint64_t batches = 0;
+  BatchSource src(s, std::make_unique<dist::Deterministic>(1.0),
+                  dist::GeometricBatch(0.0), dist::Rng(1),
+                  [&](std::uint64_t) { ++batches; });
+  src.start();
+  src.start();  // must not double-schedule
+  s.run_until(2.5);
+  src.stop();
+  EXPECT_EQ(batches, 2u);
+}
+
+TEST(BatchSource, BatchSizesFollowGeometricLaw) {
+  Simulator s;
+  std::vector<std::uint64_t> sizes;
+  BatchSource src(s, std::make_unique<dist::Deterministic>(0.001),
+                  dist::GeometricBatch(0.4), dist::Rng(11),
+                  [&](std::uint64_t n) { sizes.push_back(n); });
+  src.start();
+  s.run_until(200.0);
+  src.stop();
+  double mean = 0.0;
+  for (const auto n : sizes) mean += static_cast<double>(n);
+  mean /= static_cast<double>(sizes.size());
+  EXPECT_NEAR(mean, 1.0 / 0.6, 0.03);
+}
+
+TEST(BatchSource, RejectsNullArguments) {
+  Simulator s;
+  EXPECT_THROW(BatchSource(s, nullptr, dist::GeometricBatch(0.0), dist::Rng(1),
+                           [](std::uint64_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(BatchSource(s, std::make_unique<dist::Deterministic>(1.0),
+                           dist::GeometricBatch(0.0), dist::Rng(1), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::sim

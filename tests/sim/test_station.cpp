@@ -1,0 +1,116 @@
+// ServiceStation unit behaviour plus the canonical M/M/1 closed-form check.
+#include "sim/station.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/deterministic.h"
+#include "dist/exponential.h"
+#include <gtest/gtest.h>
+
+namespace mclat::sim {
+namespace {
+
+TEST(ServiceStation, ServesSingleJob) {
+  Simulator s;
+  std::vector<Departure> done;
+  ServiceStation st(s, std::make_unique<dist::Deterministic>(2.0),
+                    dist::Rng(1), [&](const Departure& d) { done.push_back(d); });
+  s.schedule_at(1.0, [&] { st.arrive(42); });
+  s.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job_id, 42u);
+  EXPECT_DOUBLE_EQ(done[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(done[0].service_start, 1.0);
+  EXPECT_DOUBLE_EQ(done[0].departure, 3.0);
+  EXPECT_DOUBLE_EQ(done[0].waiting_time(), 0.0);
+  EXPECT_DOUBLE_EQ(done[0].sojourn_time(), 2.0);
+}
+
+TEST(ServiceStation, FifoOrderAndQueueing) {
+  Simulator s;
+  std::vector<Departure> done;
+  ServiceStation st(s, std::make_unique<dist::Deterministic>(1.0),
+                    dist::Rng(1), [&](const Departure& d) { done.push_back(d); });
+  s.schedule_at(0.0, [&] {
+    st.arrive(1);
+    st.arrive(2);
+    st.arrive(3);
+  });
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].job_id, 1u);
+  EXPECT_EQ(done[1].job_id, 2u);
+  EXPECT_EQ(done[2].job_id, 3u);
+  EXPECT_DOUBLE_EQ(done[1].waiting_time(), 1.0);
+  EXPECT_DOUBLE_EQ(done[2].waiting_time(), 2.0);
+  EXPECT_DOUBLE_EQ(done[2].sojourn_time(), 3.0);
+}
+
+TEST(ServiceStation, UtilizationMeasuresBusyFraction) {
+  Simulator s;
+  ServiceStation st(s, std::make_unique<dist::Deterministic>(1.0),
+                    dist::Rng(1), [](const Departure&) {});
+  s.schedule_at(0.0, [&] { st.arrive(1); });
+  s.schedule_at(3.0, [&] { st.arrive(2); });
+  s.run();
+  // Busy during [0,1] and [3,4] out of [0,4].
+  EXPECT_NEAR(st.utilization(4.0), 0.5, 1e-12);
+  EXPECT_EQ(st.completed(), 2u);
+}
+
+TEST(ServiceStation, MM1MeanSojournMatchesClosedForm) {
+  // M/M/1 with λ = 700, μ = 1000: E[T] = 1/(μ-λ) ≈ 3.333 ms.
+  Simulator s;
+  const double lambda = 700.0;
+  const double mu = 1000.0;
+  ServiceStation st(s, std::make_unique<dist::Exponential>(mu), dist::Rng(2),
+                    [](const Departure&) {});
+  dist::Rng arr(3);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(arr.exponential(lambda), arrive);
+  };
+  s.schedule_in(arr.exponential(lambda), arrive);
+  s.run_until(300.0);
+  const double want = 1.0 / (mu - lambda);
+  EXPECT_NEAR(st.sojourn_stats().mean(), want, 0.05 * want);
+  // E[W] = ρ/(μ-λ)
+  EXPECT_NEAR(st.waiting_stats().mean(), 0.7 * want, 0.07 * want);
+  EXPECT_NEAR(st.utilization(s.now()), 0.7, 0.02);
+}
+
+TEST(ServiceStation, MD1WaitingMatchesPollaczekKhinchine) {
+  // M/D/1: E[W] = ρ·s/(2(1-ρ)) with deterministic service s.
+  Simulator s;
+  const double lambda = 600.0;
+  const double service = 1.0 / 1000.0;
+  ServiceStation st(s, std::make_unique<dist::Deterministic>(service),
+                    dist::Rng(4), [](const Departure&) {});
+  dist::Rng arr(5);
+  std::uint64_t id = 0;
+  std::function<void()> arrive = [&] {
+    st.arrive(id++);
+    s.schedule_in(arr.exponential(lambda), arrive);
+  };
+  s.schedule_in(arr.exponential(lambda), arrive);
+  s.run_until(300.0);
+  const double rho = lambda * service;
+  const double want = rho * service / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(st.waiting_stats().mean(), want, 0.08 * want);
+}
+
+TEST(ServiceStation, RejectsNullArguments) {
+  Simulator s;
+  EXPECT_THROW(ServiceStation(s, nullptr, dist::Rng(1),
+                              [](const Departure&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(ServiceStation(s, std::make_unique<dist::Deterministic>(1.0),
+                              dist::Rng(1), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::sim

@@ -1,0 +1,101 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include <gtest/gtest.h>
+
+namespace mclat::stats {
+namespace {
+
+std::vector<double> ar1(double rho, std::size_t n, std::uint64_t seed) {
+  dist::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = rho * x + rng.normal();
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, IidSeriesIsUncorrelated) {
+  dist::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.normal());
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+  for (const std::size_t k : {1u, 5u, 20u}) {
+    EXPECT_NEAR(autocorrelation(xs, k), 0.0, 0.02) << "lag " << k;
+  }
+  EXPECT_NEAR(integrated_autocorrelation_time(xs), 1.0, 0.15);
+  EXPECT_GT(effective_sample_size(xs), 0.8 * xs.size());
+}
+
+TEST(Autocorrelation, Ar1MatchesTheory) {
+  const double rho = 0.8;
+  const auto xs = ar1(rho, 200'000, 2);
+  // ρ_k = ρ^k for AR(1).
+  for (const std::size_t k : {1u, 2u, 5u}) {
+    EXPECT_NEAR(autocorrelation(xs, k), std::pow(rho, k), 0.03)
+        << "lag " << k;
+  }
+  // τ = (1+ρ)/(1-ρ) = 9.
+  EXPECT_NEAR(integrated_autocorrelation_time(xs), 9.0, 1.5);
+  EXPECT_NEAR(effective_sample_size(xs), xs.size() / 9.0,
+              0.25 * xs.size() / 9.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsDegenerate) {
+  const std::vector<double> xs(100, 3.0);
+  EXPECT_EQ(autocorrelation(xs, 3), 0.0);
+  EXPECT_EQ(integrated_autocorrelation_time(xs), 1.0);
+}
+
+TEST(Autocorrelation, QueueWaitsCorrelateMoreAtHigherLoad) {
+  // The phenomenon that forces batch-means CIs: successive waiting times
+  // in an M/M/1 queue share busy periods, and the correlation strengthens
+  // with utilisation.
+  const auto waits_at = [](double lambda) {
+    sim::Simulator s;
+    std::vector<double> waits;
+    sim::ServiceStation st(s, std::make_unique<dist::Exponential>(1000.0),
+                           dist::Rng(7), [&](const sim::Departure& d) {
+                             waits.push_back(d.waiting_time());
+                           });
+    dist::Rng arr(8);
+    std::uint64_t id = 0;
+    std::function<void()> arrive = [&] {
+      st.arrive(id++);
+      s.schedule_in(arr.exponential(lambda), arrive);
+    };
+    s.schedule_in(arr.exponential(lambda), arrive);
+    s.run_until(120.0);
+    return waits;
+  };
+  const auto light = waits_at(300.0);
+  const auto heavy = waits_at(850.0);
+  const double tau_light = integrated_autocorrelation_time(light);
+  const double tau_heavy = integrated_autocorrelation_time(heavy);
+  EXPECT_GT(tau_heavy, 3.0 * tau_light);
+  // And the ESS justifies batch-means: far fewer effective samples than raw.
+  EXPECT_LT(effective_sample_size(heavy), 0.2 * heavy.size());
+}
+
+TEST(Autocorrelation, ValidatesArguments) {
+  const std::vector<double> tiny = {1.0};
+  EXPECT_THROW((void)autocorrelation(tiny, 0), std::invalid_argument);
+  const std::vector<double> ok = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW((void)autocorrelation(ok, 4), std::invalid_argument);
+  EXPECT_THROW((void)integrated_autocorrelation_time(ok, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::stats

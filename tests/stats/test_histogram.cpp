@@ -1,0 +1,90 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::stats {
+namespace {
+
+TEST(LinearHistogram, BucketsAndOverflow) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(-1.0);  // underflow
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);  // overflow (right-open)
+  h.add(42.0);  // overflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+  EXPECT_EQ(h.bucket_lower(5), 5.0);
+  EXPECT_EQ(h.bucket_upper(5), 6.0);
+}
+
+TEST(LinearHistogram, QuantileInterpolates) {
+  LinearHistogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i % 100 + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(LinearHistogram, QuantileOnEmptyThrows) {
+  LinearHistogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), std::invalid_argument);
+}
+
+TEST(LinearHistogram, ValidatesConstruction) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, RelativePrecisionBuckets) {
+  // 1 % buckets from 1 µs to 1 s: recorded quantiles are within ~1 %.
+  LogHistogram h(1e-6, 1.0, 0.01);
+  const dist::Exponential e(1000.0);  // mean 1 ms
+  dist::Rng rng(3);
+  for (int i = 0; i < 300'000; ++i) h.add(e.sample(rng));
+  for (const double p : {0.5, 0.9, 0.99}) {
+    const double want = e.quantile(p);
+    EXPECT_NEAR(h.quantile(p), want, 0.03 * want) << "p=" << p;
+  }
+}
+
+TEST(LogHistogram, MeanEstimateTracksTrueMean) {
+  LogHistogram h(1e-6, 1.0, 0.01);
+  const dist::Exponential e(2000.0);
+  dist::Rng rng(9);
+  for (int i = 0; i < 200'000; ++i) h.add(e.sample(rng));
+  EXPECT_NEAR(h.mean_estimate(), 5e-4, 2e-5);
+}
+
+TEST(LogHistogram, SpansDecadesWithoutManyBuckets) {
+  const LogHistogram h(1e-6, 10.0, 0.01);
+  // log(1e7)/log(1.01) ≈ 1620 buckets — bounded memory across 7 decades.
+  EXPECT_LT(h.bucket_count(), 2000u);
+  EXPECT_GT(h.bucket_count(), 1000u);
+}
+
+TEST(LogHistogram, BelowMinimumCountsAsUnderflow) {
+  LogHistogram h(1e-3, 1.0, 0.05);
+  h.add(1e-6);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 2u);
+  // Quantile 0 falls into the underflow mass → reports the minimum.
+  EXPECT_EQ(h.quantile(0.25), 1e-3);
+}
+
+TEST(LogHistogram, ValidatesConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1e-6, 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::stats

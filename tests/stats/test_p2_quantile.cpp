@@ -1,0 +1,70 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::stats {
+namespace {
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_EQ(q.value(), 3.0);
+  q.add(1.0);
+  EXPECT_NEAR(q.value(), 2.0, 1e-12);  // interpolated median of {1,3}
+  q.add(2.0);
+  EXPECT_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  P2Quantile q(0.5);
+  dist::Rng rng(5);
+  for (int i = 0; i < 100'000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailQuantileOfExponential) {
+  P2Quantile q99(0.99);
+  const dist::Exponential e(1.0);
+  dist::Rng rng(42);
+  for (int i = 0; i < 500'000; ++i) q99.add(e.sample(rng));
+  // true p99 = -ln(0.01) ≈ 4.605
+  EXPECT_NEAR(q99.value(), 4.605, 0.15);
+}
+
+TEST(P2Quantile, AgreesWithExactQuantileOnFixedData) {
+  // Compare against the exact order statistic on a deterministic stream.
+  std::vector<double> xs;
+  dist::Rng rng(7);
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.uniform() * rng.uniform());
+  P2Quantile q(0.9);
+  for (const double x : xs) q.add(x);
+  std::sort(xs.begin(), xs.end());
+  const double exact = xs[static_cast<std::size_t>(0.9 * xs.size())];
+  EXPECT_NEAR(q.value(), exact, 0.02 * exact + 0.005);
+}
+
+TEST(P2Quantile, HandlesMonotoneStream) {
+  P2Quantile q(0.25);
+  for (int i = 1; i <= 10'000; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.value(), 2500.0, 100.0);
+}
+
+TEST(P2Quantile, CountTracksAdds) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 17; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 17u);
+}
+
+TEST(P2Quantile, RejectsDegenerateP) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::stats

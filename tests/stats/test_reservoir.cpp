@@ -1,0 +1,76 @@
+#include "stats/reservoir.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::stats {
+namespace {
+
+TEST(Reservoir, KeepsEverythingBelowCapacity) {
+  Reservoir r(10);
+  dist::Rng rng(1);
+  for (int i = 0; i < 7; ++i) r.add(static_cast<double>(i), rng);
+  EXPECT_EQ(r.seen(), 7u);
+  EXPECT_EQ(r.sample().size(), 7u);
+}
+
+TEST(Reservoir, CapsAtCapacity) {
+  Reservoir r(100);
+  dist::Rng rng(2);
+  for (int i = 0; i < 100'000; ++i) r.add(static_cast<double>(i), rng);
+  EXPECT_EQ(r.seen(), 100'000u);
+  EXPECT_EQ(r.sample().size(), 100u);
+}
+
+TEST(Reservoir, SampleIsApproximatelyUniform) {
+  // Stream 0..9999; with capacity 1000 the retained mean should approach
+  // the stream mean 4999.5.
+  double grand = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Reservoir r(1000);
+    dist::Rng rng(100 + t);
+    for (int i = 0; i < 10'000; ++i) r.add(static_cast<double>(i), rng);
+    const auto& s = r.sample();
+    grand += std::accumulate(s.begin(), s.end(), 0.0) / s.size();
+  }
+  EXPECT_NEAR(grand / trials, 4999.5, 60.0);
+}
+
+TEST(Reservoir, EarlyAndLateItemsEquallyLikely) {
+  // Probability that element 0 (first) and element 9999 (last) survive a
+  // capacity-100 reservoir over 10k items should both be ≈ 1 %.
+  int first_kept = 0;
+  int last_kept = 0;
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    Reservoir r(100);
+    dist::Rng rng(t);
+    for (int i = 0; i < 10'000; ++i) r.add(static_cast<double>(i), rng);
+    for (const double x : r.sample()) {
+      if (x == 0.0) ++first_kept;
+      if (x == 9999.0) ++last_kept;
+    }
+  }
+  EXPECT_NEAR(first_kept / static_cast<double>(trials), 0.01, 0.003);
+  EXPECT_NEAR(last_kept / static_cast<double>(trials), 0.01, 0.003);
+}
+
+TEST(Reservoir, TakeMovesAndResets) {
+  Reservoir r(4);
+  dist::Rng rng(3);
+  r.add(1.0, rng);
+  r.add(2.0, rng);
+  const auto s = r.take();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(r.seen(), 0u);
+}
+
+TEST(Reservoir, RejectsZeroCapacity) {
+  EXPECT_THROW(Reservoir(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::stats

@@ -1,0 +1,88 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::stats {
+namespace {
+
+TEST(MeanCi, CoversTrueMeanAtNominalRate) {
+  // 95 % CIs over iid exponential samples should cover the truth ~95 % of
+  // the time; demand at least 90 % over 200 repetitions.
+  const dist::Exponential e(1.0);
+  int covered = 0;
+  const int reps = 200;
+  for (int t = 0; t < reps; ++t) {
+    dist::Rng rng(500 + t);
+    Welford w;
+    for (int i = 0; i < 400; ++i) w.add(e.sample(rng));
+    if (mean_ci(w, 0.95).contains(1.0)) ++covered;
+  }
+  EXPECT_GE(covered, 180);
+  EXPECT_LE(covered, 200);
+}
+
+TEST(MeanCi, DegenerateCases) {
+  Welford w;
+  const MeanCI empty = mean_ci(w);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.halfwidth, 0.0);
+  w.add(2.0);
+  const MeanCI one = mean_ci(w);
+  EXPECT_EQ(one.mean, 2.0);
+  EXPECT_EQ(one.halfwidth, 0.0);
+}
+
+TEST(BatchMeans, WiderThanNaiveCiOnCorrelatedSeries) {
+  // AR(1) with strong positive correlation: the naive iid CI is far too
+  // narrow; batch means must widen it.
+  dist::Rng rng(9);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 60'000; ++i) {
+    x = 0.98 * x + rng.normal(0.0, 1.0);
+    series.push_back(x);
+  }
+  Welford w;
+  for (const double v : series) w.add(v);
+  const MeanCI naive = mean_ci(w);
+  const MeanCI batched = batch_means_ci(series, 30);
+  EXPECT_GT(batched.halfwidth, 3.0 * naive.halfwidth);
+}
+
+TEST(BatchMeans, MatchesNaiveOnIidSeries) {
+  dist::Rng rng(10);
+  std::vector<double> series;
+  for (int i = 0; i < 30'000; ++i) series.push_back(rng.normal());
+  Welford w;
+  for (const double v : series) w.add(v);
+  const MeanCI naive = mean_ci(w);
+  const MeanCI batched = batch_means_ci(series, 30);
+  EXPECT_NEAR(batched.mean, naive.mean, 1e-9);
+  EXPECT_NEAR(batched.halfwidth, naive.halfwidth, 0.6 * naive.halfwidth);
+}
+
+TEST(BatchMeans, ValidatesInput) {
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)batch_means_ci(tiny, 30), std::invalid_argument);
+  EXPECT_THROW((void)batch_means_ci(tiny, 1), std::invalid_argument);
+}
+
+TEST(Format, TimesRenderLikeThePaper) {
+  EXPECT_EQ(format_time_us(20e-6), "20us");
+  EXPECT_EQ(format_time_us(367.4e-6), "367us");
+  EXPECT_EQ(format_time_us(10.01e-3), "10.01ms");
+  MeanCI ci;
+  ci.mean = 368e-6;
+  ci.halfwidth = 5.5e-6;
+  const std::string s = format_us(ci);
+  EXPECT_NE(s.find("368us"), std::string::npos);
+  EXPECT_NE(s.find("["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mclat::stats

@@ -1,0 +1,83 @@
+#include "stats/welford.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::stats {
+namespace {
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Welford w;
+  for (const double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), 5.0, 1e-14);
+  // Sample variance with n-1: Σ(x-5)² = 32, / 7.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(w.min(), 2.0);
+  EXPECT_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, EmptyAndSingle) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.variance(), 0.0);
+  w.add(3.5);
+  EXPECT_EQ(w.mean(), 3.5);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, NumericallyStableAtLargeOffsets) {
+  // Classic catastrophic-cancellation trap: tiny variance on a huge mean.
+  Welford w;
+  const double base = 1e12;
+  for (int i = 0; i < 1000; ++i) w.add(base + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(w.mean(), base, 1e-3);
+  EXPECT_NEAR(w.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Welford a;
+  Welford b;
+  Welford whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 3.0 + 1.0;
+    (i < 37 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a;
+  Welford empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean_before);
+  Welford c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.mean(), mean_before);
+}
+
+TEST(Welford, ResetClearsState) {
+  Welford w;
+  w.add(5.0);
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+  w.add(1.0);
+  EXPECT_EQ(w.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace mclat::stats

@@ -1,0 +1,124 @@
+#include "workload/arrival_spec.h"
+
+#include <cmath>
+
+#include "dist/rng.h"
+#include <gtest/gtest.h>
+
+namespace mclat::workload {
+namespace {
+
+TEST(ArrivalSpec, FacebookBaselineMatchesPaper) {
+  const ArrivalSpec s = facebook_arrivals();
+  EXPECT_DOUBLE_EQ(s.key_rate, 62'500.0);
+  EXPECT_DOUBLE_EQ(s.concurrency_q, 0.1);
+  EXPECT_DOUBLE_EQ(s.burst_xi, 0.15);
+  EXPECT_EQ(s.pattern, GapPattern::kGeneralizedPareto);
+  // ρ at the paper's μ_S = 80 Kps is ~78 % ("about 75 %").
+  EXPECT_NEAR(s.utilization(80'000.0), 0.781, 0.001);
+}
+
+TEST(ArrivalSpec, BatchRateCarriesConcurrencyCorrection) {
+  ArrivalSpec s;
+  s.key_rate = 1000.0;
+  s.concurrency_q = 0.2;
+  EXPECT_DOUBLE_EQ(s.batch_rate(), 800.0);
+  EXPECT_DOUBLE_EQ(s.mean_gap(), 1.0 / 800.0);
+}
+
+TEST(ArrivalSpec, GapMeanMatchesSpecForEveryPattern) {
+  for (const GapPattern p :
+       {GapPattern::kGeneralizedPareto, GapPattern::kExponential,
+        GapPattern::kErlang, GapPattern::kHyperExponential,
+        GapPattern::kUniform, GapPattern::kDeterministic,
+        GapPattern::kWeibull}) {
+    ArrivalSpec s;
+    s.key_rate = 5000.0;
+    s.concurrency_q = 0.1;
+    s.burst_xi = 0.3;
+    s.pattern = p;
+    s.pattern_scv = 2.0;
+    const auto gap = s.make_gap();
+    EXPECT_NEAR(gap->mean(), s.mean_gap(), 1e-9 * s.mean_gap())
+        << to_string(p);
+  }
+}
+
+TEST(ArrivalSpec, ErlangPatternRoundsScvToPhases) {
+  ArrivalSpec s;
+  s.pattern = GapPattern::kErlang;
+  s.pattern_scv = 0.25;  // 1/SCV = 4 phases
+  const auto gap = s.make_gap();
+  EXPECT_NEAR(gap->scv(), 0.25, 1e-9);
+}
+
+TEST(ArrivalSpec, HyperExpPatternHitsScv) {
+  ArrivalSpec s;
+  s.pattern = GapPattern::kHyperExponential;
+  s.pattern_scv = 5.0;
+  const auto gap = s.make_gap();
+  EXPECT_NEAR(gap->scv(), 5.0, 1e-6);
+}
+
+TEST(ArrivalSpec, WithersProduceModifiedCopies) {
+  const ArrivalSpec base = facebook_arrivals();
+  const ArrivalSpec faster = base.with_rate(100'000.0);
+  EXPECT_DOUBLE_EQ(faster.key_rate, 100'000.0);
+  EXPECT_DOUBLE_EQ(base.key_rate, 62'500.0);
+  EXPECT_DOUBLE_EQ(faster.burst_xi, base.burst_xi);
+  const ArrivalSpec burstier = base.with_burst(0.6);
+  EXPECT_DOUBLE_EQ(burstier.burst_xi, 0.6);
+  const ArrivalSpec batchy = base.with_concurrency(0.5);
+  EXPECT_DOUBLE_EQ(batchy.concurrency_q, 0.5);
+}
+
+TEST(ArrivalSpec, KeyRateIsPreservedEndToEnd) {
+  // Sampling gaps and batch sizes together must reproduce the key rate.
+  ArrivalSpec s;
+  s.key_rate = 2000.0;
+  s.concurrency_q = 0.25;
+  s.burst_xi = 0.15;
+  const auto gap = s.make_gap();
+  const auto batch = s.make_batch();
+  dist::Rng rng(6);
+  double time = 0.0;
+  double keys = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    time += gap->sample(rng);
+    keys += static_cast<double>(batch.sample(rng));
+  }
+  EXPECT_NEAR(keys / time, 2000.0, 40.0);
+}
+
+TEST(ArrivalSpec, RejectsInvalidParameters) {
+  ArrivalSpec s;
+  s.key_rate = 0.0;
+  EXPECT_THROW((void)s.make_gap(), std::invalid_argument);
+  s = facebook_arrivals();
+  s.concurrency_q = 1.0;
+  EXPECT_THROW((void)s.make_gap(), std::invalid_argument);
+}
+
+TEST(ArrivalSpec, WeibullPatternHitsScv) {
+  ArrivalSpec s;
+  s.pattern = GapPattern::kWeibull;
+  for (const double scv : {0.25, 1.0, 4.0}) {
+    s.pattern_scv = scv;
+    const auto gap = s.make_gap();
+    EXPECT_NEAR(gap->scv(), scv, 0.01 * scv) << "scv=" << scv;
+    EXPECT_NEAR(gap->mean(), s.mean_gap(), 1e-9 * s.mean_gap());
+  }
+}
+
+TEST(GapPattern, ToStringCoversAll) {
+  EXPECT_EQ(to_string(GapPattern::kGeneralizedPareto), "GeneralizedPareto");
+  EXPECT_EQ(to_string(GapPattern::kExponential), "Exponential");
+  EXPECT_EQ(to_string(GapPattern::kErlang), "Erlang");
+  EXPECT_EQ(to_string(GapPattern::kHyperExponential), "HyperExponential");
+  EXPECT_EQ(to_string(GapPattern::kUniform), "Uniform");
+  EXPECT_EQ(to_string(GapPattern::kDeterministic), "Deterministic");
+  EXPECT_EQ(to_string(GapPattern::kWeibull), "Weibull");
+}
+
+}  // namespace
+}  // namespace mclat::workload

@@ -1,0 +1,76 @@
+#include "workload/keyspace.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mclat::workload {
+namespace {
+
+TEST(KeySpace, KeysAreDeterministicPerRank) {
+  const KeySpace ks(1000, 1.0);
+  EXPECT_EQ(ks.key_for_rank(17), ks.key_for_rank(17));
+  EXPECT_NE(ks.key_for_rank(17), ks.key_for_rank(18));
+}
+
+TEST(KeySpace, RankRoundTrips) {
+  const KeySpace ks(100'000, 1.0);
+  for (const std::uint64_t rank : {0ull, 1ull, 42ull, 99'999ull}) {
+    EXPECT_EQ(KeySpace::rank_of(ks.key_for_rank(rank)), rank);
+  }
+}
+
+TEST(KeySpace, KeysHaveModelledSizes) {
+  const KeySpace ks(10'000, 1.0);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < 2000; ++r) {
+    const std::string k = ks.key_for_rank(r);
+    ASSERT_LE(k.size(), 250u);
+    ASSERT_GE(k.size(), 2u);
+    sum += static_cast<double>(k.size());
+  }
+  EXPECT_NEAR(sum / 2000.0, 35.0, 6.0);
+}
+
+TEST(KeySpace, SamplingIsZipfSkewed) {
+  const KeySpace ks(100'000, 1.0);
+  dist::Rng rng(5);
+  std::uint64_t head = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (ks.sample_rank(rng) < 100) ++head;
+  }
+  const double expected = ks.popularity().head_mass(100);
+  EXPECT_NEAR(static_cast<double>(head) / n, expected, 0.02);
+}
+
+TEST(KeySpace, SampleKeyRendersSampledRank) {
+  const KeySpace ks(1000, 1.0);
+  dist::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const std::string k = ks.sample_key(rng);
+    EXPECT_LT(KeySpace::rank_of(k), 1000u);
+  }
+}
+
+TEST(KeySpace, RankOfRejectsGarbage) {
+  EXPECT_THROW((void)KeySpace::rank_of(""), std::invalid_argument);
+  EXPECT_THROW((void)KeySpace::rank_of("x17"), std::invalid_argument);
+  EXPECT_THROW((void)KeySpace::rank_of("k###"), std::invalid_argument);
+}
+
+TEST(KeySpace, OutOfRangeRankThrows) {
+  const KeySpace ks(10, 1.0);
+  EXPECT_THROW((void)ks.key_for_rank(10), std::invalid_argument);
+}
+
+TEST(KeySpace, DistinctRanksGiveDistinctKeys) {
+  const KeySpace ks(5000, 1.0);
+  std::set<std::string> keys;
+  for (std::uint64_t r = 0; r < 5000; ++r) keys.insert(ks.key_for_rank(r));
+  EXPECT_EQ(keys.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace mclat::workload

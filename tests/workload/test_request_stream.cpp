@@ -1,0 +1,83 @@
+#include "workload/request_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace mclat::workload {
+namespace {
+
+RequestStreamConfig small_config() {
+  RequestStreamConfig c;
+  c.request_rate = 100.0;
+  c.keys_per_request = 20;
+  c.keyspace_size = 10'000;
+  c.zipf_exponent = 1.0;
+  return c;
+}
+
+TEST(RequestStream, RequestsHaveNKeysAndIncreasingTimes) {
+  RequestStream rs(small_config(), dist::Rng(1));
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const GeneratedRequest r = rs.next();
+    EXPECT_EQ(r.key_ranks.size(), 20u);
+    EXPECT_GT(r.time, prev);
+    EXPECT_EQ(r.request_id, static_cast<std::uint64_t>(i));
+    prev = r.time;
+    for (const auto rank : r.key_ranks) EXPECT_LT(rank, 10'000u);
+  }
+}
+
+TEST(RequestStream, RateMatchesConfig) {
+  RequestStream rs(small_config(), dist::Rng(2));
+  GeneratedRequest last;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) last = rs.next();
+  EXPECT_NEAR(static_cast<double>(n) / last.time, 100.0, 3.0);
+}
+
+TEST(RequestStream, TraceHasOneRecordPerKey) {
+  RequestStream rs(small_config(), dist::Rng(3));
+  const Trace t = rs.generate_trace(50);
+  EXPECT_EQ(t.size(), 50u * 20u);
+  EXPECT_EQ(t.request_count(), 50u);
+  // Keys of one request share its timestamp.
+  const auto& recs = t.records();
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_EQ(recs[i].time, recs[0].time);
+    EXPECT_EQ(recs[i].request_id, recs[0].request_id);
+  }
+}
+
+TEST(RequestStream, KeysAreZipfSkewed) {
+  RequestStream rs(small_config(), dist::Rng(4));
+  const Trace t = rs.generate_trace(2000);
+  std::uint64_t head = 0;
+  for (const auto& r : t.records()) {
+    if (r.key_rank < 100) ++head;
+  }
+  const double expected = rs.keyspace().popularity().head_mass(100);
+  EXPECT_NEAR(static_cast<double>(head) / t.size(), expected, 0.02);
+}
+
+TEST(RequestStream, DeterministicGivenSeed) {
+  RequestStream a(small_config(), dist::Rng(7));
+  RequestStream b(small_config(), dist::Rng(7));
+  for (int i = 0; i < 50; ++i) {
+    const GeneratedRequest ra = a.next();
+    const GeneratedRequest rb = b.next();
+    EXPECT_EQ(ra.time, rb.time);
+    EXPECT_EQ(ra.key_ranks, rb.key_ranks);
+  }
+}
+
+TEST(RequestStream, ValidatesConfig) {
+  RequestStreamConfig c = small_config();
+  c.request_rate = 0.0;
+  EXPECT_THROW(RequestStream(c, dist::Rng(1)), std::invalid_argument);
+  c = small_config();
+  c.keys_per_request = 0;
+  EXPECT_THROW(RequestStream(c, dist::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::workload

@@ -1,0 +1,102 @@
+#include "workload/size_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mclat::workload {
+namespace {
+
+TEST(KeySizeModel, FacebookFitProducesRealisticSizes) {
+  const KeySizeModel m = KeySizeModel::facebook();
+  dist::Rng rng(1);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t s = m.sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 250u);  // memcached key limit
+    sum += s;
+  }
+  // Atikoglu report mean key size in the mid-30s of bytes.
+  EXPECT_NEAR(sum / n, 35.0, 5.0);
+}
+
+TEST(KeySizeModel, QuantileIsMonotone) {
+  const KeySizeModel m = KeySizeModel::facebook();
+  double prev = -1e9;
+  for (double p = 0.01; p < 1.0; p += 0.02) {
+    const double q = m.quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(KeySizeModel, GumbelLimitAtZeroShape) {
+  // k = 0 is the Gumbel distribution: μ - σ·ln(-ln p).
+  const KeySizeModel m(10.0, 2.0, 0.0);
+  EXPECT_NEAR(m.quantile(std::exp(-1.0)), 10.0, 1e-9);  // -ln p = 1 → μ
+}
+
+TEST(KeySizeModel, RespectsByteBounds) {
+  const KeySizeModel m(30.0, 8.0, 0.08, 20, 40);
+  dist::Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t s = m.sample(rng);
+    ASSERT_GE(s, 20u);
+    ASSERT_LE(s, 40u);
+  }
+}
+
+TEST(KeySizeModel, ValidatesParameters) {
+  EXPECT_THROW(KeySizeModel(10.0, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(KeySizeModel(10.0, 1.0, 0.1, 10, 5), std::invalid_argument);
+}
+
+TEST(ValueSizeModel, FacebookFitMeanMatchesClosedForm) {
+  const ValueSizeModel m = ValueSizeModel::facebook();
+  // GP mean σ/(1-k) = 214.476/0.651762 ≈ 329 B.
+  EXPECT_NEAR(m.mean(), 214.476 / (1.0 - 0.348238), 1e-9);
+}
+
+TEST(ValueSizeModel, SamplesAreHeavyTailed) {
+  const ValueSizeModel m = ValueSizeModel::facebook();
+  dist::Rng rng(3);
+  int over_4k = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (m.sample(rng) > 4096) ++over_4k;
+  }
+  // A GP with k=0.35 puts measurable mass past 4 KiB; an exponential with
+  // the same mean would put essentially none (e^{-12.4} ≈ 4e-6).
+  EXPECT_GT(static_cast<double>(over_4k) / n, 1e-3);
+}
+
+TEST(ValueSizeModel, QuantileInvertsAnalytically) {
+  const ValueSizeModel m(200.0, 0.3);
+  // cdf(quantile(p)) = p for the GP law: verify via the closed form.
+  for (double p = 0.05; p < 1.0; p += 0.1) {
+    const double t = m.quantile(p);
+    const double cdf = 1.0 - std::pow(1.0 + 0.3 * t / 200.0, -1.0 / 0.3);
+    EXPECT_NEAR(cdf, p, 1e-10);
+  }
+}
+
+TEST(ValueSizeModel, RespectsByteBounds) {
+  const ValueSizeModel m(214.0, 0.34, 64, 1024);
+  dist::Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t s = m.sample(rng);
+    ASSERT_GE(s, 64u);
+    ASSERT_LE(s, 1024u);
+  }
+}
+
+TEST(ValueSizeModel, ValidatesParameters) {
+  EXPECT_THROW(ValueSizeModel(0.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(ValueSizeModel(100.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ValueSizeModel(100.0, 0.3, 10, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::workload

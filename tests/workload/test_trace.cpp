@@ -1,0 +1,80 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mclat::workload {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.append({0.001, 5, 0});
+  t.append({0.001, 9, 0});
+  t.append({0.004, 2, 1});
+  t.append({0.010, 5, 2});
+  return t;
+}
+
+TEST(Trace, BasicAccounting) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_NEAR(t.duration(), 0.009, 1e-12);
+  EXPECT_EQ(t.request_count(), 3u);
+}
+
+TEST(Trace, EmptyTrace) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.duration(), 0.0);
+  EXPECT_EQ(t.request_count(), 0u);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  t.save_csv(ss);
+  const Trace back = Trace::load_csv(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.records()[i].time, t.records()[i].time);
+    EXPECT_EQ(back.records()[i].key_rank, t.records()[i].key_rank);
+    EXPECT_EQ(back.records()[i].request_id, t.records()[i].request_id);
+  }
+}
+
+TEST(Trace, LoadRejectsMissingHeader) {
+  std::stringstream ss("0.1,2,3\n");
+  EXPECT_THROW((void)Trace::load_csv(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsMalformedLine) {
+  std::stringstream ss("time,key_rank,request_id\n0.1;2;3\n");
+  EXPECT_THROW((void)Trace::load_csv(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW((void)Trace::load_csv(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadSkipsBlankLines) {
+  std::stringstream ss("time,key_rank,request_id\n0.1,2,3\n\n0.2,4,5\n");
+  const Trace t = Trace::load_csv(ss);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Trace, SortByTimeIsStable) {
+  Trace t;
+  t.append({0.5, 1, 0});
+  t.append({0.1, 2, 1});
+  t.append({0.5, 3, 2});  // same time as the first: must stay behind it
+  t.sort_by_time();
+  EXPECT_EQ(t.records()[0].key_rank, 2u);
+  EXPECT_EQ(t.records()[1].key_rank, 1u);
+  EXPECT_EQ(t.records()[2].key_rank, 3u);
+}
+
+}  // namespace
+}  // namespace mclat::workload

@@ -1,0 +1,335 @@
+// mclat_cli — the command-line front end of the library: the paper's model
+// as an operational tool.
+//
+//   mclat estimate  [deployment flags]       Theorem-1 latency breakdown
+//   mclat tail      [deployment flags] --k   latency quantile breakdown
+//   mclat cliff     [--xi | --table]         cliff utilisation (Table 4)
+//   mclat whatif    [deployment flags]       §5.3 factor ranking
+//   mclat redundancy [deployment flags]      best replication factor
+//   mclat simulate  [deployment flags]       theory vs simulated testbed
+//
+// Every subcommand accepts the deployment flags (see --help); `--json`
+// switches estimate/tail to machine-readable output.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "cluster/trace_replay.h"
+#include "cluster/workload_driven.h"
+#include "workload/request_stream.h"
+#include "core/capacity.h"
+#include "core/cliff.h"
+#include "core/redundancy.h"
+#include "core/sensitivity.h"
+#include "core/theorem1.h"
+#include "dist/discrete.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace mclat;
+
+core::SystemConfig config_from(tools::CliArgs& args) {
+  core::SystemConfig cfg = core::SystemConfig::facebook();
+  cfg.servers = static_cast<std::size_t>(
+      args.number("servers", 4, "number of Memcached servers M"));
+  cfg.load_shares.clear();
+  const double per_server =
+      args.number("kps", 62.5, "per-server key rate, Kkeys/s");
+  cfg.total_key_rate = per_server * 1000.0 * static_cast<double>(cfg.servers);
+  cfg.concurrency_q = args.number("q", 0.1, "concurrency probability q");
+  cfg.burst_xi = args.number("xi", 0.15, "burst degree xi");
+  cfg.service_rate =
+      args.number("mus", 80.0, "per-server service rate, Kkeys/s") * 1000.0;
+  cfg.keys_per_request = static_cast<std::uint32_t>(
+      args.number("n", 150, "keys per end-user request N"));
+  cfg.miss_ratio = args.number("r", 0.01, "cache miss ratio r");
+  cfg.db_service_rate =
+      args.number("mud", 1.0, "database service rate, Kkeys/s") * 1000.0;
+  cfg.network_latency =
+      args.number("net", 20.0, "network latency per key, us") * 1e-6;
+  const double p1 = args.number("p1", 0.0,
+                                "largest load ratio (0 = balanced)");
+  if (p1 > 0.0) cfg.load_shares = dist::skewed_load(cfg.servers, p1);
+  cfg.db_queueing = args.flag("db-queueing",
+                              "model database queueing (rho_D > 0)");
+  return cfg;
+}
+
+int cmd_estimate(tools::CliArgs& args) {
+  const core::SystemConfig cfg = config_from(args);
+  const bool json = args.flag("json", "emit JSON");
+  args.finish("mclat estimate — Theorem-1 latency breakdown");
+  const core::LatencyModel model(cfg);
+  if (!model.stable()) {
+    std::fprintf(stderr, "unstable: offered load exceeds capacity\n");
+    return 1;
+  }
+  const core::LatencyEstimate e = model.estimate();
+  if (json) {
+    std::printf(
+        "{\"n\":%llu,\"network_us\":%.3f,"
+        "\"server_us\":{\"lower\":%.3f,\"upper\":%.3f},"
+        "\"database_us\":%.3f,"
+        "\"total_us\":{\"lower\":%.3f,\"upper\":%.3f},"
+        "\"delta\":%.6f,\"utilization\":%.6f}\n",
+        static_cast<unsigned long long>(e.n_keys), e.network * 1e6,
+        e.server.lower * 1e6, e.server.upper * 1e6, e.database * 1e6,
+        e.total.lower * 1e6, e.total.upper * 1e6,
+        model.server_stage().server(0).delta(),
+        model.server_stage().server(0).utilization());
+    return 0;
+  }
+  std::printf("T_N(N) = %.1f us\n", e.network * 1e6);
+  std::printf("T_S(N) = %.1f ~ %.1f us   (delta=%.4f, rho=%.1f%%)\n",
+              e.server.lower * 1e6, e.server.upper * 1e6,
+              model.server_stage().server(model.server_stage().heaviest())
+                  .delta(),
+              100.0 * model.server_stage()
+                          .server(model.server_stage().heaviest())
+                          .utilization());
+  std::printf("T_D(N) = %.1f us\n", e.database * 1e6);
+  std::printf("T(N)   = %.1f ~ %.1f us\n", e.total.lower * 1e6,
+              e.total.upper * 1e6);
+  return 0;
+}
+
+int cmd_tail(tools::CliArgs& args) {
+  const core::SystemConfig cfg = config_from(args);
+  const double k = args.number("k", 0.99, "quantile, e.g. 0.99");
+  const bool json = args.flag("json", "emit JSON");
+  args.finish("mclat tail — latency quantile breakdown");
+  const core::LatencyModel model(cfg);
+  if (!model.stable()) {
+    std::fprintf(stderr, "unstable: offered load exceeds capacity\n");
+    return 1;
+  }
+  const core::TailEstimate t = model.tail(cfg.keys_per_request, k);
+  if (json) {
+    std::printf(
+        "{\"k\":%.4f,\"server_us\":{\"lower\":%.3f,\"upper\":%.3f},"
+        "\"database_us\":%.3f,"
+        "\"total_us\":{\"lower\":%.3f,\"upper\":%.3f}}\n",
+        k, t.server.lower * 1e6, t.server.upper * 1e6, t.database * 1e6,
+        t.total.lower * 1e6, t.total.upper * 1e6);
+    return 0;
+  }
+  std::printf("p%g of T_S(N) = %.1f ~ %.1f us\n", k * 100.0,
+              t.server.lower * 1e6, t.server.upper * 1e6);
+  std::printf("p%g of T_D(N) = %.1f us (exact)\n", k * 100.0,
+              t.database * 1e6);
+  std::printf("p%g of T(N)   = %.1f ~ %.1f us (envelope)\n", k * 100.0,
+              t.total.lower * 1e6, t.total.upper * 1e6);
+  return 0;
+}
+
+int cmd_cliff(tools::CliArgs& args) {
+  const double xi = args.number("xi", 0.15, "burst degree");
+  const double q = args.number("q", 0.1, "concurrency probability");
+  const bool table = args.flag("table", "print the full Table 4");
+  args.finish("mclat cliff — latency-cliff utilisation (Prop. 2 / Table 4)");
+  core::CliffAnalyzer::Options opt;
+  opt.concurrency_q = q;
+  const core::CliffAnalyzer cliff(opt);
+  if (table) {
+    std::printf("xi     rho_S(xi)\n");
+    for (const auto& [x, rho] : cliff.table4()) {
+      std::printf("%.2f   %.1f%%\n", x, 100.0 * rho);
+    }
+  } else {
+    std::printf("cliff utilisation at xi=%.2f: %.1f%%\n", xi,
+                100.0 * cliff.cliff_utilization(xi));
+  }
+  return 0;
+}
+
+int cmd_whatif(tools::CliArgs& args) {
+  const core::SystemConfig cfg = config_from(args);
+  args.finish("mclat whatif — §5.3 factor ranking");
+  const core::WhatIfAnalyzer w(cfg);
+  std::printf("baseline E[T(N)] midpoint: %.1f us\n\n",
+              w.baseline_latency() * 1e6);
+  std::printf("%-22s %-22s %10s\n", "factor", "change", "improvement");
+  for (const auto& f : w.all()) {
+    std::printf("%-22s %-22s %9.1f%%\n", f.factor.c_str(), f.change.c_str(),
+                100.0 * f.improvement());
+  }
+  return 0;
+}
+
+int cmd_redundancy(tools::CliArgs& args) {
+  const core::SystemConfig cfg = config_from(args);
+  const unsigned d_max = static_cast<unsigned>(
+      args.number("dmax", 4, "largest replication factor to consider"));
+  args.finish("mclat redundancy — best replication factor (ref [12])");
+  std::printf("%4s | %8s | %10s | %-20s\n", "d", "rho", "delta",
+              "E[T_S(N)] lo~hi (us)");
+  for (unsigned d = 1; d <= d_max; ++d) {
+    const core::RedundancyModel m(cfg, d);
+    if (!m.stable()) {
+      std::printf("%4u | %8s | %10s | unstable\n", d, "-", "-");
+      continue;
+    }
+    const core::Bounds b = m.expected_max_bounds(cfg.keys_per_request);
+    std::printf("%4u | %7.1f%% | %10.4f | %9.1f ~ %9.1f\n", d,
+                100.0 * m.utilization(), m.delta(), b.lower * 1e6,
+                b.upper * 1e6);
+  }
+  const auto best =
+      core::RedundancyModel::best_redundancy(cfg, cfg.keys_per_request, d_max);
+  if (best) std::printf("\nbest d = %u\n", *best);
+  return 0;
+}
+
+int cmd_simulate(tools::CliArgs& args) {
+  core::SystemConfig cfg = config_from(args);
+  const double seconds =
+      args.number("seconds", 10.0, "simulated measurement seconds");
+  const auto requests = static_cast<std::uint64_t>(
+      args.number("requests", 20'000, "requests to assemble"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
+  args.finish("mclat simulate — theory vs the simulated testbed");
+  const core::LatencyModel model(cfg);
+  cluster::WorkloadDrivenConfig sim;
+  sim.system = cfg;
+  sim.measure_time = seconds;
+  sim.warmup_time = seconds / 10.0;
+  sim.seed = seed;
+  const auto reqs = cluster::run_workload_experiment(sim, requests);
+  const core::LatencyEstimate e = model.estimate();
+  std::printf("%-8s | %-22s | %s\n", "latency", "theory (us)",
+              "simulated (us)");
+  std::printf("%-8s | %22.1f | %s\n", "T_N(N)", e.network * 1e6,
+              stats::format_us(reqs.network_ci()).c_str());
+  std::printf("%-8s | %9.1f ~ %10.1f | %s\n", "T_S(N)", e.server.lower * 1e6,
+              e.server.upper * 1e6, stats::format_us(reqs.server_ci()).c_str());
+  std::printf("%-8s | %22.1f | %s\n", "T_D(N)", e.database * 1e6,
+              stats::format_us(reqs.database_ci()).c_str());
+  std::printf("%-8s | %9.1f ~ %10.1f | %s\n", "T(N)", e.total.lower * 1e6,
+              e.total.upper * 1e6, stats::format_us(reqs.total_ci()).c_str());
+  return 0;
+}
+
+int cmd_capacity(tools::CliArgs& args) {
+  const core::SystemConfig cfg = config_from(args);
+  const double budget =
+      args.number("budget", 1200.0, "latency budget for E[T(N)], us") * 1e-6;
+  args.finish("mclat capacity — invert the model against a latency budget");
+  const auto rate = core::max_rate_for_budget(cfg, budget);
+  if (rate) {
+    std::printf("max aggregate key rate at budget: %.1f Kkeys/s "
+                "(%.1f Kps/server)\n", *rate / 1000.0,
+                *rate / 1000.0 / static_cast<double>(cfg.servers));
+  } else {
+    std::printf("max aggregate key rate: infeasible (floor above budget)\n");
+  }
+  const auto mu = core::service_rate_for_budget(cfg, budget);
+  if (mu) {
+    std::printf("required muS at current load:    %.1f Kkeys/s/server\n",
+                *mu / 1000.0);
+  } else {
+    std::printf("required muS: infeasible (network+db floor above budget)\n");
+  }
+  const auto m = core::servers_for_budget(cfg, budget);
+  if (m) {
+    std::printf("required servers at current load: %zu\n", *m);
+  } else {
+    std::printf("required servers: infeasible\n");
+  }
+  return 0;
+}
+
+int cmd_replay(tools::CliArgs& args) {
+  core::SystemConfig cfg = config_from(args);
+  const std::string path =
+      args.text("trace", "", "trace CSV to replay (empty = generate one)");
+  const auto requests = static_cast<std::uint64_t>(
+      args.number("requests", 5'000, "requests to generate when no --trace"));
+  const auto keyspace = static_cast<std::uint64_t>(
+      args.number("keys", 100'000, "keyspace size"));
+  const double zipf = args.number("zipf", 0.99, "Zipf exponent");
+  const auto seed =
+      static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
+  args.finish("mclat replay — trace-driven cluster simulation (Mode C)");
+
+  workload::RequestStreamConfig scfg;
+  scfg.request_rate =
+      cfg.total_key_rate / static_cast<double>(cfg.keys_per_request);
+  scfg.keys_per_request = cfg.keys_per_request;
+  scfg.keyspace_size = keyspace;
+  scfg.zipf_exponent = zipf;
+  workload::RequestStream stream(scfg, dist::Rng(seed));
+  workload::Trace trace;
+  if (path.empty()) {
+    trace = stream.generate_trace(requests);
+    std::printf("generated %zu-key trace (%llu requests, %.2f s)\n",
+                trace.size(),
+                static_cast<unsigned long long>(trace.request_count()),
+                trace.duration());
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    trace = workload::Trace::load_csv(in);
+    trace.sort_by_time();
+    std::printf("loaded %zu-key trace from %s\n", trace.size(), path.c_str());
+  }
+
+  cluster::TraceReplayConfig rcfg;
+  rcfg.system = cfg;
+  rcfg.seed = seed;
+  const cluster::TraceReplayResult r =
+      cluster::TraceReplaySim(rcfg).run(trace, stream.keyspace());
+  std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
+              static_cast<unsigned long long>(r.requests_completed),
+              r.measured_miss_ratio);
+  std::printf("T_N(N) = %s\n", stats::format_us(r.network).c_str());
+  std::printf("T_S(N) = %s\n", stats::format_us(r.server).c_str());
+  std::printf("T_D(N) = %s\n", stats::format_us(r.database).c_str());
+  std::printf("T(N)   = %s\n", stats::format_us(r.total).c_str());
+  std::printf("utilisation:");
+  for (const double u : r.server_utilization) std::printf(" %.1f%%", 100 * u);
+  std::printf("\n");
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "mclat — Memcached latency model (ICDCS'17 reproduction)\n\n"
+      "subcommands:\n"
+      "  estimate    Theorem-1 latency breakdown\n"
+      "  tail        latency quantile breakdown (extension)\n"
+      "  cliff       cliff utilisation (Prop. 2 / Table 4)\n"
+      "  whatif      factor ranking (5.3)\n"
+      "  redundancy  replication analysis (extension)\n"
+      "  simulate    theory vs simulated testbed\n"
+      "  replay      trace-driven cluster simulation (Mode C)\n"
+      "  capacity    invert the model against a latency budget\n\n"
+      "run `mclat <subcommand> --help` for flags.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  tools::CliArgs args(argc, argv, 2);
+  if (cmd == "estimate") return cmd_estimate(args);
+  if (cmd == "tail") return cmd_tail(args);
+  if (cmd == "cliff") return cmd_cliff(args);
+  if (cmd == "whatif") return cmd_whatif(args);
+  if (cmd == "redundancy") return cmd_redundancy(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "capacity") return cmd_capacity(args);
+  usage();
+  return 2;
+}
