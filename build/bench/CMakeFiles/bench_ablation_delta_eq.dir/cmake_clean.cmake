@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_delta_eq.dir/bench_ablation_delta_eq.cpp.o"
+  "CMakeFiles/bench_ablation_delta_eq.dir/bench_ablation_delta_eq.cpp.o.d"
+  "bench_ablation_delta_eq"
+  "bench_ablation_delta_eq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delta_eq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_db_load.dir/bench_ext_db_load.cpp.o"
+  "CMakeFiles/bench_ext_db_load.dir/bench_ext_db_load.cpp.o.d"
+  "bench_ext_db_load"
+  "bench_ext_db_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_db_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

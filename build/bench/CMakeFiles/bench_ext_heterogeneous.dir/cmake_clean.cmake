@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_heterogeneous.dir/bench_ext_heterogeneous.cpp.o"
+  "CMakeFiles/bench_ext_heterogeneous.dir/bench_ext_heterogeneous.cpp.o.d"
+  "bench_ext_heterogeneous"
+  "bench_ext_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_redundancy.dir/bench_ext_redundancy.cpp.o"
+  "CMakeFiles/bench_ext_redundancy.dir/bench_ext_redundancy.cpp.o.d"
+  "bench_ext_redundancy"
+  "bench_ext_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tail_quantiles.dir/bench_ext_tail_quantiles.cpp.o"
+  "CMakeFiles/bench_ext_tail_quantiles.dir/bench_ext_tail_quantiles.cpp.o.d"
+  "bench_ext_tail_quantiles"
+  "bench_ext_tail_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tail_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

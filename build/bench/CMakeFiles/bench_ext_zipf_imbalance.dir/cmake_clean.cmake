@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_zipf_imbalance.dir/bench_ext_zipf_imbalance.cpp.o"
+  "CMakeFiles/bench_ext_zipf_imbalance.dir/bench_ext_zipf_imbalance.cpp.o.d"
+  "bench_ext_zipf_imbalance"
+  "bench_ext_zipf_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zipf_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cliff.dir/bench_table4_cliff.cpp.o"
+  "CMakeFiles/bench_table4_cliff.dir/bench_table4_cliff.cpp.o.d"
+  "bench_table4_cliff"
+  "bench_table4_cliff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_autoscaler.dir/slo_autoscaler.cpp.o"
+  "CMakeFiles/slo_autoscaler.dir/slo_autoscaler.cpp.o.d"
+  "slo_autoscaler"
+  "slo_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_explorer.cpp" "examples/CMakeFiles/workload_explorer.dir/workload_explorer.cpp.o" "gcc" "examples/CMakeFiles/workload_explorer.dir/workload_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mclat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mclat_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mclat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mclat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/mclat_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mclat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mclat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru_store.cpp" "src/cache/CMakeFiles/mclat_cache.dir/lru_store.cpp.o" "gcc" "src/cache/CMakeFiles/mclat_cache.dir/lru_store.cpp.o.d"
+  "/root/repo/src/cache/slab_allocator.cpp" "src/cache/CMakeFiles/mclat_cache.dir/slab_allocator.cpp.o" "gcc" "src/cache/CMakeFiles/mclat_cache.dir/slab_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_cache.dir/lru_store.cpp.o"
+  "CMakeFiles/mclat_cache.dir/lru_store.cpp.o.d"
+  "CMakeFiles/mclat_cache.dir/slab_allocator.cpp.o"
+  "CMakeFiles/mclat_cache.dir/slab_allocator.cpp.o.d"
+  "libmclat_cache.a"
+  "libmclat_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

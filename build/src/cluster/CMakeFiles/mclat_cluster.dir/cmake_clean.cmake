@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_cluster.dir/delay_station.cpp.o"
+  "CMakeFiles/mclat_cluster.dir/delay_station.cpp.o.d"
+  "CMakeFiles/mclat_cluster.dir/end_to_end.cpp.o"
+  "CMakeFiles/mclat_cluster.dir/end_to_end.cpp.o.d"
+  "CMakeFiles/mclat_cluster.dir/trace_replay.cpp.o"
+  "CMakeFiles/mclat_cluster.dir/trace_replay.cpp.o.d"
+  "CMakeFiles/mclat_cluster.dir/workload_driven.cpp.o"
+  "CMakeFiles/mclat_cluster.dir/workload_driven.cpp.o.d"
+  "libmclat_cluster.a"
+  "libmclat_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/mclat_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/cliff.cpp" "src/core/CMakeFiles/mclat_core.dir/cliff.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/cliff.cpp.o.d"
+  "/root/repo/src/core/db_stage.cpp" "src/core/CMakeFiles/mclat_core.dir/db_stage.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/db_stage.cpp.o.d"
+  "/root/repo/src/core/delta.cpp" "src/core/CMakeFiles/mclat_core.dir/delta.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/delta.cpp.o.d"
+  "/root/repo/src/core/gixm1.cpp" "src/core/CMakeFiles/mclat_core.dir/gixm1.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/gixm1.cpp.o.d"
+  "/root/repo/src/core/mmc.cpp" "src/core/CMakeFiles/mclat_core.dir/mmc.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/mmc.cpp.o.d"
+  "/root/repo/src/core/redundancy.cpp" "src/core/CMakeFiles/mclat_core.dir/redundancy.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/redundancy.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/mclat_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/server_stage.cpp" "src/core/CMakeFiles/mclat_core.dir/server_stage.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/server_stage.cpp.o.d"
+  "/root/repo/src/core/theorem1.cpp" "src/core/CMakeFiles/mclat_core.dir/theorem1.cpp.o" "gcc" "src/core/CMakeFiles/mclat_core.dir/theorem1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mclat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/mclat_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_core.dir/capacity.cpp.o"
+  "CMakeFiles/mclat_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/cliff.cpp.o"
+  "CMakeFiles/mclat_core.dir/cliff.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/db_stage.cpp.o"
+  "CMakeFiles/mclat_core.dir/db_stage.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/delta.cpp.o"
+  "CMakeFiles/mclat_core.dir/delta.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/gixm1.cpp.o"
+  "CMakeFiles/mclat_core.dir/gixm1.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/mmc.cpp.o"
+  "CMakeFiles/mclat_core.dir/mmc.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/redundancy.cpp.o"
+  "CMakeFiles/mclat_core.dir/redundancy.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/mclat_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/server_stage.cpp.o"
+  "CMakeFiles/mclat_core.dir/server_stage.cpp.o.d"
+  "CMakeFiles/mclat_core.dir/theorem1.cpp.o"
+  "CMakeFiles/mclat_core.dir/theorem1.cpp.o.d"
+  "libmclat_core.a"
+  "libmclat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

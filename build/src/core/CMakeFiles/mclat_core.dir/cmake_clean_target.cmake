@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmclat_core.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/deterministic.cpp" "src/dist/CMakeFiles/mclat_dist.dir/deterministic.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/deterministic.cpp.o.d"
+  "/root/repo/src/dist/discrete.cpp" "src/dist/CMakeFiles/mclat_dist.dir/discrete.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/discrete.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/mclat_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/mclat_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/erlang.cpp" "src/dist/CMakeFiles/mclat_dist.dir/erlang.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/erlang.cpp.o.d"
+  "/root/repo/src/dist/exponential.cpp" "src/dist/CMakeFiles/mclat_dist.dir/exponential.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/exponential.cpp.o.d"
+  "/root/repo/src/dist/generalized_pareto.cpp" "src/dist/CMakeFiles/mclat_dist.dir/generalized_pareto.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/generalized_pareto.cpp.o.d"
+  "/root/repo/src/dist/geometric.cpp" "src/dist/CMakeFiles/mclat_dist.dir/geometric.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/geometric.cpp.o.d"
+  "/root/repo/src/dist/hyperexponential.cpp" "src/dist/CMakeFiles/mclat_dist.dir/hyperexponential.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/hyperexponential.cpp.o.d"
+  "/root/repo/src/dist/lognormal.cpp" "src/dist/CMakeFiles/mclat_dist.dir/lognormal.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/lognormal.cpp.o.d"
+  "/root/repo/src/dist/uniform.cpp" "src/dist/CMakeFiles/mclat_dist.dir/uniform.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/uniform.cpp.o.d"
+  "/root/repo/src/dist/weibull.cpp" "src/dist/CMakeFiles/mclat_dist.dir/weibull.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/weibull.cpp.o.d"
+  "/root/repo/src/dist/zipf.cpp" "src/dist/CMakeFiles/mclat_dist.dir/zipf.cpp.o" "gcc" "src/dist/CMakeFiles/mclat_dist.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

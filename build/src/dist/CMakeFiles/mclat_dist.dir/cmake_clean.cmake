@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_dist.dir/deterministic.cpp.o"
+  "CMakeFiles/mclat_dist.dir/deterministic.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/discrete.cpp.o"
+  "CMakeFiles/mclat_dist.dir/discrete.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/distribution.cpp.o"
+  "CMakeFiles/mclat_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/empirical.cpp.o"
+  "CMakeFiles/mclat_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/erlang.cpp.o"
+  "CMakeFiles/mclat_dist.dir/erlang.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/exponential.cpp.o"
+  "CMakeFiles/mclat_dist.dir/exponential.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/generalized_pareto.cpp.o"
+  "CMakeFiles/mclat_dist.dir/generalized_pareto.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/geometric.cpp.o"
+  "CMakeFiles/mclat_dist.dir/geometric.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/hyperexponential.cpp.o"
+  "CMakeFiles/mclat_dist.dir/hyperexponential.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/lognormal.cpp.o"
+  "CMakeFiles/mclat_dist.dir/lognormal.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/uniform.cpp.o"
+  "CMakeFiles/mclat_dist.dir/uniform.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/weibull.cpp.o"
+  "CMakeFiles/mclat_dist.dir/weibull.cpp.o.d"
+  "CMakeFiles/mclat_dist.dir/zipf.cpp.o"
+  "CMakeFiles/mclat_dist.dir/zipf.cpp.o.d"
+  "libmclat_dist.a"
+  "libmclat_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

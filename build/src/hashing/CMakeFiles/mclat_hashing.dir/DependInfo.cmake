@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/consistent_hash.cpp" "src/hashing/CMakeFiles/mclat_hashing.dir/consistent_hash.cpp.o" "gcc" "src/hashing/CMakeFiles/mclat_hashing.dir/consistent_hash.cpp.o.d"
+  "/root/repo/src/hashing/key_mapper.cpp" "src/hashing/CMakeFiles/mclat_hashing.dir/key_mapper.cpp.o" "gcc" "src/hashing/CMakeFiles/mclat_hashing.dir/key_mapper.cpp.o.d"
+  "/root/repo/src/hashing/weighted_mapper.cpp" "src/hashing/CMakeFiles/mclat_hashing.dir/weighted_mapper.cpp.o" "gcc" "src/hashing/CMakeFiles/mclat_hashing.dir/weighted_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_hashing.dir/consistent_hash.cpp.o"
+  "CMakeFiles/mclat_hashing.dir/consistent_hash.cpp.o.d"
+  "CMakeFiles/mclat_hashing.dir/key_mapper.cpp.o"
+  "CMakeFiles/mclat_hashing.dir/key_mapper.cpp.o.d"
+  "CMakeFiles/mclat_hashing.dir/weighted_mapper.cpp.o"
+  "CMakeFiles/mclat_hashing.dir/weighted_mapper.cpp.o.d"
+  "libmclat_hashing.a"
+  "libmclat_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/integration.cpp" "src/math/CMakeFiles/mclat_math.dir/integration.cpp.o" "gcc" "src/math/CMakeFiles/mclat_math.dir/integration.cpp.o.d"
+  "/root/repo/src/math/roots.cpp" "src/math/CMakeFiles/mclat_math.dir/roots.cpp.o" "gcc" "src/math/CMakeFiles/mclat_math.dir/roots.cpp.o.d"
+  "/root/repo/src/math/special.cpp" "src/math/CMakeFiles/mclat_math.dir/special.cpp.o" "gcc" "src/math/CMakeFiles/mclat_math.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_math.dir/integration.cpp.o"
+  "CMakeFiles/mclat_math.dir/integration.cpp.o.d"
+  "CMakeFiles/mclat_math.dir/roots.cpp.o"
+  "CMakeFiles/mclat_math.dir/roots.cpp.o.d"
+  "CMakeFiles/mclat_math.dir/special.cpp.o"
+  "CMakeFiles/mclat_math.dir/special.cpp.o.d"
+  "libmclat_math.a"
+  "libmclat_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

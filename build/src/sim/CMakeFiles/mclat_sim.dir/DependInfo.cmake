@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/multi_station.cpp" "src/sim/CMakeFiles/mclat_sim.dir/multi_station.cpp.o" "gcc" "src/sim/CMakeFiles/mclat_sim.dir/multi_station.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mclat_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mclat_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/source.cpp" "src/sim/CMakeFiles/mclat_sim.dir/source.cpp.o" "gcc" "src/sim/CMakeFiles/mclat_sim.dir/source.cpp.o.d"
+  "/root/repo/src/sim/station.cpp" "src/sim/CMakeFiles/mclat_sim.dir/station.cpp.o" "gcc" "src/sim/CMakeFiles/mclat_sim.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mclat_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_sim.dir/multi_station.cpp.o"
+  "CMakeFiles/mclat_sim.dir/multi_station.cpp.o.d"
+  "CMakeFiles/mclat_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mclat_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mclat_sim.dir/source.cpp.o"
+  "CMakeFiles/mclat_sim.dir/source.cpp.o.d"
+  "CMakeFiles/mclat_sim.dir/station.cpp.o"
+  "CMakeFiles/mclat_sim.dir/station.cpp.o.d"
+  "libmclat_sim.a"
+  "libmclat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

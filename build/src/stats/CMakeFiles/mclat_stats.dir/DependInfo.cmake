@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/mclat_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/mclat_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/mclat_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/mclat_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/mclat_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/mclat_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/reservoir.cpp" "src/stats/CMakeFiles/mclat_stats.dir/reservoir.cpp.o" "gcc" "src/stats/CMakeFiles/mclat_stats.dir/reservoir.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/mclat_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/mclat_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/mclat_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/mclat_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mclat_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mclat_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/mclat_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/mclat_stats.dir/reservoir.cpp.o"
+  "CMakeFiles/mclat_stats.dir/reservoir.cpp.o.d"
+  "CMakeFiles/mclat_stats.dir/summary.cpp.o"
+  "CMakeFiles/mclat_stats.dir/summary.cpp.o.d"
+  "libmclat_stats.a"
+  "libmclat_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

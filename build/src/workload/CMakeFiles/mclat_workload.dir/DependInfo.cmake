@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_spec.cpp" "src/workload/CMakeFiles/mclat_workload.dir/arrival_spec.cpp.o" "gcc" "src/workload/CMakeFiles/mclat_workload.dir/arrival_spec.cpp.o.d"
+  "/root/repo/src/workload/keyspace.cpp" "src/workload/CMakeFiles/mclat_workload.dir/keyspace.cpp.o" "gcc" "src/workload/CMakeFiles/mclat_workload.dir/keyspace.cpp.o.d"
+  "/root/repo/src/workload/request_stream.cpp" "src/workload/CMakeFiles/mclat_workload.dir/request_stream.cpp.o" "gcc" "src/workload/CMakeFiles/mclat_workload.dir/request_stream.cpp.o.d"
+  "/root/repo/src/workload/size_model.cpp" "src/workload/CMakeFiles/mclat_workload.dir/size_model.cpp.o" "gcc" "src/workload/CMakeFiles/mclat_workload.dir/size_model.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/mclat_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/mclat_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/mclat_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat_workload.dir/arrival_spec.cpp.o"
+  "CMakeFiles/mclat_workload.dir/arrival_spec.cpp.o.d"
+  "CMakeFiles/mclat_workload.dir/keyspace.cpp.o"
+  "CMakeFiles/mclat_workload.dir/keyspace.cpp.o.d"
+  "CMakeFiles/mclat_workload.dir/request_stream.cpp.o"
+  "CMakeFiles/mclat_workload.dir/request_stream.cpp.o.d"
+  "CMakeFiles/mclat_workload.dir/size_model.cpp.o"
+  "CMakeFiles/mclat_workload.dir/size_model.cpp.o.d"
+  "CMakeFiles/mclat_workload.dir/trace.cpp.o"
+  "CMakeFiles/mclat_workload.dir/trace.cpp.o.d"
+  "libmclat_workload.a"
+  "libmclat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

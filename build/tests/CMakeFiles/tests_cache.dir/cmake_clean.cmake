@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cache.dir/cache/test_lru_store.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/test_lru_store.cpp.o.d"
+  "CMakeFiles/tests_cache.dir/cache/test_slab_allocator.cpp.o"
+  "CMakeFiles/tests_cache.dir/cache/test_slab_allocator.cpp.o.d"
+  "tests_cache"
+  "tests_cache.pdb"
+  "tests_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cluster.dir/cluster/test_delay_station.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/test_delay_station.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/test_end_to_end.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/test_end_to_end.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/test_redundant_assembly.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/test_redundant_assembly.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/test_trace_replay.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/test_trace_replay.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/test_workload_driven.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/test_workload_driven.cpp.o.d"
+  "tests_cluster"
+  "tests_cluster.pdb"
+  "tests_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

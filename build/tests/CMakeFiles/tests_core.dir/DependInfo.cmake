@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_capacity.cpp" "tests/CMakeFiles/tests_core.dir/core/test_capacity.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_capacity.cpp.o.d"
+  "/root/repo/tests/core/test_cliff.cpp" "tests/CMakeFiles/tests_core.dir/core/test_cliff.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_cliff.cpp.o.d"
+  "/root/repo/tests/core/test_db_stage.cpp" "tests/CMakeFiles/tests_core.dir/core/test_db_stage.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_db_stage.cpp.o.d"
+  "/root/repo/tests/core/test_delta.cpp" "tests/CMakeFiles/tests_core.dir/core/test_delta.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_delta.cpp.o.d"
+  "/root/repo/tests/core/test_extensions.cpp" "tests/CMakeFiles/tests_core.dir/core/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_extensions.cpp.o.d"
+  "/root/repo/tests/core/test_gixm1.cpp" "tests/CMakeFiles/tests_core.dir/core/test_gixm1.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_gixm1.cpp.o.d"
+  "/root/repo/tests/core/test_mmc.cpp" "tests/CMakeFiles/tests_core.dir/core/test_mmc.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_mmc.cpp.o.d"
+  "/root/repo/tests/core/test_sensitivity.cpp" "tests/CMakeFiles/tests_core.dir/core/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/core/test_server_stage.cpp" "tests/CMakeFiles/tests_core.dir/core/test_server_stage.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_server_stage.cpp.o.d"
+  "/root/repo/tests/core/test_tail_latency.cpp" "tests/CMakeFiles/tests_core.dir/core/test_tail_latency.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_tail_latency.cpp.o.d"
+  "/root/repo/tests/core/test_theorem1.cpp" "tests/CMakeFiles/tests_core.dir/core/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_theorem1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mclat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mclat_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mclat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mclat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/mclat_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mclat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mclat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_capacity.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_capacity.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_cliff.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_cliff.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_db_stage.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_db_stage.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_delta.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_delta.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_extensions.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_extensions.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_gixm1.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_gixm1.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_mmc.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_mmc.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_sensitivity.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_sensitivity.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_server_stage.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_server_stage.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_tail_latency.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_tail_latency.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_theorem1.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_theorem1.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

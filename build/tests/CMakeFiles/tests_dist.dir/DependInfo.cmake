@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/test_discrete.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_discrete.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_discrete.cpp.o.d"
+  "/root/repo/tests/dist/test_distribution_properties.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_distribution_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_distribution_properties.cpp.o.d"
+  "/root/repo/tests/dist/test_empirical.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_empirical.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_empirical.cpp.o.d"
+  "/root/repo/tests/dist/test_erlang.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_erlang.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_erlang.cpp.o.d"
+  "/root/repo/tests/dist/test_exponential.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_exponential.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_exponential.cpp.o.d"
+  "/root/repo/tests/dist/test_generalized_pareto.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_generalized_pareto.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_generalized_pareto.cpp.o.d"
+  "/root/repo/tests/dist/test_geometric.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_geometric.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_geometric.cpp.o.d"
+  "/root/repo/tests/dist/test_hyperexponential.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_hyperexponential.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_hyperexponential.cpp.o.d"
+  "/root/repo/tests/dist/test_misc_distributions.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_misc_distributions.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_misc_distributions.cpp.o.d"
+  "/root/repo/tests/dist/test_zipf.cpp" "tests/CMakeFiles/tests_dist.dir/dist/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/tests_dist.dir/dist/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mclat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mclat_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mclat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mclat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/mclat_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mclat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mclat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/mclat_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mclat_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

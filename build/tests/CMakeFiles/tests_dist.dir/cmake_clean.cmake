@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_dist.dir/dist/test_discrete.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_discrete.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_distribution_properties.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_distribution_properties.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_empirical.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_empirical.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_erlang.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_erlang.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_exponential.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_exponential.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_generalized_pareto.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_generalized_pareto.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_geometric.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_geometric.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_hyperexponential.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_hyperexponential.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_misc_distributions.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_misc_distributions.cpp.o.d"
+  "CMakeFiles/tests_dist.dir/dist/test_zipf.cpp.o"
+  "CMakeFiles/tests_dist.dir/dist/test_zipf.cpp.o.d"
+  "tests_dist"
+  "tests_dist.pdb"
+  "tests_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

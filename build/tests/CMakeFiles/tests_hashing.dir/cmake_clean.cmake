@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_hashing.dir/hashing/test_consistent_hash.cpp.o"
+  "CMakeFiles/tests_hashing.dir/hashing/test_consistent_hash.cpp.o.d"
+  "CMakeFiles/tests_hashing.dir/hashing/test_hashes.cpp.o"
+  "CMakeFiles/tests_hashing.dir/hashing/test_hashes.cpp.o.d"
+  "CMakeFiles/tests_hashing.dir/hashing/test_weighted_mapper.cpp.o"
+  "CMakeFiles/tests_hashing.dir/hashing/test_weighted_mapper.cpp.o.d"
+  "tests_hashing"
+  "tests_hashing.pdb"
+  "tests_hashing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

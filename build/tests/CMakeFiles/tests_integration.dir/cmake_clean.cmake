@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/test_end_to_end_vs_theory.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_end_to_end_vs_theory.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_gim1_theory_vs_sim.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_gim1_theory_vs_sim.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_gixm1_theory_vs_sim.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_gixm1_theory_vs_sim.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_mm1_theory_vs_sim.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_mm1_theory_vs_sim.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_mmc_theory_vs_sim.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_mmc_theory_vs_sim.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_table3_validation.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_table3_validation.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

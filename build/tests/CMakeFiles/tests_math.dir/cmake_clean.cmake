@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_math.dir/math/test_integration.cpp.o"
+  "CMakeFiles/tests_math.dir/math/test_integration.cpp.o.d"
+  "CMakeFiles/tests_math.dir/math/test_roots.cpp.o"
+  "CMakeFiles/tests_math.dir/math/test_roots.cpp.o.d"
+  "CMakeFiles/tests_math.dir/math/test_special.cpp.o"
+  "CMakeFiles/tests_math.dir/math/test_special.cpp.o.d"
+  "tests_math"
+  "tests_math.pdb"
+  "tests_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_property.dir/property/test_cache_fuzz.cpp.o"
+  "CMakeFiles/tests_property.dir/property/test_cache_fuzz.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/test_model_properties.cpp.o"
+  "CMakeFiles/tests_property.dir/property/test_model_properties.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/test_queue_properties.cpp.o"
+  "CMakeFiles/tests_property.dir/property/test_queue_properties.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/test_sim_stress.cpp.o"
+  "CMakeFiles/tests_property.dir/property/test_sim_stress.cpp.o.d"
+  "tests_property"
+  "tests_property.pdb"
+  "tests_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

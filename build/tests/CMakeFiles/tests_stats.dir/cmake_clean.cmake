@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_stats.dir/stats/test_autocorrelation.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_autocorrelation.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_p2_quantile.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_p2_quantile.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_reservoir.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_reservoir.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_summary.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_summary.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_welford.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_welford.cpp.o.d"
+  "tests_stats"
+  "tests_stats.pdb"
+  "tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

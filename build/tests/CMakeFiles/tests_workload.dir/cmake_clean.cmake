@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workload.dir/workload/test_arrival_spec.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_arrival_spec.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_keyspace.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_keyspace.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_request_stream.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_request_stream.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_size_model.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_size_model.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_trace.cpp.o.d"
+  "tests_workload"
+  "tests_workload.pdb"
+  "tests_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

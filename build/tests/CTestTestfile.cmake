@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_math[1]_include.cmake")
+include("/root/repo/build/tests/tests_dist[1]_include.cmake")
+include("/root/repo/build/tests/tests_stats[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_cache[1]_include.cmake")
+include("/root/repo/build/tests/tests_hashing[1]_include.cmake")
+include("/root/repo/build/tests/tests_workload[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_cluster[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_property[1]_include.cmake")
+include("/root/repo/build/tests/tests_tools[1]_include.cmake")

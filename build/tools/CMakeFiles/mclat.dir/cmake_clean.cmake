@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mclat.dir/mclat_cli.cpp.o"
+  "CMakeFiles/mclat.dir/mclat_cli.cpp.o.d"
+  "mclat"
+  "mclat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mclat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_estimate "/root/repo/build/tools/mclat" "estimate" "--servers" "6" "--kps" "55")
+set_tests_properties(cli_estimate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_json "/root/repo/build/tools/mclat" "estimate" "--json")
+set_tests_properties(cli_estimate_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tail "/root/repo/build/tools/mclat" "tail" "--k" "0.999")
+set_tests_properties(cli_tail PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cliff "/root/repo/build/tools/mclat" "cliff" "--xi" "0.3")
+set_tests_properties(cli_cliff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cliff_table "/root/repo/build/tools/mclat" "cliff" "--table")
+set_tests_properties(cli_cliff_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_whatif "/root/repo/build/tools/mclat" "whatif")
+set_tests_properties(cli_whatif PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_redundancy "/root/repo/build/tools/mclat" "redundancy" "--kps" "15" "--r" "0")
+set_tests_properties(cli_redundancy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/mclat" "simulate" "--seconds" "1" "--requests" "2000")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unstable_fails "/root/repo/build/tools/mclat" "estimate" "--kps" "90")
+set_tests_properties(cli_unstable_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_flag_fails "/root/repo/build/tools/mclat" "estimate" "--bogus" "1")
+set_tests_properties(cli_unknown_flag_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay "/root/repo/build/tools/mclat" "replay" "--requests" "1000" "--n" "20")
+set_tests_properties(cli_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_capacity "/root/repo/build/tools/mclat" "capacity" "--budget" "1500")
+set_tests_properties(cli_capacity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
