@@ -11,6 +11,7 @@ int main() {
   bench::banner("Figure 10", "ICDCS'17 Fig. 10 (load imbalance)",
                 "p1 in [0.3, 0.9]; Lambda=80Kps aggregate, 4 servers, "
                 "muS=80Kps, xi=0.15, q=0.1, N=150");
+  const bench::SweepOptions opt = bench::sweep_options_from_env();
   bench::print_server_header("p1");
   std::uint64_t seed = 100;
   for (double p1 = 0.30; p1 <= 0.901; p1 += 0.05) {
@@ -18,7 +19,7 @@ int main() {
     sys.total_key_rate = 80'000.0;
     sys.load_shares = dist::skewed_load(4, p1);
     // Past the cliff the heavy server needs long runs to reach steady state.
-    const auto pt = bench::run_server_point(sys, seed++, 20.0);
+    const auto pt = bench::run_server_point(sys, seed++, 20.0, 20'000, opt);
     bench::print_server_row(p1, "%8.2f", pt);
   }
   std::printf("\nShape check: flat while p1*Lambda < 60 Kps, cliff at "

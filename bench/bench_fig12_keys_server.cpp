@@ -1,12 +1,15 @@
 // bench_fig12_keys_server — reproduces Fig. 12: E[T_S(N)] as the number of
 // keys per request sweeps 1 → 10⁴ (log-spaced), Facebook workload. The
 // paper: logarithmic growth, ~100 µs at N=1 to ~650 µs at N=10⁴.
+//
+// Each replication runs its own testbed (pools + assembly at every N) on a
+// deterministic per-trial seed stream; per-N Welford accumulators are
+// merged in trial order, so MCLAT_BENCH_JOBS cannot change the numbers.
+#include <array>
 #include <cmath>
 #include <cstdio>
 
-#include "bench_util.h"
-#include "cluster/workload_driven.h"
-#include "core/theorem1.h"
+#include "bench_sweep.h"
 
 int main() {
   using namespace mclat;
@@ -15,26 +18,44 @@ int main() {
   bench::banner("Figure 12", "ICDCS'17 Fig. 12 (keys per request, servers)",
                 "E[T_S(N)], N in [1, 1e4]; Facebook workload");
 
+  constexpr std::array<std::uint64_t, 10> kKeys = {
+      1, 2, 5, 10, 30, 100, 300, 1000, 3000, 10'000};
+
   const core::LatencyModel model(sys);
-  cluster::WorkloadDrivenConfig cfg;
-  cfg.system = sys;
-  cfg.warmup_time = 2.0 * bench::time_scale();
-  cfg.measure_time = 25.0 * bench::time_scale();
-  cfg.seed = 12;
-  const cluster::MeasurementPools pools =
-      cluster::WorkloadDrivenSim(cfg).run();
-  dist::Rng rng(121);
+  const bench::SweepOptions opt = bench::sweep_options_from_env();
+  const exec::TrialRunner runner({opt.jobs, 12});
+  using PerN = std::array<stats::Welford, kKeys.size()>;
+  const std::vector<PerN> trials = runner.run(
+      opt.replications, [&](std::uint64_t, std::uint64_t trial_seed) {
+        cluster::WorkloadDrivenConfig cfg;
+        cfg.system = sys;
+        cfg.warmup_time = 2.0 * bench::time_scale();
+        cfg.measure_time = 25.0 * bench::time_scale();
+        cfg.seed = exec::stream_seed(trial_seed, exec::Stream::simulation);
+        const cluster::MeasurementPools pools =
+            cluster::WorkloadDrivenSim(cfg).run();
+        dist::Rng rng(exec::stream_seed(trial_seed, exec::Stream::assembly));
+        PerN per_n;
+        for (std::size_t i = 0; i < kKeys.size(); ++i) {
+          const std::uint64_t n = kKeys[i];
+          const std::uint64_t reqs = n >= 3000 ? 2'000 : 10'000;
+          const auto assembled =
+              cluster::assemble_requests(pools, sys, reqs, n, rng);
+          for (const double s : assembled.server) per_n[i].add(s);
+        }
+        return per_n;
+      });
 
   std::printf("\n%8s | %-18s | %-26s | %s\n", "N", "eq.(14) lo~hi (us)",
               "experiment (us)", "band");
   std::printf("---------+--------------------+----------------------------+------\n");
-  for (const std::uint64_t n :
-       {1ull, 2ull, 5ull, 10ull, 30ull, 100ull, 300ull, 1000ull, 3000ull,
-        10'000ull}) {
+  for (std::size_t i = 0; i < kKeys.size(); ++i) {
+    const std::uint64_t n = kKeys[i];
     const core::Bounds b = model.server_mean_bounds(n);
-    const std::uint64_t reqs = n >= 3000 ? 2'000 : 10'000;
-    const auto assembled = cluster::assemble_requests(pools, sys, reqs, n, rng);
-    const auto ci = assembled.server_ci();
+    std::vector<stats::Welford> parts;
+    parts.reserve(trials.size());
+    for (const PerN& t : trials) parts.push_back(t[i]);
+    const stats::MeanCI ci = stats::pooled_mean_ci(parts);
     std::printf("%8llu | %18s | %-26s | %s\n",
                 static_cast<unsigned long long>(n),
                 bench::us_bounds(b).c_str(), bench::us_ci(ci).c_str(),

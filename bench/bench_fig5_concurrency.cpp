@@ -8,12 +8,13 @@ int main() {
 
   bench::banner("Figure 5", "ICDCS'17 Fig. 5 (concurrency probability)",
                 "q in [0, 0.5]; lambda=62.5Kps/server, xi=0.15, N=150");
+  const bench::SweepOptions opt = bench::sweep_options_from_env();
   bench::print_server_header("q");
   std::uint64_t seed = 50;
   for (double q = 0.0; q <= 0.501; q += 0.05) {
     core::SystemConfig sys = core::SystemConfig::facebook();
     sys.concurrency_q = q;
-    const auto pt = bench::run_server_point(sys, seed++);
+    const auto pt = bench::run_server_point(sys, seed++, 12.0, 20'000, opt);
     bench::print_server_row(q, "%8.2f", pt);
   }
   std::printf("\nShape check: E[T_S(N)] = Theta(1/(1-q)) — the q=0.5 row "

@@ -8,13 +8,14 @@ int main() {
 
   bench::banner("Figure 6", "ICDCS'17 Fig. 6 (burst degree)",
                 "xi in [0, 0.6]; lambda=62.5Kps/server, q=0.1, N=150");
+  const bench::SweepOptions opt = bench::sweep_options_from_env();
   bench::print_server_header("xi");
   std::uint64_t seed = 60;
   for (double xi = 0.0; xi <= 0.601; xi += 0.05) {
     core::SystemConfig sys = core::SystemConfig::facebook();
     sys.burst_xi = xi;
     // Burstier sweeps need longer runs for steady state at ~78 % load.
-    const auto pt = bench::run_server_point(sys, seed++, 16.0);
+    const auto pt = bench::run_server_point(sys, seed++, 16.0, 20'000, opt);
     bench::print_server_row(xi, "%8.2f", pt);
   }
   std::printf("\nShape check: latency increases monotonically with xi and "

@@ -8,12 +8,13 @@ int main() {
 
   bench::banner("Figure 7", "ICDCS'17 Fig. 7 (arrival rate)",
                 "lambda in [10, 75] Kps/server; xi=0.15, q=0.1, muS=80Kps");
+  const bench::SweepOptions opt = bench::sweep_options_from_env();
   bench::print_server_header("l(Kps)");
   std::uint64_t seed = 70;
   for (double l = 10'000.0; l <= 75'000.1; l += 5'000.0) {
     core::SystemConfig sys = core::SystemConfig::facebook();
     sys.total_key_rate = 4.0 * l;
-    const auto pt = bench::run_server_point(sys, seed++, 14.0);
+    const auto pt = bench::run_server_point(sys, seed++, 14.0, 20'000, opt);
     bench::print_server_row(l / 1000.0, "%8.0f", pt);
   }
   std::printf("\nShape check: gentle growth below ~50 Kps, sharp rise past "

@@ -1,11 +1,19 @@
 // bench_sweep.h — the shared engine of the Fig. 5/6/7/10/12 sweeps: for one
 // SystemConfig, run the Mode-A testbed, assemble requests and report the
 // server-stage E[T_S(N)] (theory bounds + measured CI).
+//
+// Replications are fanned across an exec::TrialRunner: each replication is
+// an independent (simulate → assemble) trial seeded from the deterministic
+// per-trial seed stream, and per-trial Welford accumulators are merged in
+// trial order — so a sweep point's statistics are bit-identical for any
+// worker count (MCLAT_BENCH_JOBS) and replication count (MCLAT_BENCH_REPS).
 #pragma once
 
 #include "bench_util.h"
 #include "cluster/workload_driven.h"
 #include "core/theorem1.h"
+#include "exec/trial_runner.h"
+#include "stats/welford.h"
 
 namespace mclat::bench {
 
@@ -16,12 +24,36 @@ struct ServerStagePoint {
   bool stable = true;
 };
 
-/// Runs one sweep point. `sim_seconds` is pre-scaling; requests defaults to
-/// enough for tight CIs at N=150.
+/// Replication fan-out for a sweep point; defaults reproduce the classic
+/// serial single-replication run. See sweep_options_from_env().
+struct SweepOptions {
+  std::uint64_t replications = 1;
+  std::size_t jobs = 1;
+};
+
+/// Reads MCLAT_BENCH_REPS / MCLAT_BENCH_JOBS (both default 1, floors 1) so
+/// every fig bench can be replicated/parallelized without new flags.
+inline SweepOptions sweep_options_from_env() {
+  SweepOptions opt;
+  if (const char* reps = std::getenv("MCLAT_BENCH_REPS")) {
+    const long long r = std::atoll(reps);
+    if (r > 1) opt.replications = static_cast<std::uint64_t>(r);
+  }
+  if (const char* jobs = std::getenv("MCLAT_BENCH_JOBS")) {
+    const long long j = std::atoll(jobs);
+    if (j > 1) opt.jobs = static_cast<std::size_t>(j);
+  }
+  return opt;
+}
+
+/// Runs one sweep point: `opt.replications` independent trials merged in
+/// trial order. `sim_seconds` is pre-scaling; requests defaults to enough
+/// for tight CIs at N=150.
 inline ServerStagePoint run_server_point(const core::SystemConfig& sys,
                                          std::uint64_t seed,
                                          double sim_seconds = 12.0,
-                                         std::uint64_t requests = 20'000) {
+                                         std::uint64_t requests = 20'000,
+                                         const SweepOptions& opt = {}) {
   ServerStagePoint pt;
   const core::LatencyModel model(sys);
   pt.stable = model.stable();
@@ -29,23 +61,45 @@ inline ServerStagePoint run_server_point(const core::SystemConfig& sys,
     pt.theory = model.server_mean_bounds(sys.keys_per_request);
   }
 
-  cluster::WorkloadDrivenConfig cfg;
-  cfg.system = sys;
-  cfg.warmup_time = 1.5 * time_scale();
-  cfg.measure_time = sim_seconds * time_scale();
-  cfg.seed = seed;
-  const cluster::MeasurementPools pools =
-      cluster::WorkloadDrivenSim(cfg).run();
-  dist::Rng rng(seed ^ 0xfeedull);
-  const cluster::AssembledRequests reqs = cluster::assemble_requests(
-      pools, sys, requests, sys.keys_per_request, rng);
-  pt.measured = reqs.server_ci();
+  struct Trial {
+    stats::Welford server;
+    double utilization = 0.0;
+  };
+
   const auto shares = sys.shares();
   std::size_t heavy = 0;
   for (std::size_t j = 1; j < shares.size(); ++j) {
     if (shares[j] > shares[heavy]) heavy = j;
   }
-  pt.utilization = pools.server_utilization[heavy];
+
+  const exec::TrialRunner runner({opt.jobs, seed});
+  const std::vector<Trial> trials = runner.run(
+      opt.replications, [&](std::uint64_t, std::uint64_t trial_seed) {
+        cluster::WorkloadDrivenConfig cfg;
+        cfg.system = sys;
+        cfg.warmup_time = 1.5 * time_scale();
+        cfg.measure_time = sim_seconds * time_scale();
+        cfg.seed = exec::stream_seed(trial_seed, exec::Stream::simulation);
+        const cluster::MeasurementPools pools =
+            cluster::WorkloadDrivenSim(cfg).run();
+        dist::Rng rng(exec::stream_seed(trial_seed, exec::Stream::assembly));
+        const cluster::AssembledRequests reqs = cluster::assemble_requests(
+            pools, sys, requests, sys.keys_per_request, rng);
+        Trial t;
+        for (const double s : reqs.server) t.server.add(s);
+        t.utilization = pools.server_utilization[heavy];
+        return t;
+      });
+
+  std::vector<stats::Welford> parts;
+  parts.reserve(trials.size());
+  double util = 0.0;
+  for (const Trial& t : trials) {
+    parts.push_back(t.server);
+    util += t.utilization;
+  }
+  pt.measured = stats::pooled_mean_ci(parts);
+  pt.utilization = util / static_cast<double>(trials.size());
   return pt;
 }
 

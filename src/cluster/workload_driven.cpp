@@ -6,6 +6,7 @@
 
 #include "cluster/delay_station.h"
 #include "dist/discrete.h"
+#include "exec/seed_stream.h"
 #include "dist/exponential.h"
 #include "math/numerics.h"
 #include "sim/source.h"
@@ -203,7 +204,10 @@ AssembledRequests run_workload_experiment(const WorkloadDrivenConfig& cfg,
                                           std::uint64_t requests) {
   WorkloadDrivenSim sim(cfg);
   const MeasurementPools pools = sim.run();
-  dist::Rng rng(cfg.seed ^ 0xa55a5aa5ull);
+  // Assembly draws from its own named stream: unlike the old
+  // `seed ^ constant` trick, stream_seed can never collide with the
+  // simulation stream of this or any other trial.
+  dist::Rng rng(exec::stream_seed(cfg.seed, exec::Stream::assembly));
   return assemble_requests(pools, cfg.system, requests,
                            cfg.system.keys_per_request, rng);
 }

@@ -1,0 +1,63 @@
+// seed_stream.h — deterministic seed derivation for parallel replications.
+//
+// Every experiment in this repository must produce bit-identical results
+// regardless of how many worker threads execute it and in which order the
+// trials complete. The only way to get that is to make every random stream
+// a pure function of (base seed, logical position) — never of thread id,
+// completion order, or a shared generator that trials would race on.
+//
+// Two levels of derivation:
+//
+//   trial_seed(base, i)    the root seed of replication i — splitmix64 of
+//                          base ^ i, so consecutive trial indices map to
+//                          decorrelated 64-bit seeds;
+//   stream_seed(seed, s)   a named sub-stream of one trial (the queueing
+//                          simulation, the request-assembly resampler, ...).
+//                          Distinct Stream tags land in distinct splitmix64
+//                          orbits, so the old-style "seed ^ 0xfeed" tricks
+//                          — which could collide with a sibling stream —
+//                          are retired.
+//
+// splitmix64 is the finalizer of Steele, Lea & Flood's SplittableRandom
+// (OOPSLA'14); it is a bijection on 64-bit words with full avalanche, which
+// makes it the standard choice for turning structured integers (indices,
+// tag sums) into seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace mclat::exec {
+
+/// splitmix64 finalizer: bijective, full-avalanche 64-bit mix.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Root seed of replication `trial_index` under `base_seed`. A pure
+/// function of its arguments: thread count and scheduling cannot affect it.
+[[nodiscard]] constexpr std::uint64_t trial_seed(
+    std::uint64_t base_seed, std::uint64_t trial_index) noexcept {
+  return splitmix64(base_seed ^ trial_index);
+}
+
+/// Named random sub-streams within one trial. Values are spread out so the
+/// additive derivation below never maps two tags to the same input word.
+enum class Stream : std::uint64_t {
+  simulation = 0x1001,  ///< queueing-network event streams
+  assembly = 0x2002,    ///< request-assembly resampling
+  workload = 0x3003,    ///< trace/keyspace generation
+};
+
+/// Seed of a named sub-stream of a trial. Guarantees the simulation and
+/// assembly RNGs of one trial can never collide (distinct tags → distinct
+/// splitmix64 inputs → distinct outputs, splitmix64 being a bijection).
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t seed,
+                                                  Stream stream) noexcept {
+  return splitmix64(seed + 0x632BE59BD9B4E019ull *
+                               static_cast<std::uint64_t>(stream));
+}
+
+}  // namespace mclat::exec

@@ -1,0 +1,77 @@
+// thread_pool.h — a fixed-size worker pool for embarrassingly parallel
+// replications.
+//
+// Deliberately minimal: a locked queue of type-erased jobs, N workers, and
+// future-based result/exception propagation via std::packaged_task. There
+// is no work stealing and no priorities — trial workloads here are seconds
+// long, so queue contention is irrelevant and simplicity wins. Determinism
+// of results is *not* the pool's job: callers derive all randomness from
+// exec::trial_seed and merge results by trial index, so scheduling order
+// cannot leak into any statistic.
+//
+// Shutdown semantics: shutdown() (or the destructor) drains every job that
+// was already submitted, then joins the workers. Submitting after shutdown
+// throws — a caller doing that has a lifecycle bug worth surfacing loudly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mclat::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; throws std::invalid_argument on 0).
+  explicit ThreadPool(std::size_t threads = hardware_jobs());
+
+  /// Drains outstanding jobs and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `f` and returns a future for its result. Exceptions thrown
+  /// by `f` are captured and rethrown from future::get(). Throws
+  /// std::runtime_error if the pool has been shut down.
+  template <class F>
+  [[nodiscard]] auto submit(F&& f)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Idempotent: finishes all submitted jobs, then joins the workers.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True once shutdown() has begun; further submits throw.
+  [[nodiscard]] bool stopped() const;
+
+  /// Reasonable default worker count: hardware_concurrency, floor 1.
+  [[nodiscard]] static std::size_t hardware_jobs() noexcept;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace mclat::exec

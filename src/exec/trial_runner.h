@@ -1,0 +1,77 @@
+// trial_runner.h — fan R independent replications across a thread pool,
+// deterministically.
+//
+// A "trial" is any callable (trial_index, seed) -> T. The runner hands
+// trial i the seed exec::trial_seed(base_seed, i) and returns the results
+// *in trial order*, so downstream merges (Welford combination, CI pooling)
+// see exactly the same sequence whether the trials ran on 1 thread or 16,
+// and whichever finished first. That is the whole determinism story:
+//
+//   seeds   : pure function of (base_seed, index)   — no shared RNG state
+//   results : collected by index, not by completion — no scheduling leak
+//   merges  : Welford::merge is performed serially in index order
+//
+// jobs == 1 bypasses the pool entirely (no threads spawned), which keeps
+// the serial path byte-for-byte identical to the pre-parallel code and
+// makes it the golden reference the tests in tests/exec/ compare against.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "exec/seed_stream.h"
+#include "exec/thread_pool.h"
+
+namespace mclat::exec {
+
+struct TrialOptions {
+  std::size_t jobs = 1;        ///< worker threads (>= 1)
+  std::uint64_t base_seed = 1; ///< root of every per-trial seed stream
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialOptions opt) : opt_(opt) {
+    if (opt_.jobs == 0) {
+      throw std::invalid_argument("TrialRunner: jobs must be >= 1");
+    }
+  }
+
+  /// Runs `trials` replications of `fn(trial_index, seed)` and returns the
+  /// results in trial order. The first trial (by index) that threw has its
+  /// exception rethrown here; later trials still run to completion.
+  template <class F>
+  [[nodiscard]] auto run(std::uint64_t trials, F&& fn) const
+      -> std::vector<std::invoke_result_t<F&, std::uint64_t, std::uint64_t>> {
+    using T = std::invoke_result_t<F&, std::uint64_t, std::uint64_t>;
+    std::vector<T> out;
+    out.reserve(trials);
+    if (trials == 0) return out;
+    if (opt_.jobs == 1 || trials == 1) {
+      for (std::uint64_t i = 0; i < trials; ++i) {
+        out.push_back(fn(i, trial_seed(opt_.base_seed, i)));
+      }
+      return out;
+    }
+    ThreadPool pool(opt_.jobs < trials ? opt_.jobs
+                                       : static_cast<std::size_t>(trials));
+    std::vector<std::future<T>> futures;
+    futures.reserve(trials);
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      futures.push_back(pool.submit(
+          [&fn, i, seed = trial_seed(opt_.base_seed, i)] { return fn(i, seed); }));
+    }
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+  [[nodiscard]] const TrialOptions& options() const noexcept { return opt_; }
+
+ private:
+  TrialOptions opt_;
+};
+
+}  // namespace mclat::exec

@@ -20,6 +20,16 @@ MeanCI mean_ci(const Welford& w, double confidence) {
   return ci;
 }
 
+Welford merge_welford(const std::vector<Welford>& parts) {
+  Welford all;
+  for (const Welford& w : parts) all.merge(w);
+  return all;
+}
+
+MeanCI pooled_mean_ci(const std::vector<Welford>& parts, double confidence) {
+  return mean_ci(merge_welford(parts), confidence);
+}
+
 MeanCI batch_means_ci(const std::vector<double>& series, std::size_t batches,
                       double confidence) {
   math::require(batches >= 2, "batch_means_ci: need at least 2 batches");

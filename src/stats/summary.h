@@ -32,6 +32,18 @@ struct MeanCI {
 /// iid-assumption CI from a Welford accumulator (Student-t critical value).
 [[nodiscard]] MeanCI mean_ci(const Welford& w, double confidence = 0.95);
 
+/// Merges per-replication accumulators into one (Chan et al. pairwise
+/// combination, applied left-to-right). The merge is performed strictly in
+/// vector order, so callers that fill `parts` by trial index get the same
+/// result regardless of which thread produced each part.
+[[nodiscard]] Welford merge_welford(const std::vector<Welford>& parts);
+
+/// iid CI over the pooled samples of all replications: merge in order,
+/// then mean_ci. The thread-count-invariant way to summarize a parallel
+/// trial run.
+[[nodiscard]] MeanCI pooled_mean_ci(const std::vector<Welford>& parts,
+                                    double confidence = 0.95);
+
 /// Batch-means CI: splits an ordered series into `batches` contiguous
 /// batches, treats batch averages as approximately iid, and builds a
 /// Student-t interval over them. The series length must be >= 2 * batches.

@@ -1,0 +1,115 @@
+// Golden-regression harness for the parallel trial-execution engine.
+//
+// The serial (jobs=1) path is the reference implementation: its output on
+// fixed seeds is recorded byte-for-byte in tests/golden/*.json. These tests
+// assert (a) the serial path still reproduces the recorded bytes — catching
+// any accidental change to seed derivation, merge order, or the simulation
+// kernel — and (b) the parallel path (jobs=8) reproduces the serial bytes
+// exactly, which is the determinism contract of exec::TrialRunner.
+//
+// Regenerate the golden files after an *intentional* statistics change:
+//   MCLAT_UPDATE_GOLDEN=1 ./build/tests/tests_exec \
+//       --gtest_filter='Golden*'
+// and commit the diff together with the change that caused it.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "tools/simulate_runner.h"
+
+#ifndef MCLAT_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define MCLAT_GOLDEN_DIR"
+#endif
+
+namespace mclat {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(MCLAT_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_requested() {
+  const char* env = std::getenv("MCLAT_UPDATE_GOLDEN");
+  return env != nullptr && env[0] == '1';
+}
+
+// Compares `got` to the recorded golden file, or rewrites the file when
+// MCLAT_UPDATE_GOLDEN=1.
+void check_golden(const std::string& name, const std::string& got) {
+  const std::string path = golden_path(name);
+  if (update_requested()) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got << "\n";
+    GTEST_SKIP() << "golden file " << name << " rewritten";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run once with MCLAT_UPDATE_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got + "\n")
+      << "serial reference output drifted from " << path
+      << "; if the change is intentional, regenerate with "
+         "MCLAT_UPDATE_GOLDEN=1";
+}
+
+// A deliberately small testbed so the golden runs stay fast: the paper's
+// Facebook deployment, 0.5 simulated seconds, 2000 assembled requests.
+tools::SimulateOptions quick_options(std::uint64_t reps) {
+  tools::SimulateOptions opt;
+  opt.seconds = 0.5;
+  opt.requests = 2'000;
+  opt.seed = 1;
+  opt.reps = reps;
+  opt.jobs = 1;
+  return opt;
+}
+
+TEST(GoldenRegression, SerialSimulateSingleRep) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  const tools::SimulateOptions opt = quick_options(1);
+  const std::string json =
+      tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+  check_golden("simulate_fb_seed1_rep1.json", json);
+}
+
+TEST(GoldenRegression, SerialSimulateEightReps) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  const tools::SimulateOptions opt = quick_options(8);
+  const std::string json =
+      tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+  check_golden("simulate_fb_seed1_rep8.json", json);
+}
+
+TEST(GoldenRegression, ParallelPathReproducesSerialBytes) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  tools::SimulateOptions opt = quick_options(8);
+  const std::string serial =
+      tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+  for (const std::size_t jobs : {2u, 8u}) {
+    opt.jobs = jobs;
+    const std::string parallel =
+        tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+    // simulate_json embeds reps/seed but not jobs, so byte equality here
+    // is exactly the thread-count-invariance contract.
+    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+  }
+}
+
+TEST(GoldenRegression, SkewedLoadSimulate) {
+  core::SystemConfig sys = core::SystemConfig::facebook();
+  sys.load_shares = {0.4, 0.3, 0.2, 0.1};
+  const tools::SimulateOptions opt = quick_options(2);
+  const std::string json =
+      tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+  check_golden("simulate_skewed_seed1_rep2.json", json);
+}
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,111 @@
+// Lifecycle and stress tests for exec::ThreadPool: shutdown semantics,
+// exception propagation through futures, and edge cases (zero tasks, more
+// workers than work, concurrent submitters).
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::exec {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int want = 0;
+  for (int i = 0; i < 100; ++i) want += i * i;
+  EXPECT_EQ(sum, want);
+}
+
+TEST(ThreadPool, ZeroTasksShutsDownCleanly) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  pool.shutdown();  // nothing ever submitted
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, DestructorAloneIsACleanShutdown) {
+  // Purely scoping the pool must join the workers without deadlock.
+  { ThreadPool pool(2); }
+  SUCCEED();
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 50);
+  for (auto& f : futures) f.get();  // all fulfilled, none broken
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkersIsInvalid) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+  // A throwing sibling must not poison the pool.
+  EXPECT_EQ(good.get(), 7);
+  EXPECT_EQ(pool.submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, ManyWorkersFewTasks) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAreSafe) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &ran, &futs = futures[t]] {
+      for (int i = 0; i < 200; ++i) {
+        futs.push_back(pool.submit([&ran] { ++ran; }));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) f.get();
+  }
+  EXPECT_EQ(ran.load(), 800);
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace mclat::exec

@@ -1,0 +1,145 @@
+// Determinism and semantics of exec::TrialRunner: identical merged
+// statistics for any job count, seed-stream properties, index-ordered
+// results under adversarial completion order, and exception propagation.
+#include "exec/trial_runner.h"
+
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/rng.h"
+#include "stats/summary.h"
+#include "stats/welford.h"
+
+namespace mclat::exec {
+namespace {
+
+// Bitwise equality — determinism here means *identical*, not "close".
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+stats::Welford sample_trial(std::uint64_t seed, int samples) {
+  dist::Rng rng(seed);
+  stats::Welford w;
+  for (int i = 0; i < samples; ++i) w.add(rng.exponential(1.0 + seed % 7));
+  return w;
+}
+
+TEST(SeedStream, TrialSeedIsAPureFunction) {
+  EXPECT_EQ(trial_seed(42, 7), trial_seed(42, 7));
+  EXPECT_NE(trial_seed(42, 7), trial_seed(42, 8));
+  EXPECT_NE(trial_seed(42, 7), trial_seed(43, 7));
+}
+
+TEST(SeedStream, ConsecutiveIndicesDecorrelate) {
+  // splitmix64 is a bijection: 1000 consecutive trials of the same base
+  // seed must produce 1000 distinct seeds.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(trial_seed(9, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SeedStream, NamedStreamsNeverCollide) {
+  for (std::uint64_t seed = 0; seed < 512; ++seed) {
+    const auto sim = stream_seed(seed, Stream::simulation);
+    const auto asm_ = stream_seed(seed, Stream::assembly);
+    const auto wl = stream_seed(seed, Stream::workload);
+    EXPECT_NE(sim, asm_);
+    EXPECT_NE(sim, wl);
+    EXPECT_NE(asm_, wl);
+  }
+}
+
+TEST(TrialRunner, MergedSummaryIsJobCountInvariant) {
+  // Property test: for randomized trial counts, jobs ∈ {1, 2, 8} produce
+  // bit-identical merged summaries.
+  std::mt19937_64 meta(2024);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint64_t trials = 1 + meta() % 40;
+    const std::uint64_t base_seed = meta();
+    std::vector<stats::MeanCI> merged;
+    for (const std::size_t jobs : {1u, 2u, 8u}) {
+      const TrialRunner runner({jobs, base_seed});
+      const auto parts =
+          runner.run(trials, [](std::uint64_t, std::uint64_t seed) {
+            return sample_trial(seed, 500);
+          });
+      merged.push_back(stats::pooled_mean_ci(parts));
+    }
+    for (std::size_t j = 1; j < merged.size(); ++j) {
+      EXPECT_TRUE(same_bits(merged[0].mean, merged[j].mean));
+      EXPECT_TRUE(same_bits(merged[0].halfwidth, merged[j].halfwidth));
+      EXPECT_EQ(merged[0].count, merged[j].count);
+    }
+  }
+}
+
+TEST(TrialRunner, ResultsArriveInTrialOrder) {
+  // Adversarial completion order: early trials sleep longest, so with 4
+  // workers the *last* trials finish first. Results must still be indexed.
+  const TrialRunner runner({4, 1});
+  const auto out = runner.run(12, [](std::uint64_t idx, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(12 - idx));
+    return idx;
+  });
+  ASSERT_EQ(out.size(), 12u);
+  for (std::uint64_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(TrialRunner, SeedsMatchTheSerialDerivation) {
+  const TrialRunner runner({8, 77});
+  const auto seeds = runner.run(
+      32, [](std::uint64_t, std::uint64_t seed) { return seed; });
+  for (std::uint64_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], trial_seed(77, i));
+  }
+}
+
+TEST(TrialRunner, ZeroTrialsYieldsEmpty) {
+  const TrialRunner runner({4, 1});
+  const auto out =
+      runner.run(0, [](std::uint64_t, std::uint64_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats::pooled_mean_ci({}).count, 0u);
+}
+
+TEST(TrialRunner, ZeroJobsIsInvalid) {
+  const TrialOptions zero_jobs{0, 1};
+  EXPECT_THROW(TrialRunner runner(zero_jobs), std::invalid_argument);
+}
+
+TEST(TrialRunner, TrialExceptionPropagates) {
+  for (const std::size_t jobs : {1u, 4u}) {
+    const TrialRunner runner({jobs, 1});
+    EXPECT_THROW(
+        (void)runner.run(10,
+                         [](std::uint64_t idx, std::uint64_t) -> int {
+                           if (idx == 3) throw std::runtime_error("trial 3");
+                           return 0;
+                         }),
+        std::runtime_error);
+  }
+}
+
+TEST(TrialRunner, WelfordMergeOrderIsDeterministic) {
+  // merge_welford folds left-to-right: same parts, same result, every time.
+  std::vector<stats::Welford> parts;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    parts.push_back(sample_trial(trial_seed(5, i), 200));
+  }
+  const stats::Welford a = stats::merge_welford(parts);
+  const stats::Welford b = stats::merge_welford(parts);
+  EXPECT_TRUE(same_bits(a.mean(), b.mean()));
+  EXPECT_TRUE(same_bits(a.variance(), b.variance()));
+  EXPECT_EQ(a.count(), 16u * 200u);
+}
+
+}  // namespace
+}  // namespace mclat::exec

@@ -60,6 +60,54 @@ TEST(CliArgs, NegativeNumbersParse) {
   EXPECT_DOUBLE_EQ(args.number("x", 0.0, "x"), -3.5);
 }
 
+TEST(CliArgs, CountParsesAndDefaults) {
+  Argv a({"prog", "cmd", "--jobs", "8", "--reps", "3"});
+  CliArgs args(a.argc(), a.argv(), 2);
+  EXPECT_EQ(args.count("jobs", 1, "workers"), 8u);
+  EXPECT_EQ(args.count("reps", 1, "replications"), 3u);
+  EXPECT_EQ(args.count("absent", 4, "missing"), 4u);
+}
+
+TEST(CliArgsDeath, CountRejectsZero) {
+  EXPECT_EXIT(
+      {
+        Argv a({"prog", "cmd", "--jobs", "0"});
+        CliArgs args(a.argc(), a.argv(), 2);
+        (void)args.count("jobs", 1, "workers");
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(CliArgsDeath, CountRejectsNegative) {
+  EXPECT_EXIT(
+      {
+        Argv a({"prog", "cmd", "--reps", "-2"});
+        CliArgs args(a.argc(), a.argv(), 2);
+        (void)args.count("reps", 1, "replications");
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(CliArgsDeath, CountRejectsGarbage) {
+  EXPECT_EXIT(
+      {
+        Argv a({"prog", "cmd", "--jobs", "many"});
+        CliArgs args(a.argc(), a.argv(), 2);
+        (void)args.count("jobs", 1, "workers");
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(CliArgsDeath, CountRejectsFractional) {
+  EXPECT_EXIT(
+      {
+        Argv a({"prog", "cmd", "--jobs", "2.5"});
+        CliArgs args(a.argc(), a.argv(), 2);
+        (void)args.count("jobs", 1, "workers");
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+}
+
 TEST(CliArgsDeath, RejectsPositionalArguments) {
   EXPECT_EXIT(
       {

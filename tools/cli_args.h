@@ -4,6 +4,7 @@
 // ignoring them).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -42,6 +43,24 @@ class CliArgs {
     if (it == values_.end()) return def;
     seen_.insert(name);
     return std::atof(it->second.c_str());
+  }
+
+  /// Positive integer flag (>= 1) for counts like --jobs/--reps; a zero,
+  /// negative, fractional, or non-numeric value is a usage error (exit 2).
+  [[nodiscard]] std::uint64_t count(const std::string& name, std::uint64_t def,
+                                    const std::string& help) {
+    note(name, std::to_string(def), help);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    seen_.insert(name);
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || v < 1) {
+      std::fprintf(stderr, "--%s must be a positive integer (got \"%s\")\n",
+                   name.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
   }
 
   [[nodiscard]] std::string text(const std::string& name, std::string def,

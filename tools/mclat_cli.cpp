@@ -26,6 +26,7 @@
 #include "core/theorem1.h"
 #include "dist/discrete.h"
 #include "tools/cli_args.h"
+#include "tools/simulate_runner.h"
 
 namespace {
 
@@ -185,31 +186,36 @@ int cmd_redundancy(tools::CliArgs& args) {
 
 int cmd_simulate(tools::CliArgs& args) {
   core::SystemConfig cfg = config_from(args);
-  const double seconds =
-      args.number("seconds", 10.0, "simulated measurement seconds");
-  const auto requests = static_cast<std::uint64_t>(
+  tools::SimulateOptions opt;
+  opt.seconds = args.number("seconds", 10.0, "simulated measurement seconds");
+  opt.requests = static_cast<std::uint64_t>(
       args.number("requests", 20'000, "requests to assemble"));
-  const auto seed =
-      static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
+  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
+  opt.reps = args.count("reps", 1, "independent replications to merge");
+  opt.jobs = static_cast<std::size_t>(
+      args.count("jobs", 1, "worker threads for replications"));
+  const bool json = args.flag("json", "emit JSON");
   args.finish("mclat simulate — theory vs the simulated testbed");
+  const tools::SimulateResult r = tools::run_simulate(cfg, opt);
+  if (json) {
+    std::printf("%s\n", tools::simulate_json(cfg, opt, r).c_str());
+    return 0;
+  }
   const core::LatencyModel model(cfg);
-  cluster::WorkloadDrivenConfig sim;
-  sim.system = cfg;
-  sim.measure_time = seconds;
-  sim.warmup_time = seconds / 10.0;
-  sim.seed = seed;
-  const auto reqs = cluster::run_workload_experiment(sim, requests);
   const core::LatencyEstimate e = model.estimate();
+  std::printf("replications: %llu   jobs: %llu\n",
+              static_cast<unsigned long long>(opt.reps),
+              static_cast<unsigned long long>(opt.jobs));
   std::printf("%-8s | %-22s | %s\n", "latency", "theory (us)",
               "simulated (us)");
   std::printf("%-8s | %22.1f | %s\n", "T_N(N)", e.network * 1e6,
-              stats::format_us(reqs.network_ci()).c_str());
+              stats::format_us(r.network).c_str());
   std::printf("%-8s | %9.1f ~ %10.1f | %s\n", "T_S(N)", e.server.lower * 1e6,
-              e.server.upper * 1e6, stats::format_us(reqs.server_ci()).c_str());
+              e.server.upper * 1e6, stats::format_us(r.server).c_str());
   std::printf("%-8s | %22.1f | %s\n", "T_D(N)", e.database * 1e6,
-              stats::format_us(reqs.database_ci()).c_str());
+              stats::format_us(r.database).c_str());
   std::printf("%-8s | %9.1f ~ %10.1f | %s\n", "T(N)", e.total.lower * 1e6,
-              e.total.upper * 1e6, stats::format_us(reqs.total_ci()).c_str());
+              e.total.upper * 1e6, stats::format_us(r.total).c_str());
   return 0;
 }
 

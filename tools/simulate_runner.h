@@ -1,0 +1,122 @@
+// simulate_runner.h — the engine behind `mclat simulate`, factored out of
+// the CLI so the golden-regression tests (tests/exec/) can drive the exact
+// code path the tool ships.
+//
+// R replications of the Mode-A testbed are fanned across exec::TrialRunner;
+// each replication gets the deterministic seed exec::trial_seed(seed, i)
+// and its per-component Welford accumulators are merged in trial order, so
+// the reported statistics — and the --json rendering below — are
+// byte-identical for every --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/workload_driven.h"
+#include "core/theorem1.h"
+#include "exec/trial_runner.h"
+#include "stats/summary.h"
+#include "stats/welford.h"
+
+namespace mclat::tools {
+
+struct SimulateOptions {
+  double seconds = 10.0;           ///< simulated measurement seconds (per rep)
+  std::uint64_t requests = 20'000; ///< requests assembled per rep
+  std::uint64_t seed = 1;
+  std::uint64_t reps = 1;
+  std::size_t jobs = 1;
+};
+
+/// Merged per-component statistics over all replications.
+struct SimulateResult {
+  stats::MeanCI network;
+  stats::MeanCI server;
+  stats::MeanCI database;
+  stats::MeanCI total;
+};
+
+inline SimulateResult run_simulate(const core::SystemConfig& sys,
+                                   const SimulateOptions& opt) {
+  struct Trial {
+    stats::Welford network, server, database, total;
+  };
+  const exec::TrialRunner runner({opt.jobs, opt.seed});
+  const std::vector<Trial> trials =
+      runner.run(opt.reps, [&](std::uint64_t, std::uint64_t trial_seed) {
+        cluster::WorkloadDrivenConfig cfg;
+        cfg.system = sys;
+        cfg.measure_time = opt.seconds;
+        cfg.warmup_time = opt.seconds / 10.0;
+        cfg.seed = trial_seed;
+        const cluster::AssembledRequests reqs =
+            cluster::run_workload_experiment(cfg, opt.requests);
+        Trial t;
+        for (const double x : reqs.network) t.network.add(x);
+        for (const double x : reqs.server) t.server.add(x);
+        for (const double x : reqs.database) t.database.add(x);
+        for (const double x : reqs.total) t.total.add(x);
+        return t;
+      });
+
+  std::vector<stats::Welford> n, s, d, t;
+  for (const Trial& tr : trials) {
+    n.push_back(tr.network);
+    s.push_back(tr.server);
+    d.push_back(tr.database);
+    t.push_back(tr.total);
+  }
+  SimulateResult r;
+  r.network = stats::pooled_mean_ci(n);
+  r.server = stats::pooled_mean_ci(s);
+  r.database = stats::pooled_mean_ci(d);
+  r.total = stats::pooled_mean_ci(t);
+  return r;
+}
+
+namespace detail {
+inline std::string ci_json(const char* key, const stats::MeanCI& ci) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "\"%s\":{\"mean_us\":%.6f,\"half_us\":%.6f,\"count\":%llu}",
+                key, ci.mean * 1e6, ci.halfwidth * 1e6,
+                static_cast<unsigned long long>(ci.count));
+  return buf;
+}
+}  // namespace detail
+
+/// Machine-readable rendering of one simulate run. The format is frozen by
+/// the golden files under tests/golden/ — change it only together with them.
+inline std::string simulate_json(const core::SystemConfig& sys,
+                                 const SimulateOptions& opt,
+                                 const SimulateResult& r) {
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "{\"seed\":%llu,\"reps\":%llu,\"requests\":%llu,\"n\":%u,",
+                static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(opt.reps),
+                static_cast<unsigned long long>(opt.requests),
+                static_cast<unsigned>(sys.keys_per_request));
+  std::string out = head;
+  const core::LatencyModel model(sys);
+  if (model.stable()) {
+    const core::LatencyEstimate e = model.estimate();
+    char theory[256];
+    std::snprintf(theory, sizeof theory,
+                  "\"theory\":{\"network_us\":%.6f,"
+                  "\"server_us\":[%.6f,%.6f],\"database_us\":%.6f,"
+                  "\"total_us\":[%.6f,%.6f]},",
+                  e.network * 1e6, e.server.lower * 1e6, e.server.upper * 1e6,
+                  e.database * 1e6, e.total.lower * 1e6, e.total.upper * 1e6);
+    out += theory;
+  }
+  out += "\"measured\":{" + detail::ci_json("network", r.network) + "," +
+         detail::ci_json("server", r.server) + "," +
+         detail::ci_json("database", r.database) + "," +
+         detail::ci_json("total", r.total) + "}}";
+  return out;
+}
+
+}  // namespace mclat::tools
