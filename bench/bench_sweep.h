@@ -9,10 +9,14 @@
 // worker count (MCLAT_BENCH_JOBS) and replication count (MCLAT_BENCH_REPS).
 #pragma once
 
+#include <cmath>
+#include <string_view>
+
 #include "bench_util.h"
 #include "cluster/workload_driven.h"
 #include "core/theorem1.h"
 #include "exec/trial_runner.h"
+#include "obs/json_writer.h"
 #include "stats/welford.h"
 
 namespace mclat::bench {
@@ -103,9 +107,98 @@ inline ServerStagePoint run_server_point(const core::SystemConfig& sys,
   return pt;
 }
 
-/// Prints the standard sweep row.
+/// Output format for the sweep rows, from MCLAT_BENCH_FORMAT:
+///   table (default)  the human-readable columns below;
+///   json             one schema-v2 JSON document per row (NDJSON);
+///   csv              an RFC-4180 header + one row per point.
+/// json/csv rows carry identical numbers to the table — machine-readable
+/// sweeps need no second run.
+enum class SweepFormat { kTable, kJson, kCsv };
+
+inline SweepFormat sweep_format() {
+  const char* f = std::getenv("MCLAT_BENCH_FORMAT");
+  if (f == nullptr) return SweepFormat::kTable;
+  if (std::string_view(f) == "json") return SweepFormat::kJson;
+  if (std::string_view(f) == "csv") return SweepFormat::kCsv;
+  return SweepFormat::kTable;
+}
+
+/// The sweep variable's name, set by print_server_header for the
+/// machine-readable rows (bench mains are single-threaded).
+inline const char*& sweep_x_name() {
+  static const char* name = "x";
+  return name;
+}
+
+inline void print_server_header(const char* x_name) {
+  sweep_x_name() = x_name;
+  switch (sweep_format()) {
+    case SweepFormat::kJson:
+      return;  // NDJSON rows are self-describing
+    case SweepFormat::kCsv: {
+      obs::CsvWriter w;
+      w.cell("x_name").cell("x").cell("theory_lower_us")
+          .cell("theory_upper_us").cell("measured_mean_us")
+          .cell("measured_half_us").cell("count").cell("utilization")
+          .cell("stable").end_row();
+      std::printf("%s", w.str().c_str());
+      return;
+    }
+    case SweepFormat::kTable:
+      break;
+  }
+  std::printf("\n%8s | %-18s | %-26s | %6s | %s\n", x_name,
+              "eq.(14) lo~hi (us)", "experiment (us)", "rho", "band");
+  std::printf("---------+--------------------+----------------------------+--------+------\n");
+}
+
+/// Prints the standard sweep row in the selected format.
 inline void print_server_row(double x, const char* x_fmt,
                              const ServerStagePoint& pt) {
+  switch (sweep_format()) {
+    case SweepFormat::kJson: {
+      obs::JsonWriter w;
+      w.begin_document()
+          .field("x_name", sweep_x_name())
+          .field("x", x, 6)
+          .field("stable", pt.stable);
+      if (pt.stable) {
+        w.begin_object("theory_us")
+            .field("lower", pt.theory.lower * 1e6, 3)
+            .field("upper", pt.theory.upper * 1e6, 3)
+            .end_object();
+      } else {
+        w.null_field("theory_us");
+      }
+      w.begin_object("measured_us")
+          .field("mean", pt.measured.mean * 1e6, 3)
+          .field("half", pt.measured.halfwidth * 1e6, 3)
+          .field("count", static_cast<std::uint64_t>(pt.measured.count))
+          .end_object()
+          .field("utilization", pt.utilization, 6)
+          .end_object();
+      std::printf("%s\n", w.str().c_str());
+      return;
+    }
+    case SweepFormat::kCsv: {
+      const double nan = std::nan("");
+      obs::CsvWriter w;
+      w.cell(sweep_x_name())
+          .cell(x, 6)
+          .cell(pt.stable ? pt.theory.lower * 1e6 : nan, 3)
+          .cell(pt.stable ? pt.theory.upper * 1e6 : nan, 3)
+          .cell(pt.measured.mean * 1e6, 3)
+          .cell(pt.measured.halfwidth * 1e6, 3)
+          .cell(static_cast<std::uint64_t>(pt.measured.count))
+          .cell(pt.utilization, 6)
+          .cell(pt.stable ? "1" : "0")
+          .end_row();
+      std::printf("%s", w.str().c_str());
+      return;
+    }
+    case SweepFormat::kTable:
+      break;
+  }
   std::printf(x_fmt, x);
   if (pt.stable) {
     std::printf(" | %18s | %-26s | %5.1f%% | %s\n",
@@ -116,12 +209,6 @@ inline void print_server_row(double x, const char* x_fmt,
     std::printf(" | %18s | %-26s | %5.1f%% | unstable\n", "(unstable)",
                 us_ci(pt.measured).c_str(), 100.0 * pt.utilization);
   }
-}
-
-inline void print_server_header(const char* x_name) {
-  std::printf("\n%8s | %-18s | %-26s | %6s | %s\n", x_name,
-              "eq.(14) lo~hi (us)", "experiment (us)", "rho", "band");
-  std::printf("---------+--------------------+----------------------------+--------+------\n");
 }
 
 }  // namespace mclat::bench

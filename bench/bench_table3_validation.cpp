@@ -10,14 +10,14 @@
 #include "bench_util.h"
 #include "cluster/workload_driven.h"
 #include "core/theorem1.h"
+#include "tools/deployment_flags.h"
 
 int main() {
   using namespace mclat;
 
   const core::SystemConfig sys = core::SystemConfig::facebook();
   bench::banner("Table 3", "ICDCS'17 Table 3 (basic validation)",
-                "4 balanced servers, lambda=62.5Kps each, q=0.1, xi=0.15, "
-                "muS=80Kps, N=150, r=1%, muD=1Kps, net=20us");
+                tools::table3_banner().c_str());
 
   // Theory.
   const core::LatencyModel model(sys);

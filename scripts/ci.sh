@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's two-tier verify, runnable locally or in CI.
+#
+#   tier 1: release build + full ctest suite (ROADMAP.md "Tier-1 verify")
+#   tier 2: ThreadSanitizer build of the concurrency-sensitive suites —
+#           the parallel trial-execution engine (label `exec`) and the
+#           observability layer it records into (label `obs`).
+#
+# Usage: scripts/ci.sh [--tier1-only|--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tier1-only) run_tsan=0 ;;
+  --tsan-only) run_tier1=0 ;;
+  "") ;;
+  *) echo "usage: scripts/ci.sh [--tier1-only|--tsan-only]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "$run_tier1" == 1 ]]; then
+  echo "==> tier 1: build + full test suite"
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "==> tier 2: TSan on the exec + obs suites"
+  cmake -B build-tsan -S . -DMCLAT_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" --target tests_exec tests_obs
+  ctest --test-dir build-tsan -L "exec|obs" --output-on-failure -j "$jobs"
+fi
+
+echo "==> ci.sh: all requested tiers passed"

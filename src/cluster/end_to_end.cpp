@@ -32,6 +32,7 @@ struct RequestState {
   double max_server = 0.0;
   double max_db = 0.0;
   double max_total = 0.0;
+  double sum_total = 0.0;  ///< Σ per-key completion (sync-gap metric)
   bool measured = false;
 };
 
@@ -99,6 +100,18 @@ EndToEndResult EndToEndSim::run() {
   std::uint64_t measured_misses = 0;
   std::uint64_t keys_completed = 0;
 
+  // Per-stage observability handles (nullptr when the recorder is null).
+  const obs::Recorder& rec = cfg_.recorder;
+  obs::LatencyStat* st_network = rec.latency("stage.network_us");
+  obs::LatencyStat* st_server = rec.latency("stage.server_us");
+  obs::LatencyStat* st_db = rec.latency("stage.database_us");
+  obs::LatencyStat* st_total = rec.latency("stage.total_us");
+  obs::LatencyStat* st_gap = rec.latency("request.sync_gap_us");
+  obs::LatencyStat* st_slack = rec.latency("request.sync_slack_us");
+  obs::LatencyStat* st_db_sojourn = rec.latency("db.sojourn_us");
+  obs::Counter* ct_keys = rec.counter("sim.keys_completed");
+  obs::Counter* ct_misses = rec.counter("db.misses");
+
   // --- real-cache machinery ------------------------------------------------
   std::unique_ptr<workload::KeySpace> keyspace;
   std::vector<std::unique_ptr<cache::LruStore>> stores;
@@ -137,6 +150,7 @@ EndToEndResult EndToEndSim::run() {
     req.max_server = std::max(req.max_server, ctx.server_sojourn);
     req.max_db = std::max(req.max_db, ctx.db_sojourn);
     req.max_total = std::max(req.max_total, total);
+    req.sum_total += total;
     if (--req.remaining == 0) {
       if (req.measured) {
         w_network.add(sys.network_latency);
@@ -144,6 +158,17 @@ EndToEndResult EndToEndSim::run() {
         w_db.add(req.max_db);
         w_total.add(req.max_total);
         total_samples.push_back(req.max_total);
+        obs::observe(st_network, obs::to_us(sys.network_latency));
+        obs::observe(st_server, obs::to_us(req.max_server));
+        obs::observe(st_db, obs::to_us(req.max_db));
+        obs::observe(st_total, obs::to_us(req.max_total));
+        obs::observe(st_gap,
+                     obs::to_us(req.max_total -
+                                req.sum_total /
+                                    static_cast<double>(sys.keys_per_request)));
+        obs::observe(st_slack,
+                     obs::to_us(sys.network_latency + req.max_server +
+                                req.max_db - req.max_total));
       }
       requests.erase(ctx.request_id);
     }
@@ -158,6 +183,9 @@ EndToEndResult EndToEndSim::run() {
     if (kit != keys.end()) {
       KeyContext& ctx = kit->second;
       ctx.db_sojourn = d.sojourn_time();
+      if (requests.at(ctx.request_id).measured) {
+        obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
+      }
       if (real_cache) {
         // Refill the server's cache with the fetched value.
         const std::string key = keyspace->key_for_rank(ctx.key_rank);
@@ -200,6 +228,7 @@ EndToEndResult EndToEndSim::run() {
   std::vector<std::unique_ptr<sim::ServiceStation>> servers;
   servers.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
+    const std::string prefix = "server." + std::to_string(j);
     servers.push_back(std::make_unique<sim::ServiceStation>(
         s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
         master.split(), [&, j](const sim::Departure& d) {
@@ -215,7 +244,11 @@ EndToEndResult EndToEndSim::run() {
           const auto& req = requests.at(ctx.request_id);
           if (req.measured) {
             ++measured_keys;
-            if (miss) ++measured_misses;
+            obs::bump(ct_keys);
+            if (miss) {
+              ++measured_misses;
+              obs::bump(ct_misses);
+            }
           }
           if (miss) {
             submit_db(d.job_id);
@@ -224,6 +257,9 @@ EndToEndResult EndToEndSim::run() {
                           [&, job = d.job_id] { complete_key(job); });
           }
         }));
+    servers.back()->observe_split(rec.latency(prefix + ".wait_us"),
+                                  rec.latency(prefix + ".service_us"),
+                                  cfg_.warmup_time);
   }
 
   // --- request generator ------------------------------------------------------
@@ -275,8 +311,10 @@ EndToEndResult EndToEndSim::run() {
           : static_cast<double>(measured_misses) /
                 static_cast<double>(measured_keys);
   res.server_utilization.reserve(M);
-  for (const auto& srv : servers) {
-    res.server_utilization.push_back(srv->utilization(horizon));
+  for (std::size_t j = 0; j < M; ++j) {
+    res.server_utilization.push_back(servers[j]->utilization(horizon));
+    obs::set_gauge(rec.gauge("server." + std::to_string(j) + ".utilization"),
+                   res.server_utilization.back());
   }
   res.requests_completed = w_total.count();
   res.keys_completed = keys_completed;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/recorder.h"
 #include "stats/summary.h"
 
 namespace mclat::cluster {
@@ -55,6 +56,12 @@ struct EndToEndConfig {
   double warmup_time = 1.0;
   double measure_time = 10.0;
   std::uint64_t seed = 1;
+
+  /// Per-stage observability (null by default): per-server queue-wait /
+  /// service splits and utilisation, per-request stage maxima
+  /// ("stage.*_us"), the fork-join synchronization gap, and the miss-path
+  /// database sojourn. Only measured-window requests are recorded.
+  obs::Recorder recorder;
 
   [[nodiscard]] double effective_request_rate() const {
     return request_rate > 0.0

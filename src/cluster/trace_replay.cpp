@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "cluster/delay_station.h"
@@ -21,9 +22,11 @@ namespace {
 struct RequestState {
   double start = 0.0;
   std::uint32_t remaining = 0;
+  std::uint32_t n_keys = 0;
   double max_server = 0.0;
   double max_db = 0.0;
   double max_total = 0.0;
+  double sum_total = 0.0;  ///< Σ per-key completion (sync-gap metric)
 };
 
 struct KeyState {
@@ -62,6 +65,7 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   for (const auto& rec : trace.records()) {
     auto [it, fresh] = requests.try_emplace(rec.request_id);
     it->second.remaining += 1;
+    it->second.n_keys += 1;
     it->second.start =
         fresh ? rec.time : std::min(it->second.start, rec.time);
   }
@@ -82,26 +86,52 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   std::uint64_t misses = 0;
   std::uint64_t requests_completed = 0;
 
+  const obs::Recorder& orec = cfg_.recorder;
+  obs::LatencyStat* st_network = orec.latency("stage.network_us");
+  obs::LatencyStat* st_server = orec.latency("stage.server_us");
+  obs::LatencyStat* st_db = orec.latency("stage.database_us");
+  obs::LatencyStat* st_total = orec.latency("stage.total_us");
+  obs::LatencyStat* st_gap = orec.latency("request.sync_gap_us");
+  obs::LatencyStat* st_slack = orec.latency("request.sync_slack_us");
+  obs::LatencyStat* st_db_sojourn = orec.latency("db.sojourn_us");
+  obs::Counter* ct_keys = orec.counter("sim.keys_completed");
+  obs::Counter* ct_misses = orec.counter("db.misses");
+
   const auto complete_key = [&](std::uint64_t job) {
     const KeyState ks = in_flight.at(job);
     in_flight.erase(job);
     ++keys_completed;
+    obs::bump(ct_keys);
     RequestState& req = requests.at(ks.request_id);
     req.max_server = std::max(req.max_server, ks.server_sojourn);
     req.max_db = std::max(req.max_db, ks.db_sojourn);
-    req.max_total = std::max(req.max_total, s.now() - req.start);
+    const double total = s.now() - req.start;
+    req.max_total = std::max(req.max_total, total);
+    req.sum_total += total;
     if (--req.remaining == 0) {
       ++requests_completed;
       w_net.add(sys.network_latency);
       w_server.add(req.max_server);
       w_db.add(req.max_db);
       w_total.add(req.max_total);
+      obs::observe(st_network, obs::to_us(sys.network_latency));
+      obs::observe(st_server, obs::to_us(req.max_server));
+      obs::observe(st_db, obs::to_us(req.max_db));
+      obs::observe(st_total, obs::to_us(req.max_total));
+      obs::observe(st_gap,
+                   obs::to_us(req.max_total -
+                              req.sum_total /
+                                  static_cast<double>(req.n_keys)));
+      obs::observe(st_slack,
+                   obs::to_us(sys.network_latency + req.max_server +
+                              req.max_db - req.max_total));
     }
   };
 
   DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
                   master.split(), [&](const sim::Departure& d) {
                     in_flight.at(d.job_id).db_sojourn = d.sojourn_time();
+                    obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
                     s.schedule_in(net_half,
                                   [&, job = d.job_id] { complete_key(job); });
                   });
@@ -117,12 +147,16 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
               sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
           if (miss) {
             ++misses;
+            obs::bump(ct_misses);
             db.submit(d.job_id);
           } else {
             s.schedule_in(net_half,
                           [&, job = d.job_id] { complete_key(job); });
           }
         }));
+    servers.back()->observe_split(
+        orec.latency("server." + std::to_string(j) + ".wait_us"),
+        orec.latency("server." + std::to_string(j) + ".service_us"));
   }
 
   // Inject the trace. Records must be time-sorted (sort_by_time()).
@@ -153,8 +187,11 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
           : static_cast<double>(misses) / static_cast<double>(keys_completed);
   res.horizon = s.now();
   res.server_utilization.reserve(M);
-  for (const auto& srv : servers) {
-    res.server_utilization.push_back(srv->utilization(s.now()));
+  for (std::size_t j = 0; j < M; ++j) {
+    res.server_utilization.push_back(servers[j]->utilization(s.now()));
+    obs::set_gauge(
+        orec.gauge("server." + std::to_string(j) + ".utilization"),
+        res.server_utilization.back());
   }
   return res;
 }

@@ -15,6 +15,7 @@
 
 #include "cluster/end_to_end.h"
 #include "core/config.h"
+#include "obs/recorder.h"
 #include "stats/summary.h"
 #include "workload/keyspace.h"
 #include "workload/trace.h"
@@ -25,6 +26,9 @@ struct TraceReplayConfig {
   core::SystemConfig system;  ///< rates, miss ratio, database, network
   MapperKind mapper = MapperKind::kRing;
   std::uint64_t seed = 1;
+  /// Per-stage observability (null by default): per-server queue-wait /
+  /// service splits, per-request stage maxima, sync gap, miss-path T_D.
+  obs::Recorder recorder;
 };
 
 struct TraceReplayResult {

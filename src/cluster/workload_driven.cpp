@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "cluster/delay_station.h"
 #include "dist/discrete.h"
@@ -67,6 +68,10 @@ MeasurementPools WorkloadDrivenSim::run() {
             pool.add(d.sojourn_time(), pool_rng);
           }
         });
+    const std::string prefix = "server." + std::to_string(j);
+    station.observe_split(cfg_.recorder.latency(prefix + ".wait_us"),
+                          cfg_.recorder.latency(prefix + ".service_us"),
+                          measure_from);
     sim::BatchSource source(
         s, spec.make_gap(), spec.make_batch(), source_rng,
         [&](std::uint64_t batch) {
@@ -79,6 +84,10 @@ MeasurementPools WorkloadDrivenSim::run() {
     pools.server_sojourns[j] = pool.take();
     pools.server_utilization[j] = station.utilization(s.now());
     pools.total_keys += station.completed();
+    obs::set_gauge(cfg_.recorder.gauge(prefix + ".utilization"),
+                   pools.server_utilization[j]);
+    obs::bump(cfg_.recorder.counter("sim.keys_completed"),
+              station.completed());
   }
 
   // ---- database simulation: Poisson misses into an M/G/∞ stage ----------
@@ -90,10 +99,14 @@ MeasurementPools WorkloadDrivenSim::run() {
     dist::Rng arr_rng = master.split();
     dist::Rng pool_rng = master.split();
     stats::Reservoir pool(cfg_.pool_cap);
+    obs::LatencyStat* db_stat = cfg_.recorder.latency("db.sojourn_us");
+    obs::Counter* db_misses = cfg_.recorder.counter("db.misses");
     DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
                     db_rng, [&](const sim::Departure& d) {
                       if (d.arrival >= cfg_.warmup_time) {
                         pool.add(d.sojourn_time(), pool_rng);
+                        obs::observe(db_stat, obs::to_us(d.sojourn_time()));
+                        obs::bump(db_misses);
                       }
                     });
     // Poisson miss arrivals.
@@ -112,7 +125,8 @@ MeasurementPools WorkloadDrivenSim::run() {
 AssembledRequests assemble_requests(const MeasurementPools& pools,
                                     const core::SystemConfig& system,
                                     std::uint64_t requests,
-                                    std::uint64_t n_keys, dist::Rng& rng) {
+                                    std::uint64_t n_keys, dist::Rng& rng,
+                                    obs::Recorder recorder) {
   math::require(requests > 0 && n_keys > 0,
                 "assemble_requests: need requests, n_keys > 0");
   const std::vector<double> shares = system.shares();
@@ -130,10 +144,20 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
   out.database.reserve(requests);
   out.total.reserve(requests);
 
+  obs::LatencyStat* st_network = recorder.latency("stage.network_us");
+  obs::LatencyStat* st_server = recorder.latency("stage.server_us");
+  obs::LatencyStat* st_db = recorder.latency("stage.database_us");
+  obs::LatencyStat* st_total = recorder.latency("stage.total_us");
+  obs::LatencyStat* st_gap = recorder.latency("request.sync_gap_us");
+  obs::LatencyStat* st_slack = recorder.latency("request.sync_slack_us");
+  obs::Counter* ct_keys = recorder.counter("assembly.keys");
+  obs::Counter* ct_misses = recorder.counter("assembly.misses");
+
   for (std::uint64_t i = 0; i < requests; ++i) {
     double max_server = 0.0;
     double max_db = 0.0;
     double max_total = 0.0;
+    double sum_total = 0.0;
     for (std::uint64_t k = 0; k < n_keys; ++k) {
       const std::size_t j = server_pick.sample(rng);
       const auto& pool = pools.server_sojourns[j];
@@ -141,15 +165,29 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
       double d = 0.0;
       if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
         d = pools.db_sojourns[rng.uniform_index(pools.db_sojourns.size())];
+        obs::bump(ct_misses);
       }
+      const double key_total = system.network_latency + s + d;
       max_server = std::max(max_server, s);
       max_db = std::max(max_db, d);
-      max_total = std::max(max_total, system.network_latency + s + d);
+      max_total = std::max(max_total, key_total);
+      sum_total += key_total;
     }
     out.network.push_back(system.network_latency);
     out.server.push_back(max_server);
     out.database.push_back(max_db);
     out.total.push_back(max_total);
+    obs::observe(st_network, obs::to_us(system.network_latency));
+    obs::observe(st_server, obs::to_us(max_server));
+    obs::observe(st_db, obs::to_us(max_db));
+    obs::observe(st_total, obs::to_us(max_total));
+    obs::observe(st_gap,
+                 obs::to_us(max_total -
+                            sum_total / static_cast<double>(n_keys)));
+    obs::observe(st_slack,
+                 obs::to_us(system.network_latency + max_server + max_db -
+                            max_total));
+    obs::bump(ct_keys, n_keys);
   }
   return out;
 }
@@ -209,7 +247,7 @@ AssembledRequests run_workload_experiment(const WorkloadDrivenConfig& cfg,
   // simulation stream of this or any other trial.
   dist::Rng rng(exec::stream_seed(cfg.seed, exec::Stream::assembly));
   return assemble_requests(pools, cfg.system, requests,
-                           cfg.system.keys_per_request, rng);
+                           cfg.system.keys_per_request, rng, cfg.recorder);
 }
 
 dist::Empirical per_key_sojourn_distribution(const MeasurementPools& pools,

@@ -31,6 +31,7 @@
 #include "core/config.h"
 #include "dist/empirical.h"
 #include "dist/rng.h"
+#include "obs/recorder.h"
 #include "stats/summary.h"
 
 namespace mclat::cluster {
@@ -41,6 +42,11 @@ struct WorkloadDrivenConfig {
   double measure_time = 20.0;  ///< simulated seconds measured
   std::size_t pool_cap = 200'000;  ///< max sojourn samples kept per server
   std::uint64_t seed = 1;
+  /// Per-stage observability (null by default = zero-cost). Records
+  /// per-server queue-wait/service splits ("server.<j>.wait_us" /
+  /// ".service_us"), utilisation gauges, and the miss-path database
+  /// sojourn ("db.sojourn_us"). The registry must outlive run().
+  obs::Recorder recorder;
 };
 
 /// Raw measurement pools from the per-server and database simulations.
@@ -83,9 +89,16 @@ class WorkloadDrivenSim {
 /// Step 3: builds `requests` end-user requests of `n_keys` keys each from
 /// measured pools. Uses sampling with replacement; pools must be nonempty
 /// for every server with positive share (and for the DB when r > 0).
+/// A non-null recorder captures the per-request stage decomposition
+/// ("stage.{network,server,database,total}_us") plus the fork-join
+/// synchronization metrics ("request.sync_gap_us": last-key completion
+/// minus the mean per-key completion; "request.sync_slack_us": the
+/// Theorem-1 upper-bound slack T_N + T_S + T_D - T). Recording draws no
+/// random numbers, so assembled outputs are identical with or without it.
 [[nodiscard]] AssembledRequests assemble_requests(
     const MeasurementPools& pools, const core::SystemConfig& system,
-    std::uint64_t requests, std::uint64_t n_keys, dist::Rng& rng);
+    std::uint64_t requests, std::uint64_t n_keys, dist::Rng& rng,
+    obs::Recorder recorder = {});
 
 /// Redundant-assembly variant (core/redundancy.h): each key draws `d`
 /// independent sojourns (server picked per draw ~ {p_j}) and keeps the

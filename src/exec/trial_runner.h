@@ -16,6 +16,7 @@
 // makes it the golden reference the tests in tests/exec/ compare against.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <stdexcept>
@@ -24,12 +25,18 @@
 
 #include "exec/seed_stream.h"
 #include "exec/thread_pool.h"
+#include "obs/recorder.h"
 
 namespace mclat::exec {
 
 struct TrialOptions {
   std::size_t jobs = 1;        ///< worker threads (>= 1)
   std::uint64_t base_seed = 1; ///< root of every per-trial seed stream
+  /// Execution observability (null = zero cost): per-trial wall time
+  /// ("exec.trial_wall_us"), trial/job counts, and pool busy fraction.
+  /// These measure *real* time and are exempt from the determinism
+  /// guarantee — exporters must keep "exec.*" out of golden comparisons.
+  obs::Recorder recorder;
 };
 
 class TrialRunner {
@@ -47,24 +54,62 @@ class TrialRunner {
   [[nodiscard]] auto run(std::uint64_t trials, F&& fn) const
       -> std::vector<std::invoke_result_t<F&, std::uint64_t, std::uint64_t>> {
     using T = std::invoke_result_t<F&, std::uint64_t, std::uint64_t>;
+    using Clock = std::chrono::steady_clock;
     std::vector<T> out;
     out.reserve(trials);
     if (trials == 0) return out;
+    // Per-trial wall times are collected into an index-addressed slot each
+    // (no shared accumulator → no data race under the pool) and folded into
+    // the recorder serially, in trial order, after every future resolved.
+    const bool timed = opt_.recorder.enabled();
+    std::vector<double> wall_us(timed ? trials : 0, 0.0);
+    const auto timed_fn = [&fn, &wall_us, timed](std::uint64_t i,
+                                                 std::uint64_t seed) {
+      if (!timed) return fn(i, seed);
+      const auto t0 = Clock::now();
+      auto r = fn(i, seed);
+      wall_us[i] = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                       .count();
+      return r;
+    };
+    const auto t_start = Clock::now();
     if (opt_.jobs == 1 || trials == 1) {
       for (std::uint64_t i = 0; i < trials; ++i) {
-        out.push_back(fn(i, trial_seed(opt_.base_seed, i)));
+        out.push_back(timed_fn(i, trial_seed(opt_.base_seed, i)));
       }
-      return out;
+    } else {
+      ThreadPool pool(opt_.jobs < trials ? opt_.jobs
+                                         : static_cast<std::size_t>(trials));
+      std::vector<std::future<T>> futures;
+      futures.reserve(trials);
+      for (std::uint64_t i = 0; i < trials; ++i) {
+        futures.push_back(
+            pool.submit([&timed_fn, i, seed = trial_seed(opt_.base_seed, i)] {
+              return timed_fn(i, seed);
+            }));
+      }
+      for (auto& f : futures) out.push_back(f.get());
     }
-    ThreadPool pool(opt_.jobs < trials ? opt_.jobs
-                                       : static_cast<std::size_t>(trials));
-    std::vector<std::future<T>> futures;
-    futures.reserve(trials);
-    for (std::uint64_t i = 0; i < trials; ++i) {
-      futures.push_back(pool.submit(
-          [&fn, i, seed = trial_seed(opt_.base_seed, i)] { return fn(i, seed); }));
+    if (timed) {
+      const double elapsed_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t_start)
+              .count();
+      obs::LatencyStat* wall = opt_.recorder.latency("exec.trial_wall_us");
+      double busy_us = 0.0;
+      for (const double w : wall_us) {
+        wall->add(w);
+        busy_us += w;
+      }
+      opt_.recorder.counter("exec.trials")->add(trials);
+      opt_.recorder.gauge("exec.jobs")->set(
+          static_cast<double>(opt_.jobs));
+      // Mean fraction of the pool's capacity that was actually running
+      // trials: Σ trial wall time / (elapsed × jobs).
+      if (elapsed_us > 0.0) {
+        opt_.recorder.gauge("exec.pool.busy_fraction")
+            ->set(busy_us / (elapsed_us * static_cast<double>(opt_.jobs)));
+      }
     }
-    for (auto& f : futures) out.push_back(f.get());
     return out;
   }
 

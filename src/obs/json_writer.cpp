@@ -1,0 +1,233 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "math/numerics.h"
+
+namespace mclat::obs {
+
+void JsonWriter::comma() {
+  if (!first_in_scope_) out_ += ',';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\b': out_ += "\\b"; break;
+      case '\f': out_ += "\\f"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  math::require(!stack_.empty() && stack_.back() == '{',
+                "JsonWriter: keyed write outside an object");
+  comma();
+  append_escaped(key);
+  out_ += ':';
+}
+
+void JsonWriter::append_number(double value, int precision) {
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  out_ += buf;
+}
+
+JsonWriter& JsonWriter::begin_document() {
+  begin_object();
+  return field("schema_version", kSchemaVersion);
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  math::require(stack_.empty() || stack_.back() == '[',
+                "JsonWriter: anonymous object needs array or root scope");
+  if (!stack_.empty()) comma();
+  out_ += '{';
+  stack_.push_back('{');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += '{';
+  stack_.push_back('{');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  math::require(!stack_.empty() && stack_.back() == '{',
+                "JsonWriter: end_object without matching begin_object");
+  out_ += '}';
+  stack_.pop_back();
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  stack_.push_back('[');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  math::require(!stack_.empty() && stack_.back() == '[',
+                "JsonWriter: anonymous array needs an array scope");
+  comma();
+  out_ += '[';
+  stack_.push_back('[');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  math::require(!stack_.empty() && stack_.back() == '[',
+                "JsonWriter: end_array without matching begin_array");
+  out_ += ']';
+  stack_.pop_back();
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  append_escaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, int value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value,
+                              int precision) {
+  key_prefix(key);
+  append_number(value, precision);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_field(std::string_view key) {
+  key_prefix(key);
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(double value, int precision) {
+  math::require(!stack_.empty() && stack_.back() == '[',
+                "JsonWriter: element outside an array");
+  comma();
+  append_number(value, precision);
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(std::string_view value) {
+  math::require(!stack_.empty() && stack_.back() == '[',
+                "JsonWriter: element outside an array");
+  comma();
+  append_escaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(std::uint64_t value) {
+  math::require(!stack_.empty() && stack_.back() == '[',
+                "JsonWriter: element outside an array");
+  comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  math::require(stack_.empty(), "JsonWriter: unbalanced document");
+  return out_;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view value) {
+  separator();
+  if (value.find_first_of(",\"\n\r") != std::string_view::npos) {
+    out_ += '"';
+    for (const char c : value) {
+      if (c == '"') out_ += '"';
+      out_ += c;
+    }
+    out_ += '"';
+  } else {
+    out_ += value;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(const char* value) {
+  return cell(std::string_view(value));
+}
+
+CsvWriter& CsvWriter::cell(double value, int precision) {
+  separator();
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    out_ += buf;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+  separator();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::end_row() {
+  out_ += '\n';
+  row_open_ = false;
+  return *this;
+}
+
+void CsvWriter::separator() {
+  if (row_open_) out_ += ',';
+  row_open_ = true;
+}
+
+}  // namespace mclat::obs

@@ -1,0 +1,99 @@
+// json_writer.h — the one JSON emitter behind every machine-readable output
+// of the repository (CLI --json, --metrics, bench rows, golden files).
+//
+// Before this existed, each consumer hand-rolled its own printf("{\"...")
+// block; the formats drifted and none of them escaped strings or had a
+// version field. JsonWriter centralises:
+//
+//   * structure   — begin/end object/array with automatic comma placement,
+//                   checked for balance on str();
+//   * escaping    — keys and string values pass through RFC 8259 escaping
+//                   (quotes, backslashes, control characters);
+//   * numbers     — doubles print as fixed-point with an explicit precision
+//                   (the golden files freeze these bytes), and non-finite
+//                   values serialise as null: JSON has no NaN/Inf literals,
+//                   and emitting them unquoted would corrupt the document;
+//   * versioning  — every document opens with "schema_version" (see
+//                   kSchemaVersion) so downstream parsers can dispatch.
+//
+// CsvWriter is the sibling emitter for tabular exports (--metrics=FILE.csv,
+// MCLAT_BENCH_FORMAT=csv): RFC-4180 quoting, one str() at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mclat::obs {
+
+/// Version of the machine-readable output schema. v1 was the ad-hoc
+/// printf-era format (no version field); v2 is the first JsonWriter schema.
+inline constexpr int kSchemaVersion = 2;
+
+class JsonWriter {
+ public:
+  /// Opens the root object and stamps "schema_version" as its first field.
+  /// Most documents should use this; the bare begin_object() exists for
+  /// nested writers and tests.
+  JsonWriter& begin_document();
+
+  JsonWriter& begin_object();                        ///< anonymous: root/array
+  JsonWriter& begin_object(std::string_view key);    ///< "key":{
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);     ///< "key":[
+  JsonWriter& begin_array();                         ///< anonymous: nested
+  JsonWriter& end_array();
+
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, int value);
+  /// Fixed-point double; NaN/Inf become null (documented policy above).
+  JsonWriter& field(std::string_view key, double value, int precision = 6);
+  JsonWriter& null_field(std::string_view key);
+
+  /// Array elements.
+  JsonWriter& element(double value, int precision = 6);
+  JsonWriter& element(std::string_view value);
+  JsonWriter& element(std::uint64_t value);
+
+  /// The finished document. Throws unless every begin_* was closed.
+  [[nodiscard]] std::string str() const;
+
+  /// The buffer so far (no balance check) — for incremental streaming.
+  [[nodiscard]] const std::string& partial() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void key_prefix(std::string_view key);
+  void append_escaped(std::string_view s);
+  void append_number(double value, int precision);
+
+  std::string out_;
+  std::vector<char> stack_;  // '{' or '[' per open scope
+  bool first_in_scope_ = true;
+};
+
+/// Minimal RFC-4180 CSV emitter: cells are quoted only when they contain a
+/// comma, quote, or newline; embedded quotes are doubled. Numeric cells use
+/// the same fixed-point/NaN policy as JsonWriter (non-finite prints empty).
+class CsvWriter {
+ public:
+  CsvWriter& cell(std::string_view value);
+  CsvWriter& cell(const char* value);
+  CsvWriter& cell(double value, int precision = 6);
+  CsvWriter& cell(std::uint64_t value);
+  CsvWriter& end_row();
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void separator();
+
+  std::string out_;
+  bool row_open_ = false;
+};
+
+}  // namespace mclat::obs

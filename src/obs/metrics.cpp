@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <limits>
+
+#include "obs/json_writer.h"
+
+namespace mclat::obs {
+
+namespace {
+constexpr double kQuantiles[3] = {0.5, 0.95, 0.99};
+}  // namespace
+
+LatencyStat::LatencyStat()
+    : p2_{stats::P2Quantile(kQuantiles[0]), stats::P2Quantile(kQuantiles[1]),
+          stats::P2Quantile(kQuantiles[2])} {}
+
+void LatencyStat::add(double x) {
+  w_.add(x);
+  for (auto& p2 : p2_) p2.add(x);
+}
+
+double LatencyStat::quantile_at(int i) const {
+  if (w_.count() == 0) return std::numeric_limits<double>::quiet_NaN();
+  return merged_ ? merged_q_[i] : p2_[i].value();
+}
+
+double LatencyStat::p50() const { return quantile_at(0); }
+double LatencyStat::p95() const { return quantile_at(1); }
+double LatencyStat::p99() const { return quantile_at(2); }
+
+void LatencyStat::merge(const LatencyStat& o) {
+  const std::uint64_t n1 = w_.count();
+  const std::uint64_t n2 = o.w_.count();
+  if (n2 == 0) return;
+  for (int i = 0; i < 3; ++i) {
+    const double q2 = o.quantile_at(i);
+    if (n1 == 0) {
+      merged_q_[i] = q2;
+    } else {
+      const double q1 = quantile_at(i);
+      merged_q_[i] = (q1 * static_cast<double>(n1) +
+                      q2 * static_cast<double>(n2)) /
+                     static_cast<double>(n1 + n2);
+    }
+  }
+  merged_ = true;
+  w_.merge(o.w_);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+LatencyStat& Registry::latency(std::string_view name) {
+  const auto it = latencies_.find(name);
+  if (it != latencies_.end()) return it->second;
+  return latencies_.emplace(std::string(name), LatencyStat{}).first->second;
+}
+
+void Registry::merge(const Registry& o) {
+  for (const auto& [name, c] : o.counters_) counter(name).merge(c);
+  for (const auto& [name, g] : o.gauges_) gauge(name).merge(g);
+  for (const auto& [name, l] : o.latencies_) latency(name).merge(l);
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_object("metrics");
+  w.begin_object("counters");
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, g] : gauges_) w.field(name, g.value());
+  w.end_object();
+  w.begin_object("latency");
+  for (const auto& [name, l] : latencies_) {
+    w.begin_object(name);
+    w.field("count", l.count());
+    w.field("mean", l.mean());
+    w.field("stddev", l.stddev());
+    w.field("min", l.count() ? l.min() : 0.0);
+    w.field("max", l.count() ? l.max() : 0.0);
+    w.field("p50", l.p50());
+    w.field("p95", l.p95());
+    w.field("p99", l.p99());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  JsonWriter w;
+  w.begin_document();
+  write_json(w);
+  w.end_object();
+  return w.str();
+}
+
+std::string Registry::to_csv() const {
+  CsvWriter w;
+  w.cell("kind").cell("name").cell("count").cell("value").cell("mean")
+      .cell("stddev").cell("min").cell("max").cell("p50").cell("p95")
+      .cell("p99").end_row();
+  for (const auto& [name, c] : counters_) {
+    w.cell("counter").cell(name).cell(c.value()).cell(c.value())
+        .cell("").cell("").cell("").cell("").cell("").cell("").cell("")
+        .end_row();
+  }
+  for (const auto& [name, g] : gauges_) {
+    w.cell("gauge").cell(name).cell("").cell(g.value()).cell("").cell("")
+        .cell("").cell("").cell("").cell("").cell("").end_row();
+  }
+  for (const auto& [name, l] : latencies_) {
+    w.cell("latency").cell(name).cell(l.count()).cell("").cell(l.mean())
+        .cell(l.stddev()).cell(l.count() ? l.min() : 0.0)
+        .cell(l.count() ? l.max() : 0.0).cell(l.p50()).cell(l.p95())
+        .cell(l.p99()).end_row();
+  }
+  return w.str();
+}
+
+}  // namespace mclat::obs

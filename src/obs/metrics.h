@@ -1,0 +1,144 @@
+// metrics.h — the per-run metrics registry behind `mclat ... --metrics`.
+//
+// A Registry is a named collection of three instrument kinds:
+//
+//   Counter      monotone event counts (keys completed, cache misses);
+//   Gauge        last-write point-in-time values (jobs, pool occupancy);
+//   LatencyStat  streaming latency distributions: a Welford accumulator
+//                (exact mean/variance/min/max, exactly mergeable) plus P²
+//                sketches for the 50/95/99th percentiles (O(1) memory).
+//
+// Registries are cheap value types that live in *per-trial* state: each
+// replication records into its own registry and the trial runner merges
+// them strictly in trial-index order, which is what keeps `--jobs N`
+// bit-for-bit invariant (the PR-1 golden-regression guarantee) even with
+// observability enabled. Merging is exact for counters and Welford moments;
+// P² quantile sketches cannot be merged exactly, so merge() folds them as
+// the count-weighted average of the component estimates — deterministic,
+// and documented as approximate. add() after merge() is unsupported.
+//
+// Naming convention: dotted lowercase paths with a unit suffix —
+// "server.0.wait_us", "stage.total_us", "exec.trial_wall_us". Metrics under
+// "exec." measure real (wall-clock) behaviour and are therefore exempt from
+// the determinism guarantee; everything else is simulation-domain and must
+// be byte-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "stats/p2_quantile.h"
+#include "stats/welford.h"
+
+namespace mclat::obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void merge(const Counter& o) noexcept { value_ += o.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_ = value;
+    set_ = true;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool is_set() const noexcept { return set_; }
+  /// Last-write-wins in merge order (merges run in trial-index order, so
+  /// the surviving value is the last trial's — deterministic).
+  void merge(const Gauge& o) noexcept {
+    if (o.set_) set(o.value_);
+  }
+
+ private:
+  double value_ = 0.0;
+  bool set_ = false;
+};
+
+class LatencyStat {
+ public:
+  LatencyStat();
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return w_.count(); }
+  [[nodiscard]] double mean() const noexcept { return w_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return w_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return w_.min(); }
+  [[nodiscard]] double max() const noexcept { return w_.max(); }
+  [[nodiscard]] const stats::Welford& welford() const noexcept { return w_; }
+
+  /// P² estimates (NaN until the first sample).
+  [[nodiscard]] double p50() const;
+  [[nodiscard]] double p95() const;
+  [[nodiscard]] double p99() const;
+
+  /// Exact for moments/extremes; count-weighted-average for quantiles.
+  void merge(const LatencyStat& o);
+
+ private:
+  [[nodiscard]] double quantile_at(int i) const;
+
+  stats::Welford w_;
+  stats::P2Quantile p2_[3];
+  double merged_q_[3] = {0.0, 0.0, 0.0};
+  bool merged_ = false;
+};
+
+/// The registry: name → instrument, one kind per namespace. Lookup creates
+/// on first use (prometheus-style), so recording sites never need
+/// registration boilerplate. std::map keeps export order sorted and thus
+/// deterministic.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] LatencyStat& latency(std::string_view name);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && latencies_.empty();
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, LatencyStat, std::less<>>&
+  latencies() const noexcept {
+    return latencies_;
+  }
+
+  /// Unions by name; same-name instruments merge per their kind's rule.
+  /// Call in trial-index order for deterministic results.
+  void merge(const Registry& o);
+
+  /// Writes this registry as a "metrics" object into an open JSON object:
+  /// {"counters":{...},"gauges":{...},"latency":{name:{count,mean,...}}}.
+  void write_json(JsonWriter& w) const;
+
+  /// Full standalone documents.
+  [[nodiscard]] std::string to_json() const;
+  /// "kind,name,count,value,mean,stddev,min,max,p50,p95,p99" rows.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, LatencyStat, std::less<>> latencies_;
+};
+
+}  // namespace mclat::obs

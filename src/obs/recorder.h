@@ -1,0 +1,69 @@
+// recorder.h — the null-object face of the metrics registry.
+//
+// Observability must be pay-for-what-you-use: simulation hot paths cannot
+// afford map lookups or even string construction per event, and a run
+// without --metrics must behave exactly like the pre-observability code.
+// The pattern, used at every instrumented site:
+//
+//   1. A Recorder is a nullable handle to a Registry. Default-constructed,
+//      it is the *null recorder*.
+//   2. At setup time the site resolves named instruments once:
+//      `obs::LatencyStat* wait = rec.latency("server.0.wait_us");`
+//      The null recorder resolves every name to nullptr.
+//   3. The hot path records through the free helpers, which compile to a
+//      single predictable-not-taken branch when the pointer is null:
+//      `obs::observe(wait, d.waiting_time() * 1e6);`
+//
+// Recorders are trivially copyable; embed them by value in config structs
+// (WorkloadDrivenConfig, EndToEndConfig, ...). Because a Recorder aliases a
+// Registry owned elsewhere, the owner must outlive the run — in practice
+// registries live in per-trial state on the trial runner's stack.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace mclat::obs {
+
+class Recorder {
+ public:
+  /// The null recorder: every lookup yields nullptr, every record a no-op.
+  Recorder() = default;
+  explicit Recorder(Registry& registry) : reg_(&registry) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return reg_ != nullptr; }
+  [[nodiscard]] Registry* registry() const noexcept { return reg_; }
+
+  /// Resolve instruments once at setup; nullptr when the recorder is null.
+  [[nodiscard]] LatencyStat* latency(std::string_view name) const {
+    return reg_ ? &reg_->latency(name) : nullptr;
+  }
+  [[nodiscard]] Counter* counter(std::string_view name) const {
+    return reg_ ? &reg_->counter(name) : nullptr;
+  }
+  [[nodiscard]] Gauge* gauge(std::string_view name) const {
+    return reg_ ? &reg_->gauge(name) : nullptr;
+  }
+
+ private:
+  Registry* reg_ = nullptr;
+};
+
+/// Hot-path record helpers: no-ops on null handles.
+inline void observe(LatencyStat* stat, double x) {
+  if (stat != nullptr) stat->add(x);
+}
+inline void bump(Counter* counter, std::uint64_t delta = 1) {
+  if (counter != nullptr) counter->add(delta);
+}
+inline void set_gauge(Gauge* gauge, double value) {
+  if (gauge != nullptr) gauge->set(value);
+}
+
+/// Seconds → the registry's microsecond convention for latency metrics.
+inline constexpr double to_us(double seconds) noexcept {
+  return seconds * 1e6;
+}
+
+}  // namespace mclat::obs

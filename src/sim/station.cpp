@@ -49,6 +49,10 @@ void ServiceStation::begin_service() {
     d.departure = sim_.now();
     waiting_.add(d.waiting_time());
     sojourn_.add(d.sojourn_time());
+    if (d.arrival >= obs_from_) {
+      obs::observe(obs_wait_, obs::to_us(d.waiting_time()));
+      obs::observe(obs_service_, obs::to_us(d.departure - d.service_start));
+    }
     if (!queue_.empty()) begin_service();
     on_departure_(d);
   });

@@ -15,6 +15,7 @@
 
 #include "dist/distribution.h"
 #include "dist/rng.h"
+#include "obs/recorder.h"
 #include "sim/simulator.h"
 #include "stats/welford.h"
 
@@ -82,6 +83,18 @@ class ServiceStation {
   /// arrival rate this closes Little's law L = λ·E[T] directly.
   [[nodiscard]] double time_average_number_in_system(Time now) const;
 
+  /// Attaches per-departure observability: every job arriving at or after
+  /// `from` splits its sojourn into queue-wait and service components on
+  /// the given stats (microseconds). Null pointers are no-ops — the
+  /// obs::Recorder null-object pattern — so the unobserved hot path costs
+  /// one predictable branch.
+  void observe_split(obs::LatencyStat* wait, obs::LatencyStat* service,
+                     Time from = 0.0) noexcept {
+    obs_wait_ = wait;
+    obs_service_ = service;
+    obs_from_ = from;
+  }
+
  private:
   struct Pending {
     std::uint64_t job_id;
@@ -103,6 +116,9 @@ class ServiceStation {
   stats::Welford waiting_;
   stats::Welford sojourn_;
   stats::Welford found_;
+  obs::LatencyStat* obs_wait_ = nullptr;
+  obs::LatencyStat* obs_service_ = nullptr;
+  Time obs_from_ = 0.0;
   // number-in-system integral for the time-average L
   void account_population(Time now) noexcept;
   std::size_t in_system_ = 0;

@@ -102,6 +102,27 @@ TEST(GoldenRegression, ParallelPathReproducesSerialBytes) {
   }
 }
 
+TEST(GoldenRegression, RecordersEnabledPreserveGoldenBytes) {
+  // Observability must be a pure observer: running the same testbed with a
+  // metrics registry attached may not move a single byte of the simulate
+  // output, serial or pooled (recording draws no random numbers).
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  tools::SimulateOptions opt = quick_options(8);
+  obs::Registry serial_reg;
+  opt.metrics = &serial_reg;
+  const std::string serial =
+      tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+  check_golden("simulate_fb_seed1_rep8.json", serial);
+  for (const std::size_t jobs : {2u, 8u}) {
+    obs::Registry reg;
+    opt.jobs = jobs;
+    opt.metrics = &reg;
+    const std::string parallel =
+        tools::simulate_json(sys, opt, tools::run_simulate(sys, opt));
+    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+  }
+}
+
 TEST(GoldenRegression, SkewedLoadSimulate) {
   core::SystemConfig sys = core::SystemConfig::facebook();
   sys.load_shares = {0.4, 0.3, 0.2, 0.1};

@@ -1,0 +1,82 @@
+// v1 → v2 schema migration guard.
+//
+// The printf-era (v1) golden files are preserved verbatim under
+// tests/golden/v1/; the live goldens at tests/golden/*.json are schema v2
+// (obs::JsonWriter). These tests assert the migration changed *shape only*:
+// every numeric field shared by both schemas must be exactly equal, v2 must
+// carry schema_version=2, and v1 must not — so a regeneration that silently
+// moved the statistics cannot hide behind the format change.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.h"
+
+#ifndef MCLAT_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define MCLAT_GOLDEN_DIR"
+#endif
+
+namespace mclat {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void expect_numeric_equality(const std::string& name) {
+  const std::string dir(MCLAT_GOLDEN_DIR);
+  const auto v1 = testjson::parse(slurp(dir + "/v1/" + name));
+  const auto v2 = testjson::parse(slurp(dir + "/" + name));
+
+  EXPECT_FALSE(v1->has("schema_version")) << name;
+  ASSERT_TRUE(v2->has("schema_version")) << name;
+  EXPECT_EQ(v2->at("schema_version").num(), 2.0) << name;
+
+  for (const char* k : {"seed", "reps", "requests", "n"}) {
+    EXPECT_EQ(v1->at(k).num(), v2->at(k).num()) << name << " ." << k;
+  }
+
+  ASSERT_EQ(v1->has("theory"), v2->has("theory")) << name;
+  if (v1->has("theory")) {
+    const auto& t1 = v1->at("theory");
+    const auto& t2 = v2->at("theory");
+    EXPECT_EQ(t1.at("network_us").num(), t2.at("network_us").num()) << name;
+    EXPECT_EQ(t1.at("database_us").num(), t2.at("database_us").num()) << name;
+    for (const char* k : {"server_us", "total_us"}) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(t1.at(k).at(i).num(), t2.at(k).at(i).num())
+            << name << " theory." << k << "[" << i << "]";
+      }
+    }
+  }
+
+  const auto& m1 = v1->at("measured");
+  const auto& m2 = v2->at("measured");
+  for (const char* comp : {"network", "server", "database", "total"}) {
+    for (const char* field : {"mean_us", "half_us", "count"}) {
+      EXPECT_EQ(m1.at(comp).at(field).num(), m2.at(comp).at(field).num())
+          << name << " measured." << comp << "." << field;
+    }
+  }
+}
+
+TEST(SchemaMigration, FacebookSingleRep) {
+  expect_numeric_equality("simulate_fb_seed1_rep1.json");
+}
+
+TEST(SchemaMigration, FacebookEightReps) {
+  expect_numeric_equality("simulate_fb_seed1_rep8.json");
+}
+
+TEST(SchemaMigration, SkewedTwoReps) {
+  expect_numeric_equality("simulate_skewed_seed1_rep2.json");
+}
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,100 @@
+// Round-trip and byte-level tests for obs::JsonWriter / obs::CsvWriter —
+// the single emitter behind every machine-readable output of the repo.
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.h"
+#include "obs/json_writer.h"
+
+namespace mclat {
+namespace {
+
+TEST(JsonWriter, SimpleObjectBytes) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("a", std::uint64_t{1})
+      .field("b", "x")
+      .field("c", true)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriter, DocumentStampsSchemaVersionFirst) {
+  obs::JsonWriter w;
+  w.begin_document().field("k", std::uint64_t{7}).end_object();
+  EXPECT_EQ(w.str().rfind("{\"schema_version\":2,", 0), 0u) << w.str();
+  const auto doc = testjson::parse(w.str());
+  EXPECT_EQ(doc->at("schema_version").num(), obs::kSchemaVersion);
+}
+
+TEST(JsonWriter, FixedPrecisionDoubles) {
+  obs::JsonWriter w;
+  w.begin_object().field("x", 1.5, 3).field("y", 2.0 / 3.0, 6).end_object();
+  EXPECT_EQ(w.str(), "{\"x\":1.500,\"y\":0.666667}");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("nan", std::nan(""), 3)
+      .field("inf", INFINITY, 3)
+      .field("ninf", -INFINITY, 3)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"nan\":null,\"inf\":null,\"ninf\":null}");
+  const auto doc = testjson::parse(w.str());
+  EXPECT_TRUE(doc->at("nan").is_null());
+}
+
+TEST(JsonWriter, EscapesStringsRfc8259) {
+  obs::JsonWriter w;
+  w.begin_object().field("k\"ey", "a\\b\"c\n\t\x01").end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"a\\\\b\\\"c\\n\\t\\u0001\"}");
+  // And the escaping round-trips through a conforming reader.
+  const auto doc = testjson::parse(w.str());
+  EXPECT_EQ(doc->at("k\"ey").str(), "a\\b\"c\n\t\x01");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .begin_object("o")
+      .begin_array("xs")
+      .element(1.0, 1)
+      .element(2.0, 1)
+      .end_array()
+      .field("n", std::uint64_t{3})
+      .end_object()
+      .null_field("z")
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"o\":{\"xs\":[1.0,2.0],\"n\":3},\"z\":null}");
+  const auto doc = testjson::parse(w.str());
+  EXPECT_EQ(doc->at("o").at("xs").at(1).num(), 2.0);
+}
+
+TEST(JsonWriter, StrThrowsOnUnbalancedDocument) {
+  obs::JsonWriter w;
+  w.begin_object().begin_object("inner");
+  EXPECT_THROW((void)w.str(), std::invalid_argument);
+}
+
+TEST(JsonWriter, ParserRejectsTruncatedDocument) {
+  EXPECT_THROW((void)testjson::parse("{\"a\":1"), std::runtime_error);
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  obs::CsvWriter w;
+  w.cell("plain").cell("a,b").cell("q\"q").cell("l1\nl2").end_row();
+  EXPECT_EQ(w.str(), "plain,\"a,b\",\"q\"\"q\",\"l1\nl2\"\n");
+}
+
+TEST(CsvWriter, NumericCells) {
+  obs::CsvWriter w;
+  w.cell(1.25, 2).cell(std::uint64_t{42}).cell(std::nan(""), 2).end_row();
+  EXPECT_EQ(w.str(), "1.25,42,\n");
+}
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,175 @@
+// Tests for the obs metrics registry: instrument semantics, deterministic
+// merge (the property that keeps --jobs byte-invariance alive with
+// observability enabled), and the JSON/CSV exports.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace mclat {
+namespace {
+
+TEST(Counter, AddAndMerge) {
+  obs::Counter a, b;
+  a.add();
+  a.add(4);
+  b.add(10);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 15u);
+}
+
+TEST(Gauge, MergeIsLastWriteWins) {
+  obs::Gauge a, b, unset;
+  a.set(1.0);
+  b.set(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+  a.merge(unset);  // merging an unset gauge must not clobber
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+  EXPECT_TRUE(a.is_set());
+  EXPECT_FALSE(unset.is_set());
+}
+
+TEST(LatencyStat, MomentsMatchDirectAccumulation) {
+  obs::LatencyStat s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // P² on a uniform ramp should land near the true quantiles.
+  EXPECT_NEAR(s.p50(), 50.5, 3.0);
+  EXPECT_NEAR(s.p95(), 95.0, 3.0);
+  EXPECT_NEAR(s.p99(), 99.0, 2.0);
+}
+
+TEST(LatencyStat, EmptyQuantilesAreNaN) {
+  const obs::LatencyStat s;
+  EXPECT_TRUE(std::isnan(s.p50()));
+  EXPECT_TRUE(std::isnan(s.p99()));
+}
+
+TEST(LatencyStat, MergeMomentsAreExact) {
+  obs::LatencyStat a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i * 0.1);
+    whole.add(i * 0.1);
+  }
+  for (int i = 50; i < 200; ++i) {
+    b.add(i * 0.1);
+    whole.add(i * 0.1);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  // Quantiles after merge are the documented count-weighted approximation:
+  // still inside the data range and ordered.
+  EXPECT_GE(a.p50(), 0.0);
+  EXPECT_LE(a.p99(), 19.9);
+  EXPECT_LE(a.p50(), a.p95());
+  EXPECT_LE(a.p95(), a.p99());
+}
+
+TEST(Registry, LookupCreatesAndIsStable) {
+  obs::Registry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("a.count").add(2);
+  reg.counter("a.count").add(3);
+  reg.gauge("g").set(1.5);
+  reg.latency("l.us").add(10.0);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.counter("a.count").value(), 5u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.latencies().size(), 1u);
+}
+
+TEST(Registry, MergeInTrialOrderIsDeterministic) {
+  // Two "trials" recorded independently, merged in index order, must give
+  // the same export bytes no matter which thread produced which trial.
+  auto make_trial = [](int shift) {
+    obs::Registry r;
+    for (int i = 0; i < 20; ++i) {
+      r.latency("stage.total_us").add(static_cast<double>(i + shift));
+    }
+    r.counter("sim.keys_completed").add(20);
+    return r;
+  };
+  obs::Registry merged_a;
+  merged_a.merge(make_trial(0));
+  merged_a.merge(make_trial(100));
+  obs::Registry merged_b;
+  merged_b.merge(make_trial(0));
+  merged_b.merge(make_trial(100));
+  EXPECT_EQ(merged_a.to_json(), merged_b.to_json());
+  EXPECT_EQ(merged_a.counter("sim.keys_completed").value(), 40u);
+  EXPECT_EQ(merged_a.latency("stage.total_us").count(), 40u);
+}
+
+TEST(Registry, ToJsonParsesAndCarriesAllSections) {
+  obs::Registry reg;
+  reg.counter("c").add(7);
+  reg.gauge("g").set(0.25);
+  reg.latency("l_us").add(1.0);
+  reg.latency("l_us").add(3.0);
+  const auto doc = testjson::parse(reg.to_json());
+  EXPECT_EQ(doc->at("schema_version").num(), 2.0);
+  const auto& m = doc->at("metrics");
+  EXPECT_EQ(m.at("counters").at("c").num(), 7.0);
+  EXPECT_DOUBLE_EQ(m.at("gauges").at("g").num(), 0.25);
+  const auto& l = m.at("latency").at("l_us");
+  EXPECT_EQ(l.at("count").num(), 2.0);
+  EXPECT_DOUBLE_EQ(l.at("mean").num(), 2.0);
+  EXPECT_DOUBLE_EQ(l.at("min").num(), 1.0);
+  EXPECT_DOUBLE_EQ(l.at("max").num(), 3.0);
+  EXPECT_TRUE(m.at("latency").at("l_us").has("p99"));
+}
+
+TEST(Registry, ToCsvHasHeaderAndOneRowPerInstrument) {
+  obs::Registry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").set(2.0);
+  reg.latency("l").add(3.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("kind,name,count,value,mean,stddev,min,max,p50,p95,p99",
+                      0),
+            0u)
+      << csv;
+  int rows = 0;
+  for (const char ch : csv) rows += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, 4);  // header + counter + gauge + latency
+}
+
+TEST(Recorder, NullRecorderIsSafeNoOp) {
+  const obs::Recorder rec;  // disabled
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.latency("x"), nullptr);
+  EXPECT_EQ(rec.counter("x"), nullptr);
+  EXPECT_EQ(rec.gauge("x"), nullptr);
+  // Free helpers must tolerate null handles.
+  obs::observe(nullptr, 1.0);
+  obs::bump(nullptr);
+  obs::set_gauge(nullptr, 1.0);
+}
+
+TEST(Recorder, EnabledRecorderWritesThrough) {
+  obs::Registry reg;
+  const obs::Recorder rec(reg);
+  EXPECT_TRUE(rec.enabled());
+  obs::observe(rec.latency("l.us"), obs::to_us(0.001));
+  obs::bump(rec.counter("c"), 2);
+  obs::set_gauge(rec.gauge("g"), 0.5);
+  EXPECT_EQ(reg.latency("l.us").count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.latency("l.us").mean(), 1000.0);
+  EXPECT_EQ(reg.counter("c").value(), 2u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.5);
+}
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,179 @@
+// Schema tests for the machine-readable output API (schema v2): the exact
+// documents `mclat estimate/tail/simulate --json` and `--metrics` print,
+// exercised in-process through the same functions the CLI calls.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.h"
+#include "core/config.h"
+#include "core/theorem1.h"
+#include "dist/discrete.h"
+#include "obs/metrics.h"
+#include "tools/json_output.h"
+#include "tools/simulate_runner.h"
+
+namespace mclat {
+namespace {
+
+// A quick simulate configuration shared by the registry tests below.
+tools::SimulateOptions quick_options() {
+  tools::SimulateOptions opt;
+  opt.seconds = 0.3;
+  opt.requests = 500;
+  opt.seed = 7;
+  opt.reps = 2;
+  opt.jobs = 1;
+  return opt;
+}
+
+TEST(OutputSchema, EstimateJsonCarriesVersionAndFields) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  const core::LatencyModel model(sys);
+  const auto doc = testjson::parse(tools::estimate_json(model,
+                                                        model.estimate()));
+  EXPECT_EQ(doc->at("schema_version").num(), 2.0);
+  EXPECT_EQ(doc->at("n").num(), 150.0);
+  EXPECT_GT(doc->at("network_us").num(), 0.0);
+  EXPECT_LE(doc->at("server_us").at("lower").num(),
+            doc->at("server_us").at("upper").num());
+  EXPECT_LE(doc->at("total_us").at("lower").num(),
+            doc->at("total_us").at("upper").num());
+  EXPECT_GT(doc->at("utilization").num(), 0.0);
+  EXPECT_LT(doc->at("utilization").num(), 1.0);
+}
+
+TEST(OutputSchema, EstimateJsonReportsHeaviestServerUnderSkew) {
+  // The v1 printf path reported server(0); the human-readable path reported
+  // the heaviest server. v2 unifies on heaviest() — under a skewed load the
+  // two differ, so pin the JSON to the heaviest server's numbers.
+  core::SystemConfig sys = core::SystemConfig::facebook();
+  sys.load_shares = {0.1, 0.2, 0.3, 0.4};  // heaviest is server 3, not 0
+  const core::LatencyModel model(sys);
+  const auto& heavy =
+      model.server_stage().server(model.server_stage().heaviest());
+  const auto& first = model.server_stage().server(0);
+  const auto doc = testjson::parse(tools::estimate_json(model,
+                                                        model.estimate()));
+  EXPECT_NEAR(doc->at("utilization").num(), heavy.utilization(), 1e-6);
+  EXPECT_NEAR(doc->at("delta").num(), heavy.delta(), 1e-6);
+  // Sanity: the fix is observable (heaviest ≠ server 0 in this setup).
+  ASSERT_NE(model.server_stage().heaviest(), 0u);
+  EXPECT_GT(std::abs(heavy.utilization() - first.utilization()), 1e-3);
+}
+
+TEST(OutputSchema, TailJsonCarriesVersionAndNetwork) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  const core::LatencyModel model(sys);
+  const core::TailEstimate t = model.tail(sys.keys_per_request, 0.99);
+  const auto doc = testjson::parse(tools::tail_json(t));
+  EXPECT_EQ(doc->at("schema_version").num(), 2.0);
+  EXPECT_DOUBLE_EQ(doc->at("k").num(), 0.99);
+  EXPECT_GT(doc->at("network_us").num(), 0.0);  // absent from v1
+  EXPECT_LE(doc->at("server_us").at("lower").num(),
+            doc->at("server_us").at("upper").num());
+}
+
+TEST(OutputSchema, SimulateJsonParsesWithTheoryAndMeasured) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  const tools::SimulateOptions opt = quick_options();
+  const tools::SimulateResult r = tools::run_simulate(sys, opt);
+  const auto doc = testjson::parse(tools::simulate_json(sys, opt, r));
+  EXPECT_EQ(doc->at("schema_version").num(), 2.0);
+  EXPECT_EQ(doc->at("seed").num(), 7.0);
+  EXPECT_EQ(doc->at("reps").num(), 2.0);
+  ASSERT_TRUE(doc->has("theory"));
+  EXPECT_EQ(doc->at("theory").at("server_us").at(0).num() <=
+                doc->at("theory").at("server_us").at(1).num(),
+            true);
+  const auto& m = doc->at("measured");
+  for (const char* k : {"network", "server", "database", "total"}) {
+    EXPECT_GT(m.at(k).at("mean_us").num(), 0.0) << k;
+    EXPECT_EQ(m.at(k).at("count").num(), 1000.0) << k;  // 2 reps × 500
+  }
+}
+
+TEST(OutputSchema, MetricsRegistryStagesSumConsistently) {
+  // Acceptance criterion: the per-stage breakdown must sum consistently
+  // with the end-to-end totals. Per request,
+  //   T_N + max(T_S) + max(T_D) = T(N) + sync_slack      (exactly),
+  // so over any number of requests the means obey
+  //   mean(network) + mean(server) + mean(db)
+  //     = mean(total) + mean(sync_slack).
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  tools::SimulateOptions opt = quick_options();
+  obs::Registry reg;
+  opt.metrics = &reg;
+  const tools::SimulateResult r = tools::run_simulate(sys, opt);
+
+  const auto& net = reg.latency("stage.network_us");
+  const auto& server = reg.latency("stage.server_us");
+  const auto& db = reg.latency("stage.database_us");
+  const auto& total = reg.latency("stage.total_us");
+  const auto& slack = reg.latency("request.sync_slack_us");
+  ASSERT_EQ(total.count(), opt.requests * opt.reps);
+  ASSERT_EQ(slack.count(), total.count());
+  const double lhs = net.mean() + server.mean() + db.mean();
+  const double rhs = total.mean() + slack.mean();
+  EXPECT_NEAR(lhs, rhs, 1e-6 * rhs);
+  // Slack is a max-decomposition residue: nonnegative by construction.
+  EXPECT_GE(slack.min(), -1e-9);
+  // And the registry agrees with the SimulateResult means (same samples).
+  EXPECT_NEAR(total.mean(), r.total.mean * 1e6, 1e-6 * total.mean());
+  EXPECT_NEAR(server.mean(), r.server.mean * 1e6, 1e-6 * server.mean());
+}
+
+TEST(OutputSchema, MetricsJsonSeparatesSections) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  tools::SimulateOptions opt = quick_options();
+  obs::Registry reg;
+  opt.metrics = &reg;
+  (void)tools::run_simulate(sys, opt);
+  const auto doc = testjson::parse(tools::metrics_json(opt, reg));
+  EXPECT_EQ(doc->at("schema_version").num(), 2.0);
+  EXPECT_EQ(doc->at("jobs").num(), 1.0);
+  const auto& m = doc->at("metrics");
+  EXPECT_GT(m.at("counters").at("sim.keys_completed").num(), 0.0);
+  EXPECT_GT(m.at("counters").at("assembly.keys").num(), 0.0);
+  EXPECT_TRUE(m.at("gauges").has("server.0.utilization"));
+  EXPECT_TRUE(m.at("gauges").has("exec.jobs"));
+  EXPECT_TRUE(m.at("latency").has("server.0.wait_us"));
+  EXPECT_GT(m.at("latency").at("exec.trial_wall_us").at("count").num(), 0.0);
+}
+
+// Strips "exec.*" rows (wall-clock, exempt from determinism) from a CSV
+// export so the rest can be compared byte-for-byte across thread counts.
+std::string sim_domain_csv(const obs::Registry& reg) {
+  const std::string csv = reg.to_csv();
+  std::string out;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string line = csv.substr(start, end - start);
+    if (line.find(",exec.") == std::string::npos) out += line + "\n";
+    start = end + 1;
+  }
+  return out;
+}
+
+TEST(OutputSchema, SimDomainMetricsAreJobsInvariant) {
+  const core::SystemConfig sys = core::SystemConfig::facebook();
+  obs::Registry serial;
+  tools::SimulateOptions opt = quick_options();
+  opt.reps = 4;
+  opt.metrics = &serial;
+  (void)tools::run_simulate(sys, opt);
+  for (const std::size_t jobs : {2u, 4u}) {
+    obs::Registry parallel;
+    opt.jobs = jobs;
+    opt.metrics = &parallel;
+    (void)tools::run_simulate(sys, opt);
+    EXPECT_EQ(sim_domain_csv(serial), sim_domain_csv(parallel))
+        << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace mclat

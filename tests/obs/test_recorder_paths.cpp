@@ -1,0 +1,104 @@
+// Recorder wiring through the Mode-B (EndToEndSim) and Mode-C
+// (TraceReplaySim) hot paths: attaching a registry must populate the
+// per-stage metrics, agree with the simulator's own statistics, and — the
+// null-object contract — leave the simulation results untouched.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "cluster/trace_replay.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "workload/request_stream.h"
+
+namespace mclat {
+namespace {
+
+cluster::EndToEndConfig quick_b_config() {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * 40'000.0;
+  cfg.system.keys_per_request = 50;
+  cfg.warmup_time = 0.2;
+  cfg.measure_time = 1.0;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(RecorderPaths, EndToEndPopulatesStageMetrics) {
+  cluster::EndToEndConfig cfg = quick_b_config();
+  obs::Registry reg;
+  cfg.recorder = obs::Recorder(reg);
+  const cluster::EndToEndResult r = cluster::EndToEndSim(cfg).run();
+
+  // One stage sample per measured request, matching the sim's own count.
+  EXPECT_EQ(reg.latency("stage.total_us").count(), r.requests_completed);
+  EXPECT_NEAR(reg.latency("stage.total_us").mean(), r.total.mean * 1e6,
+              1e-6 * reg.latency("stage.total_us").mean());
+  EXPECT_NEAR(reg.latency("stage.server_us").mean(), r.server.mean * 1e6,
+              1e-6 * reg.latency("stage.server_us").mean());
+  // Sum consistency: net + max_server + max_db = total + slack, exactly.
+  const double lhs = reg.latency("stage.network_us").mean() +
+                     reg.latency("stage.server_us").mean() +
+                     reg.latency("stage.database_us").mean();
+  const double rhs = reg.latency("stage.total_us").mean() +
+                     reg.latency("request.sync_slack_us").mean();
+  EXPECT_NEAR(lhs, rhs, 1e-6 * rhs);
+  EXPECT_GE(reg.latency("request.sync_slack_us").min(), -1e-9);
+  // Per-server split and utilization gauges exist for all 4 servers.
+  for (int j = 0; j < 4; ++j) {
+    const std::string p = "server." + std::to_string(j);
+    EXPECT_GT(reg.latency(p + ".wait_us").count(), 0u) << p;
+    EXPECT_GT(reg.latency(p + ".service_us").count(), 0u) << p;
+    EXPECT_TRUE(reg.gauge(p + ".utilization").is_set()) << p;
+    EXPECT_NEAR(reg.gauge(p + ".utilization").value(),
+                r.server_utilization[static_cast<std::size_t>(j)], 1e-12);
+  }
+}
+
+TEST(RecorderPaths, EndToEndRecordingIsAPureObserver) {
+  const cluster::EndToEndResult plain =
+      cluster::EndToEndSim(quick_b_config()).run();
+  cluster::EndToEndConfig cfg = quick_b_config();
+  obs::Registry reg;
+  cfg.recorder = obs::Recorder(reg);
+  const cluster::EndToEndResult recorded = cluster::EndToEndSim(cfg).run();
+  EXPECT_EQ(plain.requests_completed, recorded.requests_completed);
+  EXPECT_DOUBLE_EQ(plain.total.mean, recorded.total.mean);
+  EXPECT_DOUBLE_EQ(plain.server.mean, recorded.server.mean);
+  EXPECT_DOUBLE_EQ(plain.database.mean, recorded.database.mean);
+}
+
+TEST(RecorderPaths, TraceReplayPopulatesStageMetrics) {
+  workload::RequestStreamConfig sc;
+  sc.request_rate = 2000.0;
+  sc.keys_per_request = 20;
+  sc.keyspace_size = 50'000;
+  sc.zipf_exponent = 0.9;
+  workload::RequestStream stream(sc, dist::Rng(3));
+  const workload::Trace trace = stream.generate_trace(500);
+
+  cluster::TraceReplayConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.keys_per_request = 20;
+  cfg.system.miss_ratio = 0.02;
+  cfg.seed = 9;
+  obs::Registry reg;
+  cfg.recorder = obs::Recorder(reg);
+  const cluster::TraceReplayResult r =
+      cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+
+  EXPECT_EQ(reg.latency("stage.total_us").count(), r.requests_completed);
+  EXPECT_EQ(reg.counter("sim.keys_completed").value(), r.keys_completed);
+  EXPECT_NEAR(reg.latency("stage.total_us").mean(), r.total.mean * 1e6,
+              1e-6 * reg.latency("stage.total_us").mean());
+  EXPECT_GT(reg.latency("server.0.wait_us").count(), 0u);
+  EXPECT_GE(reg.latency("request.sync_slack_us").min(), -1e-9);
+  if (reg.counter("db.misses").value() > 0) {
+    EXPECT_GT(reg.latency("db.sojourn_us").count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mclat

@@ -1,0 +1,207 @@
+// mini_json.h — a ~150-line recursive-descent JSON reader for tests only.
+//
+// The production code never parses JSON (it only emits it via
+// obs::JsonWriter); the tests, however, must check the emitted documents
+// structurally — schema_version present, fields numerically equal across
+// schema migrations — without freezing byte positions. This parser covers
+// exactly the subset JsonWriter can produce: objects, arrays, strings with
+// the standard escapes, finite fixed-point numbers, true/false/null.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mclat::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) != 0;
+  }
+  /// Object member access; throws when missing (tests want loud failures).
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (kind != Kind::kObject) throw std::runtime_error("not an object");
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+  [[nodiscard]] const Value& at(std::size_t i) const {
+    if (kind != Kind::kArray) throw std::runtime_error("not an array");
+    return *array.at(i);
+  }
+  [[nodiscard]] double num() const {
+    if (kind != Kind::kNumber) throw std::runtime_error("not a number");
+    return number;
+  }
+  [[nodiscard]] const std::string& str() const {
+    if (kind != Kind::kString) throw std::runtime_error("not a string");
+    return string;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing bytes");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' got '" +
+                               s_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr value() {
+    const char c = peek();
+    auto v = std::make_shared<Value>();
+    if (c == '{') {
+      v->kind = Value::Kind::kObject;
+      expect('{');
+      if (!consume('}')) {
+        do {
+          const std::string key = string_literal();
+          expect(':');
+          v->object.emplace(key, value());
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      v->kind = Value::Kind::kArray;
+      expect('[');
+      if (!consume(']')) {
+        do {
+          v->array.push_back(value());
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v->kind = Value::Kind::kString;
+      v->string = string_literal();
+    } else if (literal("true")) {
+      v->kind = Value::Kind::kBool;
+      v->boolean = true;
+    } else if (literal("false")) {
+      v->kind = Value::Kind::kBool;
+      v->boolean = false;
+    } else if (literal("null")) {
+      v->kind = Value::Kind::kNull;
+    } else {
+      v->kind = Value::Kind::kNumber;
+      v->number = number_literal();
+    }
+    return v;
+  }
+
+  bool literal(std::string_view word) {
+    skip_ws();
+    if (s_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  double number_literal() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) throw std::runtime_error("expected number");
+    const std::string tok(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return std::strtod(tok.c_str(), nullptr);
+  }
+
+  std::string string_literal() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+          const std::string hex(s_.substr(pos_, 4));
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          // JsonWriter only emits \u for control characters (< 0x20).
+          out += static_cast<char>(code);
+          break;
+        }
+        default: throw std::runtime_error("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace mclat::testjson

@@ -1,0 +1,85 @@
+// deployment_flags.h — the ONE definition of the paper's Table-3 deployment
+// defaults and of the `--servers/--kps/--q/...` flag set every mclat
+// subcommand accepts.
+//
+// Before this header, the defaults lived in three places that could drift
+// independently: core::SystemConfig's member initialisers, the literal
+// default arguments of mclat_cli's config_from(), and the banner strings of
+// the bench harnesses. Now the numbers are named here once;
+// tests/tools/test_deployment_flags.cpp pins them to SystemConfig::facebook()
+// so a change to either side fails loudly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.h"
+#include "dist/discrete.h"
+#include "tools/cli_args.h"
+
+namespace mclat::tools {
+
+/// The §5.1 / Table-3 Facebook testbed defaults, in the units the CLI flags
+/// use (Kkeys/s and µs — not the SI units SystemConfig stores).
+struct DeploymentDefaults {
+  double servers = 4;      ///< M
+  double kps = 62.5;       ///< λ per server, Kkeys/s
+  double q = 0.1;          ///< concurrency probability
+  double xi = 0.15;        ///< burst degree ξ
+  double mus = 80.0;       ///< μ_S, Kkeys/s per server
+  double n = 150;          ///< keys per end-user request N
+  double r = 0.01;         ///< cache miss ratio
+  double mud = 1.0;        ///< μ_D, Kkeys/s
+  double net_us = 20.0;    ///< per-key network latency, µs
+};
+
+inline constexpr DeploymentDefaults kTable3{};
+
+/// One-line parameter summary for bench banners, generated from kTable3 so
+/// banner text can never disagree with the numbers actually used.
+inline std::string table3_banner() {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%.0f balanced servers, lambda=%.1fKps each, q=%.1f, "
+                "xi=%.2f, muS=%.0fKps, N=%.0f, r=%.0f%%, muD=%.0fKps, "
+                "net=%.0fus",
+                kTable3.servers, kTable3.kps, kTable3.q, kTable3.xi,
+                kTable3.mus, kTable3.n, kTable3.r * 100.0, kTable3.mud,
+                kTable3.net_us);
+  return buf;
+}
+
+/// Declares the shared deployment flag set on `args` and builds the
+/// SystemConfig. Every mclat subcommand (and any flag-driven bench binary)
+/// must parse its deployment through here — not a private copy.
+inline core::SystemConfig deployment_config_from(CliArgs& args) {
+  core::SystemConfig cfg = core::SystemConfig::facebook();
+  cfg.servers = static_cast<std::size_t>(
+      args.number("servers", kTable3.servers, "number of Memcached servers M"));
+  cfg.load_shares.clear();
+  const double per_server =
+      args.number("kps", kTable3.kps, "per-server key rate, Kkeys/s");
+  cfg.total_key_rate = per_server * 1000.0 * static_cast<double>(cfg.servers);
+  cfg.concurrency_q =
+      args.number("q", kTable3.q, "concurrency probability q");
+  cfg.burst_xi = args.number("xi", kTable3.xi, "burst degree xi");
+  cfg.service_rate =
+      args.number("mus", kTable3.mus, "per-server service rate, Kkeys/s") *
+      1000.0;
+  cfg.keys_per_request = static_cast<std::uint32_t>(
+      args.number("n", kTable3.n, "keys per end-user request N"));
+  cfg.miss_ratio = args.number("r", kTable3.r, "cache miss ratio r");
+  cfg.db_service_rate =
+      args.number("mud", kTable3.mud, "database service rate, Kkeys/s") *
+      1000.0;
+  cfg.network_latency =
+      args.number("net", kTable3.net_us, "network latency per key, us") * 1e-6;
+  const double p1 =
+      args.number("p1", 0.0, "largest load ratio (0 = balanced)");
+  if (p1 > 0.0) cfg.load_shares = dist::skewed_load(cfg.servers, p1);
+  cfg.db_queueing =
+      args.flag("db-queueing", "model database queueing (rho_D > 0)");
+  return cfg;
+}
+
+}  // namespace mclat::tools

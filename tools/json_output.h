@@ -1,0 +1,67 @@
+// json_output.h — machine-readable renderings of the mclat subcommand
+// results, all flowing through obs::JsonWriter (schema v2).
+//
+// Factored out of mclat_cli.cpp so tests/obs/test_output_schema.cpp can
+// assert the exact documents the tool ships without spawning processes.
+//
+// Schema v2 changes vs the printf-era v1:
+//   * every document carries "schema_version": 2 as its first field;
+//   * `estimate` reports delta/utilization of the *heaviest* server
+//     (model.server_stage().heaviest()), matching the human-readable
+//     output — v1 reported server(0), which disagreed under --p1 skew;
+//   * `tail` gains the previously missing "network_us" component.
+// Field names and numeric precisions are otherwise unchanged, which the
+// v1→v2 migration test pins numerically.
+#pragma once
+
+#include <string>
+
+#include "core/theorem1.h"
+#include "obs/json_writer.h"
+
+namespace mclat::tools {
+
+/// `mclat estimate --json`.
+inline std::string estimate_json(const core::LatencyModel& model,
+                                 const core::LatencyEstimate& e) {
+  const auto& heavy =
+      model.server_stage().server(model.server_stage().heaviest());
+  obs::JsonWriter w;
+  w.begin_document()
+      .field("n", static_cast<std::uint64_t>(e.n_keys))
+      .field("network_us", e.network * 1e6, 3)
+      .begin_object("server_us")
+      .field("lower", e.server.lower * 1e6, 3)
+      .field("upper", e.server.upper * 1e6, 3)
+      .end_object()
+      .field("database_us", e.database * 1e6, 3)
+      .begin_object("total_us")
+      .field("lower", e.total.lower * 1e6, 3)
+      .field("upper", e.total.upper * 1e6, 3)
+      .end_object()
+      .field("delta", heavy.delta(), 6)
+      .field("utilization", heavy.utilization(), 6)
+      .end_object();
+  return w.str();
+}
+
+/// `mclat tail --json`.
+inline std::string tail_json(const core::TailEstimate& t) {
+  obs::JsonWriter w;
+  w.begin_document()
+      .field("k", t.k, 4)
+      .field("network_us", t.network * 1e6, 3)
+      .begin_object("server_us")
+      .field("lower", t.server.lower * 1e6, 3)
+      .field("upper", t.server.upper * 1e6, 3)
+      .end_object()
+      .field("database_us", t.database * 1e6, 3)
+      .begin_object("total_us")
+      .field("lower", t.total.lower * 1e6, 3)
+      .field("upper", t.total.upper * 1e6, 3)
+      .end_object()
+      .end_object();
+  return w.str();
+}
+
+}  // namespace mclat::tools

@@ -9,7 +9,9 @@
 //   mclat simulate  [deployment flags]       theory vs simulated testbed
 //
 // Every subcommand accepts the deployment flags (see --help); `--json`
-// switches estimate/tail to machine-readable output.
+// switches estimate/tail/simulate to machine-readable output (schema v2,
+// via obs::JsonWriter), and `simulate --metrics[=FILE]` exports the
+// per-stage metrics registry as JSON (or CSV when FILE ends in .csv).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,8 +26,10 @@
 #include "core/redundancy.h"
 #include "core/sensitivity.h"
 #include "core/theorem1.h"
-#include "dist/discrete.h"
+#include "obs/metrics.h"
 #include "tools/cli_args.h"
+#include "tools/deployment_flags.h"
+#include "tools/json_output.h"
 #include "tools/simulate_runner.h"
 
 namespace {
@@ -33,30 +37,7 @@ namespace {
 using namespace mclat;
 
 core::SystemConfig config_from(tools::CliArgs& args) {
-  core::SystemConfig cfg = core::SystemConfig::facebook();
-  cfg.servers = static_cast<std::size_t>(
-      args.number("servers", 4, "number of Memcached servers M"));
-  cfg.load_shares.clear();
-  const double per_server =
-      args.number("kps", 62.5, "per-server key rate, Kkeys/s");
-  cfg.total_key_rate = per_server * 1000.0 * static_cast<double>(cfg.servers);
-  cfg.concurrency_q = args.number("q", 0.1, "concurrency probability q");
-  cfg.burst_xi = args.number("xi", 0.15, "burst degree xi");
-  cfg.service_rate =
-      args.number("mus", 80.0, "per-server service rate, Kkeys/s") * 1000.0;
-  cfg.keys_per_request = static_cast<std::uint32_t>(
-      args.number("n", 150, "keys per end-user request N"));
-  cfg.miss_ratio = args.number("r", 0.01, "cache miss ratio r");
-  cfg.db_service_rate =
-      args.number("mud", 1.0, "database service rate, Kkeys/s") * 1000.0;
-  cfg.network_latency =
-      args.number("net", 20.0, "network latency per key, us") * 1e-6;
-  const double p1 = args.number("p1", 0.0,
-                                "largest load ratio (0 = balanced)");
-  if (p1 > 0.0) cfg.load_shares = dist::skewed_load(cfg.servers, p1);
-  cfg.db_queueing = args.flag("db-queueing",
-                              "model database queueing (rho_D > 0)");
-  return cfg;
+  return tools::deployment_config_from(args);
 }
 
 int cmd_estimate(tools::CliArgs& args) {
@@ -70,17 +51,7 @@ int cmd_estimate(tools::CliArgs& args) {
   }
   const core::LatencyEstimate e = model.estimate();
   if (json) {
-    std::printf(
-        "{\"n\":%llu,\"network_us\":%.3f,"
-        "\"server_us\":{\"lower\":%.3f,\"upper\":%.3f},"
-        "\"database_us\":%.3f,"
-        "\"total_us\":{\"lower\":%.3f,\"upper\":%.3f},"
-        "\"delta\":%.6f,\"utilization\":%.6f}\n",
-        static_cast<unsigned long long>(e.n_keys), e.network * 1e6,
-        e.server.lower * 1e6, e.server.upper * 1e6, e.database * 1e6,
-        e.total.lower * 1e6, e.total.upper * 1e6,
-        model.server_stage().server(0).delta(),
-        model.server_stage().server(0).utilization());
+    std::printf("%s\n", tools::estimate_json(model, e).c_str());
     return 0;
   }
   std::printf("T_N(N) = %.1f us\n", e.network * 1e6);
@@ -109,12 +80,7 @@ int cmd_tail(tools::CliArgs& args) {
   }
   const core::TailEstimate t = model.tail(cfg.keys_per_request, k);
   if (json) {
-    std::printf(
-        "{\"k\":%.4f,\"server_us\":{\"lower\":%.3f,\"upper\":%.3f},"
-        "\"database_us\":%.3f,"
-        "\"total_us\":{\"lower\":%.3f,\"upper\":%.3f}}\n",
-        k, t.server.lower * 1e6, t.server.upper * 1e6, t.database * 1e6,
-        t.total.lower * 1e6, t.total.upper * 1e6);
+    std::printf("%s\n", tools::tail_json(t).c_str());
     return 0;
   }
   std::printf("p%g of T_S(N) = %.1f ~ %.1f us\n", k * 100.0,
@@ -195,8 +161,30 @@ int cmd_simulate(tools::CliArgs& args) {
   opt.jobs = static_cast<std::size_t>(
       args.count("jobs", 1, "worker threads for replications"));
   const bool json = args.flag("json", "emit JSON");
+  const std::string metrics_dest = args.text(
+      "metrics", "",
+      "export per-stage metrics: --metrics (stdout) or --metrics FILE "
+      "(.csv suffix = CSV, else JSON)");
   args.finish("mclat simulate — theory vs the simulated testbed");
+  obs::Registry registry;
+  if (!metrics_dest.empty()) opt.metrics = &registry;
   const tools::SimulateResult r = tools::run_simulate(cfg, opt);
+  if (opt.metrics != nullptr) {
+    const bool csv = metrics_dest.size() > 4 &&
+                     metrics_dest.rfind(".csv") == metrics_dest.size() - 4;
+    const std::string doc = csv ? registry.to_csv()
+                                : tools::metrics_json(opt, registry);
+    if (metrics_dest == "1" || metrics_dest == "-") {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::ofstream out(metrics_dest);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_dest.c_str());
+        return 1;
+      }
+      out << doc << '\n';
+    }
+  }
   if (json) {
     std::printf("%s\n", tools::simulate_json(cfg, opt, r).c_str());
     return 0;

@@ -7,16 +7,26 @@
 // and its per-component Welford accumulators are merged in trial order, so
 // the reported statistics — and the --json rendering below — are
 // byte-identical for every --jobs value.
+//
+// Observability: pass SimulateOptions::metrics to collect the per-stage
+// registry (stage.*, server.*, db.*, request.*). Each replication records
+// into its own private obs::Registry; those are merged strictly in
+// trial-index order after every trial finished, which keeps the registry —
+// like the latency statistics — bit-for-bit invariant under --jobs.
+// Wall-clock "exec.*" metrics land in the same registry via the TrialRunner
+// and are the one namespace exempt from that guarantee.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "cluster/workload_driven.h"
 #include "core/theorem1.h"
 #include "exec/trial_runner.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "stats/summary.h"
 #include "stats/welford.h"
 
@@ -28,6 +38,10 @@ struct SimulateOptions {
   std::uint64_t seed = 1;
   std::uint64_t reps = 1;
   std::size_t jobs = 1;
+  /// Optional per-stage metrics sink (`--metrics`). Null = recording off,
+  /// zero overhead, and — by the recorder null-object contract — byte-for-
+  /// byte identical simulation output either way.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Merged per-component statistics over all replications.
@@ -42,18 +56,25 @@ inline SimulateResult run_simulate(const core::SystemConfig& sys,
                                    const SimulateOptions& opt) {
   struct Trial {
     stats::Welford network, server, database, total;
+    obs::Registry metrics;
   };
-  const exec::TrialRunner runner({opt.jobs, opt.seed});
+  exec::TrialOptions topt;
+  topt.jobs = opt.jobs;
+  topt.base_seed = opt.seed;
+  if (opt.metrics != nullptr) topt.recorder = obs::Recorder(*opt.metrics);
+  const exec::TrialRunner runner(topt);
+  const bool record = opt.metrics != nullptr;
   const std::vector<Trial> trials =
       runner.run(opt.reps, [&](std::uint64_t, std::uint64_t trial_seed) {
+        Trial t;
         cluster::WorkloadDrivenConfig cfg;
         cfg.system = sys;
         cfg.measure_time = opt.seconds;
         cfg.warmup_time = opt.seconds / 10.0;
         cfg.seed = trial_seed;
+        if (record) cfg.recorder = obs::Recorder(t.metrics);
         const cluster::AssembledRequests reqs =
             cluster::run_workload_experiment(cfg, opt.requests);
-        Trial t;
         for (const double x : reqs.network) t.network.add(x);
         for (const double x : reqs.server) t.server.add(x);
         for (const double x : reqs.database) t.database.add(x);
@@ -67,6 +88,7 @@ inline SimulateResult run_simulate(const core::SystemConfig& sys,
     s.push_back(tr.server);
     d.push_back(tr.database);
     t.push_back(tr.total);
+    if (record) opt.metrics->merge(tr.metrics);  // strict trial-index order
   }
   SimulateResult r;
   r.network = stats::pooled_mean_ci(n);
@@ -77,46 +99,67 @@ inline SimulateResult run_simulate(const core::SystemConfig& sys,
 }
 
 namespace detail {
-inline std::string ci_json(const char* key, const stats::MeanCI& ci) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "\"%s\":{\"mean_us\":%.6f,\"half_us\":%.6f,\"count\":%llu}",
-                key, ci.mean * 1e6, ci.halfwidth * 1e6,
-                static_cast<unsigned long long>(ci.count));
-  return buf;
+inline void ci_object(obs::JsonWriter& w, std::string_view key,
+                      const stats::MeanCI& ci) {
+  w.begin_object(key)
+      .field("mean_us", ci.mean * 1e6, 6)
+      .field("half_us", ci.halfwidth * 1e6, 6)
+      .field("count", static_cast<std::uint64_t>(ci.count))
+      .end_object();
 }
 }  // namespace detail
 
-/// Machine-readable rendering of one simulate run. The format is frozen by
-/// the golden files under tests/golden/ — change it only together with them.
+/// Machine-readable rendering of one simulate run (schema v2). The numeric
+/// fields keep the v1 names and %.6f precision; v2 adds "schema_version"
+/// up front. The exact bytes are frozen by the golden files under
+/// tests/golden/ — change the format only together with them.
 inline std::string simulate_json(const core::SystemConfig& sys,
                                  const SimulateOptions& opt,
                                  const SimulateResult& r) {
-  char head[256];
-  std::snprintf(head, sizeof head,
-                "{\"seed\":%llu,\"reps\":%llu,\"requests\":%llu,\"n\":%u,",
-                static_cast<unsigned long long>(opt.seed),
-                static_cast<unsigned long long>(opt.reps),
-                static_cast<unsigned long long>(opt.requests),
-                static_cast<unsigned>(sys.keys_per_request));
-  std::string out = head;
+  obs::JsonWriter w;
+  w.begin_document()
+      .field("seed", static_cast<std::uint64_t>(opt.seed))
+      .field("reps", static_cast<std::uint64_t>(opt.reps))
+      .field("requests", static_cast<std::uint64_t>(opt.requests))
+      .field("n", static_cast<std::uint64_t>(sys.keys_per_request));
   const core::LatencyModel model(sys);
   if (model.stable()) {
     const core::LatencyEstimate e = model.estimate();
-    char theory[256];
-    std::snprintf(theory, sizeof theory,
-                  "\"theory\":{\"network_us\":%.6f,"
-                  "\"server_us\":[%.6f,%.6f],\"database_us\":%.6f,"
-                  "\"total_us\":[%.6f,%.6f]},",
-                  e.network * 1e6, e.server.lower * 1e6, e.server.upper * 1e6,
-                  e.database * 1e6, e.total.lower * 1e6, e.total.upper * 1e6);
-    out += theory;
+    w.begin_object("theory")
+        .field("network_us", e.network * 1e6, 6)
+        .begin_array("server_us")
+        .element(e.server.lower * 1e6, 6)
+        .element(e.server.upper * 1e6, 6)
+        .end_array()
+        .field("database_us", e.database * 1e6, 6)
+        .begin_array("total_us")
+        .element(e.total.lower * 1e6, 6)
+        .element(e.total.upper * 1e6, 6)
+        .end_array()
+        .end_object();
   }
-  out += "\"measured\":{" + detail::ci_json("network", r.network) + "," +
-         detail::ci_json("server", r.server) + "," +
-         detail::ci_json("database", r.database) + "," +
-         detail::ci_json("total", r.total) + "}}";
-  return out;
+  w.begin_object("measured");
+  detail::ci_object(w, "network", r.network);
+  detail::ci_object(w, "server", r.server);
+  detail::ci_object(w, "database", r.database);
+  detail::ci_object(w, "total", r.total);
+  w.end_object().end_object();
+  return w.str();
+}
+
+/// The `--metrics` document: run identity plus the merged registry.
+/// Simulation-domain metrics in here are --jobs-invariant; "exec.*" is not.
+inline std::string metrics_json(const SimulateOptions& opt,
+                                const obs::Registry& reg) {
+  obs::JsonWriter w;
+  w.begin_document()
+      .field("seed", static_cast<std::uint64_t>(opt.seed))
+      .field("reps", static_cast<std::uint64_t>(opt.reps))
+      .field("requests", static_cast<std::uint64_t>(opt.requests))
+      .field("jobs", static_cast<std::uint64_t>(opt.jobs));
+  reg.write_json(w);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace mclat::tools
