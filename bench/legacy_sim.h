@@ -1,0 +1,251 @@
+// legacy_sim.h — the pre-rewrite discrete-event kernel, kept verbatim as the
+// baseline reference for bench_micro_sim's baseline-vs-after snapshot
+// (BENCH_kernel.json). Measuring both kernels interleaved in one process is
+// the only comparison that survives noisy CI machines.
+//
+// This is NOT production code: the simulators all run sim::Simulator. Do not
+// grow features here.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/recorder.h"
+#include "sim/station.h"  // sim::Departure (plain data, unchanged from seed)
+#include "stats/welford.h"
+
+namespace mclat::bench::legacy {
+
+using Time = double;
+using EventId = std::uint64_t;
+
+/// The seed kernel: binary std::priority_queue calendar, callbacks in an
+/// unordered_map of std::function, cancellations in an unordered_set.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  EventId schedule_at(Time t, Callback fn) {
+    if (t < now_) {
+      throw std::invalid_argument("legacy schedule_at: time in the past");
+    }
+    const EventId id = next_id_++;
+    heap_.push(Entry{t, next_seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId schedule_in(Time dt, Callback fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  void cancel(EventId id) {
+    if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      const Entry e = heap_.top();
+      heap_.pop();
+      const auto c = cancelled_.find(e.id);
+      if (c != cancelled_.end()) {
+        cancelled_.erase(c);
+        continue;
+      }
+      const auto it = callbacks_.find(e.id);
+      if (it == callbacks_.end()) continue;
+      now_ = e.at;
+      Callback fn = std::move(it->second);
+      callbacks_.erase(it);
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  void run_until(Time t) {
+    while (!heap_.empty()) {
+      const Entry e = heap_.top();
+      if (cancelled_.contains(e.id)) {
+        heap_.pop();
+        cancelled_.erase(e.id);
+        continue;
+      }
+      if (e.at > t) break;
+      step();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// The seed Rng: std::mt19937_64 drawn through std::generate_canonical,
+/// exactly as src/dist/rng.h read before the rewrite.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] double uniform() {
+    return std::generate_canonical<double, 53>(engine_);
+  }
+  [[nodiscard]] double uniform_pos() { return 1.0 - uniform(); }
+  [[nodiscard]] double exponential(double rate) {
+    return -std::log(uniform_pos()) / rate;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Minimal virtual service-distribution hierarchy, mirroring the seed's
+/// dist::Distribution::sample dispatch cost.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate) : rate_(rate) {}
+  [[nodiscard]] double sample(Rng& rng) const override {
+    return rng.exponential(rate_);
+  }
+
+ private:
+  double rate_;
+};
+
+/// The seed ServiceStation, verbatim modulo types: virtual sampling, a
+/// std::function departure handler, and std::function scheduling on the
+/// legacy calendar. Welford/observability accounting is the production code
+/// (unchanged since the seed), so the twin's per-key work matches the
+/// pre-rewrite station exactly.
+class ServiceStation {
+ public:
+  using Departure = sim::Departure;
+  using DepartureHandler = std::function<void(const Departure&)>;
+
+  ServiceStation(Simulator& sim, std::unique_ptr<Distribution> service,
+                 Rng rng, DepartureHandler on_departure)
+      : sim_(sim), service_(std::move(service)), rng_(rng),
+        on_departure_(std::move(on_departure)), created_at_(sim.now()) {}
+
+  void arrive(std::uint64_t job_id) {
+    found_.add(static_cast<double>(in_system_));
+    account_population(sim_.now());
+    ++in_system_;
+    queue_.push_back(Pending{job_id, sim_.now()});
+    if (!busy_) begin_service();
+  }
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  struct Pending {
+    std::uint64_t job_id;
+    double arrival;
+  };
+
+  void account_population(Time now) noexcept {
+    population_integral_ +=
+        static_cast<double>(in_system_) * (now - last_change_);
+    last_change_ = now;
+  }
+
+  void begin_service() {
+    const Pending job = queue_.front();
+    queue_.pop_front();
+    busy_ = true;
+    busy_since_ = sim_.now();
+    const Time start = sim_.now();
+    const double duration = service_->sample(rng_);
+    sim_.schedule_in(duration, [this, job, start] {
+      busy_ = false;
+      busy_accum_ += sim_.now() - busy_since_;
+      account_population(sim_.now());
+      --in_system_;
+      ++completed_;
+      Departure d;
+      d.job_id = job.job_id;
+      d.arrival = job.arrival;
+      d.service_start = start;
+      d.departure = sim_.now();
+      waiting_.add(d.waiting_time());
+      sojourn_.add(d.sojourn_time());
+      if (d.arrival >= obs_from_) {
+        obs::observe(obs_wait_, obs::to_us(d.waiting_time()));
+        obs::observe(obs_service_, obs::to_us(d.departure - d.service_start));
+      }
+      if (!queue_.empty()) begin_service();
+      on_departure_(d);
+    });
+  }
+
+  Simulator& sim_;
+  std::unique_ptr<Distribution> service_;
+  Rng rng_;
+  DepartureHandler on_departure_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  Time created_at_ = 0.0;
+  Time busy_accum_ = 0.0;
+  Time busy_since_ = 0.0;
+  std::uint64_t completed_ = 0;
+  stats::Welford waiting_;
+  stats::Welford sojourn_;
+  stats::Welford found_;
+  obs::LatencyStat* obs_wait_ = nullptr;
+  obs::LatencyStat* obs_service_ = nullptr;
+  Time obs_from_ = 0.0;
+  std::size_t in_system_ = 0;
+  Time last_change_ = 0.0;
+  double population_integral_ = 0.0;
+};
+
+}  // namespace mclat::bench::legacy

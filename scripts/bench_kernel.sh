@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# bench_kernel.sh — regenerate BENCH_kernel.json, the event-kernel
+# baseline-vs-after performance snapshot.
+#
+# Every *_LegacyKernel benchmark in bench_micro_sim is the identical
+# workload running on the pre-rewrite path (binary priority_queue calendar,
+# unordered_map of std::function, std::generate_canonical Rng, virtual
+# service sampling), compiled into the same binary. Measuring both kernels
+# interleaved in one process is the only baseline-vs-after comparison that
+# survives a noisy machine: cross-binary readings on shared hardware swing
+# 2x run to run, twin readings move together.
+#
+# Usage: scripts/bench_kernel.sh [repetitions]   (default 7; medians kept)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+reps="${1:-7}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_micro_sim >/dev/null
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+./build/bench/bench_micro_sim \
+  --benchmark_min_time=0.3 \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$raw" 2>/dev/null
+
+python3 - "$raw" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+# name -> median items/s (or median ns/op for benches with no item counter)
+medians = {}
+for b in report["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["run_name"]
+    medians[name] = {
+        "ns_per_op": b["real_time"],
+        "items_per_second": b.get("items_per_second"),
+    }
+
+LEGACY = "_LegacyKernel"
+pairs = {}
+singles = {}
+for name, m in medians.items():
+    if name.endswith(LEGACY):
+        pairs.setdefault(name[: -len(LEGACY)], {})["baseline"] = m
+    elif name + LEGACY in medians:
+        pairs.setdefault(name, {})["after"] = m
+    else:
+        singles[name] = m
+
+out = {
+    "comment": (
+        "Event-kernel rewrite snapshot: each baseline is the identical "
+        "workload on the pre-rewrite kernel/Rng/station path compiled into "
+        "the same binary (bench/legacy_sim.h), measured interleaved in one "
+        "process; values are medians over repeated runs. Regenerate with "
+        "scripts/bench_kernel.sh."
+    ),
+    "context": report["context"],
+    "kernel_pairs": {},
+    "unpaired": singles,
+}
+for name, p in sorted(pairs.items()):
+    base, after = p.get("baseline"), p.get("after")
+    entry = {"baseline": base, "after": after}
+    if base and after:
+        if base.get("items_per_second") and after.get("items_per_second"):
+            entry["speedup"] = round(
+                after["items_per_second"] / base["items_per_second"], 3
+            )
+        else:
+            entry["speedup"] = round(base["ns_per_op"] / after["ns_per_op"], 3)
+    out["kernel_pairs"][name] = entry
+
+with open("BENCH_kernel.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for name, entry in out["kernel_pairs"].items():
+    print(f"{name}: {entry.get('speedup', '?')}x")
+print("wrote BENCH_kernel.json")
+EOF

@@ -1,22 +1,40 @@
 #!/usr/bin/env bash
-# ci.sh — the repo's two-tier verify, runnable locally or in CI.
+# ci.sh — the repo's tiered verify, runnable locally or in CI.
 #
 #   tier 1: release build + full ctest suite (ROADMAP.md "Tier-1 verify")
 #   tier 2: ThreadSanitizer build of the concurrency-sensitive suites —
 #           the parallel trial-execution engine (label `exec`) and the
 #           observability layer it records into (label `obs`).
+#   tier 3: ASan+UBSan build of the event-kernel and golden-regression
+#           suites (labels `sim` and `exec`) — the kernel's type-erased
+#           inline-callback storage and slot free-list recycling are
+#           exactly the code a lifetime bug would hide in, so they run
+#           under -fsanitize=address,undefined on every verify.
 #
-# Usage: scripts/ci.sh [--tier1-only|--tsan-only]
+#   --bench-smoke: builds bench_micro_sim and checks the two headline
+#           microbenches against an absolute keys/s / events-per-sec floor
+#           (a coarse "did someone reintroduce a per-event allocation"
+#           tripwire, deliberately far below BENCH_kernel.json numbers so
+#           machine noise never fails CI).
+#
+# Usage: scripts/ci.sh [--tier1-only|--tsan-only|--asan-only|--bench-smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_tsan=1
+run_asan=1
+run_bench_smoke=0
 case "${1:-}" in
-  --tier1-only) run_tsan=0 ;;
-  --tsan-only) run_tier1=0 ;;
+  --tier1-only) run_tsan=0; run_asan=0 ;;
+  --tsan-only) run_tier1=0; run_asan=0 ;;
+  --asan-only) run_tier1=0; run_tsan=0 ;;
+  --bench-smoke) run_tier1=0; run_tsan=0; run_asan=0; run_bench_smoke=1 ;;
   "") ;;
-  *) echo "usage: scripts/ci.sh [--tier1-only|--tsan-only]" >&2; exit 2 ;;
+  *)
+    echo "usage: scripts/ci.sh [--tier1-only|--tsan-only|--asan-only|--bench-smoke]" >&2
+    exit 2
+    ;;
 esac
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
@@ -33,6 +51,49 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DMCLAT_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" --target tests_exec tests_obs
   ctest --test-dir build-tsan -L "exec|obs" --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "==> tier 3: ASan+UBSan on the sim + exec suites"
+  cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
+  cmake --build build-asan -j "$jobs" --target tests_sim tests_exec
+  ctest --test-dir build-asan -L "sim|exec" --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_bench_smoke" == 1 ]]; then
+  echo "==> bench smoke: headline microbench floors"
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target bench_micro_sim
+  smoke_json="$(mktemp)"
+  trap 'rm -f "$smoke_json"' EXIT
+  ./build/bench/bench_micro_sim \
+    --benchmark_filter='BM_ScheduleAndRunEvents$|BM_MM1StationKeysPerSecond$' \
+    --benchmark_min_time=0.2 --benchmark_format=json \
+    >"$smoke_json" 2>/dev/null
+  python3 - "$smoke_json" <<'EOF'
+import json, sys
+
+# Floors: ~4x below the BENCH_kernel.json "after" medians, so only a real
+# regression (e.g. a reintroduced per-event allocation) can trip them.
+floors = {
+    "BM_ScheduleAndRunEvents": 3.0e6,
+    "BM_MM1StationKeysPerSecond": 2.0e6,
+}
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rates = {b["name"]: b["items_per_second"] for b in report["benchmarks"]}
+failed = False
+for name, floor in floors.items():
+    rate = rates.get(name)
+    if rate is None:
+        print(f"FAIL {name}: benchmark missing from report")
+        failed = True
+        continue
+    verdict = "ok" if rate >= floor else "FAIL"
+    failed |= rate < floor
+    print(f"{verdict} {name}: {rate / 1e6:.2f}M items/s (floor {floor / 1e6:.1f}M)")
+sys.exit(1 if failed else 0)
+EOF
 fi
 
 echo "==> ci.sh: all requested tiers passed"

@@ -45,13 +45,14 @@ bool LruStore::evict_one(std::size_t cls) {
   return true;
 }
 
-bool LruStore::set(std::string_view key, std::string_view value, double now,
-                   double ttl) {
+LruStore::ItemHeader* LruStore::emplace_item(std::string_view key,
+                                             std::size_t value_bytes,
+                                             double now, double ttl) {
   ++stats_.sets;
-  const std::size_t need = sizeof(ItemHeader) + key.size() + value.size();
+  const std::size_t need = sizeof(ItemHeader) + key.size() + value_bytes;
   if (need > slabs_.max_item_size()) {
     ++stats_.set_failures;
-    return false;
+    return nullptr;
   }
   // Replace semantics: drop any existing item first (memcached allocates the
   // new item before unlinking, but the visible behaviour is the same and
@@ -63,7 +64,7 @@ bool LruStore::set(std::string_view key, std::string_view value, double now,
   while (mem == nullptr) {
     if (!evict_one(cls)) {
       ++stats_.set_failures;
-      return false;
+      return nullptr;
     }
     mem = slabs_.allocate(need);
   }
@@ -72,11 +73,26 @@ bool LruStore::set(std::string_view key, std::string_view value, double now,
   item->lru_next = nullptr;
   item->expiry = ttl > 0.0 ? now + ttl : 0.0;
   item->key_len = static_cast<std::uint32_t>(key.size());
-  item->value_len = static_cast<std::uint32_t>(value.size());
+  item->value_len = static_cast<std::uint32_t>(value_bytes);
   std::memcpy(item->key_data(), key.data(), key.size());
-  std::memcpy(item->value_data(), value.data(), value.size());
   index_.emplace(item->key(), item);
   lru_push_front(item, cls);
+  return item;
+}
+
+bool LruStore::set(std::string_view key, std::string_view value, double now,
+                   double ttl) {
+  ItemHeader* item = emplace_item(key, value.size(), now, ttl);
+  if (item == nullptr) return false;
+  std::memcpy(item->value_data(), value.data(), value.size());
+  return true;
+}
+
+bool LruStore::set_sized(std::string_view key, std::size_t value_bytes,
+                         double now, double ttl) {
+  ItemHeader* item = emplace_item(key, value_bytes, now, ttl);
+  if (item == nullptr) return false;
+  std::memset(item->value_data(), 'v', value_bytes);
   return true;
 }
 

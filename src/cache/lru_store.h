@@ -57,6 +57,15 @@ class LruStore {
   bool set(std::string_view key, std::string_view value, double now = 0.0,
            double ttl = 0.0);
 
+  /// Inserts or replaces an item whose value is `value_bytes` of filler
+  /// ('v'). Occupancy, slab class, eviction and hit/miss behaviour are
+  /// byte-identical to set() with a real value of that size — but the
+  /// caller never materialises the payload, so simulators that only need
+  /// the cache's *capacity* behaviour (the cluster real-cache refill path)
+  /// stop allocating value-sized strings on every miss.
+  bool set_sized(std::string_view key, std::size_t value_bytes,
+                 double now = 0.0, double ttl = 0.0);
+
   /// Looks the key up, honouring expiry, and promotes it to MRU.
   [[nodiscard]] std::optional<std::string_view> get(std::string_view key,
                                                     double now = 0.0);
@@ -115,6 +124,10 @@ class LruStore {
   void lru_unlink(ItemHeader* it, std::size_t cls) noexcept;
   void lru_push_front(ItemHeader* it, std::size_t cls) noexcept;
   void destroy(ItemHeader* it);
+  /// Shared insert path: allocates (evicting as needed), fills the header
+  /// and key, links the item. The value region is left for the caller.
+  ItemHeader* emplace_item(std::string_view key, std::size_t value_bytes,
+                           double now, double ttl);
   /// Evicts the LRU tail of class `cls`; returns false if the list is empty.
   bool evict_one(std::size_t cls);
 

@@ -4,9 +4,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "cache/lru_store.h"
+#include "cluster/job_table.h"
 #include "cluster/delay_station.h"
 #include "dist/discrete.h"
 #include "dist/exponential.h"
@@ -79,16 +79,20 @@ EndToEndResult EndToEndSim::run() {
   dist::Rng req_rng = master.split();
   dist::Rng miss_rng = master.split();
   dist::Rng key_rng = master.split();
-  dist::Rng value_rng = master.split();
+  // Value sizes derive per-key RNGs from the key rank, but this split stays:
+  // removing it would shift every later split and invalidate the goldens.
+  [[maybe_unused]] dist::Rng value_rng = master.split();
 
   const std::unique_ptr<hashing::KeyMapper> mapper = make_mapper(cfg_);
   const dist::Discrete server_pick(shares);
 
   // --- request/key bookkeeping -------------------------------------------
-  std::unordered_map<std::uint64_t, RequestState> requests;
-  std::unordered_map<std::uint64_t, KeyContext> keys;
-  std::uint64_t next_request = 0;
-  std::uint64_t next_key_job = 0;
+  // Dense free-list slot tables: request/key ids are the slot indices, so
+  // the per-key hot path does indexed loads instead of hash probes. Lookups
+  // are checked — a stale or foreign job id trips a diagnostic instead of
+  // dereferencing a missing map entry.
+  JobTable<RequestState> requests;
+  JobTable<KeyContext> keys;
 
   // --- measurement accumulators ------------------------------------------
   stats::Welford w_network;
@@ -115,6 +119,7 @@ EndToEndResult EndToEndSim::run() {
   // --- real-cache machinery ------------------------------------------------
   std::unique_ptr<workload::KeySpace> keyspace;
   std::vector<std::unique_ptr<cache::LruStore>> stores;
+  std::string key_buf;  // reused for every key_for_rank rendering
   workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
                                        cfg_.max_value_bytes);
   if (real_cache) {
@@ -141,11 +146,11 @@ EndToEndResult EndToEndSim::run() {
 
   // Value arrives back at the client: fold this key into its request.
   complete_key = [&](std::uint64_t job) {
-    const auto kit = keys.find(job);
-    const KeyContext ctx = kit->second;
-    keys.erase(kit);
+    const KeyContext ctx =
+        keys.take(job, "EndToEndSim: completion for unknown key job");
     ++keys_completed;
-    auto& req = requests.at(ctx.request_id);
+    auto& req = requests.at(
+        ctx.request_id, "EndToEndSim: key completion for unknown request");
     const double total = s.now() - req.start;
     req.max_server = std::max(req.max_server, ctx.server_sojourn);
     req.max_db = std::max(req.max_db, ctx.db_sojourn);
@@ -170,7 +175,8 @@ EndToEndResult EndToEndSim::run() {
                      obs::to_us(sys.network_latency + req.max_server +
                                 req.max_db - req.max_total));
       }
-      requests.erase(ctx.request_id);
+      requests.erase(ctx.request_id,
+                     "EndToEndSim: double-completed request");
     }
   };
 
@@ -179,20 +185,22 @@ EndToEndResult EndToEndSim::run() {
   std::unique_ptr<sim::ServiceStation> db_q;
   std::unique_ptr<sim::MultiServerStation> db_pool;
   const auto on_db_departure = [&](const sim::Departure& d) {
-    const auto kit = keys.find(d.job_id);
-    if (kit != keys.end()) {
-      KeyContext& ctx = kit->second;
-      ctx.db_sojourn = d.sojourn_time();
-      if (requests.at(ctx.request_id).measured) {
-        obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
-      }
-      if (real_cache) {
-        // Refill the server's cache with the fetched value.
-        const std::string key = keyspace->key_for_rank(ctx.key_rank);
-        dist::Rng vr(hashing::mix64(ctx.key_rank ^ 0x5eedull));
-        const std::string value(value_sizes.sample(vr), 'v');
-        stores[ctx.server]->set(key, value, s.now());
-      }
+    KeyContext& ctx =
+        keys.at(d.job_id, "EndToEndSim: database departure for unknown key");
+    ctx.db_sojourn = d.sojourn_time();
+    if (requests
+            .at(ctx.request_id,
+                "EndToEndSim: database departure for unknown request")
+            .measured) {
+      obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
+    }
+    if (real_cache) {
+      // Refill the server's cache with the fetched value. Only the value's
+      // *size* matters to slab occupancy and eviction, so set_sized skips
+      // materialising the payload string.
+      keyspace->key_for_rank(ctx.key_rank, key_buf);
+      dist::Rng vr(hashing::mix64(ctx.key_rank ^ 0x5eedull));
+      stores[ctx.server]->set_sized(key_buf, value_sizes.sample(vr), s.now());
     }
     s.schedule_in(net_half, [&, job = d.job_id] { complete_key(job); });
   };
@@ -232,16 +240,19 @@ EndToEndResult EndToEndSim::run() {
     servers.push_back(std::make_unique<sim::ServiceStation>(
         s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
         master.split(), [&, j](const sim::Departure& d) {
-          auto& ctx = keys.at(d.job_id);
+          auto& ctx = keys.at(
+              d.job_id, "EndToEndSim: server departure for unknown key");
           ctx.server_sojourn = d.sojourn_time();
           bool miss;
           if (real_cache) {
-            const std::string key = keyspace->key_for_rank(ctx.key_rank);
-            miss = !stores[j]->get(key, s.now()).has_value();
+            keyspace->key_for_rank(ctx.key_rank, key_buf);
+            miss = !stores[j]->get(key_buf, s.now()).has_value();
           } else {
             miss = sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
           }
-          const auto& req = requests.at(ctx.request_id);
+          const auto& req = requests.at(
+              ctx.request_id,
+              "EndToEndSim: server departure for unknown request");
           if (req.measured) {
             ++measured_keys;
             obs::bump(ct_keys);
@@ -267,32 +278,34 @@ EndToEndResult EndToEndSim::run() {
   bool generating = true;
   std::function<void()> arrival = [&] {
     if (!generating) return;
-    const std::uint64_t rid = next_request++;
     RequestState st;
     st.start = s.now();
     st.remaining = sys.keys_per_request;
     st.measured = s.now() >= cfg_.warmup_time;
-    requests.emplace(rid, st);
+    const std::uint64_t rid = requests.insert(st);
     for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
-      const std::uint64_t job = next_key_job++;
       KeyContext ctx;
       ctx.request_id = rid;
       std::size_t server_idx;
       if (real_cache) {
         ctx.key_rank = keyspace->sample_rank(key_rng);
-        server_idx = mapper->server_for(keyspace->key_for_rank(ctx.key_rank));
+        keyspace->key_for_rank(ctx.key_rank, key_buf);
+        server_idx = mapper->server_for(key_buf);
       } else {
         // Respect the target {p_j} exactly.
         server_idx = server_pick.sample(key_rng);
       }
       ctx.server = server_idx;
-      keys.emplace(job, ctx);
+      const std::uint64_t job = keys.insert(ctx);
       s.schedule_in(net_half,
                     [&, job, server_idx] { servers[server_idx]->arrive(job); });
     }
-    s.schedule_in(req_rng.exponential(rate), arrival);
+    // Reschedule through a one-pointer trampoline: copying the full
+    // std::function closure into the calendar every arrival would defeat
+    // the kernel's inline-callback storage.
+    s.schedule_in(req_rng.exponential(rate), [&arrival] { arrival(); });
   };
-  s.schedule_in(req_rng.exponential(rate), arrival);
+  s.schedule_in(req_rng.exponential(rate), [&arrival] { arrival(); });
 
   // --- run: generate until the horizon, then drain ---------------------------
   s.run_until(horizon);

@@ -1,0 +1,104 @@
+// job_table.h — a dense free-list slot table for in-flight job and request
+// records.
+//
+// The cluster simulators create request/key bookkeeping records at a
+// monotonically increasing rate and retire them within a bounded horizon
+// (the fork-join width, the queueing backlog). An unordered_map pays a hash,
+// a probe and a node allocation per record; this table instead hands out
+// slot indices from a LIFO free list over a flat vector, so the id *is* the
+// address, insertion is an array write, and lookup is a bounds check plus an
+// indexed load. Ids are only unique among live records — exactly the
+// contract the simulators need, since a record's id never outlives its
+// in-flight window.
+//
+// Every lookup is checked: a stale, foreign or already-retired id throws
+// std::invalid_argument with the caller's diagnostic instead of
+// dereferencing a missing entry (the old `map.find(id)->second` hardening
+// gap). The throw lives in a cold out-of-line helper so the live-path check
+// is one compare-and-branch — no std::string temporary per lookup.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mclat::cluster {
+
+template <typename T>
+class JobTable {
+ public:
+  /// Stores `value` and returns its id (a recycled or fresh slot index).
+  std::uint64_t insert(T value) {
+    std::uint64_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      slots_[id] = std::move(value);
+      live_[id] = true;
+    } else {
+      id = slots_.size();
+      slots_.push_back(std::move(value));
+      live_.push_back(true);
+    }
+    ++size_;
+    return id;
+  }
+
+  /// Checked access; throws std::invalid_argument(`what`) for ids that were
+  /// never issued or have already been erased.
+  [[nodiscard]] T& at(std::uint64_t id, const char* what) {
+    if (!is_live(id)) throw_missing(what);
+    return slots_[id];
+  }
+  [[nodiscard]] const T& at(std::uint64_t id, const char* what) const {
+    if (!is_live(id)) throw_missing(what);
+    return slots_[id];
+  }
+
+  /// Checked remove-and-return; the slot is recycled immediately.
+  T take(std::uint64_t id, const char* what) {
+    if (!is_live(id)) throw_missing(what);
+    T out = std::move(slots_[id]);
+    release(id);
+    return out;
+  }
+
+  /// Checked erase.
+  void erase(std::uint64_t id, const char* what) {
+    if (!is_live(id)) throw_missing(what);
+    slots_[id] = T{};
+    release(id);
+  }
+
+  [[nodiscard]] bool is_live(std::uint64_t id) const noexcept {
+    return id < slots_.size() && live_[id];
+  }
+
+  /// Live records (not the slot capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    live_.reserve(n);
+  }
+
+ private:
+  [[noreturn]] static void throw_missing(const char* what) {
+    throw std::invalid_argument(what);
+  }
+
+  void release(std::uint64_t id) {
+    live_[id] = false;
+    free_.push_back(static_cast<std::uint32_t>(id));
+    --size_;
+  }
+
+  std::vector<T> slots_;
+  std::vector<bool> live_;
+  std::vector<std::uint32_t> free_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mclat::cluster

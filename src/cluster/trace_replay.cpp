@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "cluster/delay_station.h"
+#include "cluster/job_table.h"
 #include "dist/exponential.h"
 #include "hashing/consistent_hash.h"
 #include "hashing/key_mapper.h"
@@ -30,7 +31,7 @@ struct RequestState {
 };
 
 struct KeyState {
-  std::uint64_t request_id = 0;
+  std::uint32_t request_index = 0;  ///< dense index into the request vector
   double server_sojourn = 0.0;
   double db_sojourn = 0.0;
 };
@@ -60,14 +61,19 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   const double net_half = sys.network_latency / 2.0;
 
   // Pre-scan: per-request key counts and start times (a general trace may
-  // not emit a request's keys at one instant).
-  std::unordered_map<std::uint64_t, RequestState> requests;
+  // not emit a request's keys at one instant). Trace request ids are
+  // arbitrary, so they are interned once here into dense indices; the
+  // replay hot path then works on a flat vector.
+  std::unordered_map<std::uint64_t, std::uint32_t> request_index;
+  std::vector<RequestState> requests;
   for (const auto& rec : trace.records()) {
-    auto [it, fresh] = requests.try_emplace(rec.request_id);
-    it->second.remaining += 1;
-    it->second.n_keys += 1;
-    it->second.start =
-        fresh ? rec.time : std::min(it->second.start, rec.time);
+    const auto [it, fresh] = request_index.try_emplace(
+        rec.request_id, static_cast<std::uint32_t>(requests.size()));
+    if (fresh) requests.emplace_back();
+    RequestState& req = requests[it->second];
+    req.remaining += 1;
+    req.n_keys += 1;
+    req.start = fresh ? rec.time : std::min(req.start, rec.time);
   }
 
   sim::Simulator s;
@@ -75,8 +81,7 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   dist::Rng miss_rng = master.split();
   const auto mapper = make_mapper(cfg_);
 
-  std::unordered_map<std::uint64_t, KeyState> in_flight;
-  std::uint64_t next_job = 0;
+  JobTable<KeyState> in_flight;
 
   stats::Welford w_net;
   stats::Welford w_server;
@@ -98,11 +103,13 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   obs::Counter* ct_misses = orec.counter("db.misses");
 
   const auto complete_key = [&](std::uint64_t job) {
-    const KeyState ks = in_flight.at(job);
-    in_flight.erase(job);
+    const KeyState ks =
+        in_flight.take(job, "TraceReplaySim: completion for unknown key job");
     ++keys_completed;
     obs::bump(ct_keys);
-    RequestState& req = requests.at(ks.request_id);
+    math::require(ks.request_index < requests.size(),
+                  "TraceReplaySim: key references an unknown request");
+    RequestState& req = requests[ks.request_index];
     req.max_server = std::max(req.max_server, ks.server_sojourn);
     req.max_db = std::max(req.max_db, ks.db_sojourn);
     const double total = s.now() - req.start;
@@ -130,7 +137,11 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
 
   DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
                   master.split(), [&](const sim::Departure& d) {
-                    in_flight.at(d.job_id).db_sojourn = d.sojourn_time();
+                    in_flight
+                        .at(d.job_id,
+                            "TraceReplaySim: database departure for "
+                            "unknown key")
+                        .db_sojourn = d.sojourn_time();
                     obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
                     s.schedule_in(net_half,
                                   [&, job = d.job_id] { complete_key(job); });
@@ -142,7 +153,10 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
     servers.push_back(std::make_unique<sim::ServiceStation>(
         s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
         master.split(), [&](const sim::Departure& d) {
-          in_flight.at(d.job_id).server_sojourn = d.sojourn_time();
+          in_flight
+              .at(d.job_id,
+                  "TraceReplaySim: server departure for unknown key")
+              .server_sojourn = d.sojourn_time();
           const bool miss =
               sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
           if (miss) {
@@ -161,14 +175,15 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
 
   // Inject the trace. Records must be time-sorted (sort_by_time()).
   double prev_time = 0.0;
+  std::string key_buf;
   for (const auto& rec : trace.records()) {
     math::require(rec.time >= prev_time,
                   "TraceReplaySim: trace must be sorted by time");
     prev_time = rec.time;
-    const std::uint64_t job = next_job++;
-    in_flight.emplace(job, KeyState{rec.request_id, 0.0, 0.0});
-    const std::size_t server = mapper->server_for(keys.key_for_rank(
-        rec.key_rank % keys.size()));
+    const std::uint64_t job =
+        in_flight.insert(KeyState{request_index.at(rec.request_id), 0.0, 0.0});
+    keys.key_for_rank(rec.key_rank % keys.size(), key_buf);
+    const std::size_t server = mapper->server_for(key_buf);
     s.schedule_at(rec.time + net_half,
                   [&, job, server] { servers[server]->arrive(job); });
   }

@@ -1,0 +1,178 @@
+// inline_callback.h — a move-only, type-erased nullary callable with
+// small-buffer-optimised storage.
+//
+// The event kernel used to store every scheduled callback as a
+// `std::function<void()>` inside an `unordered_map<EventId, ...>`: one heap
+// allocation (often two, for captures past std::function's tiny internal
+// buffer) plus a hash insert and a hash erase *per simulated event*. This
+// type is the replacement: the callable lives inline in the calendar's slot
+// table (kInlineBytes of storage, enough for every capture list the
+// stations and cluster simulators produce), with a heap fallback only for
+// oversized captures. Move-only by design — an event callback is consumed
+// exactly once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mclat::sim {
+
+class InlineCallback {
+ public:
+  /// Inline storage size. 64 bytes holds the largest hot-path capture in the
+  /// tree (station departure closures: this + job timestamps) with room to
+  /// spare; larger captures transparently spill to the heap.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Constructs the callable directly into this (empty) object's storage —
+  /// the schedule fast path builds the capture in the calendar slot itself,
+  /// with no temporary and no move. Precondition: `!*this`.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      vt_ = &inline_vtable<D>;
+    } else {
+      // Oversized or over-aligned capture: one heap allocation, owned here.
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      vt_ = &heap_vtable<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  /// Invokes the held callable and destroys it, in place, with a single
+  /// indirect call — the fire-path fast path (no move-out of the calendar
+  /// slot). The object is disengaged *before* the call, so re-entrant
+  /// observers (cancel of the firing id, pending-state queries) see an
+  /// empty callback while it runs. The callable is destroyed even if it
+  /// throws.
+  void consume() {
+    const VTable* vt = vt_;
+    vt_ = nullptr;
+    vt->consume(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+  /// True when a callable of type F would use the inline buffer (exposed for
+  /// tests and benchmarks of the spill path).
+  template <typename F>
+  [[nodiscard]] static constexpr bool stores_inline() noexcept {
+    return fits_inline<std::decay_t<F>>;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    void (*consume)(void* self);  // invoke, then destroy (even on throw)
+    void (*move_to)(void* src, void* dst) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  // Scope guards make `consume` destroy the callable on both the normal and
+  // the throwing exit, with no happy-path overhead.
+  template <typename D>
+  struct DtorGuard {
+    D* p;
+    ~DtorGuard() { p->~D(); }
+  };
+  template <typename D>
+  struct DeleteGuard {
+    D* p;
+    ~DeleteGuard() { delete p; }
+  };
+
+  template <typename D>
+  static constexpr VTable inline_vtable{
+      [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+      [](void* self) {
+        D* p = std::launder(reinterpret_cast<D*>(self));
+        DtorGuard<D> g{p};
+        (*p)();
+      },
+      [](void* src, void* dst) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) noexcept {
+        std::launder(reinterpret_cast<D*>(self))->~D();
+      }};
+
+  template <typename D>
+  static constexpr VTable heap_vtable{
+      [](void* self) { (**std::launder(reinterpret_cast<D**>(self)))(); },
+      [](void* self) {
+        D* p = *std::launder(reinterpret_cast<D**>(self));
+        DeleteGuard<D> g{p};
+        (*p)();
+      },
+      [](void* src, void* dst) noexcept {
+        D** s = std::launder(reinterpret_cast<D**>(src));
+        ::new (dst) D*(*s);
+        *s = nullptr;
+      },
+      [](void* self) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(self));
+      }};
+
+  void steal(InlineCallback& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->move_to(other.buf_, buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace mclat::sim

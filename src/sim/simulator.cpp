@@ -5,65 +5,129 @@
 
 namespace mclat::sim {
 
-EventId Simulator::schedule_at(Time t, Callback fn) {
-  if (t < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+// Hole-based sift-down, mirroring the inline sift-up in the header.
+void Simulator::heap_pop_min() {
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  const Key k = e.key();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child =
+        first_child + kArity < n ? first_child + kArity : n;
+    // Branchless min-of-children: event times are effectively random, so a
+    // conditional select beats a compare-and-branch here.
+    std::size_t best = first_child;
+    Key best_key = heap_[first_child].key();
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      const Key ck = heap_[c].key();
+      const bool less = ck < best_key;
+      best = less ? c : best;
+      best_key = less ? ck : best_key;
+    }
+    if (best_key >= k) break;
+    heap_[i] = heap_[best];
+    i = best;
   }
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  heap_[i] = e;
+}
+
+void Simulator::throw_past_time() {
+  throw std::invalid_argument("Simulator::schedule_at: time in the past");
+}
+
+std::uint32_t Simulator::grow_slot() {
+  const auto slot = static_cast<std::uint32_t>(slot_count_);
+  if ((slot_count_ & kSlotBlockMask) == 0) {
+    blocks_.push_back(std::make_unique<Slot[]>(kSlotBlockSize));
+  }
+  ++slot_count_;
+  return slot;
+}
+
+EventId Simulator::schedule_at(Time t, Callback fn) {
+  if (t < now_) throw_past_time();
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slot_ref(slot);
+  ++s.gen;
+  s.fn = std::move(fn);
+  return commit_slot(t, slot, s.gen);
 }
 
 void Simulator::cancel(EventId id) {
-  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_count_) return;
+  Slot& s = slot_ref(slot);
+  if (s.gen != gen || !s.fn) return;  // already fired, cancelled, or reused
+  s.fn.reset();
+  free_.push_back(slot);
+  --live_;
+  // The heap entry stays behind; its generation no longer matches, so it is
+  // discarded with one integer compare when it reaches the top.
 }
 
-bool Simulator::step() {
+bool Simulator::fire_one(std::uint64_t horizon_bits) {
+  // One fused pass: discard dead (cancelled) top entries, then fire the
+  // first live one at or before the horizon. Fusing the settle and fire
+  // steps reads the top entry and its slot exactly once per event.
   while (!heap_.empty()) {
-    const Entry e = heap_.top();
-    heap_.pop();
-    const auto c = cancelled_.find(e.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
+    const Entry e = heap_.front();
+    Slot& s = slot_ref(e.slot);
+    if (s.gen != e.gen || !s.fn) {
+      heap_pop_min();
       continue;
     }
-    const auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;  // defensive: cancelled without tombstone
-    now_ = e.at;
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    if (e.time_bits > horizon_bits) return false;
+    heap_pop_min();
+    now_ = e.at();
+    --live_;
     ++executed_;
-    fn();
+    // Invoke + destroy in place with one indirect call — no move-out of the
+    // slot. consume() disengages the slot first, so a re-entrant cancel of
+    // the firing id is a no-op, and the slot joins the free list only
+    // *after* the call, so a schedule from inside the callback can never
+    // overwrite the callable while it runs. (If the callback throws, the
+    // slot index is abandoned rather than freed: a one-slot leak in an
+    // already-fatal path.)
+    s.fn.consume();
+    free_.push_back(e.slot);
     return true;
   }
   return false;
 }
 
+bool Simulator::step() { return fire_one(kNoHorizon); }
+
 void Simulator::run() {
-  while (step()) {
+  while (fire_one(kNoHorizon)) {
   }
 }
 
 void Simulator::run_until(Time t) {
-  while (!heap_.empty()) {
-    // Peek past cancelled entries without disturbing live ones.
-    const Entry e = heap_.top();
-    if (cancelled_.contains(e.id)) {
-      heap_.pop();
-      cancelled_.erase(e.id);
-      continue;
-    }
-    if (e.at > t) break;
-    step();
+  // Non-negative doubles order like their bit patterns, so the horizon
+  // check inside the fused loop is one integer compare.
+  const std::uint64_t t_bits = time_key(t);
+  while (fire_one(t_bits)) {
   }
   if (now_ < t) now_ = t;
 }
 
 void Simulator::clear() {
-  heap_ = {};
-  callbacks_.clear();
-  cancelled_.clear();
+  heap_.clear();
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    Slot& s = slot_ref(i);
+    if (s.fn) {
+      s.fn.reset();
+      free_.push_back(i);
+    }
+  }
+  live_ = 0;
+  // Generations are deliberately *not* reset: an EventId issued before
+  // clear() must stay dead even if its slot is re-armed afterwards.
 }
 
 }  // namespace mclat::sim

@@ -5,26 +5,44 @@
 // deterministic. This kernel plus the queueing stations in station.h is the
 // substrate on which the whole "experiment" side of the reproduction runs —
 // it plays the role of the paper's physical testbed.
+//
+// Memory layout (see DESIGN.md §4d): the calendar is a flat 4-ary min-heap
+// of 24-byte entries ordered by (time, seq) — the same FIFO tie-break as the
+// original binary std::priority_queue, so event order (and every golden
+// file) is preserved bit-for-bit. The ordering key is compared as one
+// 128-bit integer: simulation time is non-negative, so the IEEE-754 bit
+// pattern of `time` orders exactly like the double, and (time_bits << 64 |
+// seq) collapses the two-field comparison into a single unsigned compare.
+// Callbacks live inline in a slot table of small-buffer callables
+// (InlineCallback) allocated in fixed blocks — growing the table never
+// moves a live callback. Slots are recycled through a LIFO free list and
+// tagged with a generation counter: an EventId is (generation << 32 |
+// slot), cancellation is an O(1) generation-tag mismatch, and the kernel
+// performs no per-event heap allocation and owns no hash table.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
+
+#include "sim/inline_callback.h"
 
 namespace mclat::sim {
 
 /// Virtual simulation time, in seconds.
 using Time = double;
 
-/// Token returned by schedule_*; can be passed to cancel().
+/// Token returned by schedule_*; can be passed to cancel(). Encodes
+/// (generation << 32 | slot); generations start at 1, so 0 never names a
+/// live event and a default-initialised EventId is always safe to cancel.
 using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -35,9 +53,32 @@ class Simulator {
 
   /// Schedules `fn` at absolute time `t` (>= now). Returns a cancellation
   /// token. Throws std::invalid_argument for t < now.
+  ///
+  /// The template overload constructs the capture directly into the
+  /// calendar slot (no temporary InlineCallback, no move); the Callback
+  /// overload serves pre-built callbacks.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_at(Time t, F&& fn) {
+    if (t < now_) throw_past_time();
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_ref(slot);
+    ++s.gen;
+    s.fn.emplace(std::forward<F>(fn));
+    return commit_slot(t, slot, s.gen);
+  }
   EventId schedule_at(Time t, Callback fn);
 
   /// Schedules `fn` after a delay `dt` >= 0.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_in(Time dt, F&& fn) {
+    return schedule_at(now_ + dt, std::forward<F>(fn));
+  }
   EventId schedule_in(Time dt, Callback fn) {
     return schedule_at(now_ + dt, std::move(fn));
   }
@@ -61,30 +102,108 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return executed_;
   }
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return heap_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
  private:
+  /// Slot blocks: 512 slots per block, so slot addresses are stable and
+  /// growth never move-constructs a stored callback.
+  static constexpr std::size_t kSlotBlockBits = 9;
+  static constexpr std::size_t kSlotBlockSize = std::size_t{1}
+                                                << kSlotBlockBits;
+  static constexpr std::size_t kSlotBlockMask = kSlotBlockSize - 1;
+
+  __extension__ typedef unsigned __int128 Key;  // GNU extension; fine on GCC/Clang
+
+  /// One calendar entry: 24 bytes, trivially copyable, so heap sifts are
+  /// plain copies. `slot`+`gen` identify the callback; an entry whose
+  /// generation no longer matches its slot is dead (cancelled) and is
+  /// discarded with one integer compare when it reaches the top.
   struct Entry {
-    Time at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    std::uint64_t time_bits;  // bit_cast of a non-negative double
+    std::uint64_t seq;        // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    [[nodiscard]] Key key() const noexcept {
+      return (static_cast<Key>(time_bits) << 64) | seq;
+    }
+    [[nodiscard]] Time at() const noexcept {
+      return std::bit_cast<Time>(time_bits);
     }
   };
 
+  struct Slot {
+    InlineCallback fn;      // engaged iff the slot is armed
+    std::uint32_t gen = 0;  // bumped on every arming
+  };
+
+  /// Horizon sentinel for fire_one: above every valid time bit pattern.
+  static constexpr std::uint64_t kNoHorizon = ~std::uint64_t{0};
+
+  static constexpr std::size_t kArity = 4;
+
+  /// Order-preserving bit image of a non-negative time. `t + 0.0`
+  /// normalises -0.0 to +0.0 so both zeros share one key; for every other
+  /// value it is the identity. schedule_at guarantees t >= now >= 0, so the
+  /// sign bit is clear and unsigned bit-pattern order equals double order
+  /// (+inf sorts last).
+  [[nodiscard]] static std::uint64_t time_key(Time t) noexcept {
+    return std::bit_cast<std::uint64_t>(t + 0.0);
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t i) noexcept {
+    return blocks_[i >> kSlotBlockBits][i & kSlotBlockMask];
+  }
+
+  // Hole-based sift-up: entries are 24-byte trivially-copyable values, so
+  // each level costs one copy instead of a three-move swap, and the
+  // (time, seq) comparison is a single 128-bit unsigned compare. Inline so
+  // the schedule fast path compiles flat at its call sites.
+  void heap_push(const Entry& e) {
+    const Key k = e.key();
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (k >= heap_[parent].key()) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+  void heap_pop_min();
+  /// Discards dead top entries, then fires the first live one whose time
+  /// bit-pattern is <= `horizon_bits`. Returns false when the calendar is
+  /// empty or only events beyond the horizon remain.
+  bool fire_one(std::uint64_t horizon_bits);
+
+  [[noreturn]] static void throw_past_time();
+  /// Pops a free slot, growing the block table when the list is empty. The
+  /// returned slot's callback is disengaged.
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    return grow_slot();
+  }
+  [[nodiscard]] std::uint32_t grow_slot();
+  /// Pushes the armed slot's calendar entry and mints its EventId.
+  EventId commit_slot(Time t, std::uint32_t slot, std::uint32_t gen) {
+    heap_push(Entry{time_key(t), next_seq_++, slot, gen});
+    ++live_;
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  std::size_t slot_count_ = 0;
+  std::vector<Entry> heap_;  // flat 4-ary min-heap on (time_bits, seq)
+  std::vector<std::unique_ptr<Slot[]>> blocks_;  // inline callback storage
+  std::vector<std::uint32_t> free_;  // recycled slot indices (LIFO)
 };
 
 }  // namespace mclat::sim

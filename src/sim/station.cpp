@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "dist/exponential.h"
 #include "math/numerics.h"
 
 namespace mclat::sim {
@@ -13,6 +14,9 @@ ServiceStation::ServiceStation(Simulator& sim, dist::DistributionPtr service,
   math::require(service_ != nullptr, "ServiceStation: null service dist");
   math::require(static_cast<bool>(on_departure_),
                 "ServiceStation: null departure handler");
+  if (const auto* e = dynamic_cast<const dist::Exponential*>(service_.get())) {
+    exp_rate_ = e->rate();
+  }
 }
 
 void ServiceStation::account_population(Time now) noexcept {
@@ -35,7 +39,8 @@ void ServiceStation::begin_service() {
   busy_ = true;
   busy_since_ = sim_.now();
   const Time start = sim_.now();
-  const double duration = service_->sample(rng_);
+  const double duration = exp_rate_ > 0.0 ? rng_.exponential(exp_rate_)
+                                          : service_->sample(rng_);
   sim_.schedule_in(duration, [this, job, start] {
     busy_ = false;
     busy_accum_ += sim_.now() - busy_since_;

@@ -105,6 +105,12 @@ class ServiceStation {
 
   Simulator& sim_;
   dist::DistributionPtr service_;
+  // Devirtualized fast path for the dominant M/M/1 case: when the service
+  // distribution is Exponential, its rate is cached here and sampling
+  // inlines to rng_.exponential(rate) — the exact computation
+  // Exponential::sample performs, minus the virtual dispatch. 0 means "not
+  // exponential; go through the virtual sample()".
+  double exp_rate_ = 0.0;
   dist::Rng rng_;
   DepartureHandler on_departure_;
   std::deque<Pending> queue_;

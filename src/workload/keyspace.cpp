@@ -11,14 +11,24 @@ KeySpace::KeySpace(std::uint64_t keys, double zipf_s, KeySizeModel sizes)
     : zipf_(keys, zipf_s), sizes_(sizes) {}
 
 std::string KeySpace::key_for_rank(std::uint64_t rank) const {
+  std::string key;
+  key_for_rank(rank, key);
+  return key;
+}
+
+void KeySpace::key_for_rank(std::uint64_t rank, std::string& out) const {
   math::require(rank < zipf_.n(), "KeySpace: rank out of range");
-  std::string key = "k" + std::to_string(rank);
+  char digits[24];
+  const auto res =
+      std::to_chars(digits, digits + sizeof digits, rank);
+  out.clear();
+  out.push_back('k');
+  out.append(digits, res.ptr);
   // Deterministic per-rank size: seed a tiny RNG from the rank so the same
   // rank always produces the same string (the cache must see stable keys).
   dist::Rng rng(hashing::mix64(rank ^ 0xfacef00dull));
   const std::uint32_t target = sizes_.sample(rng);
-  if (key.size() < target) key.resize(target, '#');
-  return key;
+  if (out.size() < target) out.resize(target, '#');
 }
 
 std::uint64_t KeySpace::rank_of(const std::string& key) {

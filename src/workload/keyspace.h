@@ -31,6 +31,11 @@ class KeySpace {
   /// rank's deterministic size (so one rank always has one string).
   [[nodiscard]] std::string key_for_rank(std::uint64_t rank) const;
 
+  /// Renders the canonical key into `out`, reusing its capacity — the
+  /// hot-path form for the cluster simulators, which look keys up once per
+  /// simulated access and would otherwise allocate a fresh string each time.
+  void key_for_rank(std::uint64_t rank, std::string& out) const;
+
   /// Convenience: sample a rank and render its key.
   [[nodiscard]] std::string sample_key(dist::Rng& rng) const {
     return key_for_rank(sample_rank(rng));

@@ -129,6 +129,65 @@ TEST(LruStore, HitRatioGrowsWithCacheSizeUnderZipf) {
   EXPECT_GT(small, 0.1);  // even a tiny cache catches the hot head
 }
 
+TEST(LruStore, SetSizedMatchesSetByteForByte) {
+  // set_sized(key, n) must be indistinguishable from set(key, n x 'v') —
+  // same stored value, same occupancy, same slab-class placement — so the
+  // cluster real-cache refill can skip materialising payloads.
+  LruStore a(tiny_config());
+  LruStore b(tiny_config());
+  const std::string value(200, 'v');
+  EXPECT_TRUE(a.set("k", value));
+  EXPECT_TRUE(b.set_sized("k", value.size()));
+  EXPECT_EQ(a.size(), b.size());
+  const auto va = a.get("k");
+  const auto vb = b.get("k");
+  ASSERT_TRUE(va.has_value());
+  ASSERT_TRUE(vb.has_value());
+  EXPECT_EQ(*va, *vb);
+  EXPECT_EQ(vb->size(), 200u);
+}
+
+TEST(LruStore, SetSizedEvictionParityWithSet) {
+  // Drive two stores through the same overflowing insertion sequence, one
+  // with set and one with set_sized: eviction counts and the surviving key
+  // set must match exactly.
+  LruStore with_set(tiny_config());
+  LruStore with_sized(tiny_config());
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::size_t n = 20 + static_cast<std::size_t>(i % 7) * 50;
+    (void)with_set.set(key, std::string(n, 'v'));
+    (void)with_sized.set_sized(key, n);
+  }
+  EXPECT_GT(with_set.stats().evictions, 0u);
+  EXPECT_EQ(with_set.stats().evictions, with_sized.stats().evictions);
+  EXPECT_EQ(with_set.size(), with_sized.size());
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(with_set.contains(key), with_sized.contains(key)) << key;
+  }
+}
+
+TEST(LruStore, SetSizedHonorsTtlAndReplace) {
+  LruStore s(tiny_config());
+  EXPECT_TRUE(s.set_sized("k", 10, /*now=*/0.0, /*ttl=*/5.0));
+  EXPECT_TRUE(s.get("k", 1.0).has_value());
+  EXPECT_FALSE(s.get("k", 5.0).has_value());
+  EXPECT_TRUE(s.set_sized("k", 30));
+  EXPECT_EQ(s.get("k")->size(), 30u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(LruStore, SetSizedOversizedValueFails) {
+  const SlabAllocator::Config cfg = tiny_config();
+  LruStore s(cfg);
+  // A value larger than a slab page can never be stored; both entry points
+  // must agree on the failure.
+  EXPECT_FALSE(s.set_sized("big", cfg.page_size * 2));
+  EXPECT_FALSE(s.set("big", std::string(cfg.page_size * 2, 'v')));
+  EXPECT_EQ(s.size(), 0u);
+}
+
 TEST(LruStore, StatsCountersAreCoherent) {
   LruStore s(tiny_config());
   (void)s.set("a", "1");

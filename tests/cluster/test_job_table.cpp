@@ -1,0 +1,93 @@
+// test_job_table.cpp — the dense free-list slot table backing the cluster
+// simulators' in-flight request/key records.
+#include "cluster/job_table.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::cluster {
+namespace {
+
+TEST(JobTable, InsertLookupErase) {
+  JobTable<std::string> t;
+  EXPECT_TRUE(t.empty());
+  const auto a = t.insert("alpha");
+  const auto b = t.insert("beta");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(a, "a"), "alpha");
+  EXPECT_EQ(t.at(b, "b"), "beta");
+  t.erase(a, "erase a");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.is_live(a));
+  EXPECT_TRUE(t.is_live(b));
+}
+
+TEST(JobTable, SlotsAreRecycledLifo) {
+  JobTable<int> t;
+  const auto a = t.insert(1);
+  const auto b = t.insert(2);
+  const auto c = t.insert(3);
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(c, b + 1);
+  t.erase(b, "b");
+  t.erase(a, "a");
+  // LIFO free list: the most recently freed slot is reissued first.
+  EXPECT_EQ(t.insert(4), a);
+  EXPECT_EQ(t.insert(5), b);
+  EXPECT_EQ(t.insert(6), c + 1);  // list empty again: fresh slot
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(JobTable, TakeMovesTheValueOutAndFreesTheSlot) {
+  JobTable<std::unique_ptr<int>> t;
+  const auto id = t.insert(std::make_unique<int>(42));
+  auto out = t.take(id, "take");
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 42);
+  EXPECT_FALSE(t.is_live(id));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(JobTable, CheckedAccessThrowsWithDiagnostic) {
+  JobTable<int> t;
+  const auto id = t.insert(9);
+  t.erase(id, "first erase");
+  // Stale id, never-issued id, and double-erase all trip the caller's
+  // diagnostic instead of touching a dead slot.
+  EXPECT_THROW((void)t.at(id, "stale id"), std::invalid_argument);
+  EXPECT_THROW((void)t.at(12345, "unknown id"), std::invalid_argument);
+  EXPECT_THROW(t.erase(id, "double erase"), std::invalid_argument);
+  EXPECT_THROW((void)t.take(id, "take after erase"), std::invalid_argument);
+  try {
+    (void)t.at(id, "complete_key: unknown key-fetch id");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "complete_key: unknown key-fetch id");
+  }
+}
+
+TEST(JobTable, SurvivesHighChurn) {
+  // The simulators' usage pattern: ids issued monotonically per wave,
+  // retired within a bounded window, slots reused indefinitely.
+  JobTable<std::uint64_t> t;
+  std::vector<std::uint64_t> live;
+  std::uint64_t next_val = 0;
+  for (int wave = 0; wave < 100; ++wave) {
+    for (int i = 0; i < 64; ++i) live.push_back(t.insert(next_val++));
+    // Retire from the middle out, exercising non-LIFO erase order.
+    while (live.size() > 16) {
+      const auto id = live[live.size() / 2];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2));
+      t.erase(id, "churn erase");
+    }
+  }
+  EXPECT_EQ(t.size(), live.size());
+  for (const auto id : live) EXPECT_TRUE(t.is_live(id));
+}
+
+}  // namespace
+}  // namespace mclat::cluster

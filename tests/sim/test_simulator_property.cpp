@@ -1,0 +1,313 @@
+// test_simulator_property.cpp — randomized cross-check of the event kernel
+// against a naive reference calendar.
+//
+// The kernel (flat 4-ary heap + generation-tagged slots + inline callbacks)
+// must be observationally identical to the simplest possible implementation:
+// a sorted vector ordered by (time, insertion-order). These tests drive both
+// through long random schedule/cancel/fire interleavings and require the
+// same firing sequence, the same clock, and the same pending() accounting —
+// plus targeted probes of the tricky corners: FIFO tie-breaks, cancellation
+// after firing, re-entrant cancel of the firing event, slot recycling, and
+// the small-buffer spill path for oversized captures.
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mclat::sim {
+namespace {
+
+/// The reference calendar: a vector kept sorted by (time, seq) with a
+/// stable insertion counter — self-evidently the (time, insertion-order)
+/// determinism contract, with O(n) everything.
+class ReferenceCalendar {
+ public:
+  /// Schedules a tagged marker event; returns its handle.
+  std::uint64_t schedule(double t, int tag) {
+    events_.push_back(Ev{t, next_seq_++, tag});
+    return events_.back().seq;
+  }
+
+  /// O(n) cancel; no-op (returns false) if absent — i.e. fired/cancelled.
+  bool cancel(std::uint64_t seq) {
+    const auto it =
+        std::find_if(events_.begin(), events_.end(),
+                     [seq](const Ev& e) { return e.seq == seq; });
+    if (it == events_.end()) return false;
+    events_.erase(it);
+    return true;
+  }
+
+  /// Removes and returns the (time, seq)-least event's tag.
+  std::optional<std::pair<double, int>> fire_next() {
+    if (events_.empty()) return std::nullopt;
+    const auto it = std::min_element(
+        events_.begin(), events_.end(), [](const Ev& a, const Ev& b) {
+          return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+        });
+    const auto out = std::make_pair(it->t, it->tag);
+    events_.erase(it);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Ev {
+    double t;
+    std::uint64_t seq;
+    int tag;
+  };
+  std::vector<Ev> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// One random interleaving: schedules (with deliberate time collisions),
+/// cancels, and partial draining, mirrored into both calendars; then a full
+/// drain. The firing tag sequences must match element-for-element.
+void run_interleaving(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Simulator sim;
+  ReferenceCalendar ref;
+  std::vector<int> sim_fired;
+  std::vector<int> ref_fired;
+
+  // Live handles for cancellation, kept in lockstep: the i-th entry refers
+  // to the same logical event in both calendars.
+  std::vector<std::pair<EventId, std::uint64_t>> live;
+  std::vector<double> recent_times;
+  int next_tag = 0;
+
+  const auto schedule_one = [&] {
+    double t;
+    if (!recent_times.empty() && rng() % 4 == 0) {
+      // Reuse an earlier timestamp to force (time, seq) ties.
+      t = recent_times[rng() % recent_times.size()];
+      if (t < sim.now()) t = sim.now();
+    } else {
+      t = sim.now() +
+          static_cast<double>(rng() % 1000) / 256.0;  // exactly representable
+    }
+    recent_times.push_back(t);
+    const int tag = next_tag++;
+    const EventId id = sim.schedule_at(t, [tag, &sim_fired] {
+      sim_fired.push_back(tag);
+    });
+    live.emplace_back(id, ref.schedule(t, tag));
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto r = rng() % 10;
+    if (r < 5) {
+      schedule_one();
+    } else if (r < 7 && !live.empty()) {
+      const auto pick = rng() % live.size();
+      const auto [sim_id, ref_id] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      // The handle may name an already-fired event; both sides must treat
+      // that as a no-op.
+      sim.cancel(sim_id);
+      ref.cancel(ref_id);
+    } else if (r < 8 && !live.empty()) {
+      // Double-cancel: idempotence on a handle we also keep for later.
+      const auto [sim_id, ref_id] = live[rng() % live.size()];
+      const bool ref_was_live = ref.cancel(ref_id);
+      sim.cancel(sim_id);
+      sim.cancel(sim_id);
+      (void)ref_was_live;
+    } else {
+      // Drain a few events.
+      const auto n = 1 + rng() % 4;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const bool fired = sim.step();
+        const auto expect = ref.fire_next();
+        ASSERT_EQ(fired, expect.has_value());
+        if (fired) {
+          ASSERT_EQ(sim.now(), expect->first);
+          ref_fired.push_back(expect->second);
+          // Stale fired-event handles stay in `live`; the matching sim
+          // handle must stay dead even though its slot can be recycled.
+        }
+      }
+    }
+    ASSERT_EQ(sim.pending(), ref.pending()) << "op " << op;
+  }
+
+  // Drain the remainder in lockstep, then compare the complete firing
+  // sequences — the byte-for-byte (time, insertion-order) contract.
+  while (auto e = ref.fire_next()) {
+    ASSERT_TRUE(sim.step());
+    ASSERT_EQ(sim.now(), e->first);
+    ref_fired.push_back(e->second);
+  }
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim_fired, ref_fired);
+}
+
+TEST(SimulatorProperty, MatchesReferenceCalendarAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 42ull, 1234ull, 987654321ull}) {
+    run_interleaving(seed);
+  }
+}
+
+/// Full-sequence comparison: drive both calendars, collect both firing tag
+/// sequences independently, compare wholesale (including FIFO tie-breaks).
+TEST(SimulatorProperty, FiringSequenceIdenticalIncludingTies) {
+  for (const std::uint64_t seed : {7ull, 77ull, 777ull}) {
+    std::mt19937_64 rng(seed);
+    Simulator sim;
+    ReferenceCalendar ref;
+    std::vector<int> sim_fired;
+
+    std::vector<std::pair<EventId, std::uint64_t>> handles;
+    // A deliberately small time domain: heavy collisions, so the FIFO
+    // tie-break carries most of the ordering.
+    for (int i = 0; i < 500; ++i) {
+      const double t = static_cast<double>(rng() % 8);
+      const int tag = i;
+      handles.emplace_back(
+          sim.schedule_at(t, [tag, &sim_fired] { sim_fired.push_back(tag); }),
+          ref.schedule(t, tag));
+    }
+    // Cancel a third of them.
+    for (std::size_t i = 0; i < handles.size(); i += 3) {
+      sim.cancel(handles[i].first);
+      ref.cancel(handles[i].second);
+    }
+
+    std::vector<int> ref_fired;
+    while (auto e = ref.fire_next()) ref_fired.push_back(e->second);
+    sim.run();
+    EXPECT_EQ(sim_fired, ref_fired);
+    EXPECT_EQ(sim.events_executed(), sim_fired.size());
+  }
+}
+
+TEST(SimulatorProperty, CancelAfterFireIsNoOp) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.cancel(id);  // already fired: must not disturb anything
+  s.cancel(id);
+  // The slot is recycled; the stale id must not cancel the new tenant.
+  const EventId id2 = s.schedule_at(2.0, [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_NE(id, id2);
+}
+
+TEST(SimulatorProperty, ReentrantCancelOfFiringEventIsNoOp) {
+  Simulator s;
+  int fired = 0;
+  EventId self = kInvalidEventId;
+  self = s.schedule_at(1.0, [&] {
+    ++fired;
+    s.cancel(self);  // cancelling the event that is running right now
+    s.cancel(self);
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 0u);
+  // The calendar survives: scheduling still works afterwards.
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorProperty, ScheduleFromInsideCallbackReusesSlotsSafely) {
+  // A self-rescheduling chain cycles one logical event through the slot
+  // free list thousands of times; ids must never collide with live events.
+  Simulator s;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    if (fired < 5000) s.schedule_in(0.001, tick);
+  };
+  s.schedule_in(0.0, tick);
+  s.run();
+  EXPECT_EQ(fired, 5000);
+  EXPECT_EQ(s.events_executed(), 5000u);
+}
+
+// ---- small-buffer spill -------------------------------------------------
+
+struct SpillProbe {
+  std::shared_ptr<int> token;
+  char payload[128];  // forces the capture past the 64-byte inline buffer
+};
+
+TEST(SimulatorProperty, OversizedCaptureSpillsToHeapAndStillRuns) {
+  auto token = std::make_shared<int>(0);
+  SpillProbe probe{token, {}};
+
+  Simulator s;
+  {
+    auto cb = [probe] { ++*probe.token; };
+    static_assert(!InlineCallback::stores_inline<decltype(cb)>(),
+                  "a >64-byte capture must take the heap fallback");
+    s.schedule_at(1.0, std::move(cb));
+  }  // the moved-from local holds no reference
+  EXPECT_EQ(token.use_count(), 3);  // token, probe, + the scheduled copy
+  s.run();
+  EXPECT_EQ(*token, 1);
+  EXPECT_EQ(token.use_count(), 2);  // the spilled callable was destroyed
+}
+
+TEST(SimulatorProperty, OversizedCaptureIsDestroyedOnCancel) {
+  auto token = std::make_shared<int>(0);
+  SpillProbe probe{token, {}};
+  Simulator s;
+  const EventId id = s.schedule_at(1.0, [probe] { ++*probe.token; });
+  EXPECT_EQ(token.use_count(), 3);
+  s.cancel(id);
+  EXPECT_EQ(token.use_count(), 2);  // cancel destroys the spilled callable
+  s.run();
+  EXPECT_EQ(*token, 0);
+}
+
+TEST(SimulatorProperty, MoveOnlyCaptureWorksInlineAndSpilled) {
+  Simulator s;
+  int out = 0;
+
+  // A unique_ptr capture is move-only and fits inline (16 bytes)...
+  s.schedule_at(1.0, [p = std::make_unique<int>(7), &out] { out += *p; });
+
+  // ...and a 128-byte move-only capture takes the heap fallback.
+  struct Big {
+    std::unique_ptr<int> p;
+    char pad[120];
+  };
+  s.schedule_at(2.0, [b = Big{std::make_unique<int>(35), {}}, &out] {
+    out += *b.p;
+  });
+  s.run();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(SimulatorProperty, ClearDropsPendingButKeepsOldIdsDead) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.clear();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.step());
+  // Re-arm the (recycled) slots; the pre-clear id must stay dead.
+  s.schedule_at(3.0, [&] { fired += 10; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 10);
+}
+
+}  // namespace
+}  // namespace mclat::sim
