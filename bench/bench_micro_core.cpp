@@ -5,11 +5,16 @@
 // cliff headroom every second).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/cliff.h"
 #include "core/delta.h"
 #include "core/theorem1.h"
+#include "dist/discrete.h"
 #include "dist/exponential.h"
 #include "dist/generalized_pareto.h"
+#include "dist/rng.h"
+#include "legacy_workload.h"
 
 namespace {
 
@@ -80,6 +85,60 @@ void BM_LatencyModelEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatencyModelEstimate);
+
+// ---- categorical sampling: alias table vs classical CDF search ----------
+// Every key of every assembled request draws its server from a Discrete;
+// these pairs isolate that draw. Both samplers consume exactly one uniform
+// per draw from the same Rng, so the pair differs only in the inversion:
+// O(1) alias lookup vs O(log K) binary search over the cumulative table.
+// The *_LegacyWorkload twin is the pre-optimisation reference measured in
+// the same process (see legacy_workload.h).
+
+std::vector<double> zipfish_weights(std::size_t k) {
+  std::vector<double> w(k);
+  for (std::size_t i = 0; i < k; ++i) w[i] = 1.0 / static_cast<double>(i + 1);
+  return w;
+}
+
+void BM_DiscreteSampleK16(benchmark::State& state) {
+  const dist::Discrete d(zipfish_weights(16));
+  dist::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteSampleK16);
+
+void BM_DiscreteSampleK16_LegacyWorkload(benchmark::State& state) {
+  const bench::legacy_workload::CdfDiscrete d(zipfish_weights(16));
+  dist::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteSampleK16_LegacyWorkload);
+
+void BM_DiscreteSampleK1024(benchmark::State& state) {
+  const dist::Discrete d(zipfish_weights(1024));
+  dist::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteSampleK1024);
+
+void BM_DiscreteSampleK1024_LegacyWorkload(benchmark::State& state) {
+  const bench::legacy_workload::CdfDiscrete d(zipfish_weights(1024));
+  dist::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteSampleK1024_LegacyWorkload);
 
 void BM_CliffUtilization(benchmark::State& state) {
   const core::CliffAnalyzer c;

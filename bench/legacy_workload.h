@@ -1,30 +1,88 @@
-#include "cluster/end_to_end.h"
+// legacy_workload.h — the pre-memoization workload hot path, kept verbatim
+// as the baseline reference for the BENCH_workload.json baseline-vs-after
+// snapshot (scripts/bench_workload.sh):
+//
+//   * CdfDiscrete — the classical one-uniform categorical sampler (linear
+//     CDF + binary search), the layout dist::Discrete's alias table
+//     replaces;
+//   * run_end_to_end — the pre-KeyTable cluster::EndToEndSim::run(), which
+//     re-rendered the key string, re-hashed it through the mapper, and
+//     re-seeded a value-size RNG on every arrival / departure / refill.
+//
+// Both twins run in the same binary as their production counterparts and
+// are measured interleaved; cross-binary readings on shared hardware swing
+// 2x run to run, twin readings move together (see bench/legacy_sim.h).
+//
+// This is NOT production code. Do not grow features here.
+#pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "cache/lru_store.h"
-#include "cluster/job_table.h"
 #include "cluster/delay_station.h"
+#include "cluster/end_to_end.h"
+#include "cluster/job_table.h"
 #include "dist/discrete.h"
 #include "dist/exponential.h"
+#include "dist/rng.h"
 #include "hashing/consistent_hash.h"
+#include "hashing/hashes.h"
 #include "hashing/key_mapper.h"
 #include "hashing/weighted_mapper.h"
 #include "math/numerics.h"
-#include "sim/simulator.h"
 #include "sim/multi_station.h"
+#include "sim/simulator.h"
 #include "sim/station.h"
 #include "stats/welford.h"
-#include "workload/key_table.h"
 #include "workload/keyspace.h"
 #include "workload/size_model.h"
 
-namespace mclat::cluster {
+namespace mclat::bench::legacy_workload {
 
-namespace {
+/// Classical categorical sampler: one uniform, inverted through a cumulative
+/// table with std::upper_bound. Same cost model as the textbook "CDF search"
+/// — O(log K) per draw plus the cache misses of walking the cumulative
+/// array. The production dist::Discrete spends the same single uniform on an
+/// O(1) alias-table lookup instead.
+class CdfDiscrete {
+ public:
+  explicit CdfDiscrete(const std::vector<double>& weights) {
+    math::require(!weights.empty(), "CdfDiscrete: empty weights");
+    double total = 0.0;
+    for (const double w : weights) {
+      math::require(w >= 0.0, "CdfDiscrete: negative weight");
+      total += w;
+    }
+    math::require(total > 0.0, "CdfDiscrete: zero total weight");
+    cdf_.reserve(weights.size());
+    double acc = 0.0;
+    for (const double w : weights) {
+      acc += w / total;
+      cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0;  // pin against rounding so u < 1 always lands
+  }
+
+  [[nodiscard]] std::size_t sample(dist::Rng& rng) const {
+    return sample_at(rng.uniform());
+  }
+
+  [[nodiscard]] std::size_t sample_at(double u) const {
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+namespace detail {
 
 struct RequestState {
   double start = 0.0;
@@ -32,7 +90,7 @@ struct RequestState {
   double max_server = 0.0;
   double max_db = 0.0;
   double max_total = 0.0;
-  double sum_total = 0.0;  ///< Σ per-key completion (sync-gap metric)
+  double sum_total = 0.0;
   bool measured = false;
 };
 
@@ -41,32 +99,42 @@ struct KeyContext {
   std::uint64_t key_rank = 0;
   std::size_t server = 0;
   double server_sojourn = 0.0;
-  double db_sojourn = 0.0;  // 0 for cache hits
+  double db_sojourn = 0.0;
 };
 
-std::unique_ptr<hashing::KeyMapper> make_mapper(const EndToEndConfig& cfg) {
+inline std::unique_ptr<hashing::KeyMapper> make_mapper(
+    const cluster::EndToEndConfig& cfg) {
   const auto shares = cfg.system.shares();
   switch (cfg.mapper) {
-    case MapperKind::kWeighted:
+    case cluster::MapperKind::kWeighted:
       return std::make_unique<hashing::WeightedMapper>(shares);
-    case MapperKind::kRing:
+    case cluster::MapperKind::kRing:
       return std::make_unique<hashing::ConsistentHashRing>(shares.size());
-    case MapperKind::kModulo:
+    case cluster::MapperKind::kModulo:
       return std::make_unique<hashing::ModuloMapper>(shares.size());
   }
-  throw std::logic_error("make_mapper: unhandled mapper kind");
+  throw std::logic_error("legacy make_mapper: unhandled mapper kind");
 }
 
-}  // namespace
+}  // namespace detail
 
-EndToEndSim::EndToEndSim(EndToEndConfig cfg) : cfg_(std::move(cfg)) {
+/// The pre-KeyTable EndToEndSim::run(), verbatim: every key arrival renders
+/// the key string and hashes it through the mapper; every real-cache server
+/// departure re-renders and re-hashes it for the store probe; every refill
+/// re-renders the key and constructs a fresh mt19937_64 for the value size.
+/// Same kernel, stations, RNG stream and statistics as production — the only
+/// difference is the per-arrival workload metadata path, which is what
+/// BENCH_workload.json isolates.
+inline cluster::EndToEndResult run_end_to_end(cluster::EndToEndConfig cfg_) {
+  using namespace mclat::cluster;
+  using detail::KeyContext;
+  using detail::RequestState;
+
   math::require(cfg_.warmup_time >= 0.0 && cfg_.measure_time > 0.0,
-                "EndToEndSim: bad time horizon");
+                "legacy EndToEndSim: bad time horizon");
   math::require(cfg_.system.keys_per_request >= 1,
-                "EndToEndSim: keys_per_request must be >= 1");
-}
+                "legacy EndToEndSim: keys_per_request must be >= 1");
 
-EndToEndResult EndToEndSim::run() {
   const core::SystemConfig& sys = cfg_.system;
   const std::vector<double> shares = sys.shares();
   const std::size_t M = shares.size();
@@ -79,22 +147,14 @@ EndToEndResult EndToEndSim::run() {
   dist::Rng req_rng = master.split();
   dist::Rng miss_rng = master.split();
   dist::Rng key_rng = master.split();
-  // Value sizes derive per-key RNGs from the key rank, but this split stays:
-  // removing it would shift every later split and invalidate the goldens.
   [[maybe_unused]] dist::Rng value_rng = master.split();
 
-  const std::unique_ptr<hashing::KeyMapper> mapper = make_mapper(cfg_);
+  const std::unique_ptr<hashing::KeyMapper> mapper = detail::make_mapper(cfg_);
   const dist::Discrete server_pick(shares);
 
-  // --- request/key bookkeeping -------------------------------------------
-  // Dense free-list slot tables: request/key ids are the slot indices, so
-  // the per-key hot path does indexed loads instead of hash probes. Lookups
-  // are checked — a stale or foreign job id trips a diagnostic instead of
-  // dereferencing a missing map entry.
   JobTable<RequestState> requests;
   JobTable<KeyContext> keys;
 
-  // --- measurement accumulators ------------------------------------------
   stats::Welford w_network;
   stats::Welford w_server;
   stats::Welford w_db;
@@ -104,7 +164,6 @@ EndToEndResult EndToEndSim::run() {
   std::uint64_t measured_misses = 0;
   std::uint64_t keys_completed = 0;
 
-  // Per-stage observability handles (nullptr when the recorder is null).
   const obs::Recorder& rec = cfg_.recorder;
   obs::LatencyStat* st_network = rec.latency("stage.network_us");
   obs::LatencyStat* st_server = rec.latency("stage.server_us");
@@ -116,27 +175,16 @@ EndToEndResult EndToEndSim::run() {
   obs::Counter* ct_keys = rec.counter("sim.keys_completed");
   obs::Counter* ct_misses = rec.counter("db.misses");
 
-  // --- real-cache machinery ------------------------------------------------
   std::unique_ptr<workload::KeySpace> keyspace;
-  std::unique_ptr<workload::KeyTable> key_table;
   std::vector<std::unique_ptr<cache::LruStore>> stores;
-  const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
-                                             cfg_.max_value_bytes);
+  std::string key_buf;  // reused for every key_for_rank rendering
+  workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
+                                       cfg_.max_value_bytes);
   if (real_cache) {
     keyspace = std::make_unique<workload::KeySpace>(cfg_.keyspace_size,
                                                     cfg_.zipf_exponent);
-    // Memoize every per-rank fact (key string, hash, server, refill value
-    // size) once: the per-arrival path below does indexed loads instead of
-    // string-format + RNG-construct + re-hash. Lazy chunks: only ranks the
-    // Zipf head actually touches are materialized.
-    key_table = std::make_unique<workload::KeyTable>(*keyspace, *mapper,
-                                                     &value_sizes);
     cache::SlabAllocator::Config scfg;
     scfg.memory_limit = cfg_.cache_bytes_per_server;
-    // Simulated caches are far smaller than a production 64 GB memcached;
-    // scale the page size down accordingly so every slab class can actually
-    // obtain pages (memcached's 1 MiB pages would starve most classes of a
-    // few-MiB cache — an artefact, not the phenomenon under study).
     scfg.page_size = std::min<std::size_t>(
         64 * 1024, std::max<std::size_t>(cfg_.cache_bytes_per_server / 32,
                                          8 * 1024));
@@ -147,16 +195,13 @@ EndToEndResult EndToEndSim::run() {
     }
   }
 
-  // --- forward declarations of the pipeline hops ---------------------------
   std::function<void(std::uint64_t)> complete_key;
-
-  // Value arrives back at the client: fold this key into its request.
   complete_key = [&](std::uint64_t job) {
     const KeyContext ctx =
-        keys.take(job, "EndToEndSim: completion for unknown key job");
+        keys.take(job, "legacy EndToEndSim: completion for unknown key job");
     ++keys_completed;
     auto& req = requests.at(
-        ctx.request_id, "EndToEndSim: key completion for unknown request");
+        ctx.request_id, "legacy EndToEndSim: key completion unknown request");
     const double total = s.now() - req.start;
     req.max_server = std::max(req.max_server, ctx.server_sojourn);
     req.max_db = std::max(req.max_db, ctx.db_sojourn);
@@ -182,31 +227,29 @@ EndToEndResult EndToEndSim::run() {
                                 req.max_db - req.max_total));
       }
       requests.erase(ctx.request_id,
-                     "EndToEndSim: double-completed request");
+                     "legacy EndToEndSim: double-completed request");
     }
   };
 
-  // --- database stage -------------------------------------------------------
   std::unique_ptr<DelayStation> db_inf;
   std::unique_ptr<sim::ServiceStation> db_q;
   std::unique_ptr<sim::MultiServerStation> db_pool;
   const auto on_db_departure = [&](const sim::Departure& d) {
-    KeyContext& ctx =
-        keys.at(d.job_id, "EndToEndSim: database departure for unknown key");
+    KeyContext& ctx = keys.at(
+        d.job_id, "legacy EndToEndSim: database departure for unknown key");
     ctx.db_sojourn = d.sojourn_time();
     if (requests
             .at(ctx.request_id,
-                "EndToEndSim: database departure for unknown request")
+                "legacy EndToEndSim: database departure unknown request")
             .measured) {
       obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
     }
     if (real_cache) {
-      // Refill the server's cache with the fetched value. Only the value's
-      // *size* matters to slab occupancy and eviction, so set_sized skips
-      // materialising the payload string; key, hash and value size are all
-      // memoized loads.
-      const workload::KeyTable::View kv = key_table->view(ctx.key_rank);
-      stores[ctx.server]->set_sized_hashed(kv.key, kv.hash, kv.value_bytes, s.now());
+      // The legacy refill path: render the key again, seed a fresh value
+      // RNG from the rank, sample the size, hash the key inside set_sized.
+      keyspace->key_for_rank(ctx.key_rank, key_buf);
+      dist::Rng vr(hashing::mix64(ctx.key_rank ^ 0x5eedull));
+      stores[ctx.server]->set_sized(key_buf, value_sizes.sample(vr), s.now());
     }
     s.schedule_in(net_half, [&, job = d.job_id] { complete_key(job); });
   };
@@ -238,7 +281,6 @@ EndToEndResult EndToEndSim::run() {
     }
   };
 
-  // --- memcached servers ----------------------------------------------------
   std::vector<std::unique_ptr<sim::ServiceStation>> servers;
   servers.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
@@ -247,18 +289,19 @@ EndToEndResult EndToEndSim::run() {
         s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
         master.split(), [&, j](const sim::Departure& d) {
           auto& ctx = keys.at(
-              d.job_id, "EndToEndSim: server departure for unknown key");
+              d.job_id, "legacy EndToEndSim: server departure unknown key");
           ctx.server_sojourn = d.sojourn_time();
           bool miss;
           if (real_cache) {
-            const workload::KeyTable::View kv = key_table->view(ctx.key_rank);
-            miss = !stores[j]->get(kv.key, kv.hash, s.now()).has_value();
+            // Legacy probe: re-render the key string and let get() hash it.
+            keyspace->key_for_rank(ctx.key_rank, key_buf);
+            miss = !stores[j]->get(key_buf, s.now()).has_value();
           } else {
             miss = sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
           }
           const auto& req = requests.at(
               ctx.request_id,
-              "EndToEndSim: server departure for unknown request");
+              "legacy EndToEndSim: server departure unknown request");
           if (req.measured) {
             ++measured_keys;
             obs::bump(ct_keys);
@@ -279,7 +322,6 @@ EndToEndResult EndToEndSim::run() {
                                   cfg_.warmup_time);
   }
 
-  // --- request generator ------------------------------------------------------
   const double rate = cfg_.effective_request_rate();
   bool generating = true;
   std::function<void()> arrival = [&] {
@@ -294,10 +336,11 @@ EndToEndResult EndToEndSim::run() {
       ctx.request_id = rid;
       std::size_t server_idx;
       if (real_cache) {
+        // Legacy routing: render the key string, hash it in the mapper.
         ctx.key_rank = keyspace->sample_rank(key_rng);
-        server_idx = key_table->server(ctx.key_rank);
+        keyspace->key_for_rank(ctx.key_rank, key_buf);
+        server_idx = mapper->server_for(key_buf);
       } else {
-        // Respect the target {p_j} exactly.
         server_idx = server_pick.sample(key_rng);
       }
       ctx.server = server_idx;
@@ -305,17 +348,13 @@ EndToEndResult EndToEndSim::run() {
       s.schedule_in(net_half,
                     [&, job, server_idx] { servers[server_idx]->arrive(job); });
     }
-    // Reschedule through a one-pointer trampoline: copying the full
-    // std::function closure into the calendar every arrival would defeat
-    // the kernel's inline-callback storage.
     s.schedule_in(req_rng.exponential(rate), [&arrival] { arrival(); });
   };
   s.schedule_in(req_rng.exponential(rate), [&arrival] { arrival(); });
 
-  // --- run: generate until the horizon, then drain ---------------------------
   s.run_until(horizon);
   generating = false;
-  s.run();  // drain in-flight requests (no new arrivals are scheduled)
+  s.run();
 
   EndToEndResult res;
   res.network = stats::mean_ci(w_network);
@@ -331,8 +370,6 @@ EndToEndResult EndToEndSim::run() {
   res.server_utilization.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     res.server_utilization.push_back(servers[j]->utilization(horizon));
-    obs::set_gauge(rec.gauge("server." + std::to_string(j) + ".utilization"),
-                   res.server_utilization.back());
   }
   res.requests_completed = w_total.count();
   res.keys_completed = keys_completed;
@@ -340,4 +377,4 @@ EndToEndResult EndToEndSim::run() {
   return res;
 }
 
-}  // namespace mclat::cluster
+}  // namespace mclat::bench::legacy_workload

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# bench_workload.sh — regenerate BENCH_workload.json, the workload-path
+# (keyspace memoization + alias sampling + prehashed store probes)
+# baseline-vs-after performance snapshot.
+#
+# Every *_LegacyWorkload benchmark in bench_micro_core / bench_micro_cache
+# is the identical workload running on the pre-optimisation path (per-draw
+# CDF binary search, per-arrival key-string rendering + fnv re-hashing +
+# value-size RNG construction), compiled into the same binary
+# (bench/legacy_workload.h). Measuring both paths interleaved in one
+# process is the only baseline-vs-after comparison that survives a noisy
+# machine: cross-binary readings on shared hardware swing 2x run to run,
+# twin readings move together.
+#
+# Usage: scripts/bench_workload.sh [repetitions]   (default 7; medians kept)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+reps="${1:-7}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_micro_core bench_micro_cache \
+  >/dev/null
+
+filter='DiscreteSample|KeyMaterializeAndMap|RefillValueMetadata'
+filter+='|LruStoreGetPrehashed|EndToEndRealCacheWorkload'
+
+raw_core="$(mktemp)"
+raw_cache="$(mktemp)"
+trap 'rm -f "$raw_core" "$raw_cache"' EXIT
+./build/bench/bench_micro_core \
+  --benchmark_filter="$filter" \
+  --benchmark_min_time=0.3 \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$raw_core" 2>/dev/null
+./build/bench/bench_micro_cache \
+  --benchmark_filter="$filter" \
+  --benchmark_min_time=0.3 \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$raw_cache" 2>/dev/null
+
+python3 - "$raw_core" "$raw_cache" <<'EOF'
+import json
+import sys
+
+medians = {}
+context = None
+for path in sys.argv[1:]:
+    with open(path) as f:
+        report = json.load(f)
+    context = context or report["context"]
+    for b in report["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        medians[b["run_name"]] = {
+            "ns_per_op": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+        }
+
+LEGACY = "_LegacyWorkload"
+pairs = {}
+for name, m in medians.items():
+    if name.endswith(LEGACY):
+        pairs.setdefault(name[: -len(LEGACY)], {})["baseline"] = m
+    elif name + LEGACY in medians:
+        pairs.setdefault(name, {})["after"] = m
+
+out = {
+    "comment": (
+        "Workload-path optimisation snapshot (memoized KeyTable, alias "
+        "sampling, prehashed LruStore probes): each baseline is the "
+        "identical workload on the pre-optimisation string/RNG/hash path "
+        "compiled into the same binary (bench/legacy_workload.h), measured "
+        "interleaved in one process; values are medians over repeated "
+        "runs. Regenerate with scripts/bench_workload.sh."
+    ),
+    "context": context,
+    "workload_pairs": {},
+}
+for name, p in sorted(pairs.items()):
+    base, after = p.get("baseline"), p.get("after")
+    entry = {"baseline": base, "after": after}
+    if base and after:
+        if base.get("items_per_second") and after.get("items_per_second"):
+            entry["speedup"] = round(
+                after["items_per_second"] / base["items_per_second"], 3
+            )
+        else:
+            entry["speedup"] = round(base["ns_per_op"] / after["ns_per_op"], 3)
+    out["workload_pairs"][name] = entry
+
+with open("BENCH_workload.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for name, entry in out["workload_pairs"].items():
+    print(f"{name}: {entry.get('speedup', '?')}x")
+print("wrote BENCH_workload.json")
+EOF

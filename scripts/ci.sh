@@ -5,17 +5,19 @@
 #   tier 2: ThreadSanitizer build of the concurrency-sensitive suites —
 #           the parallel trial-execution engine (label `exec`) and the
 #           observability layer it records into (label `obs`).
-#   tier 3: ASan+UBSan build of the event-kernel and golden-regression
-#           suites (labels `sim` and `exec`) — the kernel's type-erased
-#           inline-callback storage and slot free-list recycling are
-#           exactly the code a lifetime bug would hide in, so they run
-#           under -fsanitize=address,undefined on every verify.
+#   tier 3: ASan+UBSan build of the event-kernel, golden-regression and
+#           workload-path suites (labels `sim`, `exec` and `workload`) —
+#           the kernel's type-erased inline-callback storage, slot
+#           free-list recycling, and the KeyTable's string_view-into-arena
+#           layout are exactly the code a lifetime bug would hide in, so
+#           they run under -fsanitize=address,undefined on every verify.
 #
-#   --bench-smoke: builds bench_micro_sim and checks the two headline
-#           microbenches against an absolute keys/s / events-per-sec floor
-#           (a coarse "did someone reintroduce a per-event allocation"
-#           tripwire, deliberately far below BENCH_kernel.json numbers so
-#           machine noise never fails CI).
+#   --bench-smoke: builds bench_micro_sim + bench_micro_cache and checks
+#           the headline microbenches against absolute keys/s floors
+#           (a coarse "did someone reintroduce a per-event allocation or a
+#           per-arrival key render" tripwire, deliberately far below
+#           BENCH_kernel.json / BENCH_workload.json numbers so machine
+#           noise never fails CI).
 #
 # Usage: scripts/ci.sh [--tier1-only|--tsan-only|--asan-only|--bench-smoke]
 set -euo pipefail
@@ -54,34 +56,51 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "==> tier 3: ASan+UBSan on the sim + exec suites"
+  echo "==> tier 3: ASan+UBSan on the sim + exec + workload suites"
   cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
-  cmake --build build-asan -j "$jobs" --target tests_sim tests_exec
-  ctest --test-dir build-asan -L "sim|exec" --output-on-failure -j "$jobs"
+  cmake --build build-asan -j "$jobs" \
+    --target tests_sim tests_exec tests_workload_property
+  ctest --test-dir build-asan -L "sim|exec|workload" --output-on-failure \
+    -j "$jobs"
 fi
 
 if [[ "$run_bench_smoke" == 1 ]]; then
   echo "==> bench smoke: headline microbench floors"
   cmake -B build -S .
-  cmake --build build -j "$jobs" --target bench_micro_sim
+  cmake --build build -j "$jobs" --target bench_micro_sim bench_micro_cache
   smoke_json="$(mktemp)"
-  trap 'rm -f "$smoke_json"' EXIT
+  smoke_json2="$(mktemp)"
+  trap 'rm -f "$smoke_json" "$smoke_json2"' EXIT
   ./build/bench/bench_micro_sim \
     --benchmark_filter='BM_ScheduleAndRunEvents$|BM_MM1StationKeysPerSecond$' \
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json" 2>/dev/null
-  python3 - "$smoke_json" <<'EOF'
+  ./build/bench/bench_micro_cache \
+    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$' \
+    --benchmark_min_time=0.2 --benchmark_format=json \
+    >"$smoke_json2" 2>/dev/null
+  python3 - "$smoke_json" "$smoke_json2" <<'EOF'
 import json, sys
 
-# Floors: ~4x below the BENCH_kernel.json "after" medians, so only a real
-# regression (e.g. a reintroduced per-event allocation) can trip them.
+# Floors: ~4x below the BENCH_kernel.json / BENCH_workload.json "after"
+# medians, so only a real regression (e.g. a reintroduced per-event
+# allocation or per-arrival key render) can trip them.
 floors = {
     "BM_ScheduleAndRunEvents": 3.0e6,
     "BM_MM1StationKeysPerSecond": 2.0e6,
+    # The memoized key→server path: ~50M keys/s when healthy; anything
+    # near the legacy ~1M keys/s string path is a regression.
+    "BM_KeyMaterializeAndMap": 10.0e6,
+    # Prehashed Zipf-read path: ~3-5M keys/s when healthy.
+    "BM_LruStoreGetPrehashed": 0.8e6,
 }
-with open(sys.argv[1]) as f:
-    report = json.load(f)
-rates = {b["name"]: b["items_per_second"] for b in report["benchmarks"]}
+rates = {}
+for path in sys.argv[1:]:
+    with open(path) as f:
+        report = json.load(f)
+    rates.update(
+        {b["name"]: b["items_per_second"] for b in report["benchmarks"]}
+    )
 failed = False
 for name, floor in floors.items():
     rate = rates.get(name)

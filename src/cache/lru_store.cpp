@@ -46,6 +46,7 @@ bool LruStore::evict_one(std::size_t cls) {
 }
 
 LruStore::ItemHeader* LruStore::emplace_item(std::string_view key,
+                                             std::uint64_t key_hash,
                                              std::size_t value_bytes,
                                              double now, double ttl) {
   ++stats_.sets;
@@ -57,7 +58,9 @@ LruStore::ItemHeader* LruStore::emplace_item(std::string_view key,
   // Replace semantics: drop any existing item first (memcached allocates the
   // new item before unlinking, but the visible behaviour is the same and
   // this frees the chunk for immediate reuse when sizes match).
-  if (auto it = index_.find(key); it != index_.end()) destroy(it->second);
+  if (auto it = index_.find(Prehashed{key, key_hash}); it != index_.end()) {
+    destroy(it->second);
+  }
 
   const std::size_t cls = slabs_.class_for(need);
   void* mem = slabs_.allocate(need);
@@ -82,7 +85,8 @@ LruStore::ItemHeader* LruStore::emplace_item(std::string_view key,
 
 bool LruStore::set(std::string_view key, std::string_view value, double now,
                    double ttl) {
-  ItemHeader* item = emplace_item(key, value.size(), now, ttl);
+  ItemHeader* item =
+      emplace_item(key, hashing::fnv1a64(key), value.size(), now, ttl);
   if (item == nullptr) return false;
   std::memcpy(item->value_data(), value.data(), value.size());
   return true;
@@ -90,16 +94,22 @@ bool LruStore::set(std::string_view key, std::string_view value, double now,
 
 bool LruStore::set_sized(std::string_view key, std::size_t value_bytes,
                          double now, double ttl) {
-  ItemHeader* item = emplace_item(key, value_bytes, now, ttl);
+  return set_sized_hashed(key, hashing::fnv1a64(key), value_bytes, now, ttl);
+}
+
+bool LruStore::set_sized_hashed(std::string_view key, std::uint64_t key_hash,
+                         std::size_t value_bytes, double now, double ttl) {
+  ItemHeader* item = emplace_item(key, key_hash, value_bytes, now, ttl);
   if (item == nullptr) return false;
   std::memset(item->value_data(), 'v', value_bytes);
   return true;
 }
 
 std::optional<std::string_view> LruStore::get(std::string_view key,
+                                              std::uint64_t key_hash,
                                               double now) {
   ++stats_.gets;
-  const auto it = index_.find(key);
+  const auto it = index_.find(Prehashed{key, key_hash});
   if (it == index_.end()) {
     ++stats_.misses;
     return std::nullopt;
@@ -118,8 +128,9 @@ std::optional<std::string_view> LruStore::get(std::string_view key,
   return item->value();
 }
 
-bool LruStore::contains(std::string_view key, double now) const {
-  const auto it = index_.find(key);
+bool LruStore::contains(std::string_view key, std::uint64_t key_hash,
+                        double now) const {
+  const auto it = index_.find(Prehashed{key, key_hash});
   return it != index_.end() && !it->second->expired(now);
 }
 

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "cache/slab_allocator.h"
+#include "hashing/hashes.h"
 
 namespace mclat::cache {
 
@@ -66,12 +67,35 @@ class LruStore {
   bool set_sized(std::string_view key, std::size_t value_bytes,
                  double now = 0.0, double ttl = 0.0);
 
+  /// set_sized with the key's fnv1a64 hash already in hand (e.g. from a
+  /// workload::KeyTable). The index hashes with fnv1a64, so the replace
+  /// probe reuses `key_hash` instead of re-walking the key bytes. (Named
+  /// distinctly: an overload would be ambiguous with set_sized's
+  /// key/bytes/now signature under integral conversions.)
+  bool set_sized_hashed(std::string_view key, std::uint64_t key_hash,
+                        std::size_t value_bytes, double now = 0.0,
+                        double ttl = 0.0);
+
   /// Looks the key up, honouring expiry, and promotes it to MRU.
   [[nodiscard]] std::optional<std::string_view> get(std::string_view key,
-                                                    double now = 0.0);
+                                                    double now = 0.0) {
+    return get(key, hashing::fnv1a64(key), now);
+  }
+
+  /// get() with the key's fnv1a64 hash precomputed: the hot-path form for
+  /// callers that already hold the hash the key→server mapper derived.
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view key,
+                                                    std::uint64_t key_hash,
+                                                    double now);
 
   /// True if present (and not expired) without promoting.
-  [[nodiscard]] bool contains(std::string_view key, double now = 0.0) const;
+  [[nodiscard]] bool contains(std::string_view key, double now = 0.0) const {
+    return contains(key, hashing::fnv1a64(key), now);
+  }
+
+  /// contains() with the key's fnv1a64 hash precomputed.
+  [[nodiscard]] bool contains(std::string_view key, std::uint64_t key_hash,
+                              double now) const;
 
   /// Removes the key; returns true if it existed.
   bool remove(std::string_view key);
@@ -121,20 +145,53 @@ class LruStore {
     ItemHeader* tail = nullptr;  // LRU
   };
 
+  // The index hashes with fnv1a64 (deterministic across platforms, unlike
+  // std::hash) and supports transparent lookup by {key, precomputed hash}
+  // so the prehashed get/set overloads skip the per-probe key walk.
+  struct Prehashed {
+    std::string_view key;
+    std::uint64_t hash;
+  };
+  struct KeyHasher {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view k) const noexcept {
+      return static_cast<std::size_t>(hashing::fnv1a64(k));
+    }
+    [[nodiscard]] std::size_t operator()(const Prehashed& k) const noexcept {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct KeyEqual {
+    using is_transparent = void;
+    [[nodiscard]] bool operator()(std::string_view a,
+                                  std::string_view b) const noexcept {
+      return a == b;
+    }
+    [[nodiscard]] bool operator()(const Prehashed& a,
+                                  std::string_view b) const noexcept {
+      return a.key == b;
+    }
+    [[nodiscard]] bool operator()(std::string_view a,
+                                  const Prehashed& b) const noexcept {
+      return a == b.key;
+    }
+  };
+
   void lru_unlink(ItemHeader* it, std::size_t cls) noexcept;
   void lru_push_front(ItemHeader* it, std::size_t cls) noexcept;
   void destroy(ItemHeader* it);
   /// Shared insert path: allocates (evicting as needed), fills the header
   /// and key, links the item. The value region is left for the caller.
-  ItemHeader* emplace_item(std::string_view key, std::size_t value_bytes,
-                           double now, double ttl);
+  ItemHeader* emplace_item(std::string_view key, std::uint64_t key_hash,
+                           std::size_t value_bytes, double now, double ttl);
   /// Evicts the LRU tail of class `cls`; returns false if the list is empty.
   bool evict_one(std::size_t cls);
 
   SlabAllocator slabs_;
   // Keys in the index view into chunk memory, which is stable for the item's
   // lifetime; entries are erased before their chunk is recycled.
-  std::unordered_map<std::string_view, ItemHeader*> index_;
+  std::unordered_map<std::string_view, ItemHeader*, KeyHasher, KeyEqual>
+      index_;
   std::vector<LruList> lru_;  // one list per slab class
   StoreStats stats_;
 };

@@ -15,6 +15,7 @@
 #include "sim/simulator.h"
 #include "sim/station.h"
 #include "stats/welford.h"
+#include "workload/key_table.h"
 
 namespace mclat::cluster {
 
@@ -174,16 +175,18 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   }
 
   // Inject the trace. Records must be time-sorted (sort_by_time()).
+  // Key→server routing goes through the memoized table: a trace that
+  // revisits hot ranks pays the string-render + hash exactly once per rank
+  // instead of once per record.
+  workload::KeyTable key_table(keys, *mapper);
   double prev_time = 0.0;
-  std::string key_buf;
   for (const auto& rec : trace.records()) {
     math::require(rec.time >= prev_time,
                   "TraceReplaySim: trace must be sorted by time");
     prev_time = rec.time;
     const std::uint64_t job =
         in_flight.insert(KeyState{request_index.at(rec.request_id), 0.0, 0.0});
-    keys.key_for_rank(rec.key_rank % keys.size(), key_buf);
-    const std::size_t server = mapper->server_for(key_buf);
+    const std::size_t server = key_table.server(rec.key_rank % keys.size());
     s.schedule_at(rec.time + net_half,
                   [&, job, server] { servers[server]->arrive(job); });
   }

@@ -24,6 +24,23 @@ stats::MeanCI ci_of(const std::vector<double>& xs) {
   return stats::mean_ci(w);
 }
 
+// Flat {data, size} handles onto the measurement pools: the assembly loops
+// draw from pools millions of times, and resolving vector-of-vectors
+// indirections per draw costs more than the draw itself. Zero-share servers
+// keep an empty handle that is never sampled (their alias mass is zero).
+struct PoolRef {
+  const double* data = nullptr;
+  std::uint64_t size = 0;
+};
+
+std::vector<PoolRef> pool_refs(const std::vector<std::vector<double>>& pools) {
+  std::vector<PoolRef> refs(pools.size());
+  for (std::size_t j = 0; j < pools.size(); ++j) {
+    refs[j] = PoolRef{pools[j].data(), pools[j].size()};
+  }
+  return refs;
+}
+
 }  // namespace
 
 stats::MeanCI AssembledRequests::network_ci() const { return ci_of(network); }
@@ -140,6 +157,8 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
                 "assemble_requests: miss_ratio > 0 but DB pool is empty");
 
   const dist::Discrete server_pick(shares);
+  const std::vector<PoolRef> server_pools = pool_refs(pools.server_sojourns);
+  const PoolRef db_pool{pools.db_sojourns.data(), pools.db_sojourns.size()};
   AssembledRequests out;
   out.network.reserve(requests);
   out.server.reserve(requests);
@@ -162,11 +181,11 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
     double sum_total = 0.0;
     for (std::uint64_t k = 0; k < n_keys; ++k) {
       const std::size_t j = server_pick.sample(rng);
-      const auto& pool = pools.server_sojourns[j];
-      const double s = pool[rng.uniform_index(pool.size())];
+      const PoolRef& pool = server_pools[j];
+      const double s = pool.data[rng.uniform_index(pool.size)];
       double d = 0.0;
       if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
-        d = pools.db_sojourns[rng.uniform_index(pools.db_sojourns.size())];
+        d = db_pool.data[rng.uniform_index(db_pool.size)];
         obs::bump(ct_misses);
       }
       const double key_total = system.network_latency + s + d;
@@ -206,6 +225,8 @@ AssembledRequests assemble_requests_redundant(
   const dist::Discrete server_pick(shares);
   math::require(system.miss_ratio == 0.0 || !pools.db_sojourns.empty(),
                 "assemble_requests_redundant: missing DB pool");
+  const std::vector<PoolRef> server_pools = pool_refs(pools.server_sojourns);
+  const PoolRef db_pool{pools.db_sojourns.data(), pools.db_sojourns.size()};
   AssembledRequests out;
   out.network.reserve(requests);
   out.server.reserve(requests);
@@ -219,14 +240,14 @@ AssembledRequests assemble_requests_redundant(
       double s = std::numeric_limits<double>::infinity();
       for (unsigned rdx = 0; rdx < redundancy; ++rdx) {
         const std::size_t j = server_pick.sample(rng);
-        const auto& pool = pools.server_sojourns[j];
-        math::require(!pool.empty(),
+        const PoolRef& pool = server_pools[j];
+        math::require(pool.size > 0,
                       "assemble_requests_redundant: empty server pool");
-        s = std::min(s, pool[rng.uniform_index(pool.size())]);
+        s = std::min(s, pool.data[rng.uniform_index(pool.size)]);
       }
       double dd = 0.0;
       if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
-        dd = pools.db_sojourns[rng.uniform_index(pools.db_sojourns.size())];
+        dd = db_pool.data[rng.uniform_index(db_pool.size)];
       }
       max_server = std::max(max_server, s);
       max_db = std::max(max_db, dd);
@@ -258,14 +279,15 @@ dist::Empirical per_key_sojourn_distribution(const MeasurementPools& pools,
                                              dist::Rng& rng) {
   math::require(samples > 0, "per_key_sojourn_distribution: samples > 0");
   const dist::Discrete server_pick(system.shares());
+  const std::vector<PoolRef> server_pools = pool_refs(pools.server_sojourns);
   std::vector<double> xs;
   xs.reserve(samples);
   for (std::uint64_t i = 0; i < samples; ++i) {
     const std::size_t j = server_pick.sample(rng);
-    const auto& pool = pools.server_sojourns[j];
-    math::require(!pool.empty(),
+    const PoolRef& pool = server_pools[j];
+    math::require(pool.size > 0,
                   "per_key_sojourn_distribution: empty server pool");
-    xs.push_back(pool[rng.uniform_index(pool.size())]);
+    xs.push_back(pool.data[rng.uniform_index(pool.size)]);
   }
   return dist::Empirical(std::move(xs));
 }

@@ -22,9 +22,10 @@ Discrete::Discrete(std::vector<double> weights) {
   for (std::size_t i = 0; i < n; ++i) prob_[i] = weights[i] / sum;
 
   // Vose's alias method: split scaled probabilities into "small" (< 1) and
-  // "large" (>= 1) worklists, pair each small cell with a large donor.
-  accept_.assign(n, 1.0);
-  alias_.assign(n, 0);
+  // "large" (>= 1) worklists, pair each small cell with a large donor. The
+  // pairing order (and therefore the exact u → category partition) is pinned
+  // by the golden files — change it only with a full golden regeneration.
+  cells_.assign(n, Cell{1.0, 0});
   std::vector<double> scaled(n);
   for (std::size_t i = 0; i < n; ++i) scaled[i] = prob_[i] * static_cast<double>(n);
   std::vector<std::uint32_t> small;
@@ -38,8 +39,7 @@ Discrete::Discrete(std::vector<double> weights) {
     const std::uint32_t s = small.back();
     small.pop_back();
     const std::uint32_t l = large.back();
-    accept_[s] = scaled[s];
-    alias_[s] = l;
+    cells_[s] = Cell{scaled[s], l};
     scaled[l] = (scaled[l] + scaled[s]) - 1.0;
     if (scaled[l] < 1.0) {
       large.pop_back();
@@ -47,8 +47,8 @@ Discrete::Discrete(std::vector<double> weights) {
     }
   }
   // Leftovers are 1.0 within rounding.
-  for (std::uint32_t i : large) accept_[i] = 1.0;
-  for (std::uint32_t i : small) accept_[i] = 1.0;
+  for (const std::uint32_t i : large) cells_[i].accept = 1.0;
+  for (const std::uint32_t i : small) cells_[i].accept = 1.0;
 }
 
 Discrete Discrete::uniform(std::size_t n) {
@@ -63,15 +63,6 @@ double Discrete::pmf(std::size_t j) const {
 std::size_t Discrete::argmax() const {
   return static_cast<std::size_t>(
       std::max_element(prob_.begin(), prob_.end()) - prob_.begin());
-}
-
-std::size_t Discrete::sample(Rng& rng) const {
-  const std::size_t n = prob_.size();
-  const double u = rng.uniform() * static_cast<double>(n);
-  std::size_t i = static_cast<std::size_t>(u);
-  if (i >= n) i = n - 1;  // guard the u == n edge from rounding
-  const double frac = u - static_cast<double>(i);
-  return frac < accept_[i] ? i : alias_[i];
 }
 
 std::string Discrete::name() const {

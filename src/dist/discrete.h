@@ -4,8 +4,11 @@
 // This is the {p_j} of the paper: the probability that a key lands on
 // Memcached server S_j. The weighted key→server mapper in mclat::hashing and
 // the Fig. 10 load-imbalance experiments both sample from it millions of
-// times, so construction is O(n) and each draw costs one uniform + one
-// comparison.
+// times, so construction is O(n) and each draw consumes exactly one
+// rng.uniform(): bucket = ⌊u·K⌋, coin = the fractional part — one comparison
+// against the bucket's packed {accept, alias} cell, one cache line touched.
+// The per-draw u → category mapping is pinned by the golden files; any
+// change to it requires a full golden regeneration.
 #pragma once
 
 #include <cstdint>
@@ -34,20 +37,49 @@ class Discrete {
   /// Index of the largest-probability category (the paper's p1 server).
   [[nodiscard]] std::size_t argmax() const;
 
-  /// Draws a category in O(1).
-  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  /// One alias-table bucket: the coin threshold and the donor category.
+  /// Packed so a draw touches exactly one cell (one cache line) instead of
+  /// parallel accept/alias arrays.
+  struct Cell {
+    double accept;        ///< coin < accept keeps the bucket's own category
+    std::uint32_t alias;  ///< otherwise the paired donor category
+  };
+
+  /// Draws a category in O(1), consuming exactly one rng.uniform().
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    return sample_at(rng.uniform());
+  }
+
+  /// The deterministic u → category map behind sample(): bucket = ⌊u·K⌋,
+  /// coin = the fractional part, one compare against the bucket's cell.
+  /// Exposed so property tests (and inverse-transform callers) can evaluate
+  /// the exact partition sample() realises. u must be in [0, 1).
+  [[nodiscard]] std::size_t sample_at(double u) const {
+    const std::size_t n = cells_.size();
+    const double scaled = u * static_cast<double>(n);
+    std::size_t i = static_cast<std::size_t>(scaled);
+    if (i >= n) i = n - 1;  // guard the scaled == n edge from rounding
+    const double coin = scaled - static_cast<double>(i);
+    const Cell& c = cells_[i];
+    return coin < c.accept ? i : c.alias;
+  }
 
   /// The normalised probability vector.
   [[nodiscard]] const std::vector<double>& probabilities() const noexcept {
     return prob_;
   }
 
+  /// The alias table itself (bucket k covers u ∈ [k/K, (k+1)/K)); exposed
+  /// for exact-partition validation in the property tests.
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept {
+    return cells_;
+  }
+
   [[nodiscard]] std::string name() const;
 
  private:
-  std::vector<double> prob_;    // normalised weights
-  std::vector<double> accept_;  // alias-table acceptance thresholds
-  std::vector<std::uint32_t> alias_;
+  std::vector<double> prob_;  // normalised weights
+  std::vector<Cell> cells_;   // packed alias table, one cell per bucket
 };
 
 /// Builds the paper's Fig.-10 style skewed load vector: server 0 receives

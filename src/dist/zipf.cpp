@@ -21,7 +21,7 @@ double Zipf::h_integral(double x) const {
   // helper: (e^{a·log_x} - 1)/a with a = 1 - s, continuous at a = 0.
   const double a = 1.0 - s_;
   const double t = a * log_x;
-  if (std::abs(t) > 1e-8) return std::expm1(t) / a * 1.0;
+  if (std::abs(t) > 1e-8) return std::expm1(t) / a;
   // series fallback (also covers a == 0 exactly): log_x·(1 + t/2 + t²/6)
   return log_x * (1.0 + 0.5 * t + t * t / 6.0);
 }
@@ -49,17 +49,23 @@ double Zipf::harmonic(std::uint64_t n) const {
   return acc;
 }
 
+double Zipf::harmonic_n() const {
+  double h = harmonic_cache_.load(std::memory_order_relaxed);
+  if (h < 0.0) {
+    h = harmonic(n_);
+    harmonic_cache_.store(h, std::memory_order_relaxed);
+  }
+  return h;
+}
+
 double Zipf::pmf(std::uint64_t k) const {
   math::require(k < n_, "Zipf::pmf: rank out of range");
-  if (harmonic_cache_ < 0.0) harmonic_cache_ = harmonic(n_);
-  return std::exp(-s_ * std::log(static_cast<double>(k + 1))) /
-         harmonic_cache_;
+  return std::exp(-s_ * std::log(static_cast<double>(k + 1))) / harmonic_n();
 }
 
 double Zipf::head_mass(std::uint64_t m) const {
   math::require(m <= n_, "Zipf::head_mass: m out of range");
-  if (harmonic_cache_ < 0.0) harmonic_cache_ = harmonic(n_);
-  return harmonic(m) / harmonic_cache_;
+  return harmonic(m) / harmonic_n();
 }
 
 std::uint64_t Zipf::sample(Rng& rng) const {

@@ -10,6 +10,7 @@
 // memory. pmf/cdf use a lazily computed generalized harmonic number.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -21,6 +22,27 @@ class Zipf {
  public:
   /// n >= 1 items, exponent s > 0 (s = 1 is the classic Zipf law).
   Zipf(std::uint64_t n, double s);
+
+  // Copies transfer whatever harmonic value the source has already cached
+  // (the cache lives in a std::atomic, which is not copyable by default).
+  Zipf(const Zipf& other) noexcept
+      : n_(other.n_),
+        s_(other.s_),
+        h_integral_x1_(other.h_integral_x1_),
+        h_integral_n_(other.h_integral_n_),
+        s_over_points_(other.s_over_points_),
+        harmonic_cache_(
+            other.harmonic_cache_.load(std::memory_order_relaxed)) {}
+  Zipf& operator=(const Zipf& other) noexcept {
+    n_ = other.n_;
+    s_ = other.s_;
+    h_integral_x1_ = other.h_integral_x1_;
+    h_integral_n_ = other.h_integral_n_;
+    s_over_points_ = other.s_over_points_;
+    harmonic_cache_.store(other.harmonic_cache_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    return *this;
+  }
 
   /// P{K = k} for rank k ∈ [0, n) (rank 0 is the most popular key).
   [[nodiscard]] double pmf(std::uint64_t k) const;
@@ -42,13 +64,19 @@ class Zipf {
   [[nodiscard]] double h_integral_inverse(double x) const;
   /// Generalized harmonic number H_{n,s} = Σ_{k=1..n} k^{-s}.
   [[nodiscard]] double harmonic(std::uint64_t n) const;
+  /// H_{n_,s}, computed lazily (it is O(n), far too slow to do eagerly for
+  /// the 10⁸-key spaces sample() supports) and cached in an atomic so one
+  /// Zipf shared across exec trial threads stays race-free: concurrent
+  /// first callers recompute the same deterministic value and the relaxed
+  /// store publishes it without tearing.
+  [[nodiscard]] double harmonic_n() const;
 
   std::uint64_t n_;
   double s_;
   double h_integral_x1_;
   double h_integral_n_;
   double s_over_points_;  // threshold used by the acceptance test
-  mutable double harmonic_cache_ = -1.0;
+  mutable std::atomic<double> harmonic_cache_{-1.0};
 };
 
 }  // namespace mclat::dist

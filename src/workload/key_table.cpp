@@ -1,0 +1,57 @@
+#include "workload/key_table.h"
+
+#include <string>
+
+#include "dist/rng.h"
+#include "hashing/hashes.h"
+
+namespace mclat::workload {
+
+KeyTable::KeyTable(const KeySpace& keyspace, const hashing::KeyMapper& mapper,
+                   const ValueSizeModel* values, Build build)
+    : keyspace_(keyspace), mapper_(mapper), values_(values) {
+  math::require(mapper.server_count() >= 1, "KeyTable: mapper has no servers");
+  const std::uint64_t n_chunks =
+      (keyspace.size() + kChunkSize - 1) >> kChunkShift;
+  chunks_.resize(n_chunks);
+  if (build == Build::kEager) {
+    for (std::uint64_t ci = 0; ci < n_chunks; ++ci) build_chunk(ci);
+  }
+}
+
+const KeyTable::Chunk& KeyTable::build_chunk(std::uint64_t chunk_index) {
+  auto chunk = std::make_unique<Chunk>();
+  const std::uint64_t begin = chunk_index << kChunkShift;
+  const std::uint64_t end =
+      std::min(begin + kChunkSize, keyspace_.size());
+  const std::uint64_t count = end - begin;
+  chunk->offset.reserve(count + 1);
+  chunk->hash.reserve(count);
+  chunk->server.reserve(count);
+  chunk->value_bytes.reserve(count);
+  chunk->offset.push_back(0);
+  std::string buf;
+  for (std::uint64_t rank = begin; rank < end; ++rank) {
+    // The legacy per-arrival path, run exactly once per rank: render the
+    // canonical key, hash it, map it, and (optionally) draw the refill
+    // value size from the rank-seeded stream the end-to-end sim used.
+    keyspace_.key_for_rank(rank, buf);
+    chunk->arena.insert(chunk->arena.end(), buf.begin(), buf.end());
+    chunk->offset.push_back(static_cast<std::uint32_t>(chunk->arena.size()));
+    chunk->hash.push_back(hashing::fnv1a64(buf));
+    chunk->server.push_back(
+        static_cast<std::uint32_t>(mapper_.server_for(buf)));
+    std::uint32_t vb = 0;
+    if (values_ != nullptr) {
+      dist::Rng vr(hashing::mix64(rank ^ kValueSeedSalt));
+      vb = values_->sample(vr);
+    }
+    chunk->value_bytes.push_back(vb);
+  }
+  chunk->arena.shrink_to_fit();
+  chunks_[chunk_index] = std::move(chunk);
+  ++built_;
+  return *chunks_[chunk_index];
+}
+
+}  // namespace mclat::workload

@@ -1,0 +1,116 @@
+// key_table.h — flat memoized keyspace metadata (the per-trial "mutilate
+// table").
+//
+// Every per-key fact the cluster simulators need is a deterministic function
+// of the key's popularity rank: the key string is "k<rank>" padded to a size
+// sampled from an RNG seeded by mix64(rank); the mappers hash that string;
+// the refill value size comes from an RNG seeded by mix64(rank ^ salt). The
+// seed code re-derived all of it on *every arrival* — a fresh 312-word
+// mt19937_64 state init, a string format, and a full key re-hash per key.
+//
+// KeyTable precomputes it once per rank into a structure-of-arrays table —
+// rank → {string offset/length into a shared arena, fnv1a64 hash, server
+// index for the configured mapper, value size} — so the hot path is two
+// indexed loads. Because each memoized quantity is exactly what the legacy
+// string path computes, simulation results are byte-identical.
+//
+// Ranks are materialized in 1024-rank chunks, built lazily on first touch by
+// default: a Zipf-skewed run over a 10⁸-key space only pays for the chunks
+// its head actually hits. kEager builds everything up front (benchmarks,
+// short-horizon sweeps that touch the whole table anyway).
+//
+// A KeyTable is a per-trial, single-threaded object (like the Simulator it
+// feeds); parallel trials each build their own.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hashing/key_mapper.h"
+#include "math/numerics.h"
+#include "workload/keyspace.h"
+#include "workload/size_model.h"
+
+namespace mclat::workload {
+
+/// Seed salt for the per-rank value-size stream (shared with the legacy
+/// end-to-end refill path; changing it would move every real-cache golden).
+inline constexpr std::uint64_t kValueSeedSalt = 0x5eedull;
+
+class KeyTable {
+ public:
+  enum class Build { kLazy, kEager };
+
+  /// One rank's memoized facts. `key` views into the table's arena and is
+  /// valid for the table's lifetime.
+  struct View {
+    std::string_view key;
+    std::uint64_t hash = 0;        ///< fnv1a64(key) — mapper/store hash
+    std::uint32_t server = 0;      ///< mapper.server_for(key)
+    std::uint32_t value_bytes = 0; ///< 0 unless a ValueSizeModel was given
+  };
+
+  /// `keyspace` and `mapper` (and `values`, if given) must outlive the
+  /// table. `values` enables the value-size column, replicating the
+  /// real-cache refill stream Rng(mix64(rank ^ kValueSeedSalt)).
+  KeyTable(const KeySpace& keyspace, const hashing::KeyMapper& mapper,
+           const ValueSizeModel* values = nullptr, Build build = Build::kLazy);
+
+  /// All memoized facts for `rank`; materializes the rank's chunk on first
+  /// touch in lazy mode.
+  [[nodiscard]] View view(std::uint64_t rank) {
+    const Chunk& c = chunk_for(rank);
+    const std::uint64_t i = rank & kChunkMask;
+    const std::uint32_t off = c.offset[i];
+    return View{std::string_view(c.arena.data() + off, c.offset[i + 1] - off),
+                c.hash[i], c.server[i], c.value_bytes[i]};
+  }
+
+  /// Server index only (the trace-replay injection path).
+  [[nodiscard]] std::uint32_t server(std::uint64_t rank) {
+    return chunk_for(rank).server[rank & kChunkMask];
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return keyspace_.size(); }
+
+  /// How many chunks have been materialized (laziness observability).
+  [[nodiscard]] std::uint64_t chunks_built() const noexcept { return built_; }
+  [[nodiscard]] std::uint64_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+  static constexpr std::uint64_t chunk_size() noexcept { return kChunkSize; }
+
+ private:
+  static constexpr std::uint64_t kChunkShift = 10;
+  static constexpr std::uint64_t kChunkSize = 1ull << kChunkShift;
+  static constexpr std::uint64_t kChunkMask = kChunkSize - 1;
+
+  // Structure-of-arrays block for kChunkSize consecutive ranks. Key strings
+  // are concatenated into `arena`; `offset` holds kChunkSize+1 prefix
+  // offsets so lengths need no separate column.
+  struct Chunk {
+    std::vector<char> arena;
+    std::vector<std::uint32_t> offset;
+    std::vector<std::uint64_t> hash;
+    std::vector<std::uint32_t> server;
+    std::vector<std::uint32_t> value_bytes;
+  };
+
+  [[nodiscard]] const Chunk& chunk_for(std::uint64_t rank) {
+    math::require(rank < keyspace_.size(), "KeyTable: rank out of range");
+    const Chunk* c = chunks_[rank >> kChunkShift].get();
+    return c != nullptr ? *c : build_chunk(rank >> kChunkShift);
+  }
+
+  const Chunk& build_chunk(std::uint64_t chunk_index);
+
+  const KeySpace& keyspace_;
+  const hashing::KeyMapper& mapper_;
+  const ValueSizeModel* values_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::uint64_t built_ = 0;
+};
+
+}  // namespace mclat::workload

@@ -199,5 +199,50 @@ TEST(LruStore, StatsCountersAreCoherent) {
   EXPECT_NEAR(st.hit_ratio() + st.miss_ratio(), 1.0, 1e-12);
 }
 
+TEST(LruStore, PrehashedGetMatchesPlainGet) {
+  LruStore s(tiny_config());
+  EXPECT_TRUE(s.set("hello", "world"));
+  const std::uint64_t h = hashing::fnv1a64("hello");
+  const auto v = s.get("hello", h, 0.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "world");
+  EXPECT_TRUE(s.contains("hello", h, 0.0));
+  // A miss through the prehashed path counts like a plain miss.
+  EXPECT_FALSE(s.get("absent", hashing::fnv1a64("absent"), 0.0).has_value());
+  EXPECT_EQ(s.stats().hits, 1u);
+  EXPECT_EQ(s.stats().misses, 1u);
+}
+
+TEST(LruStore, PrehashedGetHonorsExpiryAndPromotion) {
+  LruStore s(tiny_config());
+  EXPECT_TRUE(s.set_sized_hashed("k", hashing::fnv1a64("k"), 10,
+                                 /*now=*/0.0, /*ttl=*/5.0));
+  const std::uint64_t h = hashing::fnv1a64("k");
+  EXPECT_TRUE(s.get("k", h, 1.0).has_value());
+  EXPECT_FALSE(s.get("k", h, 5.0).has_value());   // expired
+  EXPECT_FALSE(s.contains("k", h, 5.0));
+}
+
+TEST(LruStore, SetSizedHashedMatchesSetSized) {
+  LruStore plain(tiny_config());
+  LruStore hashed(tiny_config());
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::size_t n = 16 + (static_cast<std::size_t>(i) * 37) % 200;
+    const bool a = plain.set_sized(key, n);
+    const bool b = hashed.set_sized_hashed(key, hashing::fnv1a64(key), n);
+    ASSERT_EQ(a, b) << key;
+  }
+  EXPECT_EQ(plain.size(), hashed.size());
+  EXPECT_EQ(plain.stats().sets, hashed.stats().sets);
+  EXPECT_EQ(plain.stats().evictions, hashed.stats().evictions);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(plain.contains(key),
+              hashed.contains(key, hashing::fnv1a64(key), 0.0))
+        << key;
+  }
+}
+
 }  // namespace
 }  // namespace mclat::cache

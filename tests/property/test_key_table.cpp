@@ -1,0 +1,174 @@
+// test_key_table.cpp — property tests pinning workload::KeyTable (the flat
+// memoized keyspace metadata) to the legacy string path it replaces, and
+// the prehashed LruStore overloads to their plain twins.
+//
+// The memo table is only allowed to exist because every column is a pure
+// function of the rank that replicates the legacy computation bit for bit;
+// these tests enforce that equivalence for every mapper kind, so a table
+// bug shows up here instead of as a silent golden drift.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/lru_store.h"
+#include "dist/rng.h"
+#include "hashing/consistent_hash.h"
+#include "hashing/hashes.h"
+#include "hashing/key_mapper.h"
+#include "hashing/weighted_mapper.h"
+#include "workload/key_table.h"
+#include "workload/keyspace.h"
+#include "workload/size_model.h"
+
+namespace {
+
+using namespace mclat;
+
+constexpr std::uint64_t kKeys = 5'000;
+
+std::vector<std::unique_ptr<hashing::KeyMapper>> all_mappers() {
+  std::vector<std::unique_ptr<hashing::KeyMapper>> mappers;
+  mappers.push_back(std::make_unique<hashing::ModuloMapper>(7));
+  mappers.push_back(
+      std::make_unique<hashing::WeightedMapper>(
+          std::vector<double>{0.4, 0.3, 0.2, 0.1}));
+  mappers.push_back(std::make_unique<hashing::ConsistentHashRing>(5));
+  return mappers;
+}
+
+/// Random ranks plus the edges (0, n-1) and chunk boundaries.
+std::vector<std::uint64_t> probe_ranks(std::uint64_t n) {
+  std::vector<std::uint64_t> ranks = {0, n - 1};
+  const std::uint64_t chunk = workload::KeyTable::chunk_size();
+  if (n > chunk) {
+    ranks.push_back(chunk - 1);
+    ranks.push_back(chunk);
+  }
+  dist::Rng rng(4242);
+  for (int i = 0; i < 2'000; ++i) {
+    ranks.push_back(rng.uniform_index(n));
+  }
+  return ranks;
+}
+
+TEST(KeyTable, MatchesLegacyStringPathForEveryMapperKind) {
+  const workload::KeySpace keys(kKeys, 0.99);
+  const workload::ValueSizeModel values(214.476, 0.348238, 1, 4096);
+  for (const auto& mapper : all_mappers()) {
+    workload::KeyTable table(keys, *mapper, &values);
+    std::string key_buf;
+    for (const std::uint64_t rank : probe_ranks(kKeys)) {
+      const workload::KeyTable::View kv = table.view(rank);
+      // Legacy path: render the string, hash it, map it, reseed the value
+      // stream — exactly what the simulators did per arrival.
+      keys.key_for_rank(rank, key_buf);
+      ASSERT_EQ(kv.key, key_buf) << "rank " << rank;
+      ASSERT_EQ(kv.hash, hashing::fnv1a64(key_buf)) << "rank " << rank;
+      ASSERT_EQ(kv.server, mapper->server_for(key_buf)) << "rank " << rank;
+      dist::Rng vr(hashing::mix64(rank ^ workload::kValueSeedSalt));
+      ASSERT_EQ(kv.value_bytes, values.sample(vr)) << "rank " << rank;
+      ASSERT_EQ(table.server(rank), kv.server) << "rank " << rank;
+    }
+  }
+}
+
+TEST(KeyTable, LazyAndEagerBuildsAgree) {
+  const workload::KeySpace keys(kKeys, 0.99);
+  const hashing::ModuloMapper mapper(3);
+  const workload::ValueSizeModel values(214.476, 0.348238, 1, 4096);
+  workload::KeyTable lazy(keys, mapper, &values,
+                          workload::KeyTable::Build::kLazy);
+  workload::KeyTable eager(keys, mapper, &values,
+                           workload::KeyTable::Build::kEager);
+  for (std::uint64_t rank = 0; rank < kKeys; ++rank) {
+    const workload::KeyTable::View a = lazy.view(rank);
+    const workload::KeyTable::View b = eager.view(rank);
+    ASSERT_EQ(a.key, b.key) << "rank " << rank;
+    ASSERT_EQ(a.hash, b.hash) << "rank " << rank;
+    ASSERT_EQ(a.server, b.server) << "rank " << rank;
+    ASSERT_EQ(a.value_bytes, b.value_bytes) << "rank " << rank;
+  }
+}
+
+TEST(KeyTable, LazyModeBuildsOnlyTouchedChunks) {
+  const workload::KeySpace keys(kKeys, 0.99);
+  const hashing::ModuloMapper mapper(3);
+  workload::KeyTable table(keys, mapper);
+  const std::uint64_t chunk = workload::KeyTable::chunk_size();
+  EXPECT_EQ(table.chunks_built(), 0u);
+  (void)table.server(0);
+  EXPECT_EQ(table.chunks_built(), 1u);
+  (void)table.view(chunk - 1);  // same chunk: no new build
+  EXPECT_EQ(table.chunks_built(), 1u);
+  (void)table.server(chunk);  // next chunk
+  EXPECT_EQ(table.chunks_built(), 2u);
+  (void)table.view(kKeys - 1);  // last (partial) chunk
+  EXPECT_EQ(table.chunks_built(), 3u);
+  EXPECT_EQ(table.chunk_count(), (kKeys + chunk - 1) / chunk);
+}
+
+TEST(KeyTable, EagerModeBuildsEverythingUpFront) {
+  const workload::KeySpace keys(kKeys, 0.99);
+  const hashing::ModuloMapper mapper(3);
+  workload::KeyTable table(keys, mapper, nullptr,
+                           workload::KeyTable::Build::kEager);
+  EXPECT_EQ(table.chunks_built(), table.chunk_count());
+}
+
+TEST(KeyTable, ValueColumnIsZeroWithoutSizeModel) {
+  const workload::KeySpace keys(2'000, 0.99);
+  const hashing::ModuloMapper mapper(3);
+  workload::KeyTable table(keys, mapper);
+  dist::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(table.view(rng.uniform_index(2'000)).value_bytes, 0u);
+  }
+}
+
+// ---- prehashed LruStore overloads vs their plain twins --------------------
+
+TEST(KeyTable, PrehashedStoreOpsMatchPlainStoreOps) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 1u << 20;  // small enough to force evictions
+  cfg.page_size = 16 * 1024;
+  cache::LruStore plain(cfg);
+  cache::LruStore hashed(cfg);
+
+  const workload::KeySpace keys(3'000, 0.99);
+  const hashing::WeightedMapper mapper(std::vector<double>{0.5, 0.5});
+  const workload::ValueSizeModel values(214.476, 0.348238, 1, 2048);
+  workload::KeyTable table(keys, mapper, &values);
+
+  dist::Rng rng(33);
+  for (int op = 0; op < 20'000; ++op) {
+    const std::uint64_t rank = keys.sample_rank(rng);
+    const workload::KeyTable::View kv = table.view(rank);
+    const std::string key(kv.key);
+    const double now = static_cast<double>(op) * 1e-3;
+    if (op % 3 == 0) {
+      const bool a = plain.set_sized(key, kv.value_bytes, now);
+      const bool b = hashed.set_sized_hashed(kv.key, kv.hash, kv.value_bytes,
+                                             now);
+      ASSERT_EQ(a, b) << "set at op " << op;
+    } else {
+      const auto a = plain.get(key, now);
+      const auto b = hashed.get(kv.key, kv.hash, now);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "get at op " << op;
+      ASSERT_EQ(plain.contains(key, now), hashed.contains(kv.key, kv.hash, now))
+          << "contains at op " << op;
+    }
+  }
+  // Two stores driven through different entry points must be in identical
+  // states: same population, same hit/miss/eviction accounting.
+  EXPECT_EQ(plain.size(), hashed.size());
+  EXPECT_EQ(plain.stats().gets, hashed.stats().gets);
+  EXPECT_EQ(plain.stats().hits, hashed.stats().hits);
+  EXPECT_EQ(plain.stats().misses, hashed.stats().misses);
+  EXPECT_EQ(plain.stats().sets, hashed.stats().sets);
+  EXPECT_EQ(plain.stats().evictions, hashed.stats().evictions);
+}
+
+}  // namespace
