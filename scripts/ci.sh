@@ -5,12 +5,14 @@
 #   tier 2: ThreadSanitizer build of the concurrency-sensitive suites —
 #           the parallel trial-execution engine (label `exec`) and the
 #           observability layer it records into (label `obs`).
-#   tier 3: ASan+UBSan build of the event-kernel, golden-regression and
-#           workload-path suites (labels `sim`, `exec` and `workload`) —
-#           the kernel's type-erased inline-callback storage, slot
-#           free-list recycling, and the KeyTable's string_view-into-arena
-#           layout are exactly the code a lifetime bug would hide in, so
-#           they run under -fsanitize=address,undefined on every verify.
+#   tier 3: ASan+UBSan build of the event-kernel, golden-regression,
+#           workload-path and cluster-engine suites (labels `sim`, `exec`,
+#           `workload` and `cluster`) — the kernel's type-erased
+#           inline-callback storage, slot free-list recycling, the
+#           KeyTable's string_view-into-arena layout, and the engine's
+#           JobTable-backed fork-join joins are exactly the code a lifetime
+#           bug would hide in, so they run under
+#           -fsanitize=address,undefined on every verify.
 #
 #   --bench-smoke: builds bench_micro_sim + bench_micro_cache and checks
 #           the headline microbenches against absolute keys/s floors
@@ -56,12 +58,12 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "==> tier 3: ASan+UBSan on the sim + exec + workload suites"
+  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cluster suites"
   cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs" \
-    --target tests_sim tests_exec tests_workload_property
-  ctest --test-dir build-asan -L "sim|exec|workload" --output-on-failure \
-    -j "$jobs"
+    --target tests_sim tests_exec tests_workload_property tests_cluster_engine
+  ctest --test-dir build-asan -L "sim|exec|workload|cluster" \
+    --output-on-failure -j "$jobs"
 fi
 
 if [[ "$run_bench_smoke" == 1 ]]; then
@@ -76,7 +78,7 @@ if [[ "$run_bench_smoke" == 1 ]]; then
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json" 2>/dev/null
   ./build/bench/bench_micro_cache \
-    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$' \
+    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_EndToEndRealCacheWorkload$' \
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json2" 2>/dev/null
   python3 - "$smoke_json" "$smoke_json2" <<'EOF'
@@ -93,6 +95,9 @@ floors = {
     "BM_KeyMaterializeAndMap": 10.0e6,
     # Prehashed Zipf-read path: ~3-5M keys/s when healthy.
     "BM_LruStoreGetPrehashed": 0.8e6,
+    # The whole engine stack end to end (PoissonSource → mapper → LruStore
+    # → DbStage → ForkJoinJoiner): ~0.7M keys/s when healthy.
+    "BM_EndToEndRealCacheWorkload": 0.15e6,
 }
 rates = {}
 for path in sys.argv[1:]:

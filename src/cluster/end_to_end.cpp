@@ -1,21 +1,21 @@
 #include "cluster/end_to_end.h"
 
-#include <algorithm>
-#include <functional>
 #include <memory>
-#include <string>
+#include <utility>
+#include <vector>
 
-#include "cache/lru_store.h"
+#include "cluster/engine/db_stage.h"
+#include "cluster/engine/fork_join.h"
+#include "cluster/engine/mapper.h"
+#include "cluster/engine/miss_policy.h"
+#include "cluster/engine/stage_observer.h"
 #include "cluster/job_table.h"
-#include "cluster/delay_station.h"
 #include "dist/discrete.h"
 #include "dist/exponential.h"
-#include "hashing/consistent_hash.h"
 #include "hashing/key_mapper.h"
-#include "hashing/weighted_mapper.h"
 #include "math/numerics.h"
 #include "sim/simulator.h"
-#include "sim/multi_station.h"
+#include "sim/source.h"
 #include "sim/station.h"
 #include "stats/welford.h"
 #include "workload/key_table.h"
@@ -26,36 +26,16 @@ namespace mclat::cluster {
 
 namespace {
 
-struct RequestState {
-  double start = 0.0;
-  std::uint32_t remaining = 0;
-  double max_server = 0.0;
-  double max_db = 0.0;
-  double max_total = 0.0;
-  double sum_total = 0.0;  ///< Σ per-key completion (sync-gap metric)
-  bool measured = false;
+/// First-wins bookkeeping for event-driven redundant fan-out: one group per
+/// key, `redundancy` replicas in flight. The winner carries the key through
+/// the miss path; losers only decrement (their queueing cost has already
+/// been inflicted on their servers, which is the point of modeling
+/// replication event-driven rather than by pool resampling).
+struct ReplicaGroup {
+  std::uint64_t key_job = 0;
+  unsigned remaining = 0;
+  bool won = false;
 };
-
-struct KeyContext {
-  std::uint64_t request_id = 0;
-  std::uint64_t key_rank = 0;
-  std::size_t server = 0;
-  double server_sojourn = 0.0;
-  double db_sojourn = 0.0;  // 0 for cache hits
-};
-
-std::unique_ptr<hashing::KeyMapper> make_mapper(const EndToEndConfig& cfg) {
-  const auto shares = cfg.system.shares();
-  switch (cfg.mapper) {
-    case MapperKind::kWeighted:
-      return std::make_unique<hashing::WeightedMapper>(shares);
-    case MapperKind::kRing:
-      return std::make_unique<hashing::ConsistentHashRing>(shares.size());
-    case MapperKind::kModulo:
-      return std::make_unique<hashing::ModuloMapper>(shares.size());
-  }
-  throw std::logic_error("make_mapper: unhandled mapper kind");
-}
 
 }  // namespace
 
@@ -64,6 +44,9 @@ EndToEndSim::EndToEndSim(EndToEndConfig cfg) : cfg_(std::move(cfg)) {
                 "EndToEndSim: bad time horizon");
   math::require(cfg_.system.keys_per_request >= 1,
                 "EndToEndSim: keys_per_request must be >= 1");
+  math::require(cfg_.redundancy >= 1, "EndToEndSim: redundancy must be >= 1");
+  math::require(cfg_.redundancy == 1 || cfg_.miss_mode == MissMode::kBernoulli,
+                "EndToEndSim: redundant fan-out requires Bernoulli misses");
 }
 
 EndToEndResult EndToEndSim::run() {
@@ -73,8 +56,13 @@ EndToEndResult EndToEndSim::run() {
   const double net_half = sys.network_latency / 2.0;
   const double horizon = cfg_.warmup_time + cfg_.measure_time;
   const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
+  const bool redundant = cfg_.redundancy > 1;
 
   sim::Simulator s;
+  // The master split sequence is the golden contract (DESIGN.md §4f):
+  // arrivals, misses, key draws, the retired value stream, then the database
+  // stage, then one stream per server. Engine components receive their
+  // streams by value at exactly these positions.
   dist::Rng master(cfg_.seed);
   dist::Rng req_rng = master.split();
   dist::Rng miss_rng = master.split();
@@ -83,43 +71,13 @@ EndToEndResult EndToEndSim::run() {
   // removing it would shift every later split and invalidate the goldens.
   [[maybe_unused]] dist::Rng value_rng = master.split();
 
-  const std::unique_ptr<hashing::KeyMapper> mapper = make_mapper(cfg_);
+  const std::unique_ptr<hashing::KeyMapper> mapper =
+      engine::make_mapper(cfg_.mapper, shares);
   const dist::Discrete server_pick(shares);
-
-  // --- request/key bookkeeping -------------------------------------------
-  // Dense free-list slot tables: request/key ids are the slot indices, so
-  // the per-key hot path does indexed loads instead of hash probes. Lookups
-  // are checked — a stale or foreign job id trips a diagnostic instead of
-  // dereferencing a missing map entry.
-  JobTable<RequestState> requests;
-  JobTable<KeyContext> keys;
-
-  // --- measurement accumulators ------------------------------------------
-  stats::Welford w_network;
-  stats::Welford w_server;
-  stats::Welford w_db;
-  stats::Welford w_total;
-  std::vector<double> total_samples;
-  std::uint64_t measured_keys = 0;
-  std::uint64_t measured_misses = 0;
-  std::uint64_t keys_completed = 0;
-
-  // Per-stage observability handles (nullptr when the recorder is null).
-  const obs::Recorder& rec = cfg_.recorder;
-  obs::LatencyStat* st_network = rec.latency("stage.network_us");
-  obs::LatencyStat* st_server = rec.latency("stage.server_us");
-  obs::LatencyStat* st_db = rec.latency("stage.database_us");
-  obs::LatencyStat* st_total = rec.latency("stage.total_us");
-  obs::LatencyStat* st_gap = rec.latency("request.sync_gap_us");
-  obs::LatencyStat* st_slack = rec.latency("request.sync_slack_us");
-  obs::LatencyStat* st_db_sojourn = rec.latency("db.sojourn_us");
-  obs::Counter* ct_keys = rec.counter("sim.keys_completed");
-  obs::Counter* ct_misses = rec.counter("db.misses");
 
   // --- real-cache machinery ------------------------------------------------
   std::unique_ptr<workload::KeySpace> keyspace;
   std::unique_ptr<workload::KeyTable> key_table;
-  std::vector<std::unique_ptr<cache::LruStore>> stores;
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
                                              cfg_.max_value_bytes);
   if (real_cache) {
@@ -131,211 +89,153 @@ EndToEndResult EndToEndSim::run() {
     // Zipf head actually touches are materialized.
     key_table = std::make_unique<workload::KeyTable>(*keyspace, *mapper,
                                                      &value_sizes);
-    cache::SlabAllocator::Config scfg;
-    scfg.memory_limit = cfg_.cache_bytes_per_server;
-    // Simulated caches are far smaller than a production 64 GB memcached;
-    // scale the page size down accordingly so every slab class can actually
-    // obtain pages (memcached's 1 MiB pages would starve most classes of a
-    // few-MiB cache — an artefact, not the phenomenon under study).
-    scfg.page_size = std::min<std::size_t>(
-        64 * 1024, std::max<std::size_t>(cfg_.cache_bytes_per_server / 32,
-                                         8 * 1024));
-    scfg.growth_factor = 2.0;
-    stores.reserve(M);
-    for (std::size_t j = 0; j < M; ++j) {
-      stores.push_back(std::make_unique<cache::LruStore>(scfg));
-    }
   }
+  engine::MissPolicy miss_policy =
+      real_cache
+          ? engine::MissPolicy::real_cache(
+                *key_table, M, cfg_.cache_bytes_per_server, std::move(miss_rng))
+          : engine::MissPolicy::bernoulli(sys.miss_ratio, std::move(miss_rng));
 
-  // --- forward declarations of the pipeline hops ---------------------------
-  std::function<void(std::uint64_t)> complete_key;
+  // --- fork-join core ------------------------------------------------------
+  const obs::Recorder& rec = cfg_.recorder;
+  const engine::StageObserver sobs = engine::StageObserver::for_sim(rec);
+  engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
+                                /*keep_total_samples=*/true,
+                                /*per_key_counter=*/nullptr);
+  std::uint64_t measured_keys = 0;
+  std::uint64_t measured_misses = 0;
 
-  // Value arrives back at the client: fold this key into its request.
-  complete_key = [&](std::uint64_t job) {
-    const KeyContext ctx =
-        keys.take(job, "EndToEndSim: completion for unknown key job");
-    ++keys_completed;
-    auto& req = requests.at(
-        ctx.request_id, "EndToEndSim: key completion for unknown request");
-    const double total = s.now() - req.start;
-    req.max_server = std::max(req.max_server, ctx.server_sojourn);
-    req.max_db = std::max(req.max_db, ctx.db_sojourn);
-    req.max_total = std::max(req.max_total, total);
-    req.sum_total += total;
-    if (--req.remaining == 0) {
-      if (req.measured) {
-        w_network.add(sys.network_latency);
-        w_server.add(req.max_server);
-        w_db.add(req.max_db);
-        w_total.add(req.max_total);
-        total_samples.push_back(req.max_total);
-        obs::observe(st_network, obs::to_us(sys.network_latency));
-        obs::observe(st_server, obs::to_us(req.max_server));
-        obs::observe(st_db, obs::to_us(req.max_db));
-        obs::observe(st_total, obs::to_us(req.max_total));
-        obs::observe(st_gap,
-                     obs::to_us(req.max_total -
-                                req.sum_total /
-                                    static_cast<double>(sys.keys_per_request)));
-        obs::observe(st_slack,
-                     obs::to_us(sys.network_latency + req.max_server +
-                                req.max_db - req.max_total));
-      }
-      requests.erase(ctx.request_id,
-                     "EndToEndSim: double-completed request");
-    }
-  };
+  // Redundancy bookkeeping (untouched when redundancy == 1: keys travel
+  // under their joiner job ids and the schedule is the pre-engine one).
+  JobTable<ReplicaGroup> groups;
+  JobTable<std::uint64_t> replica_group;  // replica job -> group id
 
   // --- database stage -------------------------------------------------------
-  std::unique_ptr<DelayStation> db_inf;
-  std::unique_ptr<sim::ServiceStation> db_q;
-  std::unique_ptr<sim::MultiServerStation> db_pool;
-  const auto on_db_departure = [&](const sim::Departure& d) {
-    KeyContext& ctx =
-        keys.at(d.job_id, "EndToEndSim: database departure for unknown key");
-    ctx.db_sojourn = d.sojourn_time();
-    if (requests
-            .at(ctx.request_id,
-                "EndToEndSim: database departure for unknown request")
-            .measured) {
-      obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
-    }
-    if (real_cache) {
-      // Refill the server's cache with the fetched value. Only the value's
-      // *size* matters to slab occupancy and eviction, so set_sized skips
-      // materialising the payload string; key, hash and value size are all
-      // memoized loads.
-      const workload::KeyTable::View kv = key_table->view(ctx.key_rank);
-      stores[ctx.server]->set_sized_hashed(kv.key, kv.hash, kv.value_bytes, s.now());
-    }
-    s.schedule_in(net_half, [&, job = d.job_id] { complete_key(job); });
-  };
-  switch (cfg_.db_mode) {
-    case DbMode::kInfiniteServer:
-      db_inf = std::make_unique<DelayStation>(
-          s, std::make_unique<dist::Exponential>(sys.db_service_rate),
-          master.split(), on_db_departure);
-      break;
-    case DbMode::kSingleServer:
-      db_q = std::make_unique<sim::ServiceStation>(
-          s, std::make_unique<dist::Exponential>(sys.db_service_rate),
-          master.split(), on_db_departure);
-      break;
-    case DbMode::kPooled:
-      db_pool = std::make_unique<sim::MultiServerStation>(
-          s, cfg_.db_servers,
-          std::make_unique<dist::Exponential>(sys.db_service_rate),
-          master.split(), on_db_departure);
-      break;
-  }
-  const auto submit_db = [&](std::uint64_t job) {
-    if (db_inf) {
-      db_inf->submit(job);
-    } else if (db_pool) {
-      db_pool->arrive(job);
-    } else {
-      db_q->arrive(job);
-    }
-  };
+  engine::DbStage db(
+      s, cfg_.db_mode, cfg_.db_servers, sys.db_service_rate, master.split(),
+      [&](const sim::Departure& d) {
+        engine::ForkJoinJoiner::Key& ctx = joiner.key(
+            d.job_id, "EndToEndSim: database departure for unknown key");
+        ctx.db_sojourn = d.sojourn_time();
+        if (joiner.request_measured(ctx.request_id)) {
+          obs::observe(sobs.db_sojourn, obs::to_us(d.sojourn_time()));
+        }
+        miss_policy.refill(ctx.server, ctx.key_rank, s.now());
+        s.schedule_in(net_half,
+                      [&, job = d.job_id] { joiner.complete_key(job, s.now()); });
+      });
 
   // --- memcached servers ----------------------------------------------------
   std::vector<std::unique_ptr<sim::ServiceStation>> servers;
   servers.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
-    const std::string prefix = "server." + std::to_string(j);
     servers.push_back(std::make_unique<sim::ServiceStation>(
         s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
         master.split(), [&, j](const sim::Departure& d) {
-          auto& ctx = keys.at(
-              d.job_id, "EndToEndSim: server departure for unknown key");
-          ctx.server_sojourn = d.sojourn_time();
-          bool miss;
-          if (real_cache) {
-            const workload::KeyTable::View kv = key_table->view(ctx.key_rank);
-            miss = !stores[j]->get(kv.key, kv.hash, s.now()).has_value();
-          } else {
-            miss = sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
+          std::uint64_t key_job = d.job_id;
+          if (redundant) {
+            const std::uint64_t gid = replica_group.take(
+                d.job_id, "EndToEndSim: departure for unknown replica");
+            ReplicaGroup& g = groups.at(
+                gid, "EndToEndSim: replica departure for unknown group");
+            --g.remaining;
+            if (g.won) {
+              // A losing replica: its value is discarded; the queueing it
+              // caused stays in its server's history.
+              if (g.remaining == 0) {
+                groups.erase(gid, "EndToEndSim: double-retired replica group");
+              }
+              return;
+            }
+            g.won = true;
+            key_job = g.key_job;
+            if (g.remaining == 0) {
+              groups.erase(gid, "EndToEndSim: double-retired replica group");
+            }
           }
-          const auto& req = requests.at(
-              ctx.request_id,
-              "EndToEndSim: server departure for unknown request");
-          if (req.measured) {
+          engine::ForkJoinJoiner::Key& ctx = joiner.key(
+              key_job, "EndToEndSim: server departure for unknown key");
+          ctx.server_sojourn = d.sojourn_time();
+          ctx.server = j;
+          const bool miss = miss_policy.is_miss(j, ctx.key_rank, s.now());
+          if (joiner.request_measured(ctx.request_id)) {
             ++measured_keys;
-            obs::bump(ct_keys);
+            obs::bump(sobs.keys);
             if (miss) {
               ++measured_misses;
-              obs::bump(ct_misses);
+              obs::bump(sobs.misses);
             }
           }
           if (miss) {
-            submit_db(d.job_id);
+            db.submit(key_job);
           } else {
-            s.schedule_in(net_half,
-                          [&, job = d.job_id] { complete_key(job); });
+            s.schedule_in(net_half, [&, key_job] {
+              joiner.complete_key(key_job, s.now());
+            });
           }
         }));
-    servers.back()->observe_split(rec.latency(prefix + ".wait_us"),
-                                  rec.latency(prefix + ".service_us"),
-                                  cfg_.warmup_time);
+    engine::StageObserver::attach_server_split(rec, *servers.back(), j,
+                                               cfg_.warmup_time);
   }
 
-  // --- request generator ------------------------------------------------------
+  // --- request generator ----------------------------------------------------
   const double rate = cfg_.effective_request_rate();
-  bool generating = true;
-  std::function<void()> arrival = [&] {
-    if (!generating) return;
-    RequestState st;
-    st.start = s.now();
-    st.remaining = sys.keys_per_request;
-    st.measured = s.now() >= cfg_.warmup_time;
-    const std::uint64_t rid = requests.insert(st);
+  sim::PoissonSource source(s, rate, std::move(req_rng), [&] {
+    const double start = s.now();
+    const std::uint64_t rid = joiner.open_request(
+        start, sys.keys_per_request, start >= cfg_.warmup_time);
     for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
-      KeyContext ctx;
-      ctx.request_id = rid;
+      std::uint64_t rank = 0;
       std::size_t server_idx;
       if (real_cache) {
-        ctx.key_rank = keyspace->sample_rank(key_rng);
-        server_idx = key_table->server(ctx.key_rank);
+        rank = keyspace->sample_rank(key_rng);
+        server_idx = key_table->server(rank);
       } else {
         // Respect the target {p_j} exactly.
         server_idx = server_pick.sample(key_rng);
       }
-      ctx.server = server_idx;
-      const std::uint64_t job = keys.insert(ctx);
-      s.schedule_in(net_half,
-                    [&, job, server_idx] { servers[server_idx]->arrive(job); });
+      const std::uint64_t kjob = joiner.open_key(rid, rank, server_idx);
+      if (!redundant) {
+        s.schedule_in(net_half, [&, kjob, server_idx] {
+          servers[server_idx]->arrive(kjob);
+        });
+      } else {
+        const std::uint64_t gid =
+            groups.insert(ReplicaGroup{kjob, cfg_.redundancy, false});
+        for (unsigned r = 0; r < cfg_.redundancy; ++r) {
+          const std::size_t sj =
+              r == 0 ? server_idx : server_pick.sample(key_rng);
+          const std::uint64_t rjob = replica_group.insert(gid);
+          s.schedule_in(net_half, [&, rjob, sj] { servers[sj]->arrive(rjob); });
+        }
+      }
     }
-    // Reschedule through a one-pointer trampoline: copying the full
-    // std::function closure into the calendar every arrival would defeat
-    // the kernel's inline-callback storage.
-    s.schedule_in(req_rng.exponential(rate), [&arrival] { arrival(); });
-  };
-  s.schedule_in(req_rng.exponential(rate), [&arrival] { arrival(); });
+  });
 
   // --- run: generate until the horizon, then drain ---------------------------
+  source.start();
   s.run_until(horizon);
-  generating = false;
-  s.run();  // drain in-flight requests (no new arrivals are scheduled)
+  source.stop();  // the pending arrival fires and no-ops, as before
+  s.run();        // drain in-flight requests (no new arrivals are scheduled)
 
   EndToEndResult res;
-  res.network = stats::mean_ci(w_network);
-  res.server = stats::mean_ci(w_server);
-  res.database = stats::mean_ci(w_db);
-  res.total = stats::mean_ci(w_total);
-  res.total_samples = std::move(total_samples);
+  res.network = stats::mean_ci(joiner.network_stats());
+  res.server = stats::mean_ci(joiner.server_stats());
+  res.database = stats::mean_ci(joiner.database_stats());
+  res.total = stats::mean_ci(joiner.total_stats());
+  res.total_samples = joiner.take_total_samples();
   res.measured_miss_ratio =
-      measured_keys == 0
-          ? 0.0
-          : static_cast<double>(measured_misses) /
-                static_cast<double>(measured_keys);
+      measured_keys == 0 ? 0.0
+                         : static_cast<double>(measured_misses) /
+                               static_cast<double>(measured_keys);
   res.server_utilization.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     res.server_utilization.push_back(servers[j]->utilization(horizon));
-    obs::set_gauge(rec.gauge("server." + std::to_string(j) + ".utilization"),
-                   res.server_utilization.back());
+    engine::StageObserver::record_server_utilization(
+        rec, j, res.server_utilization.back());
   }
-  res.requests_completed = w_total.count();
-  res.keys_completed = keys_completed;
+  res.requests_completed = joiner.measured_requests();
+  res.keys_completed = joiner.keys_completed();
   res.events_executed = s.events_executed();
   return res;
 }

@@ -26,15 +26,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/modes.h"
 #include "core/config.h"
 #include "obs/recorder.h"
 #include "stats/summary.h"
 
 namespace mclat::cluster {
-
-enum class MissMode { kBernoulli, kRealCache };
-enum class DbMode { kInfiniteServer, kSingleServer, kPooled };
-enum class MapperKind { kWeighted, kRing, kModulo };
 
 struct EndToEndConfig {
   core::SystemConfig system;
@@ -46,6 +43,17 @@ struct EndToEndConfig {
   /// Shards/threads of the kPooled database (one shared M/M/c queue).
   unsigned db_servers = 4;
   MapperKind mapper = MapperKind::kWeighted;
+
+  /// Event-driven redundant fan-out (Poloczek & Ciucu's replication
+  /// analysis, run through the real queueing dynamics instead of the
+  /// pool-resampling assemble_requests_redundant): each key is dispatched
+  /// to `redundancy` independently chosen servers and the first replica to
+  /// finish wins. Unlike the pool variant, the losing replicas keep
+  /// occupying their queues, so the self-queueing cost of replication is
+  /// captured, not assumed away. 1 = the plain fork-join path
+  /// (byte-identical to pre-engine behavior). Requires kBernoulli misses —
+  /// replicated real caches are not modeled.
+  unsigned redundancy = 1;
 
   // --- real-cache mode parameters ---------------------------------------
   std::uint64_t keyspace_size = 200'000;

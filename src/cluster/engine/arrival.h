@@ -1,0 +1,68 @@
+// arrival.h — how requests enter the engine.
+//
+// The ArrivalSource concept names the duck type every online generator
+// satisfies: start() begins emitting into the simulator, stop() ends the
+// run. Two models live in src/sim/ (they are generic event-kernel
+// citizens, not cluster-specific):
+//
+//   * sim::PoissonSource — the open-loop Poisson request generator and the
+//     workload-driven miss stream;
+//   * sim::BatchSource   — the per-server GI^X renewal batch source.
+//
+// The third source is offline: a TraceInjector validates a recorded trace
+// (time-sorted, every key rank inside the keyspace — no silent
+// `rank % keys` aliasing) and pre-schedules one arrival per record. It is
+// constructed before any simulation object so a bad trace fails fast,
+// naming the offending record.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "math/numerics.h"
+#include "sim/source.h"
+#include "workload/trace.h"
+
+namespace mclat::cluster::engine {
+
+template <typename S>
+concept ArrivalSource = requires(S source) {
+  { source.start() };
+  { source.stop() };
+};
+
+static_assert(ArrivalSource<sim::PoissonSource>);
+static_assert(ArrivalSource<sim::BatchSource>);
+
+class TraceInjector {
+ public:
+  /// Validates eagerly: non-empty, and every record's key_rank <
+  /// `rank_limit` (the keyspace size) — out-of-range ranks throw,
+  /// identifying the record, instead of aliasing into the keyspace.
+  TraceInjector(const workload::Trace& trace, std::uint64_t rank_limit)
+      : trace_(trace) {
+    math::require(!trace.empty(), "TraceInjector: empty trace");
+    trace.require_ranks_below(rank_limit);
+  }
+
+  /// Schedules the whole trace: `plan(record)` runs once per record in
+  /// trace order (fork the key, schedule its arrival). Requires the trace
+  /// sorted by time (Trace::sort_by_time()).
+  template <typename Plan>
+  void start(Plan&& plan) const {
+    double prev_time = 0.0;
+    for (const workload::TraceRecord& rec : trace_.records()) {
+      math::require(rec.time >= prev_time,
+                    "TraceInjector: trace must be sorted by time");
+      prev_time = rec.time;
+      plan(rec);
+    }
+  }
+
+  [[nodiscard]] std::size_t records() const noexcept { return trace_.size(); }
+
+ private:
+  const workload::Trace& trace_;
+};
+
+}  // namespace mclat::cluster::engine

@@ -1,0 +1,81 @@
+// db_stage.h — the backend database behind one submit().
+//
+// The DbMode switch (infinite-server eq.-19 approximation / real M/M/1 /
+// M/M/c shard pool) used to live inline in end_to_end.cpp only, which is
+// why trace replay could not vary its database. DbStage owns whichever
+// station the mode calls for and forwards submissions; the departure
+// handler is shared verbatim, so a simulator's miss path reads the same in
+// every mode.
+//
+// The service RNG is passed in by value: the caller performs its
+// master.split() at the same position the pre-engine code did, keeping the
+// stream sequence golden-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "cluster/delay_station.h"
+#include "cluster/modes.h"
+#include "dist/exponential.h"
+#include "dist/rng.h"
+#include "sim/multi_station.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+
+namespace mclat::cluster::engine {
+
+class DbStage {
+ public:
+  using DepartureHandler = std::function<void(const sim::Departure&)>;
+
+  DbStage(sim::Simulator& sim, DbMode mode, unsigned db_servers,
+          double db_service_rate, dist::Rng rng, DepartureHandler on_departure) {
+    switch (mode) {
+      case DbMode::kInfiniteServer:
+        inf_ = std::make_unique<DelayStation>(
+            sim, std::make_unique<dist::Exponential>(db_service_rate),
+            std::move(rng), std::move(on_departure));
+        break;
+      case DbMode::kSingleServer:
+        queue_ = std::make_unique<sim::ServiceStation>(
+            sim, std::make_unique<dist::Exponential>(db_service_rate),
+            std::move(rng), std::move(on_departure));
+        break;
+      case DbMode::kPooled:
+        pool_ = std::make_unique<sim::MultiServerStation>(
+            sim, db_servers,
+            std::make_unique<dist::Exponential>(db_service_rate),
+            std::move(rng), std::move(on_departure));
+        break;
+    }
+  }
+
+  DbStage(const DbStage&) = delete;
+  DbStage& operator=(const DbStage&) = delete;
+
+  void submit(std::uint64_t job_id) {
+    if (inf_) {
+      inf_->submit(job_id);
+    } else if (pool_) {
+      pool_->arrive(job_id);
+    } else {
+      queue_->arrive(job_id);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    if (inf_) return inf_->completed();
+    if (pool_) return pool_->completed();
+    return queue_->completed();
+  }
+
+ private:
+  std::unique_ptr<DelayStation> inf_;
+  std::unique_ptr<sim::ServiceStation> queue_;
+  std::unique_ptr<sim::MultiServerStation> pool_;
+};
+
+}  // namespace mclat::cluster::engine

@@ -1,0 +1,191 @@
+// fork_join.h — the one fork-join joiner.
+//
+// Both event-driven simulators used to carry verbatim copies of the same
+// bookkeeping: a JobTable of open requests, a JobTable of in-flight keys,
+// and a completion handler folding each key's sojourns into its request's
+// running maxima until the last key joins. This class is that logic,
+// extracted once.
+//
+// The numeric contract is exact, not approximate: the fold order
+// (max_server, max_db, max_total, sum_total), the Welford accumulation on
+// join, and the sync-gap division by the request's key count reproduce the
+// pre-engine simulators bit for bit — proven against the verbatim twins in
+// bench/legacy_cluster.h by the `cluster`-labeled equivalence suite.
+//
+// Warmup gating: a request opened with measured=false still joins (its
+// keys complete, counters advance) but contributes nothing to the Welford
+// means, the retained total samples, or the per-request stage
+// observations. requests_joined() counts every join; measured_requests()
+// only the measured ones — EndToEndSim reports the latter, TraceReplaySim
+// the former (its pre-engine contract counted every trace request).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/engine/stage_observer.h"
+#include "cluster/job_table.h"
+#include "obs/recorder.h"
+#include "stats/welford.h"
+
+namespace mclat::cluster::engine {
+
+class ForkJoinJoiner {
+ public:
+  struct Request {
+    double start = 0.0;
+    std::uint32_t remaining = 0;
+    std::uint32_t n_keys = 0;  ///< sync-gap denominator
+    bool measured = false;
+    double max_server = 0.0;
+    double max_db = 0.0;
+    double max_total = 0.0;
+    double sum_total = 0.0;  ///< Σ per-key completion (sync-gap metric)
+  };
+
+  struct Key {
+    std::uint64_t request_id = 0;
+    std::uint64_t key_rank = 0;  ///< 0 unless the sim routes by rank
+    std::size_t server = 0;
+    double server_sojourn = 0.0;
+    double db_sojourn = 0.0;  ///< 0 for cache hits
+  };
+
+  /// `per_key_counter` (nullable) is bumped once per completed key,
+  /// ungated — TraceReplaySim's sim.keys_completed contract. EndToEndSim
+  /// passes nullptr and bumps its counter at server departure instead,
+  /// gated on the measurement window.
+  ForkJoinJoiner(double network_latency, const StageObserver& obs,
+                 bool keep_total_samples, obs::Counter* per_key_counter)
+      : network_latency_(network_latency), obs_(obs),
+        keep_total_samples_(keep_total_samples),
+        per_key_counter_(per_key_counter) {}
+
+  ForkJoinJoiner(const ForkJoinJoiner&) = delete;
+  ForkJoinJoiner& operator=(const ForkJoinJoiner&) = delete;
+
+  /// Opens a request of `n_keys` keys. Sequential opens with no
+  /// intervening joins yield dense ids 0, 1, 2, … (the trace pre-scan
+  /// relies on this to reuse its interned indices).
+  std::uint64_t open_request(double start, std::uint32_t n_keys,
+                             bool measured) {
+    Request req;
+    req.start = start;
+    req.remaining = n_keys;
+    req.n_keys = n_keys;
+    req.measured = measured;
+    return requests_.insert(req);
+  }
+
+  /// Forks one key off `request_id`; the returned job id names the key at
+  /// the stations and in complete_key().
+  std::uint64_t open_key(std::uint64_t request_id, std::uint64_t key_rank,
+                         std::size_t server) {
+    Key ctx;
+    ctx.request_id = request_id;
+    ctx.key_rank = key_rank;
+    ctx.server = server;
+    return keys_.insert(ctx);
+  }
+
+  /// Checked access to an in-flight key (stations update sojourns here).
+  [[nodiscard]] Key& key(std::uint64_t job, const char* what) {
+    return keys_.at(job, what);
+  }
+
+  [[nodiscard]] bool request_measured(std::uint64_t request_id) const {
+    return requests_
+        .at(request_id, "ForkJoinJoiner: measured query for unknown request")
+        .measured;
+  }
+
+  /// A key's value arrived back at the client at `now`: fold it into its
+  /// request; on the last key, join (accumulate + observe if measured).
+  void complete_key(std::uint64_t job, double now) {
+    const Key ctx =
+        keys_.take(job, "ForkJoinJoiner: completion for unknown key job");
+    ++keys_completed_;
+    obs::bump(per_key_counter_);
+    Request& req = requests_.at(
+        ctx.request_id, "ForkJoinJoiner: key completion for unknown request");
+    const double total = now - req.start;
+    req.max_server = std::max(req.max_server, ctx.server_sojourn);
+    req.max_db = std::max(req.max_db, ctx.db_sojourn);
+    req.max_total = std::max(req.max_total, total);
+    req.sum_total += total;
+    if (--req.remaining == 0) {
+      ++requests_joined_;
+      if (req.measured) {
+        w_network_.add(network_latency_);
+        w_server_.add(req.max_server);
+        w_db_.add(req.max_db);
+        w_total_.add(req.max_total);
+        if (keep_total_samples_) total_samples_.push_back(req.max_total);
+        obs_.observe_request(network_latency_, req.max_server, req.max_db,
+                             req.max_total, req.sum_total,
+                             static_cast<double>(req.n_keys));
+      }
+      requests_.erase(ctx.request_id,
+                      "ForkJoinJoiner: double-completed request");
+    }
+  }
+
+  // --- results -----------------------------------------------------------
+  [[nodiscard]] const stats::Welford& network_stats() const noexcept {
+    return w_network_;
+  }
+  [[nodiscard]] const stats::Welford& server_stats() const noexcept {
+    return w_server_;
+  }
+  [[nodiscard]] const stats::Welford& database_stats() const noexcept {
+    return w_db_;
+  }
+  [[nodiscard]] const stats::Welford& total_stats() const noexcept {
+    return w_total_;
+  }
+  /// Measured-window T(N) samples (empty unless keep_total_samples).
+  [[nodiscard]] std::vector<double> take_total_samples() noexcept {
+    return std::move(total_samples_);
+  }
+  /// Every join, measured or not.
+  [[nodiscard]] std::uint64_t requests_joined() const noexcept {
+    return requests_joined_;
+  }
+  /// Joins inside the measurement window.
+  [[nodiscard]] std::uint64_t measured_requests() const noexcept {
+    return w_total_.count();
+  }
+  /// Every completed key (all requests).
+  [[nodiscard]] std::uint64_t keys_completed() const noexcept {
+    return keys_completed_;
+  }
+  /// Requests forked but not yet joined.
+  [[nodiscard]] std::size_t open_requests() const noexcept {
+    return requests_.size();
+  }
+  /// Keys forked but not yet completed.
+  [[nodiscard]] std::size_t in_flight_keys() const noexcept {
+    return keys_.size();
+  }
+
+ private:
+  double network_latency_;
+  StageObserver obs_;
+  bool keep_total_samples_;
+  obs::Counter* per_key_counter_;
+
+  JobTable<Request> requests_;
+  JobTable<Key> keys_;
+
+  stats::Welford w_network_;
+  stats::Welford w_server_;
+  stats::Welford w_db_;
+  stats::Welford w_total_;
+  std::vector<double> total_samples_;
+  std::uint64_t requests_joined_ = 0;
+  std::uint64_t keys_completed_ = 0;
+};
+
+}  // namespace mclat::cluster::engine

@@ -1,0 +1,33 @@
+// mapper.h — the one key→server mapper factory.
+//
+// Every simulator used to carry its own copy of this switch; the engine
+// owns it now so a new MapperKind is added in exactly one place.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/modes.h"
+#include "hashing/consistent_hash.h"
+#include "hashing/key_mapper.h"
+#include "hashing/weighted_mapper.h"
+
+namespace mclat::cluster::engine {
+
+/// Builds the mapper for `kind` over servers with target shares `shares`
+/// (kRing/kModulo use only the server count — hashing ignores shares).
+inline std::unique_ptr<hashing::KeyMapper> make_mapper(
+    MapperKind kind, const std::vector<double>& shares) {
+  switch (kind) {
+    case MapperKind::kWeighted:
+      return std::make_unique<hashing::WeightedMapper>(shares);
+    case MapperKind::kRing:
+      return std::make_unique<hashing::ConsistentHashRing>(shares.size());
+    case MapperKind::kModulo:
+      return std::make_unique<hashing::ModuloMapper>(shares.size());
+  }
+  throw std::logic_error("engine::make_mapper: unhandled mapper kind");
+}
+
+}  // namespace mclat::cluster::engine

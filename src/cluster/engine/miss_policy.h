@@ -1,0 +1,103 @@
+// miss_policy.h — how a key misses.
+//
+// Two policies behind one flat struct (a branch per key, exactly what the
+// pre-engine simulators paid — no per-event virtual dispatch):
+//
+//   * Bernoulli(r): the model's iid coin. Draws nothing when r == 0 (the
+//     short-circuit the golden RNG streams depend on).
+//   * Real cache: each server runs an LruStore (slab allocator +
+//     per-class LRU); a key misses when its server's store doesn't hold
+//     it, and a database fetch refills that store. The miss ratio
+//     *emerges* from Zipf popularity vs cache capacity (ablation A2).
+//
+// Both policies own the miss RNG stream. The real-cache policy never draws
+// from it, but accepting it keeps the caller's master.split() sequence
+// identical across modes — the split order is part of the golden contract
+// (DESIGN.md §4f).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cache/lru_store.h"
+#include "dist/rng.h"
+#include "workload/key_table.h"
+
+namespace mclat::cluster::engine {
+
+class MissPolicy {
+ public:
+  [[nodiscard]] static MissPolicy bernoulli(double miss_ratio,
+                                            dist::Rng miss_rng) {
+    return MissPolicy(miss_ratio, std::move(miss_rng));
+  }
+
+  /// One LruStore of `cache_bytes_per_server` per server, looked up and
+  /// refilled through `table`'s memoized key/hash/value-size columns (the
+  /// table must be built with a ValueSizeModel and outlive the policy).
+  [[nodiscard]] static MissPolicy real_cache(workload::KeyTable& table,
+                                             std::size_t servers,
+                                             std::size_t cache_bytes_per_server,
+                                             dist::Rng miss_rng) {
+    MissPolicy p(0.0, std::move(miss_rng));
+    p.table_ = &table;
+    cache::SlabAllocator::Config scfg;
+    scfg.memory_limit = cache_bytes_per_server;
+    // Simulated caches are far smaller than a production 64 GB memcached;
+    // scale the page size down accordingly so every slab class can actually
+    // obtain pages (memcached's 1 MiB pages would starve most classes of a
+    // few-MiB cache — an artefact, not the phenomenon under study).
+    scfg.page_size = std::min<std::size_t>(
+        64 * 1024,
+        std::max<std::size_t>(cache_bytes_per_server / 32, 8 * 1024));
+    scfg.growth_factor = 2.0;
+    p.stores_.reserve(servers);
+    for (std::size_t j = 0; j < servers; ++j) {
+      p.stores_.push_back(std::make_unique<cache::LruStore>(scfg));
+    }
+    return p;
+  }
+
+  [[nodiscard]] bool real() const noexcept { return table_ != nullptr; }
+
+  /// Decides the miss for a key departing server `server` at `now`. The
+  /// real-cache lookup promotes the key to MRU on a hit (LRU dynamics are
+  /// part of the policy, not a side effect).
+  [[nodiscard]] bool is_miss(std::size_t server, std::uint64_t key_rank,
+                             double now) {
+    if (table_ != nullptr) {
+      const workload::KeyTable::View kv = table_->view(key_rank);
+      return !stores_[server]->get(kv.key, kv.hash, now).has_value();
+    }
+    return miss_ratio_ > 0.0 && miss_rng_.bernoulli(miss_ratio_);
+  }
+
+  /// The database fetched the value: refill the server's cache. Only the
+  /// value's *size* matters to slab occupancy and eviction, so set_sized
+  /// skips materialising the payload; key, hash and size are memoized
+  /// loads. No-op under Bernoulli.
+  void refill(std::size_t server, std::uint64_t key_rank, double now) {
+    if (table_ == nullptr) return;
+    const workload::KeyTable::View kv = table_->view(key_rank);
+    stores_[server]->set_sized_hashed(kv.key, kv.hash, kv.value_bytes, now);
+  }
+
+  /// Test/diagnostic access to a server's store (real-cache mode only).
+  [[nodiscard]] const cache::LruStore& store(std::size_t server) const {
+    return *stores_[server];
+  }
+
+ private:
+  MissPolicy(double miss_ratio, dist::Rng miss_rng)
+      : miss_ratio_(miss_ratio), miss_rng_(std::move(miss_rng)) {}
+
+  double miss_ratio_;
+  dist::Rng miss_rng_;
+  workload::KeyTable* table_ = nullptr;
+  std::vector<std::unique_ptr<cache::LruStore>> stores_;
+};
+
+}  // namespace mclat::cluster::engine

@@ -1,0 +1,120 @@
+// stage_observer.h — the single spelling of every cluster metric name.
+//
+// Before the engine, each simulator re-listed the "stage.*" /
+// "request.sync_*" / "server.<j>.*" / "db.*" registrations; renaming a
+// metric meant a three-file sweep and the spellings had already started to
+// drift (assembly counts under "assembly.*", the event-driven sims under
+// "sim.*"/"db.*"). This header is now the only place those names exist.
+//
+// A StageObserver is a flat struct of resolved handles (nullptr under the
+// null recorder — the obs::Recorder null-object pattern), so the hot path
+// pays one predictable branch per record and resolution happens once at
+// setup. Registration order is irrelevant to output bytes: obs::Registry
+// iterates name-sorted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/recorder.h"
+#include "sim/station.h"
+
+namespace mclat::cluster::engine {
+
+struct StageObserver {
+  // Per-request fork-join decomposition (observed once per joined request).
+  obs::LatencyStat* network = nullptr;  ///< stage.network_us
+  obs::LatencyStat* server = nullptr;   ///< stage.server_us
+  obs::LatencyStat* db = nullptr;       ///< stage.database_us
+  obs::LatencyStat* total = nullptr;    ///< stage.total_us
+  obs::LatencyStat* gap = nullptr;      ///< request.sync_gap_us
+  obs::LatencyStat* slack = nullptr;    ///< request.sync_slack_us
+  // Per-key / per-miss instruments (which names back these differs between
+  // the event-driven sims and post-hoc assembly — see the factories).
+  obs::LatencyStat* db_sojourn = nullptr;  ///< db.sojourn_us (sims only)
+  obs::Counter* keys = nullptr;            ///< sim.keys_completed | assembly.keys
+  obs::Counter* misses = nullptr;          ///< db.misses | assembly.misses
+
+  /// The event-driven simulators' instrument set (EndToEndSim,
+  /// TraceReplaySim): stage decomposition plus the miss-path database
+  /// sojourn and the sim.keys_completed / db.misses throughput counters.
+  [[nodiscard]] static StageObserver for_sim(const obs::Recorder& rec) {
+    StageObserver o = stages(rec);
+    o.db_sojourn = rec.latency("db.sojourn_us");
+    o.keys = rec.counter("sim.keys_completed");
+    o.misses = rec.counter("db.misses");
+    return o;
+  }
+
+  /// The pool-resampling assembly's instrument set (assemble_requests and
+  /// its redundant variant): stage decomposition plus assembly.keys /
+  /// assembly.misses. No db.sojourn_us — assembly draws database latencies
+  /// from a pool recorded by the simulation that filled it.
+  [[nodiscard]] static StageObserver for_assembly(const obs::Recorder& rec) {
+    StageObserver o = stages(rec);
+    o.keys = rec.counter("assembly.keys");
+    o.misses = rec.counter("assembly.misses");
+    return o;
+  }
+
+  /// Records one joined request's decomposition: the four stage maxima,
+  /// the synchronization gap (last-key completion minus the mean per-key
+  /// completion, `sum_total / n_keys`), and the Theorem-1 slack
+  /// T_N + T_S + T_D - T.
+  void observe_request(double network_latency, double max_server,
+                       double max_db, double max_total, double sum_total,
+                       double n_keys) const {
+    obs::observe(network, obs::to_us(network_latency));
+    obs::observe(server, obs::to_us(max_server));
+    obs::observe(db, obs::to_us(max_db));
+    obs::observe(total, obs::to_us(max_total));
+    obs::observe(gap, obs::to_us(max_total - sum_total / n_keys));
+    obs::observe(slack, obs::to_us(network_latency + max_server + max_db -
+                                   max_total));
+  }
+
+  /// Attaches server `j`'s queue-wait/service split ("server.<j>.wait_us" /
+  /// ".service_us") for jobs arriving at or after `from`.
+  static void attach_server_split(const obs::Recorder& rec,
+                                  sim::ServiceStation& station, std::size_t j,
+                                  double from) {
+    const std::string prefix = "server." + std::to_string(j);
+    station.observe_split(rec.latency(prefix + ".wait_us"),
+                          rec.latency(prefix + ".service_us"), from);
+  }
+
+  /// Sets server `j`'s "server.<j>.utilization" gauge.
+  static void record_server_utilization(const obs::Recorder& rec,
+                                        std::size_t j, double value) {
+    obs::set_gauge(rec.gauge("server." + std::to_string(j) + ".utilization"),
+                   value);
+  }
+
+  /// Stand-alone db.* handles for sites that run a database stage without
+  /// the fork-join set (WorkloadDrivenSim's miss-stream block).
+  [[nodiscard]] static obs::LatencyStat* db_sojourn_stat(
+      const obs::Recorder& rec) {
+    return rec.latency("db.sojourn_us");
+  }
+  [[nodiscard]] static obs::Counter* db_miss_counter(
+      const obs::Recorder& rec) {
+    return rec.counter("db.misses");
+  }
+  [[nodiscard]] static obs::Counter* keys_counter(const obs::Recorder& rec) {
+    return rec.counter("sim.keys_completed");
+  }
+
+ private:
+  [[nodiscard]] static StageObserver stages(const obs::Recorder& rec) {
+    StageObserver o;
+    o.network = rec.latency("stage.network_us");
+    o.server = rec.latency("stage.server_us");
+    o.db = rec.latency("stage.database_us");
+    o.total = rec.latency("stage.total_us");
+    o.gap = rec.latency("request.sync_gap_us");
+    o.slack = rec.latency("request.sync_slack_us");
+    return o;
+  }
+};
+
+}  // namespace mclat::cluster::engine

@@ -1,0 +1,28 @@
+// modes.h — the cluster simulators' scenario axes.
+//
+// The engine layer (src/cluster/engine/) composes a simulator from three
+// orthogonal choices, one enum each:
+//
+//   MissMode   — how a key misses: the model's iid Bernoulli(r) coin, or a
+//                real per-server LruStore whose miss ratio *emerges* from
+//                Zipf popularity vs cache capacity (ablation A2).
+//   DbMode     — what the backend database is: the paper's eq.-19
+//                infinite-server approximation, a real M/M/1 queue that
+//                exposes where the approximation breaks, or an M/M/c shard
+//                pool (core::shards_for_offloaded_db's provisioning).
+//   MapperKind — how keys route to servers: target-share Discrete sampling,
+//                a consistent-hash ring, or naive modulo placement.
+//
+// These used to live in end_to_end.h; they moved here so engine components
+// (DbStage, MissPolicy) can name them without depending on a specific
+// simulator's config struct. end_to_end.h re-exports them, so existing
+// `cluster::MissMode::...` spellings are unchanged.
+#pragma once
+
+namespace mclat::cluster {
+
+enum class MissMode { kBernoulli, kRealCache };
+enum class DbMode { kInfiniteServer, kSingleServer, kPooled };
+enum class MapperKind { kWeighted, kRing, kModulo };
+
+}  // namespace mclat::cluster

@@ -2,214 +2,164 @@
 
 #include <algorithm>
 #include <memory>
-#include <string>
 #include <unordered_map>
+#include <utility>
 
-#include "cluster/delay_station.h"
-#include "cluster/job_table.h"
+#include "cluster/engine/arrival.h"
+#include "cluster/engine/db_stage.h"
+#include "cluster/engine/fork_join.h"
+#include "cluster/engine/mapper.h"
+#include "cluster/engine/miss_policy.h"
+#include "cluster/engine/stage_observer.h"
 #include "dist/exponential.h"
-#include "hashing/consistent_hash.h"
 #include "hashing/key_mapper.h"
-#include "hashing/weighted_mapper.h"
 #include "math/numerics.h"
 #include "sim/simulator.h"
 #include "sim/station.h"
 #include "stats/welford.h"
 #include "workload/key_table.h"
+#include "workload/size_model.h"
 
 namespace mclat::cluster {
 
-namespace {
-
-struct RequestState {
-  double start = 0.0;
-  std::uint32_t remaining = 0;
-  std::uint32_t n_keys = 0;
-  double max_server = 0.0;
-  double max_db = 0.0;
-  double max_total = 0.0;
-  double sum_total = 0.0;  ///< Σ per-key completion (sync-gap metric)
-};
-
-struct KeyState {
-  std::uint32_t request_index = 0;  ///< dense index into the request vector
-  double server_sojourn = 0.0;
-  double db_sojourn = 0.0;
-};
-
-std::unique_ptr<hashing::KeyMapper> make_mapper(const TraceReplayConfig& cfg) {
-  const auto shares = cfg.system.shares();
-  switch (cfg.mapper) {
-    case MapperKind::kWeighted:
-      return std::make_unique<hashing::WeightedMapper>(shares);
-    case MapperKind::kRing:
-      return std::make_unique<hashing::ConsistentHashRing>(shares.size());
-    case MapperKind::kModulo:
-      return std::make_unique<hashing::ModuloMapper>(shares.size());
-  }
-  throw std::logic_error("TraceReplaySim: unhandled mapper kind");
+TraceReplaySim::TraceReplaySim(TraceReplayConfig cfg) : cfg_(std::move(cfg)) {
+  math::require(cfg_.measure_from >= 0.0,
+                "TraceReplaySim: measure_from must be >= 0");
+  math::require(cfg_.db_servers >= 1,
+                "TraceReplaySim: db_servers must be >= 1");
 }
-
-}  // namespace
-
-TraceReplaySim::TraceReplaySim(TraceReplayConfig cfg) : cfg_(std::move(cfg)) {}
 
 TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
                                       const workload::KeySpace& keys) {
-  math::require(!trace.empty(), "TraceReplaySim: empty trace");
+  // Fail fast, before any simulation state exists: non-empty trace, every
+  // rank inside the keyspace (a record that exceeds it names itself in the
+  // diagnostic instead of aliasing onto some unrelated hot key).
+  const engine::TraceInjector injector(trace, keys.size());
+
   const core::SystemConfig& sys = cfg_.system;
-  const std::size_t M = sys.shares().size();
+  const std::vector<double> shares = sys.shares();
+  const std::size_t M = shares.size();
   const double net_half = sys.network_latency / 2.0;
+  const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
 
   // Pre-scan: per-request key counts and start times (a general trace may
   // not emit a request's keys at one instant). Trace request ids are
   // arbitrary, so they are interned once here into dense indices; the
-  // replay hot path then works on a flat vector.
+  // joiner's sequential open_request ids then coincide with them.
+  struct PreRequest {
+    double start = 0.0;
+    std::uint32_t n_keys = 0;
+  };
   std::unordered_map<std::uint64_t, std::uint32_t> request_index;
-  std::vector<RequestState> requests;
+  std::vector<PreRequest> pre;
   for (const auto& rec : trace.records()) {
     const auto [it, fresh] = request_index.try_emplace(
-        rec.request_id, static_cast<std::uint32_t>(requests.size()));
-    if (fresh) requests.emplace_back();
-    RequestState& req = requests[it->second];
-    req.remaining += 1;
+        rec.request_id, static_cast<std::uint32_t>(pre.size()));
+    if (fresh) pre.emplace_back();
+    PreRequest& req = pre[it->second];
     req.n_keys += 1;
     req.start = fresh ? rec.time : std::min(req.start, rec.time);
   }
 
   sim::Simulator s;
+  // Split order (the golden contract): misses, then the database stage,
+  // then one stream per server — regardless of mode, so switching the miss
+  // policy or database never shifts another stream.
   dist::Rng master(cfg_.seed);
   dist::Rng miss_rng = master.split();
-  const auto mapper = make_mapper(cfg_);
+  const std::unique_ptr<hashing::KeyMapper> mapper =
+      engine::make_mapper(cfg_.mapper, shares);
 
-  JobTable<KeyState> in_flight;
-
-  stats::Welford w_net;
-  stats::Welford w_server;
-  stats::Welford w_db;
-  stats::Welford w_total;
-  std::uint64_t keys_completed = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t requests_completed = 0;
+  // Key→server routing goes through the memoized table: a trace that
+  // revisits hot ranks pays the string-render + hash exactly once per rank
+  // instead of once per record. Real-cache mode also memoizes refill value
+  // sizes (the fixed Facebook size law).
+  const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
+                                             cfg_.max_value_bytes);
+  workload::KeyTable key_table(keys, *mapper,
+                               real_cache ? &value_sizes : nullptr);
+  engine::MissPolicy miss_policy =
+      real_cache
+          ? engine::MissPolicy::real_cache(
+                key_table, M, cfg_.cache_bytes_per_server, std::move(miss_rng))
+          : engine::MissPolicy::bernoulli(sys.miss_ratio, std::move(miss_rng));
 
   const obs::Recorder& orec = cfg_.recorder;
-  obs::LatencyStat* st_network = orec.latency("stage.network_us");
-  obs::LatencyStat* st_server = orec.latency("stage.server_us");
-  obs::LatencyStat* st_db = orec.latency("stage.database_us");
-  obs::LatencyStat* st_total = orec.latency("stage.total_us");
-  obs::LatencyStat* st_gap = orec.latency("request.sync_gap_us");
-  obs::LatencyStat* st_slack = orec.latency("request.sync_slack_us");
-  obs::LatencyStat* st_db_sojourn = orec.latency("db.sojourn_us");
-  obs::Counter* ct_keys = orec.counter("sim.keys_completed");
-  obs::Counter* ct_misses = orec.counter("db.misses");
+  const engine::StageObserver sobs = engine::StageObserver::for_sim(orec);
+  engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
+                                /*keep_total_samples=*/false,
+                                /*per_key_counter=*/sobs.keys);
+  for (const PreRequest& p : pre) {
+    joiner.open_request(p.start, p.n_keys, p.start >= cfg_.measure_from);
+  }
+  std::uint64_t misses = 0;
 
-  const auto complete_key = [&](std::uint64_t job) {
-    const KeyState ks =
-        in_flight.take(job, "TraceReplaySim: completion for unknown key job");
-    ++keys_completed;
-    obs::bump(ct_keys);
-    math::require(ks.request_index < requests.size(),
-                  "TraceReplaySim: key references an unknown request");
-    RequestState& req = requests[ks.request_index];
-    req.max_server = std::max(req.max_server, ks.server_sojourn);
-    req.max_db = std::max(req.max_db, ks.db_sojourn);
-    const double total = s.now() - req.start;
-    req.max_total = std::max(req.max_total, total);
-    req.sum_total += total;
-    if (--req.remaining == 0) {
-      ++requests_completed;
-      w_net.add(sys.network_latency);
-      w_server.add(req.max_server);
-      w_db.add(req.max_db);
-      w_total.add(req.max_total);
-      obs::observe(st_network, obs::to_us(sys.network_latency));
-      obs::observe(st_server, obs::to_us(req.max_server));
-      obs::observe(st_db, obs::to_us(req.max_db));
-      obs::observe(st_total, obs::to_us(req.max_total));
-      obs::observe(st_gap,
-                   obs::to_us(req.max_total -
-                              req.sum_total /
-                                  static_cast<double>(req.n_keys)));
-      obs::observe(st_slack,
-                   obs::to_us(sys.network_latency + req.max_server +
-                              req.max_db - req.max_total));
-    }
-  };
-
-  DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
-                  master.split(), [&](const sim::Departure& d) {
-                    in_flight
-                        .at(d.job_id,
-                            "TraceReplaySim: database departure for "
-                            "unknown key")
-                        .db_sojourn = d.sojourn_time();
-                    obs::observe(st_db_sojourn, obs::to_us(d.sojourn_time()));
-                    s.schedule_in(net_half,
-                                  [&, job = d.job_id] { complete_key(job); });
-                  });
+  engine::DbStage db(
+      s, cfg_.db_mode, cfg_.db_servers, sys.db_service_rate, master.split(),
+      [&](const sim::Departure& d) {
+        engine::ForkJoinJoiner::Key& ctx = joiner.key(
+            d.job_id, "TraceReplaySim: database departure for unknown key");
+        ctx.db_sojourn = d.sojourn_time();
+        obs::observe(sobs.db_sojourn, obs::to_us(d.sojourn_time()));
+        miss_policy.refill(ctx.server, ctx.key_rank, s.now());
+        s.schedule_in(net_half,
+                      [&, job = d.job_id] { joiner.complete_key(job, s.now()); });
+      });
 
   std::vector<std::unique_ptr<sim::ServiceStation>> servers;
   servers.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     servers.push_back(std::make_unique<sim::ServiceStation>(
         s, std::make_unique<dist::Exponential>(sys.rate_of(j)),
-        master.split(), [&](const sim::Departure& d) {
-          in_flight
-              .at(d.job_id,
-                  "TraceReplaySim: server departure for unknown key")
-              .server_sojourn = d.sojourn_time();
-          const bool miss =
-              sys.miss_ratio > 0.0 && miss_rng.bernoulli(sys.miss_ratio);
+        master.split(), [&, j](const sim::Departure& d) {
+          engine::ForkJoinJoiner::Key& ctx = joiner.key(
+              d.job_id, "TraceReplaySim: server departure for unknown key");
+          ctx.server_sojourn = d.sojourn_time();
+          const bool miss = miss_policy.is_miss(j, ctx.key_rank, s.now());
           if (miss) {
             ++misses;
-            obs::bump(ct_misses);
+            obs::bump(sobs.misses);
             db.submit(d.job_id);
           } else {
-            s.schedule_in(net_half,
-                          [&, job = d.job_id] { complete_key(job); });
+            s.schedule_in(net_half, [&, job = d.job_id] {
+              joiner.complete_key(job, s.now());
+            });
           }
         }));
-    servers.back()->observe_split(
-        orec.latency("server." + std::to_string(j) + ".wait_us"),
-        orec.latency("server." + std::to_string(j) + ".service_us"));
+    engine::StageObserver::attach_server_split(orec, *servers.back(), j,
+                                               cfg_.measure_from);
   }
 
-  // Inject the trace. Records must be time-sorted (sort_by_time()).
-  // Key→server routing goes through the memoized table: a trace that
-  // revisits hot ranks pays the string-render + hash exactly once per rank
-  // instead of once per record.
-  workload::KeyTable key_table(keys, *mapper);
-  double prev_time = 0.0;
-  for (const auto& rec : trace.records()) {
-    math::require(rec.time >= prev_time,
-                  "TraceReplaySim: trace must be sorted by time");
-    prev_time = rec.time;
-    const std::uint64_t job =
-        in_flight.insert(KeyState{request_index.at(rec.request_id), 0.0, 0.0});
-    const std::size_t server = key_table.server(rec.key_rank % keys.size());
+  // Inject the trace: one in-flight key per record, arriving at its server
+  // half an RTT after its timestamp. The injector re-checks time ordering
+  // record by record.
+  injector.start([&](const workload::TraceRecord& rec) {
+    const std::size_t server = key_table.server(rec.key_rank);
+    const std::uint64_t job = joiner.open_key(request_index.at(rec.request_id),
+                                              rec.key_rank, server);
     s.schedule_at(rec.time + net_half,
                   [&, job, server] { servers[server]->arrive(job); });
-  }
+  });
   s.run();
 
   TraceReplayResult res;
-  res.network = stats::mean_ci(w_net);
-  res.server = stats::mean_ci(w_server);
-  res.database = stats::mean_ci(w_db);
-  res.total = stats::mean_ci(w_total);
-  res.requests_completed = requests_completed;
-  res.keys_completed = keys_completed;
+  res.network = stats::mean_ci(joiner.network_stats());
+  res.server = stats::mean_ci(joiner.server_stats());
+  res.database = stats::mean_ci(joiner.database_stats());
+  res.total = stats::mean_ci(joiner.total_stats());
+  res.requests_completed = joiner.requests_joined();
+  res.measured_requests = joiner.measured_requests();
+  res.keys_completed = joiner.keys_completed();
   res.measured_miss_ratio =
-      keys_completed == 0
-          ? 0.0
-          : static_cast<double>(misses) / static_cast<double>(keys_completed);
+      res.keys_completed == 0 ? 0.0
+                              : static_cast<double>(misses) /
+                                    static_cast<double>(res.keys_completed);
   res.horizon = s.now();
   res.server_utilization.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     res.server_utilization.push_back(servers[j]->utilization(s.now()));
-    obs::set_gauge(
-        orec.gauge("server." + std::to_string(j) + ".utilization"),
-        res.server_utilization.back());
+    engine::StageObserver::record_server_utilization(
+        orec, j, res.server_utilization.back());
   }
   return res;
 }

@@ -8,12 +8,18 @@
 // driving the cluster with *real* captured traces instead of the
 // generative models (the paper's §5 workload is itself a statistical model
 // of such a trace).
+//
+// Built on the engine layer (src/cluster/engine/), the replay shares the
+// end-to-end simulator's miss and database machinery: misses can be the
+// Bernoulli coin or a real per-server LruStore warmed by the trace itself
+// (kRealCache), and the database can be the infinite-server approximation,
+// a single M/M/1 queue, or an M/M/c shard pool.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "cluster/end_to_end.h"
+#include "cluster/modes.h"
 #include "core/config.h"
 #include "obs/recorder.h"
 #include "stats/summary.h"
@@ -25,6 +31,26 @@ namespace mclat::cluster {
 struct TraceReplayConfig {
   core::SystemConfig system;  ///< rates, miss ratio, database, network
   MapperKind mapper = MapperKind::kRing;
+  /// kBernoulli draws iid misses at system.miss_ratio; kRealCache runs one
+  /// LruStore per server, looked up and refilled by the replay itself, so
+  /// the miss ratio *emerges* from the trace's popularity profile vs cache
+  /// capacity.
+  MissMode miss_mode = MissMode::kBernoulli;
+  DbMode db_mode = DbMode::kInfiniteServer;
+  /// Shards/threads of the kPooled database (one shared M/M/c queue).
+  unsigned db_servers = 4;
+
+  // --- real-cache mode parameters ---------------------------------------
+  std::size_t cache_bytes_per_server = 8u << 20;
+  std::uint32_t max_value_bytes = 4096;
+
+  /// Requests starting at or after this virtual time contribute to the
+  /// latency statistics, the per-request stage.* observations, and the
+  /// per-server wait/service splits. Earlier requests still replay in full
+  /// — warming queues and (in kRealCache mode) caches — but are not
+  /// measured. 0 measures the whole trace.
+  double measure_from = 0.0;
+
   std::uint64_t seed = 1;
   /// Per-stage observability (null by default): per-server queue-wait /
   /// service splits, per-request stage maxima, sync gap, miss-path T_D.
@@ -36,7 +62,10 @@ struct TraceReplayResult {
   stats::MeanCI server;
   stats::MeanCI database;
   stats::MeanCI total;
-  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_completed = 0;  ///< every request in the trace
+  /// Requests that started at or after measure_from (the statistics above
+  /// average exactly these).
+  std::uint64_t measured_requests = 0;
   std::uint64_t keys_completed = 0;
   double measured_miss_ratio = 0.0;
   std::vector<double> server_utilization;
@@ -45,10 +74,15 @@ struct TraceReplayResult {
 
 class TraceReplaySim {
  public:
+  /// Validates the configuration (non-negative measure_from, at least one
+  /// database shard) — a bad config throws here, not mid-replay.
   explicit TraceReplaySim(TraceReplayConfig cfg);
 
   /// Replays the (time-sorted) trace to completion. `keys` renders ranks
-  /// into key strings for hashing. Every request in the trace is measured.
+  /// into key strings for hashing; every record's rank must lie inside it
+  /// (validated up front, naming the offending record — ranks are never
+  /// silently wrapped). Requests starting at or after measure_from are
+  /// measured; with the default of 0, all of them.
   [[nodiscard]] TraceReplayResult run(const workload::Trace& trace,
                                       const workload::KeySpace& keys);
 

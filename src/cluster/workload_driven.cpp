@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <string>
 
-#include "cluster/delay_station.h"
+#include "cluster/engine/db_stage.h"
+#include "cluster/engine/stage_observer.h"
 #include "dist/discrete.h"
-#include "exec/seed_stream.h"
 #include "dist/exponential.h"
+#include "exec/seed_stream.h"
 #include "math/numerics.h"
 #include "sim/source.h"
 #include "sim/station.h"
@@ -85,10 +85,8 @@ MeasurementPools WorkloadDrivenSim::run() {
             pool.add(d.sojourn_time(), pool_rng);
           }
         });
-    const std::string prefix = "server." + std::to_string(j);
-    station.observe_split(cfg_.recorder.latency(prefix + ".wait_us"),
-                          cfg_.recorder.latency(prefix + ".service_us"),
-                          measure_from);
+    engine::StageObserver::attach_server_split(cfg_.recorder, station, j,
+                                               measure_from);
     sim::BatchSource source(
         s, spec.make_gap(), spec.make_batch(), source_rng,
         [&](std::uint64_t batch) {
@@ -101,9 +99,9 @@ MeasurementPools WorkloadDrivenSim::run() {
     pools.server_sojourns[j] = pool.take();
     pools.server_utilization[j] = station.utilization(s.now());
     pools.total_keys += station.completed();
-    obs::set_gauge(cfg_.recorder.gauge(prefix + ".utilization"),
-                   pools.server_utilization[j]);
-    obs::bump(cfg_.recorder.counter("sim.keys_completed"),
+    engine::StageObserver::record_server_utilization(
+        cfg_.recorder, j, pools.server_utilization[j]);
+    obs::bump(engine::StageObserver::keys_counter(cfg_.recorder),
               station.completed());
   }
 
@@ -116,25 +114,22 @@ MeasurementPools WorkloadDrivenSim::run() {
     dist::Rng arr_rng = master.split();
     dist::Rng pool_rng = master.split();
     stats::Reservoir pool(cfg_.pool_cap);
-    obs::LatencyStat* db_stat = cfg_.recorder.latency("db.sojourn_us");
-    obs::Counter* db_misses = cfg_.recorder.counter("db.misses");
-    DelayStation db(s, std::make_unique<dist::Exponential>(sys.db_service_rate),
-                    db_rng, [&](const sim::Departure& d) {
-                      if (d.arrival >= cfg_.warmup_time) {
-                        pool.add(d.sojourn_time(), pool_rng);
-                        obs::observe(db_stat, obs::to_us(d.sojourn_time()));
-                        obs::bump(db_misses);
-                      }
-                    });
-    // Poisson miss arrivals. Rescheduling goes through a one-pointer
-    // trampoline so the calendar stores 8 bytes inline instead of a fresh
-    // std::function closure per miss.
+    obs::LatencyStat* db_stat =
+        engine::StageObserver::db_sojourn_stat(cfg_.recorder);
+    obs::Counter* db_misses =
+        engine::StageObserver::db_miss_counter(cfg_.recorder);
+    engine::DbStage db(s, DbMode::kInfiniteServer, 1, sys.db_service_rate,
+                       std::move(db_rng), [&](const sim::Departure& d) {
+                         if (d.arrival >= cfg_.warmup_time) {
+                           pool.add(d.sojourn_time(), pool_rng);
+                           obs::observe(db_stat, obs::to_us(d.sojourn_time()));
+                           obs::bump(db_misses);
+                         }
+                       });
     std::uint64_t job = 0;
-    std::function<void()> arrival = [&] {
-      db.submit(job++);
-      s.schedule_in(arr_rng.exponential(miss_rate), [&arrival] { arrival(); });
-    };
-    s.schedule_in(arr_rng.exponential(miss_rate), [&arrival] { arrival(); });
+    sim::PoissonSource misses(s, miss_rate, std::move(arr_rng),
+                              [&] { db.submit(job++); });
+    misses.start();
     s.run_until(cfg_.warmup_time + cfg_.measure_time);
     pools.db_sojourns = pool.take();
   }
@@ -165,14 +160,8 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
   out.database.reserve(requests);
   out.total.reserve(requests);
 
-  obs::LatencyStat* st_network = recorder.latency("stage.network_us");
-  obs::LatencyStat* st_server = recorder.latency("stage.server_us");
-  obs::LatencyStat* st_db = recorder.latency("stage.database_us");
-  obs::LatencyStat* st_total = recorder.latency("stage.total_us");
-  obs::LatencyStat* st_gap = recorder.latency("request.sync_gap_us");
-  obs::LatencyStat* st_slack = recorder.latency("request.sync_slack_us");
-  obs::Counter* ct_keys = recorder.counter("assembly.keys");
-  obs::Counter* ct_misses = recorder.counter("assembly.misses");
+  const engine::StageObserver sobs =
+      engine::StageObserver::for_assembly(recorder);
 
   for (std::uint64_t i = 0; i < requests; ++i) {
     double max_server = 0.0;
@@ -186,7 +175,7 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
       double d = 0.0;
       if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
         d = db_pool.data[rng.uniform_index(db_pool.size)];
-        obs::bump(ct_misses);
+        obs::bump(sobs.misses);
       }
       const double key_total = system.network_latency + s + d;
       max_server = std::max(max_server, s);
@@ -198,17 +187,9 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
     out.server.push_back(max_server);
     out.database.push_back(max_db);
     out.total.push_back(max_total);
-    obs::observe(st_network, obs::to_us(system.network_latency));
-    obs::observe(st_server, obs::to_us(max_server));
-    obs::observe(st_db, obs::to_us(max_db));
-    obs::observe(st_total, obs::to_us(max_total));
-    obs::observe(st_gap,
-                 obs::to_us(max_total -
-                            sum_total / static_cast<double>(n_keys)));
-    obs::observe(st_slack,
-                 obs::to_us(system.network_latency + max_server + max_db -
-                            max_total));
-    obs::bump(ct_keys, n_keys);
+    sobs.observe_request(system.network_latency, max_server, max_db, max_total,
+                         sum_total, static_cast<double>(n_keys));
+    obs::bump(sobs.keys, n_keys);
   }
   return out;
 }
@@ -216,7 +197,7 @@ AssembledRequests assemble_requests(const MeasurementPools& pools,
 AssembledRequests assemble_requests_redundant(
     const MeasurementPools& pools, const core::SystemConfig& system,
     std::uint64_t requests, std::uint64_t n_keys, unsigned redundancy,
-    dist::Rng& rng) {
+    dist::Rng& rng, obs::Recorder recorder) {
   math::require(redundancy >= 1,
                 "assemble_requests_redundant: redundancy must be >= 1");
   math::require(requests > 0 && n_keys > 0,
@@ -232,10 +213,15 @@ AssembledRequests assemble_requests_redundant(
   out.server.reserve(requests);
   out.database.reserve(requests);
   out.total.reserve(requests);
+
+  const engine::StageObserver sobs =
+      engine::StageObserver::for_assembly(recorder);
+
   for (std::uint64_t i = 0; i < requests; ++i) {
     double max_server = 0.0;
     double max_db = 0.0;
     double max_total = 0.0;
+    double sum_total = 0.0;
     for (std::uint64_t kk = 0; kk < n_keys; ++kk) {
       double s = std::numeric_limits<double>::infinity();
       for (unsigned rdx = 0; rdx < redundancy; ++rdx) {
@@ -248,15 +234,21 @@ AssembledRequests assemble_requests_redundant(
       double dd = 0.0;
       if (system.miss_ratio > 0.0 && rng.bernoulli(system.miss_ratio)) {
         dd = db_pool.data[rng.uniform_index(db_pool.size)];
+        obs::bump(sobs.misses);
       }
+      const double key_total = system.network_latency + s + dd;
       max_server = std::max(max_server, s);
       max_db = std::max(max_db, dd);
-      max_total = std::max(max_total, system.network_latency + s + dd);
+      max_total = std::max(max_total, key_total);
+      sum_total += key_total;
     }
     out.network.push_back(system.network_latency);
     out.server.push_back(max_server);
     out.database.push_back(max_db);
     out.total.push_back(max_total);
+    sobs.observe_request(system.network_latency, max_server, max_db, max_total,
+                         sum_total, static_cast<double>(n_keys));
+    obs::bump(sobs.keys, n_keys);
   }
   return out;
 }

@@ -105,11 +105,13 @@ class WorkloadDrivenSim {
 /// minimum — the fastest replica wins. The pools must come from a
 /// simulation whose per-server key rate was already inflated by d. Misses
 /// stay per-key (replicas cache the same keys, so a missing key misses
-/// everywhere and is fetched once).
+/// everywhere and is fetched once). A non-null recorder captures the same
+/// stage decomposition and assembly counters as assemble_requests;
+/// recording draws no random numbers.
 [[nodiscard]] AssembledRequests assemble_requests_redundant(
     const MeasurementPools& pools, const core::SystemConfig& system,
     std::uint64_t requests, std::uint64_t n_keys, unsigned redundancy,
-    dist::Rng& rng);
+    dist::Rng& rng, obs::Recorder recorder = {});
 
 /// Convenience: simulate + assemble with the config's N.
 [[nodiscard]] AssembledRequests run_workload_experiment(

@@ -44,4 +44,28 @@ void BatchSource::schedule_next() {
   });
 }
 
+PoissonSource::PoissonSource(Simulator& sim, double rate, dist::Rng rng,
+                             Sink sink)
+    : sim_(sim), rate_(rate), rng_(rng), sink_(std::move(sink)) {
+  math::require(rate_ > 0.0, "PoissonSource: rate must be > 0");
+  math::require(static_cast<bool>(sink_), "PoissonSource: null sink");
+}
+
+void PoissonSource::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonSource::fire() {
+  if (!running_) return;
+  ++emitted_;
+  sink_();
+  schedule_next();
+}
+
+void PoissonSource::schedule_next() {
+  sim_.schedule_in(rng_.exponential(rate_), [this] { fire(); });
+}
+
 }  // namespace mclat::sim

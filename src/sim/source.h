@@ -64,4 +64,49 @@ class BatchSource {
   std::uint64_t keys_ = 0;
 };
 
+/// Open-loop Poisson arrival source: `sink()` fires once per arrival, with
+/// iid exponential(rate) gaps. This is the cluster simulators' request
+/// generator and miss stream, extracted so every open-loop process draws
+/// and reschedules identically. Rescheduling goes through a one-pointer
+/// trampoline (`[this]`), so the calendar stores 8 bytes inline instead of
+/// a fresh closure copy per arrival.
+///
+/// stop() differs from BatchSource::stop() deliberately: the pending
+/// arrival is NOT cancelled — it fires and no-ops. The end-to-end
+/// simulator drains its calendar after the horizon and counts executed
+/// events; cancelling would change that count (and the goldens pinned to
+/// it).
+class PoissonSource {
+ public:
+  using Sink = std::function<void()>;
+
+  PoissonSource(Simulator& sim, double rate, dist::Rng rng, Sink sink);
+
+  PoissonSource(const PoissonSource&) = delete;
+  PoissonSource& operator=(const PoissonSource&) = delete;
+
+  /// Begins emitting: the first arrival lands one exponential gap after
+  /// start(). The gap is drawn at schedule time (arrival N's sink runs
+  /// before arrival N+1's gap draw — the draw order the goldens pin).
+  void start();
+
+  /// Stops emitting. The already-scheduled arrival still fires (and
+  /// returns without calling the sink or drawing).
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  void fire();
+  void schedule_next();
+
+  Simulator& sim_;
+  double rate_;
+  dist::Rng rng_;
+  Sink sink_;
+  bool running_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
 }  // namespace mclat::sim

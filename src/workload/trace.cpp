@@ -1,5 +1,7 @@
 #include "workload/trace.h"
 
+#include "math/numerics.h"
+
 #include <algorithm>
 #include <istream>
 #include <limits>
@@ -63,6 +65,20 @@ Trace Trace::load_csv(std::istream& in) {
     records.push_back(r);
   }
   return Trace(std::move(records));
+}
+
+void Trace::require_ranks_below(std::uint64_t limit) const {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const TraceRecord& r = records_[i];
+    if (r.key_rank >= limit) {
+      math::require(false, "Trace: record " + std::to_string(i) + " (time " +
+                               std::to_string(r.time) + ", request " +
+                               std::to_string(r.request_id) + ") has key_rank " +
+                               std::to_string(r.key_rank) +
+                               " outside the keyspace of " +
+                               std::to_string(limit) + " keys");
+    }
+  }
 }
 
 void Trace::sort_by_time() {

@@ -49,6 +49,11 @@ class Trace {
   /// Sorts records by time (stable), as replay requires.
   void sort_by_time();
 
+  /// Throws std::invalid_argument naming the first record whose key_rank is
+  /// >= `limit` (the keyspace size). Consumers call this up front instead of
+  /// silently aliasing out-of-range ranks with `% limit`.
+  void require_ranks_below(std::uint64_t limit) const;
+
  private:
   std::vector<TraceRecord> records_;
 };

@@ -1,0 +1,184 @@
+// Engine-vs-twin equivalence: the engine-backed simulators must reproduce
+// the pre-refactor implementations *sample for sample* — same RNG streams,
+// same event schedule, same floating-point folds — for every
+// MissMode × DbMode × MapperKind combination. The twins in
+// bench/legacy_cluster.h are the verbatim pre-engine run() bodies; any
+// divergence here means the refactor changed behavior, not just structure.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/legacy_cluster.h"
+#include "cluster/end_to_end.h"
+#include "cluster/trace_replay.h"
+#include "cluster/workload_driven.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "workload/request_stream.h"
+
+namespace mclat {
+namespace {
+
+using cluster::DbMode;
+using cluster::MapperKind;
+using cluster::MissMode;
+
+cluster::EndToEndConfig e2e_config(MissMode miss, DbMode db,
+                                   MapperKind mapper) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * 10'000.0;
+  cfg.system.keys_per_request = 5;
+  cfg.system.miss_ratio = 0.05;
+  cfg.miss_mode = miss;
+  cfg.db_mode = db;
+  cfg.mapper = mapper;
+  cfg.db_servers = 3;
+  cfg.keyspace_size = 10'000;
+  cfg.cache_bytes_per_server = 1u << 20;
+  cfg.warmup_time = 0.1;
+  cfg.measure_time = 0.4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+void expect_identical(const cluster::EndToEndResult& a,
+                      const cluster::EndToEndResult& b) {
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.keys_completed, b.keys_completed);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.network.mean, b.network.mean);
+  EXPECT_DOUBLE_EQ(a.server.mean, b.server.mean);
+  EXPECT_DOUBLE_EQ(a.database.mean, b.database.mean);
+  EXPECT_DOUBLE_EQ(a.total.mean, b.total.mean);
+  EXPECT_DOUBLE_EQ(a.total.halfwidth, b.total.halfwidth);
+  EXPECT_DOUBLE_EQ(a.measured_miss_ratio, b.measured_miss_ratio);
+  EXPECT_TRUE(a.server_utilization == b.server_utilization);
+  // Exact vector equality: every per-request T(N) sample, bit for bit.
+  EXPECT_TRUE(a.total_samples == b.total_samples);
+}
+
+TEST(EngineEquivalence, EndToEndMatchesTwinForEveryModeCombo) {
+  for (const MissMode miss : {MissMode::kBernoulli, MissMode::kRealCache}) {
+    for (const DbMode db :
+         {DbMode::kInfiniteServer, DbMode::kSingleServer, DbMode::kPooled}) {
+      for (const MapperKind mapper :
+           {MapperKind::kWeighted, MapperKind::kRing, MapperKind::kModulo}) {
+        SCOPED_TRACE("miss=" + std::to_string(static_cast<int>(miss)) +
+                     " db=" + std::to_string(static_cast<int>(db)) +
+                     " mapper=" + std::to_string(static_cast<int>(mapper)));
+        const cluster::EndToEndConfig cfg = e2e_config(miss, db, mapper);
+        const cluster::EndToEndResult engine =
+            cluster::EndToEndSim(cfg).run();
+        const cluster::EndToEndResult twin =
+            bench::legacy_cluster::run_end_to_end(cfg);
+        expect_identical(engine, twin);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, EndToEndObservabilityMatchesTwin) {
+  obs::Registry engine_reg;
+  obs::Registry twin_reg;
+  cluster::EndToEndConfig cfg =
+      e2e_config(MissMode::kBernoulli, DbMode::kSingleServer,
+                 MapperKind::kWeighted);
+  cfg.recorder = obs::Recorder(engine_reg);
+  (void)cluster::EndToEndSim(cfg).run();
+  cfg.recorder = obs::Recorder(twin_reg);
+  (void)bench::legacy_cluster::run_end_to_end(cfg);
+
+  for (const char* name :
+       {"stage.network_us", "stage.server_us", "stage.database_us",
+        "stage.total_us", "request.sync_gap_us", "request.sync_slack_us",
+        "db.sojourn_us", "server.0.wait_us", "server.0.service_us",
+        "server.3.wait_us", "server.3.service_us"}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(engine_reg.latency(name).count(), twin_reg.latency(name).count());
+    EXPECT_DOUBLE_EQ(engine_reg.latency(name).mean(),
+                     twin_reg.latency(name).mean());
+  }
+  EXPECT_EQ(engine_reg.counter("sim.keys_completed").value(),
+            twin_reg.counter("sim.keys_completed").value());
+  EXPECT_EQ(engine_reg.counter("db.misses").value(),
+            twin_reg.counter("db.misses").value());
+  for (int j = 0; j < 4; ++j) {
+    const std::string g = "server." + std::to_string(j) + ".utilization";
+    EXPECT_DOUBLE_EQ(engine_reg.gauge(g).value(), twin_reg.gauge(g).value());
+  }
+}
+
+TEST(EngineEquivalence, TraceReplayMatchesTwinForMapperAndMissCombos) {
+  workload::RequestStreamConfig sc;
+  sc.request_rate = 2000.0;
+  sc.keys_per_request = 10;
+  sc.keyspace_size = 20'000;
+  sc.zipf_exponent = 0.9;
+  workload::RequestStream stream(sc, dist::Rng(3));
+  const workload::Trace trace = stream.generate_trace(400);
+
+  for (const MapperKind mapper :
+       {MapperKind::kWeighted, MapperKind::kRing, MapperKind::kModulo}) {
+    for (const double miss_ratio : {0.0, 0.05}) {
+      SCOPED_TRACE("mapper=" + std::to_string(static_cast<int>(mapper)) +
+                   " r=" + std::to_string(miss_ratio));
+      cluster::TraceReplayConfig cfg;
+      cfg.system = core::SystemConfig::facebook();
+      cfg.system.keys_per_request = 10;
+      cfg.system.miss_ratio = miss_ratio;
+      cfg.mapper = mapper;
+      cfg.seed = 9;
+      const cluster::TraceReplayResult engine =
+          cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+      const cluster::TraceReplayResult twin =
+          bench::legacy_cluster::run_trace_replay(cfg, trace,
+                                                  stream.keyspace());
+      EXPECT_EQ(engine.requests_completed, twin.requests_completed);
+      EXPECT_EQ(engine.keys_completed, twin.keys_completed);
+      EXPECT_DOUBLE_EQ(engine.network.mean, twin.network.mean);
+      EXPECT_DOUBLE_EQ(engine.server.mean, twin.server.mean);
+      EXPECT_DOUBLE_EQ(engine.database.mean, twin.database.mean);
+      EXPECT_DOUBLE_EQ(engine.total.mean, twin.total.mean);
+      EXPECT_DOUBLE_EQ(engine.total.halfwidth, twin.total.halfwidth);
+      EXPECT_DOUBLE_EQ(engine.measured_miss_ratio, twin.measured_miss_ratio);
+      EXPECT_DOUBLE_EQ(engine.horizon, twin.horizon);
+      EXPECT_TRUE(engine.server_utilization == twin.server_utilization);
+      // With the default measure_from = 0 every request is measured.
+      EXPECT_EQ(engine.measured_requests, engine.requests_completed);
+    }
+  }
+}
+
+TEST(EngineEquivalence, WorkloadDrivenPoolsMatchTwin) {
+  cluster::WorkloadDrivenConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.miss_ratio = 0.03;
+  cfg.warmup_time = 0.2;
+  cfg.measure_time = 1.0;
+  cfg.seed = 5;
+  cluster::MeasurementPools engine = cluster::WorkloadDrivenSim(cfg).run();
+  cluster::MeasurementPools twin =
+      bench::legacy_cluster::run_workload_driven(cfg);
+  EXPECT_EQ(engine.total_keys, twin.total_keys);
+  EXPECT_DOUBLE_EQ(engine.measured_miss_rate_hz, twin.measured_miss_rate_hz);
+  EXPECT_TRUE(engine.server_utilization == twin.server_utilization);
+  // Exact pool equality, sample for sample.
+  EXPECT_TRUE(engine.server_sojourns == twin.server_sojourns);
+  EXPECT_TRUE(engine.db_sojourns == twin.db_sojourns);
+
+  // And identical pools assemble into identical requests.
+  dist::Rng rng_a(11);
+  dist::Rng rng_b(11);
+  const cluster::AssembledRequests a =
+      cluster::assemble_requests(engine, cfg.system, 300, 8, rng_a);
+  const cluster::AssembledRequests b =
+      cluster::assemble_requests(twin, cfg.system, 300, 8, rng_b);
+  EXPECT_TRUE(a.total == b.total);
+  EXPECT_TRUE(a.server == b.server);
+  EXPECT_TRUE(a.database == b.database);
+}
+
+}  // namespace
+}  // namespace mclat

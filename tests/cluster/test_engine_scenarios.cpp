@@ -1,0 +1,215 @@
+// The scenarios the engine refactor unlocked: real-cache trace replay,
+// trace-replay warmup windows (measure_from), event-driven redundant
+// fan-out, and the recorded redundant assembly.
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "cluster/trace_replay.h"
+#include "cluster/workload_driven.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "workload/request_stream.h"
+
+namespace mclat {
+namespace {
+
+workload::RequestStreamConfig stream_config() {
+  workload::RequestStreamConfig c;
+  c.request_rate = 2000.0;
+  c.keys_per_request = 10;
+  c.keyspace_size = 5'000;
+  c.zipf_exponent = 1.0;
+  return c;
+}
+
+cluster::TraceReplayConfig replay_config() {
+  cluster::TraceReplayConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.keys_per_request = 10;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(EngineScenarios, RealCacheTraceReplayProducesEmergentMissRatio) {
+  workload::RequestStream stream(stream_config(), dist::Rng(3));
+  const workload::Trace trace = stream.generate_trace(1500);
+  cluster::TraceReplayConfig cfg = replay_config();
+  cfg.miss_mode = cluster::MissMode::kRealCache;
+  cfg.cache_bytes_per_server = 256u << 10;
+  // Bernoulli parameter must be ignored in real-cache mode.
+  cfg.system.miss_ratio = 0.9;
+  const cluster::TraceReplayResult r =
+      cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+  EXPECT_GT(r.measured_miss_ratio, 0.0);
+  EXPECT_LT(r.measured_miss_ratio, 0.8);  // the Zipf head stays cached
+  EXPECT_GT(r.database.mean, 0.0);
+  // Deterministic: replaying the same trace reproduces it exactly.
+  const cluster::TraceReplayResult again =
+      cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+  EXPECT_DOUBLE_EQ(r.total.mean, again.total.mean);
+  EXPECT_DOUBLE_EQ(r.measured_miss_ratio, again.measured_miss_ratio);
+}
+
+TEST(EngineScenarios, BiggerCacheMissesLessInTraceReplay) {
+  workload::RequestStream stream(stream_config(), dist::Rng(4));
+  const workload::Trace trace = stream.generate_trace(1500);
+  cluster::TraceReplayConfig cfg = replay_config();
+  cfg.miss_mode = cluster::MissMode::kRealCache;
+  cfg.cache_bytes_per_server = 64u << 10;
+  const double small = cluster::TraceReplaySim(cfg)
+                           .run(trace, stream.keyspace())
+                           .measured_miss_ratio;
+  cfg.cache_bytes_per_server = 4u << 20;
+  const double large = cluster::TraceReplaySim(cfg)
+                           .run(trace, stream.keyspace())
+                           .measured_miss_ratio;
+  EXPECT_LT(large, small);
+}
+
+TEST(EngineScenarios, TraceReplayMeasureFromGatesStatistics) {
+  workload::RequestStream stream(stream_config(), dist::Rng(5));
+  const workload::Trace trace = stream.generate_trace(800);
+  cluster::TraceReplayConfig cfg = replay_config();
+  cfg.system.miss_ratio = 0.02;
+
+  obs::Registry full_reg;
+  cfg.recorder = obs::Recorder(full_reg);
+  const cluster::TraceReplayResult full =
+      cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+
+  cfg.measure_from = trace.duration() / 2.0;
+  obs::Registry half_reg;
+  cfg.recorder = obs::Recorder(half_reg);
+  const cluster::TraceReplayResult half =
+      cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+
+  // Every request still replays; only the statistics window shrinks.
+  EXPECT_EQ(half.requests_completed, full.requests_completed);
+  EXPECT_EQ(half.keys_completed, full.keys_completed);
+  EXPECT_GT(half.measured_requests, 0u);
+  EXPECT_LT(half.measured_requests, half.requests_completed);
+  EXPECT_EQ(half.total.count, half.measured_requests);
+  // stage.* observations and the per-server splits honor the same cut.
+  EXPECT_EQ(half_reg.latency("stage.total_us").count(),
+            half.measured_requests);
+  EXPECT_LT(half_reg.latency("server.0.wait_us").count(),
+            full_reg.latency("server.0.wait_us").count());
+}
+
+TEST(EngineScenarios, TraceReplayValidatesConfig) {
+  cluster::TraceReplayConfig cfg = replay_config();
+  cfg.measure_from = -1.0;
+  EXPECT_THROW(cluster::TraceReplaySim s(cfg), std::invalid_argument);
+  cfg = replay_config();
+  cfg.db_servers = 0;
+  EXPECT_THROW(cluster::TraceReplaySim s(cfg), std::invalid_argument);
+}
+
+TEST(EngineScenarios, TraceReplayRejectsOutOfRangeRanksByName) {
+  const workload::KeySpace ks(100, 1.0);
+  workload::Trace trace;
+  trace.append({0.0, 5, 0});
+  trace.append({0.1, 100, 1});  // rank == keyspace size: out of range
+  cluster::TraceReplaySim sim(replay_config());
+  try {
+    (void)sim.run(trace, ks);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("record 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+cluster::EndToEndConfig fanout_config() {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  // Low utilization (~0.1) and single-key requests: replicas then compete
+  // only with other requests, so the min-of-d gain dominates the
+  // self-queueing cost and the server stage must get faster. (At N = 5 keys
+  // over 4 servers the request's own 2N-replica burst floods the cluster
+  // and replication loses — the effect pool resampling cannot show.)
+  cfg.system.total_key_rate = 4.0 * 8'000.0;
+  cfg.system.keys_per_request = 1;
+  cfg.system.miss_ratio = 0.02;
+  cfg.warmup_time = 0.1;
+  cfg.measure_time = 0.5;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(EngineScenarios, RedundancyOneIsThePlainForkJoinPath) {
+  const cluster::EndToEndResult plain =
+      cluster::EndToEndSim(fanout_config()).run();
+  cluster::EndToEndConfig cfg = fanout_config();
+  cfg.redundancy = 1;
+  const cluster::EndToEndResult one = cluster::EndToEndSim(cfg).run();
+  EXPECT_EQ(plain.events_executed, one.events_executed);
+  EXPECT_DOUBLE_EQ(plain.total.mean, one.total.mean);
+  EXPECT_TRUE(plain.total_samples == one.total_samples);
+}
+
+TEST(EngineScenarios, RedundantFanoutTradesServerLatencyForLoad) {
+  const cluster::EndToEndResult d1 =
+      cluster::EndToEndSim(fanout_config()).run();
+  cluster::EndToEndConfig cfg = fanout_config();
+  cfg.redundancy = 2;
+  const cluster::EndToEndResult d2 = cluster::EndToEndSim(cfg).run();
+  // First-replica-wins shortens the server stage at low load …
+  EXPECT_LT(d2.server.mean, d1.server.mean);
+  EXPECT_LT(d2.total.mean, d1.total.mean);
+  // … but every replica occupies a queue: offered load really doubles.
+  double util_d1 = 0.0;
+  double util_d2 = 0.0;
+  for (const double u : d1.server_utilization) util_d1 += u;
+  for (const double u : d2.server_utilization) util_d2 += u;
+  EXPECT_GT(util_d2, 1.6 * util_d1);
+  EXPECT_GT(d2.events_executed, d1.events_executed);
+  // Requests and keys joined are unchanged — replicas are not extra keys.
+  EXPECT_EQ(d2.keys_completed, d1.keys_completed);
+}
+
+TEST(EngineScenarios, EndToEndValidatesRedundancy) {
+  cluster::EndToEndConfig cfg = fanout_config();
+  cfg.redundancy = 0;
+  EXPECT_THROW(cluster::EndToEndSim s(cfg), std::invalid_argument);
+  cfg = fanout_config();
+  cfg.redundancy = 2;
+  cfg.miss_mode = cluster::MissMode::kRealCache;
+  EXPECT_THROW(cluster::EndToEndSim s(cfg), std::invalid_argument);
+}
+
+TEST(EngineScenarios, RedundantAssemblyRecordsStageMetrics) {
+  cluster::WorkloadDrivenConfig wcfg;
+  wcfg.system = core::SystemConfig::facebook();
+  wcfg.system.miss_ratio = 0.03;
+  wcfg.warmup_time = 0.1;
+  wcfg.measure_time = 0.5;
+  wcfg.seed = 5;
+  const cluster::MeasurementPools pools =
+      cluster::WorkloadDrivenSim(wcfg).run();
+
+  obs::Registry reg;
+  dist::Rng plain_rng(7);
+  dist::Rng recorded_rng(7);
+  const cluster::AssembledRequests plain = cluster::assemble_requests_redundant(
+      pools, wcfg.system, 200, 5, 2, plain_rng);
+  const cluster::AssembledRequests recorded =
+      cluster::assemble_requests_redundant(pools, wcfg.system, 200, 5, 2,
+                                           recorded_rng, obs::Recorder(reg));
+  // Recording is a pure observer: same draws, same outputs.
+  EXPECT_TRUE(plain.total == recorded.total);
+  EXPECT_TRUE(plain.server == recorded.server);
+  EXPECT_TRUE(plain.database == recorded.database);
+  // Same instrument set as assemble_requests.
+  EXPECT_EQ(reg.latency("stage.total_us").count(), 200u);
+  EXPECT_EQ(reg.latency("request.sync_gap_us").count(), 200u);
+  EXPECT_EQ(reg.latency("request.sync_slack_us").count(), 200u);
+  EXPECT_EQ(reg.counter("assembly.keys").value(), 200u * 5u);
+  EXPECT_GE(reg.latency("request.sync_slack_us").min(), -1e-9);
+}
+
+}  // namespace
+}  // namespace mclat

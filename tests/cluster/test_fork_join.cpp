@@ -1,0 +1,154 @@
+// Unit tests for the engine's shared fork-join joiner (the one place the
+// max/sum/sync-gap accounting lives) and the trace-rank validation that
+// front-stops out-of-range key ranks.
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine/arrival.h"
+#include "cluster/engine/fork_join.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "workload/trace.h"
+
+namespace mclat::cluster::engine {
+namespace {
+
+TEST(ForkJoinJoiner, FoldsMaximaAndJoinsOnLastKey) {
+  const StageObserver null_obs;  // all handles nullptr
+  ForkJoinJoiner j(0.001, null_obs, /*keep_total_samples=*/true, nullptr);
+  const std::uint64_t rid = j.open_request(1.0, 2, /*measured=*/true);
+  EXPECT_EQ(rid, 0u);
+  const std::uint64_t k0 = j.open_key(rid, 7, 0);
+  const std::uint64_t k1 = j.open_key(rid, 8, 1);
+  j.key(k0, "test").server_sojourn = 0.5;
+  j.key(k1, "test").server_sojourn = 0.25;
+  j.key(k1, "test").db_sojourn = 0.125;
+
+  j.complete_key(k0, 2.0);  // per-key total 1.0
+  EXPECT_EQ(j.requests_joined(), 0u);
+  EXPECT_EQ(j.in_flight_keys(), 1u);
+  EXPECT_EQ(j.open_requests(), 1u);
+
+  j.complete_key(k1, 3.0);  // per-key total 2.0, joins the request
+  EXPECT_EQ(j.requests_joined(), 1u);
+  EXPECT_EQ(j.measured_requests(), 1u);
+  EXPECT_EQ(j.keys_completed(), 2u);
+  EXPECT_EQ(j.open_requests(), 0u);
+  EXPECT_EQ(j.in_flight_keys(), 0u);
+  EXPECT_DOUBLE_EQ(j.network_stats().mean(), 0.001);
+  EXPECT_DOUBLE_EQ(j.server_stats().mean(), 0.5);    // max over keys
+  EXPECT_DOUBLE_EQ(j.database_stats().mean(), 0.125);
+  EXPECT_DOUBLE_EQ(j.total_stats().mean(), 2.0);     // last-key completion
+  const std::vector<double> samples = j.take_total_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0], 2.0);
+}
+
+TEST(ForkJoinJoiner, UnmeasuredRequestsJoinButDoNotAccumulate) {
+  const StageObserver null_obs;
+  ForkJoinJoiner j(0.0, null_obs, /*keep_total_samples=*/true, nullptr);
+  const std::uint64_t rid = j.open_request(0.0, 1, /*measured=*/false);
+  EXPECT_FALSE(j.request_measured(rid));
+  const std::uint64_t k = j.open_key(rid, 0, 0);
+  j.complete_key(k, 1.5);
+  EXPECT_EQ(j.requests_joined(), 1u);
+  EXPECT_EQ(j.measured_requests(), 0u);
+  EXPECT_EQ(j.total_stats().count(), 0u);
+  EXPECT_TRUE(j.take_total_samples().empty());
+  EXPECT_EQ(j.keys_completed(), 1u);  // keys count regardless
+}
+
+TEST(ForkJoinJoiner, PerKeyCounterBumpsEveryKeyButStagesGateOnMeasured) {
+  obs::Registry reg;
+  const obs::Recorder rec(reg);
+  const StageObserver sobs = StageObserver::for_sim(rec);
+  ForkJoinJoiner j(0.0, sobs, /*keep_total_samples=*/false, sobs.keys);
+
+  const std::uint64_t warm = j.open_request(0.0, 1, /*measured=*/false);
+  j.complete_key(j.open_key(warm, 0, 0), 0.5);
+  const std::uint64_t hot = j.open_request(1.0, 1, /*measured=*/true);
+  j.complete_key(j.open_key(hot, 0, 0), 1.5);
+
+  EXPECT_EQ(reg.counter("sim.keys_completed").value(), 2u);
+  EXPECT_EQ(reg.latency("stage.total_us").count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.latency("stage.total_us").mean(), 0.5 * 1e6);
+}
+
+TEST(ForkJoinJoiner, SyncGapUsesThePerRequestKeyCount) {
+  obs::Registry reg;
+  const obs::Recorder rec(reg);
+  const StageObserver sobs = StageObserver::for_sim(rec);
+  ForkJoinJoiner j(0.0, sobs, /*keep_total_samples=*/false, nullptr);
+  // 2-key request starting at t=0: keys complete at 1.0 and 3.0, so the
+  // gap is max_total - mean = 3.0 - (1.0 + 3.0)/2 = 1.0 s.
+  const std::uint64_t rid = j.open_request(0.0, 2, /*measured=*/true);
+  j.complete_key(j.open_key(rid, 0, 0), 1.0);
+  j.complete_key(j.open_key(rid, 1, 1), 3.0);
+  ASSERT_EQ(reg.latency("request.sync_gap_us").count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.latency("request.sync_gap_us").mean(), 1.0 * 1e6);
+}
+
+TEST(ForkJoinJoiner, ChecksJobAndRequestIds) {
+  const StageObserver null_obs;
+  ForkJoinJoiner j(0.0, null_obs, false, nullptr);
+  EXPECT_THROW(j.complete_key(99, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)j.key(99, "test"), std::invalid_argument);
+  EXPECT_THROW((void)j.request_measured(99), std::invalid_argument);
+  const std::uint64_t rid = j.open_request(0.0, 1, true);
+  const std::uint64_t k = j.open_key(rid, 0, 0);
+  j.complete_key(k, 1.0);
+  EXPECT_THROW(j.complete_key(k, 2.0), std::invalid_argument);
+}
+
+TEST(TraceRankValidation, AcceptsInRangeRanks) {
+  workload::Trace t;
+  t.append({0.0, 0, 0});
+  t.append({1.0, 9, 1});
+  EXPECT_NO_THROW(t.require_ranks_below(10));
+}
+
+TEST(TraceRankValidation, NamesTheOffendingRecord) {
+  workload::Trace t;
+  t.append({0.0, 3, 0});
+  t.append({1.5, 42, 7});
+  try {
+    t.require_ranks_below(10);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("42"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("10"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceInjector, RejectsEmptyAndOutOfRangeTracesUpFront) {
+  EXPECT_THROW(TraceInjector(workload::Trace{}, 10), std::invalid_argument);
+  workload::Trace t;
+  t.append({0.0, 10, 0});  // rank == limit: one past the last valid rank
+  EXPECT_THROW(TraceInjector(t, 10), std::invalid_argument);
+}
+
+TEST(TraceInjector, PlansRecordsInOrderAndRejectsUnsortedOnStart) {
+  workload::Trace sorted;
+  sorted.append({0.0, 1, 0});
+  sorted.append({0.5, 2, 0});
+  const TraceInjector ok(sorted, 10);
+  EXPECT_EQ(ok.records(), 2u);
+  std::vector<std::uint64_t> ranks;
+  ok.start([&](const workload::TraceRecord& r) { ranks.push_back(r.key_rank); });
+  EXPECT_EQ(ranks, (std::vector<std::uint64_t>{1, 2}));
+
+  workload::Trace unsorted;
+  unsorted.append({1.0, 1, 0});
+  unsorted.append({0.5, 2, 0});
+  const TraceInjector bad(unsorted, 10);  // rank check passes
+  EXPECT_THROW(bad.start([](const workload::TraceRecord&) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster::engine

@@ -3,6 +3,8 @@
 
 #include <sstream>
 
+#include "cluster/end_to_end.h"
+
 #include "workload/request_stream.h"
 #include <gtest/gtest.h>
 

@@ -18,6 +18,7 @@
 
 #include <fstream>
 
+#include "cluster/end_to_end.h"
 #include "cluster/trace_replay.h"
 #include "cluster/workload_driven.h"
 #include "workload/request_stream.h"
@@ -165,7 +166,47 @@ int cmd_simulate(tools::CliArgs& args) {
       "metrics", "",
       "export per-stage metrics: --metrics (stdout) or --metrics FILE "
       "(.csv suffix = CSV, else JSON)");
+  const bool e2e = args.flag(
+      "e2e",
+      "run the full event-driven fork-join cluster (Mode B) instead of the "
+      "workload-driven testbed (text output only)");
+  const unsigned redundancy = static_cast<unsigned>(args.count(
+      "redundancy", 1,
+      "with --e2e: dispatch each key to d servers, first replica wins"));
   args.finish("mclat simulate — theory vs the simulated testbed");
+  if (e2e) {
+    cluster::EndToEndConfig ecfg;
+    ecfg.system = cfg;
+    ecfg.redundancy = redundancy;
+    ecfg.warmup_time = opt.seconds / 10.0;
+    ecfg.measure_time = opt.seconds;
+    ecfg.seed = opt.seed;
+    const cluster::EndToEndResult r = cluster::EndToEndSim(ecfg).run();
+    const core::LatencyModel model(cfg);
+    const core::LatencyEstimate e = model.estimate();
+    std::printf("mode B (event-driven fork-join), redundancy d=%u\n",
+                redundancy);
+    std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
+                static_cast<unsigned long long>(r.requests_completed),
+                r.measured_miss_ratio);
+    std::printf("%-8s | %-22s | %s\n", "latency", "theory (us)",
+                "simulated (us)");
+    std::printf("%-8s | %22.1f | %s\n", "T_N(N)", e.network * 1e6,
+                stats::format_us(r.network).c_str());
+    std::printf("%-8s | %9.1f ~ %10.1f | %s\n", "T_S(N)",
+                e.server.lower * 1e6, e.server.upper * 1e6,
+                stats::format_us(r.server).c_str());
+    std::printf("%-8s | %22.1f | %s\n", "T_D(N)", e.database * 1e6,
+                stats::format_us(r.database).c_str());
+    std::printf("%-8s | %9.1f ~ %10.1f | %s\n", "T(N)", e.total.lower * 1e6,
+                e.total.upper * 1e6, stats::format_us(r.total).c_str());
+    std::printf("utilisation:");
+    for (const double u : r.server_utilization) {
+      std::printf(" %.1f%%", 100 * u);
+    }
+    std::printf("\n");
+    return 0;
+  }
   obs::Registry registry;
   if (!metrics_dest.empty()) opt.metrics = &registry;
   const tools::SimulateResult r = tools::run_simulate(cfg, opt);
@@ -247,6 +288,15 @@ int cmd_replay(tools::CliArgs& args) {
   const double zipf = args.number("zipf", 0.99, "Zipf exponent");
   const auto seed =
       static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
+  const bool real_cache = args.flag(
+      "real-cache",
+      "decide misses with a real per-server LRU cache (the miss ratio "
+      "emerges from Zipf popularity and cache capacity)");
+  const double cache_mb = args.number(
+      "cache-mb", 8.0, "per-server cache size in MiB (with --real-cache)");
+  const double measure_from = args.number(
+      "measure-from", 0.0,
+      "statistics window start, s (earlier requests replay unmeasured)");
   args.finish("mclat replay — trace-driven cluster simulation (Mode C)");
 
   workload::RequestStreamConfig scfg;
@@ -277,11 +327,21 @@ int cmd_replay(tools::CliArgs& args) {
   cluster::TraceReplayConfig rcfg;
   rcfg.system = cfg;
   rcfg.seed = seed;
+  rcfg.miss_mode = real_cache ? cluster::MissMode::kRealCache
+                              : cluster::MissMode::kBernoulli;
+  rcfg.cache_bytes_per_server =
+      static_cast<std::size_t>(cache_mb * static_cast<double>(1u << 20));
+  rcfg.measure_from = measure_from;
   const cluster::TraceReplayResult r =
       cluster::TraceReplaySim(rcfg).run(trace, stream.keyspace());
   std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
               static_cast<unsigned long long>(r.requests_completed),
               r.measured_miss_ratio);
+  if (measure_from > 0.0) {
+    std::printf("measured requests:  %llu (started at or after t=%.2f s)\n",
+                static_cast<unsigned long long>(r.measured_requests),
+                measure_from);
+  }
   std::printf("T_N(N) = %s\n", stats::format_us(r.network).c_str());
   std::printf("T_S(N) = %s\n", stats::format_us(r.server).c_str());
   std::printf("T_D(N) = %s\n", stats::format_us(r.database).c_str());
