@@ -276,6 +276,33 @@ void BM_EndToEndRealCacheWorkload_LegacyWorkload(benchmark::State& state) {
 BENCHMARK(BM_EndToEndRealCacheWorkload_LegacyWorkload)
     ->Unit(benchmark::kMillisecond);
 
+// A miss storm through the coalescing path: Bernoulli r = 1 carries no key
+// identity, so every concurrent miss of a server parks behind its one
+// in-flight fetch — slow fetches (μ_D = 200/s against λ = 10 K misses/s)
+// keep the waiter lists long. Exercises FetchTable park/release churn plus
+// the stored-handler waiter delivery in the DB departure path.
+void BM_CoalescedMissStorm(benchmark::State& state) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * 10'000.0;
+  cfg.system.keys_per_request = 10;
+  cfg.system.miss_ratio = 1.0;
+  cfg.system.db_service_rate = 200.0;
+  cfg.coalescing = cluster::MissCoalescing::kPerServer;
+  cfg.warmup_time = 0.2;
+  cfg.measure_time = 2.0;
+  cfg.seed = 33;
+  std::uint64_t keys_done = 0;
+  for (auto _ : state) {
+    cluster::EndToEndSim sim(cfg);
+    const cluster::EndToEndResult r = sim.run();
+    keys_done += r.keys_completed;
+    benchmark::DoNotOptimize(r.measured_delayed_hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys_done));
+}
+BENCHMARK(BM_CoalescedMissStorm)->Unit(benchmark::kMillisecond);
+
 void BM_ZipfSampleLargeKeyspace(benchmark::State& state) {
   const dist::Zipf zipf(100'000'000ull, 0.99);
   dist::Rng rng(2);

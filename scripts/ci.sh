@@ -6,8 +6,9 @@
 #           the parallel trial-execution engine (label `exec`) and the
 #           observability layer it records into (label `obs`).
 #   tier 3: ASan+UBSan build of the event-kernel, golden-regression,
-#           workload-path and cluster-engine suites (labels `sim`, `exec`,
-#           `workload` and `cluster`) — the kernel's type-erased
+#           workload-path, cluster-engine and miss-coalescing suites
+#           (labels `sim`, `exec`, `workload`, `cluster` and
+#           `delayed_hit`) — the kernel's type-erased
 #           inline-callback storage, slot free-list recycling, the
 #           KeyTable's string_view-into-arena layout, and the engine's
 #           JobTable-backed fork-join joins are exactly the code a lifetime
@@ -58,11 +59,12 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cluster suites"
+  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cluster + delayed_hit suites"
   cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs" \
-    --target tests_sim tests_exec tests_workload_property tests_cluster_engine
-  ctest --test-dir build-asan -L "sim|exec|workload|cluster" \
+    --target tests_sim tests_exec tests_workload_property \
+    tests_cluster_engine tests_delayed_hit
+  ctest --test-dir build-asan -L "sim|exec|workload|cluster|delayed_hit" \
     --output-on-failure -j "$jobs"
 fi
 
@@ -78,7 +80,7 @@ if [[ "$run_bench_smoke" == 1 ]]; then
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json" 2>/dev/null
   ./build/bench/bench_micro_cache \
-    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_EndToEndRealCacheWorkload$' \
+    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_EndToEndRealCacheWorkload$|BM_CoalescedMissStorm$' \
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json2" 2>/dev/null
   python3 - "$smoke_json" "$smoke_json2" <<'EOF'
@@ -98,6 +100,10 @@ floors = {
     # The whole engine stack end to end (PoissonSource → mapper → LruStore
     # → DbStage → ForkJoinJoiner): ~0.7M keys/s when healthy.
     "BM_EndToEndRealCacheWorkload": 0.15e6,
+    # Bernoulli r=1 miss storm through FetchTable park/release and the
+    # stored-handler waiter delivery: ~4.5M keys/s when healthy; a
+    # reintroduced per-waiter std::function copy shows up here.
+    "BM_CoalescedMissStorm": 1.0e6,
 }
 rates = {}
 for path in sys.argv[1:]:

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/engine/db_stage.h"
+#include "cluster/engine/fetch_table.h"
 #include "cluster/engine/fork_join.h"
 #include "cluster/engine/mapper.h"
 #include "cluster/engine/miss_policy.h"
@@ -57,6 +58,7 @@ EndToEndResult EndToEndSim::run() {
   const double horizon = cfg_.warmup_time + cfg_.measure_time;
   const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
   const bool redundant = cfg_.redundancy > 1;
+  const bool coalesce = cfg_.coalescing == MissCoalescing::kPerServer;
 
   sim::Simulator s;
   // The master split sequence is the golden contract (DESIGN.md §4f):
@@ -98,12 +100,22 @@ EndToEndResult EndToEndSim::run() {
 
   // --- fork-join core ------------------------------------------------------
   const obs::Recorder& rec = cfg_.recorder;
-  const engine::StageObserver sobs = engine::StageObserver::for_sim(rec);
+  engine::StageObserver sobs = engine::StageObserver::for_sim(rec);
+  // Coalescing instruments register only when the mode is on, so a kOff
+  // run's metrics document is byte-identical to the pre-coalescing output.
+  if (coalesce) sobs.attach_coalescing(rec);
   engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
                                 /*keep_total_samples=*/true,
                                 /*per_key_counter=*/nullptr);
   std::uint64_t measured_keys = 0;
   std::uint64_t measured_misses = 0;
+  std::uint64_t measured_db_fetches = 0;
+  std::uint64_t measured_delayed_hits = 0;
+
+  // Single-flight fetch bookkeeping (touched only when coalescing is on; it
+  // draws no RNG, so constructing it cannot shift any stream).
+  engine::FetchTable fetch(M);
+  std::vector<engine::FetchTable::Waiter> released;
 
   // Redundancy bookkeeping (untouched when redundancy == 1: keys travel
   // under their joiner job ids and the schedule is the pre-engine one).
@@ -123,6 +135,26 @@ EndToEndResult EndToEndSim::run() {
         miss_policy.refill(ctx.server, ctx.key_rank, s.now());
         s.schedule_in(net_half,
                       [&, job = d.job_id] { joiner.complete_key(job, s.now()); });
+        if (coalesce) {
+          // The leader's fetch resolves every waiter parked behind it, in
+          // FIFO park order, through the same departure path the leader
+          // took (net-half hop + join). The refill above already ran —
+          // exactly once per fetch — so waiters find the value cached the
+          // next time they probe; here they simply complete.
+          fetch.release(ctx.server, ctx.key_rank, released);
+          for (const engine::FetchTable::Waiter& w : released) {
+            engine::ForkJoinJoiner::Key& wctx = joiner.key(
+                w.job, "EndToEndSim: released waiter for unknown key");
+            wctx.db_sojourn = s.now() - w.parked_at;
+            if (joiner.request_measured(wctx.request_id)) {
+              obs::observe(sobs.db_sojourn, obs::to_us(wctx.db_sojourn));
+              obs::observe(sobs.delayed_wait, obs::to_us(wctx.db_sojourn));
+            }
+            s.schedule_in(net_half, [&, job = w.job] {
+              joiner.complete_key(job, s.now());
+            });
+          }
+        }
       });
 
   // --- memcached servers ----------------------------------------------------
@@ -158,7 +190,8 @@ EndToEndResult EndToEndSim::run() {
           ctx.server_sojourn = d.sojourn_time();
           ctx.server = j;
           const bool miss = miss_policy.is_miss(j, ctx.key_rank, s.now());
-          if (joiner.request_measured(ctx.request_id)) {
+          const bool measured = joiner.request_measured(ctx.request_id);
+          if (measured) {
             ++measured_keys;
             obs::bump(sobs.keys);
             if (miss) {
@@ -167,7 +200,16 @@ EndToEndResult EndToEndSim::run() {
             }
           }
           if (miss) {
-            db.submit(key_job);
+            if (!coalesce ||
+                fetch.lead_or_park(j, ctx.key_rank, key_job, s.now())) {
+              if (measured) ++measured_db_fetches;
+              db.submit(key_job);
+            } else if (measured) {
+              // Parked behind the in-flight fetch: a delayed hit. Its
+              // completion is scheduled by that fetch's departure.
+              ++measured_delayed_hits;
+              obs::bump(sobs.coalesced);
+            }
           } else {
             s.schedule_in(net_half, [&, key_job] {
               joiner.complete_key(key_job, s.now());
@@ -237,6 +279,12 @@ EndToEndResult EndToEndSim::run() {
   res.requests_completed = joiner.measured_requests();
   res.keys_completed = joiner.keys_completed();
   res.events_executed = s.events_executed();
+  res.measured_db_fetches = measured_db_fetches;
+  res.measured_delayed_hits = measured_delayed_hits;
+  if (coalesce) {
+    obs::set_gauge(sobs.fetch_outstanding,
+                   static_cast<double>(fetch.peak_outstanding()));
+  }
   return res;
 }
 

@@ -55,6 +55,18 @@ struct EndToEndConfig {
   /// replicated real caches are not modeled.
   unsigned redundancy = 1;
 
+  /// Delayed-hit miss coalescing (kPerServer): a key that misses while a
+  /// database fetch for the same key is already in flight at its server
+  /// parks behind that fetch instead of submitting new DB work, and the
+  /// fetch's completion releases every waiter at once (refilling the cache
+  /// exactly once in real-cache mode). kOff reproduces the paper's model —
+  /// every miss an independent DB visit — byte-identically to the
+  /// pre-coalescing simulator. Under kBernoulli misses keys carry no
+  /// identity (rank 0), so coalescing degenerates to single-flight per
+  /// server: the single-hot-key delayed-hit regime
+  /// (tests/cluster/test_delayed_hit_model.cpp validates it in closed form).
+  MissCoalescing coalescing = MissCoalescing::kOff;
+
   // --- real-cache mode parameters ---------------------------------------
   std::uint64_t keyspace_size = 200'000;
   double zipf_exponent = 0.99;
@@ -90,6 +102,13 @@ struct EndToEndResult {
   std::uint64_t requests_completed = 0;
   std::uint64_t keys_completed = 0;
   std::uint64_t events_executed = 0;
+  /// Misses (measured window) that submitted a database fetch. With
+  /// coalescing off every miss does, so this equals the measured miss
+  /// count; with coalescing on it is the *effective* DB arrival count.
+  std::uint64_t measured_db_fetches = 0;
+  /// Misses (measured window) parked behind an in-flight fetch (delayed
+  /// hits). Conservation: measured misses == fetches + delayed hits.
+  std::uint64_t measured_delayed_hits = 0;
 };
 
 class EndToEndSim {

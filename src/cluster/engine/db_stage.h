@@ -10,6 +10,12 @@
 // The service RNG is passed in by value: the caller performs its
 // master.split() at the same position the pre-engine code did, keeping the
 // stream sequence golden-identical.
+//
+// The departure handler is stored here exactly once and the inner station
+// calls it through a one-pointer trampoline. That keeps it available by
+// reference for deliver(): the miss-coalescing release path fans one fetch
+// completion into many waiter completions, and routing those through the
+// stored handler means N invocations, never N std::function copies.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,7 @@
 #include "cluster/modes.h"
 #include "dist/exponential.h"
 #include "dist/rng.h"
+#include "math/numerics.h"
 #include "sim/multi_station.h"
 #include "sim/simulator.h"
 #include "sim/station.h"
@@ -32,23 +39,30 @@ class DbStage {
   using DepartureHandler = std::function<void(const sim::Departure&)>;
 
   DbStage(sim::Simulator& sim, DbMode mode, unsigned db_servers,
-          double db_service_rate, dist::Rng rng, DepartureHandler on_departure) {
+          double db_service_rate, dist::Rng rng, DepartureHandler on_departure)
+      : on_departure_(std::move(on_departure)) {
+    math::require(static_cast<bool>(on_departure_),
+                  "DbStage: null departure handler");
+    // One shared trampoline: the stations own a pointer-sized closure, the
+    // handler itself lives here (DbStage is pinned — noncopyable — so the
+    // `this` capture stays valid).
+    auto trampoline = [this](const sim::Departure& d) { on_departure_(d); };
     switch (mode) {
       case DbMode::kInfiniteServer:
         inf_ = std::make_unique<DelayStation>(
             sim, std::make_unique<dist::Exponential>(db_service_rate),
-            std::move(rng), std::move(on_departure));
+            std::move(rng), trampoline);
         break;
       case DbMode::kSingleServer:
         queue_ = std::make_unique<sim::ServiceStation>(
             sim, std::make_unique<dist::Exponential>(db_service_rate),
-            std::move(rng), std::move(on_departure));
+            std::move(rng), trampoline);
         break;
       case DbMode::kPooled:
         pool_ = std::make_unique<sim::MultiServerStation>(
             sim, db_servers,
             std::make_unique<dist::Exponential>(db_service_rate),
-            std::move(rng), std::move(on_departure));
+            std::move(rng), trampoline);
         break;
     }
   }
@@ -72,7 +86,15 @@ class DbStage {
     return queue_->completed();
   }
 
+  /// Invokes the stored departure handler by reference for a departure the
+  /// stage did not itself serve — the coalescing release path synthesizes
+  /// one Departure per parked waiter ({arrival = park time, departure =
+  /// fetch completion}) and delivers them all through the same handler the
+  /// leader's real departure took.
+  void deliver(const sim::Departure& d) const { on_departure_(d); }
+
  private:
+  DepartureHandler on_departure_;
   std::unique_ptr<DelayStation> inf_;
   std::unique_ptr<sim::ServiceStation> queue_;
   std::unique_ptr<sim::MultiServerStation> pool_;

@@ -1,0 +1,125 @@
+// fetch_table.h — per-server single-flight tracking of outstanding database
+// fetches (the MissCoalescing::kPerServer substrate).
+//
+// Real memcached deployments coalesce concurrent fetches of one key: the
+// first miss goes to the database, later misses for the same key wait on
+// that in-flight fetch instead of issuing duplicate work — a *delayed hit*.
+// The FetchTable is the bookkeeping for that, and nothing else: it draws no
+// random numbers, schedules no events, and touches no cache, so wiring it
+// into a simulator cannot perturb any RNG stream (the off-identity
+// contract, DESIGN.md §4g).
+//
+// Keys are identified by their memoized workload::KeyTable rank (the
+// Bernoulli miss policy carries no key identity — every key keeps rank 0 —
+// so per-server coalescing there degenerates to single-flight per server:
+// the single-hot-key delayed-hit regime the model-validation tests exploit).
+//
+// Invariants, pinned by tests/property/test_fetch_table.cpp:
+//   * at most one outstanding fetch per (server, rank) — lead_or_park
+//     returns true exactly when no entry exists;
+//   * waiters release in FIFO park order;
+//   * conservation: parked() == released() + waiters still parked.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "math/numerics.h"
+
+namespace mclat::cluster::engine {
+
+class FetchTable {
+ public:
+  /// One parked request: the key's job id and when it parked (its delayed-
+  /// hit wait is release time minus parked_at).
+  struct Waiter {
+    std::uint64_t job = 0;
+    double parked_at = 0.0;
+  };
+
+  explicit FetchTable(std::size_t servers) : per_server_(servers) {}
+
+  /// True: no fetch for (server, rank) was outstanding — `job` becomes the
+  /// leader and the caller must submit the database work. False: `job`
+  /// parked (FIFO) behind the outstanding fetch, a delayed hit; the caller
+  /// must NOT submit anything.
+  [[nodiscard]] bool lead_or_park(std::size_t server, std::uint64_t rank,
+                                  std::uint64_t job, double now) {
+    auto [it, fresh] = per_server_[server].try_emplace(rank);
+    if (fresh) {
+      it->second.leader = job;
+      ++led_;
+      ++outstanding_;
+      if (outstanding_ > peak_outstanding_) peak_outstanding_ = outstanding_;
+      return true;
+    }
+    it->second.waiters.push_back(Waiter{job, now});
+    ++parked_;
+    return false;
+  }
+
+  /// The fetch for (server, rank) completed: move its FIFO waiter list into
+  /// `out` (replacing its contents) and retire the entry. Throws if no
+  /// fetch is outstanding there — a release without a lead is a wiring bug.
+  void release(std::size_t server, std::uint64_t rank,
+               std::vector<Waiter>& out) {
+    auto& table = per_server_[server];
+    const auto it = table.find(rank);
+    math::require(it != table.end(),
+                  "FetchTable: release of a fetch that is not outstanding");
+    out = std::move(it->second.waiters);
+    released_ += out.size();
+    --outstanding_;
+    table.erase(it);
+  }
+
+  /// Is a fetch for (server, rank) currently in flight?
+  [[nodiscard]] bool outstanding(std::size_t server,
+                                 std::uint64_t rank) const {
+    const auto& table = per_server_[server];
+    return table.find(rank) != table.end();
+  }
+
+  /// The job leading the outstanding fetch for (server, rank); throws if
+  /// none is outstanding.
+  [[nodiscard]] std::uint64_t leader_of(std::size_t server,
+                                        std::uint64_t rank) const {
+    const auto& table = per_server_[server];
+    const auto it = table.find(rank);
+    math::require(it != table.end(),
+                  "FetchTable: leader_of a fetch that is not outstanding");
+    return it->second.leader;
+  }
+
+  /// Fetches currently in flight (all servers).
+  [[nodiscard]] std::size_t outstanding_fetches() const noexcept {
+    return outstanding_;
+  }
+  /// High-water mark of outstanding_fetches() over the table's lifetime.
+  [[nodiscard]] std::size_t peak_outstanding() const noexcept {
+    return peak_outstanding_;
+  }
+  /// Total lead_or_park calls that led (database fetches submitted).
+  [[nodiscard]] std::uint64_t led() const noexcept { return led_; }
+  /// Total lead_or_park calls that parked (delayed hits).
+  [[nodiscard]] std::uint64_t parked() const noexcept { return parked_; }
+  /// Total waiters handed out by release().
+  [[nodiscard]] std::uint64_t released() const noexcept { return released_; }
+
+ private:
+  struct Entry {
+    std::uint64_t leader = 0;
+    std::vector<Waiter> waiters;
+  };
+
+  std::vector<std::unordered_map<std::uint64_t, Entry>> per_server_;
+  std::size_t outstanding_ = 0;
+  std::size_t peak_outstanding_ = 0;
+  std::uint64_t led_ = 0;
+  std::uint64_t parked_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace mclat::cluster::engine

@@ -34,6 +34,11 @@ struct StageObserver {
   obs::LatencyStat* db_sojourn = nullptr;  ///< db.sojourn_us (sims only)
   obs::Counter* keys = nullptr;            ///< sim.keys_completed | assembly.keys
   obs::Counter* misses = nullptr;          ///< db.misses | assembly.misses
+  // Miss-coalescing instruments (attach_coalescing; null unless a
+  // MissCoalescing::kPerServer run resolved them).
+  obs::Counter* coalesced = nullptr;          ///< db.coalesced
+  obs::Gauge* fetch_outstanding = nullptr;    ///< db.fetch.outstanding
+  obs::LatencyStat* delayed_wait = nullptr;   ///< delayed_hit.wait_us
 
   /// The event-driven simulators' instrument set (EndToEndSim,
   /// TraceReplaySim): stage decomposition plus the miss-path database
@@ -55,6 +60,19 @@ struct StageObserver {
     o.keys = rec.counter("assembly.keys");
     o.misses = rec.counter("assembly.misses");
     return o;
+  }
+
+  /// Resolves the miss-coalescing instrument set: the delayed-hit counter
+  /// ("db.coalesced": misses parked behind an in-flight fetch), the
+  /// outstanding-fetch high-water gauge ("db.fetch.outstanding"), and the
+  /// delayed-hit wait distribution ("delayed_hit.wait_us": fetch completion
+  /// minus park time, per released waiter). Call ONLY when coalescing is
+  /// on — resolving a name registers it, and a kOff run's metrics document
+  /// must stay byte-identical to the pre-coalescing output.
+  void attach_coalescing(const obs::Recorder& rec) {
+    coalesced = rec.counter("db.coalesced");
+    fetch_outstanding = rec.gauge("db.fetch.outstanding");
+    delayed_wait = rec.latency("delayed_hit.wait_us");
   }
 
   /// Records one joined request's decomposition: the four stage maxima,

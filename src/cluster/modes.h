@@ -13,6 +13,15 @@
 //   MapperKind — how keys route to servers: target-share Discrete sampling,
 //                a consistent-hash ring, or naive modulo placement.
 //
+//   MissCoalescing — what a miss does when a database fetch for the same
+//                key is already in flight at its server: kOff submits a new
+//                independent fetch (the paper's model: every miss is an
+//                independent DB visit), kPerServer parks the request behind
+//                the outstanding fetch and completes it when that fetch
+//                returns — a *delayed hit* (Jiang & Ma 2025; Gurushankar et
+//                al., PAPERS.md), the regime real memcached's fetch
+//                deduplication produces.
+//
 // These used to live in end_to_end.h; they moved here so engine components
 // (DbStage, MissPolicy) can name them without depending on a specific
 // simulator's config struct. end_to_end.h re-exports them, so existing
@@ -24,5 +33,6 @@ namespace mclat::cluster {
 enum class MissMode { kBernoulli, kRealCache };
 enum class DbMode { kInfiniteServer, kSingleServer, kPooled };
 enum class MapperKind { kWeighted, kRing, kModulo };
+enum class MissCoalescing { kOff, kPerServer };
 
 }  // namespace mclat::cluster

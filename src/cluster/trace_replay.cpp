@@ -7,6 +7,7 @@
 
 #include "cluster/engine/arrival.h"
 #include "cluster/engine/db_stage.h"
+#include "cluster/engine/fetch_table.h"
 #include "cluster/engine/fork_join.h"
 #include "cluster/engine/mapper.h"
 #include "cluster/engine/miss_policy.h"
@@ -84,8 +85,10 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
                 key_table, M, cfg_.cache_bytes_per_server, std::move(miss_rng))
           : engine::MissPolicy::bernoulli(sys.miss_ratio, std::move(miss_rng));
 
+  const bool coalesce = cfg_.coalescing == MissCoalescing::kPerServer;
   const obs::Recorder& orec = cfg_.recorder;
-  const engine::StageObserver sobs = engine::StageObserver::for_sim(orec);
+  engine::StageObserver sobs = engine::StageObserver::for_sim(orec);
+  if (coalesce) sobs.attach_coalescing(orec);
   engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
                                 /*keep_total_samples=*/false,
                                 /*per_key_counter=*/sobs.keys);
@@ -93,6 +96,10 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
     joiner.open_request(p.start, p.n_keys, p.start >= cfg_.measure_from);
   }
   std::uint64_t misses = 0;
+  std::uint64_t db_fetches = 0;
+  std::uint64_t delayed_hits = 0;
+  engine::FetchTable fetch(M);
+  std::vector<engine::FetchTable::Waiter> released;
 
   engine::DbStage db(
       s, cfg_.db_mode, cfg_.db_servers, sys.db_service_rate, master.split(),
@@ -104,6 +111,22 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
         miss_policy.refill(ctx.server, ctx.key_rank, s.now());
         s.schedule_in(net_half,
                       [&, job = d.job_id] { joiner.complete_key(job, s.now()); });
+        if (coalesce) {
+          // Release every waiter parked behind this fetch through the same
+          // departure path (net-half hop + join); the refill above already
+          // happened exactly once, for the leader.
+          fetch.release(ctx.server, ctx.key_rank, released);
+          for (const engine::FetchTable::Waiter& w : released) {
+            engine::ForkJoinJoiner::Key& wctx = joiner.key(
+                w.job, "TraceReplaySim: released waiter for unknown key");
+            wctx.db_sojourn = s.now() - w.parked_at;
+            obs::observe(sobs.db_sojourn, obs::to_us(wctx.db_sojourn));
+            obs::observe(sobs.delayed_wait, obs::to_us(wctx.db_sojourn));
+            s.schedule_in(net_half, [&, job = w.job] {
+              joiner.complete_key(job, s.now());
+            });
+          }
+        }
       });
 
   std::vector<std::unique_ptr<sim::ServiceStation>> servers;
@@ -119,7 +142,14 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
           if (miss) {
             ++misses;
             obs::bump(sobs.misses);
-            db.submit(d.job_id);
+            if (!coalesce ||
+                fetch.lead_or_park(j, ctx.key_rank, d.job_id, s.now())) {
+              ++db_fetches;
+              db.submit(d.job_id);
+            } else {
+              ++delayed_hits;
+              obs::bump(sobs.coalesced);
+            }
           } else {
             s.schedule_in(net_half, [&, job = d.job_id] {
               joiner.complete_key(job, s.now());
@@ -155,6 +185,12 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
                               : static_cast<double>(misses) /
                                     static_cast<double>(res.keys_completed);
   res.horizon = s.now();
+  res.db_fetches = db_fetches;
+  res.delayed_hits = delayed_hits;
+  if (coalesce) {
+    obs::set_gauge(sobs.fetch_outstanding,
+                   static_cast<double>(fetch.peak_outstanding()));
+  }
   res.server_utilization.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     res.server_utilization.push_back(servers[j]->utilization(s.now()));

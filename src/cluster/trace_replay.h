@@ -39,6 +39,13 @@ struct TraceReplayConfig {
   DbMode db_mode = DbMode::kInfiniteServer;
   /// Shards/threads of the kPooled database (one shared M/M/c queue).
   unsigned db_servers = 4;
+  /// Delayed-hit miss coalescing (kPerServer): a record that misses while a
+  /// fetch for its key is already in flight at its server parks behind that
+  /// fetch; the completion releases every waiter at once and refills the
+  /// cache exactly once in kRealCache mode. Trace records carry real key
+  /// ranks in both miss modes, so coalescing here is genuinely per
+  /// (server, key). kOff is byte-identical to the pre-coalescing replay.
+  MissCoalescing coalescing = MissCoalescing::kOff;
 
   // --- real-cache mode parameters ---------------------------------------
   std::size_t cache_bytes_per_server = 8u << 20;
@@ -70,6 +77,12 @@ struct TraceReplayResult {
   double measured_miss_ratio = 0.0;
   std::vector<double> server_utilization;
   double horizon = 0.0;  ///< virtual time when the last key completed
+  /// Misses that submitted a database fetch (== misses when coalescing is
+  /// off; the effective DB arrival count when it is on).
+  std::uint64_t db_fetches = 0;
+  /// Misses parked behind an in-flight fetch (delayed hits). Conservation:
+  /// misses == db_fetches + delayed_hits.
+  std::uint64_t delayed_hits = 0;
 };
 
 class TraceReplaySim {

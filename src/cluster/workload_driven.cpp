@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "cluster/engine/db_stage.h"
+#include "cluster/engine/fetch_table.h"
 #include "cluster/engine/stage_observer.h"
 #include "dist/discrete.h"
 #include "dist/exponential.h"
+#include "dist/zipf.h"
 #include "exec/seed_stream.h"
 #include "math/numerics.h"
 #include "sim/source.h"
@@ -107,31 +110,88 @@ MeasurementPools WorkloadDrivenSim::run() {
 
   // ---- database simulation: Poisson misses into an M/G/∞ stage ----------
   if (sys.miss_ratio > 0.0) {
+    const bool coalesce = cfg_.coalescing == MissCoalescing::kPerServer;
     const double miss_rate = sys.miss_ratio * sys.total_key_rate;
     pools.measured_miss_rate_hz = miss_rate;
     sim::Simulator s;
     dist::Rng db_rng = master.split();
     dist::Rng arr_rng = master.split();
     dist::Rng pool_rng = master.split();
+    // The rank stream's split is taken only when coalescing is on, after
+    // every split the pre-coalescing simulator took: a kOff run's stream
+    // sequence — and therefore its pools — stays byte-identical.
+    dist::Rng rank_rng = coalesce ? master.split() : dist::Rng(0);
+    const dist::Zipf ranks(coalesce ? cfg_.coalesce_keyspace_size : 1,
+                           coalesce ? cfg_.coalesce_zipf_exponent : 1.0);
     stats::Reservoir pool(cfg_.pool_cap);
     obs::LatencyStat* db_stat =
         engine::StageObserver::db_sojourn_stat(cfg_.recorder);
     obs::Counter* db_misses =
         engine::StageObserver::db_miss_counter(cfg_.recorder);
-    engine::DbStage db(s, DbMode::kInfiniteServer, 1, sys.db_service_rate,
-                       std::move(db_rng), [&](const sim::Departure& d) {
-                         if (d.arrival >= cfg_.warmup_time) {
-                           pool.add(d.sojourn_time(), pool_rng);
-                           obs::observe(db_stat, obs::to_us(d.sojourn_time()));
-                           obs::bump(db_misses);
-                         }
-                       });
+    engine::StageObserver cobs;
+    if (coalesce) cobs.attach_coalescing(cfg_.recorder);
+    // Single-flight bookkeeping: the whole miss stream funnels into one
+    // database stage, so the FetchTable has one "server". leader_rank maps
+    // an in-flight leader job to its rank — it doubles as the re-entrancy
+    // guard, since released waiters delivered through db.deliver() below
+    // re-enter this handler but were never leaders.
+    engine::FetchTable fetch(1);
+    std::unordered_map<std::uint64_t, std::uint64_t> leader_rank;
+    std::vector<engine::FetchTable::Waiter> released;
+    engine::DbStage db(
+        s, DbMode::kInfiniteServer, 1, sys.db_service_rate, std::move(db_rng),
+        [&](const sim::Departure& d) {
+          if (d.arrival >= cfg_.warmup_time) {
+            pool.add(d.sojourn_time(), pool_rng);
+            obs::observe(db_stat, obs::to_us(d.sojourn_time()));
+            obs::bump(db_misses);
+          }
+          if (coalesce) {
+            const auto it = leader_rank.find(d.job_id);
+            if (it == leader_rank.end()) return;  // a released waiter
+            fetch.release(0, it->second, released);
+            leader_rank.erase(it);
+            for (const engine::FetchTable::Waiter& w : released) {
+              if (w.parked_at >= cfg_.warmup_time) {
+                obs::observe(cobs.delayed_wait,
+                             obs::to_us(s.now() - w.parked_at));
+              }
+              // Route the waiter through the shared departure path: its
+              // "sojourn" is park-to-completion, pooled and counted under
+              // the same warmup gate as a real fetch.
+              const sim::Departure wd{w.job, w.parked_at, w.parked_at,
+                                      s.now()};
+              db.deliver(wd);
+            }
+          }
+        });
     std::uint64_t job = 0;
-    sim::PoissonSource misses(s, miss_rate, std::move(arr_rng),
-                              [&] { db.submit(job++); });
+    sim::PoissonSource misses(s, miss_rate, std::move(arr_rng), [&] {
+      const std::uint64_t id = job++;
+      if (!coalesce) {
+        if (s.now() >= cfg_.warmup_time) ++pools.db_fetches;
+        db.submit(id);
+        return;
+      }
+      const std::uint64_t rank = ranks.sample(rank_rng);
+      if (fetch.lead_or_park(0, rank, id, s.now())) {
+        leader_rank.emplace(id, rank);
+        if (s.now() >= cfg_.warmup_time) ++pools.db_fetches;
+        db.submit(id);
+      } else {
+        if (s.now() >= cfg_.warmup_time) {
+          ++pools.db_delayed_hits;
+          obs::bump(cobs.coalesced);
+        }
+      }
+    });
     misses.start();
     s.run_until(cfg_.warmup_time + cfg_.measure_time);
     pools.db_sojourns = pool.take();
+    if (coalesce) {
+      obs::set_gauge(cobs.fetch_outstanding,
+                     static_cast<double>(fetch.peak_outstanding()));
+    }
   }
   return pools;
 }

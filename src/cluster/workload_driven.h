@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/modes.h"
 #include "core/config.h"
 #include "dist/empirical.h"
 #include "dist/rng.h"
@@ -42,6 +43,17 @@ struct WorkloadDrivenConfig {
   double measure_time = 20.0;  ///< simulated seconds measured
   std::size_t pool_cap = 200'000;  ///< max sojourn samples kept per server
   std::uint64_t seed = 1;
+  /// Delayed-hit miss coalescing on the database stage (kPerServer): each
+  /// miss in the aggregate Poisson stream is assigned a key rank drawn
+  /// Zipf(coalesce_keyspace_size, coalesce_zipf_exponent); a miss whose key
+  /// already has a fetch in flight parks behind it and departs with it (a
+  /// delayed hit), so the effective DB arrival rate drops below r·Λ for hot
+  /// keys. kOff keeps the paper's independent-visit model byte-identical to
+  /// the pre-coalescing simulator (the rank stream's RNG split is only
+  /// taken when coalescing is on, appended after all existing splits).
+  MissCoalescing coalescing = MissCoalescing::kOff;
+  std::uint64_t coalesce_keyspace_size = 200'000;
+  double coalesce_zipf_exponent = 0.99;
   /// Per-stage observability (null by default = zero-cost). Records
   /// per-server queue-wait/service splits ("server.<j>.wait_us" /
   /// ".service_us"), utilisation gauges, and the miss-path database
@@ -56,6 +68,11 @@ struct MeasurementPools {
   std::vector<double> server_utilization;  ///< measured busy fraction
   std::uint64_t total_keys = 0;
   double measured_miss_rate_hz = 0.0;  ///< miss arrivals/s offered to the DB
+  /// Misses that submitted a database fetch after warm-up (== all post-warmup
+  /// misses when coalescing is off; the effective DB arrival count when on).
+  std::uint64_t db_fetches = 0;
+  /// Post-warmup misses parked behind an in-flight fetch (delayed hits).
+  std::uint64_t db_delayed_hits = 0;
 };
 
 /// Per-request component maxima, one entry per assembled request.

@@ -1,0 +1,175 @@
+// MissCoalescing::kOff is the identity: with coalescing off, every
+// simulator must reproduce the pre-coalescing implementation *sample for
+// sample* — same RNG streams, same event schedule, same floating-point
+// folds. The twins in bench/legacy_cluster.h are the verbatim pre-engine
+// run() bodies and predate the coalescing field entirely (they ignore it),
+// so agreement here proves the FetchTable wiring added no RNG draw, no
+// event, and no reordering to the off path, across MissMode × DbMode.
+// The goldens under tests/golden/ pin the same contract end-to-end through
+// the CLI; this suite localizes a violation to the simulator that drifted.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/legacy_cluster.h"
+#include "cluster/end_to_end.h"
+#include "cluster/trace_replay.h"
+#include "cluster/workload_driven.h"
+#include "workload/request_stream.h"
+
+namespace mclat {
+namespace {
+
+using cluster::DbMode;
+using cluster::MapperKind;
+using cluster::MissCoalescing;
+using cluster::MissMode;
+
+TEST(CoalescingOffIdentity, EndToEndMatchesTwinAcrossMissAndDbModes) {
+  for (const MissMode miss : {MissMode::kBernoulli, MissMode::kRealCache}) {
+    for (const DbMode db :
+         {DbMode::kInfiniteServer, DbMode::kSingleServer, DbMode::kPooled}) {
+      SCOPED_TRACE("miss=" + std::to_string(static_cast<int>(miss)) +
+                   " db=" + std::to_string(static_cast<int>(db)));
+      cluster::EndToEndConfig cfg;
+      cfg.system = core::SystemConfig::facebook();
+      cfg.system.total_key_rate = 4.0 * 10'000.0;
+      cfg.system.keys_per_request = 5;
+      cfg.system.miss_ratio = 0.08;
+      cfg.miss_mode = miss;
+      cfg.db_mode = db;
+      cfg.db_servers = 3;
+      cfg.keyspace_size = 10'000;
+      cfg.cache_bytes_per_server = 1u << 20;
+      cfg.warmup_time = 0.1;
+      cfg.measure_time = 0.4;
+      cfg.seed = 1234;
+      cfg.coalescing = MissCoalescing::kOff;
+      const cluster::EndToEndResult engine = cluster::EndToEndSim(cfg).run();
+      const cluster::EndToEndResult twin =
+          bench::legacy_cluster::run_end_to_end(cfg);
+      EXPECT_EQ(engine.requests_completed, twin.requests_completed);
+      EXPECT_EQ(engine.keys_completed, twin.keys_completed);
+      EXPECT_EQ(engine.events_executed, twin.events_executed);
+      EXPECT_DOUBLE_EQ(engine.network.mean, twin.network.mean);
+      EXPECT_DOUBLE_EQ(engine.server.mean, twin.server.mean);
+      EXPECT_DOUBLE_EQ(engine.database.mean, twin.database.mean);
+      EXPECT_DOUBLE_EQ(engine.total.mean, twin.total.mean);
+      EXPECT_DOUBLE_EQ(engine.total.halfwidth, twin.total.halfwidth);
+      EXPECT_DOUBLE_EQ(engine.measured_miss_ratio, twin.measured_miss_ratio);
+      EXPECT_TRUE(engine.server_utilization == twin.server_utilization);
+      // Exact vector equality: every per-request T(N) sample, bit for bit.
+      EXPECT_TRUE(engine.total_samples == twin.total_samples);
+      // Off means every miss submitted its own fetch: no delayed hits.
+      // (test_delayed_hit_model.cpp checks the exact fetch accounting.)
+      EXPECT_EQ(engine.measured_delayed_hits, 0u);
+      EXPECT_GT(engine.measured_db_fetches, 0u);
+    }
+  }
+}
+
+TEST(CoalescingOffIdentity, TraceReplayMatchesTwinOnLegacyEnvelope) {
+  // The trace-replay twin is the verbatim *pre-engine* implementation: it
+  // predates MissMode and DbMode and always runs Bernoulli misses into an
+  // infinite-server database. Twin comparison therefore pins the off path
+  // on exactly that envelope (across every mapper); the full mode grid is
+  // pinned by the conservation test below plus the engine-era suites.
+  workload::RequestStreamConfig sc;
+  sc.request_rate = 2000.0;
+  sc.keys_per_request = 10;
+  sc.keyspace_size = 20'000;
+  sc.zipf_exponent = 0.9;
+  workload::RequestStream stream(sc, dist::Rng(3));
+  const workload::Trace trace = stream.generate_trace(400);
+
+  for (const MapperKind mapper :
+       {MapperKind::kWeighted, MapperKind::kRing, MapperKind::kModulo}) {
+    SCOPED_TRACE("mapper=" + std::to_string(static_cast<int>(mapper)));
+    cluster::TraceReplayConfig cfg;
+    cfg.system = core::SystemConfig::facebook();
+    cfg.system.keys_per_request = 10;
+    cfg.system.miss_ratio = 0.05;
+    cfg.mapper = mapper;
+    cfg.seed = 9;
+    cfg.coalescing = MissCoalescing::kOff;
+    const cluster::TraceReplayResult engine =
+        cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+    const cluster::TraceReplayResult twin =
+        bench::legacy_cluster::run_trace_replay(cfg, trace, stream.keyspace());
+    EXPECT_EQ(engine.requests_completed, twin.requests_completed);
+    EXPECT_EQ(engine.keys_completed, twin.keys_completed);
+    EXPECT_DOUBLE_EQ(engine.network.mean, twin.network.mean);
+    EXPECT_DOUBLE_EQ(engine.server.mean, twin.server.mean);
+    EXPECT_DOUBLE_EQ(engine.database.mean, twin.database.mean);
+    EXPECT_DOUBLE_EQ(engine.total.mean, twin.total.mean);
+    EXPECT_DOUBLE_EQ(engine.total.halfwidth, twin.total.halfwidth);
+    EXPECT_DOUBLE_EQ(engine.measured_miss_ratio, twin.measured_miss_ratio);
+    EXPECT_DOUBLE_EQ(engine.horizon, twin.horizon);
+    EXPECT_TRUE(engine.server_utilization == twin.server_utilization);
+    EXPECT_EQ(engine.delayed_hits, 0u);
+  }
+}
+
+TEST(CoalescingOffIdentity, TraceReplayOffConservesAcrossMissAndDbModes) {
+  // Across the full MissMode × DbMode grid (beyond the twin's envelope):
+  // with coalescing off, no miss ever parks and every miss submits its own
+  // fetch — db_fetches reconstructs the ungated miss count exactly.
+  workload::RequestStreamConfig sc;
+  sc.request_rate = 2000.0;
+  sc.keys_per_request = 10;
+  sc.keyspace_size = 20'000;
+  sc.zipf_exponent = 0.9;
+  workload::RequestStream stream(sc, dist::Rng(3));
+  const workload::Trace trace = stream.generate_trace(400);
+
+  for (const MissMode miss : {MissMode::kBernoulli, MissMode::kRealCache}) {
+    for (const DbMode db :
+         {DbMode::kInfiniteServer, DbMode::kSingleServer, DbMode::kPooled}) {
+      SCOPED_TRACE("miss=" + std::to_string(static_cast<int>(miss)) +
+                   " db=" + std::to_string(static_cast<int>(db)));
+      cluster::TraceReplayConfig cfg;
+      cfg.system = core::SystemConfig::facebook();
+      cfg.system.keys_per_request = 10;
+      cfg.system.miss_ratio = 0.05;
+      cfg.miss_mode = miss;
+      cfg.db_mode = db;
+      cfg.db_servers = 3;
+      cfg.cache_bytes_per_server = 1u << 20;
+      cfg.seed = 9;
+      cfg.coalescing = MissCoalescing::kOff;
+      const cluster::TraceReplayResult r =
+          cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
+      EXPECT_EQ(r.delayed_hits, 0u);
+      const auto misses = static_cast<std::uint64_t>(
+          r.measured_miss_ratio * static_cast<double>(r.keys_completed) + 0.5);
+      EXPECT_EQ(r.db_fetches, misses);
+      EXPECT_EQ(r.keys_completed, trace.size());
+    }
+  }
+}
+
+TEST(CoalescingOffIdentity, WorkloadDrivenPoolsMatchTwin) {
+  cluster::WorkloadDrivenConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.miss_ratio = 0.03;
+  cfg.warmup_time = 0.2;
+  cfg.measure_time = 1.0;
+  cfg.seed = 5;
+  cfg.coalescing = MissCoalescing::kOff;
+  const cluster::MeasurementPools engine =
+      cluster::WorkloadDrivenSim(cfg).run();
+  const cluster::MeasurementPools twin =
+      bench::legacy_cluster::run_workload_driven(cfg);
+  EXPECT_EQ(engine.total_keys, twin.total_keys);
+  EXPECT_DOUBLE_EQ(engine.measured_miss_rate_hz, twin.measured_miss_rate_hz);
+  EXPECT_TRUE(engine.server_utilization == twin.server_utilization);
+  // Exact pool equality, sample for sample: the off path took exactly the
+  // splits the twin took — the rank stream's split never happened.
+  EXPECT_TRUE(engine.server_sojourns == twin.server_sojourns);
+  EXPECT_TRUE(engine.db_sojourns == twin.db_sojourns);
+  EXPECT_EQ(engine.db_delayed_hits, 0u);
+  EXPECT_GT(engine.db_fetches, 0u);
+}
+
+}  // namespace
+}  // namespace mclat

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/end_to_end.h"
 #include "dist/rng.h"
 #include "stats/summary.h"
 #include "stats/welford.h"
@@ -126,6 +127,51 @@ TEST(TrialRunner, TrialExceptionPropagates) {
                          }),
         std::runtime_error);
   }
+}
+
+TEST(TrialRunner, CoalescedTrialsAreJobCountInvariant) {
+  // Multi-trial delayed-hit coalescing under the runner (and, with
+  // -DMCLAT_SANITIZE=thread, under TSan): each trial owns its simulator,
+  // FetchTable, and RNG streams, so jobs ∈ {1, 4} must merge to
+  // bit-identical statistics — parallelism may not leak into the
+  // coalescing bookkeeping.
+  std::vector<stats::MeanCI> merged;
+  std::vector<std::uint64_t> fetch_totals;
+  for (const std::size_t jobs : {1u, 4u}) {
+    const TrialRunner runner({jobs, 99});
+    const auto parts =
+        runner.run(6, [](std::uint64_t, std::uint64_t seed) {
+          cluster::EndToEndConfig cfg;
+          cfg.system.servers = 2;
+          cfg.system.total_key_rate = 4000.0;
+          cfg.system.keys_per_request = 2;
+          cfg.system.service_rate = 20'000.0;
+          cfg.system.miss_ratio = 0.5;
+          cfg.system.db_service_rate = 500.0;  // slow fetches pile waiters
+          cfg.coalescing = cluster::MissCoalescing::kPerServer;
+          cfg.warmup_time = 0.05;
+          cfg.measure_time = 0.3;
+          cfg.seed = seed;
+          const cluster::EndToEndResult r = cluster::EndToEndSim(cfg).run();
+          stats::Welford w;
+          for (const double x : r.total_samples) w.add(x);
+          return std::make_pair(w, r.measured_db_fetches +
+                                       r.measured_delayed_hits);
+        });
+    stats::Welford all;
+    std::uint64_t fetches = 0;
+    for (const auto& [w, f] : parts) {
+      all.merge(w);
+      fetches += f;
+    }
+    merged.push_back(stats::mean_ci(all));
+    fetch_totals.push_back(fetches);
+  }
+  EXPECT_GT(fetch_totals[0], 0u);
+  EXPECT_EQ(fetch_totals[0], fetch_totals[1]);
+  EXPECT_TRUE(same_bits(merged[0].mean, merged[1].mean));
+  EXPECT_TRUE(same_bits(merged[0].halfwidth, merged[1].halfwidth));
+  EXPECT_EQ(merged[0].count, merged[1].count);
 }
 
 TEST(TrialRunner, WelfordMergeOrderIsDeterministic) {

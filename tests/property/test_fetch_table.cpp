@@ -1,0 +1,141 @@
+// FetchTable invariants under randomized interleavings, checked against a
+// plain map-of-queues model:
+//   * single flight: lead_or_park leads iff the model has no entry for the
+//     (server, rank) — never two outstanding fetches for one key;
+//   * FIFO release: release() hands back exactly the model's waiter queue,
+//     in park order;
+//   * conservation: every parked waiter is eventually released (or still
+//     parked), parked() == released() + waiters in the model;
+//   * outstanding_fetches() tracks the model's entry count and
+//     peak_outstanding() its running maximum.
+// The random walk interleaves leads, parks, and releases over a small
+// (server, rank) grid so collisions are frequent.
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine/fetch_table.h"
+
+namespace mclat {
+namespace {
+
+using cluster::engine::FetchTable;
+
+TEST(FetchTable, LeadsThenParksThenReleasesFifo) {
+  FetchTable t(2);
+  EXPECT_TRUE(t.lead_or_park(0, 7, /*job=*/1, /*now=*/0.5));
+  EXPECT_FALSE(t.lead_or_park(0, 7, 2, 0.6));
+  EXPECT_FALSE(t.lead_or_park(0, 7, 3, 0.7));
+  // Same rank on another server is an independent fetch.
+  EXPECT_TRUE(t.lead_or_park(1, 7, 4, 0.8));
+  EXPECT_TRUE(t.outstanding(0, 7));
+  EXPECT_EQ(t.leader_of(0, 7), 1u);
+  EXPECT_EQ(t.outstanding_fetches(), 2u);
+
+  std::vector<FetchTable::Waiter> out;
+  t.release(0, 7, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].job, 2u);
+  EXPECT_DOUBLE_EQ(out[0].parked_at, 0.6);
+  EXPECT_EQ(out[1].job, 3u);
+  EXPECT_DOUBLE_EQ(out[1].parked_at, 0.7);
+  EXPECT_FALSE(t.outstanding(0, 7));
+  // The key is free again: the next miss leads a fresh fetch.
+  EXPECT_TRUE(t.lead_or_park(0, 7, 5, 0.9));
+  EXPECT_EQ(t.led(), 3u);
+  EXPECT_EQ(t.parked(), 2u);
+  EXPECT_EQ(t.released(), 2u);
+}
+
+TEST(FetchTable, ReleaseWithoutOutstandingFetchThrows) {
+  FetchTable t(1);
+  std::vector<FetchTable::Waiter> out;
+  EXPECT_THROW(t.release(0, 0, out), std::invalid_argument);
+  EXPECT_THROW((void)t.leader_of(0, 0), std::invalid_argument);
+  ASSERT_TRUE(t.lead_or_park(0, 0, 1, 0.0));
+  t.release(0, 0, out);
+  // Double release is the same wiring bug.
+  EXPECT_THROW(t.release(0, 0, out), std::invalid_argument);
+}
+
+TEST(FetchTable, RandomInterleavingsMatchModel) {
+  constexpr std::size_t kServers = 4;
+  constexpr std::uint64_t kRanks = 8;
+  std::mt19937_64 gen(20260809);
+  std::uniform_int_distribution<std::size_t> pick_server(0, kServers - 1);
+  std::uniform_int_distribution<std::uint64_t> pick_rank(0, kRanks - 1);
+  std::uniform_int_distribution<int> pick_op(0, 2);
+
+  for (int round = 0; round < 20; ++round) {
+    FetchTable t(kServers);
+    // Model: (server, rank) → {leader, FIFO waiter queue}.
+    std::map<std::pair<std::size_t, std::uint64_t>,
+             std::pair<std::uint64_t, std::deque<FetchTable::Waiter>>>
+        model;
+    std::uint64_t next_job = 0;
+    std::size_t model_peak = 0;
+    double now = 0.0;
+    std::vector<FetchTable::Waiter> out;
+
+    for (int step = 0; step < 2000; ++step) {
+      const std::size_t sv = pick_server(gen);
+      const std::uint64_t rk = pick_rank(gen);
+      const auto key = std::make_pair(sv, rk);
+      now += 0.001;
+      if (pick_op(gen) < 2) {  // miss: lead or park
+        const std::uint64_t job = next_job++;
+        const bool led = t.lead_or_park(sv, rk, job, now);
+        const auto it = model.find(key);
+        EXPECT_EQ(led, it == model.end());
+        if (it == model.end()) {
+          model.emplace(key, std::make_pair(job, std::deque<FetchTable::Waiter>{}));
+          model_peak = std::max(model_peak, model.size());
+        } else {
+          it->second.second.push_back(FetchTable::Waiter{job, now});
+        }
+      } else {  // fetch completion
+        const auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_THROW(t.release(sv, rk, out), std::invalid_argument);
+          continue;
+        }
+        EXPECT_EQ(t.leader_of(sv, rk), it->second.first);
+        t.release(sv, rk, out);
+        const std::deque<FetchTable::Waiter>& q = it->second.second;
+        ASSERT_EQ(out.size(), q.size());
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          EXPECT_EQ(out[i].job, q[i].job);
+          EXPECT_DOUBLE_EQ(out[i].parked_at, q[i].parked_at);
+        }
+        model.erase(it);
+      }
+      // Global invariants after every step.
+      ASSERT_EQ(t.outstanding_fetches(), model.size());
+      std::uint64_t model_waiting = 0;
+      for (const auto& [k, v] : model) {
+        ASSERT_TRUE(t.outstanding(k.first, k.second));
+        model_waiting += v.second.size();
+      }
+      ASSERT_EQ(t.parked(), t.released() + model_waiting);
+      ASSERT_EQ(t.peak_outstanding(), model_peak);
+    }
+    // Drain: everything still parked must come out exactly once.
+    while (!model.empty()) {
+      const auto it = model.begin();
+      t.release(it->first.first, it->first.second, out);
+      EXPECT_EQ(out.size(), it->second.second.size());
+      model.erase(it);
+    }
+    EXPECT_EQ(t.outstanding_fetches(), 0u);
+    EXPECT_EQ(t.parked(), t.released());
+  }
+}
+
+}  // namespace
+}  // namespace mclat

@@ -173,11 +173,19 @@ int cmd_simulate(tools::CliArgs& args) {
   const unsigned redundancy = static_cast<unsigned>(args.count(
       "redundancy", 1,
       "with --e2e: dispatch each key to d servers, first replica wins"));
+  const bool coalesce = args.flag(
+      "coalesce",
+      "coalesce concurrent misses of one key into a single database fetch "
+      "(delayed hits park behind the in-flight fetch)");
   args.finish("mclat simulate — theory vs the simulated testbed");
+  if (coalesce) {
+    opt.coalescing = cluster::MissCoalescing::kPerServer;
+  }
   if (e2e) {
     cluster::EndToEndConfig ecfg;
     ecfg.system = cfg;
     ecfg.redundancy = redundancy;
+    ecfg.coalescing = opt.coalescing;
     ecfg.warmup_time = opt.seconds / 10.0;
     ecfg.measure_time = opt.seconds;
     ecfg.seed = opt.seed;
@@ -189,6 +197,11 @@ int cmd_simulate(tools::CliArgs& args) {
     std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
                 static_cast<unsigned long long>(r.requests_completed),
                 r.measured_miss_ratio);
+    if (coalesce) {
+      std::printf("db fetches: %llu   delayed hits: %llu\n",
+                  static_cast<unsigned long long>(r.measured_db_fetches),
+                  static_cast<unsigned long long>(r.measured_delayed_hits));
+    }
     std::printf("%-8s | %-22s | %s\n", "latency", "theory (us)",
                 "simulated (us)");
     std::printf("%-8s | %22.1f | %s\n", "T_N(N)", e.network * 1e6,
@@ -297,6 +310,10 @@ int cmd_replay(tools::CliArgs& args) {
   const double measure_from = args.number(
       "measure-from", 0.0,
       "statistics window start, s (earlier requests replay unmeasured)");
+  const bool coalesce = args.flag(
+      "coalesce",
+      "coalesce concurrent misses of one (server, key) into a single "
+      "database fetch (delayed hits park behind the in-flight fetch)");
   args.finish("mclat replay — trace-driven cluster simulation (Mode C)");
 
   workload::RequestStreamConfig scfg;
@@ -332,11 +349,17 @@ int cmd_replay(tools::CliArgs& args) {
   rcfg.cache_bytes_per_server =
       static_cast<std::size_t>(cache_mb * static_cast<double>(1u << 20));
   rcfg.measure_from = measure_from;
+  if (coalesce) rcfg.coalescing = cluster::MissCoalescing::kPerServer;
   const cluster::TraceReplayResult r =
       cluster::TraceReplaySim(rcfg).run(trace, stream.keyspace());
   std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
               static_cast<unsigned long long>(r.requests_completed),
               r.measured_miss_ratio);
+  if (coalesce) {
+    std::printf("db fetches: %llu   delayed hits: %llu\n",
+                static_cast<unsigned long long>(r.db_fetches),
+                static_cast<unsigned long long>(r.delayed_hits));
+  }
   if (measure_from > 0.0) {
     std::printf("measured requests:  %llu (started at or after t=%.2f s)\n",
                 static_cast<unsigned long long>(r.measured_requests),

@@ -42,6 +42,9 @@ struct SimulateOptions {
   /// zero overhead, and — by the recorder null-object contract — byte-for-
   /// byte identical simulation output either way.
   obs::Registry* metrics = nullptr;
+  /// Delayed-hit miss coalescing on the database stage (`--coalesce`).
+  /// kOff keeps every replication byte-identical to the pre-coalescing tool.
+  cluster::MissCoalescing coalescing = cluster::MissCoalescing::kOff;
 };
 
 /// Merged per-component statistics over all replications.
@@ -72,6 +75,7 @@ inline SimulateResult run_simulate(const core::SystemConfig& sys,
         cfg.measure_time = opt.seconds;
         cfg.warmup_time = opt.seconds / 10.0;
         cfg.seed = trial_seed;
+        cfg.coalescing = opt.coalescing;
         if (record) cfg.recorder = obs::Recorder(t.metrics);
         const cluster::AssembledRequests reqs =
             cluster::run_workload_experiment(cfg, opt.requests);
