@@ -18,9 +18,9 @@ int main() {
   base.system = core::SystemConfig::facebook();
   base.system.total_key_rate = 4.0 * 40'000.0;  // ~50 % utilisation
   base.system.keys_per_request = 100;
-  base.warmup_time = 1.0 * bench::time_scale();
-  base.measure_time = 8.0 * bench::time_scale();
-  base.seed = 7;
+  base.common.warmup_time = 1.0 * bench::time_scale();
+  base.common.measure_time = 8.0 * bench::time_scale();
+  base.common.seed = 7;
 
   // 1. Real cache: Zipf keys over a finite keyspace, 4 MiB per server.
   cluster::EndToEndConfig real = base;
@@ -28,7 +28,7 @@ int main() {
   real.mapper = cluster::MapperKind::kRing;
   real.keyspace_size = 100'000;
   real.zipf_exponent = 1.0;
-  real.cache_bytes_per_server = 4u << 20;
+  real.common.cache_bytes_per_server = 4u << 20;
   const cluster::EndToEndResult rr = cluster::EndToEndSim(real).run();
   std::printf("\nreal cache: emergent miss ratio = %.4f\n",
               rr.measured_miss_ratio);

@@ -35,9 +35,9 @@ int main() {
   wd.system = sys;
   wd.system.burst_xi = 0.0;      // match Mode B's Poisson request stream
   wd.system.concurrency_q = 0.0;
-  wd.warmup_time = 1.0 * bench::time_scale();
-  wd.measure_time = 10.0 * bench::time_scale();
-  wd.seed = 77;
+  wd.common.warmup_time = 1.0 * bench::time_scale();
+  wd.common.measure_time = 10.0 * bench::time_scale();
+  wd.common.seed = 77;
   const auto pools = cluster::WorkloadDrivenSim(wd).run();
   dist::Rng rng(770);
 
@@ -54,9 +54,9 @@ int main() {
     cluster::EndToEndConfig e2e;
     e2e.system = sys;
     e2e.system.keys_per_request = n;
-    e2e.warmup_time = 0.5 * bench::time_scale();
-    e2e.measure_time = 4.0 * bench::time_scale();
-    e2e.seed = 4200 + n;
+    e2e.common.warmup_time = 0.5 * bench::time_scale();
+    e2e.common.measure_time = 4.0 * bench::time_scale();
+    e2e.common.seed = 4200 + n;
     const auto b = cluster::EndToEndSim(e2e).run();
 
     std::printf("%6u | %6.1f | %12.1f | %12.1f | %12.1f | %8.2fx\n", n,

@@ -1,0 +1,107 @@
+// bench_ext_hedging — extension experiment: the replication phase diagram
+// (Poloczek & Ciucu, "Contrasting Effects of Replication in Parallel
+// Systems", arXiv 1602.07978), run through the event-driven fork-join
+// cluster with the full replica lifecycle: immediate fan-out vs
+// deadline-triggered hedging, losers running to completion vs cancelled on
+// the win.
+//
+// Axes: redundancy degree d (columns) x per-server load (rows) x burst
+// degree (tables). Mode B's per-server batch is X ~ Binomial(N, p_j), so
+// the keys-per-request N is the burst-degree axis: N = 1 keeps replicas
+// competing only with other requests, larger N makes every request flood
+// the cluster with its own 2N-replica burst and drags the harmful phase to
+// lower base loads — the same contrast the phase diagram predicts.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/end_to_end.h"
+
+namespace {
+
+using namespace mclat;
+
+double p99(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[static_cast<std::size_t>(
+      0.99 * static_cast<double>(samples.size() - 1))];
+}
+
+struct Cell {
+  double p99_us = 0.0;
+  std::uint64_t hedges = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t keys = 0;
+};
+
+Cell run_cell(double per_server_rate, std::uint32_t n_keys,
+              const cluster::RedundancyPolicy& policy, std::uint64_t seed) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * per_server_rate;
+  cfg.system.keys_per_request = n_keys;
+  cfg.system.miss_ratio = 0.0;  // isolate the server stage
+  cfg.redundancy = policy;
+  cfg.common.warmup_time = 0.5 * bench::time_scale();
+  cfg.common.measure_time = 4.0 * bench::time_scale();
+  cfg.common.seed = seed;
+  const cluster::EndToEndResult r = cluster::EndToEndSim(cfg).run();
+  return {p99(r.total_samples) * 1e6, r.hedges_fired, r.replicas_cancelled,
+          r.keys_completed};
+}
+
+void sweep(std::uint32_t n_keys, std::uint64_t seed) {
+  std::printf("\nburst degree: N = %u keys/request "
+              "(per-server batch X ~ Binomial(N, p_j))\n", n_keys);
+  std::printf("%8s | %9s | %9s | %9s | %9s | %7s\n", "l(Kps)", "d=1",
+              "d=2 imm", "d=2 cncl", "d=2 hedge", "hedge%");
+  std::printf("---------+-----------+-----------+-----------+-----------"
+              "+--------\n");
+  using cluster::HedgeTrigger;
+  using cluster::LoserMode;
+  using cluster::RedundancyPolicy;
+  for (const double l : {8'000.0, 16'000.0, 24'000.0, 30'000.0, 36'000.0}) {
+    const Cell d1 = run_cell(l, n_keys, RedundancyPolicy(), seed);
+    const Cell imm = run_cell(l, n_keys, RedundancyPolicy(2), seed + 1);
+    const Cell cancel = run_cell(
+        l, n_keys,
+        RedundancyPolicy(2, HedgeTrigger::kImmediate, LoserMode::kCancelOnWin),
+        seed + 2);
+    const Cell hedged =
+        run_cell(l, n_keys, RedundancyPolicy::hedged(2), seed + 3);
+    const double hedge_pct =
+        hedged.keys == 0 ? 0.0
+                         : 100.0 * static_cast<double>(hedged.hedges) /
+                               static_cast<double>(hedged.keys);
+    std::printf("%8.0f | %9.1f | %9.1f | %9.1f | %9.1f | %6.1f%%\n",
+                l / 1000.0, d1.p99_us, imm.p99_us, cancel.p99_us,
+                hedged.p99_us, hedge_pct);
+    seed += 10;
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: hedging phase diagram",
+                "(arXiv 1602.07978 modelled; no paper figure)",
+                "P99 of T(N), event-driven fork-join: d=1 vs d=2 immediate "
+                "vs cancel-on-win vs hedged (P95 deadline); "
+                "xi=0.15, q=0.1, muS=80Kps, r=0 (server stage isolated)");
+
+  sweep(/*n_keys=*/1, /*seed=*/7'100);
+  sweep(/*n_keys=*/4, /*seed=*/7'900);
+
+  std::printf(
+      "\nReading: with N=1, d=2 lowers P99 while the doubled utilisation "
+      "stays below the cliff and raises it after — the phase transition. "
+      "Cancel-on-win pulls losers out of the queues and recovers most of "
+      "the harmful-phase penalty; hedging fires backups for only the "
+      "slowest few percent of keys, keeping the offered load near 1x, and "
+      "beats immediate fan-out everywhere the extra load matters. With "
+      "N=4 each request's own replica burst floods the cluster and the "
+      "helpful phase shrinks toward lighter loads.\n");
+  return 0;
+}

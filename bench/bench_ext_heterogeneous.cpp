@@ -35,9 +35,9 @@ int main() {
 
     cluster::WorkloadDrivenConfig cfg;
     cfg.system = sys;
-    cfg.warmup_time = 1.5 * bench::time_scale();
-    cfg.measure_time = 12.0 * bench::time_scale();
-    cfg.seed = seed++;
+    cfg.common.warmup_time = 1.5 * bench::time_scale();
+    cfg.common.measure_time = 12.0 * bench::time_scale();
+    cfg.common.seed = seed++;
     const auto pools = cluster::WorkloadDrivenSim(cfg).run();
     dist::Rng rng(seed ^ 0x777ull);
     const auto reqs =

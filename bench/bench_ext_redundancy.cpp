@@ -43,9 +43,9 @@ int main() {
       cluster::WorkloadDrivenConfig sim_cfg;
       sim_cfg.system = base;
       sim_cfg.system.total_key_rate = base.total_key_rate * d;
-      sim_cfg.warmup_time = 1.0 * bench::time_scale();
-      sim_cfg.measure_time = 8.0 * bench::time_scale();
-      sim_cfg.seed = seed++;
+      sim_cfg.common.warmup_time = 1.0 * bench::time_scale();
+      sim_cfg.common.measure_time = 8.0 * bench::time_scale();
+      sim_cfg.common.seed = seed++;
       const auto pools = cluster::WorkloadDrivenSim(sim_cfg).run();
       dist::Rng rng(seed ^ 0x12345ull);
       const auto reqs = cluster::assemble_requests_redundant(

@@ -24,9 +24,9 @@ int main() {
 
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = sys;
-  cfg.warmup_time = 2.0 * bench::time_scale();
-  cfg.measure_time = 25.0 * bench::time_scale();
-  cfg.seed = 5150;
+  cfg.common.warmup_time = 2.0 * bench::time_scale();
+  cfg.common.measure_time = 25.0 * bench::time_scale();
+  cfg.common.seed = 5150;
   const cluster::MeasurementPools pools =
       cluster::WorkloadDrivenSim(cfg).run();
   dist::Rng rng(51);

@@ -23,9 +23,9 @@ int main() {
   // One shared DB pool.
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = core::SystemConfig::facebook();
-  cfg.warmup_time = 1.0 * bench::time_scale();
-  cfg.measure_time = 10.0 * bench::time_scale();
-  cfg.seed = 11;
+  cfg.common.warmup_time = 1.0 * bench::time_scale();
+  cfg.common.measure_time = 10.0 * bench::time_scale();
+  cfg.common.seed = 11;
   const cluster::MeasurementPools pools =
       cluster::WorkloadDrivenSim(cfg).run();
   dist::Rng rng(111);

@@ -29,9 +29,9 @@ int main() {
       opt.replications, [&](std::uint64_t, std::uint64_t trial_seed) {
         cluster::WorkloadDrivenConfig cfg;
         cfg.system = sys;
-        cfg.warmup_time = 2.0 * bench::time_scale();
-        cfg.measure_time = 25.0 * bench::time_scale();
-        cfg.seed = exec::stream_seed(trial_seed, exec::Stream::simulation);
+        cfg.common.warmup_time = 2.0 * bench::time_scale();
+        cfg.common.measure_time = 25.0 * bench::time_scale();
+        cfg.common.seed = exec::stream_seed(trial_seed, exec::Stream::simulation);
         const cluster::MeasurementPools pools =
             cluster::WorkloadDrivenSim(cfg).run();
         dist::Rng rng(exec::stream_seed(trial_seed, exec::Stream::assembly));

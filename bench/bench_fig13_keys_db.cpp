@@ -23,9 +23,9 @@ int main() {
 
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = sys;
-  cfg.warmup_time = 1.0 * bench::time_scale();
-  cfg.measure_time = 10.0 * bench::time_scale();
-  cfg.seed = 13;
+  cfg.common.warmup_time = 1.0 * bench::time_scale();
+  cfg.common.measure_time = 10.0 * bench::time_scale();
+  cfg.common.seed = 13;
   const cluster::MeasurementPools pools =
       cluster::WorkloadDrivenSim(cfg).run();
   const core::DatabaseStage db(sys.miss_ratio, sys.db_service_rate);

@@ -19,9 +19,9 @@ int main() {
 
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = sys;
-  cfg.warmup_time = 2.0 * bench::time_scale();
-  cfg.measure_time = 30.0 * bench::time_scale();
-  cfg.seed = 4;
+  cfg.common.warmup_time = 2.0 * bench::time_scale();
+  cfg.common.measure_time = 30.0 * bench::time_scale();
+  cfg.common.seed = 4;
   const cluster::MeasurementPools pools =
       cluster::WorkloadDrivenSim(cfg).run();
   dist::Rng rng(99);

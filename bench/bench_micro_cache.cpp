@@ -239,13 +239,13 @@ cluster::EndToEndConfig real_cache_bench_config() {
   cfg.system.keys_per_request = 50;
   cfg.miss_mode = cluster::MissMode::kRealCache;
   cfg.keyspace_size = 100'000;
-  cfg.cache_bytes_per_server = 4u << 20;
+  cfg.common.cache_bytes_per_server = 4u << 20;
   // A multi-second horizon so the once-per-trial KeyTable build amortizes
   // the way it does in the figure harnesses (which run 10+ simulated
   // seconds); a sub-second horizon would mostly time table construction.
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 2.0;
-  cfg.seed = 21;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 2.0;
+  cfg.common.seed = 21;
   return cfg;
 }
 
@@ -288,10 +288,10 @@ void BM_CoalescedMissStorm(benchmark::State& state) {
   cfg.system.keys_per_request = 10;
   cfg.system.miss_ratio = 1.0;
   cfg.system.db_service_rate = 200.0;
-  cfg.coalescing = cluster::MissCoalescing::kPerServer;
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 2.0;
-  cfg.seed = 33;
+  cfg.common.coalescing = cluster::MissCoalescing::kPerServer;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 2.0;
+  cfg.common.seed = 33;
   std::uint64_t keys_done = 0;
   for (auto _ : state) {
     cluster::EndToEndSim sim(cfg);
@@ -302,6 +302,33 @@ void BM_CoalescedMissStorm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(keys_done));
 }
 BENCHMARK(BM_CoalescedMissStorm)->Unit(benchmark::kMillisecond);
+
+// The full replica lifecycle on the hot path: hedged d = 2 at rho ~ 0.45,
+// so a few percent of keys arm a deadline event, fire backups from the
+// dedicated hedge stream, and every win cancels its losers (O(1)
+// generation-tag kill for in-flight hops, FIFO pull for queued replicas).
+// Exercises ReplicaSet group churn, the P2 deadline estimator, and the
+// kernel's cancellation path under load.
+void BM_HedgedFanout(benchmark::State& state) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * 36'000.0;
+  cfg.system.keys_per_request = 1;
+  cfg.system.miss_ratio = 0.01;
+  cfg.redundancy = cluster::RedundancyPolicy::hedged(2);
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 2.0;
+  cfg.common.seed = 55;
+  std::uint64_t keys_done = 0;
+  for (auto _ : state) {
+    cluster::EndToEndSim sim(cfg);
+    const cluster::EndToEndResult r = sim.run();
+    keys_done += r.keys_completed;
+    benchmark::DoNotOptimize(r.replicas_cancelled);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys_done));
+}
+BENCHMARK(BM_HedgedFanout)->Unit(benchmark::kMillisecond);
 
 void BM_ZipfSampleLargeKeyspace(benchmark::State& state) {
   const dist::Zipf zipf(100'000'000ull, 0.99);

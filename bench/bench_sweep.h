@@ -81,9 +81,9 @@ inline ServerStagePoint run_server_point(const core::SystemConfig& sys,
       opt.replications, [&](std::uint64_t, std::uint64_t trial_seed) {
         cluster::WorkloadDrivenConfig cfg;
         cfg.system = sys;
-        cfg.warmup_time = 1.5 * time_scale();
-        cfg.measure_time = sim_seconds * time_scale();
-        cfg.seed = exec::stream_seed(trial_seed, exec::Stream::simulation);
+        cfg.common.warmup_time = 1.5 * time_scale();
+        cfg.common.measure_time = sim_seconds * time_scale();
+        cfg.common.seed = exec::stream_seed(trial_seed, exec::Stream::simulation);
         const cluster::MeasurementPools pools =
             cluster::WorkloadDrivenSim(cfg).run();
         dist::Rng rng(exec::stream_seed(trial_seed, exec::Stream::assembly));

@@ -29,9 +29,9 @@ int main() {
   // Experiment: long Mode-A run (scaled down from the paper's 10 min).
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = sys;
-  cfg.warmup_time = 2.0 * bench::time_scale();
-  cfg.measure_time = 30.0 * bench::time_scale();
-  cfg.seed = 1;
+  cfg.common.warmup_time = 2.0 * bench::time_scale();
+  cfg.common.measure_time = 30.0 * bench::time_scale();
+  cfg.common.seed = 1;
   const auto requests = cluster::run_workload_experiment(
       cfg, static_cast<std::uint64_t>(100'000 * bench::time_scale()));
 

@@ -14,9 +14,9 @@
 // (PR 3) and bench/legacy_workload.h (PR 4).
 //
 // This is NOT production code: the simulators all run on the engine. Do
-// not grow features here; new fields on the config structs (redundancy,
-// trace-replay miss_mode / measure_from) are deliberately ignored — the
-// twins implement exactly the pre-engine feature set.
+// not grow features here; new fields on the config structs (the redundancy
+// policy, trace-replay miss_mode) are deliberately ignored — the twins
+// implement exactly the pre-engine feature set.
 #pragma once
 
 #include <algorithm>
@@ -98,11 +98,11 @@ inline cluster::EndToEndResult run_end_to_end(
   const std::vector<double> shares = sys.shares();
   const std::size_t M = shares.size();
   const double net_half = sys.network_latency / 2.0;
-  const double horizon = cfg_.warmup_time + cfg_.measure_time;
+  const double horizon = cfg_.common.warmup_time + cfg_.common.measure_time;
   const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
 
   sim::Simulator s;
-  dist::Rng master(cfg_.seed);
+  dist::Rng master(cfg_.common.seed);
   dist::Rng req_rng = master.split();
   dist::Rng miss_rng = master.split();
   dist::Rng key_rng = master.split();
@@ -139,16 +139,16 @@ inline cluster::EndToEndResult run_end_to_end(
   std::unique_ptr<workload::KeyTable> key_table;
   std::vector<std::unique_ptr<cache::LruStore>> stores;
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
-                                             cfg_.max_value_bytes);
+                                             cfg_.common.max_value_bytes);
   if (real_cache) {
     keyspace = std::make_unique<workload::KeySpace>(cfg_.keyspace_size,
                                                     cfg_.zipf_exponent);
     key_table = std::make_unique<workload::KeyTable>(*keyspace, *mapper,
                                                      &value_sizes);
     cache::SlabAllocator::Config scfg;
-    scfg.memory_limit = cfg_.cache_bytes_per_server;
+    scfg.memory_limit = cfg_.common.cache_bytes_per_server;
     scfg.page_size = std::min<std::size_t>(
-        64 * 1024, std::max<std::size_t>(cfg_.cache_bytes_per_server / 32,
+        64 * 1024, std::max<std::size_t>(cfg_.common.cache_bytes_per_server / 32,
                                          8 * 1024));
     scfg.growth_factor = 2.0;
     stores.reserve(M);
@@ -279,7 +279,7 @@ inline cluster::EndToEndResult run_end_to_end(
         }));
     servers.back()->observe_split(rec.latency(prefix + ".wait_us"),
                                   rec.latency(prefix + ".service_us"),
-                                  cfg_.warmup_time);
+                                  cfg_.common.warmup_time);
   }
 
   const double rate = cfg_.effective_request_rate();
@@ -289,7 +289,7 @@ inline cluster::EndToEndResult run_end_to_end(
     RequestState st;
     st.start = s.now();
     st.remaining = sys.keys_per_request;
-    st.measured = s.now() >= cfg_.warmup_time;
+    st.measured = s.now() >= cfg_.common.warmup_time;
     const std::uint64_t rid = requests.insert(st);
     for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
       KeyContext ctx;
@@ -377,7 +377,7 @@ inline cluster::TraceReplayResult run_trace_replay(
   }
 
   sim::Simulator s;
-  dist::Rng master(cfg_.seed);
+  dist::Rng master(cfg_.common.seed);
   dist::Rng miss_rng = master.split();
   const auto mapper = detail::make_mapper(cfg_.mapper, sys.shares());
 
@@ -520,7 +520,7 @@ inline cluster::MeasurementPools run_workload_driven(
   pools.server_sojourns.resize(shares.size());
   pools.server_utilization.resize(shares.size(), 0.0);
 
-  dist::Rng master(cfg_.seed);
+  dist::Rng master(cfg_.common.seed);
 
   for (std::size_t j = 0; j < shares.size(); ++j) {
     if (shares[j] <= 0.0) continue;
@@ -530,7 +530,7 @@ inline cluster::MeasurementPools run_workload_driven(
     dist::Rng source_rng = master.split();
     dist::Rng pool_rng = master.split();
     stats::Reservoir pool(cfg_.pool_cap);
-    const double measure_from = cfg_.warmup_time;
+    const double measure_from = cfg_.common.warmup_time;
     std::uint64_t next_job = 0;
 
     sim::ServiceStation station(
@@ -552,7 +552,7 @@ inline cluster::MeasurementPools run_workload_driven(
           for (std::uint64_t k = 0; k < batch; ++k) station.arrive(next_job++);
         });
     source.start();
-    s.run_until(cfg_.warmup_time + cfg_.measure_time);
+    s.run_until(cfg_.common.warmup_time + cfg_.common.measure_time);
     source.stop();
 
     pools.server_sojourns[j] = pool.take();
@@ -577,7 +577,7 @@ inline cluster::MeasurementPools run_workload_driven(
     cluster::DelayStation db(
         s, std::make_unique<dist::Exponential>(sys.db_service_rate), db_rng,
         [&](const sim::Departure& d) {
-          if (d.arrival >= cfg_.warmup_time) {
+          if (d.arrival >= cfg_.common.warmup_time) {
             pool.add(d.sojourn_time(), pool_rng);
             obs::observe(db_stat, obs::to_us(d.sojourn_time()));
             obs::bump(db_misses);
@@ -589,7 +589,7 @@ inline cluster::MeasurementPools run_workload_driven(
       s.schedule_in(arr_rng.exponential(miss_rate), [&arrival] { arrival(); });
     };
     s.schedule_in(arr_rng.exponential(miss_rate), [&arrival] { arrival(); });
-    s.run_until(cfg_.warmup_time + cfg_.measure_time);
+    s.run_until(cfg_.common.warmup_time + cfg_.common.measure_time);
     pools.db_sojourns = pool.take();
   }
   return pools;

@@ -130,7 +130,7 @@ inline cluster::EndToEndResult run_end_to_end(cluster::EndToEndConfig cfg_) {
   using detail::KeyContext;
   using detail::RequestState;
 
-  math::require(cfg_.warmup_time >= 0.0 && cfg_.measure_time > 0.0,
+  math::require(cfg_.common.warmup_time >= 0.0 && cfg_.common.measure_time > 0.0,
                 "legacy EndToEndSim: bad time horizon");
   math::require(cfg_.system.keys_per_request >= 1,
                 "legacy EndToEndSim: keys_per_request must be >= 1");
@@ -139,11 +139,11 @@ inline cluster::EndToEndResult run_end_to_end(cluster::EndToEndConfig cfg_) {
   const std::vector<double> shares = sys.shares();
   const std::size_t M = shares.size();
   const double net_half = sys.network_latency / 2.0;
-  const double horizon = cfg_.warmup_time + cfg_.measure_time;
+  const double horizon = cfg_.common.warmup_time + cfg_.common.measure_time;
   const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
 
   sim::Simulator s;
-  dist::Rng master(cfg_.seed);
+  dist::Rng master(cfg_.common.seed);
   dist::Rng req_rng = master.split();
   dist::Rng miss_rng = master.split();
   dist::Rng key_rng = master.split();
@@ -179,14 +179,14 @@ inline cluster::EndToEndResult run_end_to_end(cluster::EndToEndConfig cfg_) {
   std::vector<std::unique_ptr<cache::LruStore>> stores;
   std::string key_buf;  // reused for every key_for_rank rendering
   workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
-                                       cfg_.max_value_bytes);
+                                       cfg_.common.max_value_bytes);
   if (real_cache) {
     keyspace = std::make_unique<workload::KeySpace>(cfg_.keyspace_size,
                                                     cfg_.zipf_exponent);
     cache::SlabAllocator::Config scfg;
-    scfg.memory_limit = cfg_.cache_bytes_per_server;
+    scfg.memory_limit = cfg_.common.cache_bytes_per_server;
     scfg.page_size = std::min<std::size_t>(
-        64 * 1024, std::max<std::size_t>(cfg_.cache_bytes_per_server / 32,
+        64 * 1024, std::max<std::size_t>(cfg_.common.cache_bytes_per_server / 32,
                                          8 * 1024));
     scfg.growth_factor = 2.0;
     stores.reserve(M);
@@ -319,7 +319,7 @@ inline cluster::EndToEndResult run_end_to_end(cluster::EndToEndConfig cfg_) {
         }));
     servers.back()->observe_split(rec.latency(prefix + ".wait_us"),
                                   rec.latency(prefix + ".service_us"),
-                                  cfg_.warmup_time);
+                                  cfg_.common.warmup_time);
   }
 
   const double rate = cfg_.effective_request_rate();
@@ -329,7 +329,7 @@ inline cluster::EndToEndResult run_end_to_end(cluster::EndToEndConfig cfg_) {
     RequestState st;
     st.start = s.now();
     st.remaining = sys.keys_per_request;
-    st.measured = s.now() >= cfg_.warmup_time;
+    st.measured = s.now() >= cfg_.common.warmup_time;
     const std::uint64_t rid = requests.insert(st);
     for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
       KeyContext ctx;

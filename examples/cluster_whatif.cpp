@@ -35,9 +35,9 @@ int main() {
   base.system.total_key_rate = 4.0 * 48'000.0;  // 60 % utilisation
   base.system.keys_per_request = 100;
   base.system.miss_ratio = 0.01;
-  base.warmup_time = 1.0;
-  base.measure_time = 6.0;
-  base.seed = 99;
+  base.common.warmup_time = 1.0;
+  base.common.measure_time = 6.0;
+  base.common.seed = 99;
 
   std::printf("End-to-end cluster: 4 servers x 80 Kps, 48 Kps offered each, "
               "N=100 keys/request\n\n");
@@ -54,7 +54,7 @@ int main() {
   realcache.mapper = cluster::MapperKind::kRing;
   realcache.keyspace_size = 100'000;
   realcache.zipf_exponent = 1.0;
-  realcache.cache_bytes_per_server = 4u << 20;
+  realcache.common.cache_bytes_per_server = 4u << 20;
   report("realcache", cluster::EndToEndSim(realcache).run());
 
   // 3. A database that can actually queue. Miss traffic is

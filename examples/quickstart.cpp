@@ -30,8 +30,8 @@ int main() {
   // 3. Experiment: simulate the same system and assemble 20k requests.
   cluster::WorkloadDrivenConfig sim_cfg;
   sim_cfg.system = cfg;
-  sim_cfg.warmup_time = 1.0;
-  sim_cfg.measure_time = 8.0;
+  sim_cfg.common.warmup_time = 1.0;
+  sim_cfg.common.measure_time = 8.0;
   const cluster::AssembledRequests sim =
       cluster::run_workload_experiment(sim_cfg, 20'000);
 

@@ -56,9 +56,9 @@ int main() {
     if (hour % 4 == 0) {  // periodic reality check against the testbed
       cluster::WorkloadDrivenConfig sim;
       sim.system = cfg;
-      sim.warmup_time = 0.5;
-      sim.measure_time = 3.0;
-      sim.seed = seed++;
+      sim.common.warmup_time = 0.5;
+      sim.common.measure_time = 3.0;
+      sim.common.seed = seed++;
       const auto reqs = cluster::run_workload_experiment(sim, 8'000);
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.0f", reqs.total_ci().mean * 1e6);

@@ -6,13 +6,14 @@
 #           the parallel trial-execution engine (label `exec`) and the
 #           observability layer it records into (label `obs`).
 #   tier 3: ASan+UBSan build of the event-kernel, golden-regression,
-#           workload-path, cluster-engine and miss-coalescing suites
-#           (labels `sim`, `exec`, `workload`, `cluster` and
-#           `delayed_hit`) — the kernel's type-erased
+#           workload-path, cluster-engine, miss-coalescing and
+#           replica-lifecycle suites (labels `sim`, `exec`, `workload`,
+#           `cluster`, `delayed_hit` and `hedge`) — the kernel's type-erased
 #           inline-callback storage, slot free-list recycling, the
-#           KeyTable's string_view-into-arena layout, and the engine's
-#           JobTable-backed fork-join joins are exactly the code a lifetime
-#           bug would hide in, so they run under
+#           KeyTable's string_view-into-arena layout, the engine's
+#           JobTable-backed fork-join joins, and the ReplicaSet's
+#           cancellation of live events and queued jobs are exactly the
+#           code a lifetime bug would hide in, so they run under
 #           -fsanitize=address,undefined on every verify.
 #
 #   --bench-smoke: builds bench_micro_sim + bench_micro_cache and checks
@@ -59,12 +60,12 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cluster + delayed_hit suites"
+  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cluster + delayed_hit + hedge suites"
   cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs" \
     --target tests_sim tests_exec tests_workload_property \
-    tests_cluster_engine tests_delayed_hit
-  ctest --test-dir build-asan -L "sim|exec|workload|cluster|delayed_hit" \
+    tests_cluster_engine tests_delayed_hit tests_hedge
+  ctest --test-dir build-asan -L "sim|exec|workload|cluster|delayed_hit|hedge" \
     --output-on-failure -j "$jobs"
 fi
 
@@ -80,7 +81,7 @@ if [[ "$run_bench_smoke" == 1 ]]; then
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json" 2>/dev/null
   ./build/bench/bench_micro_cache \
-    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_EndToEndRealCacheWorkload$|BM_CoalescedMissStorm$' \
+    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_EndToEndRealCacheWorkload$|BM_CoalescedMissStorm$|BM_HedgedFanout$' \
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json2" 2>/dev/null
   python3 - "$smoke_json" "$smoke_json2" <<'EOF'
@@ -104,6 +105,10 @@ floors = {
     # stored-handler waiter delivery: ~4.5M keys/s when healthy; a
     # reintroduced per-waiter std::function copy shows up here.
     "BM_CoalescedMissStorm": 1.0e6,
+    # Hedged d=2 with cancel-on-win at rho~0.45 through the ReplicaSet
+    # (deadline estimator, hedge events, O(1) loser cancellation):
+    # ~1.5M keys/s when healthy.
+    "BM_HedgedFanout": 0.3e6,
 }
 rates = {}
 for path in sys.argv[1:]:

@@ -1,0 +1,53 @@
+// common_config.h — the knobs every cluster simulator shares.
+//
+// WorkloadDrivenConfig, EndToEndConfig and TraceReplayConfig used to each
+// re-declare the measurement window, the seed, the real-cache sizing and the
+// miss-coalescing switch, and each ctor re-validated its own copy. The
+// spellings had already drifted: TraceReplayConfig called the warmup cut
+// `measure_from` while the other two split it into `warmup_time`. This
+// struct is now the single home of those fields — embedded by value as
+// `config.common` — and validate() the single place their invariants live.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cluster/modes.h"
+#include "math/numerics.h"
+
+namespace mclat::cluster {
+
+struct CommonConfig {
+  /// Requests starting before this virtual time run in full — warming
+  /// queues and (in real-cache mode) caches — but are not measured. For the
+  /// trace replay this is the former `measure_from`: identical semantics,
+  /// one spelling.
+  double warmup_time = 1.0;
+  /// Length of the measurement window after warmup. The trace replay
+  /// ignores it — the trace's own horizon ends the run.
+  double measure_time = 10.0;
+  std::uint64_t seed = 1;
+
+  // --- real-cache mode sizing (MissMode::kRealCache) ----------------------
+  std::size_t cache_bytes_per_server = 8u << 20;
+  std::uint32_t max_value_bytes = 4096;
+
+  /// Delayed-hit miss coalescing (see modes.h). kOff reproduces the paper's
+  /// every-miss-an-independent-DB-visit model byte-identically.
+  MissCoalescing coalescing = MissCoalescing::kOff;
+
+  /// One validation for all three simulators; a bad config throws at
+  /// construction, not mid-run. `needs_measure_window` is false for the
+  /// trace replay, whose horizon comes from the trace.
+  void validate(bool needs_measure_window = true) const {
+    math::require(warmup_time >= 0.0, "CommonConfig.warmup_time must be >= 0");
+    math::require(!needs_measure_window || measure_time > 0.0,
+                  "CommonConfig.measure_time must be > 0");
+    math::require(cache_bytes_per_server > 0,
+                  "CommonConfig.cache_bytes_per_server must be > 0");
+    math::require(max_value_bytes > 0,
+                  "CommonConfig.max_value_bytes must be > 0");
+  }
+};
+
+}  // namespace mclat::cluster

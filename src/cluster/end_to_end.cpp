@@ -1,12 +1,14 @@
 #include "cluster/end_to_end.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "cluster/engine/db_stage.h"
 #include "cluster/engine/fetch_table.h"
 #include "cluster/engine/fork_join.h"
+#include "cluster/engine/hedge.h"
 #include "cluster/engine/mapper.h"
 #include "cluster/engine/miss_policy.h"
 #include "cluster/engine/stage_observer.h"
@@ -25,28 +27,15 @@
 
 namespace mclat::cluster {
 
-namespace {
-
-/// First-wins bookkeeping for event-driven redundant fan-out: one group per
-/// key, `redundancy` replicas in flight. The winner carries the key through
-/// the miss path; losers only decrement (their queueing cost has already
-/// been inflicted on their servers, which is the point of modeling
-/// replication event-driven rather than by pool resampling).
-struct ReplicaGroup {
-  std::uint64_t key_job = 0;
-  unsigned remaining = 0;
-  bool won = false;
-};
-
-}  // namespace
-
 EndToEndSim::EndToEndSim(EndToEndConfig cfg) : cfg_(std::move(cfg)) {
-  math::require(cfg_.warmup_time >= 0.0 && cfg_.measure_time > 0.0,
-                "EndToEndSim: bad time horizon");
+  cfg_.common.validate();
   math::require(cfg_.system.keys_per_request >= 1,
                 "EndToEndSim: keys_per_request must be >= 1");
-  math::require(cfg_.redundancy >= 1, "EndToEndSim: redundancy must be >= 1");
-  math::require(cfg_.redundancy == 1 || cfg_.miss_mode == MissMode::kBernoulli,
+  // The RedundancyPolicy itself (degree, trigger, quantile, floor) is
+  // validated at its own construction; only the cross-field constraint
+  // lives here.
+  math::require(!cfg_.redundancy.replicated() ||
+                    cfg_.miss_mode == MissMode::kBernoulli,
                 "EndToEndSim: redundant fan-out requires Bernoulli misses");
 }
 
@@ -55,17 +44,19 @@ EndToEndResult EndToEndSim::run() {
   const std::vector<double> shares = sys.shares();
   const std::size_t M = shares.size();
   const double net_half = sys.network_latency / 2.0;
-  const double horizon = cfg_.warmup_time + cfg_.measure_time;
+  const double horizon = cfg_.common.warmup_time + cfg_.common.measure_time;
   const bool real_cache = cfg_.miss_mode == MissMode::kRealCache;
-  const bool redundant = cfg_.redundancy > 1;
-  const bool coalesce = cfg_.coalescing == MissCoalescing::kPerServer;
+  const RedundancyPolicy& policy = cfg_.redundancy;
+  const bool redundant = policy.replicated();
+  const bool coalesce = cfg_.common.coalescing == MissCoalescing::kPerServer;
 
   sim::Simulator s;
   // The master split sequence is the golden contract (DESIGN.md §4f):
   // arrivals, misses, key draws, the retired value stream, then the database
-  // stage, then one stream per server. Engine components receive their
-  // streams by value at exactly these positions.
-  dist::Rng master(cfg_.seed);
+  // stage, then one stream per server — plus, only when the policy hedges,
+  // the hedge backup-placement stream appended after all of those. Engine
+  // components receive their streams by value at exactly these positions.
+  dist::Rng master(cfg_.common.seed);
   dist::Rng req_rng = master.split();
   dist::Rng miss_rng = master.split();
   dist::Rng key_rng = master.split();
@@ -81,7 +72,7 @@ EndToEndResult EndToEndSim::run() {
   std::unique_ptr<workload::KeySpace> keyspace;
   std::unique_ptr<workload::KeyTable> key_table;
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
-                                             cfg_.max_value_bytes);
+                                             cfg_.common.max_value_bytes);
   if (real_cache) {
     keyspace = std::make_unique<workload::KeySpace>(cfg_.keyspace_size,
                                                     cfg_.zipf_exponent);
@@ -94,16 +85,19 @@ EndToEndResult EndToEndSim::run() {
   }
   engine::MissPolicy miss_policy =
       real_cache
-          ? engine::MissPolicy::real_cache(
-                *key_table, M, cfg_.cache_bytes_per_server, std::move(miss_rng))
+          ? engine::MissPolicy::real_cache(*key_table, M,
+                                           cfg_.common.cache_bytes_per_server,
+                                           std::move(miss_rng))
           : engine::MissPolicy::bernoulli(sys.miss_ratio, std::move(miss_rng));
 
   // --- fork-join core ------------------------------------------------------
   const obs::Recorder& rec = cfg_.recorder;
   engine::StageObserver sobs = engine::StageObserver::for_sim(rec);
-  // Coalescing instruments register only when the mode is on, so a kOff
-  // run's metrics document is byte-identical to the pre-coalescing output.
+  // Coalescing/redundancy instruments register only when the mode is on, so
+  // a plain run's metrics document is byte-identical to the pre-policy
+  // output.
   if (coalesce) sobs.attach_coalescing(rec);
+  if (redundant) sobs.attach_redundancy(rec, policy.hedged());
   engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
                                 /*keep_total_samples=*/true,
                                 /*per_key_counter=*/nullptr);
@@ -117,10 +111,13 @@ EndToEndResult EndToEndSim::run() {
   engine::FetchTable fetch(M);
   std::vector<engine::FetchTable::Waiter> released;
 
-  // Redundancy bookkeeping (untouched when redundancy == 1: keys travel
-  // under their joiner job ids and the schedule is the pre-engine one).
-  JobTable<ReplicaGroup> groups;
-  JobTable<std::uint64_t> replica_group;  // replica job -> group id
+  // Replica lifecycle (engine/hedge.h), engaged only for a replicated
+  // policy: with degree 1 keys travel under their joiner job ids and the
+  // schedule is the pre-engine one. Declared before the servers so their
+  // departure handlers can capture it by reference; constructed after them
+  // because it dispatches into the server vector (and because its hedge
+  // stream, if any, must be the *last* master split).
+  std::optional<engine::ReplicaSet> replicas;
 
   // --- database stage -------------------------------------------------------
   engine::DbStage db(
@@ -166,24 +163,11 @@ EndToEndResult EndToEndSim::run() {
         master.split(), [&, j](const sim::Departure& d) {
           std::uint64_t key_job = d.job_id;
           if (redundant) {
-            const std::uint64_t gid = replica_group.take(
-                d.job_id, "EndToEndSim: departure for unknown replica");
-            ReplicaGroup& g = groups.at(
-                gid, "EndToEndSim: replica departure for unknown group");
-            --g.remaining;
-            if (g.won) {
-              // A losing replica: its value is discarded; the queueing it
-              // caused stays in its server's history.
-              if (g.remaining == 0) {
-                groups.erase(gid, "EndToEndSim: double-retired replica group");
-              }
-              return;
-            }
-            g.won = true;
-            key_job = g.key_job;
-            if (g.remaining == 0) {
-              groups.erase(gid, "EndToEndSim: double-retired replica group");
-            }
+            // First wins; losers (and their wasted service) stop here.
+            const std::optional<std::uint64_t> winner =
+                replicas->on_departure(d);
+            if (!winner) return;
+            key_job = *winner;
           }
           engine::ForkJoinJoiner::Key& ctx = joiner.key(
               key_job, "EndToEndSim: server departure for unknown key");
@@ -217,7 +201,16 @@ EndToEndResult EndToEndSim::run() {
           }
         }));
     engine::StageObserver::attach_server_split(rec, *servers.back(), j,
-                                               cfg_.warmup_time);
+                                               cfg_.common.warmup_time);
+  }
+
+  // The hedge backup-placement stream exists only when the policy hedges:
+  // appended after every pre-existing split, so immediate-mode runs (and
+  // the plain path) keep their streams — and their output bytes — intact.
+  if (redundant) {
+    dist::Rng hedge_rng = policy.hedged() ? master.split() : dist::Rng(0);
+    replicas.emplace(s, policy, net_half, servers, server_pick,
+                     std::move(hedge_rng), sobs);
   }
 
   // --- request generator ----------------------------------------------------
@@ -225,7 +218,7 @@ EndToEndResult EndToEndSim::run() {
   sim::PoissonSource source(s, rate, std::move(req_rng), [&] {
     const double start = s.now();
     const std::uint64_t rid = joiner.open_request(
-        start, sys.keys_per_request, start >= cfg_.warmup_time);
+        start, sys.keys_per_request, start >= cfg_.common.warmup_time);
     for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
       std::uint64_t rank = 0;
       std::size_t server_idx;
@@ -242,14 +235,7 @@ EndToEndResult EndToEndSim::run() {
           servers[server_idx]->arrive(kjob);
         });
       } else {
-        const std::uint64_t gid =
-            groups.insert(ReplicaGroup{kjob, cfg_.redundancy, false});
-        for (unsigned r = 0; r < cfg_.redundancy; ++r) {
-          const std::size_t sj =
-              r == 0 ? server_idx : server_pick.sample(key_rng);
-          const std::uint64_t rjob = replica_group.insert(gid);
-          s.schedule_in(net_half, [&, rjob, sj] { servers[sj]->arrive(rjob); });
-        }
+        replicas->dispatch(kjob, server_idx, key_rng);
       }
     }
   });
@@ -281,6 +267,11 @@ EndToEndResult EndToEndSim::run() {
   res.events_executed = s.events_executed();
   res.measured_db_fetches = measured_db_fetches;
   res.measured_delayed_hits = measured_delayed_hits;
+  if (redundant) {
+    res.hedges_fired = replicas->hedges_fired();
+    res.replicas_cancelled = replicas->replicas_cancelled();
+    res.replica_wasted_service = replicas->wasted_service();
+  }
   if (coalesce) {
     obs::set_gauge(sobs.fetch_outstanding,
                    static_cast<double>(fetch.peak_outstanding()));

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/common_config.h"
+#include "cluster/engine/hedge.h"
 #include "cluster/modes.h"
 #include "core/config.h"
 #include "obs/recorder.h"
@@ -44,38 +46,30 @@ struct EndToEndConfig {
   unsigned db_servers = 4;
   MapperKind mapper = MapperKind::kWeighted;
 
-  /// Event-driven redundant fan-out (Poloczek & Ciucu's replication
-  /// analysis, run through the real queueing dynamics instead of the
-  /// pool-resampling assemble_requests_redundant): each key is dispatched
-  /// to `redundancy` independently chosen servers and the first replica to
-  /// finish wins. Unlike the pool variant, the losing replicas keep
-  /// occupying their queues, so the self-queueing cost of replication is
-  /// captured, not assumed away. 1 = the plain fork-join path
-  /// (byte-identical to pre-engine behavior). Requires kBernoulli misses —
-  /// replicated real caches are not modeled.
-  unsigned redundancy = 1;
+  /// Event-driven redundant fan-out and hedging (Poloczek & Ciucu's
+  /// replication analysis, run through the real queueing dynamics instead
+  /// of the pool-resampling assemble_requests_redundant): each key is
+  /// dispatched to `redundancy.degree()` independently chosen servers —
+  /// immediately, or deadline-triggered when the trigger is kHedged — and
+  /// the first replica to finish wins. Losers either keep occupying their
+  /// queues (kLetLosersRun: the self-queueing cost of replication in full)
+  /// or are cancelled on the win (kCancelOnWin). The default policy is the
+  /// plain fork-join path (byte-identical to pre-engine behavior).
+  /// Replication requires kBernoulli misses — replicated real caches are
+  /// not modeled. See engine/hedge.h.
+  RedundancyPolicy redundancy;
 
-  /// Delayed-hit miss coalescing (kPerServer): a key that misses while a
-  /// database fetch for the same key is already in flight at its server
-  /// parks behind that fetch instead of submitting new DB work, and the
-  /// fetch's completion releases every waiter at once (refilling the cache
-  /// exactly once in real-cache mode). kOff reproduces the paper's model —
-  /// every miss an independent DB visit — byte-identically to the
-  /// pre-coalescing simulator. Under kBernoulli misses keys carry no
-  /// identity (rank 0), so coalescing degenerates to single-flight per
-  /// server: the single-hot-key delayed-hit regime
+  /// Measurement window, seed, real-cache sizing and miss coalescing —
+  /// the knobs shared by all three cluster simulators (common_config.h).
+  /// Note on coalescing here: under kBernoulli misses keys carry no
+  /// identity (rank 0), so kPerServer degenerates to single-flight per
+  /// server — the single-hot-key delayed-hit regime
   /// (tests/cluster/test_delayed_hit_model.cpp validates it in closed form).
-  MissCoalescing coalescing = MissCoalescing::kOff;
+  CommonConfig common;
 
   // --- real-cache mode parameters ---------------------------------------
   std::uint64_t keyspace_size = 200'000;
   double zipf_exponent = 0.99;
-  std::size_t cache_bytes_per_server = 8u << 20;
-  std::uint32_t max_value_bytes = 4096;
-
-  double warmup_time = 1.0;
-  double measure_time = 10.0;
-  std::uint64_t seed = 1;
 
   /// Per-stage observability (null by default): per-server queue-wait /
   /// service splits and utilisation, per-request stage maxima
@@ -109,6 +103,15 @@ struct EndToEndResult {
   /// Misses (measured window) parked behind an in-flight fetch (delayed
   /// hits). Conservation: measured misses == fetches + delayed hits.
   std::uint64_t measured_delayed_hits = 0;
+  // --- replica lifecycle (all zero when redundancy.degree() == 1) --------
+  /// Hedge deadlines that fired and dispatched backup replicas (kHedged).
+  std::uint64_t hedges_fired = 0;
+  /// Losing replicas pulled out of the system — arrival hop cancelled or
+  /// removed from a server FIFO — on their group's win (kCancelOnWin).
+  std::uint64_t replicas_cancelled = 0;
+  /// Total service seconds burned by losing replicas that ran to
+  /// completion (a replica in service is never preempted).
+  double replica_wasted_service = 0.0;
 };
 
 class EndToEndSim {

@@ -1,0 +1,369 @@
+// hedge.h — the replica lifecycle of the event-driven fork-join cluster:
+// the validated RedundancyPolicy, the online hedge-deadline estimator, and
+// the ReplicaSet that owns fork-time dispatch, deadline-triggered backups,
+// first-replica-wins arbitration and loser cancellation.
+//
+// PR 5's redundant fan-out hard-coded one lifecycle: fan all d replicas out
+// at fork time and let the losers run (their queueing cost is the point of
+// modeling replication event-driven). Poloczek & Ciucu (arXiv 1602.07978)
+// show exactly when that policy stops paying — replication flips from
+// helpful to harmful as utilization crosses a threshold, because every
+// backup is also offered load — and the production answer is to *hedge*:
+// send one replica, and only if it outlives a deadline (an online tail
+// quantile of past primary sojourns) send the backups. This header makes
+// the whole space a policy choice:
+//
+//   trigger   kImmediate | kHedged      when backups are dispatched
+//   losers    kLetLosersRun | kCancelOnWin   what happens after the win
+//
+// kCancelOnWin rides the kernel's generation-tagged O(1) cancellation
+// (sim::Simulator::cancel): a losing replica still flying toward its server
+// has its arrival event cancelled; one waiting in a FIFO is pulled out via
+// ServiceStation::cancel_waiting; one already in service runs to completion
+// (service is not preempted — its service time is the *wasted service* the
+// observer reports).
+//
+// Byte-identity contract: with kImmediate + kLetLosersRun the ReplicaSet
+// performs exactly the PR-5 sequence — same JobTable insertion order, same
+// fork-time RNG draws, same event schedule — so pre-policy output is
+// reproduced bit for bit, and with degree 1 the simulator bypasses the
+// ReplicaSet entirely. The hedge deadline RNG stream is split from the
+// master only when trigger == kHedged, appended after every pre-existing
+// split (the PR-6 precedent for optional streams).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cluster/job_table.h"
+#include "cluster/modes.h"
+#include "cluster/engine/stage_observer.h"
+#include "dist/discrete.h"
+#include "dist/rng.h"
+#include "math/numerics.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+#include "stats/p2_quantile.h"
+
+namespace mclat::cluster {
+
+/// How each key is replicated across servers. Invariants are established at
+/// construction (degree >= 1; hedging needs a backup to defer; quantile in
+/// (0,1); non-negative deadline floor), so a RedundancyPolicy held by a
+/// config is always valid — EndToEndSim never re-checks the numbers.
+class RedundancyPolicy {
+ public:
+  /// Degree 1, immediate, let losers run: the plain fork-join path.
+  RedundancyPolicy() = default;
+
+  explicit RedundancyPolicy(unsigned degree,
+                            HedgeTrigger trigger = HedgeTrigger::kImmediate,
+                            LoserMode losers = LoserMode::kLetLosersRun,
+                            double hedge_quantile = 0.95,
+                            double hedge_deadline_floor = 0.0)
+      : degree_(degree),
+        trigger_(trigger),
+        losers_(losers),
+        hedge_quantile_(hedge_quantile),
+        hedge_deadline_floor_(hedge_deadline_floor) {
+    math::require(degree_ >= 1,
+                  "RedundancyPolicy.degree must be >= 1 (degree 0 would "
+                  "dispatch no replica at all)");
+    math::require(trigger_ == HedgeTrigger::kImmediate || degree_ >= 2,
+                  "RedundancyPolicy.trigger = kHedged requires "
+                  "RedundancyPolicy.degree >= 2 (the hedge IS the deferred "
+                  "backup replica)");
+    math::require(hedge_quantile_ > 0.0 && hedge_quantile_ < 1.0,
+                  "RedundancyPolicy.hedge_quantile must lie in (0, 1)");
+    math::require(hedge_deadline_floor_ >= 0.0,
+                  "RedundancyPolicy.hedge_deadline_floor must be >= 0");
+  }
+
+  /// Fan all `degree` replicas out at fork time (PR-5 behavior when losers
+  /// are left running).
+  [[nodiscard]] static RedundancyPolicy immediate(
+      unsigned degree, LoserMode losers = LoserMode::kLetLosersRun) {
+    return RedundancyPolicy(degree, HedgeTrigger::kImmediate, losers);
+  }
+
+  /// Send the primary only; dispatch the backups if it outlives the online
+  /// `quantile` estimate of primary sojourns (never earlier than
+  /// `deadline_floor` seconds). Hedged requests are usually paired with
+  /// cancellation, so that is the default loser mode here.
+  [[nodiscard]] static RedundancyPolicy hedged(
+      unsigned degree, double quantile = 0.95, double deadline_floor = 0.0,
+      LoserMode losers = LoserMode::kCancelOnWin) {
+    return RedundancyPolicy(degree, HedgeTrigger::kHedged, losers, quantile,
+                            deadline_floor);
+  }
+
+  [[nodiscard]] unsigned degree() const noexcept { return degree_; }
+  [[nodiscard]] HedgeTrigger trigger() const noexcept { return trigger_; }
+  [[nodiscard]] LoserMode losers() const noexcept { return losers_; }
+  [[nodiscard]] double hedge_quantile() const noexcept {
+    return hedge_quantile_;
+  }
+  [[nodiscard]] double hedge_deadline_floor() const noexcept {
+    return hedge_deadline_floor_;
+  }
+
+  [[nodiscard]] bool replicated() const noexcept { return degree_ > 1; }
+  [[nodiscard]] bool hedged() const noexcept {
+    return trigger_ == HedgeTrigger::kHedged;
+  }
+  [[nodiscard]] bool cancel_on_win() const noexcept {
+    return losers_ == LoserMode::kCancelOnWin;
+  }
+
+ private:
+  unsigned degree_ = 1;
+  HedgeTrigger trigger_ = HedgeTrigger::kImmediate;
+  LoserMode losers_ = LoserMode::kLetLosersRun;
+  double hedge_quantile_ = 0.95;
+  double hedge_deadline_floor_ = 0.0;
+};
+
+namespace engine {
+
+/// The online hedge deadline: a P² streaming estimate of the chosen
+/// quantile of primary dispatch→server-departure latency. O(1) per winner,
+/// no samples retained — the estimator adapts as utilization drifts.
+class HedgeDeadline {
+ public:
+  /// Below this many winner observations the quantile estimate is too noisy
+  /// to gate dispatch on; until then only the configured floor (if any)
+  /// arms hedges.
+  static constexpr std::uint64_t kMinSamples = 16;
+
+  HedgeDeadline(double quantile, double floor)
+      : estimate_(quantile), floor_(floor) {}
+
+  /// Feed the winning replica's dispatch→departure latency.
+  void observe(double latency) { estimate_.add(latency); }
+
+  /// Deadline to arm the next request's hedge with, or nullopt while cold
+  /// (no floor configured and fewer than kMinSamples observations) — a cold
+  /// hedge never fires, so startup cannot flood the cluster with backups
+  /// triggered by a garbage estimate.
+  [[nodiscard]] std::optional<double> deadline() const {
+    if (estimate_.count() >= kMinSamples) {
+      return std::max(floor_, estimate_.value());
+    }
+    if (floor_ > 0.0) return floor_;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t samples() const noexcept {
+    return estimate_.count();
+  }
+
+ private:
+  stats::P2Quantile estimate_;
+  double floor_;
+};
+
+/// Owns every replica in flight for the event-driven simulator: fork-time
+/// dispatch (immediate or primary-only), the per-request hedge timer,
+/// first-wins arbitration on server departures, and loser cancellation.
+/// EndToEndSim touches replicas only through dispatch()/on_departure().
+class ReplicaSet {
+ public:
+  ReplicaSet(sim::Simulator& sim, const RedundancyPolicy& policy,
+             double net_half,
+             std::vector<std::unique_ptr<sim::ServiceStation>>& servers,
+             const dist::Discrete& server_pick, dist::Rng hedge_rng,
+             const StageObserver& obs)
+      : sim_(sim),
+        policy_(policy),
+        net_half_(net_half),
+        servers_(servers),
+        server_pick_(server_pick),
+        hedge_rng_(std::move(hedge_rng)),
+        deadline_(policy.hedge_quantile(), policy.hedge_deadline_floor()),
+        obs_(obs) {}
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  /// Forks key `key_job`. Immediate mode reproduces the PR-5 sequence
+  /// exactly: replica 0 to the mapper-chosen home, each backup to a server
+  /// drawn from `fork_rng` at fork time. Hedged mode sends the primary only
+  /// and arms the deadline timer; backup servers are drawn from the
+  /// dedicated hedge stream *when the timer fires*, so an un-fired hedge
+  /// consumes no randomness.
+  void dispatch(std::uint64_t key_job, std::size_t home, dist::Rng& fork_rng) {
+    const std::uint64_t gid = groups_.insert(Group{});
+    Group& g = groups_.at(gid, "ReplicaSet: lost freshly inserted group");
+    g.key_job = key_job;
+    g.dispatched_at = sim_.now();
+    if (!policy_.hedged()) {
+      for (unsigned r = 0; r < policy_.degree(); ++r) {
+        const std::size_t sj = r == 0 ? home : server_pick_.sample(fork_rng);
+        send_replica(gid, g, sj);
+      }
+      return;
+    }
+    send_replica(gid, g, home);
+    if (const std::optional<double> dl = deadline_.deadline()) {
+      g.hedge_event = sim_.schedule_in(*dl, [this, gid] { fire_hedge(gid); });
+    }
+  }
+
+  /// First-wins arbitration for a server departure. Returns the key job to
+  /// continue through the miss path if this replica won the race, nullopt
+  /// for a loser (its service time is recorded as wasted).
+  [[nodiscard]] std::optional<std::uint64_t> on_departure(
+      const sim::Departure& d) {
+    const Replica rep =
+        replicas_.take(d.job_id, "ReplicaSet: departure for unknown replica");
+    Group& g = groups_.at(rep.group,
+                          "ReplicaSet: replica departure for unknown group");
+    --g.remaining;
+    forget_live(g, d.job_id);
+    if (g.won) {
+      // A losing replica ran to completion: its value is discarded, its
+      // service time was spent for nothing (its queueing cost stays in the
+      // server's history either way).
+      const double wasted = d.departure - d.service_start;
+      wasted_service_ += wasted;
+      ++losers_completed_;
+      obs::observe(obs_.wasted_service, obs::to_us(wasted));
+      retire_if_done(g, rep.group);
+      return std::nullopt;
+    }
+    g.won = true;
+    if (policy_.hedged()) {
+      if (g.hedge_event != sim::kInvalidEventId) {
+        // Won before the deadline: the backups are never sent.
+        sim_.cancel(g.hedge_event);
+        g.hedge_event = sim::kInvalidEventId;
+      }
+      deadline_.observe(sim_.now() - g.dispatched_at);
+    }
+    const std::uint64_t key_job = g.key_job;
+    if (policy_.cancel_on_win()) cancel_losers(g);
+    retire_if_done(g, rep.group);
+    return key_job;
+  }
+
+  [[nodiscard]] std::uint64_t replicas_dispatched() const noexcept {
+    return dispatched_;
+  }
+  [[nodiscard]] std::uint64_t replicas_cancelled() const noexcept {
+    return cancelled_;
+  }
+  [[nodiscard]] std::uint64_t losers_completed() const noexcept {
+    return losers_completed_;
+  }
+  [[nodiscard]] std::uint64_t hedges_fired() const noexcept {
+    return hedges_fired_;
+  }
+  /// Total service seconds spent on losing replicas that ran to completion.
+  [[nodiscard]] double wasted_service() const noexcept {
+    return wasted_service_;
+  }
+  [[nodiscard]] const HedgeDeadline& hedge_deadline() const noexcept {
+    return deadline_;
+  }
+
+ private:
+  struct Group {
+    std::uint64_t key_job = 0;
+    double dispatched_at = 0.0;
+    unsigned remaining = 0;  ///< replicas dispatched and not yet retired
+    bool won = false;
+    sim::EventId hedge_event = sim::kInvalidEventId;
+    /// Replica jobs still in flight / queued / in service (degree-bounded).
+    std::vector<std::uint64_t> live;
+  };
+  struct Replica {
+    std::uint64_t group = 0;
+    std::uint32_t server = 0;
+    sim::EventId hop = sim::kInvalidEventId;  ///< the network-hop arrival
+  };
+
+  void send_replica(std::uint64_t gid, Group& g, std::size_t server) {
+    const std::uint64_t rjob = replicas_.insert(
+        Replica{gid, static_cast<std::uint32_t>(server), sim::kInvalidEventId});
+    ++g.remaining;
+    g.live.push_back(rjob);
+    ++dispatched_;
+    replicas_
+        .at(rjob, "ReplicaSet: lost freshly inserted replica")
+        .hop = sim_.schedule_in(net_half_, [this, rjob, server] {
+      servers_[server]->arrive(rjob);
+    });
+  }
+
+  void fire_hedge(std::uint64_t gid) {
+    Group& g = groups_.at(gid, "ReplicaSet: hedge fired for retired group");
+    g.hedge_event = sim::kInvalidEventId;
+    ++hedges_fired_;
+    obs::bump(obs_.hedge_fired);
+    for (unsigned r = 1; r < policy_.degree(); ++r) {
+      send_replica(gid, g, server_pick_.sample(hedge_rng_));
+    }
+  }
+
+  /// Pulls the outstanding losers out of the system: an arrival hop not yet
+  /// fired is cancelled in O(1); a replica waiting in its server's FIFO is
+  /// removed from the queue; one already in service runs to completion and
+  /// takes the loser path above when it departs.
+  void cancel_losers(Group& g) {
+    for (std::size_t i = 0; i < g.live.size();) {
+      const std::uint64_t rjob = g.live[i];
+      const Replica& rep =
+          replicas_.at(rjob, "ReplicaSet: cancelling unknown replica");
+      const bool pulled = sim_.cancel(rep.hop) ||
+                          servers_[rep.server]->cancel_waiting(rjob);
+      if (!pulled) {
+        ++i;  // in service: let it run
+        continue;
+      }
+      replicas_.erase(rjob, "ReplicaSet: double-cancelled replica");
+      --g.remaining;
+      ++cancelled_;
+      obs::bump(obs_.replica_cancelled);
+      g.live[i] = g.live.back();
+      g.live.pop_back();
+    }
+  }
+
+  void retire_if_done(Group& g, std::uint64_t gid) {
+    if (g.remaining == 0 && g.won) {
+      groups_.erase(gid, "ReplicaSet: double-retired replica group");
+    }
+  }
+
+  static void forget_live(Group& g, std::uint64_t rjob) {
+    for (std::size_t i = 0; i < g.live.size(); ++i) {
+      if (g.live[i] == rjob) {
+        g.live[i] = g.live.back();
+        g.live.pop_back();
+        return;
+      }
+    }
+  }
+
+  sim::Simulator& sim_;
+  RedundancyPolicy policy_;
+  double net_half_;
+  std::vector<std::unique_ptr<sim::ServiceStation>>& servers_;
+  const dist::Discrete& server_pick_;
+  dist::Rng hedge_rng_;
+  HedgeDeadline deadline_;
+  StageObserver obs_;
+  JobTable<Group> groups_;
+  JobTable<Replica> replicas_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t losers_completed_ = 0;
+  std::uint64_t hedges_fired_ = 0;
+  double wasted_service_ = 0.0;
+};
+
+}  // namespace engine
+}  // namespace mclat::cluster

@@ -39,6 +39,11 @@ struct StageObserver {
   obs::Counter* coalesced = nullptr;          ///< db.coalesced
   obs::Gauge* fetch_outstanding = nullptr;    ///< db.fetch.outstanding
   obs::LatencyStat* delayed_wait = nullptr;   ///< delayed_hit.wait_us
+  // Replica-lifecycle instruments (attach_redundancy; null unless a
+  // replicated run resolved them).
+  obs::Counter* hedge_fired = nullptr;           ///< hedge.fired
+  obs::Counter* replica_cancelled = nullptr;     ///< replica.cancelled
+  obs::LatencyStat* wasted_service = nullptr;    ///< replica.wasted_service_us
 
   /// The event-driven simulators' instrument set (EndToEndSim,
   /// TraceReplaySim): stage decomposition plus the miss-path database
@@ -73,6 +78,20 @@ struct StageObserver {
     coalesced = rec.counter("db.coalesced");
     fetch_outstanding = rec.gauge("db.fetch.outstanding");
     delayed_wait = rec.latency("delayed_hit.wait_us");
+  }
+
+  /// Resolves the replica-lifecycle instrument set: losing replicas pulled
+  /// out of the system on a win ("replica.cancelled") and the service time
+  /// burned by losers that ran to completion ("replica.wasted_service_us",
+  /// per loser). With `hedged` also the count of hedge deadlines that fired
+  /// and dispatched backups ("hedge.fired"). Call ONLY when the redundancy
+  /// policy replicates — same contract as attach_coalescing: resolving a
+  /// name registers it, and a degree-1 run's metrics document must stay
+  /// byte-identical to the pre-policy output.
+  void attach_redundancy(const obs::Recorder& rec, bool hedged) {
+    replica_cancelled = rec.counter("replica.cancelled");
+    wasted_service = rec.latency("replica.wasted_service_us");
+    if (hedged) hedge_fired = rec.counter("hedge.fired");
   }
 
   /// Records one joined request's decomposition: the four stage maxima,

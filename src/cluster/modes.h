@@ -22,6 +22,21 @@
 //                al., PAPERS.md), the regime real memcached's fetch
 //                deduplication produces.
 //
+//   HedgeTrigger — when a key's backup replicas are dispatched: kImmediate
+//                fans all d replicas out at fork time (Poloczek & Ciucu's
+//                replication model), kHedged sends only the primary and
+//                issues the backups if it outlives a deadline derived from
+//                an online quantile of past primary sojourns (the
+//                tail-at-scale "hedged request").
+//   LoserMode  — what happens to the replicas that lose the race once the
+//                first one finishes: kLetLosersRun leaves them in their
+//                queues (the self-queueing cost of replication in full),
+//                kCancelOnWin pulls replicas that are still in flight or
+//                waiting out of the system via the kernel's O(1)
+//                generation-tagged event cancellation (a replica already
+//                in service runs to completion — service is not preempted,
+//                only wasted).
+//
 // These used to live in end_to_end.h; they moved here so engine components
 // (DbStage, MissPolicy) can name them without depending on a specific
 // simulator's config struct. end_to_end.h re-exports them, so existing
@@ -34,5 +49,7 @@ enum class MissMode { kBernoulli, kRealCache };
 enum class DbMode { kInfiniteServer, kSingleServer, kPooled };
 enum class MapperKind { kWeighted, kRing, kModulo };
 enum class MissCoalescing { kOff, kPerServer };
+enum class HedgeTrigger { kImmediate, kHedged };
+enum class LoserMode { kLetLosersRun, kCancelOnWin };
 
 }  // namespace mclat::cluster

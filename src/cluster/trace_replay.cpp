@@ -24,8 +24,7 @@
 namespace mclat::cluster {
 
 TraceReplaySim::TraceReplaySim(TraceReplayConfig cfg) : cfg_(std::move(cfg)) {
-  math::require(cfg_.measure_from >= 0.0,
-                "TraceReplaySim: measure_from must be >= 0");
+  cfg_.common.validate(/*needs_measure_window=*/false);
   math::require(cfg_.db_servers >= 1,
                 "TraceReplaySim: db_servers must be >= 1");
 }
@@ -66,7 +65,7 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   // Split order (the golden contract): misses, then the database stage,
   // then one stream per server — regardless of mode, so switching the miss
   // policy or database never shifts another stream.
-  dist::Rng master(cfg_.seed);
+  dist::Rng master(cfg_.common.seed);
   dist::Rng miss_rng = master.split();
   const std::unique_ptr<hashing::KeyMapper> mapper =
       engine::make_mapper(cfg_.mapper, shares);
@@ -76,16 +75,17 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   // instead of once per record. Real-cache mode also memoizes refill value
   // sizes (the fixed Facebook size law).
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
-                                             cfg_.max_value_bytes);
+                                             cfg_.common.max_value_bytes);
   workload::KeyTable key_table(keys, *mapper,
                                real_cache ? &value_sizes : nullptr);
   engine::MissPolicy miss_policy =
       real_cache
           ? engine::MissPolicy::real_cache(
-                key_table, M, cfg_.cache_bytes_per_server, std::move(miss_rng))
+                key_table, M, cfg_.common.cache_bytes_per_server,
+                std::move(miss_rng))
           : engine::MissPolicy::bernoulli(sys.miss_ratio, std::move(miss_rng));
 
-  const bool coalesce = cfg_.coalescing == MissCoalescing::kPerServer;
+  const bool coalesce = cfg_.common.coalescing == MissCoalescing::kPerServer;
   const obs::Recorder& orec = cfg_.recorder;
   engine::StageObserver sobs = engine::StageObserver::for_sim(orec);
   if (coalesce) sobs.attach_coalescing(orec);
@@ -93,7 +93,7 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
                                 /*keep_total_samples=*/false,
                                 /*per_key_counter=*/sobs.keys);
   for (const PreRequest& p : pre) {
-    joiner.open_request(p.start, p.n_keys, p.start >= cfg_.measure_from);
+    joiner.open_request(p.start, p.n_keys, p.start >= cfg_.common.warmup_time);
   }
   std::uint64_t misses = 0;
   std::uint64_t db_fetches = 0;
@@ -157,7 +157,7 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
           }
         }));
     engine::StageObserver::attach_server_split(orec, *servers.back(), j,
-                                               cfg_.measure_from);
+                                               cfg_.common.warmup_time);
   }
 
   // Inject the trace: one in-flight key per record, arriving at its server

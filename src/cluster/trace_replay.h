@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/common_config.h"
 #include "cluster/modes.h"
 #include "core/config.h"
 #include "obs/recorder.h"
@@ -39,26 +40,20 @@ struct TraceReplayConfig {
   DbMode db_mode = DbMode::kInfiniteServer;
   /// Shards/threads of the kPooled database (one shared M/M/c queue).
   unsigned db_servers = 4;
-  /// Delayed-hit miss coalescing (kPerServer): a record that misses while a
-  /// fetch for its key is already in flight at its server parks behind that
-  /// fetch; the completion releases every waiter at once and refills the
-  /// cache exactly once in kRealCache mode. Trace records carry real key
-  /// ranks in both miss modes, so coalescing here is genuinely per
-  /// (server, key). kOff is byte-identical to the pre-coalescing replay.
-  MissCoalescing coalescing = MissCoalescing::kOff;
-
-  // --- real-cache mode parameters ---------------------------------------
-  std::size_t cache_bytes_per_server = 8u << 20;
-  std::uint32_t max_value_bytes = 4096;
-
-  /// Requests starting at or after this virtual time contribute to the
-  /// latency statistics, the per-request stage.* observations, and the
-  /// per-server wait/service splits. Earlier requests still replay in full
-  /// — warming queues and (in kRealCache mode) caches — but are not
-  /// measured. 0 measures the whole trace.
-  double measure_from = 0.0;
-
-  std::uint64_t seed = 1;
+  /// Measurement window, seed, real-cache sizing and miss coalescing — the
+  /// shared cluster knobs (common_config.h). `common.warmup_time` is the
+  /// replay's former `measure_from`: requests starting at or after it
+  /// contribute to the latency statistics, the per-request stage.*
+  /// observations, and the per-server wait/service splits; earlier requests
+  /// still replay in full — warming queues and (in kRealCache mode) caches
+  /// — but are not measured. The default of 0 measures the whole trace, and
+  /// `common.measure_time` is ignored: the trace's own horizon ends the
+  /// run.
+  ///
+  /// Coalescing note: trace records carry real key ranks in both miss
+  /// modes, so kPerServer coalescing here is genuinely per (server, key).
+  /// kOff is byte-identical to the pre-coalescing replay.
+  CommonConfig common{.warmup_time = 0.0};
   /// Per-stage observability (null by default): per-server queue-wait /
   /// service splits, per-request stage maxima, sync gap, miss-path T_D.
   obs::Recorder recorder;
@@ -70,8 +65,8 @@ struct TraceReplayResult {
   stats::MeanCI database;
   stats::MeanCI total;
   std::uint64_t requests_completed = 0;  ///< every request in the trace
-  /// Requests that started at or after measure_from (the statistics above
-  /// average exactly these).
+  /// Requests that started at or after common.warmup_time (the statistics
+  /// above average exactly these).
   std::uint64_t measured_requests = 0;
   std::uint64_t keys_completed = 0;
   double measured_miss_ratio = 0.0;
@@ -87,15 +82,15 @@ struct TraceReplayResult {
 
 class TraceReplaySim {
  public:
-  /// Validates the configuration (non-negative measure_from, at least one
-  /// database shard) — a bad config throws here, not mid-replay.
+  /// Validates the configuration (the shared CommonConfig knobs, at least
+  /// one database shard) — a bad config throws here, not mid-replay.
   explicit TraceReplaySim(TraceReplayConfig cfg);
 
   /// Replays the (time-sorted) trace to completion. `keys` renders ranks
   /// into key strings for hashing; every record's rank must lie inside it
   /// (validated up front, naming the offending record — ranks are never
-  /// silently wrapped). Requests starting at or after measure_from are
-  /// measured; with the default of 0, all of them.
+  /// silently wrapped). Requests starting at or after common.warmup_time
+  /// are measured; with the default of 0, all of them.
   [[nodiscard]] TraceReplayResult run(const workload::Trace& trace,
                                       const workload::KeySpace& keys);
 

@@ -53,8 +53,7 @@ stats::MeanCI AssembledRequests::total_ci() const { return ci_of(total); }
 
 WorkloadDrivenSim::WorkloadDrivenSim(WorkloadDrivenConfig cfg)
     : cfg_(std::move(cfg)) {
-  math::require(cfg_.warmup_time >= 0.0 && cfg_.measure_time > 0.0,
-                "WorkloadDrivenSim: bad time horizon");
+  cfg_.common.validate();
   math::require(cfg_.pool_cap > 0, "WorkloadDrivenSim: pool_cap must be > 0");
 }
 
@@ -65,7 +64,7 @@ MeasurementPools WorkloadDrivenSim::run() {
   pools.server_sojourns.resize(shares.size());
   pools.server_utilization.resize(shares.size(), 0.0);
 
-  dist::Rng master(cfg_.seed);
+  dist::Rng master(cfg_.common.seed);
 
   // ---- per-server GI^X/M/1 simulations (independent, run sequentially) --
   for (std::size_t j = 0; j < shares.size(); ++j) {
@@ -76,7 +75,7 @@ MeasurementPools WorkloadDrivenSim::run() {
     dist::Rng source_rng = master.split();
     dist::Rng pool_rng = master.split();
     stats::Reservoir pool(cfg_.pool_cap);
-    const double measure_from = cfg_.warmup_time;
+    const double measure_from = cfg_.common.warmup_time;
     std::uint64_t next_job = 0;
 
     sim::ServiceStation station(
@@ -96,7 +95,7 @@ MeasurementPools WorkloadDrivenSim::run() {
           for (std::uint64_t k = 0; k < batch; ++k) station.arrive(next_job++);
         });
     source.start();
-    s.run_until(cfg_.warmup_time + cfg_.measure_time);
+    s.run_until(cfg_.common.warmup_time + cfg_.common.measure_time);
     source.stop();
 
     pools.server_sojourns[j] = pool.take();
@@ -110,7 +109,7 @@ MeasurementPools WorkloadDrivenSim::run() {
 
   // ---- database simulation: Poisson misses into an M/G/∞ stage ----------
   if (sys.miss_ratio > 0.0) {
-    const bool coalesce = cfg_.coalescing == MissCoalescing::kPerServer;
+    const bool coalesce = cfg_.common.coalescing == MissCoalescing::kPerServer;
     const double miss_rate = sys.miss_ratio * sys.total_key_rate;
     pools.measured_miss_rate_hz = miss_rate;
     sim::Simulator s;
@@ -141,7 +140,7 @@ MeasurementPools WorkloadDrivenSim::run() {
     engine::DbStage db(
         s, DbMode::kInfiniteServer, 1, sys.db_service_rate, std::move(db_rng),
         [&](const sim::Departure& d) {
-          if (d.arrival >= cfg_.warmup_time) {
+          if (d.arrival >= cfg_.common.warmup_time) {
             pool.add(d.sojourn_time(), pool_rng);
             obs::observe(db_stat, obs::to_us(d.sojourn_time()));
             obs::bump(db_misses);
@@ -152,7 +151,7 @@ MeasurementPools WorkloadDrivenSim::run() {
             fetch.release(0, it->second, released);
             leader_rank.erase(it);
             for (const engine::FetchTable::Waiter& w : released) {
-              if (w.parked_at >= cfg_.warmup_time) {
+              if (w.parked_at >= cfg_.common.warmup_time) {
                 obs::observe(cobs.delayed_wait,
                              obs::to_us(s.now() - w.parked_at));
               }
@@ -169,24 +168,24 @@ MeasurementPools WorkloadDrivenSim::run() {
     sim::PoissonSource misses(s, miss_rate, std::move(arr_rng), [&] {
       const std::uint64_t id = job++;
       if (!coalesce) {
-        if (s.now() >= cfg_.warmup_time) ++pools.db_fetches;
+        if (s.now() >= cfg_.common.warmup_time) ++pools.db_fetches;
         db.submit(id);
         return;
       }
       const std::uint64_t rank = ranks.sample(rank_rng);
       if (fetch.lead_or_park(0, rank, id, s.now())) {
         leader_rank.emplace(id, rank);
-        if (s.now() >= cfg_.warmup_time) ++pools.db_fetches;
+        if (s.now() >= cfg_.common.warmup_time) ++pools.db_fetches;
         db.submit(id);
       } else {
-        if (s.now() >= cfg_.warmup_time) {
+        if (s.now() >= cfg_.common.warmup_time) {
           ++pools.db_delayed_hits;
           obs::bump(cobs.coalesced);
         }
       }
     });
     misses.start();
-    s.run_until(cfg_.warmup_time + cfg_.measure_time);
+    s.run_until(cfg_.common.warmup_time + cfg_.common.measure_time);
     pools.db_sojourns = pool.take();
     if (coalesce) {
       obs::set_gauge(cobs.fetch_outstanding,
@@ -320,7 +319,7 @@ AssembledRequests run_workload_experiment(const WorkloadDrivenConfig& cfg,
   // Assembly draws from its own named stream: unlike the old
   // `seed ^ constant` trick, stream_seed can never collide with the
   // simulation stream of this or any other trial.
-  dist::Rng rng(exec::stream_seed(cfg.seed, exec::Stream::assembly));
+  dist::Rng rng(exec::stream_seed(cfg.common.seed, exec::Stream::assembly));
   return assemble_requests(pools, cfg.system, requests,
                            cfg.system.keys_per_request, rng, cfg.recorder);
 }

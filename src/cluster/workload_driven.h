@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/common_config.h"
 #include "cluster/modes.h"
 #include "core/config.h"
 #include "dist/empirical.h"
@@ -39,19 +40,21 @@ namespace mclat::cluster {
 
 struct WorkloadDrivenConfig {
   core::SystemConfig system;
-  double warmup_time = 2.0;    ///< simulated seconds discarded
-  double measure_time = 20.0;  ///< simulated seconds measured
-  std::size_t pool_cap = 200'000;  ///< max sojourn samples kept per server
-  std::uint64_t seed = 1;
-  /// Delayed-hit miss coalescing on the database stage (kPerServer): each
-  /// miss in the aggregate Poisson stream is assigned a key rank drawn
+  /// Measurement window, seed and miss coalescing — the shared cluster
+  /// knobs (common_config.h). Mode A keeps its longer default window; the
+  /// real-cache sizing fields are unused here (misses are the model's
+  /// Bernoulli coin).
+  ///
+  /// Coalescing here acts on the database stage (kPerServer): each miss in
+  /// the aggregate Poisson stream is assigned a key rank drawn
   /// Zipf(coalesce_keyspace_size, coalesce_zipf_exponent); a miss whose key
   /// already has a fetch in flight parks behind it and departs with it (a
   /// delayed hit), so the effective DB arrival rate drops below r·Λ for hot
   /// keys. kOff keeps the paper's independent-visit model byte-identical to
   /// the pre-coalescing simulator (the rank stream's RNG split is only
   /// taken when coalescing is on, appended after all existing splits).
-  MissCoalescing coalescing = MissCoalescing::kOff;
+  CommonConfig common{.warmup_time = 2.0, .measure_time = 20.0};
+  std::size_t pool_cap = 200'000;  ///< max sojourn samples kept per server
   std::uint64_t coalesce_keyspace_size = 200'000;
   double coalesce_zipf_exponent = 0.99;
   /// Per-stage observability (null by default = zero-cost). Records

@@ -57,17 +57,20 @@ EventId Simulator::schedule_at(Time t, Callback fn) {
   return commit_slot(t, slot, s.gen);
 }
 
-void Simulator::cancel(EventId id) {
+bool Simulator::cancel(EventId id) {
   const auto slot = static_cast<std::uint32_t>(id);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
-  if (slot >= slot_count_) return;
+  if (slot >= slot_count_) return false;
   Slot& s = slot_ref(slot);
-  if (s.gen != gen || !s.fn) return;  // already fired, cancelled, or reused
+  if (s.gen != gen || !s.fn) {
+    return false;  // already fired, cancelled, or reused
+  }
   s.fn.reset();
   free_.push_back(slot);
   --live_;
   // The heap entry stays behind; its generation no longer matches, so it is
   // discarded with one integer compare when it reaches the top.
+  return true;
 }
 
 bool Simulator::fire_one(std::uint64_t horizon_bits) {

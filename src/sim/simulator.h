@@ -83,8 +83,13 @@ class Simulator {
     return schedule_at(now_ + dt, std::move(fn));
   }
 
-  /// Cancels a pending event; no-op if it already ran or was cancelled.
-  void cancel(EventId id);
+  /// Cancels a pending event. Returns true when a live event was pulled
+  /// from the calendar; false — and no other effect — when it already ran,
+  /// was cancelled before, or never existed (a stale or invalid id). The
+  /// return value lets first-wins bookkeeping distinguish "stopped before
+  /// it happened" from "already underway" in the same O(1) generation
+  /// check (cluster::engine::ReplicaSet loser cancellation).
+  bool cancel(EventId id);
 
   /// Runs until the calendar is empty.
   void run();

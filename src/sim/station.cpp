@@ -33,6 +33,17 @@ void ServiceStation::arrive(std::uint64_t job_id) {
   if (!busy_) begin_service();
 }
 
+bool ServiceStation::cancel_waiting(std::uint64_t job_id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->job_id != job_id) continue;
+    account_population(sim_.now());
+    --in_system_;
+    queue_.erase(it);
+    return true;
+  }
+  return false;
+}
+
 void ServiceStation::begin_service() {
   const Pending job = queue_.front();
   queue_.pop_front();

@@ -51,6 +51,15 @@ class ServiceStation {
   /// Enqueues a job at the current simulation time.
   void arrive(std::uint64_t job_id);
 
+  /// Removes a job that is still *waiting* (not in service) from the FIFO
+  /// and the number-in-system accounting; returns false — and changes
+  /// nothing — when the job is in service or not here. The cancelled job
+  /// never departs: no service time is drawn for it, no departure is
+  /// reported, and the waiting/sojourn statistics never see it (they are
+  /// departure statistics). Used by replica cancellation to pull losing
+  /// replicas out of server queues.
+  bool cancel_waiting(std::uint64_t job_id);
+
   /// Jobs waiting (excluding the one in service).
   [[nodiscard]] std::size_t queue_length() const noexcept {
     return queue_.size();

@@ -40,11 +40,11 @@ TEST(CoalescingOffIdentity, EndToEndMatchesTwinAcrossMissAndDbModes) {
       cfg.db_mode = db;
       cfg.db_servers = 3;
       cfg.keyspace_size = 10'000;
-      cfg.cache_bytes_per_server = 1u << 20;
-      cfg.warmup_time = 0.1;
-      cfg.measure_time = 0.4;
-      cfg.seed = 1234;
-      cfg.coalescing = MissCoalescing::kOff;
+      cfg.common.cache_bytes_per_server = 1u << 20;
+      cfg.common.warmup_time = 0.1;
+      cfg.common.measure_time = 0.4;
+      cfg.common.seed = 1234;
+      cfg.common.coalescing = MissCoalescing::kOff;
       const cluster::EndToEndResult engine = cluster::EndToEndSim(cfg).run();
       const cluster::EndToEndResult twin =
           bench::legacy_cluster::run_end_to_end(cfg);
@@ -90,8 +90,8 @@ TEST(CoalescingOffIdentity, TraceReplayMatchesTwinOnLegacyEnvelope) {
     cfg.system.keys_per_request = 10;
     cfg.system.miss_ratio = 0.05;
     cfg.mapper = mapper;
-    cfg.seed = 9;
-    cfg.coalescing = MissCoalescing::kOff;
+    cfg.common.seed = 9;
+    cfg.common.coalescing = MissCoalescing::kOff;
     const cluster::TraceReplayResult engine =
         cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
     const cluster::TraceReplayResult twin =
@@ -134,9 +134,9 @@ TEST(CoalescingOffIdentity, TraceReplayOffConservesAcrossMissAndDbModes) {
       cfg.miss_mode = miss;
       cfg.db_mode = db;
       cfg.db_servers = 3;
-      cfg.cache_bytes_per_server = 1u << 20;
-      cfg.seed = 9;
-      cfg.coalescing = MissCoalescing::kOff;
+      cfg.common.cache_bytes_per_server = 1u << 20;
+      cfg.common.seed = 9;
+      cfg.common.coalescing = MissCoalescing::kOff;
       const cluster::TraceReplayResult r =
           cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
       EXPECT_EQ(r.delayed_hits, 0u);
@@ -152,10 +152,10 @@ TEST(CoalescingOffIdentity, WorkloadDrivenPoolsMatchTwin) {
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = core::SystemConfig::facebook();
   cfg.system.miss_ratio = 0.03;
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 1.0;
-  cfg.seed = 5;
-  cfg.coalescing = MissCoalescing::kOff;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 1.0;
+  cfg.common.seed = 5;
+  cfg.common.coalescing = MissCoalescing::kOff;
   const cluster::MeasurementPools engine =
       cluster::WorkloadDrivenSim(cfg).run();
   const cluster::MeasurementPools twin =

@@ -61,10 +61,10 @@ TEST(DelayedHitModel, EndToEndSingleFlightMatchesClosedForm) {
   cfg.system.db_service_rate = kMuD;
   cfg.miss_mode = MissMode::kBernoulli;  // rank 0 always: the single hot key
   cfg.db_mode = DbMode::kInfiniteServer;
-  cfg.coalescing = MissCoalescing::kPerServer;
-  cfg.warmup_time = 2.0;
-  cfg.measure_time = 30.0;
-  cfg.seed = 42;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
+  cfg.common.warmup_time = 2.0;
+  cfg.common.measure_time = 30.0;
+  cfg.common.seed = 42;
   obs::Registry reg;
   cfg.recorder = obs::Recorder(reg);
 
@@ -85,7 +85,7 @@ TEST(DelayedHitModel, EndToEndSingleFlightMatchesClosedForm) {
 
   // Effective DB submission rate λ·μ_D/(λ+μ_D) ≈ 666.7/s.
   const double fetch_rate =
-      static_cast<double>(r.measured_db_fetches) / cfg.measure_time;
+      static_cast<double>(r.measured_db_fetches) / cfg.common.measure_time;
   const double expected_rate = kLambda * kMuD / (kLambda + kMuD);
   EXPECT_NEAR(fetch_rate / expected_rate, 1.0, 0.05);
 
@@ -112,11 +112,11 @@ TEST(DelayedHitModel, WorkloadDrivenSingleKeyMatchesClosedForm) {
   cfg.system.total_key_rate = 100'000.0;
   cfg.system.miss_ratio = kLambda / 100'000.0;  // r·Λ = λ = 2000/s
   cfg.system.db_service_rate = kMuD;
-  cfg.coalescing = MissCoalescing::kPerServer;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
   cfg.coalesce_keyspace_size = 1;
-  cfg.warmup_time = 1.0;
-  cfg.measure_time = 30.0;
-  cfg.seed = 7;
+  cfg.common.warmup_time = 1.0;
+  cfg.common.measure_time = 30.0;
+  cfg.common.seed = 7;
   obs::Registry reg;
   cfg.recorder = obs::Recorder(reg);
 
@@ -128,7 +128,7 @@ TEST(DelayedHitModel, WorkloadDrivenSingleKeyMatchesClosedForm) {
   EXPECT_NEAR(static_cast<double>(pools.db_fetches) / total,
               kMuD / (kLambda + kMuD), 0.05);
   const double fetch_rate =
-      static_cast<double>(pools.db_fetches) / cfg.measure_time;
+      static_cast<double>(pools.db_fetches) / cfg.common.measure_time;
   EXPECT_NEAR(fetch_rate / (kLambda * kMuD / (kLambda + kMuD)), 1.0, 0.05);
 
   // The pooled "database sojourn" now mixes leader fetches (Exp(μ_D)) with
@@ -154,12 +154,12 @@ TEST(DelayedHitModel, WorkloadDrivenMultiKeyRateSumsPerKeyRenewals) {
   cfg.system.total_key_rate = 100'000.0;
   cfg.system.miss_ratio = 0.04;  // λ = 4000/s over 4 keys
   cfg.system.db_service_rate = kMuD;
-  cfg.coalescing = MissCoalescing::kPerServer;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
   cfg.coalesce_keyspace_size = kKeys;
   cfg.coalesce_zipf_exponent = kZipfS;
-  cfg.warmup_time = 1.0;
-  cfg.measure_time = 30.0;
-  cfg.seed = 11;
+  cfg.common.warmup_time = 1.0;
+  cfg.common.measure_time = 30.0;
+  cfg.common.seed = 11;
 
   const cluster::MeasurementPools pools = cluster::WorkloadDrivenSim(cfg).run();
 
@@ -171,7 +171,7 @@ TEST(DelayedHitModel, WorkloadDrivenMultiKeyRateSumsPerKeyRenewals) {
     expected_rate += lk * kMuD / (lk + kMuD);
   }
   const double fetch_rate =
-      static_cast<double>(pools.db_fetches) / cfg.measure_time;
+      static_cast<double>(pools.db_fetches) / cfg.common.measure_time;
   EXPECT_NEAR(fetch_rate / expected_rate, 1.0, 0.05);
   EXPECT_GT(pools.db_delayed_hits, 0u);
 }
@@ -187,13 +187,13 @@ TEST(DelayedHitModel, RealCacheCoalescingConservesAndCoalesces) {
   cfg.system.db_service_rate = kMuD;
   cfg.miss_mode = MissMode::kRealCache;
   cfg.db_mode = DbMode::kInfiniteServer;
-  cfg.coalescing = MissCoalescing::kPerServer;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
   cfg.keyspace_size = 100;
   cfg.zipf_exponent = 1.1;
-  cfg.cache_bytes_per_server = 8u << 10;  // a few dozen values at most
-  cfg.warmup_time = 0.5;
-  cfg.measure_time = 2.0;
-  cfg.seed = 3;
+  cfg.common.cache_bytes_per_server = 8u << 10;  // a few dozen values at most
+  cfg.common.warmup_time = 0.5;
+  cfg.common.measure_time = 2.0;
+  cfg.common.seed = 3;
   obs::Registry reg;
   cfg.recorder = obs::Recorder(reg);
 

@@ -16,9 +16,9 @@ EndToEndConfig quick_config() {
   // Lighten: fewer keys per request and a lazier horizon keep the test fast.
   cfg.system.total_key_rate = 4.0 * 40'000.0;
   cfg.system.keys_per_request = 50;
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 1.0;
-  cfg.seed = 21;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 1.0;
+  cfg.common.seed = 21;
   return cfg;
 }
 
@@ -75,9 +75,9 @@ TEST(EndToEnd, RealCacheProducesEmergentMissRatio) {
   cfg.mapper = MapperKind::kRing;
   cfg.keyspace_size = 20'000;
   cfg.zipf_exponent = 1.0;
-  cfg.cache_bytes_per_server = 2u << 20;
+  cfg.common.cache_bytes_per_server = 2u << 20;
   cfg.system.total_key_rate = 4.0 * 20'000.0;
-  cfg.warmup_time = 0.5;  // cache needs filling
+  cfg.common.warmup_time = 0.5;  // cache needs filling
   const EndToEndResult r = EndToEndSim(cfg).run();
   // Somewhere strictly between never-miss and always-miss, and the refill
   // path keeps the hot head cached, so the ratio must be well below 50 %.
@@ -92,10 +92,10 @@ TEST(EndToEnd, BiggerCacheMissesLess) {
   cfg.mapper = MapperKind::kRing;
   cfg.keyspace_size = 50'000;
   cfg.system.total_key_rate = 4.0 * 20'000.0;
-  cfg.warmup_time = 0.5;
-  cfg.cache_bytes_per_server = 1u << 20;
+  cfg.common.warmup_time = 0.5;
+  cfg.common.cache_bytes_per_server = 1u << 20;
   const double small = EndToEndSim(cfg).run().measured_miss_ratio;
-  cfg.cache_bytes_per_server = 16u << 20;
+  cfg.common.cache_bytes_per_server = 16u << 20;
   const double large = EndToEndSim(cfg).run().measured_miss_ratio;
   EXPECT_LT(large, small);
 }
@@ -106,7 +106,7 @@ TEST(EndToEnd, SingleServerDbQueuesUnderLoad) {
   // service time that the infinite-server mode reports.
   EndToEndConfig cfg = quick_config();
   cfg.system.miss_ratio = 0.05;
-  cfg.measure_time = 0.5;
+  cfg.common.measure_time = 0.5;
   cfg.db_mode = DbMode::kInfiniteServer;
   const EndToEndResult inf = EndToEndSim(cfg).run();
   cfg.db_mode = DbMode::kSingleServer;
@@ -119,7 +119,7 @@ TEST(EndToEnd, PooledDbAbsorbsTheMissStream) {
   // by core::shards_for_offloaded_db keeps T_D near the 1 ms ideal.
   EndToEndConfig cfg = quick_config();
   cfg.system.miss_ratio = 0.02;  // 3.2 Kps misses vs muD = 1 Kps
-  cfg.measure_time = 0.5;
+  cfg.common.measure_time = 0.5;
   cfg.db_mode = DbMode::kPooled;
   cfg.db_servers = 6;  // rho_D = 0.53
   const EndToEndResult pooled = EndToEndSim(cfg).run();
@@ -149,7 +149,7 @@ TEST(EndToEnd, EffectiveRequestRateDerivation) {
 
 TEST(EndToEnd, ValidatesConfig) {
   EndToEndConfig cfg = quick_config();
-  cfg.measure_time = 0.0;
+  cfg.common.measure_time = 0.0;
   EXPECT_THROW(EndToEndSim s(cfg), std::invalid_argument);
   cfg = quick_config();
   cfg.system.keys_per_request = 0;

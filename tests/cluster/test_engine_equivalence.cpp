@@ -36,10 +36,10 @@ cluster::EndToEndConfig e2e_config(MissMode miss, DbMode db,
   cfg.mapper = mapper;
   cfg.db_servers = 3;
   cfg.keyspace_size = 10'000;
-  cfg.cache_bytes_per_server = 1u << 20;
-  cfg.warmup_time = 0.1;
-  cfg.measure_time = 0.4;
-  cfg.seed = 77;
+  cfg.common.cache_bytes_per_server = 1u << 20;
+  cfg.common.warmup_time = 0.1;
+  cfg.common.measure_time = 0.4;
+  cfg.common.seed = 77;
   return cfg;
 }
 
@@ -129,7 +129,7 @@ TEST(EngineEquivalence, TraceReplayMatchesTwinForMapperAndMissCombos) {
       cfg.system.keys_per_request = 10;
       cfg.system.miss_ratio = miss_ratio;
       cfg.mapper = mapper;
-      cfg.seed = 9;
+      cfg.common.seed = 9;
       const cluster::TraceReplayResult engine =
           cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
       const cluster::TraceReplayResult twin =
@@ -155,9 +155,9 @@ TEST(EngineEquivalence, WorkloadDrivenPoolsMatchTwin) {
   cluster::WorkloadDrivenConfig cfg;
   cfg.system = core::SystemConfig::facebook();
   cfg.system.miss_ratio = 0.03;
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 1.0;
-  cfg.seed = 5;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 1.0;
+  cfg.common.seed = 5;
   cluster::MeasurementPools engine = cluster::WorkloadDrivenSim(cfg).run();
   cluster::MeasurementPools twin =
       bench::legacy_cluster::run_workload_driven(cfg);

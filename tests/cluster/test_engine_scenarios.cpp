@@ -29,7 +29,7 @@ cluster::TraceReplayConfig replay_config() {
   cluster::TraceReplayConfig cfg;
   cfg.system = core::SystemConfig::facebook();
   cfg.system.keys_per_request = 10;
-  cfg.seed = 9;
+  cfg.common.seed = 9;
   return cfg;
 }
 
@@ -38,7 +38,7 @@ TEST(EngineScenarios, RealCacheTraceReplayProducesEmergentMissRatio) {
   const workload::Trace trace = stream.generate_trace(1500);
   cluster::TraceReplayConfig cfg = replay_config();
   cfg.miss_mode = cluster::MissMode::kRealCache;
-  cfg.cache_bytes_per_server = 256u << 10;
+  cfg.common.cache_bytes_per_server = 256u << 10;
   // Bernoulli parameter must be ignored in real-cache mode.
   cfg.system.miss_ratio = 0.9;
   const cluster::TraceReplayResult r =
@@ -58,11 +58,11 @@ TEST(EngineScenarios, BiggerCacheMissesLessInTraceReplay) {
   const workload::Trace trace = stream.generate_trace(1500);
   cluster::TraceReplayConfig cfg = replay_config();
   cfg.miss_mode = cluster::MissMode::kRealCache;
-  cfg.cache_bytes_per_server = 64u << 10;
+  cfg.common.cache_bytes_per_server = 64u << 10;
   const double small = cluster::TraceReplaySim(cfg)
                            .run(trace, stream.keyspace())
                            .measured_miss_ratio;
-  cfg.cache_bytes_per_server = 4u << 20;
+  cfg.common.cache_bytes_per_server = 4u << 20;
   const double large = cluster::TraceReplaySim(cfg)
                            .run(trace, stream.keyspace())
                            .measured_miss_ratio;
@@ -80,7 +80,7 @@ TEST(EngineScenarios, TraceReplayMeasureFromGatesStatistics) {
   const cluster::TraceReplayResult full =
       cluster::TraceReplaySim(cfg).run(trace, stream.keyspace());
 
-  cfg.measure_from = trace.duration() / 2.0;
+  cfg.common.warmup_time = trace.duration() / 2.0;
   obs::Registry half_reg;
   cfg.recorder = obs::Recorder(half_reg);
   const cluster::TraceReplayResult half =
@@ -101,7 +101,7 @@ TEST(EngineScenarios, TraceReplayMeasureFromGatesStatistics) {
 
 TEST(EngineScenarios, TraceReplayValidatesConfig) {
   cluster::TraceReplayConfig cfg = replay_config();
-  cfg.measure_from = -1.0;
+  cfg.common.warmup_time = -1.0;
   EXPECT_THROW(cluster::TraceReplaySim s(cfg), std::invalid_argument);
   cfg = replay_config();
   cfg.db_servers = 0;
@@ -134,9 +134,9 @@ cluster::EndToEndConfig fanout_config() {
   cfg.system.total_key_rate = 4.0 * 8'000.0;
   cfg.system.keys_per_request = 1;
   cfg.system.miss_ratio = 0.02;
-  cfg.warmup_time = 0.1;
-  cfg.measure_time = 0.5;
-  cfg.seed = 13;
+  cfg.common.warmup_time = 0.1;
+  cfg.common.measure_time = 0.5;
+  cfg.common.seed = 13;
   return cfg;
 }
 
@@ -144,7 +144,7 @@ TEST(EngineScenarios, RedundancyOneIsThePlainForkJoinPath) {
   const cluster::EndToEndResult plain =
       cluster::EndToEndSim(fanout_config()).run();
   cluster::EndToEndConfig cfg = fanout_config();
-  cfg.redundancy = 1;
+  cfg.redundancy = cluster::RedundancyPolicy(1);
   const cluster::EndToEndResult one = cluster::EndToEndSim(cfg).run();
   EXPECT_EQ(plain.events_executed, one.events_executed);
   EXPECT_DOUBLE_EQ(plain.total.mean, one.total.mean);
@@ -155,7 +155,7 @@ TEST(EngineScenarios, RedundantFanoutTradesServerLatencyForLoad) {
   const cluster::EndToEndResult d1 =
       cluster::EndToEndSim(fanout_config()).run();
   cluster::EndToEndConfig cfg = fanout_config();
-  cfg.redundancy = 2;
+  cfg.redundancy = cluster::RedundancyPolicy(2);
   const cluster::EndToEndResult d2 = cluster::EndToEndSim(cfg).run();
   // First-replica-wins shortens the server stage at low load …
   EXPECT_LT(d2.server.mean, d1.server.mean);
@@ -172,11 +172,27 @@ TEST(EngineScenarios, RedundantFanoutTradesServerLatencyForLoad) {
 }
 
 TEST(EngineScenarios, EndToEndValidatesRedundancy) {
+  // Degenerate policies are rejected at policy construction, not sim
+  // construction — with messages naming the offending field.
+  try {
+    cluster::RedundancyPolicy p(0);
+    FAIL() << "expected std::invalid_argument for degree 0";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("RedundancyPolicy.degree"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    cluster::RedundancyPolicy p(1, cluster::HedgeTrigger::kHedged);
+    FAIL() << "expected std::invalid_argument for hedged degree 1";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("RedundancyPolicy.trigger"),
+              std::string::npos)
+        << e.what();
+  }
+  // Cross-field constraint (policy x miss mode) still lives on the sim.
   cluster::EndToEndConfig cfg = fanout_config();
-  cfg.redundancy = 0;
-  EXPECT_THROW(cluster::EndToEndSim s(cfg), std::invalid_argument);
-  cfg = fanout_config();
-  cfg.redundancy = 2;
+  cfg.redundancy = cluster::RedundancyPolicy(2);
   cfg.miss_mode = cluster::MissMode::kRealCache;
   EXPECT_THROW(cluster::EndToEndSim s(cfg), std::invalid_argument);
 }
@@ -185,9 +201,9 @@ TEST(EngineScenarios, RedundantAssemblyRecordsStageMetrics) {
   cluster::WorkloadDrivenConfig wcfg;
   wcfg.system = core::SystemConfig::facebook();
   wcfg.system.miss_ratio = 0.03;
-  wcfg.warmup_time = 0.1;
-  wcfg.measure_time = 0.5;
-  wcfg.seed = 5;
+  wcfg.common.warmup_time = 0.1;
+  wcfg.common.measure_time = 0.5;
+  wcfg.common.seed = 5;
   const cluster::MeasurementPools pools =
       cluster::WorkloadDrivenSim(wcfg).run();
 

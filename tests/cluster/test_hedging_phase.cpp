@@ -1,0 +1,177 @@
+// The replication phase diagram (Poloczek & Ciucu, arXiv 1602.07978),
+// reproduced through the event-driven fork-join cluster: at low utilization
+// first-replica-wins fan-out lowers the tail, past a load threshold the
+// self-queueing cost inverts the sign and replication *raises* it,
+// cancel-on-win recovers most of that penalty, and deadline-triggered
+// hedging buys the min-of-d tail without doubling the offered load.
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "cluster/engine/hedge.h"
+
+namespace mclat {
+namespace {
+
+using cluster::HedgeTrigger;
+using cluster::LoserMode;
+using cluster::RedundancyPolicy;
+
+// Facebook deployment, single-key requests: replicas then compete only with
+// other requests, so the phase transition is driven purely by utilization
+// (at large N the request's own replica burst floods the cluster and the
+// harmful phase starts far earlier). Misses are off to isolate the server
+// stage — a 2% miss tail at the 1ms database would otherwise own P99 and
+// smear the transition.
+cluster::EndToEndConfig phase_config(double per_server_rate) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * per_server_rate;
+  cfg.system.keys_per_request = 1;
+  cfg.system.miss_ratio = 0.0;
+  cfg.common.warmup_time = 0.1;
+  cfg.common.measure_time = 0.6;
+  cfg.common.seed = 17;
+  return cfg;
+}
+
+double p99(std::vector<double> samples) {
+  EXPECT_GT(samples.size(), 1000u);
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      0.99 * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+cluster::EndToEndResult run(cluster::EndToEndConfig cfg,
+                            const RedundancyPolicy& policy) {
+  cfg.redundancy = policy;
+  return cluster::EndToEndSim(cfg).run();
+}
+
+// mu_S = 80k: 8k keys/s/server is rho ~ 0.1 (d = 2 doubles it to ~0.2 —
+// still far below the cliff), 36k is rho ~ 0.45 (d = 2 pushes ~0.9).
+constexpr double kLowRate = 8'000.0;
+constexpr double kHighRate = 36'000.0;
+
+TEST(HedgingPhase, ReplicationHelpsAtLowUtilization) {
+  const cluster::EndToEndResult d1 = run(phase_config(kLowRate),
+                                         RedundancyPolicy());
+  const cluster::EndToEndResult d2 = run(phase_config(kLowRate),
+                                         RedundancyPolicy(2));
+  EXPECT_LT(p99(d2.total_samples), p99(d1.total_samples));
+  EXPECT_LT(d2.total.mean, d1.total.mean);
+}
+
+TEST(HedgingPhase, ReplicationHurtsPastTheLoadThreshold) {
+  const cluster::EndToEndResult d1 = run(phase_config(kHighRate),
+                                         RedundancyPolicy());
+  const cluster::EndToEndResult d2 = run(phase_config(kHighRate),
+                                         RedundancyPolicy(2));
+  // Past the threshold the doubled offered load dominates min-of-two: the
+  // tail inverts. This is the phase transition.
+  EXPECT_GT(p99(d2.total_samples), 1.5 * p99(d1.total_samples));
+}
+
+TEST(HedgingPhase, CancelOnWinRecoversMostOfThePenalty) {
+  const cluster::EndToEndResult d1 = run(phase_config(kHighRate),
+                                         RedundancyPolicy());
+  const cluster::EndToEndResult let_run = run(phase_config(kHighRate),
+                                              RedundancyPolicy(2));
+  const cluster::EndToEndResult cancel = run(
+      phase_config(kHighRate),
+      RedundancyPolicy(2, HedgeTrigger::kImmediate, LoserMode::kCancelOnWin));
+  const double base = p99(d1.total_samples);
+  const double penalty_let_run = p99(let_run.total_samples) - base;
+  const double penalty_cancel = p99(cancel.total_samples) - base;
+  ASSERT_GT(penalty_let_run, 0.0);
+  // Losers pulled out of queues stop inflating everyone else's wait: the
+  // cancel variant keeps less than half the let-run penalty.
+  EXPECT_LT(penalty_cancel, 0.5 * penalty_let_run);
+  EXPECT_GT(cancel.replicas_cancelled, 0u);
+  EXPECT_EQ(let_run.replicas_cancelled, 0u);
+  // Cancelled replicas never reach service: the cancel variant burns
+  // strictly less wasted service than letting every loser run.
+  EXPECT_LT(cancel.replica_wasted_service, let_run.replica_wasted_service);
+}
+
+TEST(HedgingPhase, HedgingBeatsImmediateFanoutAtHighUtilization) {
+  const cluster::EndToEndResult immediate = run(phase_config(kHighRate),
+                                                RedundancyPolicy(2));
+  const cluster::EndToEndResult hedged =
+      run(phase_config(kHighRate), RedundancyPolicy::hedged(2));
+  // The deadline gates backups to the slow tail, so the offered load stays
+  // near 1x instead of 2x — the tail must come out below immediate fan-out.
+  EXPECT_LT(p99(hedged.total_samples), p99(immediate.total_samples));
+  EXPECT_GT(hedged.hedges_fired, 0u);
+  // A P95 deadline hedges roughly the slowest ~5% of keys, never most of
+  // them.
+  EXPECT_LT(hedged.hedges_fired, hedged.keys_completed / 5);
+  EXPECT_EQ(immediate.hedges_fired, 0u);
+}
+
+TEST(HedgingPhase, PolicyValidationNamesTheField) {
+  const auto expect_throw_naming = [](const char* field, auto make) {
+    try {
+      make();
+      FAIL() << "expected std::invalid_argument naming " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw_naming("RedundancyPolicy.degree",
+                      [] { RedundancyPolicy p(0); });
+  expect_throw_naming("RedundancyPolicy.trigger", [] {
+    RedundancyPolicy p(1, HedgeTrigger::kHedged);
+  });
+  expect_throw_naming("RedundancyPolicy.hedge_quantile", [] {
+    RedundancyPolicy p(2, HedgeTrigger::kHedged, LoserMode::kLetLosersRun,
+                       1.0);
+  });
+  expect_throw_naming("RedundancyPolicy.hedge_deadline_floor", [] {
+    RedundancyPolicy p(2, HedgeTrigger::kHedged, LoserMode::kLetLosersRun,
+                       0.95, -1.0);
+  });
+}
+
+TEST(HedgingPhase, HedgeDeadlineColdStartUsesTheFloor) {
+  // No samples, no floor: no deadline — the hedge never arms.
+  cluster::engine::HedgeDeadline bare(0.95, 0.0);
+  EXPECT_FALSE(bare.deadline().has_value());
+  // A floor covers the cold start...
+  cluster::engine::HedgeDeadline floored(0.95, 0.002);
+  ASSERT_TRUE(floored.deadline().has_value());
+  EXPECT_DOUBLE_EQ(*floored.deadline(), 0.002);
+  // ...and once the estimator warms past kMinSamples observations, the
+  // deadline is the online quantile, floored from below.
+  for (int i = 1; i <= 100; ++i) {
+    const double x = 1e-4 * i;
+    bare.observe(x);
+    floored.observe(x);
+  }
+  ASSERT_TRUE(bare.deadline().has_value());
+  EXPECT_NEAR(*bare.deadline(), 95e-4, 15e-4);
+  EXPECT_GE(*floored.deadline(), *bare.deadline());
+}
+
+TEST(HedgingPhase, CancellationShrinksTheEventSchedule) {
+  // Same arrivals, same replicas dispatched; cancellation only *removes*
+  // work, so the cancel run executes strictly fewer events and joins the
+  // same requests.
+  const cluster::EndToEndResult let_run = run(phase_config(kLowRate),
+                                              RedundancyPolicy(2));
+  const cluster::EndToEndResult cancel = run(
+      phase_config(kLowRate),
+      RedundancyPolicy(2, HedgeTrigger::kImmediate, LoserMode::kCancelOnWin));
+  EXPECT_EQ(cancel.keys_completed, let_run.keys_completed);
+  EXPECT_EQ(cancel.requests_completed, let_run.requests_completed);
+  EXPECT_LT(cancel.events_executed, let_run.events_executed);
+}
+
+}  // namespace
+}  // namespace mclat

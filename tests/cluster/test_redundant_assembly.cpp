@@ -14,9 +14,9 @@ class RedundantAssembly : public ::testing::Test {
     sys.total_key_rate = 4.0 * 2.0 * 16'000.0;  // inflated for d = 2
     WorkloadDrivenConfig cfg;
     cfg.system = sys;
-    cfg.warmup_time = 0.2;
-    cfg.measure_time = 2.0;
-    cfg.seed = 5;
+    cfg.common.warmup_time = 0.2;
+    cfg.common.measure_time = 2.0;
+    cfg.common.seed = 5;
     pools_ = new MeasurementPools(WorkloadDrivenSim(cfg).run());
     base_ = new core::SystemConfig(sys);
     base_->total_key_rate = 4.0 * 16'000.0;  // the pre-inflation base

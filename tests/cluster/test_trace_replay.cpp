@@ -16,7 +16,7 @@ TraceReplayConfig light_config() {
   cfg.system = core::SystemConfig::facebook();
   cfg.system.keys_per_request = 20;
   cfg.system.miss_ratio = 0.02;
-  cfg.seed = 9;
+  cfg.common.seed = 9;
   return cfg;
 }
 
@@ -87,9 +87,9 @@ TEST(TraceReplay, AgreesWithEndToEndAtMatchedParameters) {
 
   EndToEndConfig e2e;
   e2e.system = cfg.system;
-  e2e.warmup_time = 0.3;
-  e2e.measure_time = 2.5;
-  e2e.seed = 70;
+  e2e.common.warmup_time = 0.3;
+  e2e.common.measure_time = 2.5;
+  e2e.common.seed = 70;
   const EndToEndResult b = EndToEndSim(e2e).run();
   EXPECT_NEAR(c.server.mean, b.server.mean, 0.25 * b.server.mean);
   EXPECT_NEAR(c.total.mean, b.total.mean, 0.25 * b.total.mean);

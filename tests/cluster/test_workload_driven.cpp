@@ -10,10 +10,10 @@ namespace {
 WorkloadDrivenConfig quick_config() {
   WorkloadDrivenConfig cfg;
   cfg.system = core::SystemConfig::facebook();
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 1.0;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 1.0;
   cfg.pool_cap = 50'000;
-  cfg.seed = 11;
+  cfg.common.seed = 11;
   return cfg;
 }
 
@@ -116,7 +116,7 @@ TEST(WorkloadDriven, RunExperimentConvenience) {
 
 TEST(WorkloadDriven, ValidatesConfigAndInputs) {
   WorkloadDrivenConfig bad = quick_config();
-  bad.measure_time = 0.0;
+  bad.common.measure_time = 0.0;
   EXPECT_THROW(WorkloadDrivenSim s(bad), std::invalid_argument);
   bad = quick_config();
   bad.pool_cap = 0;

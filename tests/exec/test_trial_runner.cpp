@@ -148,10 +148,10 @@ TEST(TrialRunner, CoalescedTrialsAreJobCountInvariant) {
           cfg.system.service_rate = 20'000.0;
           cfg.system.miss_ratio = 0.5;
           cfg.system.db_service_rate = 500.0;  // slow fetches pile waiters
-          cfg.coalescing = cluster::MissCoalescing::kPerServer;
-          cfg.warmup_time = 0.05;
-          cfg.measure_time = 0.3;
-          cfg.seed = seed;
+          cfg.common.coalescing = cluster::MissCoalescing::kPerServer;
+          cfg.common.warmup_time = 0.05;
+          cfg.common.measure_time = 0.3;
+          cfg.common.seed = seed;
           const cluster::EndToEndResult r = cluster::EndToEndSim(cfg).run();
           stats::Welford w;
           for (const double x : r.total_samples) w.add(x);
@@ -169,6 +169,49 @@ TEST(TrialRunner, CoalescedTrialsAreJobCountInvariant) {
   }
   EXPECT_GT(fetch_totals[0], 0u);
   EXPECT_EQ(fetch_totals[0], fetch_totals[1]);
+  EXPECT_TRUE(same_bits(merged[0].mean, merged[1].mean));
+  EXPECT_TRUE(same_bits(merged[0].halfwidth, merged[1].halfwidth));
+  EXPECT_EQ(merged[0].count, merged[1].count);
+}
+
+TEST(TrialRunner, HedgedTrialsAreJobCountInvariant) {
+  // Multi-trial hedged cancellation under the runner (and, with
+  // -DMCLAT_SANITIZE=thread, under TSan): each trial owns its simulator,
+  // ReplicaSet, deadline estimator, and RNG streams, so jobs ∈ {1, 4} must
+  // merge to bit-identical statistics and identical replica-lifecycle
+  // totals — parallelism may not leak into the hedge/cancel bookkeeping.
+  std::vector<stats::MeanCI> merged;
+  std::vector<std::uint64_t> lifecycle_totals;
+  for (const std::size_t jobs : {1u, 4u}) {
+    const TrialRunner runner({jobs, 4242});
+    const auto parts =
+        runner.run(6, [](std::uint64_t, std::uint64_t seed) {
+          cluster::EndToEndConfig cfg;
+          cfg.system.servers = 2;
+          cfg.system.total_key_rate = 16'000.0;
+          cfg.system.keys_per_request = 2;
+          cfg.system.service_rate = 20'000.0;  // rho 0.4: hedges do fire
+          cfg.system.miss_ratio = 0.05;
+          cfg.redundancy = cluster::RedundancyPolicy::hedged(2);
+          cfg.common.warmup_time = 0.05;
+          cfg.common.measure_time = 0.3;
+          cfg.common.seed = seed;
+          const cluster::EndToEndResult r = cluster::EndToEndSim(cfg).run();
+          stats::Welford w;
+          for (const double x : r.total_samples) w.add(x);
+          return std::make_pair(w, r.hedges_fired + r.replicas_cancelled);
+        });
+    stats::Welford all;
+    std::uint64_t lifecycle = 0;
+    for (const auto& [w, c] : parts) {
+      all.merge(w);
+      lifecycle += c;
+    }
+    merged.push_back(stats::mean_ci(all));
+    lifecycle_totals.push_back(lifecycle);
+  }
+  EXPECT_GT(lifecycle_totals[0], 0u);
+  EXPECT_EQ(lifecycle_totals[0], lifecycle_totals[1]);
   EXPECT_TRUE(same_bits(merged[0].mean, merged[1].mean));
   EXPECT_TRUE(same_bits(merged[0].halfwidth, merged[1].halfwidth));
   EXPECT_EQ(merged[0].count, merged[1].count);

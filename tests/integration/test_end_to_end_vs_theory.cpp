@@ -22,9 +22,9 @@ cluster::EndToEndConfig base_config() {
   cfg.system = core::SystemConfig::facebook();
   cfg.system.total_key_rate = 4.0 * 48'000.0;  // ρ = 0.6
   cfg.system.miss_ratio = 0.02;
-  cfg.warmup_time = 0.5;
-  cfg.measure_time = 4.0;
-  cfg.seed = 4242;
+  cfg.common.warmup_time = 0.5;
+  cfg.common.measure_time = 4.0;
+  cfg.common.seed = 4242;
   return cfg;
 }
 

@@ -16,9 +16,9 @@ class Table3 : public ::testing::Test {
   static void SetUpTestSuite() {
     cluster::WorkloadDrivenConfig cfg;
     cfg.system = core::SystemConfig::facebook();
-    cfg.warmup_time = 0.5;
-    cfg.measure_time = 4.0;
-    cfg.seed = 2024;
+    cfg.common.warmup_time = 0.5;
+    cfg.common.measure_time = 4.0;
+    cfg.common.seed = 2024;
     requests_ = new cluster::AssembledRequests(
         cluster::run_workload_experiment(cfg, 20'000));
     estimate_ = new core::LatencyEstimate(

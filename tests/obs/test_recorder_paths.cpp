@@ -20,9 +20,9 @@ cluster::EndToEndConfig quick_b_config() {
   cfg.system = core::SystemConfig::facebook();
   cfg.system.total_key_rate = 4.0 * 40'000.0;
   cfg.system.keys_per_request = 50;
-  cfg.warmup_time = 0.2;
-  cfg.measure_time = 1.0;
-  cfg.seed = 21;
+  cfg.common.warmup_time = 0.2;
+  cfg.common.measure_time = 1.0;
+  cfg.common.seed = 21;
   return cfg;
 }
 
@@ -83,7 +83,7 @@ TEST(RecorderPaths, TraceReplayPopulatesStageMetrics) {
   cfg.system = core::SystemConfig::facebook();
   cfg.system.keys_per_request = 20;
   cfg.system.miss_ratio = 0.02;
-  cfg.seed = 9;
+  cfg.common.seed = 9;
   obs::Registry reg;
   cfg.recorder = obs::Recorder(reg);
   const cluster::TraceReplayResult r =

@@ -10,9 +10,13 @@
 // so a change to either side fails loudly.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
+#include "cluster/common_config.h"
+#include "cluster/engine/hedge.h"
 #include "core/config.h"
 #include "dist/discrete.h"
 #include "tools/cli_args.h"
@@ -80,6 +84,68 @@ inline core::SystemConfig deployment_config_from(CliArgs& args) {
   cfg.db_queueing =
       args.flag("db-queueing", "model database queueing (rho_D > 0)");
   return cfg;
+}
+
+/// Declares the shared simulation knobs — `--seed`, `--real-cache`,
+/// `--cache-mb`, `--coalesce` — with one spelling and one help string for
+/// every subcommand that runs a cluster simulator, and writes them into the
+/// config's embedded cluster::CommonConfig. Returns whether --real-cache
+/// was given (the miss mode is a per-simulator enum, not a CommonConfig
+/// knob). The measurement window is NOT declared here: simulate derives it
+/// from --seconds and replay from --measure-from.
+inline bool common_sim_flags_from(CliArgs& args,
+                                  cluster::CommonConfig& common) {
+  common.seed =
+      static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
+  const bool real_cache = args.flag(
+      "real-cache",
+      "decide misses with a real per-server LRU cache (the miss ratio "
+      "emerges from Zipf popularity and cache capacity)");
+  common.cache_bytes_per_server = static_cast<std::size_t>(
+      args.number("cache-mb", 8.0,
+                  "per-server cache size in MiB (with --real-cache)") *
+      static_cast<double>(1u << 20));
+  if (args.flag("coalesce",
+                "coalesce concurrent misses of one key into a single "
+                "database fetch (delayed hits park behind the in-flight "
+                "fetch)")) {
+    common.coalescing = cluster::MissCoalescing::kPerServer;
+  }
+  return real_cache;
+}
+
+/// Declares the replica-lifecycle flag set — `--redundancy`, `--hedge`,
+/// `--hedge-quantile`, `--hedge-floor-us`, `--cancel-losers` — and builds
+/// the validated cluster::RedundancyPolicy. A contradictory combination
+/// (degree 0, hedging with degree 1, a quantile outside (0,1)) throws from
+/// the policy constructor with a message naming the offending field.
+inline cluster::RedundancyPolicy redundancy_policy_from(CliArgs& args) {
+  const auto degree = static_cast<unsigned>(args.count(
+      "redundancy", 1,
+      "dispatch each key to d independently chosen servers; the first "
+      "replica to finish wins"));
+  const bool hedged = args.flag(
+      "hedge",
+      "defer the backup replicas until an online per-key sojourn-quantile "
+      "deadline fires (instead of immediate fan-out)");
+  const double quantile = args.number(
+      "hedge-quantile", 0.95,
+      "sojourn quantile the hedge deadline tracks (with --hedge)");
+  const double floor_us = args.number(
+      "hedge-floor-us", 0.0,
+      "hedge deadline floor in us, used until the estimate warms up "
+      "(with --hedge)");
+  const bool cancel = args.flag(
+      "cancel-losers",
+      "on a replica win, cancel losing replicas still in flight or queued "
+      "(in-service losers run to completion)");
+  return cluster::RedundancyPolicy(
+      degree,
+      hedged ? cluster::HedgeTrigger::kHedged
+             : cluster::HedgeTrigger::kImmediate,
+      cancel ? cluster::LoserMode::kCancelOnWin
+             : cluster::LoserMode::kLetLosersRun,
+      quantile, floor_us * 1e-6);
 }
 
 }  // namespace mclat::tools

@@ -14,6 +14,7 @@
 // per-stage metrics registry as JSON (or CSV when FILE ends in .csv).
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include <fstream>
@@ -157,7 +158,6 @@ int cmd_simulate(tools::CliArgs& args) {
   opt.seconds = args.number("seconds", 10.0, "simulated measurement seconds");
   opt.requests = static_cast<std::uint64_t>(
       args.number("requests", 20'000, "requests to assemble"));
-  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
   opt.reps = args.count("reps", 1, "independent replications to merge");
   opt.jobs = static_cast<std::size_t>(
       args.count("jobs", 1, "worker threads for replications"));
@@ -170,30 +170,32 @@ int cmd_simulate(tools::CliArgs& args) {
       "e2e",
       "run the full event-driven fork-join cluster (Mode B) instead of the "
       "workload-driven testbed (text output only)");
-  const unsigned redundancy = static_cast<unsigned>(args.count(
-      "redundancy", 1,
-      "with --e2e: dispatch each key to d servers, first replica wins"));
-  const bool coalesce = args.flag(
-      "coalesce",
-      "coalesce concurrent misses of one key into a single database fetch "
-      "(delayed hits park behind the in-flight fetch)");
+  // Seed/real-cache/coalescing and the replica-lifecycle policy use the
+  // same flag spellings as `mclat replay` — both declare them through
+  // tools/deployment_flags.h, never privately.
+  cluster::CommonConfig common;
+  const bool real_cache = tools::common_sim_flags_from(args, common);
+  const cluster::RedundancyPolicy policy =
+      tools::redundancy_policy_from(args);
   args.finish("mclat simulate — theory vs the simulated testbed");
-  if (coalesce) {
-    opt.coalescing = cluster::MissCoalescing::kPerServer;
-  }
+  opt.seed = common.seed;
+  opt.coalescing = common.coalescing;
+  const bool coalesce = common.coalescing == cluster::MissCoalescing::kPerServer;
   if (e2e) {
     cluster::EndToEndConfig ecfg;
     ecfg.system = cfg;
-    ecfg.redundancy = redundancy;
-    ecfg.coalescing = opt.coalescing;
-    ecfg.warmup_time = opt.seconds / 10.0;
-    ecfg.measure_time = opt.seconds;
-    ecfg.seed = opt.seed;
+    ecfg.redundancy = policy;
+    ecfg.common = common;
+    ecfg.common.warmup_time = opt.seconds / 10.0;
+    ecfg.common.measure_time = opt.seconds;
+    if (real_cache) ecfg.miss_mode = cluster::MissMode::kRealCache;
     const cluster::EndToEndResult r = cluster::EndToEndSim(ecfg).run();
     const core::LatencyModel model(cfg);
     const core::LatencyEstimate e = model.estimate();
-    std::printf("mode B (event-driven fork-join), redundancy d=%u\n",
-                redundancy);
+    std::printf("mode B (event-driven fork-join), redundancy d=%u (%s, %s)\n",
+                policy.degree(),
+                policy.hedged() ? "hedged" : "immediate",
+                policy.cancel_on_win() ? "cancel-on-win" : "losers run");
     std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
                 static_cast<unsigned long long>(r.requests_completed),
                 r.measured_miss_ratio);
@@ -201,6 +203,14 @@ int cmd_simulate(tools::CliArgs& args) {
       std::printf("db fetches: %llu   delayed hits: %llu\n",
                   static_cast<unsigned long long>(r.measured_db_fetches),
                   static_cast<unsigned long long>(r.measured_delayed_hits));
+    }
+    if (policy.replicated()) {
+      std::printf(
+          "hedges fired: %llu   replicas cancelled: %llu   "
+          "wasted service: %.1f ms\n",
+          static_cast<unsigned long long>(r.hedges_fired),
+          static_cast<unsigned long long>(r.replicas_cancelled),
+          r.replica_wasted_service * 1e3);
     }
     std::printf("%-8s | %-22s | %s\n", "latency", "theory (us)",
                 "simulated (us)");
@@ -299,22 +309,15 @@ int cmd_replay(tools::CliArgs& args) {
   const auto keyspace = static_cast<std::uint64_t>(
       args.number("keys", 100'000, "keyspace size"));
   const double zipf = args.number("zipf", 0.99, "Zipf exponent");
-  const auto seed =
-      static_cast<std::uint64_t>(args.number("seed", 1, "RNG seed"));
-  const bool real_cache = args.flag(
-      "real-cache",
-      "decide misses with a real per-server LRU cache (the miss ratio "
-      "emerges from Zipf popularity and cache capacity)");
-  const double cache_mb = args.number(
-      "cache-mb", 8.0, "per-server cache size in MiB (with --real-cache)");
+  // Same shared flag spellings as `mclat simulate` (deployment_flags.h).
+  cluster::TraceReplayConfig rcfg;
+  const bool real_cache = tools::common_sim_flags_from(args, rcfg.common);
   const double measure_from = args.number(
       "measure-from", 0.0,
       "statistics window start, s (earlier requests replay unmeasured)");
-  const bool coalesce = args.flag(
-      "coalesce",
-      "coalesce concurrent misses of one (server, key) into a single "
-      "database fetch (delayed hits park behind the in-flight fetch)");
   args.finish("mclat replay — trace-driven cluster simulation (Mode C)");
+  const bool coalesce =
+      rcfg.common.coalescing == cluster::MissCoalescing::kPerServer;
 
   workload::RequestStreamConfig scfg;
   scfg.request_rate =
@@ -322,7 +325,7 @@ int cmd_replay(tools::CliArgs& args) {
   scfg.keys_per_request = cfg.keys_per_request;
   scfg.keyspace_size = keyspace;
   scfg.zipf_exponent = zipf;
-  workload::RequestStream stream(scfg, dist::Rng(seed));
+  workload::RequestStream stream(scfg, dist::Rng(rcfg.common.seed));
   workload::Trace trace;
   if (path.empty()) {
     trace = stream.generate_trace(requests);
@@ -341,15 +344,10 @@ int cmd_replay(tools::CliArgs& args) {
     std::printf("loaded %zu-key trace from %s\n", trace.size(), path.c_str());
   }
 
-  cluster::TraceReplayConfig rcfg;
   rcfg.system = cfg;
-  rcfg.seed = seed;
   rcfg.miss_mode = real_cache ? cluster::MissMode::kRealCache
                               : cluster::MissMode::kBernoulli;
-  rcfg.cache_bytes_per_server =
-      static_cast<std::size_t>(cache_mb * static_cast<double>(1u << 20));
-  rcfg.measure_from = measure_from;
-  if (coalesce) rcfg.coalescing = cluster::MissCoalescing::kPerServer;
+  rcfg.common.warmup_time = measure_from;
   const cluster::TraceReplayResult r =
       cluster::TraceReplaySim(rcfg).run(trace, stream.keyspace());
   std::printf("requests completed: %llu   measured miss ratio: %.4f\n",
@@ -399,14 +397,22 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   tools::CliArgs args(argc, argv, 2);
-  if (cmd == "estimate") return cmd_estimate(args);
-  if (cmd == "tail") return cmd_tail(args);
-  if (cmd == "cliff") return cmd_cliff(args);
-  if (cmd == "whatif") return cmd_whatif(args);
-  if (cmd == "redundancy") return cmd_redundancy(args);
-  if (cmd == "simulate") return cmd_simulate(args);
-  if (cmd == "replay") return cmd_replay(args);
-  if (cmd == "capacity") return cmd_capacity(args);
+  // Config-object constructors validate their fields (RedundancyPolicy,
+  // CommonConfig, trace loading); surface those messages as flag errors
+  // instead of std::terminate.
+  try {
+    if (cmd == "estimate") return cmd_estimate(args);
+    if (cmd == "tail") return cmd_tail(args);
+    if (cmd == "cliff") return cmd_cliff(args);
+    if (cmd == "whatif") return cmd_whatif(args);
+    if (cmd == "redundancy") return cmd_redundancy(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "capacity") return cmd_capacity(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mclat %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  }
   usage();
   return 2;
 }

@@ -72,10 +72,10 @@ inline SimulateResult run_simulate(const core::SystemConfig& sys,
         Trial t;
         cluster::WorkloadDrivenConfig cfg;
         cfg.system = sys;
-        cfg.measure_time = opt.seconds;
-        cfg.warmup_time = opt.seconds / 10.0;
-        cfg.seed = trial_seed;
-        cfg.coalescing = opt.coalescing;
+        cfg.common.measure_time = opt.seconds;
+        cfg.common.warmup_time = opt.seconds / 10.0;
+        cfg.common.seed = trial_seed;
+        cfg.common.coalescing = opt.coalescing;
         if (record) cfg.recorder = obs::Recorder(t.metrics);
         const cluster::AssembledRequests reqs =
             cluster::run_workload_experiment(cfg, opt.requests);
