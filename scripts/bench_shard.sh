@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# bench_shard.sh — regenerate BENCH_shard.json, the intra-trial parallel
+# execution (sharded-calendar engine, DESIGN.md §4i) scaling snapshot.
+#
+# Runs bench_ext_shard_scaling (one end-to-end trial per shard_jobs x
+# server-count cell, wall-clock + events/s + K-invariance witness) and
+# folds the ROW lines into JSON. The headline "≥3x at 8 shards" claim is
+# gated on the machine actually having >= 8 cores to run 8 shards + the
+# coordinator: on fewer cores the cells time-slice, the measured speedup
+# is an artifact of the scheduler, and the claim is recorded as not
+# assessable rather than published as a number the hardware cannot have
+# produced.
+#
+# Usage: scripts/bench_shard.sh            (full-length trials)
+#        MCLAT_BENCH_FAST=1 scripts/bench_shard.sh   (quarter-length smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_ext_shard_scaling >/dev/null
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+./build/bench/bench_ext_shard_scaling | tee "$raw"
+
+python3 - "$raw" <<'EOF'
+import json
+import sys
+
+cores = None
+rows = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("MACHINE "):
+            cores = int(line.split("cores=")[1])
+        elif line.startswith("ROW "):
+            cell = {}
+            for tok in line.split()[1:]:
+                key, value = tok.split("=")
+                cell[key] = float(value) if "." in value else int(value)
+            rows.append(cell)
+
+if cores is None or not rows:
+    sys.exit("bench_shard.sh: harness output missing MACHINE/ROW lines")
+
+# speedup vs the shard_jobs=1 serial anchor of the same server row
+anchors = {r["servers"]: r["wall_s"] for r in rows if r["shards"] == 1}
+for r in rows:
+    r["speedup_vs_serial"] = round(anchors[r["servers"]] / r["wall_s"], 3)
+    r["events_per_second"] = round(r["events"] / r["wall_s"], 1)
+
+biggest = max(r["servers"] for r in rows)
+at8 = [r for r in rows if r["servers"] == biggest and r["shards"] == 8]
+assessable = cores >= 8
+measured = at8[0]["speedup_vs_serial"] if at8 else None
+claim = {
+    "statement": ">=3x wall-clock speedup at 8 shards vs the serial loop",
+    "shards": 8,
+    "servers": biggest,
+    "cores_required": 8,
+    "cores_available": cores,
+    "assessable": assessable,
+    "measured_speedup": measured if assessable else None,
+    "holds": (measured is not None and measured >= 3.0) if assessable else None,
+}
+if not assessable:
+    claim["note"] = (
+        f"machine has {cores} core(s); 8 shards + coordinator time-slice, "
+        "so the measured wall-clock ratio reflects the OS scheduler, not "
+        "the engine. Re-run scripts/bench_shard.sh on >=8 cores to assess."
+    )
+
+out = {
+    "comment": (
+        "Sharded-calendar engine scaling snapshot (DESIGN.md 4i): one "
+        "end-to-end trial per cell, wall-clock and events/s over "
+        "shard_jobs x server count; shard_jobs=1 is the untouched serial "
+        "loop, K>1 the conservative parallel engine. Regenerate with "
+        "scripts/bench_shard.sh."
+    ),
+    "machine": {"hardware_concurrency": cores},
+    "cells": rows,
+    "speedup_claim": claim,
+}
+with open("BENCH_shard.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote BENCH_shard.json ({len(rows)} cells, cores={cores}, "
+      f"claim assessable={assessable})")
+EOF

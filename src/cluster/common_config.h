@@ -36,6 +36,17 @@ struct CommonConfig {
   /// every-miss-an-independent-DB-visit model byte-identically.
   MissCoalescing coalescing = MissCoalescing::kOff;
 
+  /// Intra-trial parallelism: number of server shards for the conservative
+  /// windowed execution mode (DESIGN.md §4i). 1 (the default) runs the
+  /// exact single-threaded event loop — byte-identical to every golden.
+  /// K > 1 partitions the servers across K calendars driven by K+1 worker
+  /// threads (one coordinator LP plus the shards) and is its own
+  /// deterministic contract: results are identical for a fixed config
+  /// across repeated runs, worker counts, *and* shard counts, but are not
+  /// sample-identical to the serial schedule (the RNG split order differs;
+  /// see DESIGN.md §4i).
+  std::size_t shard_jobs = 1;
+
   /// One validation for all three simulators; a bad config throws at
   /// construction, not mid-run. `needs_measure_window` is false for the
   /// trace replay, whose horizon comes from the trace.
@@ -47,6 +58,7 @@ struct CommonConfig {
                   "CommonConfig.cache_bytes_per_server must be > 0");
     math::require(max_value_bytes > 0,
                   "CommonConfig.max_value_bytes must be > 0");
+    math::require(shard_jobs >= 1, "CommonConfig.shard_jobs must be >= 1");
   }
 };
 

@@ -7,6 +7,7 @@
 
 #include "cluster/engine/db_stage.h"
 #include "cluster/engine/fetch_table.h"
+#include "cluster/engine/sharded_engine.h"
 #include "cluster/engine/fork_join.h"
 #include "cluster/engine/hedge.h"
 #include "cluster/engine/mapper.h"
@@ -37,9 +38,21 @@ EndToEndSim::EndToEndSim(EndToEndConfig cfg) : cfg_(std::move(cfg)) {
   math::require(!cfg_.redundancy.replicated() ||
                     cfg_.miss_mode == MissMode::kBernoulli,
                 "EndToEndSim: redundant fan-out requires Bernoulli misses");
+  // Sharded execution relies on every cross-server edge being a network
+  // hop: a queueing database would be a shared station reachable from all
+  // shards with zero lookahead. The infinite-server stage has no queue, so
+  // it shards trivially (each server draws its own exp(μ_D) fetch).
+  math::require(cfg_.common.shard_jobs == 1 ||
+                    cfg_.db_mode == DbMode::kInfiniteServer,
+                "EndToEndSim: shard_jobs > 1 requires DbMode::kInfiniteServer "
+                "(a shared database queue has no network lookahead)");
 }
 
 EndToEndResult EndToEndSim::run() {
+  // The sharded path is a separate engine with its own (deterministic)
+  // sampling contract; shard_jobs == 1 runs the exact serial loop below,
+  // byte-identical to every golden.
+  if (cfg_.common.shard_jobs > 1) return engine::run_end_to_end_sharded(cfg_);
   const core::SystemConfig& sys = cfg_.system;
   const std::vector<double> shares = sys.shares();
   const std::size_t M = shares.size();

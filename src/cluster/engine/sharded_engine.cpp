@@ -1,0 +1,827 @@
+// sharded_engine.cpp — the windowed-parallel twin of the serial cluster
+// engine wiring (end_to_end.cpp / trace_replay.cpp).
+//
+// Topology: LP 0 is the coordinator (ArrivalSource, key draws,
+// ForkJoinJoiner, replica arbitration and hedge timers); LPs 1..K are
+// server shards, server j owned by shard j % K at local index j / K.
+// Every cross-LP interaction is a ShardGroup message timestamped now +
+// net/2 — exactly the group's lookahead:
+//
+//   coordinator → shard:  key arrival (fork fan-out), replica cancel
+//   shard → coordinator:  key/replica completion, cancel ack
+//
+// Servers never message each other (per-server stations, stores, fetch
+// tables and the inline infinite-server DB are all shard-local), so the
+// message pattern — and with it the delivery order and every RNG stream —
+// is identical for every shard count K: the (time, origin, posting-order)
+// delivery key uses origin = 0 for the coordinator and 1 + global server
+// index for shards, and each origin posts from exactly one LP.
+//
+// Sharded redundancy (documented deviation, DESIGN.md §4i): each replica
+// runs the full server→miss→DB path on its shard and the coordinator
+// arbitrates first-*completion*-wins, whereas the serial ReplicaSet
+// arbitrates at first server departure (before the miss path). Cancels
+// travel as messages and are acked so the coordinator can retire groups;
+// a cancel is always delivered at-or-after its replica's arrival hop
+// (both cross exactly one lookahead, and equal-time delivery orders the
+// earlier-posted arrival first), so an unknown replica id at cancel time
+// means "completion already in flight" — a safe no-op.
+#include "cluster/engine/sharded_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/engine/arrival.h"
+#include "cluster/engine/fetch_table.h"
+#include "cluster/engine/fork_join.h"
+#include "cluster/engine/hedge.h"
+#include "cluster/engine/mapper.h"
+#include "cluster/engine/miss_policy.h"
+#include "cluster/engine/stage_observer.h"
+#include "cluster/job_table.h"
+#include "dist/discrete.h"
+#include "dist/exponential.h"
+#include "exec/thread_pool.h"
+#include "hashing/key_mapper.h"
+#include "math/numerics.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "sim/sharded.h"
+#include "sim/simulator.h"
+#include "sim/source.h"
+#include "sim/station.h"
+#include "workload/key_table.h"
+#include "workload/size_model.h"
+
+namespace mclat::cluster::engine {
+namespace {
+
+/// Per-key in-flight state on its owning shard. Doubles as the completion
+/// message payload: together with the engine pointer it fills the
+/// InlineCallback inline buffer exactly.
+struct KeyCtx {
+  std::uint64_t id = 0;    ///< joiner key job, or replica id when is_replica
+  std::uint64_t rank = 0;  ///< key rank (0 under Bernoulli misses)
+  double server_sojourn = 0.0;
+  double service = 0.0;  ///< service_start → departure (loser waste)
+  double db_sojourn = 0.0;
+  std::uint32_t local = 0;   ///< server index within the shard
+  std::uint32_t global = 0;  ///< global server index
+  bool measured = false;
+  bool is_replica = false;
+  bool missed = false;
+  bool led = false;     ///< miss that submitted the DB fetch
+  bool parked = false;  ///< miss parked behind an in-flight fetch
+};
+
+/// One server shard: its calendar's stations plus every piece of formerly
+/// global state that is now per-server anyway (stores, fetch table, RNG
+/// streams) or mergeable (registry, counters).
+struct ServerShard {
+  std::size_t lp = 0;
+  sim::Simulator* sim = nullptr;
+  std::vector<std::size_t> owned;  ///< global server indices, ascending
+  std::vector<std::unique_ptr<sim::ServiceStation>> stations;
+  std::vector<dist::Rng> miss_rngs;  // local index
+  std::vector<dist::Rng> db_rngs;    // local index
+  std::optional<MissPolicy> cache;   // real-cache stores, local index
+  FetchTable fetch{0};
+  JobTable<KeyCtx> jobs;
+  std::unordered_map<std::uint64_t, std::uint64_t> live_replicas;  // rid→slot
+  std::vector<FetchTable::Waiter> released;
+  obs::Registry reg;
+  obs::Recorder rec;  // null recorder when the trial's recorder is null
+  StageObserver sobs;
+  std::uint64_t keys = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t db_fetches = 0;
+  std::uint64_t delayed_hits = 0;
+  std::uint64_t cancelled = 0;
+};
+
+/// Everything both sharded simulators share: shard construction, the
+/// server departure → miss → DB → completion-message path, and the
+/// coordinator-side replica arbitration. The two run_* functions own the
+/// arrival generation and result assembly.
+class ShardedCluster {
+ public:
+  /// `master` must already have the run's coordinator streams split off;
+  /// the ctor consumes the per-server (service, miss, db) triples in global
+  /// server order — the sharded split contract (DESIGN.md §4i).
+  ShardedCluster(const core::SystemConfig& sys, const CommonConfig& common,
+                 dist::Rng& master, bool real_cache, bool coalesce,
+                 bool count_unmeasured, const obs::Recorder& main_rec,
+                 workload::KeyTable* table, const RedundancyPolicy* policy,
+                 std::size_t shards)
+      : group_(1 + shards, sys.network_latency / 2.0),
+        net_half_(sys.network_latency / 2.0),
+        k_(shards),
+        miss_ratio_(sys.miss_ratio),
+        db_rate_(sys.db_service_rate),
+        real_cache_(real_cache),
+        coalesce_(coalesce),
+        count_unmeasured_(count_unmeasured),
+        table_(table),
+        policy_(policy),
+        co_(&group_.shard(0)),
+        co_sobs_(StageObserver::for_sim(main_rec)) {
+    if (coalesce_) co_sobs_.attach_coalescing(main_rec);
+    if (redundant()) {
+      co_sobs_.attach_redundancy(main_rec, policy_->hedged());
+      deadline_.emplace(policy_->hedge_quantile(),
+                        policy_->hedge_deadline_floor());
+    }
+    const std::size_t servers = sys.shares().size();
+    shards_.reserve(k_);
+    for (std::size_t s = 0; s < k_; ++s) {
+      auto shard = std::make_unique<ServerShard>();
+      shard->lp = 1 + s;
+      shard->sim = &group_.shard(shard->lp);
+      for (std::size_t j = s; j < servers; j += k_) shard->owned.push_back(j);
+      shard->fetch = FetchTable(shard->owned.size());
+      shard->rec = main_rec.registry() != nullptr ? obs::Recorder(shard->reg)
+                                                  : obs::Recorder();
+      shard->sobs = StageObserver::for_sim(shard->rec);
+      if (coalesce_) shard->sobs.attach_coalescing(shard->rec);
+      if (redundant()) {
+        shard->sobs.attach_redundancy(shard->rec, policy_->hedged());
+      }
+      shards_.push_back(std::move(shard));
+    }
+    // Per-server streams in *global* server order — (service, miss, db)
+    // triples — so the draw sequences are invariant under the shard count.
+    // The miss stream is split even in real-cache mode (which never draws
+    // from it), mirroring the serial always-split contract.
+    for (std::size_t j = 0; j < servers; ++j) {
+      ServerShard& shard = *shards_[j % k_];
+      const double mu = sys.rate_of(j);
+      dist::Rng service_rng = master.split();
+      shard.miss_rngs.push_back(master.split());
+      shard.db_rngs.push_back(master.split());
+      const std::size_t s_idx = j % k_;
+      const auto l = static_cast<std::uint32_t>(j / k_);
+      shard.stations.push_back(std::make_unique<sim::ServiceStation>(
+          *shard.sim, std::make_unique<dist::Exponential>(mu),
+          std::move(service_rng), [this, s_idx, l](const sim::Departure& d) {
+            on_server_departure(s_idx, l, d);
+          }));
+      StageObserver::attach_server_split(shard.rec, *shard.stations.back(), j,
+                                         common.warmup_time);
+    }
+    if (real_cache_) {
+      for (auto& shard : shards_) {
+        // One LruStore per *owned* server, indexed locally; the unused RNG
+        // keeps MissPolicy's signature happy (real caches never draw).
+        shard->cache = MissPolicy::real_cache(
+            *table_, shard->owned.size(), common.cache_bytes_per_server,
+            dist::Rng(0));
+      }
+    }
+  }
+
+  [[nodiscard]] bool redundant() const noexcept {
+    return policy_ != nullptr && policy_->replicated();
+  }
+
+  [[nodiscard]] sim::Simulator& coordinator() noexcept { return *co_; }
+  [[nodiscard]] sim::ShardGroup& group() noexcept { return group_; }
+  [[nodiscard]] const StageObserver& co_sobs() const noexcept {
+    return co_sobs_;
+  }
+  [[nodiscard]] ServerShard& shard_of(std::size_t server) noexcept {
+    return *shards_[server % k_];
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return k_; }
+
+  void set_joiner(ForkJoinJoiner* joiner) noexcept { joiner_ = joiner; }
+  void set_server_pick(const dist::Discrete* pick) noexcept {
+    server_pick_ = pick;
+  }
+
+  /// Fork fan-out: one key arrival message to server `j`'s shard.
+  void post_arrival(std::size_t j, std::uint64_t id, std::uint64_t rank,
+                    bool measured, bool is_replica) {
+    const std::size_t s_idx = j % k_;
+    const auto l = static_cast<std::uint32_t>(j / k_);
+    group_.post(
+        0, shards_[s_idx]->lp, /*origin=*/0, co_->now() + net_half_,
+        sim::InlineCallback([this, s_idx, l, id, rank, measured, is_replica] {
+          on_arrival(s_idx, l, id, rank, measured, is_replica);
+        }));
+  }
+
+  /// Pre-run injection (trace replay): schedules the arrival directly into
+  /// the owning shard's calendar — single-threaded setup, no mailbox.
+  void inject_arrival(std::size_t j, double at, std::uint64_t id,
+                      std::uint64_t rank) {
+    const std::size_t s_idx = j % k_;
+    const auto l = static_cast<std::uint32_t>(j / k_);
+    shards_[s_idx]->sim->schedule_at(at, [this, s_idx, l, id, rank] {
+      on_arrival(s_idx, l, id, rank, /*measured=*/true, /*is_replica=*/false);
+    });
+  }
+
+  /// Redundant fork: dispatch `degree` replicas (immediate) or the primary
+  /// plus a hedge timer. Mirrors ReplicaSet::dispatch — backups drawn from
+  /// the fork stream (immediate) or the hedge stream (deadline fired).
+  /// Groups get their own monotone ids: the joiner's key-job ids are slot
+  /// indices recycled the moment a key joins, and with let-losers-run a
+  /// group outlives its key's join.
+  void dispatch_replicas(std::uint64_t kjob, std::size_t home, bool measured,
+                         dist::Rng& fork_rng, dist::Rng& hedge_rng) {
+    const std::uint64_t gid = next_gid_++;
+    Group& g = groups_[gid];
+    g.kjob = kjob;
+    g.dispatched_at = co_->now();
+    if (!policy_->hedged()) {
+      for (unsigned r = 0; r < policy_->degree(); ++r) {
+        const std::size_t sj = r == 0 ? home : server_pick_->sample(fork_rng);
+        send_replica(g, gid, sj, measured);
+      }
+      return;
+    }
+    send_replica(g, gid, home, measured);
+    if (const std::optional<double> dl = deadline_->deadline()) {
+      g.hedge_event = co_->schedule_in(*dl, [this, gid, measured, &hedge_rng] {
+        fire_hedge(gid, measured, hedge_rng);
+      });
+    }
+  }
+
+  /// Runs the group on shard_count() + 1 workers drawn from an
+  /// exec::ThreadPool (the satellite contract: shards ride the same pool
+  /// machinery the trial runner uses).
+  void run() {
+    const std::size_t workers = k_ + 1;
+    exec::ThreadPool pool(workers - 1);
+    group_.run_with([&pool](auto&& fn) {
+      return pool.submit(std::forward<decltype(fn)>(fn));
+    }, workers);
+    pool.shutdown();
+  }
+
+  /// Post-drain structural conservation: every fork joined, every fetch
+  /// released, every replica resolved. A violated invariant here means a
+  /// message was lost or duplicated — the sharded mode's cardinal sin.
+  void check_drained() const {
+    math::require(
+        joiner_->open_requests() == 0 && joiner_->in_flight_keys() == 0,
+        "sharded engine: unjoined work after drain (" +
+            std::to_string(joiner_->open_requests()) + " requests, " +
+            std::to_string(joiner_->in_flight_keys()) + " keys)");
+    math::require(groups_.empty() && reps_.empty(),
+                  "sharded engine: unresolved replica groups after drain (" +
+                      std::to_string(groups_.size()) + " groups, " +
+                      std::to_string(reps_.size()) + " replicas)");
+    for (const auto& shard : shards_) {
+      math::require(shard->jobs.size() == 0,
+                    "sharded engine: in-flight keys left on a shard");
+      math::require(shard->fetch.outstanding_fetches() == 0,
+                    "sharded engine: outstanding DB fetches after drain");
+      math::require(shard->live_replicas.empty(),
+                    "sharded engine: live replicas left on a shard");
+    }
+  }
+
+  /// Folds every shard registry into the trial's registry (LP order, so
+  /// the result is deterministic), then sets the gauges that only make
+  /// sense trial-wide. Call after check_drained().
+  void merge_observability(const obs::Recorder& main_rec) {
+    if (main_rec.registry() == nullptr) return;
+    for (const auto& shard : shards_) main_rec.registry()->merge(shard->reg);
+    if (coalesce_) {
+      // Serial runs report the global outstanding-fetch peak; per-shard
+      // peaks need not coincide in time, so their sum is an upper bound —
+      // close in practice and monotone in the same effects.
+      std::size_t peak = 0;
+      for (const auto& shard : shards_) peak += shard->fetch.peak_outstanding();
+      obs::set_gauge(co_sobs_.fetch_outstanding, static_cast<double>(peak));
+    }
+  }
+
+  [[nodiscard]] double utilization_of(std::size_t j, double horizon) const {
+    return shards_[j % k_]->stations[j / k_]->utilization(horizon);
+  }
+
+  // --- summed shard counters (+ coordinator-side redundant counts) --------
+  [[nodiscard]] std::uint64_t total_keys() const {
+    return sum(&ServerShard::keys) + co_keys_;
+  }
+  [[nodiscard]] std::uint64_t total_misses() const {
+    return sum(&ServerShard::misses) + co_misses_;
+  }
+  [[nodiscard]] std::uint64_t total_db_fetches() const {
+    return sum(&ServerShard::db_fetches) + co_db_fetches_;
+  }
+  [[nodiscard]] std::uint64_t total_delayed_hits() const {
+    return sum(&ServerShard::delayed_hits) + co_delayed_hits_;
+  }
+  [[nodiscard]] std::uint64_t total_cancelled() const {
+    return sum(&ServerShard::cancelled);
+  }
+  [[nodiscard]] std::uint64_t hedges_fired() const noexcept {
+    return hedges_fired_;
+  }
+  [[nodiscard]] double wasted_service() const noexcept { return wasted_; }
+  [[nodiscard]] double last_completion() const noexcept {
+    return last_completion_;
+  }
+
+ private:
+  /// Coordinator-side state of one replicated key.
+  struct Group {
+    std::uint64_t kjob = 0;  ///< the joiner key the winner completes
+    double dispatched_at = 0.0;
+    sim::EventId hedge_event = sim::kInvalidEventId;
+    unsigned outstanding = 0;
+    bool won = false;
+    std::vector<std::uint64_t> live;  ///< replica ids not yet resolved
+  };
+  struct RepInfo {
+    std::uint64_t gid = 0;
+    std::uint32_t server = 0;
+  };
+
+  [[nodiscard]] std::uint64_t sum(std::uint64_t ServerShard::*m) const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += (*shard).*m;
+    return total;
+  }
+
+  [[nodiscard]] bool is_miss(ServerShard& shard, std::uint32_t l,
+                             std::uint64_t rank, double now) {
+    if (real_cache_) return shard.cache->is_miss(l, rank, now);
+    return miss_ratio_ > 0.0 && shard.miss_rngs[l].bernoulli(miss_ratio_);
+  }
+
+  void on_arrival(std::size_t s_idx, std::uint32_t l, std::uint64_t id,
+                  std::uint64_t rank, bool measured, bool is_replica) {
+    ServerShard& shard = *shards_[s_idx];
+    KeyCtx ctx;
+    ctx.id = id;
+    ctx.rank = rank;
+    ctx.local = l;
+    ctx.global = static_cast<std::uint32_t>(s_idx + l * k_);
+    ctx.measured = measured;
+    ctx.is_replica = is_replica;
+    const std::uint64_t slot = shard.jobs.insert(ctx);
+    if (is_replica) shard.live_replicas.emplace(id, slot);
+    shard.stations[l]->arrive(slot);
+  }
+
+  void on_server_departure(std::size_t s_idx, std::uint32_t l,
+                           const sim::Departure& d) {
+    ServerShard& shard = *shards_[s_idx];
+    const double now = shard.sim->now();
+    KeyCtx& ctx = shard.jobs.at(
+        d.job_id, "sharded engine: server departure for unknown key");
+    ctx.server_sojourn = d.sojourn_time();
+    ctx.service = d.departure - d.service_start;
+    const bool miss = is_miss(shard, l, ctx.rank, now);
+    ctx.missed = miss;
+    // Plain keys are counted where the serial sims count them (server
+    // departure); replicas are counted at the coordinator, winner-only,
+    // to preserve the serial first-wins counter semantics.
+    const bool counted = !ctx.is_replica && (count_unmeasured_ || ctx.measured);
+    if (counted) {
+      if (!count_unmeasured_) {
+        // End-to-end contract: keys counted at departure, gated.
+        ++shard.keys;
+        obs::bump(shard.sobs.keys);
+      }
+      if (miss) {
+        ++shard.misses;
+        obs::bump(shard.sobs.misses);
+      }
+    }
+    if (miss) {
+      if (!coalesce_ || shard.fetch.lead_or_park(l, ctx.rank, d.job_id, now)) {
+        ctx.led = true;
+        if (counted) ++shard.db_fetches;
+        const double ds = shard.db_rngs[l].exponential(db_rate_);
+        shard.sim->schedule_in(ds, [this, s_idx, slot = d.job_id, ds] {
+          on_fetch_done(s_idx, slot, ds);
+        });
+      } else {
+        ctx.parked = true;
+        if (counted) {
+          ++shard.delayed_hits;
+          obs::bump(shard.sobs.coalesced);
+        }
+      }
+    } else {
+      post_completion(shard, d.job_id);
+    }
+  }
+
+  void on_fetch_done(std::size_t s_idx, std::uint64_t slot, double ds) {
+    ServerShard& shard = *shards_[s_idx];
+    const double now = shard.sim->now();
+    std::uint32_t l = 0;
+    std::uint64_t rank = 0;
+    {
+      KeyCtx& ctx = shard.jobs.at(
+          slot, "sharded engine: DB completion for unknown key");
+      ctx.db_sojourn = ds;
+      l = ctx.local;
+      rank = ctx.rank;
+      if (real_cache_) shard.cache->refill(l, rank, now);
+      if (!ctx.is_replica && (count_unmeasured_ || ctx.measured)) {
+        obs::observe(shard.sobs.db_sojourn, obs::to_us(ds));
+      }
+    }
+    post_completion(shard, slot);
+    if (coalesce_) {
+      shard.fetch.release(l, rank, shard.released);
+      for (const FetchTable::Waiter& w : shard.released) {
+        KeyCtx& wctx = shard.jobs.at(
+            w.job, "sharded engine: released waiter for unknown key");
+        wctx.db_sojourn = now - w.parked_at;
+        if (!wctx.is_replica && (count_unmeasured_ || wctx.measured)) {
+          obs::observe(shard.sobs.db_sojourn, obs::to_us(wctx.db_sojourn));
+          obs::observe(shard.sobs.delayed_wait, obs::to_us(wctx.db_sojourn));
+        }
+        post_completion(shard, w.job);
+      }
+    }
+  }
+
+  void post_completion(ServerShard& shard, std::uint64_t slot) {
+    const KeyCtx c = shard.jobs.take(
+        slot, "sharded engine: completion for unknown key");
+    if (c.is_replica) shard.live_replicas.erase(c.id);
+    group_.post(shard.lp, 0, /*origin=*/1 + c.global,
+                shard.sim->now() + net_half_,
+                sim::InlineCallback([this, c] { on_completion(c); }));
+  }
+
+  void on_completion(const KeyCtx& c) {
+    const double now = co_->now();
+    last_completion_ = now;
+    if (!c.is_replica) {
+      ForkJoinJoiner::Key& k = joiner_->key(
+          c.id, "sharded engine: completion for unknown joiner key");
+      k.server_sojourn = c.server_sojourn;
+      k.db_sojourn = c.db_sojourn;
+      k.server = c.global;
+      joiner_->complete_key(c.id, now);
+      return;
+    }
+    const auto rit = reps_.find(c.id);
+    math::require(rit != reps_.end(),
+                  "sharded engine: completion for unknown replica");
+    const RepInfo info = rit->second;
+    reps_.erase(rit);
+    Group& g = groups_.at(info.gid);
+    std::erase(g.live, c.id);
+    --g.outstanding;
+    if (!g.won) {
+      g.won = true;
+      if (g.hedge_event != sim::kInvalidEventId) {
+        co_->cancel(g.hedge_event);
+        g.hedge_event = sim::kInvalidEventId;
+      }
+      if (policy_->hedged()) {
+        // The serial estimator observes dispatch → server departure; the
+        // completion message cannot recover the departure instant, but
+        // dispatch → server arrival is a constant net/2, so net/2 + the
+        // carried sojourn is the same quantity.
+        deadline_->observe(net_half_ + c.server_sojourn);
+      }
+      ForkJoinJoiner::Key& k = joiner_->key(
+          g.kjob, "sharded engine: winner for unknown joiner key");
+      k.server_sojourn = c.server_sojourn;
+      k.db_sojourn = c.db_sojourn;
+      k.server = c.global;
+      if (c.measured) {
+        ++co_keys_;
+        obs::bump(co_sobs_.keys);
+        if (c.missed) {
+          ++co_misses_;
+          obs::bump(co_sobs_.misses);
+          obs::observe(co_sobs_.db_sojourn, obs::to_us(c.db_sojourn));
+          if (c.led) ++co_db_fetches_;
+          if (c.parked) {
+            ++co_delayed_hits_;
+            obs::bump(co_sobs_.coalesced);
+            obs::observe(co_sobs_.delayed_wait, obs::to_us(c.db_sojourn));
+          }
+        }
+      }
+      joiner_->complete_key(g.kjob, now);
+      if (policy_->cancel_on_win()) {
+        for (const std::uint64_t rid : g.live) post_cancel(rid);
+      }
+    } else {
+      wasted_ += c.service;
+      obs::observe(co_sobs_.wasted_service, obs::to_us(c.service));
+    }
+    if (g.outstanding == 0) groups_.erase(info.gid);
+  }
+
+  void post_cancel(std::uint64_t rid) {
+    const RepInfo& info = reps_.at(rid);
+    const std::size_t s_idx = info.server % k_;
+    group_.post(0, shards_[s_idx]->lp, /*origin=*/0, co_->now() + net_half_,
+                sim::InlineCallback(
+                    [this, s_idx, rid] { on_cancel(s_idx, rid); }));
+  }
+
+  void on_cancel(std::size_t s_idx, std::uint64_t rid) {
+    ServerShard& shard = *shards_[s_idx];
+    const auto it = shard.live_replicas.find(rid);
+    // Unknown id: the replica's completion is already in flight toward the
+    // coordinator (cancels never beat arrivals — see file comment).
+    if (it == shard.live_replicas.end()) return;
+    const std::uint64_t slot = it->second;
+    const std::uint32_t global = shard.jobs.at(
+        slot, "sharded engine: cancel for unknown replica job").global;
+    const std::uint32_t local = static_cast<std::uint32_t>(global / k_);
+    if (!shard.stations[local]->cancel_waiting(slot)) return;  // in service
+    ++shard.cancelled;
+    obs::bump(shard.sobs.replica_cancelled);
+    shard.jobs.erase(slot, "sharded engine: cancelled replica vanished");
+    shard.live_replicas.erase(it);
+    group_.post(shard.lp, 0, /*origin=*/1 + global,
+                shard.sim->now() + net_half_,
+                sim::InlineCallback([this, rid] { on_cancel_ack(rid); }));
+  }
+
+  void on_cancel_ack(std::uint64_t rid) {
+    const auto rit = reps_.find(rid);
+    math::require(rit != reps_.end(),
+                  "sharded engine: cancel ack for unknown replica");
+    const RepInfo info = rit->second;
+    reps_.erase(rit);
+    Group& g = groups_.at(info.gid);
+    std::erase(g.live, rid);
+    --g.outstanding;
+    if (g.outstanding == 0) groups_.erase(info.gid);
+  }
+
+  void send_replica(Group& g, std::uint64_t gid, std::size_t sj,
+                    bool measured) {
+    const std::uint64_t rid = next_rid_++;
+    reps_.emplace(rid, RepInfo{gid, static_cast<std::uint32_t>(sj)});
+    g.live.push_back(rid);
+    ++g.outstanding;
+    post_arrival(sj, rid, /*rank=*/0, measured, /*is_replica=*/true);
+  }
+
+  void fire_hedge(std::uint64_t gid, bool measured, dist::Rng& hedge_rng) {
+    const auto it = groups_.find(gid);
+    if (it == groups_.end() || it->second.won) return;
+    Group& g = it->second;
+    g.hedge_event = sim::kInvalidEventId;
+    ++hedges_fired_;
+    obs::bump(co_sobs_.hedge_fired);
+    for (unsigned r = 1; r < policy_->degree(); ++r) {
+      send_replica(g, gid, server_pick_->sample(hedge_rng), measured);
+    }
+  }
+
+  sim::ShardGroup group_;
+  double net_half_;
+  std::size_t k_;
+  double miss_ratio_;
+  double db_rate_;
+  bool real_cache_;
+  bool coalesce_;
+  /// Trace-replay contract: key/miss/fetch counters and db-sojourn
+  /// observations are ungated; the end-to-end contract gates them on the
+  /// measurement window.
+  bool count_unmeasured_;
+  workload::KeyTable* table_;
+  const RedundancyPolicy* policy_;
+  sim::Simulator* co_;
+  StageObserver co_sobs_;
+  std::vector<std::unique_ptr<ServerShard>> shards_;
+
+  ForkJoinJoiner* joiner_ = nullptr;
+  const dist::Discrete* server_pick_ = nullptr;
+  std::optional<HedgeDeadline> deadline_;
+  std::unordered_map<std::uint64_t, Group> groups_;
+  std::unordered_map<std::uint64_t, RepInfo> reps_;
+  std::uint64_t next_rid_ = 1;
+  std::uint64_t next_gid_ = 1;
+  std::uint64_t co_keys_ = 0;
+  std::uint64_t co_misses_ = 0;
+  std::uint64_t co_db_fetches_ = 0;
+  std::uint64_t co_delayed_hits_ = 0;
+  std::uint64_t hedges_fired_ = 0;
+  double wasted_ = 0.0;
+  double last_completion_ = 0.0;
+};
+
+}  // namespace
+
+EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
+  const core::SystemConfig& sys = cfg.system;
+  const std::vector<double> shares = sys.shares();
+  const std::size_t M = shares.size();
+  const std::size_t K = std::min(cfg.common.shard_jobs, M);
+  const double horizon = cfg.common.warmup_time + cfg.common.measure_time;
+  const bool real_cache = cfg.miss_mode == MissMode::kRealCache;
+  const RedundancyPolicy& policy = cfg.redundancy;
+  const bool redundant = policy.replicated();
+  const bool coalesce = cfg.common.coalescing == MissCoalescing::kPerServer;
+
+  // Sharded split order (its own contract — DESIGN.md §4i): the
+  // coordinator streams (arrivals, key draws, hedge placement iff the
+  // policy hedges), then per-server (service, miss, db) triples in global
+  // server order. Invariant under the shard count by construction.
+  dist::Rng master(cfg.common.seed);
+  dist::Rng req_rng = master.split();
+  dist::Rng key_rng = master.split();
+  dist::Rng hedge_rng = policy.hedged() ? master.split() : dist::Rng(0);
+
+  const std::unique_ptr<hashing::KeyMapper> mapper =
+      engine::make_mapper(cfg.mapper, shares);
+  const dist::Discrete server_pick(shares);
+
+  std::unique_ptr<workload::KeySpace> keyspace;
+  std::unique_ptr<workload::KeyTable> key_table;
+  const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
+                                             cfg.common.max_value_bytes);
+  if (real_cache) {
+    keyspace = std::make_unique<workload::KeySpace>(cfg.keyspace_size,
+                                                    cfg.zipf_exponent);
+    // Eager build: shards read the table concurrently (store probes and
+    // refills); the lazy chunk materialization is single-threaded-only.
+    key_table = std::make_unique<workload::KeyTable>(
+        *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kEager);
+  }
+
+  ShardedCluster cluster(sys, cfg.common, master, real_cache, coalesce,
+                         /*count_unmeasured=*/false, cfg.recorder,
+                         key_table.get(), &policy, K);
+
+  ForkJoinJoiner joiner(sys.network_latency, cluster.co_sobs(),
+                        /*keep_total_samples=*/true,
+                        /*per_key_counter=*/nullptr);
+  cluster.set_joiner(&joiner);
+  cluster.set_server_pick(&server_pick);
+
+  sim::Simulator& co = cluster.coordinator();
+  sim::PoissonSource source(co, cfg.effective_request_rate(),
+                            std::move(req_rng), [&] {
+    const double start = co.now();
+    const bool measured = start >= cfg.common.warmup_time;
+    const std::uint64_t rid =
+        joiner.open_request(start, sys.keys_per_request, measured);
+    for (std::uint32_t i = 0; i < sys.keys_per_request; ++i) {
+      std::uint64_t rank = 0;
+      std::size_t server_idx;
+      if (real_cache) {
+        rank = keyspace->sample_rank(key_rng);
+        server_idx = key_table->server(rank);
+      } else {
+        server_idx = server_pick.sample(key_rng);
+      }
+      const std::uint64_t kjob = joiner.open_key(rid, rank, server_idx);
+      if (!redundant) {
+        cluster.post_arrival(server_idx, kjob, rank, measured,
+                             /*is_replica=*/false);
+      } else {
+        cluster.dispatch_replicas(kjob, server_idx, measured, key_rng,
+                                  hedge_rng);
+      }
+    }
+  });
+  // Scheduled before the source starts, so at a tie the stop (lower seq)
+  // wins: an arrival at exactly the horizon is dropped, not generated —
+  // part of the sharded contract (the serial loop generates it).
+  co.schedule_at(horizon, [&source] { source.stop(); });
+  source.start();
+
+  cluster.run();
+  cluster.check_drained();
+
+  EndToEndResult res;
+  res.network = stats::mean_ci(joiner.network_stats());
+  res.server = stats::mean_ci(joiner.server_stats());
+  res.database = stats::mean_ci(joiner.database_stats());
+  res.total = stats::mean_ci(joiner.total_stats());
+  res.total_samples = joiner.take_total_samples();
+  const std::uint64_t keys = cluster.total_keys();
+  res.measured_miss_ratio =
+      keys == 0 ? 0.0
+                : static_cast<double>(cluster.total_misses()) /
+                      static_cast<double>(keys);
+  cluster.merge_observability(cfg.recorder);
+  res.server_utilization.reserve(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    res.server_utilization.push_back(cluster.utilization_of(j, horizon));
+    StageObserver::record_server_utilization(cfg.recorder, j,
+                                             res.server_utilization.back());
+  }
+  res.requests_completed = joiner.measured_requests();
+  res.keys_completed = joiner.keys_completed();
+  res.events_executed = cluster.group().events_executed();
+  res.measured_db_fetches = cluster.total_db_fetches();
+  res.measured_delayed_hits = cluster.total_delayed_hits();
+  if (redundant) {
+    res.hedges_fired = cluster.hedges_fired();
+    res.replicas_cancelled = cluster.total_cancelled();
+    res.replica_wasted_service = cluster.wasted_service();
+  }
+  return res;
+}
+
+TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
+                                           const workload::Trace& trace,
+                                           const workload::KeySpace& keys) {
+  const engine::TraceInjector injector(trace, keys.size());
+  const core::SystemConfig& sys = cfg.system;
+  const std::vector<double> shares = sys.shares();
+  const std::size_t M = shares.size();
+  const std::size_t K = std::min(cfg.common.shard_jobs, M);
+  const double net_half = sys.network_latency / 2.0;
+  const bool real_cache = cfg.miss_mode == MissMode::kRealCache;
+  const bool coalesce = cfg.common.coalescing == MissCoalescing::kPerServer;
+
+  struct PreRequest {
+    double start = 0.0;
+    std::uint32_t n_keys = 0;
+  };
+  std::unordered_map<std::uint64_t, std::uint32_t> request_index;
+  std::vector<PreRequest> pre;
+  for (const auto& rec : trace.records()) {
+    const auto [it, fresh] = request_index.try_emplace(
+        rec.request_id, static_cast<std::uint32_t>(pre.size()));
+    if (fresh) pre.emplace_back();
+    PreRequest& req = pre[it->second];
+    req.n_keys += 1;
+    req.start = fresh ? rec.time : std::min(req.start, rec.time);
+  }
+
+  // Sharded replay split order: per-server (service, miss, db) triples in
+  // global server order — no coordinator streams (the trace provides the
+  // arrivals and key identities).
+  dist::Rng master(cfg.common.seed);
+  const std::unique_ptr<hashing::KeyMapper> mapper =
+      engine::make_mapper(cfg.mapper, shares);
+  const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
+                                             cfg.common.max_value_bytes);
+  // Routing happens single-threaded at injection time, so the table may
+  // stay lazy under Bernoulli; real-cache mode reads it from every shard
+  // and must be eager.
+  workload::KeyTable key_table(keys, *mapper,
+                               real_cache ? &value_sizes : nullptr,
+                               real_cache ? workload::KeyTable::Build::kEager
+                                          : workload::KeyTable::Build::kLazy);
+
+  ShardedCluster cluster(sys, cfg.common, master, real_cache, coalesce,
+                         /*count_unmeasured=*/true, cfg.recorder, &key_table,
+                         /*policy=*/nullptr, K);
+
+  ForkJoinJoiner joiner(sys.network_latency, cluster.co_sobs(),
+                        /*keep_total_samples=*/false,
+                        /*per_key_counter=*/cluster.co_sobs().keys);
+  cluster.set_joiner(&joiner);
+  for (const PreRequest& p : pre) {
+    joiner.open_request(p.start, p.n_keys, p.start >= cfg.common.warmup_time);
+  }
+
+  injector.start([&](const workload::TraceRecord& rec) {
+    const std::size_t server = key_table.server(rec.key_rank);
+    const std::uint64_t job = joiner.open_key(
+        request_index.at(rec.request_id), rec.key_rank, server);
+    cluster.inject_arrival(server, rec.time + net_half, job, rec.key_rank);
+  });
+
+  cluster.run();
+  cluster.check_drained();
+
+  TraceReplayResult res;
+  res.network = stats::mean_ci(joiner.network_stats());
+  res.server = stats::mean_ci(joiner.server_stats());
+  res.database = stats::mean_ci(joiner.database_stats());
+  res.total = stats::mean_ci(joiner.total_stats());
+  res.requests_completed = joiner.requests_joined();
+  res.measured_requests = joiner.measured_requests();
+  res.keys_completed = joiner.keys_completed();
+  res.measured_miss_ratio =
+      res.keys_completed == 0
+          ? 0.0
+          : static_cast<double>(cluster.total_misses()) /
+                static_cast<double>(res.keys_completed);
+  res.horizon = cluster.last_completion();
+  res.db_fetches = cluster.total_db_fetches();
+  res.delayed_hits = cluster.total_delayed_hits();
+  cluster.merge_observability(cfg.recorder);
+  res.server_utilization.reserve(M);
+  for (std::size_t j = 0; j < M; ++j) {
+    res.server_utilization.push_back(cluster.utilization_of(j, res.horizon));
+    StageObserver::record_server_utilization(cfg.recorder, j,
+                                             res.server_utilization.back());
+  }
+  return res;
+}
+
+}  // namespace mclat::cluster::engine

@@ -1,0 +1,39 @@
+// sharded_engine.h — conservative parallel execution of one cluster trial.
+//
+// Entry points for EndToEndSim::run() and TraceReplaySim::run() when
+// CommonConfig.shard_jobs > 1: the trial's servers are partitioned across
+// K = min(shard_jobs, servers) calendar shards plus one coordinator LP
+// (arrival generation, fork-join joining, replica arbitration), executed by
+// a sim::ShardGroup in lookahead-bounded windows on K+1 worker threads from
+// an exec::ThreadPool. The lookahead is the one-way network delay: every
+// cross-LP edge in the engine's fork-join topology (fork fan-out, join
+// notifications, replica cancels and their acks) is exactly net/2 in the
+// future, so the null-message window bound holds by construction.
+//
+// Determinism contract (DESIGN.md §4i): a sharded run is reproducible for
+// a fixed config across repeated runs, worker-thread counts, *and* shard
+// counts — but it is a distinct sampling contract from the serial
+// schedule, not a sample-for-sample twin (per-server RNG streams replace
+// the serial interleaved draws, and redundant fan-out arbitrates on first
+// *completion* rather than first server departure). shard_jobs == 1 never
+// reaches this code: the serial path stays byte-identical to the goldens.
+#pragma once
+
+#include "cluster/end_to_end.h"
+#include "cluster/trace_replay.h"
+#include "workload/keyspace.h"
+#include "workload/trace.h"
+
+namespace mclat::cluster::engine {
+
+/// Parallel twin of EndToEndSim::run(). Requires (validated in the
+/// EndToEndSim ctor) DbMode::kInfiniteServer — a queueing database would
+/// put a zero-lookahead edge between servers and a shared DB station.
+[[nodiscard]] EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg);
+
+/// Parallel twin of TraceReplaySim::run(). Same database restriction.
+[[nodiscard]] TraceReplayResult run_trace_replay_sharded(
+    const TraceReplayConfig& cfg, const workload::Trace& trace,
+    const workload::KeySpace& keys);
+
+}  // namespace mclat::cluster::engine

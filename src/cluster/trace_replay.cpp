@@ -11,6 +11,7 @@
 #include "cluster/engine/fork_join.h"
 #include "cluster/engine/mapper.h"
 #include "cluster/engine/miss_policy.h"
+#include "cluster/engine/sharded_engine.h"
 #include "cluster/engine/stage_observer.h"
 #include "dist/exponential.h"
 #include "hashing/key_mapper.h"
@@ -27,10 +28,22 @@ TraceReplaySim::TraceReplaySim(TraceReplayConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.common.validate(/*needs_measure_window=*/false);
   math::require(cfg_.db_servers >= 1,
                 "TraceReplaySim: db_servers must be >= 1");
+  // Same restriction as EndToEndSim: a shared database queue would be a
+  // zero-lookahead edge between shards.
+  math::require(cfg_.common.shard_jobs == 1 ||
+                    cfg_.db_mode == DbMode::kInfiniteServer,
+                "TraceReplaySim: shard_jobs > 1 requires "
+                "DbMode::kInfiniteServer (a shared database queue has no "
+                "network lookahead)");
 }
 
 TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
                                       const workload::KeySpace& keys) {
+  // shard_jobs == 1 runs the exact serial loop below (golden-identical);
+  // K > 1 dispatches to the windowed-parallel engine.
+  if (cfg_.common.shard_jobs > 1) {
+    return engine::run_trace_replay_sharded(cfg_, trace, keys);
+  }
   // Fail fast, before any simulation state exists: non-empty trace, every
   // rank inside the keyspace (a record that exceeds it names itself in the
   // diagnostic instead of aliasing onto some unrelated hot key).

@@ -55,6 +55,12 @@ WorkloadDrivenSim::WorkloadDrivenSim(WorkloadDrivenConfig cfg)
     : cfg_(std::move(cfg)) {
   cfg_.common.validate();
   math::require(cfg_.pool_cap > 0, "WorkloadDrivenSim: pool_cap must be > 0");
+  // The workload-driven testbed measures isolated stations — there is no
+  // cluster-wide event graph to shard. Reject rather than silently ignore.
+  math::require(cfg_.common.shard_jobs == 1,
+                "WorkloadDrivenSim: shard_jobs > 1 is not supported (the "
+                "testbed has no intra-trial event graph to shard); use the "
+                "end-to-end or trace-replay simulators");
 }
 
 MeasurementPools WorkloadDrivenSim::run() {

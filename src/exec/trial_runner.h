@@ -16,6 +16,7 @@
 // makes it the golden reference the tests in tests/exec/ compare against.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -72,6 +73,16 @@ class TrialRunner {
                        .count();
       return r;
     };
+    // The worker count the pool is actually sized to below — not the
+    // requested opt_.jobs, which may exceed the trial count (or be moot on
+    // the serial path). The gauge and the busy-fraction denominator must
+    // report this effective figure, or a 2-trial run under --jobs 16 would
+    // claim a 16-wide pool running at ≤ 12.5% busy.
+    const std::size_t effective_jobs =
+        opt_.jobs == 1 || trials == 1
+            ? 1
+            : std::min<std::size_t>(opt_.jobs,
+                                    static_cast<std::size_t>(trials));
     const auto t_start = Clock::now();
     if (opt_.jobs == 1 || trials == 1) {
       for (std::uint64_t i = 0; i < trials; ++i) {
@@ -102,12 +113,13 @@ class TrialRunner {
       }
       opt_.recorder.counter("exec.trials")->add(trials);
       opt_.recorder.gauge("exec.jobs")->set(
-          static_cast<double>(opt_.jobs));
+          static_cast<double>(effective_jobs));
       // Mean fraction of the pool's capacity that was actually running
-      // trials: Σ trial wall time / (elapsed × jobs).
+      // trials: Σ trial wall time / (elapsed × effective workers).
       if (elapsed_us > 0.0) {
         opt_.recorder.gauge("exec.pool.busy_fraction")
-            ->set(busy_us / (elapsed_us * static_cast<double>(opt_.jobs)));
+            ->set(busy_us /
+                  (elapsed_us * static_cast<double>(effective_jobs)));
       }
     }
     return out;

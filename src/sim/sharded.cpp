@@ -1,0 +1,177 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "math/numerics.h"
+
+namespace mclat::sim {
+
+ShardGroup::ShardGroup(std::size_t lps, double lookahead)
+    : lookahead_(lookahead), window_step_(lookahead / 2.0) {
+  math::require(lps >= 1, "ShardGroup: need at least one LP");
+  math::require(std::isfinite(lookahead) && lookahead > 0.0,
+                "ShardGroup: lookahead must be positive and finite");
+  sims_.reserve(lps);
+  for (std::size_t i = 0; i < lps; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  cells_.resize(2 * lps * lps);
+  post_seq_.assign(lps, 0);
+  delivered_.assign(lps, 0);
+  drain_scratch_.resize(lps);
+}
+
+void ShardGroup::post(std::size_t from, std::size_t to, std::uint32_t origin,
+                      Time at, InlineCallback fn) {
+  const std::size_t n = sims_.size();
+  math::require(from < n && to < n, "ShardGroup::post: LP index out of range");
+  math::require(
+      at >= sims_[from]->now() + lookahead_,
+      "ShardGroup::post: message timestamp violates the lookahead bound");
+  // Posts made during window i are delivered at the start of window i+1:
+  // write the cell of the *other* parity. One writer per cell per window
+  // (the source LP's worker), so no synchronization beyond the barrier.
+  const auto parity = static_cast<std::size_t>((window_index_ + 1) & 1);
+  cell(parity, to, from)
+      .msgs.push_back(Message{Simulator::time_key(at), post_seq_[from]++,
+                              origin, std::move(fn)});
+}
+
+void ShardGroup::prepare(std::size_t workers) {
+  math::require(workers >= 1, "ShardGroup::run: need at least one worker");
+  if (workers > sims_.size()) workers = sims_.size();
+  workers_ = workers;
+  done_ = false;
+  abort_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  window_index_ = 0;
+  gate_.reset(workers);
+  plan();
+}
+
+void ShardGroup::finish() {
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ShardGroup::run(std::size_t workers) {
+  run_with(
+      [](auto&& fn) {
+        return std::async(std::launch::async,
+                          std::forward<decltype(fn)>(fn));
+      },
+      workers);
+}
+
+void ShardGroup::plan() {
+  // Single-threaded: runs in prepare() or as the barrier's last-arriver
+  // step with every worker quiescent. The earliest live event anywhere —
+  // calendar tops and this window's still-undelivered mailbox messages —
+  // lower-bounds everything that can still happen; half a lookahead past
+  // it is a committable window (see header).
+  std::uint64_t min_bits = Simulator::kNoEventBits;
+  for (auto& s : sims_) {
+    min_bits = std::min(min_bits, s->peek_next_time_bits());
+  }
+  const std::size_t n = sims_.size();
+  const auto parity = static_cast<std::size_t>(window_index_ & 1);
+  for (std::size_t to = 0; to < n; ++to) {
+    for (std::size_t from = 0; from < n; ++from) {
+      for (const Message& m : cell(parity, to, from).msgs) {
+        min_bits = std::min(min_bits, m.time_bits);
+      }
+    }
+  }
+  if (min_bits == Simulator::kNoEventBits) {
+    done_ = true;
+    return;
+  }
+  window_end_ = std::bit_cast<Time>(min_bits) + window_step_;
+}
+
+void ShardGroup::drain(std::size_t lp, std::size_t parity) {
+  const std::size_t n = sims_.size();
+  auto& scratch = drain_scratch_[lp];
+  scratch.clear();
+  for (std::size_t from = 0; from < n; ++from) {
+    auto& box = cell(parity, lp, from).msgs;
+    for (Message& m : box) scratch.push_back(std::move(m));
+    box.clear();
+  }
+  if (scratch.empty()) return;
+  // Total delivery order independent of worker and shard count:
+  // (time, origin, per-origin posting index). std::sort stays in place
+  // (no per-window allocation); the key is total, so stability is moot.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Message& a, const Message& b) {
+              if (a.time_bits != b.time_bits) return a.time_bits < b.time_bits;
+              if (a.origin != b.origin) return a.origin < b.origin;
+              return a.seq < b.seq;
+            });
+  Simulator& dst = *sims_[lp];
+  for (Message& m : scratch) {
+    const Time t = std::bit_cast<Time>(m.time_bits);
+    // The window invariant the pdes property test probes: a delivered
+    // message must be strictly beyond the destination's committed time.
+    math::require(
+        t > dst.now() || dst.now() == 0.0,
+        "ShardGroup: cross-shard message landed inside a committed window");
+    dst.schedule_at(t, std::move(m.fn));
+  }
+  delivered_[lp] += scratch.size();
+  scratch.clear();
+}
+
+void ShardGroup::worker_loop(std::size_t w) {
+  const std::size_t n = sims_.size();
+  while (!done_) {
+    const auto parity = static_cast<std::size_t>(window_index_ & 1);
+    const Time end = window_end_;
+    if (!abort_.load(std::memory_order_relaxed)) {
+      try {
+        for (std::size_t lp = w; lp < n; lp += workers_) {
+          drain(lp, parity);
+          sims_[lp]->run_until(end);
+        }
+      } catch (...) {
+        record_error();
+      }
+    }
+    gate_.arrive_and_wait([this] {
+      if (abort_.load(std::memory_order_relaxed)) {
+        done_ = true;
+        return;
+      }
+      ++windows_run_;
+      ++window_index_;
+      plan();
+    });
+  }
+}
+
+void ShardGroup::record_error() {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (error_ == nullptr) error_ = std::current_exception();
+  }
+  abort_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t ShardGroup::messages_delivered() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : delivered_) total += d;
+  return total;
+}
+
+std::uint64_t ShardGroup::events_executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_executed();
+  return total;
+}
+
+}  // namespace mclat::sim

@@ -1,0 +1,219 @@
+// sharded.h — conservative parallel execution of a group of Simulator
+// calendars (logical processes, "LPs") synchronized in lookahead-bounded
+// time windows.
+//
+// The model (DESIGN.md §4i): every cross-LP interaction is a *message*
+// posted through the group, and every message is timestamped at least one
+// `lookahead` after the sender's current virtual time (in the cluster
+// engine the lookahead is the constant one-way network delay, so fork
+// fan-out, join notifications, DB completions and replica cancels all
+// satisfy the bound by construction). That makes the classic null-message
+// window safe: if every LP has executed up to time `end`, no message that
+// could still be generated can land at or before `end + lookahead`.
+//
+// Execution alternates windows and barriers:
+//
+//   window i:  each worker drains its LPs' inbound mailboxes (messages
+//              posted during window i-1) into the local calendars, then
+//              runs each calendar with run_until(end_i).
+//   barrier:   the last worker to arrive plans window i+1: it peeks the
+//              earliest live event time `min_t` across all calendars and
+//              all undelivered mailboxes and sets
+//              end_{i+1} = min_t + lookahead/2.
+//
+// Why lookahead/2 and not the full lookahead: every event executed in
+// window i+1 has time >= min_t, so any message it posts is timestamped
+// >= min_t + lookahead = end_{i+1} + lookahead/2 — *strictly* beyond the
+// window end with a half-lookahead margin, immune to floating-point
+// rounding at the boundary. Messages therefore always commute with the
+// window they are delivered into: delivery (a schedule_at into the
+// destination calendar) never lands at or before a committed time.
+//
+// Determinism: mailboxes are per-(destination, source) cells, so each cell
+// has exactly one writer per window and delivery order within a cell is
+// posting order. At drain time the destination merges its cells into one
+// sequence ordered by (time_bits, origin, per-source posting index) — a
+// total order independent of worker count and, in the cluster engine,
+// of the shard count (origin tags are global server indices). Two runs
+// with the same LP contents produce identical event sequences regardless
+// of how many OS threads execute them.
+//
+// Memory ordering: mailbox cells are written without atomics; the barrier
+// (release on arrival, acquire on generation observation) publishes every
+// window's writes to every worker of the next window, which is exactly the
+// double-buffered parity scheme's requirement and is what the TSan `pdes`
+// tier checks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/inline_callback.h"
+#include "sim/simulator.h"
+
+namespace mclat::sim {
+
+class ShardGroup {
+ public:
+  /// `lps` calendars, cross-LP messages at least `lookahead` (> 0, finite)
+  /// in the sender's future.
+  ShardGroup(std::size_t lps, double lookahead);
+
+  [[nodiscard]] std::size_t lps() const noexcept { return sims_.size(); }
+  [[nodiscard]] double lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] Simulator& shard(std::size_t lp) { return *sims_[lp]; }
+
+  /// Posts a cross-LP message: `fn` runs on LP `to` at virtual time `at`.
+  /// Throws std::invalid_argument unless `at >= shard(from).now() +
+  /// lookahead` — the conservative bound the whole mode rests on.
+  ///
+  /// `origin` is a sender-chosen deterministic stream tag (in the cluster
+  /// engine: 0 for the coordinator, 1 + global server index otherwise).
+  /// Messages are delivered in (time, origin, per-origin posting order) —
+  /// an order that does not depend on worker or shard count as long as
+  /// each origin posts from a single LP.
+  ///
+  /// Must only be called from an event callback executing inside run()
+  /// (i.e. from the LP `from` itself); pre-run setup should schedule
+  /// directly into shard(lp).
+  void post(std::size_t from, std::size_t to, std::uint32_t origin, Time at,
+            InlineCallback fn);
+
+  /// Runs every calendar to completion on `workers` OS threads
+  /// (1 <= workers <= lps; LP `i` is owned by worker `i % workers`).
+  /// workers == 1 executes the exact same windowed schedule inline.
+  /// The first exception thrown by any event callback is rethrown here
+  /// after all workers have parked.
+  void run(std::size_t workers);
+
+  /// Same windowed schedule, but worker threads 1..workers-1 are obtained
+  /// from `submit` (any callable returning a std::future<void>-compatible
+  /// handle, e.g. exec::ThreadPool::submit) instead of std::thread —
+  /// this is how the cluster engine reuses the trial-level pool.
+  template <typename Submit>
+  void run_with(Submit&& submit, std::size_t workers) {
+    prepare(workers);
+    std::vector<std::future<void>> handles;
+    handles.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      handles.push_back(submit([this, w] { worker_loop(w); }));
+    }
+    worker_loop(0);
+    for (auto& h : handles) h.get();
+    finish();
+  }
+
+  /// Committed synchronization windows so far (diagnostics + tests).
+  [[nodiscard]] std::uint64_t windows_run() const noexcept {
+    return windows_run_;
+  }
+  /// Cross-LP messages delivered so far (diagnostics + tests).
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept;
+  /// Sum of events_executed() over all calendars.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+
+ private:
+  struct Message {
+    std::uint64_t time_bits;  // Simulator::time_key image of the event time
+    std::uint64_t seq;        // per-source posting index (stability)
+    std::uint32_t origin;     // deterministic stream tag
+    InlineCallback fn;
+  };
+
+  /// One (parity, destination, source) mailbox cell. Exactly one writer
+  /// (the source LP's worker) during a window; drained single-handedly by
+  /// the destination's worker one window later. Cache-line aligned so
+  /// adjacent sources don't false-share vector headers.
+  struct alignas(64) Cell {
+    std::vector<Message> msgs;
+  };
+
+  /// Sense-reversing barrier with a plan step run by the last arriver.
+  /// Hybrid wait: brief spin with yields (the windows are microseconds of
+  /// work), then mutex + condvar so oversubscribed runs (more workers than
+  /// cores) make progress instead of burning the timeslice.
+  class Gate {
+   public:
+    void reset(std::size_t parties) {
+      parties_ = parties;
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(0, std::memory_order_relaxed);
+    }
+    template <typename F>
+    void arrive_and_wait(F&& on_last) {
+      const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+        on_last();
+        arrived_.store(0, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          generation_.store(gen + 1, std::memory_order_release);
+        }
+        cv_.notify_all();
+        return;
+      }
+      for (int i = 0; i < kSpinIters; ++i) {
+        if (generation_.load(std::memory_order_acquire) != gen) return;
+        if ((i & 63) == 63) std::this_thread::yield();
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return generation_.load(std::memory_order_acquire) != gen;
+      });
+    }
+
+   private:
+    static constexpr int kSpinIters = 1024;
+    std::size_t parties_ = 1;
+    std::atomic<std::size_t> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+
+  [[nodiscard]] Cell& cell(std::size_t parity, std::size_t to,
+                           std::size_t from) noexcept {
+    const std::size_t n = sims_.size();
+    return cells_[(parity * n + to) * n + from];
+  }
+
+  void prepare(std::size_t workers);
+  void finish();
+  void worker_loop(std::size_t w);
+  /// Delivers LP `lp`'s parity-`parity` mailboxes into its calendar in
+  /// (time, origin, posting) order.
+  void drain(std::size_t lp, std::size_t parity);
+  /// Barrier plan step (single-threaded): advances window_index_ and
+  /// computes the next window end, or sets done_.
+  void plan();
+  void record_error();
+
+  double lookahead_;
+  double window_step_;  // lookahead / 2 — see header comment
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<Cell> cells_;  // [2][lps][lps], indexed via cell()
+  std::vector<std::uint64_t> post_seq_;    // per-source posting counters
+  std::vector<std::uint64_t> delivered_;   // per-LP delivered-message counts
+  std::vector<std::vector<Message>> drain_scratch_;  // per-LP merge buffers
+
+  // Window state: written only by plan() (under the barrier) or prepare()
+  // (single-threaded); read-only while a window executes.
+  std::size_t workers_ = 1;
+  std::uint64_t window_index_ = 0;
+  std::uint64_t windows_run_ = 0;
+  Time window_end_ = 0.0;
+  bool done_ = false;
+
+  std::atomic<bool> abort_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+  Gate gate_;
+};
+
+}  // namespace mclat::sim

@@ -103,6 +103,21 @@ bool Simulator::fire_one(std::uint64_t horizon_bits) {
   return false;
 }
 
+std::uint64_t Simulator::peek_next_time_bits() {
+  // Same dead-entry settling as fire_one, but stops at the first live top
+  // instead of firing it.
+  while (!heap_.empty()) {
+    const Entry e = heap_.front();
+    const Slot& s = slot_ref(e.slot);
+    if (s.gen != e.gen || !s.fn) {
+      heap_pop_min();
+      continue;
+    }
+    return e.time_bits;
+  }
+  return kNoEventBits;
+}
+
 bool Simulator::step() { return fire_one(kNoHorizon); }
 
 void Simulator::run() {

@@ -109,6 +109,27 @@ class Simulator {
   }
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
+  /// Sentinel returned by peek_next_time_bits() for an empty calendar:
+  /// above every valid time bit pattern, so min() folds across calendars
+  /// work without a separate emptiness flag.
+  static constexpr std::uint64_t kNoEventBits = ~std::uint64_t{0};
+
+  /// Bit pattern (see time_key) of the earliest live pending event, or
+  /// kNoEventBits when none is pending. Settles dead (cancelled) top
+  /// entries as a side effect, which is why it is non-const. Non-negative
+  /// times order like their bit patterns, so the windowed sharded driver
+  /// can min() across shard calendars with plain integer compares.
+  [[nodiscard]] std::uint64_t peek_next_time_bits();
+
+  /// Order-preserving bit image of a non-negative time. `t + 0.0`
+  /// normalises -0.0 to +0.0 so both zeros share one key; for every other
+  /// value it is the identity. Non-negative doubles order like their bit
+  /// patterns (+inf sorts last). Public so ShardGroup timestamps mailbox
+  /// messages with the same key the calendar orders by.
+  [[nodiscard]] static std::uint64_t time_key(Time t) noexcept {
+    return std::bit_cast<std::uint64_t>(t + 0.0);
+  }
+
  private:
   /// Slot blocks: 512 slots per block, so slot addresses are stable and
   /// growth never move-constructs a stored callback.
@@ -143,18 +164,9 @@ class Simulator {
   };
 
   /// Horizon sentinel for fire_one: above every valid time bit pattern.
-  static constexpr std::uint64_t kNoHorizon = ~std::uint64_t{0};
+  static constexpr std::uint64_t kNoHorizon = kNoEventBits;
 
   static constexpr std::size_t kArity = 4;
-
-  /// Order-preserving bit image of a non-negative time. `t + 0.0`
-  /// normalises -0.0 to +0.0 so both zeros share one key; for every other
-  /// value it is the identity. schedule_at guarantees t >= now >= 0, so the
-  /// sign bit is clear and unsigned bit-pattern order equals double order
-  /// (+inf sorts last).
-  [[nodiscard]] static std::uint64_t time_key(Time t) noexcept {
-    return std::bit_cast<std::uint64_t>(t + 0.0);
-  }
 
   [[nodiscard]] Slot& slot_ref(std::uint32_t i) noexcept {
     return blocks_[i >> kSlotBlockBits][i & kSlotBlockMask];

@@ -1,0 +1,142 @@
+// Conservation laws of the sharded engine: nothing forked is ever lost
+// across the shard mailboxes — every key joins, every miss either fetches
+// or parks-and-releases, every replica resolves (win, lose, or cancel).
+// The engine also asserts these internally after the drain (check_drained
+// throws on any leak), so each passing run doubles as a structural check.
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "cluster/trace_replay.h"
+#include "cluster/workload_driven.h"
+#include "workload/request_stream.h"
+
+namespace mclat::cluster {
+namespace {
+
+EndToEndConfig base_config() {
+  EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.servers = 6;
+  cfg.system.total_key_rate = 6.0 * 20'000.0;
+  cfg.system.keys_per_request = 8;
+  cfg.system.network_latency = 1e-3;
+  cfg.common.warmup_time = 0.05;
+  cfg.common.measure_time = 0.4;
+  cfg.common.seed = 11;
+  cfg.common.shard_jobs = 3;
+  return cfg;
+}
+
+/// Recovers the measured miss count from the reported ratio (the ratio is
+/// computed as misses / keys in exact integer arithmetic cast to double,
+/// so the round-trip is exact for any realistic count).
+std::uint64_t measured_misses(double ratio, std::uint64_t keys) {
+  return static_cast<std::uint64_t>(
+      std::llround(ratio * static_cast<double>(keys)));
+}
+
+TEST(ShardedConservation, MissesSplitExactlyIntoFetchesAndDelayedHits) {
+  EndToEndConfig cfg = base_config();
+  cfg.system.miss_ratio = 0.3;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  EXPECT_GT(r.requests_completed, 100u);
+  // Bernoulli keys carry rank 0, so coalescing degenerates to per-server
+  // single-flight and delayed hits are plentiful at r = 0.3.
+  EXPECT_GT(r.measured_delayed_hits, 0u);
+  const std::uint64_t misses = measured_misses(
+      r.measured_miss_ratio,
+      r.requests_completed * cfg.system.keys_per_request);
+  EXPECT_EQ(misses, r.measured_db_fetches + r.measured_delayed_hits);
+}
+
+TEST(ShardedConservation, EveryForkedKeyJoins) {
+  const EndToEndConfig cfg = base_config();
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  // keys_completed counts every key of every request (measured or not);
+  // requests_completed only measured joins. Both only exist because the
+  // engine's post-drain invariants (no open requests, no in-flight keys,
+  // no outstanding fetches, no live replicas) held.
+  EXPECT_GT(r.keys_completed,
+            r.requests_completed * cfg.system.keys_per_request);
+  EXPECT_EQ(r.total_samples.size(), r.requests_completed);
+}
+
+TEST(ShardedConservation, ImmediateReplicationResolvesEveryReplica) {
+  EndToEndConfig cfg = base_config();
+  cfg.redundancy = RedundancyPolicy::immediate(3, LoserMode::kLetLosersRun);
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  EXPECT_GT(r.requests_completed, 100u);
+  // Losers ran to completion: no cancellations, wasted service piled up.
+  EXPECT_EQ(r.replicas_cancelled, 0u);
+  EXPECT_GT(r.replica_wasted_service, 0.0);
+  EXPECT_EQ(r.hedges_fired, 0u);
+}
+
+TEST(ShardedConservation, CancelOnWinCancelsOnlyQueuedLosers) {
+  EndToEndConfig cfg = base_config();
+  cfg.system.total_key_rate = 6.0 * 45'000.0;  // queues long enough to catch
+  cfg.redundancy = RedundancyPolicy::immediate(2, LoserMode::kCancelOnWin);
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  EXPECT_GT(r.replicas_cancelled, 0u);
+  // A cancelled replica burned no service; in-service losers still show up
+  // as wasted service. Both paths must coexist under load.
+  EXPECT_GT(r.replica_wasted_service, 0.0);
+}
+
+TEST(ShardedConservation, ReplayCompletesEveryTraceRecord) {
+  workload::RequestStreamConfig sc;
+  sc.request_rate = 3000.0;
+  sc.keys_per_request = 12;
+  sc.keyspace_size = 30'000;
+  sc.zipf_exponent = 0.9;
+  workload::RequestStream stream(sc, dist::Rng(17));
+  const workload::Trace trace = stream.generate_trace(600);
+
+  TraceReplayConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.servers = 6;
+  cfg.system.miss_ratio = 0.2;
+  cfg.system.network_latency = 1e-3;
+  cfg.common.seed = 5;
+  cfg.common.shard_jobs = 3;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
+  const TraceReplayResult r = TraceReplaySim(cfg).run(trace, stream.keyspace());
+  EXPECT_EQ(r.requests_completed, 600u);
+  EXPECT_EQ(r.keys_completed, trace.size());
+  // Replay counters are ungated, so conservation is exact by field.
+  const std::uint64_t misses =
+      measured_misses(r.measured_miss_ratio, r.keys_completed);
+  EXPECT_EQ(misses, r.db_fetches + r.delayed_hits);
+  EXPECT_GT(r.delayed_hits, 0u);
+
+  // And the replay contract is shard-count invariant too.
+  TraceReplayConfig cfg6 = cfg;
+  cfg6.common.shard_jobs = 6;
+  const TraceReplayResult r6 =
+      TraceReplaySim(cfg6).run(trace, stream.keyspace());
+  EXPECT_EQ(r6.keys_completed, r.keys_completed);
+  EXPECT_EQ(r6.db_fetches, r.db_fetches);
+  EXPECT_EQ(r6.delayed_hits, r.delayed_hits);
+  EXPECT_DOUBLE_EQ(r6.total.mean, r.total.mean);
+  EXPECT_DOUBLE_EQ(r6.horizon, r.horizon);
+}
+
+TEST(ShardedConservation, WorkloadDrivenRejectsShardJobs) {
+  WorkloadDrivenConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.common.shard_jobs = 2;
+  EXPECT_THROW(WorkloadDrivenSim{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedConservation, ZeroShardJobsIsRejectedByValidation) {
+  EndToEndConfig cfg = base_config();
+  cfg.common.shard_jobs = 0;
+  EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

@@ -1,0 +1,158 @@
+// The sharded cluster engine's determinism contract (DESIGN.md §4i):
+//
+//   * shard_jobs == 1 routes through the untouched serial loop — results
+//     are bit-identical to a config that never mentions shard_jobs;
+//   * a sharded run is bit-reproducible across repeated runs (the worker
+//     threads race only over wall-clock, never over the schedule);
+//   * results are invariant under the shard count K — the RNG streams are
+//     split per *global* server and all cross-shard traffic is totally
+//     ordered by (time, origin, sequence) with K-independent origins.
+//
+// "Bit-identical" is meant literally: memcmp on doubles, == on counters.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "workload/request_stream.h"
+
+namespace mclat::cluster {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+// Small but non-trivial: 8 servers, moderate load, a fat network delay so
+// the lookahead windows are coarse and the test stays fast on one core.
+EndToEndConfig sharded_config(std::size_t shard_jobs) {
+  EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.servers = 8;
+  cfg.system.total_key_rate = 8.0 * 20'000.0;
+  cfg.system.keys_per_request = 10;
+  cfg.system.network_latency = 1e-3;
+  cfg.common.warmup_time = 0.05;
+  cfg.common.measure_time = 0.4;
+  cfg.common.seed = 33;
+  cfg.common.shard_jobs = shard_jobs;
+  return cfg;
+}
+
+void expect_identical(const EndToEndResult& a, const EndToEndResult& b) {
+  EXPECT_TRUE(same_bits(a.total.mean, b.total.mean));
+  EXPECT_TRUE(same_bits(a.server.mean, b.server.mean));
+  EXPECT_TRUE(same_bits(a.database.mean, b.database.mean));
+  EXPECT_TRUE(same_bits(a.measured_miss_ratio, b.measured_miss_ratio));
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.keys_completed, b.keys_completed);
+  EXPECT_EQ(a.measured_db_fetches, b.measured_db_fetches);
+  EXPECT_EQ(a.measured_delayed_hits, b.measured_delayed_hits);
+  ASSERT_EQ(a.total_samples.size(), b.total_samples.size());
+  for (std::size_t i = 0; i < a.total_samples.size(); ++i) {
+    ASSERT_TRUE(same_bits(a.total_samples[i], b.total_samples[i]))
+        << "sample " << i;
+  }
+  ASSERT_EQ(a.server_utilization.size(), b.server_utilization.size());
+  for (std::size_t j = 0; j < a.server_utilization.size(); ++j) {
+    EXPECT_TRUE(same_bits(a.server_utilization[j], b.server_utilization[j]))
+        << "server " << j;
+  }
+}
+
+TEST(ShardedDeterminism, ShardJobsOneIsTheSerialPathBitForBit) {
+  EndToEndConfig plain = sharded_config(1);
+  // A config that predates the knob entirely (the default value).
+  EndToEndConfig untouched = sharded_config(1);
+  untouched.common.shard_jobs = 1;
+  const EndToEndResult a = EndToEndSim(plain).run();
+  const EndToEndResult b = EndToEndSim(untouched).run();
+  expect_identical(a, b);
+  EXPECT_GT(a.requests_completed, 100u);
+}
+
+TEST(ShardedDeterminism, ShardedRunIsBitReproducible) {
+  const EndToEndResult a = EndToEndSim(sharded_config(4)).run();
+  const EndToEndResult b = EndToEndSim(sharded_config(4)).run();
+  expect_identical(a, b);
+  EXPECT_GT(a.requests_completed, 100u);
+}
+
+TEST(ShardedDeterminism, ResultsAreInvariantUnderTheShardCount) {
+  const EndToEndResult k2 = EndToEndSim(sharded_config(2)).run();
+  const EndToEndResult k3 = EndToEndSim(sharded_config(3)).run();
+  const EndToEndResult k8 = EndToEndSim(sharded_config(8)).run();
+  // Requesting more shards than servers clamps to M.
+  const EndToEndResult k64 = EndToEndSim(sharded_config(64)).run();
+  expect_identical(k2, k3);
+  expect_identical(k2, k8);
+  expect_identical(k8, k64);
+}
+
+TEST(ShardedDeterminism, ShardedAgreesWithSerialStatistically) {
+  // Distinct sampling contracts, same system: means must agree within CI
+  // noise even though the schedules differ sample for sample.
+  EndToEndConfig serial_cfg = sharded_config(1);
+  serial_cfg.common.measure_time = 1.0;
+  EndToEndConfig sharded_cfg = sharded_config(4);
+  sharded_cfg.common.measure_time = 1.0;
+  const EndToEndResult s = EndToEndSim(serial_cfg).run();
+  const EndToEndResult p = EndToEndSim(sharded_cfg).run();
+  EXPECT_NEAR(p.total.mean, s.total.mean, 0.25 * s.total.mean);
+  EXPECT_NEAR(p.measured_miss_ratio, s.measured_miss_ratio, 0.01);
+  EXPECT_TRUE(same_bits(p.network.mean, s.network.mean));
+}
+
+TEST(ShardedDeterminism, CoalescingShardedRunsAreShardCountInvariant) {
+  EndToEndConfig cfg = sharded_config(2);
+  cfg.system.miss_ratio = 0.2;
+  cfg.common.coalescing = MissCoalescing::kPerServer;
+  EndToEndConfig cfg5 = cfg;
+  cfg5.common.shard_jobs = 5;
+  const EndToEndResult a = EndToEndSim(cfg).run();
+  const EndToEndResult b = EndToEndSim(cfg5).run();
+  expect_identical(a, b);
+  EXPECT_GT(a.measured_delayed_hits, 0u);
+}
+
+TEST(ShardedDeterminism, HedgedCancellingRunsAreShardCountInvariant) {
+  EndToEndConfig cfg = sharded_config(2);
+  // Load the servers enough that hedges actually fire.
+  cfg.system.total_key_rate = 8.0 * 50'000.0;
+  cfg.redundancy = RedundancyPolicy::hedged(2, 0.9, /*deadline_floor=*/1e-4);
+  EndToEndConfig cfg4 = cfg;
+  cfg4.common.shard_jobs = 4;
+  const EndToEndResult a = EndToEndSim(cfg).run();
+  const EndToEndResult b = EndToEndSim(cfg4).run();
+  expect_identical(a, b);
+  EXPECT_EQ(a.hedges_fired, b.hedges_fired);
+  EXPECT_EQ(a.replicas_cancelled, b.replicas_cancelled);
+  EXPECT_TRUE(same_bits(a.replica_wasted_service, b.replica_wasted_service));
+}
+
+TEST(ShardedDeterminism, RealCacheRunsAreShardCountInvariant) {
+  EndToEndConfig cfg = sharded_config(2);
+  cfg.miss_mode = MissMode::kRealCache;
+  cfg.mapper = MapperKind::kRing;
+  cfg.keyspace_size = 20'000;
+  cfg.zipf_exponent = 1.0;
+  cfg.common.cache_bytes_per_server = 1u << 20;
+  cfg.system.total_key_rate = 8.0 * 10'000.0;
+  EndToEndConfig cfg7 = cfg;
+  cfg7.common.shard_jobs = 7;
+  const EndToEndResult a = EndToEndSim(cfg).run();
+  const EndToEndResult b = EndToEndSim(cfg7).run();
+  expect_identical(a, b);
+  EXPECT_GT(a.measured_miss_ratio, 0.0);
+}
+
+TEST(ShardedDeterminism, ShardedRejectsAQueueingDatabase) {
+  EndToEndConfig cfg = sharded_config(4);
+  cfg.db_mode = DbMode::kSingleServer;
+  EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

@@ -85,5 +85,19 @@ TEST(DeploymentFlags, BannerIsGeneratedFromTable3) {
   EXPECT_NE(b.find("r=1%"), std::string::npos) << b;
 }
 
+TEST(DeploymentFlags, ShardJobsFlagFlowsIntoCommonConfig) {
+  tools::CliArgs args = make_args({"--shard-jobs", "4"});
+  cluster::CommonConfig common;
+  tools::common_sim_flags_from(args, common);
+  EXPECT_EQ(common.shard_jobs, 4u);
+}
+
+TEST(DeploymentFlags, ShardJobsDefaultsToTheSerialLoop) {
+  tools::CliArgs args = make_args({});
+  cluster::CommonConfig common;
+  tools::common_sim_flags_from(args, common);
+  EXPECT_EQ(common.shard_jobs, 1u);
+}
+
 }  // namespace
 }  // namespace mclat

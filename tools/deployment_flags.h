@@ -111,6 +111,11 @@ inline bool common_sim_flags_from(CliArgs& args,
                 "fetch)")) {
     common.coalescing = cluster::MissCoalescing::kPerServer;
   }
+  common.shard_jobs = static_cast<std::size_t>(args.count(
+      "shard-jobs", 1,
+      "run each trial's event loop on K server-calendar shards plus a "
+      "coordinator, in parallel (1 = exact serial loop; K > 1 is its own "
+      "deterministic contract, DESIGN.md 4i)"));
   return real_cache;
 }
 
