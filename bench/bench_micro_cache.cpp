@@ -14,6 +14,7 @@
 #include "hashing/consistent_hash.h"
 #include "hashing/hashes.h"
 #include "hashing/weighted_mapper.h"
+#include "legacy_cache.h"
 #include "legacy_workload.h"
 #include "workload/key_table.h"
 #include "workload/keyspace.h"
@@ -189,7 +190,8 @@ struct KeyedEntry {
   std::uint64_t hash;
 };
 
-std::vector<KeyedEntry> populated_entries(cache::LruStore& store) {
+template <class Store>
+std::vector<KeyedEntry> populated_entries(Store& store) {
   const std::string value(200, 'v');
   std::vector<KeyedEntry> entries;
   entries.reserve(50'000);
@@ -231,6 +233,85 @@ void BM_LruStoreGetPrehashed_LegacyWorkload(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LruStoreGetPrehashed_LegacyWorkload);
+
+// ---- flat open-addressing index vs the unordered_map index ---------------
+// Each pair below runs the production store (flat_index.h) and the verbatim
+// pre-rewrite std::unordered_map store (legacy_cache.h, *_LegacyCache)
+// over the same pre-generated key/hash stream; both sides use the
+// prehashed entry points, so the pairs isolate the index *structure* —
+// one-cache-line linear probes vs chained node walks, and backward-shift
+// deletion vs node free — not hashing. scripts/bench_cache.sh folds the
+// medians into BENCH_cache.json.
+
+// Ranks presampled outside the timed loop (the Zipf rejection-inversion
+// costs as much as the lookup itself and its run-to-run noise would wash
+// out the index ratio); the loop times get = one index probe + LRU splice.
+template <class Store>
+void get_presampled_loop(benchmark::State& state, Store& store,
+                         const std::vector<KeyedEntry>& entries) {
+  const auto ranks = presampled_ranks(entries.size(), 1 << 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const KeyedEntry& e = entries[ranks[i++ & (ranks.size() - 1)]];
+    benchmark::DoNotOptimize(store.get(e.key, e.hash, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LruStoreGetPresampled(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  cache::LruStore store(cfg);
+  const auto entries = populated_entries(store);
+  get_presampled_loop(state, store, entries);
+}
+BENCHMARK(BM_LruStoreGetPresampled);
+
+void BM_LruStoreGetPresampled_LegacyCache(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  bench::legacy_cache::LruStore store(cfg);
+  const auto entries = populated_entries(store);
+  get_presampled_loop(state, store, entries);
+}
+BENCHMARK(BM_LruStoreGetPresampled_LegacyCache);
+
+// Index mutation under steady eviction: 200K keys cycled through a store
+// that holds ~50K, so every set is an insert plus (usually) an
+// eviction-driven erase. The flat index pays a probe + backward shift; the
+// unordered_map pays a node allocation, a bucket relink and a node free.
+template <class Store>
+void set_churn_loop(benchmark::State& state, Store& store) {
+  std::vector<KeyedEntry> entries;
+  entries.reserve(200'000);
+  for (int i = 0; i < 200'000; ++i) {
+    std::string key = "key:" + std::to_string(i);
+    const std::uint64_t hash = hashing::fnv1a64(key);
+    entries.push_back(KeyedEntry{std::move(key), hash});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const KeyedEntry& e = entries[i++ % entries.size()];
+    benchmark::DoNotOptimize(store.set_sized_hashed(e.key, e.hash, 200, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LruStoreSetChurn(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  cache::LruStore store(cfg);
+  set_churn_loop(state, store);
+}
+BENCHMARK(BM_LruStoreSetChurn);
+
+void BM_LruStoreSetChurn_LegacyCache(benchmark::State& state) {
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  bench::legacy_cache::LruStore store(cfg);
+  set_churn_loop(state, store);
+}
+BENCHMARK(BM_LruStoreSetChurn_LegacyCache);
 
 cluster::EndToEndConfig real_cache_bench_config() {
   cluster::EndToEndConfig cfg;
@@ -275,6 +356,38 @@ void BM_EndToEndRealCacheWorkload_LegacyWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndRealCacheWorkload_LegacyWorkload)
     ->Unit(benchmark::kMillisecond);
+
+// The large-keyspace fast path end to end: a million-key real-cache trial
+// with the KeyTable capped at 48 MiB — just under the ~50 MiB an unbounded
+// million-key table occupies, so the budget is genuinely active (the Zipf
+// tail keeps evicting and rebuilding cold chunks) without degenerating
+// into a rebuild per access. Wall-clock includes the lazy first-touch
+// chunk builds, which dominate a single trial at this keyspace — exactly
+// the cost profile the figure harnesses see. bench_ext_large_keyspace
+// carries the RSS measurement; this bench is the keys/s tripwire
+// (scripts/ci.sh --bench-smoke).
+void BM_EndToEndMillionKeyBoundedTable(benchmark::State& state) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.total_key_rate = 4.0 * 40'000.0;
+  cfg.system.keys_per_request = 50;
+  cfg.miss_mode = cluster::MissMode::kRealCache;
+  cfg.keyspace_size = 1'000'000;
+  cfg.common.cache_bytes_per_server = 4u << 20;
+  cfg.common.keytable_budget_bytes = 48u << 20;
+  cfg.common.warmup_time = 0.1;
+  cfg.common.measure_time = 0.5;
+  cfg.common.seed = 77;
+  std::uint64_t keys_done = 0;
+  for (auto _ : state) {
+    cluster::EndToEndSim sim(cfg);
+    const cluster::EndToEndResult r = sim.run();
+    keys_done += r.keys_completed;
+    benchmark::DoNotOptimize(r.total.mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys_done));
+}
+BENCHMARK(BM_EndToEndMillionKeyBoundedTable)->Unit(benchmark::kMillisecond);
 
 // A miss storm through the coalescing path: Bernoulli r = 1 carries no key
 // identity, so every concurrent miss of a server parks behind its one

@@ -9,12 +9,15 @@
 #           window-barrier handoff is exactly the code a missed
 #           happens-before edge would hide in.
 #   tier 3: ASan+UBSan build of the event-kernel, golden-regression,
-#           workload-path, cluster-engine, miss-coalescing,
-#           replica-lifecycle and sharded-engine suites (labels `sim`,
-#           `exec`, `workload`, `cluster`, `delayed_hit`, `hedge` and
-#           `pdes`) — the kernel's type-erased
+#           workload-path, cache-substrate, cluster-engine,
+#           miss-coalescing, replica-lifecycle and sharded-engine suites
+#           (labels `sim`, `exec`, `workload`, `cache`, `cluster`,
+#           `delayed_hit`, `hedge` and `pdes`) — the kernel's type-erased
 #           inline-callback storage, slot free-list recycling, the
-#           KeyTable's string_view-into-arena layout, the engine's
+#           KeyTable's string_view-into-arena layout (now with
+#           budget-driven chunk eviction, whose view-pinning contract is
+#           only a real proof under ASan), the flat index's
+#           backward-shift deletion and incremental rehash, the engine's
 #           JobTable-backed fork-join joins, and the ReplicaSet's
 #           cancellation of live events and queued jobs are exactly the
 #           code a lifetime bug would hide in, so they run under
@@ -69,13 +72,13 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cluster + delayed_hit + hedge + pdes suites"
+  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cache + cluster + delayed_hit + hedge + pdes suites"
   cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs" \
-    --target tests_sim tests_exec tests_workload_property \
+    --target tests_sim tests_exec tests_workload_property tests_cache \
     tests_cluster_engine tests_delayed_hit tests_hedge tests_pdes
   ctest --test-dir build-asan \
-    -L "sim|exec|workload|cluster|delayed_hit|hedge|pdes" \
+    -L "sim|exec|workload|cache|cluster|delayed_hit|hedge|pdes" \
     --output-on-failure -j "$jobs"
 fi
 
@@ -91,7 +94,7 @@ if [[ "$run_bench_smoke" == 1 ]]; then
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json" 2>/dev/null
   ./build/bench/bench_micro_cache \
-    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_EndToEndRealCacheWorkload$|BM_CoalescedMissStorm$|BM_HedgedFanout$' \
+    --benchmark_filter='BM_KeyMaterializeAndMap$|BM_LruStoreGetPrehashed$|BM_LruStoreGetPresampled$|BM_EndToEndRealCacheWorkload$|BM_EndToEndMillionKeyBoundedTable$|BM_CoalescedMissStorm$|BM_HedgedFanout$' \
     --benchmark_min_time=0.2 --benchmark_format=json \
     >"$smoke_json2" 2>/dev/null
   python3 - "$smoke_json" "$smoke_json2" <<'EOF'
@@ -108,9 +111,18 @@ floors = {
     "BM_KeyMaterializeAndMap": 10.0e6,
     # Prehashed Zipf-read path: ~3-5M keys/s when healthy.
     "BM_LruStoreGetPrehashed": 0.8e6,
+    # Pure index-probe path (ranks presampled): ~13-16M keys/s when the
+    # flat index is healthy; anything near the ~8M/s unordered_map twin
+    # means the open-addressing probe regressed (BENCH_cache.json).
+    "BM_LruStoreGetPresampled": 3.0e6,
     # The whole engine stack end to end (PoissonSource → mapper → LruStore
     # → DbStage → ForkJoinJoiner): ~0.7M keys/s when healthy.
     "BM_EndToEndRealCacheWorkload": 0.15e6,
+    # Million-key real-cache trial under a 48 MiB KeyTable budget: wall
+    # clock is dominated by lazy chunk builds and eviction-driven rebuilds
+    # (~2 ms each), ~20-25K keys/s when healthy. A rebuild storm (e.g. a
+    # broken CLOCK hand that evicts the hot chunks) craters this first.
+    "BM_EndToEndMillionKeyBoundedTable": 6.0e3,
     # Bernoulli r=1 miss storm through FetchTable park/release and the
     # stored-handler waiter delivery: ~4.5M keys/s when healthy; a
     # reintroduced per-waiter std::function copy shows up here.

@@ -1,0 +1,231 @@
+// flat_index.h — the open-addressing hash index behind cache::LruStore.
+//
+// Replaces the store's std::unordered_map<string_view, ItemHeader*>: one
+// node allocation per resident item and a pointer-chase per probe were the
+// binding cost of million-key real-cache trials. The flat table stores
+// 16-byte {hash, item*} slots in one contiguous array, so a probe is a
+// linear scan of adjacent cache lines and the full 64-bit fnv1a64 hash is
+// compared before any key bytes are touched (see DESIGN.md §4j — the hash
+// is cached in the *slot*, not in ItemHeader, deliberately: growing the
+// 32-byte header would change every item's slab class and with it the
+// emergent miss ratios the engine-equivalence goldens pin).
+//
+// Scheme:
+//   * power-of-two capacity, linear probing from `hash & mask`;
+//   * tombstone-free deletion by backward shift: erasing compacts the
+//     probe cluster in place, so probe lengths never degrade with delete
+//     churn (no tombstone accumulation, no periodic purge);
+//   * incremental rehash: growth allocates the doubled table and migrates
+//     a bounded number of entries (kMigrateStep) per subsequent mutation,
+//     so no single set/remove pays an O(n) stall — the latency-model use
+//     case cares about the per-operation tail, not just throughput. Reads
+//     probe both tables while a drain is in progress.
+//
+// Single-threaded by design, like the store that owns it (per-server
+// stores are driven by one simulator event loop; the sharded engine gives
+// each shard its own stores — DESIGN.md §4i).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mclat::cache {
+
+/// Cumulative probe statistics, fed to the `cache.index.probe_len` gauge.
+/// A "probe" is one slot inspection; every lookup inspects at least one.
+struct IndexStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t max_probe = 0;  ///< longest single lookup seen
+
+  [[nodiscard]] double mean_probe() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(probes) / static_cast<double>(lookups);
+  }
+  void merge(const IndexStats& o) noexcept {
+    lookups += o.lookups;
+    probes += o.probes;
+    if (o.max_probe > max_probe) max_probe = o.max_probe;
+  }
+};
+
+/// Open-addressing map from (key, fnv1a64 hash) to Item*. `Item` must
+/// expose `std::string_view key()`. The caller supplies the hash on every
+/// call (LruStore already holds it on the hot paths); the index never
+/// hashes a key itself.
+template <class Item>
+class FlatIndex {
+ public:
+  FlatIndex() : slots_(kMinCapacity) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size() + old_.size();
+  }
+  [[nodiscard]] const IndexStats& probe_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Returns the item for `key`, or nullptr. Does not advance migration
+  /// (usable from const contexts); probe counts accrue to probe_stats().
+  [[nodiscard]] Item* find(std::string_view key, std::uint64_t hash) const {
+    std::uint64_t probes = 0;
+    Item* r = probe_table(slots_, key, hash, probes);
+    if (r == nullptr && old_size_ > 0) {
+      r = probe_table(old_, key, hash, probes);
+    }
+    ++stats_.lookups;
+    stats_.probes += probes;
+    if (probes > stats_.max_probe) stats_.max_probe = probes;
+    return r;
+  }
+
+  /// Inserts `item` under (key(), hash). Precondition: the key is absent —
+  /// LruStore's replace path erases the old item first, exactly as the
+  /// unordered_map implementation did.
+  void insert(Item* item, std::uint64_t hash) {
+    step_migration(kMigrateStep);
+    maybe_grow();
+    place(slots_, hash, item);
+    ++size_;
+  }
+
+  /// Erases the entry for (key, hash); returns the item or nullptr.
+  Item* erase(std::string_view key, std::uint64_t hash) {
+    step_migration(kMigrateStep);
+    Item* r = erase_from(slots_, key, hash);
+    if (r == nullptr && old_size_ > 0) {
+      r = erase_from(old_, key, hash);
+      if (r != nullptr) --old_size_;
+    }
+    if (r != nullptr) --size_;
+    return r;
+  }
+
+  /// Drops every entry and returns the table to its minimum footprint.
+  /// Probe statistics are cumulative and survive (stores flush between
+  /// trials but report per-run stats).
+  void clear() {
+    slots_.assign(kMinCapacity, Slot{});
+    release_old();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    Item* item = nullptr;  // nullptr == empty
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  // Entries migrated out of the draining table per mutating call. Growth
+  // doubles capacity at load factor 3/4, so the old table holds at most
+  // 3/8 of the new capacity; at 4 per mutation the drain finishes well
+  // before the next growth could trigger (which needs ~3/8 of the new
+  // capacity in fresh inserts).
+  static constexpr std::size_t kMigrateStep = 4;
+
+  static Item* probe_table(const std::vector<Slot>& t, std::string_view key,
+                           std::uint64_t hash, std::uint64_t& probes) {
+    const std::size_t mask = t.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    for (;;) {
+      ++probes;
+      const Slot& s = t[i];
+      if (s.item == nullptr) return nullptr;
+      if (s.hash == hash && s.item->key() == key) return s.item;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Inserts into the first empty slot of `t`'s probe chain. `t` is never
+  /// full: load is capped at 3/4 before any insert.
+  static void place(std::vector<Slot>& t, std::uint64_t hash, Item* item) {
+    const std::size_t mask = t.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    while (t[i].item != nullptr) i = (i + 1) & mask;
+    t[i] = Slot{hash, item};
+  }
+
+  /// Backward-shift deletion: vacates the found slot, then walks the rest
+  /// of the cluster moving back any element whose home position permits it,
+  /// so the invariant "every element is reachable by linear probing from
+  /// its home" holds with no tombstones.
+  static Item* erase_from(std::vector<Slot>& t, std::string_view key,
+                          std::uint64_t hash) {
+    const std::size_t mask = t.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    for (;;) {
+      Slot& s = t[i];
+      if (s.item == nullptr) return nullptr;
+      if (s.hash == hash && s.item->key() == key) break;
+      i = (i + 1) & mask;
+    }
+    Item* removed = t[i].item;
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (t[j].item == nullptr) break;
+      const std::size_t home = static_cast<std::size_t>(t[j].hash) & mask;
+      // t[j] may fill the hole iff the hole lies within its probe path,
+      // i.e. its displacement from home reaches at least back to the hole.
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        t[hole] = t[j];
+        hole = j;
+      }
+    }
+    t[hole] = Slot{};
+    return removed;
+  }
+
+  void maybe_grow() {
+    if ((size_ + 1) * 4 <= slots_.size() * 3) return;
+    // Finish any in-flight drain before starting another: at kMigrateStep
+    // per mutation the old table is long empty by now in steady state;
+    // this is the correctness backstop, not the common path.
+    step_migration(old_size_);
+    old_ = std::move(slots_);
+    old_size_ = size_;
+    scan_ = 0;
+    slots_.assign(old_.size() * 2, Slot{});
+  }
+
+  void step_migration(std::size_t n) {
+    if (old_size_ == 0) {
+      if (!old_.empty()) release_old();
+      return;
+    }
+    const std::size_t mask = old_.size() - 1;
+    while (n-- > 0 && old_size_ > 0) {
+      while (old_[scan_].item == nullptr) scan_ = (scan_ + 1) & mask;
+      const Slot s = old_[scan_];
+      // Backward shift may move a cluster-mate INTO the vacated slot, so
+      // the scan position is deliberately not advanced here.
+      erase_from(old_, s.item->key(), s.hash);
+      --old_size_;
+      place(slots_, s.hash, s.item);
+    }
+    if (old_size_ == 0) release_old();
+  }
+
+  void release_old() {
+    old_.clear();
+    old_.shrink_to_fit();
+    old_size_ = 0;
+    scan_ = 0;
+  }
+
+  std::vector<Slot> slots_;  // current table (all inserts land here)
+  std::vector<Slot> old_;    // draining table during incremental rehash
+  std::size_t old_size_ = 0;  // live entries still in old_
+  std::size_t scan_ = 0;      // migration cursor into old_
+  std::size_t size_ = 0;      // live entries across both tables
+  mutable IndexStats stats_;
+};
+
+}  // namespace mclat::cache

@@ -30,17 +30,18 @@ void LruStore::lru_push_front(ItemHeader* it, std::size_t cls) noexcept {
   if (!l.tail) l.tail = it;
 }
 
-void LruStore::destroy(ItemHeader* it) {
+void LruStore::destroy(ItemHeader* it, std::uint64_t key_hash) {
   const std::size_t cls = SlabAllocator::class_of(it);
   lru_unlink(it, cls);
-  index_.erase(it->key());
+  index_.erase(it->key(), key_hash);
+  stats_.resident_bytes -= sizeof(ItemHeader) + it->key_len + it->value_len;
   slabs_.deallocate(it);
 }
 
 bool LruStore::evict_one(std::size_t cls) {
   ItemHeader* victim = lru_[cls].tail;
   if (victim == nullptr) return false;
-  destroy(victim);
+  destroy(victim, hashing::fnv1a64(victim->key()));
   ++stats_.evictions;
   return true;
 }
@@ -58,8 +59,8 @@ LruStore::ItemHeader* LruStore::emplace_item(std::string_view key,
   // Replace semantics: drop any existing item first (memcached allocates the
   // new item before unlinking, but the visible behaviour is the same and
   // this frees the chunk for immediate reuse when sizes match).
-  if (auto it = index_.find(Prehashed{key, key_hash}); it != index_.end()) {
-    destroy(it->second);
+  if (ItemHeader* existing = index_.find(key, key_hash)) {
+    destroy(existing, key_hash);
   }
 
   const std::size_t cls = slabs_.class_for(need);
@@ -78,8 +79,9 @@ LruStore::ItemHeader* LruStore::emplace_item(std::string_view key,
   item->key_len = static_cast<std::uint32_t>(key.size());
   item->value_len = static_cast<std::uint32_t>(value_bytes);
   std::memcpy(item->key_data(), key.data(), key.size());
-  index_.emplace(item->key(), item);
+  index_.insert(item, key_hash);
   lru_push_front(item, cls);
+  stats_.resident_bytes += need;
   return item;
 }
 
@@ -109,14 +111,13 @@ std::optional<std::string_view> LruStore::get(std::string_view key,
                                               std::uint64_t key_hash,
                                               double now) {
   ++stats_.gets;
-  const auto it = index_.find(Prehashed{key, key_hash});
-  if (it == index_.end()) {
+  ItemHeader* item = index_.find(key, key_hash);
+  if (item == nullptr) {
     ++stats_.misses;
     return std::nullopt;
   }
-  ItemHeader* item = it->second;
   if (item->expired(now)) {
-    destroy(item);
+    destroy(item, key_hash);
     ++stats_.expirations;
     ++stats_.misses;
     return std::nullopt;
@@ -130,21 +131,30 @@ std::optional<std::string_view> LruStore::get(std::string_view key,
 
 bool LruStore::contains(std::string_view key, std::uint64_t key_hash,
                         double now) const {
-  const auto it = index_.find(Prehashed{key, key_hash});
-  return it != index_.end() && !it->second->expired(now);
+  const ItemHeader* item = index_.find(key, key_hash);
+  return item != nullptr && !item->expired(now);
 }
 
-bool LruStore::remove(std::string_view key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  destroy(it->second);
+bool LruStore::remove(std::string_view key, std::uint64_t key_hash) {
+  ItemHeader* item = index_.find(key, key_hash);
+  if (item == nullptr) return false;
+  destroy(item, key_hash);
   ++stats_.deletes;
   return true;
 }
 
 void LruStore::flush() {
+  // Bulk teardown: unlink and free items directly, then drop the whole
+  // index in one clear() — no per-item backward-shift erases and no key
+  // re-hashing on a path that visits every resident item.
   for (std::size_t cls = 0; cls < lru_.size(); ++cls) {
-    while (lru_[cls].tail != nullptr) destroy(lru_[cls].tail);
+    while (lru_[cls].tail != nullptr) {
+      ItemHeader* victim = lru_[cls].tail;
+      lru_unlink(victim, cls);
+      stats_.resident_bytes -=
+          sizeof(ItemHeader) + victim->key_len + victim->value_len;
+      slabs_.deallocate(victim);
+    }
   }
   index_.clear();
 }

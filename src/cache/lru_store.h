@@ -10,6 +10,12 @@
 //   * items carry an optional TTL, checked lazily on access;
 //   * get/set/delete plus hit/miss/eviction/expiry counters.
 //
+// The index is a flat open-addressing table (flat_index.h) keyed by the
+// fnv1a64 hash the caller already computed — no per-item node allocation,
+// probes are linear cache-line scans. Proven sample-for-sample against the
+// previous std::unordered_map implementation, preserved verbatim in
+// bench/legacy_cache.h (tests/cache/test_flat_index_twin.cpp).
+//
 // The cluster simulator's "real cache" mode runs one LruStore per simulated
 // Memcached server so the miss ratio r *emerges* from key popularity and
 // capacity instead of being a model input.
@@ -17,10 +23,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
+#include "cache/flat_index.h"
 #include "cache/slab_allocator.h"
 #include "hashing/hashes.h"
 
@@ -35,6 +41,11 @@ struct StoreStats {
   std::uint64_t evictions = 0;
   std::uint64_t expirations = 0;
   std::uint64_t deletes = 0;
+  /// Bytes of live items (header + key + value), the store-side authority
+  /// for occupancy: the slab allocator only knows about chunk pages, not
+  /// which chunks hold live items. A level, not a counter — reset_stats()
+  /// preserves it.
+  std::uint64_t resident_bytes = 0;
 
   [[nodiscard]] double hit_ratio() const noexcept {
     return gets == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(gets);
@@ -98,7 +109,13 @@ class LruStore {
                               double now) const;
 
   /// Removes the key; returns true if it existed.
-  bool remove(std::string_view key);
+  bool remove(std::string_view key) {
+    return remove(key, hashing::fnv1a64(key));
+  }
+
+  /// remove() with the key's fnv1a64 hash precomputed, mirroring the
+  /// get/set_sized_hashed convention.
+  bool remove(std::string_view key, std::uint64_t key_hash);
 
   /// Drops every item.
   void flush();
@@ -108,10 +125,22 @@ class LruStore {
   [[nodiscard]] const SlabAllocator& allocator() const noexcept {
     return slabs_;
   }
-  void reset_stats() noexcept { stats_ = StoreStats{}; }
+  /// Cumulative index probe-length statistics (cache.index.probe_len).
+  [[nodiscard]] const IndexStats& index_stats() const noexcept {
+    return index_.probe_stats();
+  }
+  void reset_stats() noexcept {
+    const std::uint64_t resident = stats_.resident_bytes;
+    stats_ = StoreStats{};
+    stats_.resident_bytes = resident;
+  }
 
  private:
   // Item layout inside a slab chunk: [ItemHeader][key bytes][value bytes].
+  // Deliberately does NOT carry the key hash: sizeof(ItemHeader) feeds the
+  // slab-class computation, so growing it would shift every item's class
+  // and the emergent miss ratios with it. The hash lives in the index slot
+  // instead (flat_index.h), which is also where probes want it.
   struct ItemHeader {
     ItemHeader* lru_prev;
     ItemHeader* lru_next;
@@ -145,41 +174,13 @@ class LruStore {
     ItemHeader* tail = nullptr;  // LRU
   };
 
-  // The index hashes with fnv1a64 (deterministic across platforms, unlike
-  // std::hash) and supports transparent lookup by {key, precomputed hash}
-  // so the prehashed get/set overloads skip the per-probe key walk.
-  struct Prehashed {
-    std::string_view key;
-    std::uint64_t hash;
-  };
-  struct KeyHasher {
-    using is_transparent = void;
-    [[nodiscard]] std::size_t operator()(std::string_view k) const noexcept {
-      return static_cast<std::size_t>(hashing::fnv1a64(k));
-    }
-    [[nodiscard]] std::size_t operator()(const Prehashed& k) const noexcept {
-      return static_cast<std::size_t>(k.hash);
-    }
-  };
-  struct KeyEqual {
-    using is_transparent = void;
-    [[nodiscard]] bool operator()(std::string_view a,
-                                  std::string_view b) const noexcept {
-      return a == b;
-    }
-    [[nodiscard]] bool operator()(const Prehashed& a,
-                                  std::string_view b) const noexcept {
-      return a.key == b;
-    }
-    [[nodiscard]] bool operator()(std::string_view a,
-                                  const Prehashed& b) const noexcept {
-      return a == b.key;
-    }
-  };
-
   void lru_unlink(ItemHeader* it, std::size_t cls) noexcept;
   void lru_push_front(ItemHeader* it, std::size_t cls) noexcept;
-  void destroy(ItemHeader* it);
+  /// Unlinks, un-indexes and frees `it`. `key_hash` must be the fnv1a64 of
+  /// it->key(); paths that do not hold it (eviction, expiry sweep from an
+  /// LRU tail) recompute it — exactly the key walk the unordered_map's
+  /// erase-by-key paid on those same paths.
+  void destroy(ItemHeader* it, std::uint64_t key_hash);
   /// Shared insert path: allocates (evicting as needed), fills the header
   /// and key, links the item. The value region is left for the caller.
   ItemHeader* emplace_item(std::string_view key, std::uint64_t key_hash,
@@ -188,10 +189,10 @@ class LruStore {
   bool evict_one(std::size_t cls);
 
   SlabAllocator slabs_;
-  // Keys in the index view into chunk memory, which is stable for the item's
-  // lifetime; entries are erased before their chunk is recycled.
-  std::unordered_map<std::string_view, ItemHeader*, KeyHasher, KeyEqual>
-      index_;
+  // Keys reachable from the index view into chunk memory, which is stable
+  // for the item's lifetime; entries are erased before their chunk is
+  // recycled.
+  FlatIndex<ItemHeader> index_;
   std::vector<LruList> lru_;  // one list per slab class
   StoreStats stats_;
 };

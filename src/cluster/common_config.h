@@ -31,6 +31,12 @@ struct CommonConfig {
   // --- real-cache mode sizing (MissMode::kRealCache) ----------------------
   std::size_t cache_bytes_per_server = 8u << 20;
   std::uint32_t max_value_bytes = 4096;
+  /// Resident-memory cap for the per-trial workload::KeyTable (0 =
+  /// unbounded, the historical behaviour). With a budget, cold key-metadata
+  /// chunks are evicted and rebuilt bit-identically on re-touch, so results
+  /// never depend on the budget — only memory and build CPU do (DESIGN.md
+  /// §4j). Under shard_jobs > 1 each shard gets its own bounded table.
+  std::size_t keytable_budget_bytes = 0;
 
   /// Delayed-hit miss coalescing (see modes.h). kOff reproduces the paper's
   /// every-miss-an-independent-DB-visit model byte-identically.

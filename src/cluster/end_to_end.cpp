@@ -93,8 +93,9 @@ EndToEndResult EndToEndSim::run() {
     // size) once: the per-arrival path below does indexed loads instead of
     // string-format + RNG-construct + re-hash. Lazy chunks: only ranks the
     // Zipf head actually touches are materialized.
-    key_table = std::make_unique<workload::KeyTable>(*keyspace, *mapper,
-                                                     &value_sizes);
+    key_table = std::make_unique<workload::KeyTable>(
+        *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kLazy,
+        cfg_.common.keytable_budget_bytes);
   }
   engine::MissPolicy miss_policy =
       real_cache
@@ -111,6 +112,9 @@ EndToEndResult EndToEndSim::run() {
   // output.
   if (coalesce) sobs.attach_coalescing(rec);
   if (redundant) sobs.attach_redundancy(rec, policy.hedged());
+  const bool bounded_table =
+      real_cache && cfg_.common.keytable_budget_bytes > 0;
+  if (bounded_table) sobs.attach_cache_index(rec);
   engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
                                 /*keep_total_samples=*/true,
                                 /*per_key_counter=*/nullptr);
@@ -288,6 +292,11 @@ EndToEndResult EndToEndSim::run() {
   if (coalesce) {
     obs::set_gauge(sobs.fetch_outstanding,
                    static_cast<double>(fetch.peak_outstanding()));
+  }
+  if (bounded_table) {
+    sobs.record_cache_index(key_table->chunks_resident(),
+                            key_table->bytes_resident(),
+                            miss_policy.index_stats());
   }
   return res;
 }

@@ -90,6 +90,23 @@ class MissPolicy {
     return *stores_[server];
   }
 
+  /// Live item bytes across every store (real-cache mode; 0 under
+  /// Bernoulli) — the authoritative occupancy number behind the budget
+  /// checks and gauges, summed from each store's StoreStats.resident_bytes.
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stores_) total += s->stats().resident_bytes;
+    return total;
+  }
+
+  /// Aggregated flat-index probe statistics across every store (the
+  /// cache.index.probe_len / .probe_max gauges).
+  [[nodiscard]] cache::IndexStats index_stats() const noexcept {
+    cache::IndexStats agg;
+    for (const auto& s : stores_) agg.merge(s->index_stats());
+    return agg;
+  }
+
  private:
   MissPolicy(double miss_ratio, dist::Rng miss_rng)
       : miss_ratio_(miss_ratio), miss_rng_(std::move(miss_rng)) {}

@@ -89,6 +89,13 @@ struct ServerShard {
   std::vector<std::unique_ptr<sim::ServiceStation>> stations;
   std::vector<dist::Rng> miss_rngs;  // local index
   std::vector<dist::Rng> db_rngs;    // local index
+  /// Shard-private bounded KeyTable (KeyTable budget > 0 only): lazy chunk
+  /// materialization and CLOCK eviction are single-threaded, so a bounded
+  /// table cannot be shared across shards — each shard builds its own from
+  /// the same (keyspace, mapper, values), and because every column is a
+  /// pure function of rank the K tables agree bit-for-bit on every rank
+  /// they materialize. K-invariance is unaffected (DESIGN.md §4j).
+  std::unique_ptr<workload::KeyTable> table;
   std::optional<MissPolicy> cache;   // real-cache stores, local index
   FetchTable fetch{0};
   JobTable<KeyCtx> jobs;
@@ -110,13 +117,25 @@ struct ServerShard {
 /// arrival generation and result assembly.
 class ShardedCluster {
  public:
+  /// How real-cache shards obtain key metadata: either one `shared` table
+  /// every shard reads (budget == 0: eager-built, immutable, concurrently
+  /// readable) or the ingredients for a private bounded table per shard
+  /// (budget_bytes > 0 — see ServerShard::table).
+  struct TableSpec {
+    workload::KeyTable* shared = nullptr;
+    const workload::KeySpace* keyspace = nullptr;
+    const hashing::KeyMapper* mapper = nullptr;
+    const workload::ValueSizeModel* values = nullptr;
+    std::size_t budget_bytes = 0;
+  };
+
   /// `master` must already have the run's coordinator streams split off;
   /// the ctor consumes the per-server (service, miss, db) triples in global
   /// server order — the sharded split contract (DESIGN.md §4i).
   ShardedCluster(const core::SystemConfig& sys, const CommonConfig& common,
                  dist::Rng& master, bool real_cache, bool coalesce,
                  bool count_unmeasured, const obs::Recorder& main_rec,
-                 workload::KeyTable* table, const RedundancyPolicy* policy,
+                 const TableSpec& tables, const RedundancyPolicy* policy,
                  std::size_t shards)
       : group_(1 + shards, sys.network_latency / 2.0),
         net_half_(sys.network_latency / 2.0),
@@ -126,11 +145,13 @@ class ShardedCluster {
         real_cache_(real_cache),
         coalesce_(coalesce),
         count_unmeasured_(count_unmeasured),
-        table_(table),
+        table_(tables.shared),
+        bounded_(real_cache && tables.budget_bytes > 0),
         policy_(policy),
         co_(&group_.shard(0)),
         co_sobs_(StageObserver::for_sim(main_rec)) {
     if (coalesce_) co_sobs_.attach_coalescing(main_rec);
+    if (bounded_) co_sobs_.attach_cache_index(main_rec);
     if (redundant()) {
       co_sobs_.attach_redundancy(main_rec, policy_->hedged());
       deadline_.emplace(policy_->hedge_quantile(),
@@ -175,10 +196,17 @@ class ShardedCluster {
     }
     if (real_cache_) {
       for (auto& shard : shards_) {
+        workload::KeyTable* t = table_;
+        if (bounded_) {
+          shard->table = std::make_unique<workload::KeyTable>(
+              *tables.keyspace, *tables.mapper, tables.values,
+              workload::KeyTable::Build::kLazy, tables.budget_bytes);
+          t = shard->table.get();
+        }
         // One LruStore per *owned* server, indexed locally; the unused RNG
         // keeps MissPolicy's signature happy (real caches never draw).
         shard->cache = MissPolicy::real_cache(
-            *table_, shard->owned.size(), common.cache_bytes_per_server,
+            *t, shard->owned.size(), common.cache_bytes_per_server,
             dist::Rng(0));
       }
     }
@@ -290,8 +318,12 @@ class ShardedCluster {
 
   /// Folds every shard registry into the trial's registry (LP order, so
   /// the result is deterministic), then sets the gauges that only make
-  /// sense trial-wide. Call after check_drained().
-  void merge_observability(const obs::Recorder& main_rec) {
+  /// sense trial-wide. Call after check_drained(). `routing_chunks` /
+  /// `routing_bytes` fold the coordinator-side routing table (owned by the
+  /// run_* caller, invisible from here) into the keytable.* gauges.
+  void merge_observability(const obs::Recorder& main_rec,
+                           std::uint64_t routing_chunks = 0,
+                           std::uint64_t routing_bytes = 0) {
     if (main_rec.registry() == nullptr) return;
     for (const auto& shard : shards_) main_rec.registry()->merge(shard->reg);
     if (coalesce_) {
@@ -301,6 +333,17 @@ class ShardedCluster {
       std::size_t peak = 0;
       for (const auto& shard : shards_) peak += shard->fetch.peak_outstanding();
       obs::set_gauge(co_sobs_.fetch_outstanding, static_cast<double>(peak));
+    }
+    if (bounded_) {
+      std::uint64_t chunks = routing_chunks;
+      std::uint64_t bytes = routing_bytes;
+      cache::IndexStats probes;
+      for (const auto& shard : shards_) {
+        chunks += shard->table->chunks_resident();
+        bytes += shard->table->bytes_resident();
+        probes.merge(shard->cache->index_stats());
+      }
+      co_sobs_.record_cache_index(chunks, bytes, probes);
     }
   }
 
@@ -596,7 +639,8 @@ class ShardedCluster {
   /// observations are ungated; the end-to-end contract gates them on the
   /// measurement window.
   bool count_unmeasured_;
-  workload::KeyTable* table_;
+  workload::KeyTable* table_;  ///< shared unbounded table (budget == 0)
+  bool bounded_;               ///< per-shard bounded tables + gauges
   const RedundancyPolicy* policy_;
   sim::Simulator* co_;
   StageObserver co_sobs_;
@@ -648,18 +692,34 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
   std::unique_ptr<workload::KeyTable> key_table;
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
                                              cfg.common.max_value_bytes);
+  const std::size_t budget = cfg.common.keytable_budget_bytes;
   if (real_cache) {
     keyspace = std::make_unique<workload::KeySpace>(cfg.keyspace_size,
                                                     cfg.zipf_exponent);
-    // Eager build: shards read the table concurrently (store probes and
-    // refills); the lazy chunk materialization is single-threaded-only.
-    key_table = std::make_unique<workload::KeyTable>(
-        *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kEager);
+    if (budget > 0) {
+      // Bounded mode: this table only routes ranks to servers on the
+      // coordinator; each shard builds its own bounded table (lazy
+      // materialization and eviction are single-threaded per owner).
+      key_table = std::make_unique<workload::KeyTable>(
+          *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kLazy,
+          budget);
+    } else {
+      // Eager build: shards read the table concurrently (store probes and
+      // refills); the lazy chunk materialization is single-threaded-only.
+      key_table = std::make_unique<workload::KeyTable>(
+          *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kEager);
+    }
   }
 
+  ShardedCluster::TableSpec tables;
+  tables.shared = budget == 0 ? key_table.get() : nullptr;
+  tables.keyspace = keyspace.get();
+  tables.mapper = mapper.get();
+  tables.values = &value_sizes;
+  tables.budget_bytes = budget;
   ShardedCluster cluster(sys, cfg.common, master, real_cache, coalesce,
-                         /*count_unmeasured=*/false, cfg.recorder,
-                         key_table.get(), &policy, K);
+                         /*count_unmeasured=*/false, cfg.recorder, tables,
+                         &policy, K);
 
   ForkJoinJoiner joiner(sys.network_latency, cluster.co_sobs(),
                         /*keep_total_samples=*/true,
@@ -713,7 +773,9 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
       keys == 0 ? 0.0
                 : static_cast<double>(cluster.total_misses()) /
                       static_cast<double>(keys);
-  cluster.merge_observability(cfg.recorder);
+  cluster.merge_observability(
+      cfg.recorder, key_table != nullptr ? key_table->chunks_resident() : 0,
+      key_table != nullptr ? key_table->bytes_resident() : 0);
   res.server_utilization.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     res.server_utilization.push_back(cluster.utilization_of(j, horizon));
@@ -769,15 +831,25 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
                                              cfg.common.max_value_bytes);
   // Routing happens single-threaded at injection time, so the table may
-  // stay lazy under Bernoulli; real-cache mode reads it from every shard
-  // and must be eager.
+  // stay lazy under Bernoulli; unbounded real-cache mode reads it from
+  // every shard and must be eager. With a KeyTable budget this table only
+  // routes (each shard owns a private bounded table), so it stays lazy.
+  const std::size_t budget = cfg.common.keytable_budget_bytes;
+  const bool shared_table = real_cache && budget == 0;
   workload::KeyTable key_table(keys, *mapper,
                                real_cache ? &value_sizes : nullptr,
-                               real_cache ? workload::KeyTable::Build::kEager
-                                          : workload::KeyTable::Build::kLazy);
+                               shared_table ? workload::KeyTable::Build::kEager
+                                            : workload::KeyTable::Build::kLazy,
+                               budget);
 
+  ShardedCluster::TableSpec tables;
+  tables.shared = shared_table || !real_cache ? &key_table : nullptr;
+  tables.keyspace = &keys;
+  tables.mapper = mapper.get();
+  tables.values = &value_sizes;
+  tables.budget_bytes = budget;
   ShardedCluster cluster(sys, cfg.common, master, real_cache, coalesce,
-                         /*count_unmeasured=*/true, cfg.recorder, &key_table,
+                         /*count_unmeasured=*/true, cfg.recorder, tables,
                          /*policy=*/nullptr, K);
 
   ForkJoinJoiner joiner(sys.network_latency, cluster.co_sobs(),
@@ -814,7 +886,8 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
   res.horizon = cluster.last_completion();
   res.db_fetches = cluster.total_db_fetches();
   res.delayed_hits = cluster.total_delayed_hits();
-  cluster.merge_observability(cfg.recorder);
+  cluster.merge_observability(cfg.recorder, key_table.chunks_resident(),
+                              key_table.bytes_resident());
   res.server_utilization.reserve(M);
   for (std::size_t j = 0; j < M; ++j) {
     res.server_utilization.push_back(cluster.utilization_of(j, res.horizon));

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "cache/flat_index.h"
 #include "obs/recorder.h"
 #include "sim/station.h"
 
@@ -44,6 +46,12 @@ struct StageObserver {
   obs::Counter* hedge_fired = nullptr;           ///< hedge.fired
   obs::Counter* replica_cancelled = nullptr;     ///< replica.cancelled
   obs::LatencyStat* wasted_service = nullptr;    ///< replica.wasted_service_us
+  // Large-keyspace cache-substrate instruments (attach_cache_index; null
+  // unless a KeyTable budget resolved them).
+  obs::Gauge* keytable_chunks = nullptr;    ///< keytable.chunks_resident
+  obs::Gauge* keytable_bytes = nullptr;     ///< keytable.bytes
+  obs::Gauge* index_probe_len = nullptr;    ///< cache.index.probe_len
+  obs::Gauge* index_probe_max = nullptr;    ///< cache.index.probe_max
 
   /// The event-driven simulators' instrument set (EndToEndSim,
   /// TraceReplaySim): stage decomposition plus the miss-path database
@@ -92,6 +100,33 @@ struct StageObserver {
     replica_cancelled = rec.counter("replica.cancelled");
     wasted_service = rec.latency("replica.wasted_service_us");
     if (hedged) hedge_fired = rec.counter("hedge.fired");
+  }
+
+  /// Resolves the large-keyspace cache-substrate instrument set: resident
+  /// KeyTable chunks and their exact bytes ("keytable.chunks_resident" /
+  /// "keytable.bytes") and the flat cache index's probe lengths
+  /// ("cache.index.probe_len": mean slot inspections per lookup across all
+  /// stores; "cache.index.probe_max": the longest single lookup). Call ONLY
+  /// when a KeyTable budget is configured — same contract as
+  /// attach_coalescing: resolving a name registers it, and an unbudgeted
+  /// run's metrics document must stay byte-identical to the pre-budget
+  /// output.
+  void attach_cache_index(const obs::Recorder& rec) {
+    keytable_chunks = rec.gauge("keytable.chunks_resident");
+    keytable_bytes = rec.gauge("keytable.bytes");
+    index_probe_len = rec.gauge("cache.index.probe_len");
+    index_probe_max = rec.gauge("cache.index.probe_max");
+  }
+
+  /// Sets the attach_cache_index gauges from end-of-run table/store state
+  /// (no-ops entirely under the null recorder or when not attached).
+  void record_cache_index(std::uint64_t chunks_resident,
+                          std::uint64_t bytes_resident,
+                          const cache::IndexStats& probes) const {
+    obs::set_gauge(keytable_chunks, static_cast<double>(chunks_resident));
+    obs::set_gauge(keytable_bytes, static_cast<double>(bytes_resident));
+    obs::set_gauge(index_probe_len, probes.mean_probe());
+    obs::set_gauge(index_probe_max, static_cast<double>(probes.max_probe));
   }
 
   /// Records one joined request's decomposition: the four stage maxima,

@@ -90,7 +90,9 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   const workload::ValueSizeModel value_sizes(214.476, 0.348238, 1,
                                              cfg_.common.max_value_bytes);
   workload::KeyTable key_table(keys, *mapper,
-                               real_cache ? &value_sizes : nullptr);
+                               real_cache ? &value_sizes : nullptr,
+                               workload::KeyTable::Build::kLazy,
+                               cfg_.common.keytable_budget_bytes);
   engine::MissPolicy miss_policy =
       real_cache
           ? engine::MissPolicy::real_cache(
@@ -102,6 +104,9 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
   const obs::Recorder& orec = cfg_.recorder;
   engine::StageObserver sobs = engine::StageObserver::for_sim(orec);
   if (coalesce) sobs.attach_coalescing(orec);
+  const bool bounded_table =
+      real_cache && cfg_.common.keytable_budget_bytes > 0;
+  if (bounded_table) sobs.attach_cache_index(orec);
   engine::ForkJoinJoiner joiner(sys.network_latency, sobs,
                                 /*keep_total_samples=*/false,
                                 /*per_key_counter=*/sobs.keys);
@@ -209,6 +214,11 @@ TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
     res.server_utilization.push_back(servers[j]->utilization(s.now()));
     engine::StageObserver::record_server_utilization(
         orec, j, res.server_utilization.back());
+  }
+  if (bounded_table) {
+    sobs.record_cache_index(key_table.chunks_resident(),
+                            key_table.bytes_resident(),
+                            miss_policy.index_stats());
   }
   return res;
 }

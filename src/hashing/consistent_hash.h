@@ -17,7 +17,15 @@ namespace mclat::hashing {
 
 class ConsistentHashRing final : public KeyMapper {
  public:
-  /// `servers` initial servers, `vnodes` ring points per server.
+  /// One ring point: a hashed vnode label and the server owning it.
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t server;
+  };
+
+  /// `servers` initial servers, `vnodes` ring points per server. Bulk
+  /// construction sorts the ring once — O(SV log SV) — so a
+  /// hundreds-of-servers mapper is cheap to stand up per trial.
   ConsistentHashRing(std::size_t servers, std::size_t vnodes = 160);
 
   [[nodiscard]] std::size_t server_for(std::string_view key) const override;
@@ -36,12 +44,9 @@ class ConsistentHashRing final : public KeyMapper {
   [[nodiscard]] std::vector<double> arc_shares() const;
 
  private:
-  void insert_vnodes(std::size_t server);
-
-  struct Point {
-    std::uint64_t hash;
-    std::uint32_t server;
-  };
+  /// Pushes `server`'s vnode points onto the ring unsorted; callers sort
+  /// (ctor: once for everything; add_server: sort-tail + inplace_merge).
+  void append_vnodes(std::size_t server);
 
   std::size_t vnodes_;
   std::size_t next_server_ = 0;

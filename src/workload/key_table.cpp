@@ -8,13 +8,23 @@
 namespace mclat::workload {
 
 KeyTable::KeyTable(const KeySpace& keyspace, const hashing::KeyMapper& mapper,
-                   const ValueSizeModel* values, Build build)
-    : keyspace_(keyspace), mapper_(mapper), values_(values) {
+                   const ValueSizeModel* values, Build build,
+                   std::size_t budget_bytes)
+    : keyspace_(keyspace),
+      mapper_(mapper),
+      values_(values),
+      budget_(budget_bytes) {
   math::require(mapper.server_count() >= 1, "KeyTable: mapper has no servers");
   const std::uint64_t n_chunks =
       (keyspace.size() + kChunkSize - 1) >> kChunkShift;
   chunks_.resize(n_chunks);
+  if (budget_ > 0) {
+    ref_.assign(n_chunks, 0);
+    ever_built_.assign(n_chunks, 0);
+  }
   if (build == Build::kEager) {
+    // Eager + budget still respects the cap: the build loop evicts as it
+    // goes and ends holding roughly one budget's worth of trailing chunks.
     for (std::uint64_t ci = 0; ci < n_chunks; ++ci) build_chunk(ci);
   }
 }
@@ -35,6 +45,8 @@ const KeyTable::Chunk& KeyTable::build_chunk(std::uint64_t chunk_index) {
     // The legacy per-arrival path, run exactly once per rank: render the
     // canonical key, hash it, map it, and (optionally) draw the refill
     // value size from the rank-seeded stream the end-to-end sim used.
+    // Everything here is a pure function of `rank`, which is what makes an
+    // evicted chunk's rebuild bit-identical.
     keyspace_.key_for_rank(rank, buf);
     chunk->arena.insert(chunk->arena.end(), buf.begin(), buf.end());
     chunk->offset.push_back(static_cast<std::uint32_t>(chunk->arena.size()));
@@ -51,7 +63,47 @@ const KeyTable::Chunk& KeyTable::build_chunk(std::uint64_t chunk_index) {
   chunk->arena.shrink_to_fit();
   chunks_[chunk_index] = std::move(chunk);
   ++built_;
+  ++resident_;
+  bytes_ += chunk_bytes(*chunks_[chunk_index]);
+  if (budget_ > 0) {
+    if (ever_built_[chunk_index]) ++rebuilds_;
+    ever_built_[chunk_index] = 1;
+    ref_[chunk_index] = 1;
+    // Evict while pinned_ still names the chunk behind the *previously*
+    // returned view: that view stays valid across this access (the
+    // no-dangle contract in the header), then the pin moves here.
+    if (bytes_ > budget_) evict_to_budget(chunk_index);
+    pinned_ = chunk_index;
+  }
   return *chunks_[chunk_index];
+}
+
+void KeyTable::evict_to_budget(std::uint64_t keep) {
+  const std::uint64_t n = chunks_.size();
+  while (bytes_ > budget_ && resident_ > 1) {
+    bool evicted = false;
+    // Two full revolutions suffice: the first clears every reference bit
+    // still set, the second finds a victim. Null (never-built / already
+    // evicted) slots are skipped at one branch each.
+    for (std::uint64_t step = 0; step < 2 * n && !evicted; ++step) {
+      const std::uint64_t i = hand_;
+      hand_ = hand_ + 1 == n ? 0 : hand_ + 1;
+      Chunk* c = chunks_[i].get();
+      if (c == nullptr || i == keep || i == pinned_) continue;
+      if (ref_[i] != 0) {
+        ref_[i] = 0;
+        continue;
+      }
+      bytes_ -= chunk_bytes(*c);
+      --resident_;
+      chunks_[i].reset();
+      evicted = true;
+    }
+    // Everything still resident is protected (keep/pinned) or the budget
+    // is smaller than one chunk: stop rather than spin. The budget is a
+    // working-set cap, never allowed to make forward progress impossible.
+    if (!evicted) break;
+  }
 }
 
 }  // namespace mclat::workload

@@ -19,8 +19,22 @@
 // its head actually hits. kEager builds everything up front (benchmarks,
 // short-horizon sweeps that touch the whole table anyway).
 //
+// With a `budget_bytes` > 0 the table is additionally *memory-bounded*:
+// resident chunks are tracked with exact byte accounting and a CLOCK
+// second-chance sweep evicts cold chunks when the budget is exceeded, so a
+// 10⁸-rank Zipf trial holds only its working set. Because a chunk is a pure
+// function of its index, an evicted chunk rebuilds bit-identically on the
+// next touch (pinned by tests/cache/test_key_table_eviction.cpp) — eviction
+// can never change simulation results, only the memory/CPU trade-off.
+// Contract for view() string_views under a budget: they view into the
+// rank's chunk and remain valid until the *next* table access — the chunk
+// most recently returned is pinned and never evicted by that next access's
+// build. Callers (the engines' miss/refill paths) consume a View before
+// touching the table again.
+//
 // A KeyTable is a per-trial, single-threaded object (like the Simulator it
-// feeds); parallel trials each build their own.
+// feeds); parallel trials each build their own, and the sharded engine
+// gives each shard its own bounded table (DESIGN.md §4i/§4j).
 #pragma once
 
 #include <cstdint>
@@ -43,8 +57,9 @@ class KeyTable {
  public:
   enum class Build { kLazy, kEager };
 
-  /// One rank's memoized facts. `key` views into the table's arena and is
-  /// valid for the table's lifetime.
+  /// One rank's memoized facts. `key` views into the rank's chunk: valid
+  /// for the table's lifetime when unbounded, and until the next table
+  /// access when a budget is set (see header comment).
   struct View {
     std::string_view key;
     std::uint64_t hash = 0;        ///< fnv1a64(key) — mapper/store hash
@@ -55,11 +70,13 @@ class KeyTable {
   /// `keyspace` and `mapper` (and `values`, if given) must outlive the
   /// table. `values` enables the value-size column, replicating the
   /// real-cache refill stream Rng(mix64(rank ^ kValueSeedSalt)).
+  /// `budget_bytes` > 0 caps resident chunk memory (0 = unbounded).
   KeyTable(const KeySpace& keyspace, const hashing::KeyMapper& mapper,
-           const ValueSizeModel* values = nullptr, Build build = Build::kLazy);
+           const ValueSizeModel* values = nullptr, Build build = Build::kLazy,
+           std::size_t budget_bytes = 0);
 
   /// All memoized facts for `rank`; materializes the rank's chunk on first
-  /// touch in lazy mode.
+  /// touch in lazy mode (and rebuilds it if a budget evicted it).
   [[nodiscard]] View view(std::uint64_t rank) {
     const Chunk& c = chunk_for(rank);
     const std::uint64_t i = rank & kChunkMask;
@@ -75,8 +92,22 @@ class KeyTable {
 
   [[nodiscard]] std::uint64_t size() const noexcept { return keyspace_.size(); }
 
-  /// How many chunks have been materialized (laziness observability).
+  /// How many chunk builds have run, rebuilds included (laziness and
+  /// eviction-thrash observability; monotone).
   [[nodiscard]] std::uint64_t chunks_built() const noexcept { return built_; }
+  /// How many of those builds re-materialized a previously evicted chunk.
+  [[nodiscard]] std::uint64_t chunk_rebuilds() const noexcept {
+    return rebuilds_;
+  }
+  /// Currently materialized chunks / their exact byte footprint (the
+  /// keytable.chunks_resident / keytable.bytes gauges).
+  [[nodiscard]] std::uint64_t chunks_resident() const noexcept {
+    return resident_;
+  }
+  [[nodiscard]] std::uint64_t bytes_resident() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
   [[nodiscard]] std::uint64_t chunk_count() const noexcept {
     return chunks_.size();
   }
@@ -86,6 +117,7 @@ class KeyTable {
   static constexpr std::uint64_t kChunkShift = 10;
   static constexpr std::uint64_t kChunkSize = 1ull << kChunkShift;
   static constexpr std::uint64_t kChunkMask = kChunkSize - 1;
+  static constexpr std::uint64_t kNoPin = ~0ull;
 
   // Structure-of-arrays block for kChunkSize consecutive ranks. Key strings
   // are concatenated into `arena`; `offset` holds kChunkSize+1 prefix
@@ -98,19 +130,50 @@ class KeyTable {
     std::vector<std::uint32_t> value_bytes;
   };
 
+  /// Exact heap footprint of a materialized chunk, the unit of the budget
+  /// accounting (capacities, not sizes — what the allocator actually holds).
+  [[nodiscard]] static std::size_t chunk_bytes(const Chunk& c) noexcept {
+    return sizeof(Chunk) + c.arena.capacity() * sizeof(char) +
+           c.offset.capacity() * sizeof(std::uint32_t) +
+           c.hash.capacity() * sizeof(std::uint64_t) +
+           c.server.capacity() * sizeof(std::uint32_t) +
+           c.value_bytes.capacity() * sizeof(std::uint32_t);
+  }
+
   [[nodiscard]] const Chunk& chunk_for(std::uint64_t rank) {
     math::require(rank < keyspace_.size(), "KeyTable: rank out of range");
-    const Chunk* c = chunks_[rank >> kChunkShift].get();
-    return c != nullptr ? *c : build_chunk(rank >> kChunkShift);
+    const std::uint64_t ci = rank >> kChunkShift;
+    Chunk* c = chunks_[ci].get();
+    if (c == nullptr) return build_chunk(ci);
+    if (budget_ > 0) {
+      ref_[ci] = 1;  // CLOCK second chance
+      pinned_ = ci;
+    }
+    return *c;
   }
 
   const Chunk& build_chunk(std::uint64_t chunk_index);
+  /// CLOCK sweep until bytes_ <= budget_, never evicting `keep` (the chunk
+  /// just built) or pinned_ (the last chunk handed out).
+  void evict_to_budget(std::uint64_t keep);
 
   const KeySpace& keyspace_;
   const hashing::KeyMapper& mapper_;
   const ValueSizeModel* values_;
   std::vector<std::unique_ptr<Chunk>> chunks_;
   std::uint64_t built_ = 0;
+  std::uint64_t rebuilds_ = 0;
+
+  // Residency accounting is maintained unconditionally (one add per chunk
+  // build); the CLOCK machinery below it only engages when budget_ > 0,
+  // keeping the unbounded fast path and its behaviour exactly as before.
+  std::size_t budget_ = 0;
+  std::uint64_t resident_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hand_ = 0;           ///< CLOCK hand over chunk indices
+  std::uint64_t pinned_ = kNoPin;    ///< last chunk returned; never evicted
+  std::vector<std::uint8_t> ref_;    ///< CLOCK reference bits
+  std::vector<std::uint8_t> ever_built_;  ///< distinguishes rebuilds
 };
 
 }  // namespace mclat::workload

@@ -1,0 +1,166 @@
+// test_flat_index_twin.cpp — the flat open-addressing index (flat_index.h)
+// proven against the pre-rewrite std::unordered_map store, sample for
+// sample.
+//
+// bench/legacy_cache.h preserves the unordered_map LruStore verbatim. Both
+// stores are driven through identical randomized operation sequences —
+// set / set_sized / set_sized_hashed / get (hashed and unhashed) /
+// contains / remove (hashed and unhashed) / TTL expiry / flush — under
+// eviction pressure across several slab classes, and every operation's
+// return value plus the full StoreStats (including resident_bytes) must
+// agree at every step. Any divergence in the index — a lost key after
+// backward-shift deletion, an entry dropped mid-incremental-rehash, a
+// replace that probed the wrong table — shows up as the first unequal
+// sample, not as a statistical anomaly.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/legacy_cache.h"
+#include "cache/lru_store.h"
+#include "hashing/hashes.h"
+
+namespace mclat {
+namespace {
+
+void expect_stats_equal(const cache::StoreStats& a, const cache::StoreStats& b,
+                        std::uint64_t step) {
+  ASSERT_EQ(a.gets, b.gets) << "step " << step;
+  ASSERT_EQ(a.hits, b.hits) << "step " << step;
+  ASSERT_EQ(a.misses, b.misses) << "step " << step;
+  ASSERT_EQ(a.sets, b.sets) << "step " << step;
+  ASSERT_EQ(a.set_failures, b.set_failures) << "step " << step;
+  ASSERT_EQ(a.evictions, b.evictions) << "step " << step;
+  ASSERT_EQ(a.expirations, b.expirations) << "step " << step;
+  ASSERT_EQ(a.deletes, b.deletes) << "step " << step;
+  ASSERT_EQ(a.resident_bytes, b.resident_bytes) << "step " << step;
+}
+
+/// Key pool spanning several lengths (and so several slab classes once a
+/// value is attached): "k<i>" plus i%3-dependent padding.
+std::vector<std::string> make_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string k = "k" + std::to_string(i);
+    k.append((i % 7) * 9, '#');
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+TEST(FlatIndexTwin, RandomizedOpsMatchUnorderedMapStoreSampleForSample) {
+  // Small store under heavy churn: ~2000 keys of up to ~1.3 KB items into
+  // 256 KiB forces constant eviction, exactly where index erase bugs hide.
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 256 * 1024;
+  cfg.page_size = 16 * 1024;
+  cfg.growth_factor = 2.0;
+
+  cache::LruStore flat(cfg);
+  bench::legacy_cache::LruStore legacy(cfg);
+
+  const std::vector<std::string> keys = make_keys(2000);
+  std::mt19937_64 rng(0xf1a7u);
+  std::uniform_int_distribution<std::size_t> pick_key(0, keys.size() - 1);
+  std::uniform_int_distribution<int> pick_op(0, 99);
+  std::uniform_int_distribution<std::size_t> pick_bytes(0, 1200);
+  double now = 0.0;
+
+  for (std::uint64_t step = 0; step < 200000; ++step) {
+    const std::string& key = keys[pick_key(rng)];
+    const std::uint64_t hash = hashing::fnv1a64(key);
+    const int op = pick_op(rng);
+    now += 0.001;
+    if (op < 25) {  // set_sized_hashed, sometimes with a TTL
+      const std::size_t bytes = pick_bytes(rng);
+      const double ttl = op < 5 ? 0.05 : 0.0;
+      ASSERT_EQ(flat.set_sized_hashed(key, hash, bytes, now, ttl),
+                legacy.set_sized_hashed(key, hash, bytes, now, ttl))
+          << "step " << step;
+    } else if (op < 32) {  // set with a real value (value bytes compared)
+      const std::string value(pick_bytes(rng), 'x');
+      ASSERT_EQ(flat.set(key, value, now), legacy.set(key, value, now))
+          << "step " << step;
+    } else if (op < 38) {  // set_sized (unhashed entry point)
+      const std::size_t bytes = pick_bytes(rng);
+      ASSERT_EQ(flat.set_sized(key, bytes, now),
+                legacy.set_sized(key, bytes, now))
+          << "step " << step;
+    } else if (op < 70) {  // prehashed get (the hot path)
+      const auto a = flat.get(key, hash, now);
+      const auto b = legacy.get(key, hash, now);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+      if (a.has_value()) ASSERT_EQ(*a, *b) << "step " << step;
+    } else if (op < 78) {  // unhashed get
+      const auto a = flat.get(key, now);
+      const auto b = legacy.get(key, now);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+    } else if (op < 86) {  // contains, both entry points
+      ASSERT_EQ(flat.contains(key, hash, now), legacy.contains(key, hash, now))
+          << "step " << step;
+      ASSERT_EQ(flat.contains(key, now), legacy.contains(key, now))
+          << "step " << step;
+    } else if (op < 94) {  // prehashed remove
+      ASSERT_EQ(flat.remove(key, hash), legacy.remove(key, hash))
+          << "step " << step;
+    } else if (op < 99) {  // unhashed remove
+      ASSERT_EQ(flat.remove(key), legacy.remove(key)) << "step " << step;
+    } else {  // rare flush: both indexes drop to empty together
+      flat.flush();
+      legacy.flush();
+      ASSERT_EQ(flat.size(), 0u) << "step " << step;
+    }
+    ASSERT_EQ(flat.size(), legacy.size()) << "step " << step;
+    expect_stats_equal(flat.stats(), legacy.stats(), step);
+  }
+
+  // Final sweep: every key's presence and value agree.
+  for (const std::string& key : keys) {
+    const std::uint64_t hash = hashing::fnv1a64(key);
+    ASSERT_EQ(flat.contains(key, hash, now), legacy.contains(key, hash, now))
+        << key;
+    const auto a = flat.get(key, hash, now);
+    const auto b = legacy.get(key, hash, now);
+    ASSERT_EQ(a.has_value(), b.has_value()) << key;
+    if (a.has_value()) ASSERT_EQ(*a, *b) << key;
+  }
+  expect_stats_equal(flat.stats(), legacy.stats(), ~0ull);
+}
+
+TEST(FlatIndexTwin, GrowthHeavyInsertOnlyLoadMatches) {
+  // Insert-only growth through many incremental-rehash cycles (16 → 64Ki
+  // slots), then read everything back: exercises find-during-drain and the
+  // migration drain itself without delete churn masking it.
+  cache::SlabAllocator::Config cfg;
+  cfg.memory_limit = 32u << 20;
+  cfg.page_size = 256 * 1024;
+  cfg.growth_factor = 2.0;
+  cache::LruStore flat(cfg);
+  bench::legacy_cache::LruStore legacy(cfg);
+
+  const std::vector<std::string> keys = make_keys(40000);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t hash = hashing::fnv1a64(keys[i]);
+    ASSERT_EQ(flat.set_sized_hashed(keys[i], hash, i % 200, 0.0),
+              legacy.set_sized_hashed(keys[i], hash, i % 200, 0.0))
+        << i;
+  }
+  ASSERT_EQ(flat.size(), legacy.size());
+  for (const std::string& key : keys) {
+    const std::uint64_t hash = hashing::fnv1a64(key);
+    ASSERT_EQ(flat.contains(key, hash, 0.0), legacy.contains(key, hash, 0.0))
+        << key;
+  }
+  expect_stats_equal(flat.stats(), legacy.stats(), 0);
+  // The probe statistics exist and look sane (mean >= 1 inspection).
+  EXPECT_GT(flat.index_stats().lookups, 0u);
+  EXPECT_GE(flat.index_stats().mean_probe(), 1.0);
+  EXPECT_GE(flat.index_stats().max_probe, 1u);
+}
+
+}  // namespace
+}  // namespace mclat

@@ -87,7 +87,8 @@ inline core::SystemConfig deployment_config_from(CliArgs& args) {
 }
 
 /// Declares the shared simulation knobs — `--seed`, `--real-cache`,
-/// `--cache-mb`, `--coalesce` — with one spelling and one help string for
+/// `--cache-mb`, `--keytable-budget-mb`, `--coalesce`, `--shard-jobs` —
+/// with one spelling and one help string for
 /// every subcommand that runs a cluster simulator, and writes them into the
 /// config's embedded cluster::CommonConfig. Returns whether --real-cache
 /// was given (the miss mode is a per-simulator enum, not a CommonConfig
@@ -111,6 +112,12 @@ inline bool common_sim_flags_from(CliArgs& args,
                 "fetch)")) {
     common.coalescing = cluster::MissCoalescing::kPerServer;
   }
+  common.keytable_budget_bytes = static_cast<std::size_t>(
+      args.number("keytable-budget-mb", 0.0,
+                  "cap resident key-table metadata at this many MiB, "
+                  "evicting and deterministically rebuilding cold chunks "
+                  "(0 = unbounded; results are budget-invariant)") *
+      static_cast<double>(1u << 20));
   common.shard_jobs = static_cast<std::size_t>(args.count(
       "shard-jobs", 1,
       "run each trial's event loop on K server-calendar shards plus a "
