@@ -1,0 +1,175 @@
+// bench_ext_ring_churn — mid-run membership churn at cluster scale
+// (DESIGN.md §4k; no paper figure — the paper's cluster is static).
+//
+// One cold join and one abrupt leave are played against a 128-server
+// consistent-hashing ring with real per-server LRU stores, and three things
+// are read off the per-epoch measurement windows:
+//
+//   * steady state: the post-rebalance miss ratio vs the Ji/Quan/Tan
+//     asymptotic prediction (arXiv:1801.02436) — one LRU cache of the
+//     aggregate measured capacity, evaluated with the Che approximation
+//     (core/lru_asymptotics.h). The comparison is self-calibrating: the
+//     theory is evaluated at the cluster's own end-of-run resident item
+//     count, so value-size and slab-overhead assumptions never enter.
+//   * transient: the per-epoch P99 key latency — the post-event window
+//     carries the refill storm (cold joiner) or the failover bulge
+//     (abrupt leave) that the asymptotics ignore.
+//   * remap cost: the fraction of the keyspace whose server assignment
+//     actually moved (the epoch-validated KeyTable counts exactly the
+//     ranks it remapped — ~1/M per event, never a rebuild).
+//
+// Determinism rides along: every scenario is run at shard_jobs=1 and 4 and
+// the harness exits nonzero if any epoch's counters drift bit-for-bit
+// (churn is K-invariant by construction). The MACHINE line reports core
+// count so scripts/bench_churn.sh can gate wall-clock-sensitive claims the
+// way bench_shard.sh does — the model numbers themselves are exact and
+// need no cores.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/end_to_end.h"
+#include "cluster/membership.h"
+#include "core/lru_asymptotics.h"
+#include "workload/keyspace.h"
+
+namespace {
+
+using namespace mclat;
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+constexpr std::uint64_t kKeyspace = 100'000;
+constexpr double kZipf = 0.99;
+constexpr std::size_t kServers = 128;
+
+cluster::EndToEndConfig churn_config(const std::string& spec,
+                                     std::size_t shard_jobs) {
+  cluster::EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.servers = kServers;
+  cfg.system.total_key_rate = static_cast<double>(kServers) * 2'000.0;
+  cfg.system.keys_per_request = 8;
+  cfg.system.network_latency = 1e-3;
+  cfg.miss_mode = cluster::MissMode::kRealCache;
+  cfg.mapper = cluster::MapperKind::kRing;
+  cfg.keyspace_size = kKeyspace;
+  cfg.zipf_exponent = kZipf;
+  cfg.common.cache_bytes_per_server = 8u << 10;
+  // Constant 1-byte values: one slab class, so the per-server stores are
+  // honest LRUs and the aggregate-capacity theory applies cleanly (see
+  // tests/cluster/test_churn_model.cpp for the full rationale).
+  cfg.common.max_value_bytes = 1;
+  cfg.common.warmup_time = 0.3;
+  cfg.common.measure_time = 2.7 * bench::time_scale();
+  cfg.common.seed = 71;
+  cfg.common.shard_jobs = shard_jobs;
+  cfg.common.churn = cluster::MembershipSchedule::parse(spec);
+  return cfg;
+}
+
+/// Runs one scenario at K=1 and K=4, checks bit-invariance, prints the
+/// epoch table plus the theory comparison. Returns false on K drift.
+bool run_scenario(const char* name, const std::string& spec,
+                  const std::vector<double>& pmf) {
+  const cluster::EndToEndResult r =
+      cluster::EndToEndSim(churn_config(spec, 1)).run();
+  const cluster::EndToEndResult r4 =
+      cluster::EndToEndSim(churn_config(spec, 4)).run();
+
+  bool invariant = same_bits(r.total.mean, r4.total.mean) &&
+                   r.keys_completed == r4.keys_completed &&
+                   r.churn.refill_storm_bytes == r4.churn.refill_storm_bytes;
+  for (std::size_t e = 0; invariant && e < r.churn.epochs.size(); ++e) {
+    invariant = r.churn.epochs[e].keys == r4.churn.epochs[e].keys &&
+                r.churn.epochs[e].misses == r4.churn.epochs[e].misses;
+  }
+
+  const cluster::ChurnStats& cs = r.churn;
+  std::printf("\nscenario: %s (--churn \"%s\")\n", name, spec.c_str());
+  std::printf("%6s | %8s | %10s | %8s | %10s\n", "epoch", "start(s)", "keys",
+              "miss", "p99(us)");
+  std::printf("-------+----------+------------+----------+-----------\n");
+  double peak_p99 = 0.0;
+  for (const cluster::ChurnEpochWindow& w : cs.epochs) {
+    std::printf("%6llu | %8.2f | %10llu | %8.4f | %10.1f\n",
+                static_cast<unsigned long long>(w.epoch), w.start_time,
+                static_cast<unsigned long long>(w.keys), w.miss_ratio,
+                w.p99_key_latency_us);
+    if (w.p99_key_latency_us > peak_p99) peak_p99 = w.p99_key_latency_us;
+    std::printf("ROW scenario=%s epoch=%llu start=%.4f keys=%llu "
+                "misses=%llu miss=%.6f p99_us=%.3f\n",
+                name, static_cast<unsigned long long>(w.epoch), w.start_time,
+                static_cast<unsigned long long>(w.keys),
+                static_cast<unsigned long long>(w.misses), w.miss_ratio,
+                w.p99_key_latency_us);
+  }
+
+  const double measured = cs.epochs.back().miss_ratio;
+  const double predicted = core::lru_miss_ratio_che(
+      pmf, static_cast<double>(cs.resident_items_end));
+  const double rel_err = (measured - predicted) / predicted;
+  const double remap_fraction = static_cast<double>(cs.ranks_remapped) /
+                                static_cast<double>(kKeyspace);
+  std::printf("steady state: measured miss %.4f vs Che/Ji-Quan-Tan %.4f "
+              "(%+.1f%%) at %llu aggregate items, %llu live servers\n",
+              measured, predicted, 100.0 * rel_err,
+              static_cast<unsigned long long>(cs.resident_items_end),
+              static_cast<unsigned long long>(cs.live_servers_end));
+  std::printf("transient: peak epoch P99 %.1fus (base %.1fus); refill storm "
+              "%llu bytes; remapped %.2f%% of the keyspace; failovers %llu\n",
+              peak_p99, cs.epochs.front().p99_key_latency_us,
+              static_cast<unsigned long long>(cs.refill_storm_bytes),
+              100.0 * remap_fraction,
+              static_cast<unsigned long long>(cs.failovers));
+  std::printf("SUMMARY scenario=%s measured_miss=%.6f predicted_miss=%.6f "
+              "rel_err=%.6f remap_fraction=%.6f refill_storm_bytes=%llu "
+              "peak_p99_us=%.3f base_p99_us=%.3f failovers=%llu "
+              "live_servers=%llu resident_items=%llu shard_invariant=%d\n",
+              name, measured, predicted, rel_err, remap_fraction,
+              static_cast<unsigned long long>(cs.refill_storm_bytes),
+              peak_p99, cs.epochs.front().p99_key_latency_us,
+              static_cast<unsigned long long>(cs.failovers),
+              static_cast<unsigned long long>(cs.live_servers_end),
+              static_cast<unsigned long long>(cs.resident_items_end),
+              invariant ? 1 : 0);
+  if (!invariant) {
+    std::printf("FAIL: churn run is not shard-count invariant (K=1 vs "
+                "K=4 drift)\n");
+  }
+  return invariant;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: mid-run ring churn",
+                "(extension; validated against arXiv:1801.02436)",
+                "128 ring servers, real 8KiB LRU stores, Zipf(0.99) over "
+                "100k keys, 2Kps/server; one cold join / one abrupt leave");
+  std::printf("MACHINE cores=%u\n", std::thread::hardware_concurrency());
+
+  const workload::KeySpace keyspace(kKeyspace, kZipf);
+  std::vector<double> pmf(kKeyspace);
+  for (std::uint64_t k = 0; k < kKeyspace; ++k) {
+    pmf[k] = keyspace.popularity().pmf(k);
+  }
+
+  bool ok = run_scenario("join", "join@0.4", pmf);
+  ok = run_scenario("leave", "leave:7@0.4", pmf) && ok;
+
+  if (!ok) return 1;
+  std::printf(
+      "\nReading: after a membership event the ring rebalances ~1/M of the "
+      "keyspace; the post-event window shows the transient (refill storm / "
+      "failover bulge) and then settles onto the miss ratio of ONE LRU of "
+      "the aggregate capacity — the Ji/Quan/Tan equivalence the churn test "
+      "tier pins. Epoch counters are bit-identical across --shard-jobs.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# bench_churn.sh — regenerate BENCH_churn.json, the mid-run membership
+# churn snapshot (DESIGN.md §4k).
+#
+# Runs bench_ext_ring_churn (128 ring servers with real LRU stores, one
+# cold join and one abrupt leave; per-epoch miss-ratio/P99 windows) and
+# folds the ROW/SUMMARY lines into JSON:
+#
+#   * steady state: post-rebalance miss ratio vs the Ji/Quan/Tan
+#     aggregate-LRU (Che) prediction, arXiv:1801.02436;
+#   * transient: peak per-epoch P99 vs the pre-event base (the refill
+#     storm / failover bulge the asymptotics ignore);
+#   * remap cost: fraction of the keyspace whose server moved per event.
+#
+# Claims follow the bench_shard.sh honesty convention: every claim carries
+# an `assessable` field gated on what the machine can actually support.
+# All churn claims are virtual-time / bit-identity facts — deterministic
+# regardless of core count — so they are always assessable; the core count
+# is still recorded (the harness also runs each scenario at shard_jobs=4,
+# which merely time-slices on small machines without affecting results).
+#
+# Usage: scripts/bench_churn.sh            (full-length trials)
+#        MCLAT_BENCH_FAST=1 scripts/bench_churn.sh   (quarter-length smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_ext_ring_churn >/dev/null
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+./build/bench/bench_ext_ring_churn | tee "$raw"
+
+python3 - "$raw" <<'EOF'
+import json
+import sys
+
+cores = None
+rows = []
+summaries = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("MACHINE "):
+            cores = int(line.split("cores=")[1])
+        elif line.startswith(("ROW ", "SUMMARY ")):
+            cell = {}
+            for tok in line.split()[1:]:
+                key, value = tok.split("=")
+                try:
+                    cell[key] = float(value) if "." in value else int(value)
+                except ValueError:
+                    cell[key] = value
+            (rows if line.startswith("ROW ") else summaries).append(cell)
+
+if cores is None or not rows or not summaries:
+    sys.exit("bench_churn.sh: harness output missing MACHINE/ROW/SUMMARY lines")
+
+worst_rel_err = max(abs(s["rel_err"]) for s in summaries)
+steady_claim = {
+    "statement": (
+        "post-rebalance steady-state miss ratio within 15% of the "
+        "Ji/Quan/Tan aggregate-capacity LRU prediction (Che approximation)"
+    ),
+    "assessable": True,  # virtual-time model fact, core-independent
+    "worst_abs_rel_err": round(worst_rel_err, 4),
+    "holds": worst_rel_err <= 0.15,
+}
+invariance_claim = {
+    "statement": (
+        "per-epoch churn counters bit-identical across --shard-jobs 1 vs 4"
+    ),
+    "assessable": True,  # bit-identity, core-independent (threads time-slice)
+    "holds": all(s["shard_invariant"] == 1 for s in summaries),
+}
+
+out = {
+    "comment": (
+        "Mid-run membership churn snapshot (DESIGN.md 4k): 128 ring "
+        "servers with real LRU stores, one cold join and one abrupt "
+        "leave; per-epoch miss-ratio/P99 windows, post-rebalance steady "
+        "state vs arXiv:1801.02436, refill-storm transient and KeyTable "
+        "remap fraction. Regenerate with scripts/bench_churn.sh."
+    ),
+    "machine": {"hardware_concurrency": cores},
+    "epochs": rows,
+    "scenarios": summaries,
+    "claims": [steady_claim, invariance_claim],
+}
+with open("BENCH_churn.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote BENCH_churn.json ({len(summaries)} scenarios, "
+      f"{len(rows)} epoch rows, cores={cores}, "
+      f"worst |rel_err|={worst_rel_err:.3f})")
+EOF

@@ -5,14 +5,16 @@
 #   tier 2: ThreadSanitizer build of the concurrency-sensitive suites —
 #           the parallel trial-execution engine (label `exec`), the
 #           observability layer it records into (label `obs`), and the
-#           intra-trial sharded-calendar engine (label `pdes`), whose
-#           window-barrier handoff is exactly the code a missed
-#           happens-before edge would hide in.
+#           intra-trial sharded-calendar engine (label `pdes`, including
+#           the membership-churn K-invariance twin), whose window-barrier
+#           handoff is exactly the code a missed happens-before edge would
+#           hide in.
 #   tier 3: ASan+UBSan build of the event-kernel, golden-regression,
 #           workload-path, cache-substrate, cluster-engine,
-#           miss-coalescing, replica-lifecycle and sharded-engine suites
-#           (labels `sim`, `exec`, `workload`, `cache`, `cluster`,
-#           `delayed_hit`, `hedge` and `pdes`) — the kernel's type-erased
+#           miss-coalescing, replica-lifecycle, sharded-engine and
+#           membership-churn suites (labels `sim`, `exec`, `workload`,
+#           `cache`, `cluster`, `delayed_hit`, `hedge`, `pdes` and
+#           `churn`) — the kernel's type-erased
 #           inline-callback storage, slot free-list recycling, the
 #           KeyTable's string_view-into-arena layout (now with
 #           budget-driven chunk eviction, whose view-pinning contract is
@@ -72,13 +74,14 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cache + cluster + delayed_hit + hedge + pdes suites"
+  echo "==> tier 3: ASan+UBSan on the sim + exec + workload + cache + cluster + delayed_hit + hedge + pdes + churn suites"
   cmake -B build-asan -S . -DMCLAT_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs" \
     --target tests_sim tests_exec tests_workload_property tests_cache \
-    tests_cluster_engine tests_delayed_hit tests_hedge tests_pdes
+    tests_cluster_engine tests_delayed_hit tests_hedge tests_pdes \
+    tests_churn
   ctest --test-dir build-asan \
-    -L "sim|exec|workload|cache|cluster|delayed_hit|hedge|pdes" \
+    -L "sim|exec|workload|cache|cluster|delayed_hit|hedge|pdes|churn" \
     --output-on-failure -j "$jobs"
 fi
 

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "cluster/membership.h"
 #include "cluster/modes.h"
 #include "math/numerics.h"
 
@@ -52,6 +53,14 @@ struct CommonConfig {
   /// sample-identical to the serial schedule (the RNG split order differs;
   /// see DESIGN.md §4i).
   std::size_t shard_jobs = 1;
+
+  /// Mid-run membership timeline (membership.h; `--churn SPEC`). Empty —
+  /// the default — is the static-membership contract every golden pins.
+  /// When active the trial always runs on the sharded engine (shard_jobs=1
+  /// uses a single shard), because churn's RNG-provisioning and message
+  /// protocol are defined in sharded terms; that is also what makes the
+  /// result shard-count invariant under churn (DESIGN.md §4k).
+  MembershipSchedule churn{};
 
   /// One validation for all three simulators; a bad config throws at
   /// construction, not mid-run. `needs_measure_window` is false for the

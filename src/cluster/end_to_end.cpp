@@ -46,13 +46,44 @@ EndToEndSim::EndToEndSim(EndToEndConfig cfg) : cfg_(std::move(cfg)) {
                     cfg_.db_mode == DbMode::kInfiniteServer,
                 "EndToEndSim: shard_jobs > 1 requires DbMode::kInfiniteServer "
                 "(a shared database queue has no network lookahead)");
+  if (cfg_.common.churn.active()) {
+    // Churn runs through the sharded engine (any shard_jobs, including 1):
+    // the coordinator owns the live ring and the epoch-tracked routing
+    // table, so every mode whose routing or per-server identity bypasses
+    // the ring is excluded up front.
+    math::require(cfg_.miss_mode == MissMode::kRealCache,
+                  "EndToEndSim: churn requires MissMode::kRealCache (Bernoulli"
+                  " keys carry no identity to re-route)");
+    math::require(cfg_.mapper == MapperKind::kRing,
+                  "EndToEndSim: churn requires MapperKind::kRing (membership "
+                  "events mutate the consistent-hashing ring)");
+    math::require(cfg_.db_mode == DbMode::kInfiniteServer,
+                  "EndToEndSim: churn requires DbMode::kInfiniteServer (the "
+                  "sharded-engine constraint)");
+    math::require(!cfg_.redundancy.replicated(),
+                  "EndToEndSim: churn with replicated redundancy is not "
+                  "modeled");
+    math::require(cfg_.system.load_shares.empty(),
+                  "EndToEndSim: churn requires uniform load_shares (the ring "
+                  "rebalances shares itself)");
+    math::require(cfg_.system.service_rates.empty(),
+                  "EndToEndSim: churn requires uniform service_rates (joined "
+                  "servers take the common rate)");
+    math::require(cfg_.common.churn.last_time() <
+                      cfg_.common.warmup_time + cfg_.common.measure_time,
+                  "EndToEndSim: churn events must precede the horizon");
+  }
 }
 
 EndToEndResult EndToEndSim::run() {
   // The sharded path is a separate engine with its own (deterministic)
-  // sampling contract; shard_jobs == 1 runs the exact serial loop below,
-  // byte-identical to every golden.
-  if (cfg_.common.shard_jobs > 1) return engine::run_end_to_end_sharded(cfg_);
+  // sampling contract; shard_jobs == 1 without churn runs the exact serial
+  // loop below, byte-identical to every golden. Churn always takes the
+  // sharded engine (at K = shard_jobs, possibly 1): membership events are
+  // coordinator messages, and the serial loop has no coordinator.
+  if (cfg_.common.shard_jobs > 1 || cfg_.common.churn.active()) {
+    return engine::run_end_to_end_sharded(cfg_);
+  }
   const core::SystemConfig& sys = cfg_.system;
   const std::vector<double> shares = sys.shares();
   const std::size_t M = shares.size();

@@ -112,6 +112,10 @@ struct EndToEndResult {
   /// Total service seconds burned by losing replicas that ran to
   /// completion (a replica in service is never preempted).
   double replica_wasted_service = 0.0;
+  /// Membership-churn outcome (default-empty unless common.churn is
+  /// active): event/failover/retire counts, refill-storm bytes, per-epoch
+  /// miss-ratio windows and end-of-run occupancy. See cluster/membership.h.
+  ChurnStats churn;
 };
 
 class EndToEndSim {

@@ -78,11 +78,27 @@ class MissPolicy {
   /// The database fetched the value: refill the server's cache. Only the
   /// value's *size* matters to slab occupancy and eviction, so set_sized
   /// skips materialising the payload; key, hash and size are memoized
-  /// loads. No-op under Bernoulli.
-  void refill(std::size_t server, std::uint64_t key_rank, double now) {
-    if (table_ == nullptr) return;
+  /// loads. No-op under Bernoulli. Returns the value bytes stored (0 under
+  /// Bernoulli) — the churn path sums these into cache.refill_storm_bytes
+  /// while a joined-cold store is still filling.
+  std::uint32_t refill(std::size_t server, std::uint64_t key_rank,
+                       double now) {
+    if (table_ == nullptr) return 0;
     const workload::KeyTable::View kv = table_->view(key_rank);
     stores_[server]->set_sized_hashed(kv.key, kv.hash, kv.value_bytes, now);
+    return kv.value_bytes;
+  }
+
+  /// Drops every item in `server`'s store — a cold-cache join or a retired
+  /// slot being decommissioned. No-op under Bernoulli.
+  void flush(std::size_t server) {
+    if (table_ != nullptr) stores_[server]->flush();
+  }
+
+  /// Live items in `server`'s store (0 under Bernoulli) — the aggregate
+  /// LRU capacity C the Che/Ji-Quan-Tan prediction is evaluated at.
+  [[nodiscard]] std::uint64_t items(std::size_t server) const noexcept {
+    return table_ != nullptr ? stores_[server]->size() : 0;
   }
 
   /// Test/diagnostic access to a server's store (real-cache mode only).

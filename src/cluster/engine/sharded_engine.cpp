@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -44,9 +45,11 @@
 #include "cluster/engine/miss_policy.h"
 #include "cluster/engine/stage_observer.h"
 #include "cluster/job_table.h"
+#include "cluster/membership.h"
 #include "dist/discrete.h"
 #include "dist/exponential.h"
 #include "exec/thread_pool.h"
+#include "hashing/consistent_hash.h"
 #include "hashing/key_mapper.h"
 #include "math/numerics.h"
 #include "obs/metrics.h"
@@ -55,6 +58,7 @@
 #include "sim/simulator.h"
 #include "sim/source.h"
 #include "sim/station.h"
+#include "stats/p2_quantile.h"
 #include "workload/key_table.h"
 #include "workload/size_model.h"
 
@@ -79,6 +83,12 @@ struct KeyCtx {
   bool parked = false;  ///< miss parked behind an in-flight fetch
 };
 
+/// Shard-side lifecycle of one server slot under a MembershipSchedule.
+/// Slots move kEmpty → kLive (provision) → {kDead | kDraining} (leave)
+/// → kEmpty (retired once the last in-flight job resolves); the
+/// coordinator's registry mirrors these transitions one lookahead behind.
+enum class SlotState : std::uint8_t { kLive, kDraining, kDead, kEmpty };
+
 /// One server shard: its calendar's stations plus every piece of formerly
 /// global state that is now per-server anyway (stores, fetch table, RNG
 /// streams) or mergeable (registry, counters).
@@ -96,6 +106,11 @@ struct ServerShard {
   /// pure function of rank the K tables agree bit-for-bit on every rank
   /// they materialize. K-invariance is unaffected (DESIGN.md §4j).
   std::unique_ptr<workload::KeyTable> table;
+  /// Frozen copy of the initial ring backing `table` under churn: shards
+  /// must never read the live ring the coordinator mutates (and a shard
+  /// table's server column is never consulted — only the coordinator
+  /// routes — so the frozen epoch is harmless).
+  std::unique_ptr<hashing::ConsistentHashRing> frozen_ring;
   std::optional<MissPolicy> cache;   // real-cache stores, local index
   FetchTable fetch{0};
   JobTable<KeyCtx> jobs;
@@ -109,6 +124,16 @@ struct ServerShard {
   std::uint64_t db_fetches = 0;
   std::uint64_t delayed_hits = 0;
   std::uint64_t cancelled = 0;
+  // --- membership churn (sized only when a schedule is active) ------------
+  std::vector<SlotState> slot_state;     // local index
+  std::vector<std::uint32_t> inflight;   // jobs owned by the slot
+  std::vector<std::uint8_t> cold;        // provisioned mid-run, still filling
+  // Store evictions at provision time: flush() drops items but not the
+  // cumulative StoreStats, so "still cold" must compare against this
+  // baseline or a *revived* slot (which evicted in a past incarnation)
+  // would never count its refill storm.
+  std::vector<std::uint64_t> evict_base;
+  std::uint64_t refill_storm_bytes = 0;  // refills into still-cold stores
 };
 
 /// Everything both sharded simulators share: shard construction, the
@@ -127,6 +152,10 @@ class ShardedCluster {
     const hashing::KeyMapper* mapper = nullptr;
     const workload::ValueSizeModel* values = nullptr;
     std::size_t budget_bytes = 0;
+    /// Under churn: the live ring, copied per shard at construction (the
+    /// frozen, pre-churn membership) so shard-private tables never touch
+    /// the object the coordinator mutates mid-run.
+    const hashing::ConsistentHashRing* ring = nullptr;
   };
 
   /// `master` must already have the run's coordinator streams split off;
@@ -139,7 +168,9 @@ class ShardedCluster {
                  std::size_t shards)
       : group_(1 + shards, sys.network_latency / 2.0),
         net_half_(sys.network_latency / 2.0),
+        net_full_(sys.network_latency),
         k_(shards),
+        churn_(common.churn.active() ? &common.churn : nullptr),
         miss_ratio_(sys.miss_ratio),
         db_rate_(sys.db_service_rate),
         real_cache_(real_cache),
@@ -152,12 +183,22 @@ class ShardedCluster {
         co_sobs_(StageObserver::for_sim(main_rec)) {
     if (coalesce_) co_sobs_.attach_coalescing(main_rec);
     if (bounded_) co_sobs_.attach_cache_index(main_rec);
+    if (churn_ != nullptr) co_sobs_.attach_churn(main_rec);
     if (redundant()) {
       co_sobs_.attach_redundancy(main_rec, policy_->hedged());
       deadline_.emplace(policy_->hedge_quantile(),
                         policy_->hedge_deadline_floor());
     }
-    const std::size_t servers = sys.shares().size();
+    // Under churn every slot that could ever exist — the initial servers
+    // plus one fresh slot per possible join (reuse can only need fewer) —
+    // is provisioned up front: stations, stores, fetch rows and the
+    // (service, miss, db) RNG triples all exist from t=0 in pinned global
+    // order, so no stream is ever split mid-run and the draw sequences
+    // stay invariant under both the shard count and the event timeline.
+    initial_live_ = sys.shares().size();
+    const std::size_t servers =
+        initial_live_ + (churn_ != nullptr ? churn_->join_count() : 0);
+    servers_total_ = servers;
     shards_.reserve(k_);
     for (std::size_t s = 0; s < k_; ++s) {
       auto shard = std::make_unique<ServerShard>();
@@ -197,9 +238,22 @@ class ShardedCluster {
     if (real_cache_) {
       for (auto& shard : shards_) {
         workload::KeyTable* t = table_;
-        if (bounded_) {
+        if (bounded_ || churn_ != nullptr) {
+          // Private per-shard table: bounded tables because lazy build +
+          // CLOCK eviction are single-threaded, churn additionally because
+          // the coordinator's routing table remaps its server column
+          // mid-run — shards must read a frozen snapshot instead.
+          const hashing::KeyMapper* m = tables.mapper;
+          if (churn_ != nullptr) {
+            math::require(tables.ring != nullptr,
+                          "sharded engine: churn requires the live ring in "
+                          "TableSpec");
+            shard->frozen_ring =
+                std::make_unique<hashing::ConsistentHashRing>(*tables.ring);
+            m = shard->frozen_ring.get();
+          }
           shard->table = std::make_unique<workload::KeyTable>(
-              *tables.keyspace, *tables.mapper, tables.values,
+              *tables.keyspace, *m, tables.values,
               workload::KeyTable::Build::kLazy, tables.budget_bytes);
           t = shard->table.get();
         }
@@ -208,6 +262,26 @@ class ShardedCluster {
         shard->cache = MissPolicy::real_cache(
             *t, shard->owned.size(), common.cache_bytes_per_server,
             dist::Rng(0));
+      }
+    }
+    if (churn_ != nullptr) {
+      reg_state_.assign(servers, SlotReg::kFresh);
+      for (std::size_t j = 0; j < initial_live_; ++j) {
+        reg_state_[j] = SlotReg::kLive;
+      }
+      live_ = initial_live_;
+      fresh_next_ = initial_live_;
+      for (auto& shard : shards_) {
+        const std::size_t n = shard->owned.size();
+        shard->slot_state.assign(n, SlotState::kEmpty);
+        shard->inflight.assign(n, 0);
+        shard->cold.assign(n, 0);
+        shard->evict_base.assign(n, 0);
+        for (std::size_t l = 0; l < n; ++l) {
+          if (shard->owned[l] < initial_live_) {
+            shard->slot_state[l] = SlotState::kLive;
+          }
+        }
       }
     }
   }
@@ -279,6 +353,73 @@ class ShardedCluster {
         fire_hedge(gid, measured, hedge_rng);
       });
     }
+  }
+
+  /// Total server slots ever provisioned (== initial servers without
+  /// churn; + join_count() fresh slots with). Stations, RNG triples and
+  /// utilization gauges exist for every slot.
+  [[nodiscard]] std::size_t total_server_slots() const noexcept {
+    return servers_total_;
+  }
+
+  /// Arms the membership schedule: records the live ring + the
+  /// coordinator-side re-route function (both outlive the run) and
+  /// schedules one coordinator event per ChurnEvent. Call before any other
+  /// pre-run scheduling so a churn event at time t is applied before
+  /// same-time arrivals are routed (coordinator ties run in posting
+  /// order).
+  void start_churn(hashing::ConsistentHashRing* ring,
+                   std::function<std::size_t(std::uint64_t)> route) {
+    math::require(churn_ != nullptr,
+                  "sharded engine: start_churn without a schedule");
+    ring_ = ring;
+    route_ = std::move(route);
+    windows_.push_back(EpochWin{ring_->epoch(), co_->now()});
+    const std::vector<ChurnEvent>& evs = churn_->events();
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      co_->schedule_at(evs[i].time, [this, i] { on_churn_event(i); });
+    }
+  }
+
+  /// Aggregates churn observability after check_drained(): event counts,
+  /// failovers, refill-storm bytes, per-epoch miss-ratio windows and the
+  /// end-of-run cache occupancy (the measured capacity C the Ji/Quan/Tan
+  /// prediction is evaluated at). Also sets the churn gauges.
+  [[nodiscard]] ChurnStats churn_stats() {
+    ChurnStats cs;
+    cs.events = churn_events_total_;
+    cs.joins = joins_;
+    cs.leaves = leaves_;
+    cs.drains = drains_;
+    cs.failovers = failovers_;
+    cs.slots_retired = retired_;
+    cs.live_servers_end = live_;
+    for (const auto& shard : shards_) {
+      cs.refill_storm_bytes += shard->refill_storm_bytes;
+      if (!real_cache_) continue;
+      for (std::size_t l = 0; l < shard->owned.size(); ++l) {
+        const SlotState st = shard->slot_state[l];
+        if (st != SlotState::kLive && st != SlotState::kDraining) continue;
+        cs.resident_items_end += shard->cache->items(l);
+        cs.resident_bytes_end += shard->cache->store(l).stats().resident_bytes;
+      }
+    }
+    cs.epochs.reserve(windows_.size());
+    for (EpochWin& w : windows_) {
+      ChurnEpochWindow e;
+      e.epoch = w.epoch;
+      e.start_time = w.start;
+      e.keys = w.keys;
+      e.misses = w.misses;
+      e.miss_ratio = w.keys == 0 ? 0.0
+                                 : static_cast<double>(w.misses) /
+                                       static_cast<double>(w.keys);
+      e.p99_key_latency_us = w.p99.count() > 0 ? w.p99.value() : 0.0;
+      cs.epochs.push_back(e);
+    }
+    obs::set_gauge(co_sobs_.refill_storm,
+                   static_cast<double>(cs.refill_storm_bytes));
+    return cs;
   }
 
   /// Runs the group on shard_count() + 1 workers drawn from an
@@ -390,6 +531,159 @@ class ShardedCluster {
     std::uint32_t server = 0;
   };
 
+  /// Coordinator-side registry state of one server slot. kFresh slots have
+  /// never been live (pre-provisioned join capacity); kLeaving covers the
+  /// window between the leave/drain event and the shard's retired message;
+  /// kFree slots are fully decommissioned and reusable by the next join.
+  enum class SlotReg : std::uint8_t { kLive, kLeaving, kFree, kFresh };
+
+  /// One membership epoch's in-flight accumulation (coordinator-side;
+  /// finalized into ChurnEpochWindow by churn_stats()).
+  struct EpochWin {
+    std::uint64_t epoch = 0;
+    double start = 0.0;
+    std::uint64_t keys = 0;
+    std::uint64_t misses = 0;
+    stats::P2Quantile p99{0.99};
+  };
+
+  // --- membership churn -----------------------------------------------
+
+  void on_churn_event(std::size_t idx) {
+    const ChurnEvent& ev = churn_->events()[idx];
+    ++churn_events_total_;
+    obs::bump(co_sobs_.churn_events);
+    if (ev.kind == ChurnKind::kJoin) {
+      // Reuse the lowest retired slot; else activate the next fresh one.
+      // Both choices depend only on virtual-time message history, so the
+      // slot assignment is invariant under the shard count.
+      std::size_t j = reg_state_.size();
+      for (std::size_t i = 0; i < reg_state_.size(); ++i) {
+        if (reg_state_[i] == SlotReg::kFree) {
+          j = i;
+          break;
+        }
+      }
+      if (j == reg_state_.size()) {
+        j = fresh_next_++;
+        math::require(j < reg_state_.size(),
+                      "sharded engine: join exceeds provisioned slots");
+        const std::size_t added = ring_->add_server();
+        math::require(added == j,
+                      "sharded engine: ring/registry slot mismatch on join");
+      } else {
+        ring_->revive_server(j);
+      }
+      reg_state_[j] = SlotReg::kLive;
+      ++live_;
+      ++joins_;
+      const std::size_t s_idx = j % k_;
+      const auto l = static_cast<std::uint32_t>(j / k_);
+      group_.post(0, shards_[s_idx]->lp, /*origin=*/0, co_->now() + net_half_,
+                  sim::InlineCallback(
+                      [this, s_idx, l] { on_provision(s_idx, l); }));
+    } else {
+      const std::size_t j = ev.server;
+      math::require(j < reg_state_.size() && reg_state_[j] == SlotReg::kLive,
+                    "MembershipSchedule: leave/drain target is not a live "
+                    "server");
+      ring_->remove_server(j);  // validates the last-live-server case
+      reg_state_[j] = SlotReg::kLeaving;
+      --live_;
+      const bool abrupt = ev.kind == ChurnKind::kLeave;
+      if (abrupt) {
+        ++leaves_;
+      } else {
+        ++drains_;
+      }
+      const std::size_t s_idx = j % k_;
+      const auto l = static_cast<std::uint32_t>(j / k_);
+      group_.post(0, shards_[s_idx]->lp, /*origin=*/0, co_->now() + net_half_,
+                  sim::InlineCallback([this, s_idx, l, abrupt] {
+                    on_leave(s_idx, l, abrupt);
+                  }));
+    }
+    // A new epoch's measurement window opens at the event itself (routing
+    // changed now, even though the shard applies the slot transition one
+    // lookahead later).
+    windows_.push_back(EpochWin{ring_->epoch(), co_->now()});
+  }
+
+  void on_provision(std::size_t s_idx, std::uint32_t l) {
+    ServerShard& shard = *shards_[s_idx];
+    shard.slot_state[l] = SlotState::kLive;
+    shard.cold[l] = 1;  // refills count as storm until the first eviction
+    if (shard.cache) {
+      shard.cache->flush(l);  // cold join: empty store
+      shard.evict_base[l] = shard.cache->store(l).stats().evictions;
+    }
+  }
+
+  void on_leave(std::size_t s_idx, std::uint32_t l, bool abrupt) {
+    ServerShard& shard = *shards_[s_idx];
+    if (!abrupt) {
+      // Planned drain: no new routes (the ring already dropped the slot);
+      // queued and in-flight work finishes normally.
+      shard.slot_state[l] = SlotState::kDraining;
+      maybe_retire(shard, l);
+      return;
+    }
+    // Abrupt leave: everything waiting in the FIFO is lost with the server
+    // and fails over to the ring successor, bounced in FIFO order. The
+    // in-service job (if any) is bounced when its departure fires, and
+    // jobs already in the DB stage complete normally (skipping the refill).
+    shard.slot_state[l] = SlotState::kDead;
+    std::vector<std::uint64_t> lost;
+    shard.stations[l]->drain_waiting(lost);
+    for (const std::uint64_t slot : lost) {
+      const KeyCtx c = shard.jobs.take(
+          slot, "sharded engine: drained job missing from the job table");
+      --shard.inflight[l];
+      post_failover(shard, c);
+    }
+    maybe_retire(shard, l);
+  }
+
+  /// Shard → coordinator: this job's server vanished; re-route it.
+  void post_failover(ServerShard& shard, const KeyCtx& c) {
+    group_.post(shard.lp, 0, /*origin=*/1 + c.global,
+                shard.sim->now() + net_half_,
+                sim::InlineCallback(
+                    [this, id = c.id, rank = c.rank, measured = c.measured] {
+                      on_failover(id, rank, measured);
+                    }));
+  }
+
+  void on_failover(std::uint64_t id, std::uint64_t rank, bool measured) {
+    ++failovers_;
+    obs::bump(co_sobs_.churn_failovers);
+    // Re-route under the *current* ring: the epoch-validated routing table
+    // resolves the rank to the dead slot's ring successor.
+    post_arrival(route_(rank), id, rank, measured, /*is_replica=*/false);
+  }
+
+  /// A dead/draining slot with no in-flight work left decommissions: flush
+  /// the store, mark the slot empty, tell the coordinator it is reusable.
+  void maybe_retire(ServerShard& shard, std::uint32_t l) {
+    if (shard.inflight[l] != 0) return;
+    const SlotState st = shard.slot_state[l];
+    if (st != SlotState::kDead && st != SlotState::kDraining) return;
+    shard.slot_state[l] = SlotState::kEmpty;
+    shard.cold[l] = 0;
+    if (shard.cache) shard.cache->flush(l);
+    const auto global = static_cast<std::uint32_t>(
+        (shard.lp - 1) + static_cast<std::size_t>(l) * k_);
+    group_.post(shard.lp, 0, /*origin=*/1 + global,
+                shard.sim->now() + net_half_,
+                sim::InlineCallback([this, global] { on_retired(global); }));
+  }
+
+  void on_retired(std::uint32_t global) {
+    reg_state_[global] = SlotReg::kFree;
+    ++retired_;
+    obs::bump(co_sobs_.churn_retired);
+  }
+
   [[nodiscard]] std::uint64_t sum(std::uint64_t ServerShard::*m) const {
     std::uint64_t total = 0;
     for (const auto& shard : shards_) total += (*shard).*m;
@@ -412,6 +706,18 @@ class ShardedCluster {
     ctx.global = static_cast<std::uint32_t>(s_idx + l * k_);
     ctx.measured = measured;
     ctx.is_replica = is_replica;
+    if (churn_ != nullptr) {
+      const SlotState st = shard.slot_state[l];
+      if (st != SlotState::kLive && st != SlotState::kDraining) {
+        // Defensive bounce. Message ordering makes this unreachable today
+        // (a routed arrival always lands before the leave that kills its
+        // target — both cross exactly one lookahead), but a future event
+        // source with different timing must fail over, not crash.
+        post_failover(shard, ctx);
+        return;
+      }
+      ++shard.inflight[l];
+    }
     const std::uint64_t slot = shard.jobs.insert(ctx);
     if (is_replica) shard.live_replicas.emplace(id, slot);
     shard.stations[l]->arrive(slot);
@@ -420,6 +726,18 @@ class ShardedCluster {
   void on_server_departure(std::size_t s_idx, std::uint32_t l,
                            const sim::Departure& d) {
     ServerShard& shard = *shards_[s_idx];
+    if (churn_ != nullptr && shard.slot_state[l] == SlotState::kDead) {
+      // Abrupt leave caught this job in service: its reply is lost with
+      // the server, so it fails over (uncounted here — it is counted where
+      // it eventually completes).
+      const KeyCtx c = shard.jobs.take(
+          d.job_id, "sharded engine: departure at a dead slot for unknown "
+                    "key");
+      --shard.inflight[l];
+      post_failover(shard, c);
+      maybe_retire(shard, l);
+      return;
+    }
     const double now = shard.sim->now();
     KeyCtx& ctx = shard.jobs.at(
         d.job_id, "sharded engine: server departure for unknown key");
@@ -473,7 +791,18 @@ class ShardedCluster {
       ctx.db_sojourn = ds;
       l = ctx.local;
       rank = ctx.rank;
-      if (real_cache_) shard.cache->refill(l, rank, now);
+      if (real_cache_ &&
+          (churn_ == nullptr || shard.slot_state[l] == SlotState::kLive ||
+           shard.slot_state[l] == SlotState::kDraining)) {
+        // A dead slot's store is never refilled: the fetch belongs to the
+        // departed incarnation (retirement waits for it via `inflight`).
+        const std::uint32_t vb = shard.cache->refill(l, rank, now);
+        if (churn_ != nullptr && shard.cold[l] != 0 &&
+            shard.cache->store(l).stats().evictions ==
+                shard.evict_base[l]) {
+          shard.refill_storm_bytes += vb;
+        }
+      }
       if (!ctx.is_replica && (count_unmeasured_ || ctx.measured)) {
         obs::observe(shard.sobs.db_sojourn, obs::to_us(ds));
       }
@@ -498,6 +827,10 @@ class ShardedCluster {
     const KeyCtx c = shard.jobs.take(
         slot, "sharded engine: completion for unknown key");
     if (c.is_replica) shard.live_replicas.erase(c.id);
+    if (churn_ != nullptr) {
+      --shard.inflight[c.local];
+      maybe_retire(shard, c.local);
+    }
     group_.post(shard.lp, 0, /*origin=*/1 + c.global,
                 shard.sim->now() + net_half_,
                 sim::InlineCallback([this, c] { on_completion(c); }));
@@ -507,6 +840,15 @@ class ShardedCluster {
     const double now = co_->now();
     last_completion_ = now;
     if (!c.is_replica) {
+      if (churn_ != nullptr && (count_unmeasured_ || c.measured)) {
+        // Per-epoch miss-ratio window: a key is attributed to the window
+        // open at its *completion* (the miss was decided one lookahead
+        // earlier at the server — at most net/2 of skew per event).
+        EpochWin& w = windows_.back();
+        ++w.keys;
+        if (c.missed) ++w.misses;
+        w.p99.add(obs::to_us(net_full_ + c.server_sojourn + c.db_sojourn));
+      }
       ForkJoinJoiner::Key& k = joiner_->key(
           c.id, "sharded engine: completion for unknown joiner key");
       k.server_sojourn = c.server_sojourn;
@@ -630,7 +972,11 @@ class ShardedCluster {
 
   sim::ShardGroup group_;
   double net_half_;
+  double net_full_;
   std::size_t k_;
+  /// Non-null iff a MembershipSchedule is active (the one churn branch the
+  /// hot paths pay; everything churn-specific hides behind it).
+  const MembershipSchedule* churn_;
   double miss_ratio_;
   double db_rate_;
   bool real_cache_;
@@ -660,6 +1006,22 @@ class ShardedCluster {
   std::uint64_t hedges_fired_ = 0;
   double wasted_ = 0.0;
   double last_completion_ = 0.0;
+
+  // --- membership churn (coordinator-side; untouched when churn_ == null) --
+  std::size_t initial_live_ = 0;   ///< slots live at t=0
+  std::size_t servers_total_ = 0;  ///< initial + pre-provisioned join slots
+  hashing::ConsistentHashRing* ring_ = nullptr;  ///< the live, mutated ring
+  std::function<std::size_t(std::uint64_t)> route_;  ///< rank → live server
+  std::vector<SlotReg> reg_state_;
+  std::size_t live_ = 0;        ///< currently-live slot count
+  std::size_t fresh_next_ = 0;  ///< next never-used slot index
+  std::vector<EpochWin> windows_;
+  std::uint64_t churn_events_total_ = 0;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t drains_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t retired_ = 0;
 };
 
 }  // namespace
@@ -671,6 +1033,7 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
   const std::size_t K = std::min(cfg.common.shard_jobs, M);
   const double horizon = cfg.common.warmup_time + cfg.common.measure_time;
   const bool real_cache = cfg.miss_mode == MissMode::kRealCache;
+  const bool churn = cfg.common.churn.active();
   const RedundancyPolicy& policy = cfg.redundancy;
   const bool redundant = policy.replicated();
   const bool coalesce = cfg.common.coalescing == MissCoalescing::kPerServer;
@@ -696,13 +1059,16 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
   if (real_cache) {
     keyspace = std::make_unique<workload::KeySpace>(cfg.keyspace_size,
                                                     cfg.zipf_exponent);
-    if (budget > 0) {
-      // Bounded mode: this table only routes ranks to servers on the
-      // coordinator; each shard builds its own bounded table (lazy
-      // materialization and eviction are single-threaded per owner).
+    if (budget > 0 || churn) {
+      // Bounded mode (or churn): this table only routes ranks to servers on
+      // the coordinator; each shard builds its own bounded table (lazy
+      // materialization and eviction are single-threaded per owner, and
+      // under churn the coordinator's epoch-tracked remaps must never be
+      // visible to shards).
       key_table = std::make_unique<workload::KeyTable>(
           *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kLazy,
           budget);
+      if (churn) key_table->track_epochs();
     } else {
       // Eager build: shards read the table concurrently (store probes and
       // refills); the lazy chunk materialization is single-threaded-only.
@@ -710,13 +1076,18 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
           *keyspace, *mapper, &value_sizes, workload::KeyTable::Build::kEager);
     }
   }
+  // Churn requires the kRing mapper (EndToEndSim validates) — the live,
+  // mutable ring the coordinator applies membership events to.
+  auto* const ring =
+      churn ? static_cast<hashing::ConsistentHashRing*>(mapper.get()) : nullptr;
 
   ShardedCluster::TableSpec tables;
-  tables.shared = budget == 0 ? key_table.get() : nullptr;
+  tables.shared = budget == 0 && !churn ? key_table.get() : nullptr;
   tables.keyspace = keyspace.get();
   tables.mapper = mapper.get();
   tables.values = &value_sizes;
   tables.budget_bytes = budget;
+  tables.ring = ring;
   ShardedCluster cluster(sys, cfg.common, master, real_cache, coalesce,
                          /*count_unmeasured=*/false, cfg.recorder, tables,
                          &policy, K);
@@ -726,6 +1097,14 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
                         /*per_key_counter=*/nullptr);
   cluster.set_joiner(&joiner);
   cluster.set_server_pick(&server_pick);
+  if (churn) {
+    // Armed before the source so a churn event at time t mutates the ring
+    // before any same-time arrival is routed (coordinator ties run in
+    // scheduling order).
+    cluster.start_churn(ring, [kt = key_table.get()](std::uint64_t rank) {
+      return static_cast<std::size_t>(kt->server(rank));
+    });
+  }
 
   sim::Simulator& co = cluster.coordinator();
   sim::PoissonSource source(co, cfg.effective_request_rate(),
@@ -776,11 +1155,21 @@ EndToEndResult run_end_to_end_sharded(const EndToEndConfig& cfg) {
   cluster.merge_observability(
       cfg.recorder, key_table != nullptr ? key_table->chunks_resident() : 0,
       key_table != nullptr ? key_table->bytes_resident() : 0);
-  res.server_utilization.reserve(M);
-  for (std::size_t j = 0; j < M; ++j) {
+  // total_server_slots() == M without churn; with churn it adds the
+  // pre-provisioned join slots (idle-before-join slots report low
+  // utilization over the full horizon — by design, the horizon is the
+  // denominator every slot shares).
+  const std::size_t slots = cluster.total_server_slots();
+  res.server_utilization.reserve(slots);
+  for (std::size_t j = 0; j < slots; ++j) {
     res.server_utilization.push_back(cluster.utilization_of(j, horizon));
     StageObserver::record_server_utilization(cfg.recorder, j,
                                              res.server_utilization.back());
+  }
+  if (churn) {
+    res.churn = cluster.churn_stats();
+    res.churn.ranks_remapped = key_table->ranks_remapped();
+    StageObserver::record_churn_epochs(cfg.recorder, res.churn);
   }
   res.requests_completed = joiner.measured_requests();
   res.keys_completed = joiner.keys_completed();
@@ -805,6 +1194,7 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
   const std::size_t K = std::min(cfg.common.shard_jobs, M);
   const double net_half = sys.network_latency / 2.0;
   const bool real_cache = cfg.miss_mode == MissMode::kRealCache;
+  const bool churn = cfg.common.churn.active();
   const bool coalesce = cfg.common.coalescing == MissCoalescing::kPerServer;
 
   struct PreRequest {
@@ -832,15 +1222,20 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
                                              cfg.common.max_value_bytes);
   // Routing happens single-threaded at injection time, so the table may
   // stay lazy under Bernoulli; unbounded real-cache mode reads it from
-  // every shard and must be eager. With a KeyTable budget this table only
-  // routes (each shard owns a private bounded table), so it stays lazy.
+  // every shard and must be eager. With a KeyTable budget — or churn, whose
+  // epoch-tracked remaps must stay coordinator-private — this table only
+  // routes (real-cache shards own private tables), so it stays lazy.
   const std::size_t budget = cfg.common.keytable_budget_bytes;
-  const bool shared_table = real_cache && budget == 0;
+  const bool shared_table = real_cache && budget == 0 && !churn;
   workload::KeyTable key_table(keys, *mapper,
                                real_cache ? &value_sizes : nullptr,
                                shared_table ? workload::KeyTable::Build::kEager
                                             : workload::KeyTable::Build::kLazy,
                                budget);
+  if (churn) key_table.track_epochs();
+  // Churn requires the kRing mapper (TraceReplaySim validates).
+  auto* const ring =
+      churn ? static_cast<hashing::ConsistentHashRing*>(mapper.get()) : nullptr;
 
   ShardedCluster::TableSpec tables;
   tables.shared = shared_table || !real_cache ? &key_table : nullptr;
@@ -848,6 +1243,7 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
   tables.mapper = mapper.get();
   tables.values = &value_sizes;
   tables.budget_bytes = budget;
+  tables.ring = ring;
   ShardedCluster cluster(sys, cfg.common, master, real_cache, coalesce,
                          /*count_unmeasured=*/true, cfg.recorder, tables,
                          /*policy=*/nullptr, K);
@@ -860,12 +1256,37 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
     joiner.open_request(p.start, p.n_keys, p.start >= cfg.common.warmup_time);
   }
 
-  injector.start([&](const workload::TraceRecord& rec) {
-    const std::size_t server = key_table.server(rec.key_rank);
-    const std::uint64_t job = joiner.open_key(
-        request_index.at(rec.request_id), rec.key_rank, server);
-    cluster.inject_arrival(server, rec.time + net_half, job, rec.key_rank);
-  });
+  if (churn) {
+    // Routing must happen at the record's *virtual* time, not at injection
+    // time: a record after a membership event must see the mutated ring.
+    // Each record becomes a coordinator event (armed after start_churn, so
+    // a same-time churn event remaps first) that routes and posts the
+    // arrival; post_arrival adds net/2, landing at the same instant
+    // inject_arrival would have.
+    cluster.start_churn(ring, [&key_table](std::uint64_t rank) {
+      return static_cast<std::size_t>(key_table.server(rank));
+    });
+    sim::Simulator& co = cluster.coordinator();
+    injector.start([&](const workload::TraceRecord& rec) {
+      // Server resolved later — the joiner's slot is overwritten with the
+      // completing server at join time, as for every sharded run.
+      const std::uint64_t job = joiner.open_key(
+          request_index.at(rec.request_id), rec.key_rank, 0);
+      co.schedule_at(rec.time,
+                     [&cluster, &key_table, job, rank = rec.key_rank] {
+                       cluster.post_arrival(key_table.server(rank), job, rank,
+                                            /*measured=*/true,
+                                            /*is_replica=*/false);
+                     });
+    });
+  } else {
+    injector.start([&](const workload::TraceRecord& rec) {
+      const std::size_t server = key_table.server(rec.key_rank);
+      const std::uint64_t job = joiner.open_key(
+          request_index.at(rec.request_id), rec.key_rank, server);
+      cluster.inject_arrival(server, rec.time + net_half, job, rec.key_rank);
+    });
+  }
 
   cluster.run();
   cluster.check_drained();
@@ -888,11 +1309,17 @@ TraceReplayResult run_trace_replay_sharded(const TraceReplayConfig& cfg,
   res.delayed_hits = cluster.total_delayed_hits();
   cluster.merge_observability(cfg.recorder, key_table.chunks_resident(),
                               key_table.bytes_resident());
-  res.server_utilization.reserve(M);
-  for (std::size_t j = 0; j < M; ++j) {
+  const std::size_t slots = cluster.total_server_slots();
+  res.server_utilization.reserve(slots);
+  for (std::size_t j = 0; j < slots; ++j) {
     res.server_utilization.push_back(cluster.utilization_of(j, res.horizon));
     StageObserver::record_server_utilization(cfg.recorder, j,
                                              res.server_utilization.back());
+  }
+  if (churn) {
+    res.churn = cluster.churn_stats();
+    res.churn.ranks_remapped = key_table.ranks_remapped();
+    StageObserver::record_churn_epochs(cfg.recorder, res.churn);
   }
   return res;
 }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "cache/flat_index.h"
+#include "cluster/membership.h"
 #include "obs/recorder.h"
 #include "sim/station.h"
 
@@ -52,6 +53,12 @@ struct StageObserver {
   obs::Gauge* keytable_bytes = nullptr;     ///< keytable.bytes
   obs::Gauge* index_probe_len = nullptr;    ///< cache.index.probe_len
   obs::Gauge* index_probe_max = nullptr;    ///< cache.index.probe_max
+  // Membership-churn instruments (attach_churn; null unless a
+  // MembershipSchedule resolved them).
+  obs::Counter* churn_events = nullptr;      ///< churn.events
+  obs::Counter* churn_failovers = nullptr;   ///< churn.failovers
+  obs::Counter* churn_retired = nullptr;     ///< churn.slots_retired
+  obs::Gauge* refill_storm = nullptr;        ///< cache.refill_storm_bytes
 
   /// The event-driven simulators' instrument set (EndToEndSim,
   /// TraceReplaySim): stage decomposition plus the miss-path database
@@ -118,6 +125,22 @@ struct StageObserver {
     index_probe_max = rec.gauge("cache.index.probe_max");
   }
 
+  /// Resolves the membership-churn instrument set: applied membership
+  /// events ("churn.events"), jobs bounced off a departed server and
+  /// re-routed to the ring successor ("churn.failovers"), fully
+  /// decommissioned ring slots ("churn.slots_retired"), and the bytes
+  /// refilled into still-cold joined stores ("cache.refill_storm_bytes").
+  /// Call ONLY when a MembershipSchedule is active — same contract as
+  /// attach_coalescing: resolving a name registers it, and a churn-free
+  /// run's metrics document must stay byte-identical to the
+  /// static-membership output.
+  void attach_churn(const obs::Recorder& rec) {
+    churn_events = rec.counter("churn.events");
+    churn_failovers = rec.counter("churn.failovers");
+    churn_retired = rec.counter("churn.slots_retired");
+    refill_storm = rec.gauge("cache.refill_storm_bytes");
+  }
+
   /// Sets the attach_cache_index gauges from end-of-run table/store state
   /// (no-ops entirely under the null recorder or when not attached).
   void record_cache_index(std::uint64_t chunks_resident,
@@ -153,6 +176,23 @@ struct StageObserver {
     const std::string prefix = "server." + std::to_string(j);
     station.observe_split(rec.latency(prefix + ".wait_us"),
                           rec.latency(prefix + ".service_us"), from);
+  }
+
+  /// Registers the per-epoch miss-ratio windows as gauges
+  /// ("churn.epoch.<i>.miss_ratio" / ".keys" / ".p99_us", indexed by window
+  /// position so consecutive epochs sort adjacently in the name-ordered
+  /// output). Call ONLY when a MembershipSchedule is active (see
+  /// attach_churn).
+  static void record_churn_epochs(const obs::Recorder& rec,
+                                  const ChurnStats& churn) {
+    for (std::size_t i = 0; i < churn.epochs.size(); ++i) {
+      const ChurnEpochWindow& w = churn.epochs[i];
+      const std::string prefix = "churn.epoch." + std::to_string(i);
+      obs::set_gauge(rec.gauge(prefix + ".miss_ratio"), w.miss_ratio);
+      obs::set_gauge(rec.gauge(prefix + ".keys"),
+                     static_cast<double>(w.keys));
+      obs::set_gauge(rec.gauge(prefix + ".p99_us"), w.p99_key_latency_us);
+    }
   }
 
   /// Sets server `j`'s "server.<j>.utilization" gauge.

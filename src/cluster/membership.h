@@ -1,0 +1,195 @@
+// membership.h — deterministic mid-run cluster membership timeline.
+//
+// The paper's cluster model (and PRs 1-9 of this repo) fix the server set at
+// trial start. Production Memcached clusters do not: nodes join cold, fail
+// abruptly, and are drained for maintenance, each event rebalancing the
+// consistent-hashing ring and shifting the load split {p_j} mid-run.
+// `MembershipSchedule` makes that a first-class, config-driven scenario: an
+// ordered list of ChurnEvents applied at fixed virtual times, identical on
+// every run — churn is part of the experiment definition, never a random
+// outcome, so trials stay reproducible and shard-count invariant.
+//
+// Semantics (implemented by the sharded cluster engine, DESIGN.md §4k):
+//   * kJoin  — a server joins with a cold (empty) cache. The registry
+//     revives the lowest retired slot if one exists, else allocates a fresh
+//     ring index. New keys route to it immediately; its misses refill the
+//     empty store (the "refill storm" the asymptotic theory ignores).
+//   * kLeave — abrupt departure. The server's vnodes leave the ring at
+//     once; its queued and in-service jobs are lost and fail over to the
+//     ring successor (re-routed under the post-event ring). Jobs already in
+//     the DB stage complete normally but skip the refill.
+//   * kDrain — planned decommission. Routing stops (vnodes leave the ring)
+//     but queued and in-flight work finishes normally; the slot is retired
+//     once its last job departs.
+//
+// A schedule is validated at construction (field-naming messages, matching
+// the RedundancyPolicy convention) and is inert when empty: `--churn` unset
+// leaves every simulator byte-identical to the static-membership goldens.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "math/numerics.h"
+
+namespace mclat::cluster {
+
+enum class ChurnKind : std::uint8_t { kJoin, kLeave, kDrain };
+
+/// One membership event. `server` names the ring slot for kLeave/kDrain and
+/// is ignored for kJoin (the registry picks the slot deterministically).
+struct ChurnEvent {
+  double time = 0.0;
+  ChurnKind kind = ChurnKind::kJoin;
+  std::size_t server = 0;
+};
+
+class MembershipSchedule {
+ public:
+  MembershipSchedule() = default;
+
+  explicit MembershipSchedule(std::vector<ChurnEvent> events)
+      : events_(std::move(events)) {
+    double prev = 0.0;
+    for (const ChurnEvent& e : events_) {
+      math::require(std::isfinite(e.time) && e.time > 0.0,
+                    "MembershipSchedule: event time must be finite and > 0");
+      math::require(e.time >= prev,
+                    "MembershipSchedule: event times must be non-decreasing");
+      prev = e.time;
+    }
+  }
+
+  /// True iff the schedule has at least one event — the engine-selection
+  /// and golden-identity switch: inactive schedules change nothing.
+  [[nodiscard]] bool active() const noexcept { return !events_.empty(); }
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Number of kJoin events — the upper bound on fresh ring slots the
+  /// engine pre-provisions (slot reuse can only need fewer).
+  [[nodiscard]] std::size_t join_count() const noexcept {
+    std::size_t n = 0;
+    for (const ChurnEvent& e : events_) {
+      if (e.kind == ChurnKind::kJoin) ++n;
+    }
+    return n;
+  }
+
+  /// Time of the last event (0.0 when empty) — horizon validation.
+  [[nodiscard]] double last_time() const noexcept {
+    return events_.empty() ? 0.0 : events_.back().time;
+  }
+
+  /// Parses the CLI spec: comma-separated `join@T`, `leave:J@T`, `drain:J@T`
+  /// with T in simulated seconds and J a ring slot index, e.g.
+  /// `--churn "join@2.5,leave:0@4,drain:3@6"`. Times must be > 0 and
+  /// non-decreasing.
+  static MembershipSchedule parse(std::string_view spec) {
+    std::vector<ChurnEvent> events;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      if (comma == std::string_view::npos) comma = spec.size();
+      std::string_view tok = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      while (!tok.empty() && tok.front() == ' ') tok.remove_prefix(1);
+      while (!tok.empty() && tok.back() == ' ') tok.remove_suffix(1);
+      if (tok.empty()) continue;
+      events.push_back(parse_event(tok));
+    }
+    math::require(!events.empty(),
+                  "MembershipSchedule: spec has no events (expected "
+                  "\"join@T,leave:J@T,drain:J@T\")");
+    return MembershipSchedule(std::move(events));
+  }
+
+ private:
+  static ChurnEvent parse_event(std::string_view tok) {
+    const std::size_t at = tok.find('@');
+    math::require(at != std::string_view::npos,
+                  "MembershipSchedule: event is missing '@time': " +
+                      std::string(tok));
+    std::string_view head = tok.substr(0, at);
+    const std::string time_str(tok.substr(at + 1));
+    ChurnEvent ev;
+    std::size_t parsed = 0;
+    try {
+      ev.time = std::stod(time_str, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    math::require(parsed == time_str.size() && !time_str.empty(),
+                  "MembershipSchedule: bad event time: " + std::string(tok));
+    const std::size_t colon = head.find(':');
+    const std::string_view kind =
+        colon == std::string_view::npos ? head : head.substr(0, colon);
+    if (kind == "join") {
+      math::require(colon == std::string_view::npos,
+                    "MembershipSchedule: join takes no server index: " +
+                        std::string(tok));
+      ev.kind = ChurnKind::kJoin;
+      return ev;
+    }
+    math::require(kind == "leave" || kind == "drain",
+                  "MembershipSchedule: unknown event kind (expected join, "
+                  "leave or drain): " +
+                      std::string(tok));
+    ev.kind = kind == "leave" ? ChurnKind::kLeave : ChurnKind::kDrain;
+    math::require(colon != std::string_view::npos && colon + 1 < head.size(),
+                  "MembershipSchedule: leave/drain needs a server index "
+                  "(\"leave:J@T\"): " +
+                      std::string(tok));
+    const std::string server_str(head.substr(colon + 1));
+    try {
+      ev.server = std::stoul(server_str, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    math::require(parsed == server_str.size(),
+                  "MembershipSchedule: bad server index: " + std::string(tok));
+    return ev;
+  }
+
+  std::vector<ChurnEvent> events_;
+};
+
+/// One membership epoch's measurement window (between consecutive churn
+/// events; the last window runs to the horizon). `miss_ratio` of the final
+/// window is what converges to the Ji/Quan/Tan asymptotic prediction;
+/// `p99_key_latency_us` of a post-join window exposes the refill-storm
+/// transient the asymptotics ignore.
+struct ChurnEpochWindow {
+  std::uint64_t epoch = 0;        ///< ring epoch() during the window
+  double start_time = 0.0;        ///< virtual time the window opened
+  std::uint64_t keys = 0;         ///< measured keys completed in-window
+  std::uint64_t misses = 0;
+  double miss_ratio = 0.0;
+  double p99_key_latency_us = 0.0;  ///< streaming P² estimate
+};
+
+/// Aggregated churn observability, attached to the simulator results when a
+/// schedule is active (and only then — result layout is otherwise
+/// untouched).
+struct ChurnStats {
+  std::uint64_t events = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t failovers = 0;          ///< jobs bounced off a dead server
+  std::uint64_t slots_retired = 0;      ///< slots fully decommissioned
+  std::uint64_t refill_storm_bytes = 0; ///< bytes refilled into cold stores
+  std::uint64_t ranks_remapped = 0;     ///< KeyTable ranks that moved server
+  std::uint64_t live_servers_end = 0;
+  std::uint64_t resident_items_end = 0; ///< live cache items at horizon
+  std::uint64_t resident_bytes_end = 0;
+  std::vector<ChurnEpochWindow> epochs;
+};
+
+}  // namespace mclat::cluster

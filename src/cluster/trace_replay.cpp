@@ -35,13 +35,30 @@ TraceReplaySim::TraceReplaySim(TraceReplayConfig cfg) : cfg_(std::move(cfg)) {
                 "TraceReplaySim: shard_jobs > 1 requires "
                 "DbMode::kInfiniteServer (a shared database queue has no "
                 "network lookahead)");
+  if (cfg_.common.churn.active()) {
+    // Churn replays through the sharded engine (any shard_jobs, including
+    // 1): the coordinator routes every record under the live ring.
+    math::require(cfg_.mapper == MapperKind::kRing,
+                  "TraceReplaySim: churn requires MapperKind::kRing "
+                  "(membership events mutate the consistent-hashing ring)");
+    math::require(cfg_.db_mode == DbMode::kInfiniteServer,
+                  "TraceReplaySim: churn requires DbMode::kInfiniteServer "
+                  "(the sharded-engine constraint)");
+    math::require(cfg_.system.load_shares.empty(),
+                  "TraceReplaySim: churn requires uniform load_shares (the "
+                  "ring rebalances shares itself)");
+    math::require(cfg_.system.service_rates.empty(),
+                  "TraceReplaySim: churn requires uniform service_rates "
+                  "(joined servers take the common rate)");
+  }
 }
 
 TraceReplayResult TraceReplaySim::run(const workload::Trace& trace,
                                       const workload::KeySpace& keys) {
-  // shard_jobs == 1 runs the exact serial loop below (golden-identical);
-  // K > 1 dispatches to the windowed-parallel engine.
-  if (cfg_.common.shard_jobs > 1) {
+  // shard_jobs == 1 without churn runs the exact serial loop below
+  // (golden-identical); K > 1 — and any churn run — dispatches to the
+  // windowed-parallel engine.
+  if (cfg_.common.shard_jobs > 1 || cfg_.common.churn.active()) {
     return engine::run_trace_replay_sharded(cfg_, trace, keys);
   }
   // Fail fast, before any simulation state exists: non-empty trace, every

@@ -78,6 +78,9 @@ struct TraceReplayResult {
   /// Misses parked behind an in-flight fetch (delayed hits). Conservation:
   /// misses == db_fetches + delayed_hits.
   std::uint64_t delayed_hits = 0;
+  /// Membership-churn outcome (default-empty unless common.churn is
+  /// active). See cluster/membership.h.
+  ChurnStats churn;
 };
 
 class TraceReplaySim {

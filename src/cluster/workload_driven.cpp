@@ -61,6 +61,10 @@ WorkloadDrivenSim::WorkloadDrivenSim(WorkloadDrivenConfig cfg)
                 "WorkloadDrivenSim: shard_jobs > 1 is not supported (the "
                 "testbed has no intra-trial event graph to shard); use the "
                 "end-to-end or trace-replay simulators");
+  math::require(!cfg_.common.churn.active(),
+                "WorkloadDrivenSim: membership churn requires the full "
+                "cluster path (stations here are isolated — there is no ring "
+                "to mutate); use the end-to-end or trace-replay simulators");
 }
 
 MeasurementPools WorkloadDrivenSim::run() {

@@ -45,29 +45,53 @@ void ConsistentHashRing::append_vnodes(std::size_t server) {
   }
 }
 
-void ConsistentHashRing::add_server() {
-  const std::size_t s = next_server_++;
-  alive_.push_back(true);
+void ConsistentHashRing::merge_tail(std::ptrdiff_t old_end) {
   // Churn-time insert: sort only the V new points, then one linear merge —
   // O(SV) per add instead of re-sorting the whole ring.
-  const auto old_end = static_cast<std::ptrdiff_t>(ring_.size());
-  append_vnodes(s);
   std::sort(ring_.begin() + old_end, ring_.end(), kByHash);
   std::inplace_merge(ring_.begin(), ring_.begin() + old_end, ring_.end(),
                      kByHash);
 }
 
+std::size_t ConsistentHashRing::add_server() {
+  const std::size_t s = next_server_++;
+  alive_.push_back(true);
+  const auto old_end = static_cast<std::ptrdiff_t>(ring_.size());
+  append_vnodes(s);
+  merge_tail(old_end);
+  ++epoch_;
+  return s;
+}
+
 void ConsistentHashRing::remove_server(std::size_t server) {
-  math::require(server < alive_.size() && alive_[server],
-                "ConsistentHashRing: no such live server");
+  // Validate every precondition before touching anything — a throw must
+  // leave the ring exactly as it was.
+  math::require(server < alive_.size(),
+                "ConsistentHashRing::remove_server: server index out of range");
+  math::require(alive_[server],
+                "ConsistentHashRing::remove_server: server is not live");
+  math::require(server_count() > 1,
+                "ConsistentHashRing::remove_server: cannot remove the last "
+                "live server");
   alive_[server] = false;
   ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
                              [server](const Point& p) {
                                return p.server == server;
                              }),
               ring_.end());
-  math::require(!ring_.empty(),
-                "ConsistentHashRing: cannot remove the last server");
+  ++epoch_;
+}
+
+void ConsistentHashRing::revive_server(std::size_t server) {
+  math::require(server < alive_.size(),
+                "ConsistentHashRing::revive_server: server index out of range");
+  math::require(!alive_[server],
+                "ConsistentHashRing::revive_server: server is already live");
+  alive_[server] = true;
+  const auto old_end = static_cast<std::ptrdiff_t>(ring_.size());
+  append_vnodes(server);
+  merge_tail(old_end);
+  ++epoch_;
 }
 
 std::size_t ConsistentHashRing::server_for(std::string_view key) const {

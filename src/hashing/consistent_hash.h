@@ -32,24 +32,60 @@ class ConsistentHashRing final : public KeyMapper {
   [[nodiscard]] std::size_t server_count() const override;
   [[nodiscard]] std::string name() const override;
 
-  /// Adds one server (index = previous server_count()).
-  void add_server();
+  /// Adds one fresh server at the next never-used index and returns that
+  /// index (== total_slots() - 1 afterwards). Bumps epoch().
+  std::size_t add_server();
 
   /// Removes the given server's vnodes; keys re-route to ring successors.
-  /// Server indices of the remaining servers are unchanged.
+  /// Server indices of the remaining servers are unchanged. Validates
+  /// before mutating — on throw the ring is untouched. Bumps epoch().
   void remove_server(std::size_t server);
 
+  /// Re-adds a previously removed server at its old index. The vnode
+  /// labels are a pure function of the index, so the revived server owns
+  /// exactly the arcs it owned before — a rejoining node in a slot-reusing
+  /// registry. Bumps epoch().
+  void revive_server(std::size_t server);
+
+  /// Mutation version: bumped by add_server/remove_server/revive_server.
+  [[nodiscard]] std::uint64_t epoch() const noexcept override {
+    return epoch_;
+  }
+
+  /// True iff `server` currently owns ring arcs. Indices ≥ total_slots()
+  /// are simply not alive (no throw) so callers can probe freely.
+  [[nodiscard]] bool is_alive(std::size_t server) const noexcept {
+    return server < alive_.size() && alive_[server];
+  }
+
+  /// Total slots ever allocated (live + dead). arc_shares() has this size.
+  [[nodiscard]] std::size_t total_slots() const noexcept {
+    return alive_.size();
+  }
+
   /// Fraction of ring arc owned by each server — the {p_j} this ring
-  /// realises under uniformly-hashed keys.
+  /// realises under uniformly-hashed keys. Indexed by slot: exactly 0.0
+  /// for dead (removed, never-revived) servers.
   [[nodiscard]] std::vector<double> arc_shares() const;
+
+  /// The sorted ring itself — read-only, for property tests that need to
+  /// predict successors without re-deriving the vnode labelling.
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return ring_;
+  }
 
  private:
   /// Pushes `server`'s vnode points onto the ring unsorted; callers sort
   /// (ctor: once for everything; add_server: sort-tail + inplace_merge).
   void append_vnodes(std::size_t server);
 
+  /// Sorts the tail appended by append_vnodes and merges it into the
+  /// sorted prefix — O(SV) per mutation instead of a full re-sort.
+  void merge_tail(std::ptrdiff_t old_end);
+
   std::size_t vnodes_;
   std::size_t next_server_ = 0;
+  std::uint64_t epoch_ = 0;
   std::vector<Point> ring_;       // sorted by hash
   std::vector<bool> alive_;       // per server index
 };

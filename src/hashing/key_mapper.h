@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,13 @@ class KeyMapper {
   [[nodiscard]] virtual std::size_t server_count() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Mutation version. Immutable mappers stay at 0 forever; a mutable
+  /// mapper (ConsistentHashRing under a MembershipSchedule) bumps this on
+  /// every membership change so memoized rank→server columns
+  /// (workload::KeyTable::track_epochs) can revalidate lazily instead of
+  /// rebuilding — only ~1/M of keys actually move per churn event.
+  [[nodiscard]] virtual std::uint64_t epoch() const noexcept { return 0; }
 };
 
 /// hash(key) mod M.

@@ -44,6 +44,16 @@ bool ServiceStation::cancel_waiting(std::uint64_t job_id) {
   return false;
 }
 
+std::size_t ServiceStation::drain_waiting(std::vector<std::uint64_t>& out) {
+  const std::size_t n = queue_.size();
+  if (n == 0) return 0;
+  account_population(sim_.now());
+  in_system_ -= n;
+  for (const Pending& p : queue_) out.push_back(p.job_id);
+  queue_.clear();
+  return n;
+}
+
 void ServiceStation::begin_service() {
   const Pending job = queue_.front();
   queue_.pop_front();

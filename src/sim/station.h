@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "dist/distribution.h"
 #include "dist/rng.h"
@@ -59,6 +60,14 @@ class ServiceStation {
   /// departure statistics). Used by replica cancellation to pull losing
   /// replicas out of server queues.
   bool cancel_waiting(std::uint64_t job_id);
+
+  /// Empties the waiting FIFO (the in-service job, if any, is untouched):
+  /// every queued job leaves the number-in-system accounting exactly like
+  /// cancel_waiting — no service drawn, no departure reported, no
+  /// waiting/sojourn statistics — and its id is appended to `out` in FIFO
+  /// order. Returns the number of jobs drained. Used by abrupt server
+  /// leave, where queued work fails over to the ring successor.
+  std::size_t drain_waiting(std::vector<std::uint64_t>& out);
 
   /// Jobs waiting (excluding the one in service).
   [[nodiscard]] std::size_t queue_length() const noexcept {

@@ -62,6 +62,7 @@ const KeyTable::Chunk& KeyTable::build_chunk(std::uint64_t chunk_index) {
   }
   chunk->arena.shrink_to_fit();
   chunks_[chunk_index] = std::move(chunk);
+  if (!chunk_epoch_.empty()) chunk_epoch_[chunk_index] = mapper_.epoch();
   ++built_;
   ++resident_;
   bytes_ += chunk_bytes(*chunks_[chunk_index]);
@@ -76,6 +77,31 @@ const KeyTable::Chunk& KeyTable::build_chunk(std::uint64_t chunk_index) {
     pinned_ = chunk_index;
   }
   return *chunks_[chunk_index];
+}
+
+void KeyTable::track_epochs() {
+  if (!chunk_epoch_.empty()) return;
+  chunk_epoch_.assign(chunks_.size(), mapper_.epoch());
+}
+
+void KeyTable::remap_chunk(std::uint64_t ci, std::uint64_t epoch) {
+  // Re-route just this chunk's keys under the mapper's current membership.
+  // The keys, hashes and value sizes are rank-pure and never move; only the
+  // server column can change, and per membership event only ~1/M of ranks
+  // actually do — count exactly those.
+  Chunk& c = *chunks_[ci];
+  const std::uint64_t count = c.hash.size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t off = c.offset[i];
+    const std::string_view key(c.arena.data() + off, c.offset[i + 1] - off);
+    const auto s = static_cast<std::uint32_t>(mapper_.server_for(key));
+    if (s != c.server[i]) {
+      c.server[i] = s;
+      ++ranks_remapped_;
+    }
+  }
+  chunk_epoch_[ci] = epoch;
+  ++chunk_remaps_;
 }
 
 void KeyTable::evict_to_budget(std::uint64_t keep) {

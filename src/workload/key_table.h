@@ -79,15 +79,39 @@ class KeyTable {
   /// touch in lazy mode (and rebuilds it if a budget evicted it).
   [[nodiscard]] View view(std::uint64_t rank) {
     const Chunk& c = chunk_for(rank);
+    if (!chunk_epoch_.empty()) revalidate(rank >> kChunkShift);
     const std::uint64_t i = rank & kChunkMask;
     const std::uint32_t off = c.offset[i];
     return View{std::string_view(c.arena.data() + off, c.offset[i + 1] - off),
                 c.hash[i], c.server[i], c.value_bytes[i]};
   }
 
-  /// Server index only (the trace-replay injection path).
+  /// Server index only (the routing path).
   [[nodiscard]] std::uint32_t server(std::uint64_t rank) {
-    return chunk_for(rank).server[rank & kChunkMask];
+    const Chunk& c = chunk_for(rank);
+    if (!chunk_epoch_.empty()) revalidate(rank >> kChunkShift);
+    return c.server[rank & kChunkMask];
+  }
+
+  /// Enables epoch validation of the memoized server column against
+  /// mapper.epoch() (churn: the mapper mutates mid-run). Each chunk
+  /// remembers the epoch it was mapped at; an access under a newer epoch
+  /// re-runs server_for over just that chunk's keys *in place* — only
+  /// ~1/M of ranks actually move per membership event, so a full-table
+  /// rebuild would be wrong by construction (and would also dirty the
+  /// budget accounting; the epoch column lives outside chunk_bytes() so
+  /// eviction behaviour and the keytable.* gauges are untouched).
+  /// Call before the first access. No-op if already tracking.
+  void track_epochs();
+
+  /// Ranks whose server assignment actually changed during epoch
+  /// revalidation (the churn.ranks_remapped observability counter), and
+  /// the number of chunk revalidation sweeps that ran.
+  [[nodiscard]] std::uint64_t ranks_remapped() const noexcept {
+    return ranks_remapped_;
+  }
+  [[nodiscard]] std::uint64_t chunk_remaps() const noexcept {
+    return chunk_remaps_;
   }
 
   [[nodiscard]] std::uint64_t size() const noexcept { return keyspace_.size(); }
@@ -157,6 +181,14 @@ class KeyTable {
   /// just built) or pinned_ (the last chunk handed out).
   void evict_to_budget(std::uint64_t keep);
 
+  /// Epoch-tracking slow path: if chunk `ci` was mapped under an older
+  /// mapper epoch, re-run server_for over its keys in place.
+  void revalidate(std::uint64_t ci) {
+    const std::uint64_t e = mapper_.epoch();
+    if (chunk_epoch_[ci] != e) remap_chunk(ci, e);
+  }
+  void remap_chunk(std::uint64_t ci, std::uint64_t epoch);
+
   const KeySpace& keyspace_;
   const hashing::KeyMapper& mapper_;
   const ValueSizeModel* values_;
@@ -174,6 +206,13 @@ class KeyTable {
   std::uint64_t pinned_ = kNoPin;    ///< last chunk returned; never evicted
   std::vector<std::uint8_t> ref_;    ///< CLOCK reference bits
   std::vector<std::uint8_t> ever_built_;  ///< distinguishes rebuilds
+
+  // Epoch tracking (track_epochs) — empty unless enabled. Deliberately not
+  // part of Chunk / chunk_bytes(): the budget accounting and eviction
+  // decisions must be identical with tracking on or off.
+  std::vector<std::uint64_t> chunk_epoch_;  ///< mapper epoch per chunk
+  std::uint64_t ranks_remapped_ = 0;
+  std::uint64_t chunk_remaps_ = 0;
 };
 
 }  // namespace mclat::workload

@@ -1,0 +1,229 @@
+// Membership-churn scenarios through the full cluster path (DESIGN.md §4k):
+// drain vs abrupt leave, the cold-join refill storm, slot reuse, epoch
+// window conservation, and the validation surface. The asymptotic
+// (Ji/Quan/Tan) validation lives in test_churn_model.cpp; ring-level
+// properties in tests/hashing/test_ring_churn.cpp.
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "cluster/membership.h"
+#include "cluster/trace_replay.h"
+#include "cluster/workload_driven.h"
+#include "workload/request_stream.h"
+
+namespace mclat::cluster {
+namespace {
+
+// The RealCacheRunsAreShardCountInvariant deployment, with a horizon long
+// enough for events at t <= 0.35 and a fat network delay so the sharded
+// engine's lookahead windows stay coarse on one core.
+EndToEndConfig churn_config() {
+  EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.servers = 8;
+  cfg.system.total_key_rate = 8.0 * 20'000.0;
+  cfg.system.keys_per_request = 10;
+  cfg.system.network_latency = 1e-3;
+  cfg.miss_mode = MissMode::kRealCache;
+  cfg.mapper = MapperKind::kRing;
+  cfg.keyspace_size = 20'000;
+  cfg.zipf_exponent = 1.0;
+  cfg.common.cache_bytes_per_server = 256u << 10;
+  cfg.common.warmup_time = 0.05;
+  cfg.common.measure_time = 0.45;
+  cfg.common.seed = 33;
+  return cfg;
+}
+
+EndToEndResult run_with(const char* spec) {
+  EndToEndConfig cfg = churn_config();
+  cfg.common.churn = MembershipSchedule::parse(spec);
+  return EndToEndSim(cfg).run();
+}
+
+TEST(ChurnScenarios, DrainFinishesInFlightWorkWithoutFailovers) {
+  const EndToEndResult r = run_with("drain:3@0.2");
+  const ChurnStats& cs = r.churn;
+  EXPECT_EQ(cs.events, 1u);
+  EXPECT_EQ(cs.drains, 1u);
+  EXPECT_EQ(cs.leaves, 0u);
+  EXPECT_EQ(cs.joins, 0u);
+  // The defining property of a planned drain: nothing is bounced.
+  EXPECT_EQ(cs.failovers, 0u);
+  EXPECT_EQ(cs.slots_retired, 1u);
+  EXPECT_EQ(cs.live_servers_end, 7u);
+  // No slot was added, so the utilization vector keeps its original width.
+  EXPECT_EQ(r.server_utilization.size(), 8u);
+  ASSERT_EQ(cs.epochs.size(), 2u);
+  EXPECT_DOUBLE_EQ(cs.epochs[1].start_time, 0.2);
+  EXPECT_GT(cs.epochs[0].keys, 0u);
+  EXPECT_GT(cs.epochs[1].keys, 0u);
+}
+
+TEST(ChurnScenarios, AbruptLeaveFailsQueuedWorkOverToTheSuccessor) {
+  // Load the stations hard enough (rho ~0.9) that the victim has queued
+  // and in-service jobs at the event instant.
+  EndToEndConfig cfg = churn_config();
+  cfg.system.servers = 4;
+  cfg.system.total_key_rate = 4.0 * 72'000.0;
+  cfg.common.churn = MembershipSchedule::parse("leave:0@0.25");
+  const EndToEndResult r = EndToEndSim(cfg).run();
+  const ChurnStats& cs = r.churn;
+  EXPECT_EQ(cs.leaves, 1u);
+  EXPECT_EQ(cs.slots_retired, 1u);
+  EXPECT_GT(cs.failovers, 0u);  // bounced jobs re-routed under the new ring
+  EXPECT_EQ(cs.live_servers_end, 3u);
+  // The dead slot serves nothing after the event but its pre-event busy
+  // time still counts; the survivors absorb its keys.
+  EXPECT_GT(r.requests_completed, 100u);
+  EXPECT_GT(cs.ranks_remapped, 0u);
+}
+
+TEST(ChurnScenarios, ColdJoinTriggersARefillStorm) {
+  const EndToEndResult r = run_with("join@0.2");
+  const ChurnStats& cs = r.churn;
+  EXPECT_EQ(cs.joins, 1u);
+  EXPECT_EQ(cs.slots_retired, 0u);
+  EXPECT_EQ(cs.failovers, 0u);
+  EXPECT_EQ(cs.live_servers_end, 9u);
+  ASSERT_EQ(r.server_utilization.size(), 9u);
+  // The joiner starts empty: every key moved onto it misses and refills.
+  EXPECT_GT(cs.refill_storm_bytes, 0u);
+  EXPECT_GT(r.server_utilization[8], 0.0);
+  EXPECT_GT(cs.ranks_remapped, 0u);
+  ASSERT_EQ(cs.epochs.size(), 2u);
+  EXPECT_GT(cs.epochs[1].keys, 0u);
+}
+
+TEST(ChurnScenarios, JoinAfterLeaveReusesTheRetiredSlot) {
+  const EndToEndResult r = run_with("leave:5@0.15,join@0.3");
+  const ChurnStats& cs = r.churn;
+  EXPECT_EQ(cs.events, 2u);
+  EXPECT_EQ(cs.leaves, 1u);
+  EXPECT_EQ(cs.joins, 1u);
+  EXPECT_EQ(cs.slots_retired, 1u);
+  EXPECT_EQ(cs.live_servers_end, 8u);
+  // Every possible slot (8 initial + 1 pre-provisioned join) reports
+  // utilization, but the join revived retired slot 5 rather than entering
+  // the fresh slot 8: the revived slot serves again and the fresh slot
+  // never turns a key.
+  ASSERT_EQ(r.server_utilization.size(), 9u);
+  EXPECT_GT(r.server_utilization[5], 0.0);
+  EXPECT_EQ(r.server_utilization[8], 0.0);
+  EXPECT_GT(cs.refill_storm_bytes, 0u);  // the reused slot rejoins cold
+  ASSERT_EQ(cs.epochs.size(), 3u);
+}
+
+TEST(ChurnScenarios, EpochWindowsConserveTheMeasuredTotals) {
+  const EndToEndResult r = run_with("join@0.15,leave:2@0.25,drain:1@0.35");
+  const ChurnStats& cs = r.churn;
+  EXPECT_EQ(cs.events, 3u);
+  ASSERT_EQ(cs.epochs.size(), 4u);
+  std::uint64_t keys = 0;
+  std::uint64_t misses = 0;
+  for (const ChurnEpochWindow& w : cs.epochs) {
+    keys += w.keys;
+    misses += w.misses;
+    if (w.keys > 0) {
+      EXPECT_DOUBLE_EQ(
+          w.miss_ratio,
+          static_cast<double>(w.misses) / static_cast<double>(w.keys));
+      EXPECT_GT(w.p99_key_latency_us, 0.0);
+    }
+  }
+  // Every *measured* key lands in exactly one window, so the windows must
+  // re-aggregate to the run's own measured totals: misses match the DB
+  // fetch count exactly (coalescing off: every measured miss fetches) and
+  // the pooled ratio reproduces measured_miss_ratio. keys_completed also
+  // counts warmup keys, so it strictly exceeds the windowed sum.
+  EXPECT_GT(keys, 0u);
+  EXPECT_LT(keys, r.keys_completed);
+  EXPECT_EQ(misses, r.measured_db_fetches);
+  EXPECT_NEAR(static_cast<double>(misses) / static_cast<double>(keys),
+              r.measured_miss_ratio, 1e-12);
+  EXPECT_EQ(cs.resident_items_end > 0u, true);
+  EXPECT_GT(cs.resident_bytes_end, 0u);
+}
+
+TEST(ChurnScenarios, ReplayRunsTheSameTimelineOverATrace) {
+  workload::RequestStreamConfig sc;
+  sc.request_rate = 4'000.0;
+  sc.keys_per_request = 10;
+  sc.keyspace_size = 20'000;
+  sc.zipf_exponent = 1.0;
+  workload::RequestStream stream(sc, dist::Rng(3));
+  const workload::Trace trace = stream.generate_trace(2'000);
+
+  TraceReplayConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.keys_per_request = 10;
+  cfg.miss_mode = MissMode::kRealCache;
+  cfg.common.cache_bytes_per_server = 256u << 10;
+  cfg.common.seed = 11;
+  cfg.common.churn = MembershipSchedule::parse("join@0.1,drain:1@0.25");
+  TraceReplaySim sim(cfg);
+  const TraceReplayResult r = sim.run(trace, stream.keyspace());
+  EXPECT_EQ(r.requests_completed, 2'000u);
+  EXPECT_EQ(r.keys_completed, trace.size());
+  const ChurnStats& cs = r.churn;
+  EXPECT_EQ(cs.events, 2u);
+  EXPECT_EQ(cs.joins, 1u);
+  EXPECT_EQ(cs.drains, 1u);
+  EXPECT_EQ(cs.failovers, 0u);
+  EXPECT_EQ(cs.live_servers_end, 4u);  // 4 + join - drain
+  EXPECT_GT(cs.refill_storm_bytes, 0u);
+  EXPECT_GT(cs.ranks_remapped, 0u);
+  ASSERT_EQ(cs.epochs.size(), 3u);
+  std::uint64_t keys = 0;
+  for (const ChurnEpochWindow& w : cs.epochs) keys += w.keys;
+  EXPECT_EQ(keys, r.keys_completed);
+}
+
+TEST(ChurnScenarios, ValidatesItsConfigurationSurface) {
+  // Bernoulli keys carry no identity, so churn demands the real cache.
+  {
+    EndToEndConfig cfg = churn_config();
+    cfg.miss_mode = MissMode::kBernoulli;
+    cfg.common.churn = MembershipSchedule::parse("join@0.1");
+    EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+  }
+  // Churn mutates the ring; the weighted mapper has no ring to mutate.
+  {
+    EndToEndConfig cfg = churn_config();
+    cfg.mapper = MapperKind::kWeighted;
+    cfg.common.churn = MembershipSchedule::parse("join@0.1");
+    EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+  }
+  // Events past the horizon would silently never fire.
+  {
+    EndToEndConfig cfg = churn_config();
+    cfg.common.churn = MembershipSchedule::parse("join@0.9");
+    EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+  }
+  // Replicated dispatch and churn are separate contracts.
+  {
+    EndToEndConfig cfg = churn_config();
+    cfg.redundancy = RedundancyPolicy::immediate(2);
+    cfg.common.churn = MembershipSchedule::parse("join@0.1");
+    EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+  }
+  // The workload-driven testbed has isolated stations — no ring at all.
+  {
+    WorkloadDrivenConfig cfg;
+    cfg.system = core::SystemConfig::facebook();
+    cfg.common.churn = MembershipSchedule::parse("join@0.1");
+    EXPECT_THROW(WorkloadDrivenSim{cfg}, std::invalid_argument);
+  }
+  // The schedule itself validates its spec.
+  EXPECT_THROW(MembershipSchedule::parse("join@0"), std::invalid_argument);
+  EXPECT_THROW(MembershipSchedule::parse("leave@1"), std::invalid_argument);
+  EXPECT_THROW(MembershipSchedule::parse("evict:1@1"), std::invalid_argument);
+  EXPECT_THROW(MembershipSchedule::parse("join@2,leave:0@1"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

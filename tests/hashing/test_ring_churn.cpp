@@ -1,0 +1,227 @@
+// Ring-mutation contract behind membership churn (DESIGN.md §4k):
+//
+//   * remove_server validates before mutating, with field-naming messages,
+//     and a dead server's arc share is exactly 0.0;
+//   * every mutation bumps epoch() — the version the KeyTable's
+//     epoch-validated server column revalidates against;
+//   * add_server moves at most ~1/(M+1) (+ vnode slack) of a sampled
+//     keyspace, all of it onto the new server;
+//   * remove_server moves exactly the victim's keys, each to its ring
+//     successor (predicted from the pre-removal points(), not re-derived);
+//   * revive_server restores the exact pre-removal arcs (slot reuse);
+//   * an epoch-tracked KeyTable remaps lazily, ~1/M of ranks per event.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hashing/consistent_hash.h"
+#include "hashing/hashes.h"
+#include "workload/key_table.h"
+#include "workload/keyspace.h"
+
+namespace mclat::hashing {
+namespace {
+
+std::vector<std::string> test_keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back("object:" + std::to_string(i));
+  return keys;
+}
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(RingChurn, RemoveServerValidationNamesTheField) {
+  ConsistentHashRing ring(4);
+  EXPECT_NE(message_of([&] { ring.remove_server(9); })
+                .find("ConsistentHashRing::remove_server: server index out of "
+                      "range"),
+            std::string::npos);
+  ring.remove_server(1);
+  EXPECT_NE(message_of([&] { ring.remove_server(1); })
+                .find("ConsistentHashRing::remove_server: server is not live"),
+            std::string::npos);
+  ring.remove_server(0);
+  ring.remove_server(2);
+  EXPECT_NE(message_of([&] { ring.remove_server(3); })
+                .find("ConsistentHashRing::remove_server: cannot remove the "
+                      "last live server"),
+            std::string::npos);
+  // Validation happens before mutation: the survivor still owns the ring.
+  EXPECT_EQ(ring.server_count(), 1u);
+  EXPECT_TRUE(ring.is_alive(3));
+}
+
+TEST(RingChurn, ReviveServerValidationNamesTheField) {
+  ConsistentHashRing ring(3);
+  EXPECT_NE(message_of([&] { ring.revive_server(7); })
+                .find("ConsistentHashRing::revive_server: server index out of "
+                      "range"),
+            std::string::npos);
+  EXPECT_NE(message_of([&] { ring.revive_server(1); })
+                .find("ConsistentHashRing::revive_server: server is already "
+                      "live"),
+            std::string::npos);
+}
+
+TEST(RingChurn, DeadServerArcShareIsExactlyZero) {
+  ConsistentHashRing ring(5, 64);
+  ring.remove_server(2);
+  const std::vector<double> shares = ring.arc_shares();
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(shares[2], 0.0);  // exact, not approximate
+  double sum = 0.0;
+  for (const double s : shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RingChurn, EveryMutationBumpsTheEpoch) {
+  ConsistentHashRing ring(3);
+  EXPECT_EQ(ring.epoch(), 0u);
+  ring.remove_server(0);
+  EXPECT_EQ(ring.epoch(), 1u);
+  EXPECT_EQ(ring.add_server(), 3u);
+  EXPECT_EQ(ring.epoch(), 2u);
+  ring.revive_server(0);
+  EXPECT_EQ(ring.epoch(), 3u);
+  EXPECT_EQ(ring.total_slots(), 4u);
+  EXPECT_EQ(ring.server_count(), 4u);
+}
+
+TEST(RingChurn, AddServerMovesAtMostItsFairShare) {
+  const std::size_t M = 8;
+  ConsistentHashRing ring(M, 160);
+  const auto keys = test_keys(40'000);
+  std::map<std::string, std::size_t> before;
+  for (const auto& k : keys) before[k] = ring.server_for(k);
+  const std::size_t fresh = ring.add_server();
+  EXPECT_EQ(fresh, M);
+  int moved = 0;
+  for (const auto& k : keys) {
+    const std::size_t now = ring.server_for(k);
+    if (now != before[k]) {
+      EXPECT_EQ(now, fresh) << "keys may only move to the joined server";
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) / keys.size();
+  // Ideal is 1/(M+1); 160 vnodes keep the realised share within ~0.05.
+  EXPECT_LT(fraction, 1.0 / (M + 1) + 0.05);
+  EXPECT_GT(fraction, 0.02);  // and the new server is not starved
+}
+
+TEST(RingChurn, RemovedKeysGoToTheRingSuccessor) {
+  ConsistentHashRing ring(6, 160);
+  const std::size_t victim = 3;
+  // Predict each key's post-removal owner from the *pre-removal* ring: the
+  // first point clockwise from the key's hash whose server is not the
+  // victim (the ring successor).
+  const std::vector<ConsistentHashRing::Point> pts = ring.points();
+  const auto keys = test_keys(30'000);
+  std::map<std::string, std::size_t> before;
+  std::map<std::string, std::size_t> successor;
+  for (const auto& k : keys) {
+    before[k] = ring.server_for(k);
+    const std::uint64_t h = mix64(fnv1a64(k));
+    std::size_t idx = pts.size();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].hash >= h) {
+        idx = i;
+        break;
+      }
+    }
+    for (std::size_t step = 0; step < pts.size(); ++step) {
+      const auto& p = pts[(idx + step) % pts.size()];
+      if (p.server != victim) {
+        successor[k] = p.server;
+        break;
+      }
+    }
+  }
+  ring.remove_server(victim);
+  int moved = 0;
+  for (const auto& k : keys) {
+    const std::size_t now = ring.server_for(k);
+    if (before[k] == victim) {
+      EXPECT_EQ(now, successor[k]) << "victim key must land on its successor";
+      ++moved;
+    } else {
+      EXPECT_EQ(now, before[k])
+          << "keys between live servers must not move";
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(RingChurn, ReviveRestoresTheExactArcs) {
+  ConsistentHashRing ring(5, 96);
+  const std::vector<double> original = ring.arc_shares();
+  const auto keys = test_keys(5'000);
+  std::map<std::string, std::size_t> before;
+  for (const auto& k : keys) before[k] = ring.server_for(k);
+  ring.remove_server(4);
+  ring.revive_server(4);
+  const std::vector<double> restored = ring.arc_shares();
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t j = 0; j < original.size(); ++j) {
+    EXPECT_EQ(restored[j], original[j]) << "server " << j;
+  }
+  for (const auto& k : keys) EXPECT_EQ(ring.server_for(k), before[k]);
+}
+
+TEST(RingChurn, EpochTrackedKeyTableRemapsIncrementally) {
+  // The workload-layer half of the contract: an epoch-tracked KeyTable
+  // revalidates chunks lazily against mapper.epoch() and remaps in place —
+  // no rebuild, counting exactly the ranks whose server changed.
+  const workload::KeySpace keyspace(4'096, 0.9);
+  ConsistentHashRing ring(8, 160);
+  workload::KeyTable table(keyspace, ring, nullptr,
+                           workload::KeyTable::Build::kLazy, 0);
+  table.track_epochs();
+  const std::uint64_t n = keyspace.size();
+  std::vector<std::uint32_t> before(n);
+  for (std::uint64_t r = 0; r < n; ++r) before[r] = table.server(r);
+  EXPECT_EQ(table.ranks_remapped(), 0u);
+
+  ring.remove_server(5);
+  std::uint64_t moved = 0;
+  std::string key;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const std::uint32_t now = table.server(r);
+    keyspace.key_for_rank(r, key);
+    EXPECT_EQ(now, ring.server_for(key)) << "rank " << r;
+    if (now != before[r]) {
+      EXPECT_EQ(before[r], 5u) << "only the victim's ranks may move";
+      ++moved;
+    }
+  }
+  EXPECT_EQ(table.ranks_remapped(), moved);
+  EXPECT_GT(moved, 0u);
+  // ~1/8 of ranks lived on the victim; remapping is incremental, never a
+  // full rebuild, so the count stays near that fair share.
+  EXPECT_LT(static_cast<double>(moved) / static_cast<double>(n), 0.25);
+
+  // A second event invalidates chunks again; reads stay epoch-consistent.
+  const std::size_t fresh = ring.add_server();
+  for (std::uint64_t r = 0; r < n; ++r) {
+    keyspace.key_for_rank(r, key);
+    EXPECT_EQ(table.server(r), ring.server_for(key)) << "rank " << r;
+  }
+  EXPECT_GE(table.chunk_remaps(), 1u);
+  EXPECT_TRUE(ring.is_alive(fresh));
+}
+
+}  // namespace
+}  // namespace mclat::hashing

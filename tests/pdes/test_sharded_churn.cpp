@@ -1,0 +1,104 @@
+// Shard-count invariance of membership churn (DESIGN.md §4k).
+//
+// Churn events originate at the coordinator LP and reach the shards as
+// lookahead-respecting messages, the ring slots (initial + every possible
+// join) are RNG-provisioned up front, and failover bounces ride the same
+// totally-ordered (time, origin, sequence) channel as arrivals — so a churn
+// run must be bit-identical across --shard-jobs, exactly like the static
+// contract tests in test_sharded_determinism.cpp. Runs under TSan in CI.
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "cluster/end_to_end.h"
+#include "cluster/membership.h"
+
+namespace mclat::cluster {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+// 8 ring servers with real caches, one cold join and one abrupt leave mid
+// measurement; fat network delay keeps the lookahead windows coarse.
+EndToEndConfig churned_config(std::size_t shard_jobs) {
+  EndToEndConfig cfg;
+  cfg.system = core::SystemConfig::facebook();
+  cfg.system.servers = 8;
+  cfg.system.total_key_rate = 8.0 * 20'000.0;
+  cfg.system.keys_per_request = 10;
+  cfg.system.network_latency = 1e-3;
+  cfg.miss_mode = MissMode::kRealCache;
+  cfg.mapper = MapperKind::kRing;
+  cfg.keyspace_size = 20'000;
+  cfg.zipf_exponent = 1.0;
+  cfg.common.cache_bytes_per_server = 256u << 10;
+  cfg.common.warmup_time = 0.05;
+  cfg.common.measure_time = 0.4;
+  cfg.common.seed = 33;
+  cfg.common.shard_jobs = shard_jobs;
+  cfg.common.churn = MembershipSchedule::parse("join@0.15,leave:2@0.3");
+  return cfg;
+}
+
+void expect_identical(const EndToEndResult& a, const EndToEndResult& b) {
+  EXPECT_TRUE(same_bits(a.total.mean, b.total.mean));
+  EXPECT_TRUE(same_bits(a.server.mean, b.server.mean));
+  EXPECT_TRUE(same_bits(a.database.mean, b.database.mean));
+  EXPECT_TRUE(same_bits(a.measured_miss_ratio, b.measured_miss_ratio));
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.keys_completed, b.keys_completed);
+  EXPECT_EQ(a.measured_db_fetches, b.measured_db_fetches);
+  ASSERT_EQ(a.total_samples.size(), b.total_samples.size());
+  for (std::size_t i = 0; i < a.total_samples.size(); ++i) {
+    ASSERT_TRUE(same_bits(a.total_samples[i], b.total_samples[i]))
+        << "sample " << i;
+  }
+  ASSERT_EQ(a.server_utilization.size(), b.server_utilization.size());
+  for (std::size_t j = 0; j < a.server_utilization.size(); ++j) {
+    EXPECT_TRUE(same_bits(a.server_utilization[j], b.server_utilization[j]))
+        << "server " << j;
+  }
+  // The churn observability must agree too — not just the latency stats.
+  const ChurnStats& ca = a.churn;
+  const ChurnStats& cb = b.churn;
+  EXPECT_EQ(ca.events, cb.events);
+  EXPECT_EQ(ca.failovers, cb.failovers);
+  EXPECT_EQ(ca.slots_retired, cb.slots_retired);
+  EXPECT_EQ(ca.refill_storm_bytes, cb.refill_storm_bytes);
+  EXPECT_EQ(ca.resident_items_end, cb.resident_items_end);
+  EXPECT_EQ(ca.resident_bytes_end, cb.resident_bytes_end);
+  ASSERT_EQ(ca.epochs.size(), cb.epochs.size());
+  for (std::size_t e = 0; e < ca.epochs.size(); ++e) {
+    EXPECT_EQ(ca.epochs[e].keys, cb.epochs[e].keys) << "epoch " << e;
+    EXPECT_EQ(ca.epochs[e].misses, cb.epochs[e].misses) << "epoch " << e;
+    EXPECT_TRUE(same_bits(ca.epochs[e].p99_key_latency_us,
+                          cb.epochs[e].p99_key_latency_us))
+        << "epoch " << e;
+  }
+}
+
+TEST(ShardedChurn, RunsAreBitReproducible) {
+  const EndToEndResult a = EndToEndSim(churned_config(4)).run();
+  const EndToEndResult b = EndToEndSim(churned_config(4)).run();
+  expect_identical(a, b);
+  EXPECT_GT(a.requests_completed, 100u);
+  EXPECT_EQ(a.churn.events, 2u);
+}
+
+TEST(ShardedChurn, ResultsAreInvariantUnderTheShardCount) {
+  const EndToEndResult k2 = EndToEndSim(churned_config(2)).run();
+  const EndToEndResult k4 = EndToEndSim(churned_config(4)).run();
+  const EndToEndResult k8 = EndToEndSim(churned_config(8)).run();
+  expect_identical(k2, k4);
+  expect_identical(k2, k8);
+  // The scenario actually exercised both event kinds.
+  EXPECT_EQ(k2.churn.joins, 1u);
+  EXPECT_EQ(k2.churn.leaves, 1u);
+  EXPECT_GT(k2.churn.refill_storm_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mclat::cluster

@@ -123,6 +123,15 @@ inline bool common_sim_flags_from(CliArgs& args,
       "run each trial's event loop on K server-calendar shards plus a "
       "coordinator, in parallel (1 = exact serial loop; K > 1 is its own "
       "deterministic contract, DESIGN.md 4i)"));
+  const std::string churn_spec = args.text(
+      "churn", "",
+      "mid-run membership timeline: comma-separated join@T, leave:J@T "
+      "(abrupt; queued work fails over to the ring successor), drain:J@T "
+      "(planned; in-flight work finishes) with T in simulated seconds. "
+      "Requires the ring mapper; e2e also needs --real-cache (DESIGN.md 4k)");
+  if (!churn_spec.empty()) {
+    common.churn = cluster::MembershipSchedule::parse(churn_spec);
+  }
   return real_cache;
 }
 

@@ -42,6 +42,34 @@ core::SystemConfig config_from(tools::CliArgs& args) {
   return tools::deployment_config_from(args);
 }
 
+// Shared churn summary for `simulate --e2e` and `replay` (--churn only):
+// event/failover/retire counts, refill-storm volume, and one line per
+// membership epoch.
+void print_churn_summary(const cluster::ChurnStats& cs) {
+  std::printf(
+      "churn: %llu events (%llu join / %llu leave / %llu drain)   "
+      "failovers: %llu   slots retired: %llu\n",
+      static_cast<unsigned long long>(cs.events),
+      static_cast<unsigned long long>(cs.joins),
+      static_cast<unsigned long long>(cs.leaves),
+      static_cast<unsigned long long>(cs.drains),
+      static_cast<unsigned long long>(cs.failovers),
+      static_cast<unsigned long long>(cs.slots_retired));
+  std::printf(
+      "refill storm: %.2f MiB   ranks remapped: %llu   "
+      "live servers at end: %llu (%llu cached items)\n",
+      static_cast<double>(cs.refill_storm_bytes) / (1u << 20),
+      static_cast<unsigned long long>(cs.ranks_remapped),
+      static_cast<unsigned long long>(cs.live_servers_end),
+      static_cast<unsigned long long>(cs.resident_items_end));
+  for (std::size_t i = 0; i < cs.epochs.size(); ++i) {
+    const cluster::ChurnEpochWindow& w = cs.epochs[i];
+    std::printf("  epoch %zu @ t=%.2fs: keys=%llu  miss=%.4f  p99=%.1fus\n",
+                i, w.start_time, static_cast<unsigned long long>(w.keys),
+                w.miss_ratio, w.p99_key_latency_us);
+  }
+}
+
 int cmd_estimate(tools::CliArgs& args) {
   const core::SystemConfig cfg = config_from(args);
   const bool json = args.flag("json", "emit JSON");
@@ -189,6 +217,10 @@ int cmd_simulate(tools::CliArgs& args) {
     ecfg.common.warmup_time = opt.seconds / 10.0;
     ecfg.common.measure_time = opt.seconds;
     if (real_cache) ecfg.miss_mode = cluster::MissMode::kRealCache;
+    // Membership events mutate the consistent-hashing ring, so --churn
+    // switches routing to the ring mapper (the sim validates the rest:
+    // --real-cache, uniform shares, events before the horizon).
+    if (ecfg.common.churn.active()) ecfg.mapper = cluster::MapperKind::kRing;
     const cluster::EndToEndResult r = cluster::EndToEndSim(ecfg).run();
     const core::LatencyModel model(cfg);
     const core::LatencyEstimate e = model.estimate();
@@ -212,6 +244,7 @@ int cmd_simulate(tools::CliArgs& args) {
           static_cast<unsigned long long>(r.replicas_cancelled),
           r.replica_wasted_service * 1e3);
     }
+    if (ecfg.common.churn.active()) print_churn_summary(r.churn);
     std::printf("%-8s | %-22s | %s\n", "latency", "theory (us)",
                 "simulated (us)");
     std::printf("%-8s | %22.1f | %s\n", "T_N(N)", e.network * 1e6,
@@ -358,6 +391,7 @@ int cmd_replay(tools::CliArgs& args) {
                 static_cast<unsigned long long>(r.db_fetches),
                 static_cast<unsigned long long>(r.delayed_hits));
   }
+  if (rcfg.common.churn.active()) print_churn_summary(r.churn);
   if (measure_from > 0.0) {
     std::printf("measured requests:  %llu (started at or after t=%.2f s)\n",
                 static_cast<unsigned long long>(r.measured_requests),
